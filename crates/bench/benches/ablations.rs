@@ -1,0 +1,88 @@
+//! Ablation benches (wall-clock companions to the `figures` binary's
+//! `strategies`, `compression`, and `buffer` tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use uncat_bench::measure::{build_inverted, build_pdr, Scale, QUERY_FRAMES};
+use uncat_core::query::EqQuery;
+use uncat_datagen::workload::{make_workload, queries_from_data};
+use uncat_datagen::{crm, gen3};
+use uncat_inverted::Strategy;
+use uncat_pdrtree::{Compression, PdrConfig};
+use uncat_query::UncertainIndex;
+use uncat_storage::BufferPool;
+
+/// Inverted-index search strategies on CRM1-style data.
+fn strategies(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let cq = wl[0].1.first().expect("calibrated query").clone();
+
+    let mut g = c.benchmark_group("strategies");
+    g.sample_size(20);
+    for strat in Strategy::ALL {
+        let (inv, store) = build_inverted(&domain, &data, strat);
+        g.bench_function(strat.name(), |b| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+                black_box(inv.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// PDR boundary compression on a large Gen3 domain.
+fn compression(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (domain, data) = gen3::generate(scale.synth_n, 200, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let cq = wl[0].1.first().expect("calibrated query").clone();
+
+    let mut g = c.benchmark_group("compression");
+    g.sample_size(10);
+    for compression in [
+        Compression::None,
+        Compression::Discretized { bits: 2 },
+        Compression::Signature { width: 32 },
+    ] {
+        let cfg = PdrConfig { compression, ..PdrConfig::default() };
+        let (tree, store) = build_pdr(&domain, &data, cfg);
+        g.bench_function(compression.name(), |b| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+                black_box(UncertainIndex::petq(&tree, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Per-query buffer size sweep on CRM1-style data.
+fn buffer(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let cq = wl[0].1.first().expect("calibrated query").clone();
+    let (pdr, store) = build_pdr(&domain, &data, PdrConfig::default());
+
+    let mut g = c.benchmark_group("buffer");
+    g.sample_size(20);
+    for frames in [25usize, 100, 400] {
+        g.bench_with_input(BenchmarkId::new("pdr-petq", frames), &frames, |b, &frames| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(store.clone(), frames);
+                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, strategies, compression, buffer);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 10 (wall-clock companion): PDR-tree split strategy — build and
+//! query cost under top-down vs bottom-up splits (Uniform data).
+//!
+//! I/O-count version: `cargo run --release -p uncat-bench --bin figures -- fig10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uncat_bench::measure::{build_pdr, Scale, QUERY_FRAMES};
+use uncat_core::query::EqQuery;
+use uncat_datagen::uniform;
+use uncat_datagen::workload::{make_workload, queries_from_data};
+use uncat_pdrtree::{PdrConfig, SplitStrategy};
+use uncat_storage::BufferPool;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (domain, data) = uniform::generate(scale.synth_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let cq = wl[0].1.first().expect("calibrated query").clone();
+
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for split in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+        let cfg = PdrConfig { split, ..PdrConfig::default() };
+        g.bench_function(format!("build-{}", split.name()), |b| {
+            b.iter(|| black_box(build_pdr(&domain, &data, cfg)))
+        });
+        let (tree, store) = build_pdr(&domain, &data, cfg);
+        g.bench_function(format!("petq-{}", split.name()), |b| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+                black_box(tree.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 4 (wall-clock companion): PDR-tree query latency under each
+//! clustering divergence (L1 / L2 / KL) on CRM1-style data.
+//!
+//! The I/O-count version of this figure (the paper's actual metric) is
+//! produced by `cargo run --release -p uncat-bench --bin figures -- fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uncat_bench::measure::{build_pdr, Scale, QUERY_FRAMES};
+use uncat_core::query::{EqQuery, TopKQuery};
+use uncat_core::Divergence;
+use uncat_datagen::workload::{make_workload, queries_from_data};
+use uncat_datagen::crm;
+use uncat_pdrtree::PdrConfig;
+use uncat_storage::BufferPool;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let qs = &wl[0].1;
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(20);
+    for dv in Divergence::ALL {
+        let cfg = PdrConfig { divergence: dv, ..PdrConfig::default() };
+        let (tree, store) = build_pdr(&domain, &data, cfg);
+        g.bench_function(format!("petq-{}", dv.name()), |b| {
+            b.iter(|| {
+                let cq = &qs[0];
+                let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+                black_box(tree.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+        g.bench_function(format!("topk-{}", dv.name()), |b| {
+            b.iter(|| {
+                let cq = &qs[0];
+                let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+                black_box(tree.top_k(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 6 (wall-clock companion): inverted vs PDR-tree on CRM1-style
+//! data, threshold and top-k queries.
+//!
+//! I/O-count version: `cargo run --release -p uncat-bench --bin figures -- fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uncat_bench::measure::{build_inverted, build_pdr, Scale, QUERY_FRAMES};
+use uncat_core::query::{EqQuery, TopKQuery};
+use uncat_datagen::crm;
+use uncat_datagen::workload::{make_workload, queries_from_data};
+use uncat_inverted::Strategy;
+use uncat_pdrtree::PdrConfig;
+use uncat_query::UncertainIndex;
+use uncat_storage::BufferPool;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let cq = wl[0].1.first().expect("calibrated query").clone();
+
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(20);
+    g.bench_function("crm1-inverted-thres", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
+            black_box(inv.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+        })
+    });
+    g.bench_function("crm1-inverted-topk", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
+            black_box(inv.top_k(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k)))
+        })
+    });
+    g.bench_function("crm1-pdr-thres", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
+            black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+        })
+    });
+    g.bench_function("crm1-pdr-topk", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
+            black_box(UncertainIndex::top_k(&pdr, &mut pool, &TopKQuery::new(cq.q.clone(), cq.k)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 8 (wall-clock companion): scalability with dataset size —
+//! query latency on CRM2-style data at three sizes.
+//!
+//! I/O-count version: `cargo run --release -p uncat-bench --bin figures -- fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use uncat_bench::measure::{build_inverted, build_pdr, Scale, QUERY_FRAMES};
+use uncat_core::query::EqQuery;
+use uncat_datagen::crm;
+use uncat_datagen::workload::{make_workload, queries_from_data};
+use uncat_inverted::Strategy;
+use uncat_pdrtree::PdrConfig;
+use uncat_query::UncertainIndex;
+use uncat_storage::BufferPool;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for n in [1_000usize, 2_000, 4_000] {
+        let (domain, data) = crm::crm2(n, scale.seed);
+        let queries = queries_from_data(&data, scale.queries, scale.seed);
+        let wl = make_workload(&data, &queries, &[0.01]);
+        let cq = wl[0].1.first().expect("calibrated query").clone();
+
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        g.bench_with_input(BenchmarkId::new("inverted", n), &n, |b, _| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
+                black_box(inv.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        g.bench_with_input(BenchmarkId::new("pdr", n), &n, |b, _| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
+                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

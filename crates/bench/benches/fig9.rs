@@ -1,0 +1,47 @@
+//! Figure 9 (wall-clock companion): scalability with domain size —
+//! query latency on Gen3 data at several domain cardinalities.
+//!
+//! I/O-count version: `cargo run --release -p uncat-bench --bin figures -- fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use uncat_bench::measure::{build_inverted, build_pdr, Scale, QUERY_FRAMES};
+use uncat_core::query::EqQuery;
+use uncat_datagen::gen3;
+use uncat_datagen::workload::{make_workload, queries_from_data};
+use uncat_inverted::Strategy;
+use uncat_pdrtree::PdrConfig;
+use uncat_query::UncertainIndex;
+use uncat_storage::BufferPool;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for d in [5u32, 50, 500] {
+        let (domain, data) = gen3::generate(scale.synth_n, d, scale.seed);
+        let queries = queries_from_data(&data, scale.queries, scale.seed);
+        let wl = make_workload(&data, &queries, &[0.01]);
+        let Some(cq) = wl[0].1.first().cloned() else { continue };
+
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        g.bench_with_input(BenchmarkId::new("inverted", d), &d, |b, _| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
+                black_box(inv.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        g.bench_with_input(BenchmarkId::new("pdr", d), &d, |b, _| {
+            b.iter(|| {
+                let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
+                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,492 @@
+//! One function per figure of the paper's evaluation (Section 4), plus
+//! the ablations DESIGN.md promises.
+
+use uncat_core::Divergence;
+use uncat_datagen::workload::{make_workload, queries_from_data, CalibratedQuery, SELECTIVITIES};
+use uncat_datagen::{crm, gen3, pairwise, uniform, Dataset};
+use uncat_inverted::Strategy;
+use uncat_pdrtree::{Compression, PdrConfig, SplitStrategy};
+use uncat_query::UncertainIndex;
+use uncat_storage::SharedStore;
+
+use crate::measure::{
+    avg_petq_io, avg_topk_io, build_inverted, build_pdr, Scale, QUERY_FRAMES,
+};
+use crate::table::{FigureTable, Series};
+
+type Workload = Vec<(f64, Vec<CalibratedQuery>)>;
+
+fn workload_for(data: &Dataset, scale: &Scale) -> Workload {
+    let queries = queries_from_data(data, scale.queries, scale.seed ^ 0xBEEF);
+    make_workload(data, &queries, &SELECTIVITIES)
+}
+
+/// Threshold + top-k I/O series over a selectivity workload.
+fn petq_topk_series(
+    prefix: &str,
+    index: &impl UncertainIndex,
+    store: &SharedStore,
+    workload: &Workload,
+) -> (Series, Series) {
+    let mut thres = Vec::new();
+    let mut topk = Vec::new();
+    for (s, qs) in workload {
+        if qs.is_empty() {
+            continue;
+        }
+        thres.push((*s, avg_petq_io(index, store, QUERY_FRAMES, qs)));
+        topk.push((*s, avg_topk_io(index, store, QUERY_FRAMES, qs)));
+    }
+    (Series::new(format!("{prefix}-Thres"), thres), Series::new(format!("{prefix}-TopK"), topk))
+}
+
+/// Figure 4: L1 vs L2 vs KL as the PDR-tree clustering measure (CRM1).
+pub fn fig4(scale: &Scale) -> FigureTable {
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let workload = workload_for(&data, scale);
+    let mut series = Vec::new();
+    for dv in Divergence::ALL {
+        let cfg = PdrConfig { divergence: dv, ..PdrConfig::default() };
+        let (tree, store) = build_pdr(&domain, &data, cfg);
+        let (t, k) = petq_topk_series(&format!("CRM1-{}", dv.name()), &tree, &store, &workload);
+        series.push(t);
+        series.push(k);
+    }
+    FigureTable::new("fig4", "L1 vs L2 vs KL (PDR-tree, CRM1)", "selectivity", series)
+}
+
+/// Figure 5: inverted index vs PDR-tree on the synthetic datasets.
+pub fn fig5(scale: &Scale) -> FigureTable {
+    let mut series = Vec::new();
+    for (name, (domain, data)) in [
+        ("Uniform", uniform::generate(scale.synth_n, scale.seed)),
+        ("Pairwise", pairwise::generate(scale.synth_n, scale.seed)),
+    ] {
+        let workload = workload_for(&data, scale);
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        let (t, k) = petq_topk_series(&format!("{name}-Inv"), &inv, &inv_store, &workload);
+        series.push(t);
+        series.push(k);
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload);
+        series.push(t);
+        series.push(k);
+    }
+    FigureTable::new("fig5", "Inverted index vs PDR-tree (synthetic)", "selectivity", series)
+}
+
+fn crm_figure(id: &str, name: &str, scale: &Scale, data: (uncat_core::Domain, Dataset)) -> FigureTable {
+    let (domain, data) = data;
+    let workload = workload_for(&data, scale);
+    let mut series = Vec::new();
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+    let (t, k) = petq_topk_series(&format!("{name}-Inv"), &inv, &inv_store, &workload);
+    series.push(t);
+    series.push(k);
+    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+    let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload);
+    series.push(t);
+    series.push(k);
+    FigureTable::new(id, format!("Inverted index vs PDR-tree ({name})"), "selectivity", series)
+}
+
+/// Figure 6: inverted vs PDR-tree on CRM1.
+pub fn fig6(scale: &Scale) -> FigureTable {
+    crm_figure("fig6", "CRM1", scale, crm::crm1(scale.crm_n, scale.seed))
+}
+
+/// Figure 7: inverted vs PDR-tree on CRM2 (≈10× costlier than CRM1).
+pub fn fig7(scale: &Scale) -> FigureTable {
+    crm_figure("fig7", "CRM2", scale, crm::crm2(scale.crm_n, scale.seed))
+}
+
+/// Figure 8: scalability with dataset size (CRM2; inverted grows linearly,
+/// the PDR-tree sub-linearly). Measured at 1 % selectivity.
+pub fn fig8(scale: &Scale) -> FigureTable {
+    let steps = 5;
+    let mut inv_t = Vec::new();
+    let mut inv_k = Vec::new();
+    let mut pdr_t = Vec::new();
+    let mut pdr_k = Vec::new();
+    for i in 1..=steps {
+        let n = scale.crm_n * i / steps;
+        let (domain, data) = crm::crm2(n, scale.seed);
+        let queries = queries_from_data(&data, scale.queries, scale.seed ^ 0xBEEF);
+        let wl = make_workload(&data, &queries, &[0.01]);
+        let qs = &wl[0].1;
+        let x = n as f64 / 1000.0; // thousands of tuples, like the paper
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        inv_t.push((x, avg_petq_io(&inv, &inv_store, QUERY_FRAMES, qs)));
+        inv_k.push((x, avg_topk_io(&inv, &inv_store, QUERY_FRAMES, qs)));
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        pdr_t.push((x, avg_petq_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
+        pdr_k.push((x, avg_topk_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
+    }
+    FigureTable::new(
+        "fig8",
+        "Scalability with dataset size (CRM2, 1% selectivity)",
+        "ktuples",
+        vec![
+            Series::new("CRM2-Inv-Thres", inv_t),
+            Series::new("CRM2-Inv-TopK", inv_k),
+            Series::new("CRM2-PDR-Thres", pdr_t),
+            Series::new("CRM2-PDR-TopK", pdr_k),
+        ],
+    )
+}
+
+/// Figure 9: scalability with domain size (Gen3, 1 % selectivity).
+pub fn fig9(scale: &Scale) -> FigureTable {
+    let domains: &[u32] = &[5, 10, 20, 50, 100, 200, 500];
+    let mut inv_t = Vec::new();
+    let mut inv_k = Vec::new();
+    let mut pdr_t = Vec::new();
+    let mut pdr_k = Vec::new();
+    for &d in domains {
+        let (domain, data) = gen3::generate(scale.synth_n, d, scale.seed);
+        let queries = queries_from_data(&data, scale.queries, scale.seed ^ 0xBEEF);
+        let wl = make_workload(&data, &queries, &[0.01]);
+        let qs = &wl[0].1;
+        if qs.is_empty() {
+            continue;
+        }
+        let x = d as f64;
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        inv_t.push((x, avg_petq_io(&inv, &inv_store, QUERY_FRAMES, qs)));
+        inv_k.push((x, avg_topk_io(&inv, &inv_store, QUERY_FRAMES, qs)));
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        pdr_t.push((x, avg_petq_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
+        pdr_k.push((x, avg_topk_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
+    }
+    FigureTable::new(
+        "fig9",
+        "Scalability with domain size (Gen3, 1% selectivity)",
+        "domain",
+        vec![
+            Series::new("Gen3-Inv-Thres", inv_t),
+            Series::new("Gen3-Inv-TopK", inv_k),
+            Series::new("Gen3-PDR-Thres", pdr_t),
+            Series::new("Gen3-PDR-TopK", pdr_k),
+        ],
+    )
+}
+
+/// Figure 10: PDR-tree split algorithm, top-down vs bottom-up. The paper
+/// plots Uniform and notes "a similar relative behavior was observed for
+/// the other datasets including the real data" — CRM1 series included.
+pub fn fig10(scale: &Scale) -> FigureTable {
+    let mut series = Vec::new();
+    for (name, domain, data, workload) in [
+        {
+            let (domain, data) = uniform::generate(scale.synth_n, scale.seed);
+            let workload = workload_for(&data, scale);
+            ("Uniform", domain, data, workload)
+        },
+        {
+            let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+            let workload = workload_for(&data, scale);
+            ("CRM1", domain, data, workload)
+        },
+    ] {
+        for split in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+            let cfg = PdrConfig { split, ..PdrConfig::default() };
+            let (tree, store) = build_pdr(&domain, &data, cfg);
+            let mut pts = Vec::new();
+            for (s, qs) in &workload {
+                if !qs.is_empty() {
+                    pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+                }
+            }
+            series.push(Series::new(format!("{name}-{}-Thres", match split {
+                SplitStrategy::TopDown => "TopDown",
+                SplitStrategy::BottomUp => "BottomUp",
+            }), pts));
+        }
+    }
+    FigureTable::new("fig10", "PDR split: top-down vs bottom-up", "selectivity", series)
+}
+
+/// Ablation: the four inverted-index search strategies plus NRA (CRM1).
+pub fn strategies(scale: &Scale) -> FigureTable {
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let workload = workload_for(&data, scale);
+    let mut series = Vec::new();
+    for strat in Strategy::ALL {
+        let (inv, store) = build_inverted(&domain, &data, strat);
+        let mut pts = Vec::new();
+        for (s, qs) in &workload {
+            if !qs.is_empty() {
+                pts.push((*s, avg_petq_io(&inv, &store, QUERY_FRAMES, qs)));
+            }
+        }
+        series.push(Series::new(strat.name(), pts));
+    }
+    FigureTable::new("strategies", "Inverted-index search strategies (CRM1)", "selectivity", series)
+}
+
+/// Ablation: PDR boundary compression (Gen3, |D| = 200).
+pub fn compression(scale: &Scale) -> FigureTable {
+    let (domain, data) = gen3::generate(scale.synth_n, 200, scale.seed);
+    let workload = workload_for(&data, scale);
+    let mut series = Vec::new();
+    for compression in [
+        Compression::None,
+        Compression::Discretized { bits: 2 },
+        Compression::Discretized { bits: 4 },
+        Compression::Signature { width: 32 },
+    ] {
+        let cfg = PdrConfig { compression, ..PdrConfig::default() };
+        let (tree, store) = build_pdr(&domain, &data, cfg);
+        let mut pts = Vec::new();
+        for (s, qs) in &workload {
+            if !qs.is_empty() {
+                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+            }
+        }
+        series.push(Series::new(compression.name(), pts));
+    }
+    FigureTable::new("compression", "PDR boundary compression (Gen3, |D|=200)", "selectivity", series)
+}
+
+/// Ablation: per-query buffer size and replacement policy (CRM1, 1 %
+/// selectivity).
+pub fn buffer(scale: &Scale) -> FigureTable {
+    use uncat_core::query::EqQuery;
+    use uncat_storage::{BufferPool, Replacement};
+
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed ^ 0xBEEF);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let qs = &wl[0].1;
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+
+    let measure = |index: &dyn UncertainIndex,
+                   store: &SharedStore,
+                   frames: usize,
+                   policy: Replacement| {
+        let total: u64 = qs
+            .iter()
+            .map(|cq| {
+                let mut pool = BufferPool::with_policy(store.clone(), frames, policy);
+                let _ = index.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau));
+                pool.stats().physical_reads
+            })
+            .sum();
+        total as f64 / qs.len() as f64
+    };
+
+    let mut series = Vec::new();
+    for (label, index, store) in [
+        ("CRM1-Inv", &inv as &dyn UncertainIndex, &inv_store),
+        ("CRM1-PDR", &pdr as &dyn UncertainIndex, &pdr_store),
+    ] {
+        for policy in [Replacement::Clock, Replacement::Lru] {
+            let pname = match policy {
+                Replacement::Clock => "Clock",
+                Replacement::Lru => "LRU",
+            };
+            let pts = [25usize, 50, 100, 200, 400]
+                .iter()
+                .map(|&frames| (frames as f64, measure(index, store, frames, policy)))
+                .collect();
+            series.push(Series::new(format!("{label}-{pname}"), pts));
+        }
+    }
+    FigureTable::new(
+        "buffer",
+        "Per-query buffer size and replacement policy (CRM1, 1% selectivity)",
+        "frames",
+        series,
+    )
+}
+
+/// Ablation: PDR build method — incremental insertion vs sort-and-pack
+/// bulk loading (CRM1). Reports query I/O at each selectivity.
+pub fn bulkload(scale: &Scale) -> FigureTable {
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let workload = workload_for(&data, scale);
+    let mut series = Vec::new();
+    for bulk in [false, true] {
+        let store = uncat_storage::InMemoryDisk::shared();
+        let mut pool = uncat_storage::BufferPool::with_capacity(store.clone(), 512);
+        let tree = if bulk {
+            uncat_pdrtree::PdrTree::bulk_build(
+                domain.clone(),
+                PdrConfig::default(),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+        } else {
+            uncat_pdrtree::PdrTree::build(
+                domain.clone(),
+                PdrConfig::default(),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+        };
+        pool.flush();
+        drop(pool);
+        let label = if bulk { "PDR-BulkLoad-Thres" } else { "PDR-Insert-Thres" };
+        let mut pts = Vec::new();
+        for (s, qs) in &workload {
+            if !qs.is_empty() {
+                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+            }
+        }
+        series.push(Series::new(label, pts));
+    }
+    FigureTable::new(
+        "bulkload",
+        "PDR build method: incremental vs bulk (CRM1)",
+        "selectivity",
+        series,
+    )
+}
+
+/// Index sizes in pages per dataset and structure (context for every
+/// other figure).
+pub fn sizes(scale: &Scale) -> FigureTable {
+    let mut inv_pts = Vec::new();
+    let mut pdr_pts = Vec::new();
+    let mut bulk_pts = Vec::new();
+    let sets: Vec<(f64, uncat_core::Domain, Dataset)> = vec![
+        (1.0, uniform::generate(scale.synth_n, scale.seed).0, uniform::generate(scale.synth_n, scale.seed).1),
+        (2.0, pairwise::generate(scale.synth_n, scale.seed).0, pairwise::generate(scale.synth_n, scale.seed).1),
+        (3.0, crm::crm1(scale.crm_n, scale.seed).0, crm::crm1(scale.crm_n, scale.seed).1),
+        (4.0, crm::crm2(scale.crm_n, scale.seed).0, crm::crm2(scale.crm_n, scale.seed).1),
+    ];
+    for (x, domain, data) in sets {
+        let (_, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        inv_pts.push((x, inv_store.num_pages() as f64));
+        let (_, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        pdr_pts.push((x, pdr_store.num_pages() as f64));
+        let bulk_store = uncat_storage::InMemoryDisk::shared();
+        let mut pool = uncat_storage::BufferPool::with_capacity(bulk_store.clone(), 512);
+        let _ = uncat_pdrtree::PdrTree::bulk_build(
+            domain.clone(),
+            PdrConfig::default(),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        );
+        pool.flush();
+        drop(pool);
+        bulk_pts.push((x, bulk_store.num_pages() as f64));
+    }
+    FigureTable::new(
+        "sizes",
+        "Index size in pages (1=Uniform 2=Pairwise 3=CRM1 4=CRM2)",
+        "dataset",
+        vec![
+            Series::new("Inverted", inv_pts),
+            Series::new("PDR-Insert", pdr_pts),
+            Series::new("PDR-BulkLoad", bulk_pts),
+        ],
+    )
+}
+
+/// Ablation: PETJ physical plans — index nested loop (probing the
+/// PDR-tree) vs block nested loop, varying the outer relation size
+/// (CRM1-style data, τ = 0.5).
+pub fn joins(scale: &Scale) -> FigureTable {
+    use uncat_query::join::{block_nested_loop_petj, index_nested_loop_petj};
+    use uncat_query::ScanBaseline;
+    use uncat_storage::BufferPool;
+
+    let (domain, data) = crm::crm1(scale.crm_n / 2, scale.seed);
+    let store = uncat_storage::InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 512);
+    let pdr = uncat_pdrtree::PdrTree::build(
+        domain.clone(),
+        PdrConfig::default(),
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+    );
+    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u)));
+    pool.flush();
+    drop(pool);
+
+    let (_, outer_all) = crm::crm1(256, scale.seed ^ 0xA5A5);
+    let tau = 0.5;
+    let mut inl_pts = Vec::new();
+    let mut bnl_pts = Vec::new();
+    for &outer_n in &[16usize, 64, 256] {
+        let outer: Vec<(u64, uncat_core::Uda)> = outer_all
+            .iter()
+            .take(outer_n)
+            .map(|(t, u)| (1_000_000 + *t, u.clone()))
+            .collect();
+        let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+        let a = index_nested_loop_petj(&outer, &pdr, &mut p, tau);
+        inl_pts.push((outer_n as f64, p.stats().physical_reads as f64));
+        let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+        let b = block_nested_loop_petj(&outer, &scan, &mut p, tau);
+        bnl_pts.push((outer_n as f64, p.stats().physical_reads as f64));
+        assert_eq!(a.len(), b.len(), "join plans must agree");
+    }
+    FigureTable::new(
+        "joins",
+        "PETJ plans: index vs block nested loop (CRM1, tau=0.5)",
+        "outer",
+        vec![
+            Series::new("INL-PDR", inl_pts),
+            Series::new("BNL-Scan", bnl_pts),
+        ],
+    )
+}
+
+/// Ablation: query shape — tuples sampled from the data vs certain-value
+/// queries vs uniform-random distributions (CRM1, PDR-tree, τ calibrated
+/// to 1% where reachable).
+pub fn queryshape(scale: &Scale) -> FigureTable {
+    use uncat_datagen::workload::{certain_queries, random_queries};
+
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let (tree, store) = build_pdr(&domain, &data, PdrConfig::default());
+    let shapes: [(&str, Vec<uncat_core::Uda>); 3] = [
+        ("sampled", queries_from_data(&data, scale.queries, scale.seed)),
+        ("certain", certain_queries(&data, scale.queries, scale.seed)),
+        ("random", random_queries(domain.size(), 3, scale.queries, scale.seed)),
+    ];
+    let mut series = Vec::new();
+    for (name, queries) in shapes {
+        let wl = make_workload(&data, &queries, &SELECTIVITIES);
+        let mut pts = Vec::new();
+        for (s, qs) in &wl {
+            if !qs.is_empty() {
+                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+            }
+        }
+        if !pts.is_empty() {
+            series.push(Series::new(name, pts));
+        }
+    }
+    FigureTable::new("queryshape", "Query shape (CRM1, PDR-tree)", "selectivity", series)
+}
+
+/// Every figure/ablation by name.
+pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
+    Some(match name {
+        "fig4" => fig4(scale),
+        "fig5" => fig5(scale),
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "fig10" => fig10(scale),
+        "strategies" => strategies(scale),
+        "compression" => compression(scale),
+        "buffer" => buffer(scale),
+        "bulkload" => bulkload(scale),
+        "sizes" => sizes(scale),
+        "joins" => joins(scale),
+        "queryshape" => queryshape(scale),
+        _ => return None,
+    })
+}
+
+/// All known figure/ablation names, in presentation order.
+pub const ALL_FIGURES: [&str; 14] = [
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "strategies", "compression",
+    "buffer", "bulkload", "sizes", "joins", "queryshape",
+];

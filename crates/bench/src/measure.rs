@@ -1,0 +1,104 @@
+//! Measurement plumbing: index builders and per-query I/O averaging under
+//! the paper's buffer discipline (fresh 100-frame pool per query).
+
+use uncat_core::query::{EqQuery, TopKQuery};
+use uncat_core::Domain;
+use uncat_datagen::workload::CalibratedQuery;
+use uncat_datagen::Dataset;
+use uncat_inverted::{InvertedIndex, Strategy};
+use uncat_pdrtree::{PdrConfig, PdrTree};
+use uncat_query::{InvertedBackend, UncertainIndex};
+use uncat_storage::{BufferPool, InMemoryDisk, SharedStore};
+
+/// Experiment sizing. `full()` is the paper's scale; `quick()` keeps unit
+/// tests and Criterion benches fast.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Tuples in the CRM datasets (paper: 100 000).
+    pub crm_n: usize,
+    /// Tuples in the synthetic datasets (paper: 10 000).
+    pub synth_n: usize,
+    /// Queries averaged per plotted point.
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's dataset sizes.
+    pub fn full() -> Scale {
+        Scale { crm_n: 100_000, synth_n: 10_000, queries: 10, seed: 42 }
+    }
+
+    /// Reduced sizes for tests/benches (same shapes, ~minutes → seconds).
+    pub fn quick() -> Scale {
+        Scale { crm_n: 10_000, synth_n: 2_000, queries: 4, seed: 42 }
+    }
+
+    /// Pick by the `UNCAT_SCALE` environment variable (`full` or `quick`).
+    pub fn from_env() -> Scale {
+        match std::env::var("UNCAT_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            _ => Scale::full(),
+        }
+    }
+}
+
+/// Frames used while *building* indexes (not charged to queries).
+const BUILD_FRAMES: usize = 512;
+/// Frames per query — the paper's setting.
+pub const QUERY_FRAMES: usize = 100;
+
+/// Build an inverted index over its own store.
+pub fn build_inverted(domain: &Domain, data: &Dataset, strategy: Strategy) -> (InvertedBackend, SharedStore) {
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
+    let idx = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)));
+    pool.flush();
+    (InvertedBackend::with_strategy(idx, strategy), store)
+}
+
+/// Build a PDR-tree over its own store.
+pub fn build_pdr(domain: &Domain, data: &Dataset, cfg: PdrConfig) -> (PdrTree, SharedStore) {
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
+    let tree = PdrTree::build(domain.clone(), cfg, &mut pool, data.iter().map(|(t, u)| (*t, u)));
+    pool.flush();
+    (tree, store)
+}
+
+/// Average physical reads per PETQ over a calibrated query set.
+pub fn avg_petq_io(
+    index: &impl UncertainIndex,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[CalibratedQuery],
+) -> f64 {
+    avg_io(queries, |cq| {
+        let mut pool = BufferPool::with_capacity(store.clone(), frames);
+        let _ = index.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau));
+        pool.stats().physical_reads
+    })
+}
+
+/// Average physical reads per top-k query over a calibrated query set.
+pub fn avg_topk_io(
+    index: &impl UncertainIndex,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[CalibratedQuery],
+) -> f64 {
+    avg_io(queries, |cq| {
+        let mut pool = BufferPool::with_capacity(store.clone(), frames);
+        let _ = index.top_k(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k));
+        pool.stats().physical_reads
+    })
+}
+
+fn avg_io(queries: &[CalibratedQuery], mut f: impl FnMut(&CalibratedQuery) -> u64) -> f64 {
+    if queries.is_empty() {
+        return f64::NAN;
+    }
+    let total: u64 = queries.iter().map(&mut f).sum();
+    total as f64 / queries.len() as f64
+}

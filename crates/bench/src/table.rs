@@ -1,0 +1,116 @@
+//! Text rendering of figure data (series over a shared x-axis).
+
+use std::fmt;
+
+/// One plotted line: a label and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (matches the paper's, e.g. `CRM1-Inv-Thres`).
+    pub label: String,
+    /// `(x, average disk I/Os per query)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { label: label.into(), points }
+    }
+
+    /// The y value at `x`, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-12).map(|&(_, y)| y)
+    }
+}
+
+/// A whole figure: titled series over a shared x-axis.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Figure id (`fig4` … `fig10`, or an ablation name).
+    pub id: String,
+    /// Human title, mirroring the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureTable {
+    /// Build a figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        series: Vec<Series>,
+    ) -> FigureTable {
+        FigureTable { id: id.into(), title: title.into(), xlabel: xlabel.into(), series }
+    }
+
+    /// All distinct x values across series, sorted.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        xs
+    }
+
+    /// A series by label, if present.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let xs = self.xs();
+        write!(f, "{:>14}", self.xlabel)?;
+        for s in &self.series {
+            write!(f, "  {:>22}", s.label)?;
+        }
+        writeln!(f)?;
+        for &x in &xs {
+            if x < 0.5 {
+                write!(f, "{:>13.3}%", x * 100.0)?;
+            } else {
+                write!(f, "{:>14.0}", x)?;
+            }
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => write!(f, "  {:>22.1}", y)?,
+                    None => write!(f, "  {:>22}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_series_and_points() {
+        let t = FigureTable::new(
+            "figX",
+            "demo",
+            "selectivity",
+            vec![
+                Series::new("A", vec![(0.001, 10.0), (0.01, 20.0)]),
+                Series::new("B", vec![(0.01, 30.0)]),
+            ],
+        );
+        let s = format!("{t}");
+        assert!(s.contains("figX"));
+        assert!(s.contains("A"));
+        assert!(s.contains("B"));
+        assert!(s.contains("10.0"));
+        assert!(s.contains("30.0"));
+        assert!(s.contains("-"), "missing point renders as a dash");
+        assert_eq!(t.xs(), vec![0.001, 0.01]);
+        assert_eq!(t.series_named("B").unwrap().y_at(0.01), Some(30.0));
+    }
+}

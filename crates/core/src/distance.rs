@@ -1,0 +1,221 @@
+//! Distribution divergences (Section 2 of the paper).
+//!
+//! Three distances between probability vectors drive distributional
+//! similarity queries (DSTQ) and — more importantly for indexing — the
+//! clustering decisions inside the PDR-tree:
+//!
+//! * **L1** — Manhattan distance, a metric.
+//! * **L2** — Euclidean distance, a metric.
+//! * **KL** — Kullback–Leibler divergence. Not a metric (asymmetric, no
+//!   triangle inequality) so it cannot prune search paths, but the paper
+//!   finds it the best *clustering* measure (Figure 4).
+//!
+//! KL is computed with additive smoothing so that zero entries in `v` do not
+//! produce infinities; the PDR-tree also applies it to MBR boundary vectors,
+//! which are not normalized distributions — the functions here only assume
+//! non-negative sparse vectors.
+
+use crate::uda::Entry;
+
+/// Which divergence to use — a runtime knob for the PDR-tree ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Divergence {
+    /// Manhattan distance `Σ |u_i - v_i|`.
+    L1,
+    /// Euclidean distance `sqrt(Σ (u_i - v_i)^2)`.
+    L2,
+    /// Symmetrized, smoothed Kullback–Leibler divergence
+    /// `KL(û‖v̂) + KL(v̂‖û)` over the mass-normalized shapes (see [`kl`]).
+    /// The paper's preferred clustering measure.
+    #[default]
+    Kl,
+}
+
+impl Divergence {
+    /// Evaluate this divergence on two sparse non-negative vectors.
+    pub fn eval(self, u: &[Entry], v: &[Entry]) -> f64 {
+        match self {
+            Divergence::L1 => l1(u, v),
+            Divergence::L2 => l2(u, v),
+            Divergence::Kl => kl_symmetric(u, v),
+        }
+    }
+
+    /// All divergences, for sweeps.
+    pub const ALL: [Divergence; 3] = [Divergence::L1, Divergence::L2, Divergence::Kl];
+
+    /// Short display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Divergence::L1 => "L1",
+            Divergence::L2 => "L2",
+            Divergence::Kl => "KL",
+        }
+    }
+
+    /// Whether this divergence satisfies the metric axioms (and so may be
+    /// used for pruning DSTQ search, not just clustering).
+    pub fn is_metric(self) -> bool {
+        !matches!(self, Divergence::Kl)
+    }
+}
+
+/// Merge-walk two sorted sparse vectors, calling `f(u_i, v_i)` for every
+/// category where either side is non-zero.
+#[inline]
+fn merge_fold<F: FnMut(f64, f64)>(u: &[Entry], v: &[Entry], mut f: F) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < u.len() && j < v.len() {
+        match u[i].cat.cmp(&v[j].cat) {
+            std::cmp::Ordering::Less => {
+                f(u[i].prob as f64, 0.0);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                f(0.0, v[j].prob as f64);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                f(u[i].prob as f64, v[j].prob as f64);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for e in &u[i..] {
+        f(e.prob as f64, 0.0);
+    }
+    for e in &v[j..] {
+        f(0.0, e.prob as f64);
+    }
+}
+
+/// Manhattan (L1) distance between sparse vectors.
+pub fn l1(u: &[Entry], v: &[Entry]) -> f64 {
+    let mut acc = 0.0;
+    merge_fold(u, v, |a, b| acc += (a - b).abs());
+    acc
+}
+
+/// Euclidean (L2) distance between sparse vectors.
+pub fn l2(u: &[Entry], v: &[Entry]) -> f64 {
+    let mut acc = 0.0;
+    merge_fold(u, v, |a, b| acc += (a - b) * (a - b));
+    acc.sqrt()
+}
+
+/// Smoothing constant for KL on sparse vectors: pretend every absent
+/// category carries this much mass. Keeps `log` finite while preserving the
+/// ratio-comparing behaviour the paper wants from KL.
+pub const KL_SMOOTHING: f64 = 1e-3;
+
+/// One-directional smoothed KL divergence `KL(u ‖ v)` between the
+/// *shapes* of the two vectors: each side is normalized to unit mass
+/// first. For probability distributions this is ordinary KL; for MBR
+/// boundary vectors (mass > 1) it compares ratios without rewarding sheer
+/// boundary size — an unnormalized boundary would otherwise attract every
+/// insertion to the largest cluster.
+pub fn kl(u: &[Entry], v: &[Entry]) -> f64 {
+    let mu: f64 = u.iter().map(|e| e.prob as f64).sum();
+    let mv: f64 = v.iter().map(|e| e.prob as f64).sum();
+    if mu <= 0.0 || mv <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    merge_fold(u, v, |a, b| {
+        let a = a / mu;
+        let b = b / mv;
+        if a > 0.0 {
+            acc += a * (a / (b + KL_SMOOTHING)).ln();
+        }
+    });
+    acc.max(0.0)
+}
+
+/// Symmetrized smoothed KL: `KL(u‖v) + KL(v‖u)`. Symmetric, so usable as a
+/// clustering affinity (still not a metric).
+pub fn kl_symmetric(u: &[Entry], v: &[Entry]) -> f64 {
+    kl(u, v) + kl(v, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::CatId;
+    use crate::uda::Uda;
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    #[test]
+    fn l1_of_disjoint_unit_masses_is_two() {
+        let u = uda(&[(0, 1.0)]);
+        let v = uda(&[(1, 1.0)]);
+        assert!((l1(u.entries(), v.entries()) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let u = uda(&[(0, 0.6), (1, 0.4)]);
+        let v = uda(&[(0, 0.4), (1, 0.6)]);
+        // sqrt(0.2^2 + 0.2^2)
+        assert!((l2(u.entries(), v.entries()) - (0.08f64).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let u = uda(&[(0, 0.5), (3, 0.5)]);
+        assert_eq!(l1(u.entries(), u.entries()), 0.0);
+        assert_eq!(l2(u.entries(), u.entries()), 0.0);
+        assert!(kl(u.entries(), u.entries()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_symmetrized_is_symmetric() {
+        let u = uda(&[(0, 0.9), (1, 0.1)]);
+        let v = uda(&[(0, 0.5), (1, 0.5)]);
+        let (uv, vu) = (kl(u.entries(), v.entries()), kl(v.entries(), u.entries()));
+        assert!((uv - vu).abs() > 1e-3, "KL should be asymmetric: {uv} vs {vu}");
+        let s1 = kl_symmetric(u.entries(), v.entries());
+        let s2 = kl_symmetric(v.entries(), u.entries());
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_finite_on_disjoint_supports() {
+        let u = uda(&[(0, 1.0)]);
+        let v = uda(&[(1, 1.0)]);
+        let d = kl(u.entries(), v.entries());
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn divergence_enum_dispatch() {
+        let u = uda(&[(0, 0.7), (1, 0.3)]);
+        let v = uda(&[(0, 0.3), (1, 0.7)]);
+        assert_eq!(Divergence::L1.eval(u.entries(), v.entries()), l1(u.entries(), v.entries()));
+        assert_eq!(Divergence::L2.eval(u.entries(), v.entries()), l2(u.entries(), v.entries()));
+        assert_eq!(
+            Divergence::Kl.eval(u.entries(), v.entries()),
+            kl_symmetric(u.entries(), v.entries())
+        );
+        assert!(Divergence::L1.is_metric());
+        assert!(Divergence::L2.is_metric());
+        assert!(!Divergence::Kl.is_metric());
+    }
+
+    #[test]
+    fn l1_l2_triangle_inequality_spot_check() {
+        let a = uda(&[(0, 0.5), (1, 0.5)]);
+        let b = uda(&[(0, 0.2), (2, 0.8)]);
+        let c = uda(&[(1, 0.4), (2, 0.6)]);
+        for d in [Divergence::L1, Divergence::L2] {
+            let ab = d.eval(a.entries(), b.entries());
+            let bc = d.eval(b.entries(), c.entries());
+            let ac = d.eval(a.entries(), c.entries());
+            assert!(ac <= ab + bc + 1e-9, "{d:?} violated triangle inequality");
+        }
+    }
+}

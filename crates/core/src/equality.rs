@@ -1,0 +1,137 @@
+//! Probabilistic equality semantics (Definitions 1–2 of the paper).
+//!
+//! For UDAs `u`, `v` over the same domain, under the independence
+//! assumption the probability that they are equal is the inner product of
+//! their probability vectors:
+//!
+//! ```text
+//! Pr(u = v) = Σ_i  u.p_i · v.p_i
+//! ```
+//!
+//! Both operands are sparse and sorted by category, so the product is a
+//! linear merge over the shorter supports.
+
+use crate::domain::CatId;
+use crate::uda::Uda;
+use crate::Prob;
+
+/// `Pr(u = d)` for a plain category value `d` (Definition 1).
+#[inline]
+pub fn eq_prob_value(u: &Uda, d: CatId) -> f64 {
+    u.prob_of(d) as f64
+}
+
+/// `Pr(u = v)` for two UDAs (Definition 2): the inner product of the two
+/// sparse probability vectors, accumulated in `f64`.
+///
+/// ```
+/// use uncat_core::{equality::eq_prob, CatId, Uda};
+///
+/// // The paper's §2 example: distributional similarity is not equality.
+/// let u = Uda::from_pairs([(CatId(0), 0.6), (CatId(1), 0.4)])?;
+/// let v = Uda::from_pairs([(CatId(0), 0.4), (CatId(1), 0.6)])?;
+/// assert!((eq_prob(&u, &v) - 0.48).abs() < 1e-6);
+/// # Ok::<(), uncat_core::Error>(())
+/// ```
+pub fn eq_prob(u: &Uda, v: &Uda) -> f64 {
+    let (a, b) = (u.entries(), v.entries());
+    let mut i = 0;
+    let mut j = 0;
+    let mut acc = 0.0f64;
+    while i < a.len() && j < b.len() {
+        match a[i].cat.cmp(&b[j].cat) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].prob as f64 * b[j].prob as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Slack used by every threshold comparison so that index pruning and
+/// scan baselines agree on tuples sitting exactly at `τ` despite f32→f64
+/// rounding.
+pub const THRESHOLD_EPS: f64 = 1e-9;
+
+/// The canonical "qualifies for threshold `tau`" test used by every
+/// implementation (Definition 4's `Pr(q = t.a) ≥ τ`).
+#[inline]
+pub fn meets_threshold(pr: f64, tau: f64) -> bool {
+    pr >= tau - THRESHOLD_EPS
+}
+
+/// An upper bound on `Pr(q = t)` knowing only `t`'s largest probability.
+///
+/// `Pr(q = t) = Σ q.p_i t.p_i ≤ max_i(t.p_i) · Σ q.p_i ≤ max_i(t.p_i)`,
+/// the bound behind the paper's *column pruning* strategy.
+#[inline]
+pub fn eq_upper_bound_from_max(t_max_prob: Prob) -> f64 {
+    t_max_prob as f64
+}
+
+/// An upper bound on `Pr(q = t)` from the query alone: a tuple can only
+/// reach probability `max_i q.p_i` (since `Σ t.p_i ≤ 1`). This is the bound
+/// behind *row pruning*: lists whose query probability is ≤ τ can still
+/// *contribute*, but a tuple whose every overlapping query item has
+/// `q.p ≤ τ` cannot qualify on those items alone.
+#[inline]
+pub fn eq_upper_bound_from_query_max(q_max_prob: Prob) -> f64 {
+    q_max_prob as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uda::Uda;
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    #[test]
+    fn paper_example_distribution_vs_equality() {
+        // Section 2: flat-vs-flat has lower equality probability than two
+        // close-but-unequal concentrated distributions.
+        let flat = uda(&[(0, 0.2), (1, 0.2), (2, 0.2), (3, 0.2), (4, 0.2)]);
+        assert!((eq_prob(&flat, &flat) - 0.2).abs() < 1e-6);
+
+        let u = uda(&[(0, 0.6), (1, 0.4)]);
+        let v = uda(&[(0, 0.4), (1, 0.6)]);
+        assert!((eq_prob(&u, &v) - 0.48).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_supports_never_equal() {
+        let u = uda(&[(0, 1.0)]);
+        let v = uda(&[(1, 1.0)]);
+        assert_eq!(eq_prob(&u, &v), 0.0);
+    }
+
+    #[test]
+    fn certain_equal_values() {
+        let u = uda(&[(3, 1.0)]);
+        assert!((eq_prob(&u, &u) - 1.0).abs() < 1e-9);
+        assert!((eq_prob_value(&u, CatId(3)) - 1.0).abs() < 1e-9);
+        assert_eq!(eq_prob_value(&u, CatId(2)), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let u = uda(&[(0, 0.5), (2, 0.3), (7, 0.2)]);
+        let v = uda(&[(2, 0.9), (7, 0.1)]);
+        assert_eq!(eq_prob(&u, &v), eq_prob(&v, &u));
+    }
+
+    #[test]
+    fn upper_bounds_hold() {
+        let q = uda(&[(0, 0.5), (1, 0.5)]);
+        let t = uda(&[(0, 0.3), (1, 0.3), (2, 0.4)]);
+        let p = eq_prob(&q, &t);
+        assert!(p <= eq_upper_bound_from_max(t.max_prob()) + 1e-9);
+        assert!(p <= eq_upper_bound_from_query_max(q.max_prob()) + 1e-9);
+    }
+}

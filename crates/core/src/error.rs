@@ -1,0 +1,63 @@
+//! Error type shared by the core data model.
+
+use std::fmt;
+
+/// Errors produced while constructing or decoding uncertain attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// The probabilities of a UDA summed to more than one (beyond tolerance).
+    MassExceedsOne {
+        /// The total probability mass observed.
+        total: f64,
+    },
+    /// A category id was out of range for the domain.
+    UnknownCategory {
+        /// The offending category id.
+        cat: u32,
+        /// The domain cardinality.
+        domain_size: u32,
+    },
+    /// The same category appeared twice while building a UDA.
+    DuplicateCategory {
+        /// The duplicated category id.
+        cat: u32,
+    },
+    /// A UDA with no positive-probability category.
+    EmptyUda,
+    /// A byte buffer could not be decoded as a UDA.
+    Corrupt(&'static str),
+    /// A category label was not present in the domain.
+    UnknownLabel(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProbability { value } => {
+                write!(f, "invalid probability {value}: must be finite and in [0, 1]")
+            }
+            Error::MassExceedsOne { total } => {
+                write!(f, "probability mass {total} exceeds 1")
+            }
+            Error::UnknownCategory { cat, domain_size } => {
+                write!(f, "category id {cat} out of range for domain of size {domain_size}")
+            }
+            Error::DuplicateCategory { cat } => {
+                write!(f, "category id {cat} listed more than once")
+            }
+            Error::EmptyUda => write!(f, "a UDA must assign positive probability somewhere"),
+            Error::Corrupt(what) => write!(f, "corrupt UDA encoding: {what}"),
+            Error::UnknownLabel(l) => write!(f, "label {l:?} is not in the domain"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

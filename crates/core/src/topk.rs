@@ -1,0 +1,284 @@
+//! A bounded top-k accumulator with a dynamically rising threshold.
+//!
+//! The paper executes top-k queries "essentially using threshold queries …
+//! by dynamically adjusting the threshold τ to the k-th highest probability
+//! in the current result set" (Section 2). [`TopKHeap`] packages that: it
+//! keeps the best `k` matches seen so far and exposes the current effective
+//! threshold for pruning.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::query::Match;
+use crate::TupleId;
+
+/// Min-heap entry ordered by (score asc, tid desc) so that `peek` is the
+/// *weakest* retained match and ties evict the largest tid first,
+/// mirroring the deterministic canonical ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry(Match);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert score so the weakest floats up.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .expect("scores are finite")
+            .then_with(|| self.0.tid.cmp(&other.0.tid))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Accumulator for the `k` highest-scoring matches.
+#[derive(Debug)]
+pub struct TopKHeap {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+    floor: f64,
+}
+
+impl TopKHeap {
+    /// New accumulator retaining at most `k` matches, pruning at `floor`:
+    /// matches scoring below `floor` are never admitted (use `0.0`, or a
+    /// PETQ threshold when combining top-k with a minimum probability).
+    pub fn new(k: usize, floor: f64) -> TopKHeap {
+        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1), floor }
+    }
+
+    /// Offer a match. Returns `true` if it was retained.
+    pub fn offer(&mut self, tid: TupleId, score: f64) -> bool {
+        if self.k == 0 || score < self.floor {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry(Match::new(tid, score)));
+            return true;
+        }
+        let weakest = self.heap.peek().expect("non-empty").0;
+        let better = score > weakest.score || (score == weakest.score && tid < weakest.tid);
+        if better {
+            self.heap.pop();
+            self.heap.push(HeapEntry(Match::new(tid, score)));
+        }
+        better
+    }
+
+    /// The current effective threshold: any future match scoring *at or
+    /// below* this cannot change the result set (once full, the k-th best
+    /// score; before that, the floor).
+    pub fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            self.floor
+        } else {
+            self.heap.peek().map_or(self.floor, |e| e.0.score)
+        }
+    }
+
+    /// Whether `k` matches have been accumulated.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Number of retained matches.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no match has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consume the heap, returning matches in canonical descending order.
+    pub fn into_sorted(self) -> Vec<Match> {
+        let mut v: Vec<Match> = self.heap.into_iter().map(|e| e.0).collect();
+        crate::query::sort_matches_desc(&mut v);
+        v
+    }
+}
+
+/// Max-heap entry ordered by (score desc, tid desc): `peek` is the
+/// *largest* retained distance, ties evict the largest tid first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BottomEntry(Match);
+
+impl Eq for BottomEntry {}
+
+impl Ord for BottomEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .score
+            .partial_cmp(&other.0.score)
+            .expect("scores are finite")
+            .then_with(|| self.0.tid.cmp(&other.0.tid))
+    }
+}
+
+impl PartialOrd for BottomEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Accumulator for the `k` *lowest*-scoring matches (distributional
+/// similarity top-k minimizes divergence).
+#[derive(Debug)]
+pub struct BottomKHeap {
+    k: usize,
+    heap: BinaryHeap<BottomEntry>,
+}
+
+impl BottomKHeap {
+    /// New accumulator retaining at most `k` matches.
+    pub fn new(k: usize) -> BottomKHeap {
+        BottomKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer a match. Returns `true` if it was retained.
+    pub fn offer(&mut self, tid: TupleId, score: f64) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(BottomEntry(Match::new(tid, score)));
+            return true;
+        }
+        let worst = self.heap.peek().expect("non-empty").0;
+        let better = score < worst.score || (score == worst.score && tid < worst.tid);
+        if better {
+            self.heap.pop();
+            self.heap.push(BottomEntry(Match::new(tid, score)));
+        }
+        better
+    }
+
+    /// The current pruning bound: a match scoring *at or above* this
+    /// cannot change the result set (∞ until the heap fills).
+    pub fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |e| e.0.score)
+        }
+    }
+
+    /// Whether `k` matches have been accumulated.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Number of retained matches.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no match has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consume the heap, returning matches in ascending-score order.
+    pub fn into_sorted(self) -> Vec<Match> {
+        let mut v: Vec<Match> = self.heap.into_iter().map(|e| e.0).collect();
+        crate::query::sort_matches_asc(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_k_keeps_smallest() {
+        let mut h = BottomKHeap::new(2);
+        assert_eq!(h.bound(), f64::INFINITY);
+        for (tid, s) in [(1, 0.5), (2, 0.1), (3, 0.9), (4, 0.05)] {
+            h.offer(tid, s);
+        }
+        assert!((h.bound() - 0.1).abs() < 1e-12);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|m| m.tid).collect::<Vec<_>>(), vec![4, 2]);
+    }
+
+    #[test]
+    fn bottom_k_ties_prefer_smaller_tid() {
+        let mut h = BottomKHeap::new(1);
+        h.offer(9, 0.3);
+        assert!(h.offer(2, 0.3));
+        assert_eq!(h.into_sorted()[0].tid, 2);
+    }
+
+    #[test]
+    fn bottom_k_zero_capacity() {
+        let mut h = BottomKHeap::new(0);
+        assert!(!h.offer(1, 0.0));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn keeps_only_k_best() {
+        let mut h = TopKHeap::new(3, 0.0);
+        for (tid, s) in [(1, 0.1), (2, 0.9), (3, 0.5), (4, 0.7), (5, 0.2)] {
+            h.offer(tid, s);
+        }
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|m| m.tid).collect::<Vec<_>>(), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn threshold_rises_as_heap_fills() {
+        let mut h = TopKHeap::new(2, 0.0);
+        assert_eq!(h.threshold(), 0.0);
+        h.offer(1, 0.4);
+        assert_eq!(h.threshold(), 0.0, "not yet full");
+        h.offer(2, 0.6);
+        assert!((h.threshold() - 0.4).abs() < 1e-12);
+        h.offer(3, 0.9);
+        assert!((h.threshold() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_rejects_low_scores() {
+        let mut h = TopKHeap::new(5, 0.5);
+        assert!(!h.offer(1, 0.49));
+        assert!(h.offer(2, 0.5));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_tid() {
+        let mut h = TopKHeap::new(2, 0.0);
+        h.offer(10, 0.5);
+        h.offer(20, 0.5);
+        assert!(h.offer(5, 0.5), "equal score but smaller tid should displace");
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|m| m.tid).collect::<Vec<_>>(), vec![5, 10]);
+    }
+
+    #[test]
+    fn k_zero_accepts_nothing() {
+        let mut h = TopKHeap::new(0, 0.0);
+        assert!(!h.offer(1, 1.0));
+        assert!(h.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn exact_duplicate_scores_all_fit() {
+        let mut h = TopKHeap::new(3, 0.0);
+        for tid in 0..3 {
+            assert!(h.offer(tid, 0.25));
+        }
+        assert!(h.is_full());
+        assert_eq!(h.into_sorted().len(), 3);
+    }
+}

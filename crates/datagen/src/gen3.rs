@@ -1,0 +1,112 @@
+//! The *Gen3* domain-scalability dataset.
+//!
+//! "Initially, a number of item groups are picked at random from the
+//! domain. The size of the item groups, which determines the fill factor
+//! (expected number of non-zero items in a tuple), is distributed
+//! geometrically. The expected group size was varied from 3 (in domain
+//! size 10) to 10 (in domain size 500). The item probabilities inside a
+//! group are chosen randomly" (paper §4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uncat_core::{CatId, Domain, UdaBuilder};
+
+use crate::rngutil::geometric;
+use crate::Dataset;
+
+/// The paper's expected group size as a function of domain size:
+/// interpolated on a log scale from 3 at |D| = 10 to 10 at |D| = 500
+/// (clamped outside that range).
+pub fn expected_group_size(domain_size: u32) -> f64 {
+    let d = domain_size as f64;
+    let t = ((d / 10.0).ln() / 50f64.ln()).clamp(0.0, 1.0);
+    3.0 + 7.0 * t
+}
+
+/// Generate a Gen3 dataset of `n` tuples over a `domain_size`-value domain.
+///
+/// `n_groups` item groups are drawn up front; every tuple picks one group
+/// and fills it with random normalized probabilities.
+pub fn generate(n: usize, domain_size: u32, seed: u64) -> (Domain, Dataset) {
+    let domain = Domain::anonymous(domain_size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_size = expected_group_size(domain_size);
+
+    // Enough groups that clustering is non-trivial but reuse is plentiful.
+    let n_groups = (domain_size as usize).clamp(8, 64);
+    let groups: Vec<Vec<u32>> = (0..n_groups)
+        .map(|_| {
+            let size = geometric(&mut rng, mean_size).min(domain_size as usize).max(1);
+            // Partial Fisher–Yates draw of `size` distinct categories.
+            let mut cats: Vec<u32> = (0..domain_size).collect();
+            for i in 0..size {
+                let j = rng.random_range(i..cats.len());
+                cats.swap(i, j);
+            }
+            cats.truncate(size);
+            cats.sort_unstable();
+            cats
+        })
+        .collect();
+
+    let data = (0..n as u64)
+        .map(|tid| {
+            let group = &groups[rng.random_range(0..groups.len())];
+            let mut b = UdaBuilder::with_capacity(group.len());
+            for &c in group {
+                b.push(CatId(c), rng.random_range(0.05..1.0f32)).expect("valid probability");
+            }
+            (tid, b.finish_normalized().expect("non-empty group"))
+        })
+        .collect();
+    (domain, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_size_interpolation_matches_paper_endpoints() {
+        assert!((expected_group_size(10) - 3.0).abs() < 1e-9);
+        assert!((expected_group_size(500) - 10.0).abs() < 1e-9);
+        assert!(expected_group_size(5) == 3.0, "clamped below");
+        assert!(expected_group_size(1000) == 10.0, "clamped above");
+        let mid = expected_group_size(100);
+        assert!(mid > 3.0 && mid < 10.0);
+    }
+
+    #[test]
+    fn tuples_use_groups_and_valid_categories() {
+        for &d in &[5u32, 50, 500] {
+            let (domain, data) = generate(500, d, 7);
+            assert_eq!(domain.size(), d);
+            let mut supports = std::collections::HashSet::new();
+            for (_, u) in &data {
+                assert!(u.max_cat().expect("non-empty").0 < d);
+                assert!((u.mass() - 1.0).abs() < 1e-4);
+                supports.insert(u.iter().map(|(c, _)| c.0).collect::<Vec<_>>());
+            }
+            assert!(
+                supports.len() <= 64,
+                "tuples must reuse a bounded set of item groups, got {}",
+                supports.len()
+            );
+        }
+    }
+
+    #[test]
+    fn fill_factor_grows_with_domain() {
+        let avg = |d: u32| {
+            let (_, data) = generate(2000, d, 11);
+            data.iter().map(|(_, u)| u.len()).sum::<usize>() as f64 / data.len() as f64
+        };
+        let small = avg(10);
+        let large = avg(500);
+        assert!(
+            large > small + 1.0,
+            "expected larger fill at |D|=500 ({large:.2}) than at |D|=10 ({small:.2})"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Dataset generators and query workloads from the ICDE'07 evaluation.
+//!
+//! The paper evaluates on two synthetic families, one scalability family,
+//! and two real CRM datasets:
+//!
+//! * [`uniform`] — "5 items and the probability of each item is chosen
+//!   randomly for all tuples" (dense, 10k tuples).
+//! * [`pairwise`] — "5 elements but the individual tuples have only 2
+//!   non-zero items with roughly equal probabilities. In addition, the
+//!   total number of item combinations is restricted to 5."
+//! * [`gen3`] — domain-size scalability: random item groups whose size is
+//!   geometrically distributed (expected 3 at |D|=10 up to 10 at |D|=500),
+//!   random probabilities within the group.
+//! * [`crm`] — simulators for the proprietary CRM datasets (see DESIGN.md
+//!   §3): `crm1` mimics supervised text classification over 50 categories
+//!   (sparse, low-entropy); `crm2` mimics unsupervised fuzzy clustering
+//!   over 50 clusters (dense memberships).
+//! * [`textsim`] — a full text-classification pipeline simulator (topic
+//!   model, synthetic documents, naive-Bayes posterior), the deeper
+//!   substitution for CRM1.
+//! * [`workload`] — query generation and selectivity calibration: the
+//!   evaluation plots I/O against query selectivity, so thresholds/k are
+//!   derived from exact result-set sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crm;
+pub mod gen3;
+pub mod io;
+pub mod pairwise;
+pub mod rngutil;
+pub mod textsim;
+pub mod uniform;
+pub mod workload;
+pub mod zipf;
+
+use uncat_core::Uda;
+
+/// A generated relation: tuple ids are positions.
+pub type Dataset = Vec<(u64, Uda)>;
+
+/// Attach sequential tuple ids to a list of distributions.
+pub fn enumerate(udas: Vec<Uda>) -> Dataset {
+    udas.into_iter().enumerate().map(|(i, u)| (i as u64, u)).collect()
+}

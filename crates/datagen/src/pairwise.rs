@@ -1,0 +1,71 @@
+//! The *Pairwise* synthetic dataset.
+//!
+//! "The Pairwise dataset also has 5 elements but the individual tuples
+//! have only 2 non-zero items with roughly equal probabilities. In
+//! addition, the total number of item combinations is restricted to 5"
+//! (paper §4). The opposite extreme to Uniform: sparse, highly clustered —
+//! ideal territory for the PDR-tree's distributional clustering.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uncat_core::{CatId, Domain, UdaBuilder};
+
+use crate::Dataset;
+
+/// Domain cardinality used by the paper.
+pub const DOMAIN_SIZE: u32 = 5;
+
+/// The five fixed item pairs tuples are drawn from.
+pub const COMBINATIONS: [(u32, u32); 5] = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+
+/// Generate the Pairwise dataset: each tuple picks one of the 5 fixed
+/// combinations and splits its mass roughly evenly (±5%) across the pair.
+pub fn generate(n: usize, seed: u64) -> (Domain, Dataset) {
+    let domain = Domain::anonymous(DOMAIN_SIZE);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..n as u64)
+        .map(|tid| {
+            let (a, b) = COMBINATIONS[rng.random_range(0..COMBINATIONS.len())];
+            let p = rng.random_range(0.45..0.55f32);
+            let mut builder = UdaBuilder::with_capacity(2);
+            builder.push(CatId(a), p).expect("valid probability");
+            builder.push(CatId(b), 1.0 - p).expect("valid probability");
+            (tid, builder.finish().expect("two entries"))
+        })
+        .collect();
+    (domain, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_description() {
+        let (_, data) = generate(2000, 2);
+        for (_, u) in &data {
+            assert_eq!(u.len(), 2, "exactly two non-zero items");
+            let cats: Vec<u32> = u.iter().map(|(c, _)| c.0).collect();
+            let pair = (cats[0].min(cats[1]), cats[0].max(cats[1]));
+            assert!(
+                COMBINATIONS.iter().any(|&(a, b)| (a.min(b), a.max(b)) == pair),
+                "combination {pair:?} not in the allowed five"
+            );
+            for (_, p) in u.iter() {
+                assert!((0.45..=0.55).contains(&p), "roughly equal probabilities");
+            }
+        }
+    }
+
+    #[test]
+    fn all_five_combinations_occur() {
+        let (_, data) = generate(2000, 3);
+        let mut seen = std::collections::HashSet::new();
+        for (_, u) in &data {
+            let cats: Vec<u32> = u.iter().map(|(c, _)| c.0).collect();
+            seen.insert((cats[0].min(cats[1]), cats[0].max(cats[1])));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Sampling primitives built on `rand`: normal, gamma, Dirichlet,
+//! geometric. Implemented here because the workspace's dependency policy
+//! admits only `rand` itself (see DESIGN.md §6).
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang, with the `shape < 1` boost.
+pub fn gamma(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) · U^{1/a}.
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet sample over the given concentration parameters.
+pub fn dirichlet(rng: &mut impl Rng, alphas: &[f64]) -> Vec<f64> {
+    let raw: Vec<f64> = alphas.iter().map(|&a| gamma(rng, a).max(1e-300)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|x| x / total).collect()
+}
+
+/// Geometric sample with mean `mean` (support 1, 2, …).
+pub fn geometric(rng: &mut impl Rng, mean: f64) -> usize {
+    assert!(mean >= 1.0);
+    let p = 1.0 / mean; // success probability
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    // Inverse CDF of the geometric distribution on {1, 2, …}.
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for shape in [0.3, 1.0, 2.5, 8.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "gamma({shape}) mean came out {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_respects_concentration() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let alphas = [5.0, 0.1, 0.1, 0.1];
+        let mut mean0 = 0.0;
+        for _ in 0..500 {
+            let v = dirichlet(&mut rng, &alphas);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&x| x >= 0.0));
+            mean0 += v[0];
+        }
+        mean0 /= 500.0;
+        // E[v0] = 5.0 / 5.3 ≈ 0.94.
+        assert!(mean0 > 0.85, "dominant component mean {mean0}");
+    }
+
+    #[test]
+    fn geometric_mean_and_support() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for target in [1.5, 3.0, 10.0] {
+            let n = 20_000;
+            let mut sum = 0usize;
+            for _ in 0..n {
+                let g = geometric(&mut rng, target);
+                assert!(g >= 1);
+                sum += g;
+            }
+            let mean = sum as f64 / n as f64;
+            assert!((mean - target).abs() < 0.15 * target, "geometric({target}) mean {mean}");
+        }
+    }
+}

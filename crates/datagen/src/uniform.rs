@@ -1,0 +1,58 @@
+//! The *Uniform* synthetic dataset.
+//!
+//! "The Uniform dataset has 5 items and the probability of each item is
+//! chosen randomly for all tuples" (paper §4): every tuple is a dense
+//! random distribution over the 5-value domain. This is one extreme for
+//! the index structures — every posting list contains every tuple.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uncat_core::{CatId, Domain, UdaBuilder};
+
+use crate::Dataset;
+
+/// Domain cardinality used by the paper.
+pub const DOMAIN_SIZE: u32 = 5;
+
+/// Generate the Uniform dataset: `n` dense random distributions over
+/// [`DOMAIN_SIZE`] items.
+pub fn generate(n: usize, seed: u64) -> (Domain, Dataset) {
+    let domain = Domain::anonymous(DOMAIN_SIZE);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..n as u64)
+        .map(|tid| {
+            let mut b = UdaBuilder::with_capacity(DOMAIN_SIZE as usize);
+            for c in 0..DOMAIN_SIZE {
+                b.push(CatId(c), rng.random_range(0.01..1.0f32)).expect("valid probability");
+            }
+            (tid, b.finish_normalized().expect("non-empty"))
+        })
+        .collect();
+    (domain, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper_description() {
+        let (domain, data) = generate(1000, 1);
+        assert_eq!(domain.size(), 5);
+        assert_eq!(data.len(), 1000);
+        for (_, u) in &data {
+            assert_eq!(u.len(), 5, "Uniform tuples are dense");
+            assert!((u.mass() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, a) = generate(50, 9);
+        let (_, b) = generate(50, 9);
+        let (_, c) = generate(50, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,199 @@
+//! Query workloads and selectivity calibration.
+//!
+//! The paper's figures plot I/O against *query selectivity* ("multiple
+//! thresholds and values for k are considered in order to produce queries
+//! with varying selectivities"). This module derives, for a query
+//! distribution and a target selectivity, the threshold τ that yields that
+//! selectivity exactly (up to ties) and the matching `k` for top-k — so
+//! every figure can put the two query families on the same x-axis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uncat_core::equality::eq_prob;
+use uncat_core::Uda;
+
+use crate::Dataset;
+
+/// The x-axis of the paper's figures: 0.01 % to 10 %.
+pub const SELECTIVITIES: [f64; 4] = [0.0001, 0.001, 0.01, 0.1];
+
+/// A query with its calibrated threshold / k for one target selectivity.
+#[derive(Debug, Clone)]
+pub struct CalibratedQuery {
+    /// The query distribution.
+    pub q: Uda,
+    /// Threshold achieving the target selectivity on the dataset.
+    pub tau: f64,
+    /// Result-set size for the equivalent top-k query.
+    pub k: usize,
+    /// Selectivity actually achieved (ties can push it above target).
+    pub achieved: f64,
+}
+
+/// Calibrate `q` against `data` for `target` selectivity (fraction of
+/// tuples that should qualify). Returns `None` when the query cannot reach
+/// the target (fewer overlapping tuples than requested).
+pub fn calibrate(data: &Dataset, q: &Uda, target: f64) -> Option<CalibratedQuery> {
+    let n = data.len();
+    let k = ((target * n as f64).round() as usize).max(1);
+    let mut probs: Vec<f64> = data.iter().map(|(_, t)| eq_prob(q, t)).collect();
+    probs.sort_by(|a, b| b.partial_cmp(a).expect("probabilities are finite"));
+    let tau = probs[k - 1];
+    if tau <= 0.0 {
+        return None;
+    }
+    let qualifying = probs.iter().take_while(|&&p| p >= tau).count();
+    Some(CalibratedQuery { q: q.clone(), tau, k, achieved: qualifying as f64 / n as f64 })
+}
+
+/// Draw `count` query distributions by sampling tuples from the dataset
+/// (the usual "query follows the data distribution" workload).
+pub fn queries_from_data(data: &Dataset, count: usize, seed: u64) -> Vec<Uda> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| data[rng.random_range(0..data.len())].1.clone()).collect()
+}
+
+/// Certain-value queries (`Pr(t.a = d)` for a plain category `d`): the
+/// "report everything that's probably a Brake problem" workload from the
+/// paper's introduction. Categories are drawn from those actually present
+/// in the data so every query has a non-empty posting list.
+pub fn certain_queries(data: &Dataset, count: usize, seed: u64) -> Vec<Uda> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present: Vec<uncat_core::CatId> = data
+        .iter()
+        .flat_map(|(_, u)| u.iter().map(|(c, _)| c))
+        .collect();
+    present.sort_unstable();
+    present.dedup();
+    (0..count)
+        .map(|_| Uda::certain(present[rng.random_range(0..present.len())]))
+        .collect()
+}
+
+/// Uniform-random query distributions over the observed domain with the
+/// given support size — queries *uncorrelated* with the data, the
+/// hardest shape for distributional clustering.
+pub fn random_queries(
+    domain_size: u32,
+    support: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Uda> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut cats: Vec<u32> = (0..domain_size).collect();
+            for i in 0..support.min(cats.len()) {
+                let j = rng.random_range(i..cats.len());
+                cats.swap(i, j);
+            }
+            let mut b = uncat_core::UdaBuilder::new();
+            for &c in cats.iter().take(support.min(cats.len())) {
+                b.push(uncat_core::CatId(c), rng.random_range(0.05..1.0f32))
+                    .expect("valid probability");
+            }
+            b.finish_normalized().expect("non-empty support")
+        })
+        .collect()
+}
+
+/// Calibrate a set of queries at each target selectivity. Queries that
+/// cannot reach a target are dropped for that target.
+pub fn make_workload(
+    data: &Dataset,
+    queries: &[Uda],
+    targets: &[f64],
+) -> Vec<(f64, Vec<CalibratedQuery>)> {
+    targets
+        .iter()
+        .map(|&s| {
+            let qs = queries.iter().filter_map(|q| calibrate(data, q, s)).collect();
+            (s, qs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform;
+
+    #[test]
+    fn calibrated_threshold_hits_target_count() {
+        let (_, data) = uniform::generate(2000, 1);
+        let queries = queries_from_data(&data, 3, 2);
+        for q in &queries {
+            let c = calibrate(&data, q, 0.01).expect("uniform data overlaps everywhere");
+            let qualifying = data
+                .iter()
+                .filter(|(_, t)| eq_prob(q, t) >= c.tau)
+                .count();
+            assert!(qualifying >= c.k, "at least k tuples qualify");
+            assert!((c.achieved - 0.01).abs() < 0.01, "achieved {:.4}", c.achieved);
+            assert_eq!(c.k, 20);
+        }
+    }
+
+    #[test]
+    fn unreachable_selectivity_returns_none() {
+        // A query disjoint from every tuple cannot reach any selectivity.
+        let (_, data) = uniform::generate(100, 3);
+        let q = Uda::from_pairs([(uncat_core::CatId(4), 1.0f32)]).unwrap();
+        // All tuples are dense over cats 0..5, so category 4 overlaps —
+        // instead build a dataset over cats 0..2 and query cat 4.
+        let narrow: Dataset = data
+            .iter()
+            .map(|(tid, u)| {
+                let mut b = uncat_core::UdaBuilder::new();
+                for (c, p) in u.iter().take(2) {
+                    b.push(c, p).unwrap();
+                }
+                (*tid, b.finish_normalized().unwrap())
+            })
+            .collect();
+        assert!(calibrate(&narrow, &q, 0.5).is_none());
+    }
+
+    #[test]
+    fn certain_queries_use_present_categories() {
+        let (_, data) = uniform::generate(200, 6);
+        let qs = certain_queries(&data, 10, 7);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert_eq!(q.len(), 1, "certain value");
+            assert_eq!(q.max_prob(), 1.0);
+            assert!(q.max_cat().expect("non-empty").0 < 5);
+        }
+    }
+
+    #[test]
+    fn random_queries_have_requested_support() {
+        let qs = random_queries(20, 4, 8, 9);
+        for q in &qs {
+            assert_eq!(q.len(), 4);
+            assert!((q.mass() - 1.0).abs() < 1e-4);
+            assert!(q.max_cat().expect("non-empty").0 < 20);
+        }
+        // Support clamped to the domain.
+        let qs = random_queries(3, 10, 2, 9);
+        for q in &qs {
+            assert_eq!(q.len(), 3);
+        }
+    }
+
+    #[test]
+    fn workload_covers_all_targets() {
+        let (_, data) = uniform::generate(1000, 4);
+        let queries = queries_from_data(&data, 5, 5);
+        let wl = make_workload(&data, &queries, &SELECTIVITIES);
+        assert_eq!(wl.len(), SELECTIVITIES.len());
+        for (s, qs) in &wl {
+            assert!(!qs.is_empty(), "no calibrated queries at selectivity {s}");
+            for c in qs {
+                assert!(c.tau > 0.0 && c.tau <= 1.0);
+                assert!(c.k >= 1);
+            }
+        }
+    }
+}

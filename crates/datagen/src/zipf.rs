@@ -1,0 +1,80 @@
+//! Zipf-distributed category popularity.
+//!
+//! Real categorical data (complaint categories, departments) is skewed:
+//! a few categories dominate. The CRM simulators draw category supports
+//! from this sampler so that posting-list lengths are realistically uneven.
+
+use rand::Rng;
+
+/// Precomputed Zipf CDF over `0..n` with exponent `s`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for ranks `0..n` with exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for x in &mut cdf {
+            *x /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty (constructor asserts `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should dominate rank 10");
+        assert!(counts[0] > counts[49] * 5, "strong head-tail skew expected");
+        assert!(counts.iter().sum::<usize>() == 50_000);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "uniform expected, got {counts:?}");
+        }
+    }
+}

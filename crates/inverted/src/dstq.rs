@@ -1,0 +1,128 @@
+//! Distributional similarity queries (DSTQ) over the inverted index.
+//!
+//! The paper notes that "it is straightforward to adapt our framework of
+//! indexing to distributional similarity queries"; this module is that
+//! adaptation. For metric divergences (L1/L2) with a tight-enough radius,
+//! candidate tuples must overlap the query's support:
+//!
+//! * **L1**: disjoint supports give `L1(q,t) = mass(q) + mass(t) ≥ mass(q)`,
+//!   so if `τ_d < mass(q)` every qualifying tuple shares a category.
+//! * **L2**: disjoint supports give `L2(q,t) ≥ ‖q‖₂`, so if `τ_d < ‖q‖₂`
+//!   every qualifying tuple shares a category.
+//!
+//! In those cases the query lists are scanned for candidates, which are
+//! verified by random access. Otherwise (wide radius, or the non-metric
+//! KL divergence) the evaluation falls back to a full tuple-store scan —
+//! pruning with KL would be unsound, which is exactly why the paper uses
+//! KL only for clustering.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
+use uncat_core::topk::BottomKHeap;
+use uncat_core::Divergence;
+use uncat_storage::BufferPool;
+
+use crate::index::InvertedIndex;
+use crate::postings::decode_posting;
+use crate::search::query_lists;
+
+impl InvertedIndex {
+    /// Evaluate a DSTQ: all tuples with `F(q, t) ≤ τ_d`, in ascending
+    /// divergence order.
+    pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+        let overlap_bound = match query.divergence {
+            Divergence::L1 => query.q.mass(),
+            Divergence::L2 => {
+                query.q.iter().map(|(_, p)| (p as f64) * (p as f64)).sum::<f64>().sqrt()
+            }
+            Divergence::Kl => 0.0, // never candidate-prunable
+        };
+        if query.divergence.is_metric() && query.tau_d < overlap_bound {
+            self.dstq_candidates(pool, query)
+        } else {
+            self.dstq_scan(pool, query)
+        }
+    }
+
+    /// Candidate generation from the query's posting lists + verification.
+    fn dstq_candidates(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+        let mut candidates: HashSet<u64> = HashSet::new();
+        for (_cat, _qp, tree) in query_lists(self, &query.q) {
+            tree.scan_all(pool, |key, _| {
+                let (_p, tid) = decode_posting(key);
+                candidates.insert(tid);
+                ControlFlow::Continue(())
+            });
+        }
+        let mut out = Vec::new();
+        for tid in candidates {
+            let t = self.get_tuple(pool, tid).expect("candidate came from a posting list");
+            let d = query.divergence.eval(query.q.entries(), t.entries());
+            if d <= query.tau_d {
+                out.push(Match::new(tid, d));
+            }
+        }
+        sort_matches_asc(&mut out);
+        out
+    }
+
+    /// DSQ-top-k: the `k` distributionally closest tuples, ascending by
+    /// divergence.
+    ///
+    /// First tries the query's posting lists: if the k-th best candidate
+    /// distance is already below the divergence any *non-overlapping*
+    /// tuple could reach (`mass(q)` for L1, `‖q‖₂` for L2), the candidate
+    /// answer is complete. Otherwise — wide radius or KL — a full
+    /// tuple-store scan resolves the query exactly.
+    pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+        if query.k == 0 {
+            return Vec::new();
+        }
+        let disjoint_floor = match query.divergence {
+            Divergence::L1 => query.q.mass(),
+            Divergence::L2 => {
+                query.q.iter().map(|(_, p)| (p as f64) * (p as f64)).sum::<f64>().sqrt()
+            }
+            Divergence::Kl => f64::NEG_INFINITY, // candidates never suffice
+        };
+        if query.divergence.is_metric() {
+            let mut candidates: HashSet<u64> = HashSet::new();
+            for (_cat, _qp, tree) in query_lists(self, &query.q) {
+                tree.scan_all(pool, |key, _| {
+                    let (_p, tid) = decode_posting(key);
+                    candidates.insert(tid);
+                    ControlFlow::Continue(())
+                });
+            }
+            let mut heap = BottomKHeap::new(query.k);
+            for tid in candidates {
+                let t = self.get_tuple(pool, tid).expect("candidate came from a posting list");
+                heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
+            }
+            if heap.is_full() && heap.bound() < disjoint_floor {
+                return heap.into_sorted();
+            }
+        }
+        // Fallback: exact scan.
+        let mut heap = BottomKHeap::new(query.k);
+        self.scan_tuples(pool, |tid, t| {
+            heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
+        });
+        heap.into_sorted()
+    }
+
+    /// Full tuple-store scan fallback (always sound).
+    fn dstq_scan(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.scan_tuples(pool, |tid, t| {
+            let d = query.divergence.eval(query.q.entries(), t.entries());
+            if d <= query.tau_d {
+                out.push(Match::new(tid, d));
+            }
+        });
+        sort_matches_asc(&mut out);
+        out
+    }
+}

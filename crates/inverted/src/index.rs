@@ -1,0 +1,395 @@
+//! The inverted index structure: directory, posting trees, tuple store.
+
+use std::collections::{BTreeMap, HashMap};
+
+use uncat_core::{codec, CatId, Domain, Uda};
+use uncat_storage::{BufferPool, HeapFile, RecordId};
+
+use crate::postings::{posting_key, PostingTree};
+
+/// Heap-record layout: `u64 tid (LE) ‖ UDA encoding`. Carrying the tid in
+/// the record lets full scans attribute distributions without a reverse
+/// map.
+fn encode_record(tid: u64, uda: &Uda) -> Vec<u8> {
+    let mut v = Vec::with_capacity(8 + codec::encoded_len(uda));
+    v.extend_from_slice(&tid.to_le_bytes());
+    codec::encode(uda, &mut v);
+    v
+}
+
+fn decode_record(bytes: &[u8]) -> (u64, Uda) {
+    let tid = u64::from_le_bytes(bytes[..8].try_into().expect("record has tid header"));
+    let (uda, _) = codec::decode(&bytes[8..]).expect("stored UDA decodes");
+    (tid, uda)
+}
+
+/// Structural statistics returned by [`InvertedIndex::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStats {
+    /// Non-empty posting lists (categories that occur in the data).
+    pub lists: u64,
+    /// Total posting entries across all lists.
+    pub postings: u64,
+    /// Length of the longest posting list.
+    pub longest_list: u64,
+    /// Deepest posting B+tree.
+    pub max_list_depth: u32,
+    /// Pages occupied by the tuple store.
+    pub heap_pages: u64,
+}
+
+impl IndexStats {
+    /// Average posting-list length.
+    pub fn avg_list_len(&self) -> f64 {
+        if self.lists == 0 {
+            0.0
+        } else {
+            self.postings as f64 / self.lists as f64
+        }
+    }
+}
+
+/// A probabilistic inverted index over one uncertain attribute.
+///
+/// The directory (category → posting-tree root) and the tuple-id → record
+/// map are kept in memory: they are per-category / per-tuple index
+/// *metadata*, equivalent to the always-hot top of an on-disk directory.
+/// Posting entries and tuple records live on pages and are charged I/O
+/// through the [`BufferPool`] passed to every operation.
+///
+/// ```
+/// use uncat_core::{CatId, Domain, EqQuery, Uda};
+/// use uncat_inverted::{InvertedIndex, Strategy};
+/// use uncat_storage::{BufferPool, InMemoryDisk};
+///
+/// let mut pool = BufferPool::new(InMemoryDisk::shared());
+/// let t0 = Uda::from_pairs([(CatId(0), 0.5), (CatId(1), 0.5)])?;
+/// let t1 = Uda::from_pairs([(CatId(1), 1.0)])?;
+/// let index = InvertedIndex::build(
+///     Domain::anonymous(2),
+///     &mut pool,
+///     [(0u64, &t0), (1u64, &t1)],
+/// );
+///
+/// let hits = index.petq(
+///     &mut pool,
+///     &EqQuery::new(Uda::certain(CatId(1)), 0.6),
+///     Strategy::ColumnPruning,
+/// );
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].tid, 1);
+/// # Ok::<(), uncat_core::Error>(())
+/// ```
+pub struct InvertedIndex {
+    domain: Domain,
+    postings: BTreeMap<CatId, PostingTree>,
+    heap: HeapFile,
+    rids: HashMap<u64, RecordId>,
+}
+
+impl InvertedIndex {
+    /// Create an empty index over `domain`.
+    pub fn new(domain: Domain) -> InvertedIndex {
+        InvertedIndex {
+            domain,
+            postings: BTreeMap::new(),
+            heap: HeapFile::new(),
+            rids: HashMap::new(),
+        }
+    }
+
+    /// Build from a collection of tuples.
+    ///
+    /// Postings are loaded in key order per category, which packs list
+    /// pages densely (the B+tree's append-friendly split).
+    pub fn build<'a, I>(domain: Domain, pool: &mut BufferPool, tuples: I) -> InvertedIndex
+    where
+        I: IntoIterator<Item = (u64, &'a Uda)>,
+    {
+        let mut idx = InvertedIndex::new(domain);
+        let mut per_cat: BTreeMap<CatId, Vec<[u8; crate::postings::KEY_LEN]>> = BTreeMap::new();
+        for (tid, uda) in tuples {
+            debug_assert!(uda.max_cat().is_none_or(|c| idx.domain.contains(c)));
+            let rid = idx.heap.insert(pool, &encode_record(tid, uda));
+            let prev = idx.rids.insert(tid, rid);
+            assert!(prev.is_none(), "duplicate tuple id {tid}");
+            for (cat, p) in uda.iter() {
+                per_cat.entry(cat).or_default().push(posting_key(p, tid));
+            }
+        }
+        for (cat, mut keys) in per_cat {
+            keys.sort_unstable();
+            let mut tree = PostingTree::create(pool);
+            for k in &keys {
+                tree.insert(pool, k, &[]);
+            }
+            idx.postings.insert(cat, tree);
+        }
+        idx
+    }
+
+    /// Insert one tuple. Panics on a duplicate tuple id.
+    pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) {
+        let rid = self.heap.insert(pool, &encode_record(tid, uda));
+        let prev = self.rids.insert(tid, rid);
+        assert!(prev.is_none(), "duplicate tuple id {tid}");
+        for (cat, p) in uda.iter() {
+            let tree = self
+                .postings
+                .entry(cat)
+                .or_insert_with(|| PostingTree::create(pool));
+            tree.insert(pool, &posting_key(p, tid), &[]);
+        }
+    }
+
+    /// Delete a tuple. Returns whether it existed.
+    pub fn delete(&mut self, pool: &mut BufferPool, tid: u64) -> bool {
+        let Some(rid) = self.rids.remove(&tid) else {
+            return false;
+        };
+        let bytes = self.heap.get(pool, rid).expect("rid map points at live record");
+        let (_tid, uda) = decode_record(&bytes);
+        for (cat, p) in uda.iter() {
+            let tree = self.postings.get_mut(&cat).expect("posting list exists for stored entry");
+            let removed = tree.remove(pool, &posting_key(p, tid));
+            debug_assert!(removed.is_some(), "posting entry missing for tuple {tid}");
+        }
+        self.heap.delete(pool, rid);
+        true
+    }
+
+    /// Random-access a tuple's distribution (one page read).
+    pub fn get_tuple(&self, pool: &mut BufferPool, tid: u64) -> Option<Uda> {
+        let rid = *self.rids.get(&tid)?;
+        let bytes = self.heap.get(pool, rid)?;
+        let (_tid, uda) = decode_record(&bytes);
+        Some(uda)
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rids.is_empty()
+    }
+
+    /// The indexed domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of posting entries in `cat`'s list.
+    pub fn list_len(&self, cat: CatId) -> u64 {
+        self.postings.get(&cat).map_or(0, |t| t.len())
+    }
+
+    /// Iterate all tuple ids (unordered).
+    pub fn tuple_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.rids.keys().copied()
+    }
+
+    /// Visit every stored tuple in heap order: `f(tid, uda)`. Costs one
+    /// page read per heap page (a full relation scan).
+    pub fn scan_tuples(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) {
+        self.heap.scan(pool, |_, bytes| {
+            let (tid, uda) = decode_record(bytes);
+            f(tid, &uda);
+        });
+    }
+
+    /// Number of pages occupied by the tuple store (for sizing reports).
+    pub fn heap_pages(&self) -> usize {
+        self.heap.num_pages()
+    }
+
+    /// Structural statistics over the posting directory.
+    pub fn stats(&self) -> IndexStats {
+        let mut s = IndexStats { heap_pages: self.heap.num_pages() as u64, ..IndexStats::default() };
+        for tree in self.postings.values() {
+            s.lists += 1;
+            s.postings += tree.len();
+            s.longest_list = s.longest_list.max(tree.len());
+            s.max_list_depth = s.max_list_depth.max(tree.depth());
+        }
+        s
+    }
+
+    pub(crate) fn posting_tree(&self, cat: CatId) -> Option<&PostingTree> {
+        self.postings.get(&cat)
+    }
+
+    /// The heap page a tuple's record lives on (for sorted random access).
+    pub(crate) fn record_location(&self, tid: u64) -> Option<RecordId> {
+        self.rids.get(&tid).copied()
+    }
+
+    /// Check structural invariants: every stored tuple has exactly one
+    /// posting per non-zero category (with the stored probability), every
+    /// posting refers to a stored tuple, and the counters agree. Returns
+    /// the number of tuples checked. Test/debug aid — reads everything.
+    pub fn check_invariants(&self, pool: &mut BufferPool) -> u64 {
+        use std::ops::ControlFlow;
+
+        let mut tuple_entries = 0u64;
+        let mut tuples = 0u64;
+        self.scan_tuples(pool, |tid, uda| {
+            tuples += 1;
+            assert!(self.rids.contains_key(&tid), "tuple {tid} missing from the rid map");
+            tuple_entries += uda.len() as u64;
+        });
+        assert_eq!(tuples, self.rids.len() as u64, "heap and rid map disagree");
+
+        let mut posting_entries = 0u64;
+        for (cat, tree) in &self.postings {
+            let mut in_list = 0u64;
+            tree.scan_all(pool, |key, _| {
+                let (p, tid) = crate::postings::decode_posting(key);
+                in_list += 1;
+                assert!(
+                    self.rids.contains_key(&tid),
+                    "posting in {cat} refers to unknown tuple {tid}"
+                );
+                assert!(p > 0.0 && p <= 1.0, "posting probability out of range");
+                ControlFlow::Continue(())
+            });
+            assert_eq!(in_list, tree.len(), "list length counter out of sync for {cat}");
+            posting_entries += in_list;
+        }
+        assert_eq!(
+            posting_entries, tuple_entries,
+            "posting entries disagree with stored distributions"
+        );
+        tuples
+    }
+
+    // --- persistence plumbing (see `persist`) ---
+
+    pub(crate) fn heap_parts(&self) -> (&[uncat_storage::PageId], u64) {
+        self.heap.raw_parts()
+    }
+
+    pub(crate) fn rid_map(&self) -> &HashMap<u64, RecordId> {
+        &self.rids
+    }
+
+    pub(crate) fn posting_map(&self) -> &BTreeMap<CatId, PostingTree> {
+        &self.postings
+    }
+
+    pub(crate) fn from_parts(
+        domain: Domain,
+        postings: BTreeMap<CatId, PostingTree>,
+        heap: HeapFile,
+        rids: HashMap<u64, RecordId>,
+    ) -> InvertedIndex {
+        InvertedIndex { domain, postings, heap, rids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncat_storage::InMemoryDisk;
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    fn pool() -> BufferPool {
+        BufferPool::with_capacity(InMemoryDisk::shared(), 100)
+    }
+
+    #[test]
+    fn build_and_random_access() {
+        let mut p = pool();
+        let data = [
+            (0u64, uda(&[(0, 0.5), (1, 0.5)])),
+            (1, uda(&[(1, 0.2), (2, 0.8)])),
+            (2, uda(&[(0, 1.0)])),
+        ];
+        let idx =
+            InvertedIndex::build(Domain::anonymous(3), &mut p, data.iter().map(|(t, u)| (*t, u)));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.list_len(CatId(0)), 2);
+        assert_eq!(idx.list_len(CatId(1)), 2);
+        assert_eq!(idx.list_len(CatId(2)), 1);
+        assert_eq!(idx.get_tuple(&mut p, 1).unwrap(), data[1].1);
+        assert!(idx.get_tuple(&mut p, 99).is_none());
+    }
+
+    #[test]
+    fn insert_then_delete_cleans_postings() {
+        let mut p = pool();
+        let mut idx = InvertedIndex::new(Domain::anonymous(4));
+        idx.insert(&mut p, 7, &uda(&[(0, 0.4), (3, 0.6)]));
+        idx.insert(&mut p, 8, &uda(&[(3, 1.0)]));
+        assert_eq!(idx.list_len(CatId(3)), 2);
+        assert_eq!(idx.check_invariants(&mut p), 2);
+        assert!(idx.delete(&mut p, 7));
+        assert!(!idx.delete(&mut p, 7));
+        assert_eq!(idx.list_len(CatId(0)), 0);
+        assert_eq!(idx.list_len(CatId(3)), 1);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.get_tuple(&mut p, 7).is_none());
+        assert_eq!(idx.check_invariants(&mut p), 1);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut p = pool();
+        let data = [
+            (0u64, uda(&[(0, 0.5), (1, 0.5)])),
+            (1, uda(&[(1, 0.2), (2, 0.8)])),
+            (2, uda(&[(1, 1.0)])),
+        ];
+        let idx =
+            InvertedIndex::build(Domain::anonymous(3), &mut p, data.iter().map(|(t, u)| (*t, u)));
+        let s = idx.stats();
+        assert_eq!(s.lists, 3);
+        assert_eq!(s.postings, 5);
+        assert_eq!(s.longest_list, 3);
+        assert!(s.heap_pages >= 1);
+        assert!((s.avg_list_len() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_on_empty_index_return_nothing() {
+        let mut p = pool();
+        let idx = InvertedIndex::new(Domain::anonymous(4));
+        let q = uncat_core::query::EqQuery::new(Uda::certain(CatId(0)), 0.1);
+        for strat in crate::Strategy::ALL {
+            assert!(idx.petq(&mut p, &q, strat).is_empty(), "{strat:?}");
+        }
+        assert!(idx
+            .top_k(&mut p, &uncat_core::query::TopKQuery::new(Uda::certain(CatId(0)), 3))
+            .is_empty());
+        assert!(idx.peq(&mut p, &Uda::certain(CatId(0))).is_empty());
+        assert_eq!(idx.check_invariants(&mut p), 0);
+    }
+
+    #[test]
+    fn disjoint_query_reads_no_lists() {
+        let mut p = pool();
+        let mut idx = InvertedIndex::new(Domain::anonymous(8));
+        for i in 0..20u64 {
+            idx.insert(&mut p, i, &uda(&[(0, 0.5), (1, 0.5)]));
+        }
+        p.clear();
+        p.reset_stats();
+        let q = uncat_core::query::EqQuery::new(Uda::certain(CatId(7)), 0.1);
+        assert!(idx.petq(&mut p, &q, crate::Strategy::Nra).is_empty());
+        assert_eq!(p.stats().physical_reads, 0, "no posting list exists for category 7");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tuple id")]
+    fn duplicate_tid_panics() {
+        let mut p = pool();
+        let mut idx = InvertedIndex::new(Domain::anonymous(2));
+        idx.insert(&mut p, 1, &uda(&[(0, 1.0)]));
+        idx.insert(&mut p, 1, &uda(&[(1, 1.0)]));
+    }
+}

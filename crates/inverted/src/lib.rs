@@ -1,0 +1,34 @@
+//! Probabilistic inverted index (paper §3.1).
+//!
+//! The structure keeps, for every category `d ∈ D`, a posting list
+//! `d.list = {(tid, p) | Pr(tid = d) = p > 0}` sorted by **descending**
+//! probability and organized as a paged B+tree. A heap-file tuple store
+//! supports the random accesses that candidate verification performs.
+//!
+//! Four search strategies answer PETQ (plus a no-random-access variant):
+//!
+//! * [`Strategy::Brute`] — `inv-index-search`: read every query list fully
+//!   and aggregate; exact, no random access, but reads entire lists.
+//! * [`Strategy::HighestProbFirst`] — frontier of cursors, always advancing
+//!   the list with the most promising head; stops by Lemma 1 when
+//!   `Σ_j q.p_j · p'_j < τ`; encountered candidates are verified by random
+//!   access.
+//! * [`Strategy::RowPruning`] — only read lists whose query probability
+//!   reaches τ (a qualifying tuple must share one such item).
+//! * [`Strategy::ColumnPruning`] — read each query list only down to
+//!   probability τ (a qualifying tuple must have one such entry).
+//! * [`Strategy::Nra`] — rank-join with per-candidate upper/lower bounds
+//!   ("lack"), deferring random access to a small undecided remainder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dstq;
+mod index;
+mod persist;
+mod postings;
+mod search;
+mod topk;
+
+pub use index::{IndexStats, InvertedIndex};
+pub use search::Strategy;

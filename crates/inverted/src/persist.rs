@@ -1,0 +1,229 @@
+//! Metadata snapshots: close an inverted index and reopen it later over
+//! the same (durable) page store.
+//!
+//! Page contents — posting nodes and heap pages — live in the store and
+//! are durable by themselves (e.g. behind a
+//! [`uncat_storage::FileDisk`]). What must be remembered across a restart
+//! is the in-memory metadata: the posting directory (category → B+tree
+//! root), the heap's page list, and the tuple-id → record map.
+//! [`InvertedIndex::snapshot`] serializes exactly that; the blob is small
+//! (tens of bytes per category plus ~18 bytes per tuple) and the caller
+//! stores it wherever convenient — typically a sidecar file next to the
+//! page file.
+
+use std::collections::{BTreeMap, HashMap};
+
+use uncat_core::{CatId, Domain};
+use uncat_storage::snapshot::{Reader, SnapshotError, Writer};
+use uncat_storage::{HeapFile, PageId, RecordId};
+
+use crate::index::InvertedIndex;
+use crate::postings::PostingTree;
+
+const MAGIC: &[u8; 4] = b"UIV1";
+
+/// Serialize a domain (labels or anonymous cardinality).
+pub(crate) fn write_domain(w: &mut Writer, d: &Domain) {
+    if d.is_labeled() {
+        w.u8(1);
+        w.u32(d.size());
+        for l in d.labels() {
+            w.str(l);
+        }
+    } else {
+        w.u8(0);
+        w.u32(d.size());
+    }
+}
+
+pub(crate) fn read_domain(r: &mut Reader<'_>) -> Result<Domain, SnapshotError> {
+    let labeled = r.u8()? == 1;
+    let size = r.u32()?;
+    if labeled {
+        let mut labels = Vec::with_capacity(size as usize);
+        for _ in 0..size {
+            labels.push(r.str()?);
+        }
+        Ok(Domain::from_labels(labels))
+    } else {
+        Ok(Domain::anonymous(size))
+    }
+}
+
+impl InvertedIndex {
+    /// Serialize the index's metadata. Pair with a flushed store: call
+    /// `pool.flush()` first so every page this metadata references is
+    /// durable.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new(MAGIC);
+        write_domain(&mut w, self.domain());
+
+        let (heap_pages, records) = self.heap_parts();
+        w.u32(heap_pages.len() as u32);
+        for &p in heap_pages {
+            w.pid(p);
+        }
+        w.u64(records);
+
+        let rids = self.rid_map();
+        w.u64(rids.len() as u64);
+        for (&tid, rid) in rids {
+            w.u64(tid);
+            w.pid(rid.page);
+            w.u16(rid.slot);
+        }
+
+        let postings = self.posting_map();
+        w.u32(postings.len() as u32);
+        for (cat, tree) in postings {
+            w.u32(cat.0);
+            let (root, len, depth) = tree.raw_parts();
+            w.pid(root);
+            w.u64(len);
+            w.u32(depth);
+        }
+        w.finish()
+    }
+
+    /// Reattach an index from a snapshot over the same store.
+    pub fn open(blob: &[u8]) -> Result<InvertedIndex, SnapshotError> {
+        let mut r = Reader::new(blob, MAGIC)?;
+        let domain = read_domain(&mut r)?;
+
+        let n_pages = r.u32()? as usize;
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            pages.push(r.pid()?);
+        }
+        let records = r.u64()?;
+        let heap = HeapFile::from_raw_parts(pages, records);
+
+        let n_rids = r.u64()? as usize;
+        let mut rids: HashMap<u64, RecordId> = HashMap::with_capacity(n_rids);
+        for _ in 0..n_rids {
+            let tid = r.u64()?;
+            let page = r.pid()?;
+            let slot = r.u16()?;
+            rids.insert(tid, RecordId { page, slot });
+        }
+
+        let n_lists = r.u32()? as usize;
+        let mut postings: BTreeMap<CatId, PostingTree> = BTreeMap::new();
+        for _ in 0..n_lists {
+            let cat = CatId(r.u32()?);
+            let root: PageId = r.pid()?;
+            let len = r.u64()?;
+            let depth = r.u32()?;
+            postings.insert(cat, PostingTree::from_raw_parts(root, len, depth));
+        }
+        if !r.is_done() {
+            return Err(SnapshotError("trailing bytes"));
+        }
+        Ok(InvertedIndex::from_parts(domain, postings, heap, rids))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncat_core::query::EqQuery;
+    use uncat_core::Uda;
+    use uncat_storage::{BufferPool, FileDisk, InMemoryDisk};
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries() {
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..300u64)
+            .map(|i| {
+                let c = (i % 7) as u32;
+                (i, uda(&[(c, 0.6), ((c + 1) % 7, 0.4)]))
+            })
+            .collect();
+        let blob = {
+            let mut pool = BufferPool::with_capacity(store.clone(), 100);
+            let idx = InvertedIndex::build(
+                Domain::anonymous(7),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            );
+            pool.flush();
+            idx.snapshot()
+        };
+
+        let reopened = InvertedIndex::open(&blob).expect("snapshot decodes");
+        assert_eq!(reopened.len(), 300);
+        let mut pool = BufferPool::with_capacity(store, 100);
+        let q = EqQuery::new(uda(&[(0, 1.0)]), 0.3);
+        let out = reopened.petq(&mut pool, &q, crate::Strategy::Nra);
+        assert!(!out.is_empty());
+        for m in &out {
+            let t = reopened.get_tuple(&mut pool, m.tid).expect("tuple readable");
+            assert!((uncat_core::equality::eq_prob(&q.q, &t) - m.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_labeled_domain() {
+        let store = InMemoryDisk::shared();
+        let domain = Domain::from_labels(["Brake", "Tires"]);
+        let blob = {
+            let mut pool = BufferPool::with_capacity(store.clone(), 16);
+            let mut idx = InvertedIndex::new(domain);
+            idx.insert(&mut pool, 1, &uda(&[(0, 1.0)]));
+            pool.flush();
+            idx.snapshot()
+        };
+        let reopened = InvertedIndex::open(&blob).expect("snapshot decodes");
+        assert_eq!(reopened.domain().label_of(CatId(1)), Some("Tires"));
+        assert_eq!(reopened.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_survives_a_real_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("uncat-inv-persist-{}.pages", std::process::id()));
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        let _guard = Cleanup(path.clone());
+
+        let data: Vec<(u64, Uda)> =
+            (0..100u64).map(|i| (i, uda(&[((i % 5) as u32, 1.0)]))).collect();
+        let blob = {
+            let store: uncat_storage::SharedStore =
+                std::sync::Arc::new(FileDisk::create(&path).expect("create"));
+            let mut pool = BufferPool::with_capacity(store, 64);
+            let idx = InvertedIndex::build(
+                Domain::anonymous(5),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            );
+            pool.flush();
+            idx.snapshot()
+        };
+        // Process "restart": reopen the file and the snapshot.
+        let store: uncat_storage::SharedStore =
+            std::sync::Arc::new(FileDisk::open(&path).expect("open"));
+        let idx = InvertedIndex::open(&blob).expect("snapshot decodes");
+        let mut pool = BufferPool::with_capacity(store, 64);
+        let out = idx.petq(
+            &mut pool,
+            &EqQuery::new(uda(&[(2, 1.0)]), 0.9),
+            crate::Strategy::ColumnPruning,
+        );
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn garbage_blob_rejected() {
+        assert!(InvertedIndex::open(b"nope").is_err());
+        assert!(InvertedIndex::open(b"UIV1").is_err(), "truncated after magic");
+    }
+}

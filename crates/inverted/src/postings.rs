@@ -1,0 +1,99 @@
+//! Posting-list key encoding and cursor adapter.
+//!
+//! A posting entry `(tid, p)` is stored as the 8-byte B+tree key
+//! `f32_desc(p) ‖ u32_be(tid)` with a zero-width value: an ascending tree
+//! scan yields entries by descending probability, ties by ascending tuple
+//! id — exactly the order the search strategies consume.
+
+use uncat_core::{Prob, TupleId};
+use uncat_storage::btree::keys::{concat, f32_desc, f32_from_desc, u32_be, u32_from_be};
+use uncat_storage::btree::{BTree, Cursor};
+use uncat_storage::BufferPool;
+
+/// Width of a posting key in bytes.
+pub const KEY_LEN: usize = 8;
+
+/// The B+tree type backing one posting list.
+pub type PostingTree = BTree<KEY_LEN, 0>;
+
+/// Encode a posting key.
+pub fn posting_key(prob: Prob, tid: TupleId) -> [u8; KEY_LEN] {
+    debug_assert!(tid <= u32::MAX as u64, "posting lists address tuples with 32-bit ids");
+    concat(f32_desc(prob), u32_be(tid as u32))
+}
+
+/// Decode a posting key into `(prob, tid)`.
+pub fn decode_posting(key: &[u8; KEY_LEN]) -> (Prob, TupleId) {
+    (f32_from_desc(&key[..4]), u32_from_be(&key[4..]) as TupleId)
+}
+
+/// A cursor over one posting list, streaming `(tid, prob)` by descending
+/// probability.
+pub struct PostingCursor {
+    inner: Cursor<KEY_LEN, 0>,
+}
+
+impl PostingCursor {
+    /// Cursor over a whole posting list from its highest probability.
+    pub fn open(tree: &PostingTree, pool: &mut BufferPool) -> PostingCursor {
+        PostingCursor { inner: tree.cursor_first(pool) }
+    }
+
+    /// Entry under the cursor: `(tid, prob)`.
+    pub fn head(&self, pool: &mut BufferPool) -> Option<(TupleId, Prob)> {
+        self.inner.entry(pool).map(|(k, _)| {
+            let (p, tid) = decode_posting(&k);
+            (tid, p)
+        })
+    }
+
+    /// Advance one entry.
+    pub fn advance(&mut self, pool: &mut BufferPool) {
+        self.inner.advance(pool);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncat_storage::{BufferPool, InMemoryDisk};
+
+    #[test]
+    fn key_roundtrip() {
+        for (p, tid) in [(1.0f32, 0u64), (0.5, 42), (1e-4, 4_000_000_000)] {
+            let k = posting_key(p, tid);
+            assert_eq!(decode_posting(&k), (p, tid));
+        }
+    }
+
+    #[test]
+    fn keys_sort_by_descending_probability() {
+        let hi = posting_key(0.9, 100);
+        let lo = posting_key(0.1, 1);
+        assert!(hi < lo, "higher probability must sort first");
+        let a = posting_key(0.5, 1);
+        let b = posting_key(0.5, 2);
+        assert!(a < b, "ties break by ascending tid");
+    }
+
+    #[test]
+    fn cursor_streams_descending() {
+        let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 32);
+        let mut tree = PostingTree::create(&mut pool);
+        let probs = [0.3f32, 0.9, 0.1, 0.5, 0.7];
+        for (tid, &p) in probs.iter().enumerate() {
+            tree.insert(&mut pool, &posting_key(p, tid as u64), &[]);
+        }
+        let mut c = PostingCursor::open(&tree, &mut pool);
+        let mut seen = Vec::new();
+        while let Some((tid, p)) = c.head(&mut pool) {
+            seen.push((tid, p));
+            c.advance(&mut pool);
+        }
+        assert_eq!(
+            seen,
+            vec![(1, 0.9), (4, 0.7), (3, 0.5), (0, 0.3), (2, 0.1)],
+            "cursor must stream by descending probability"
+        );
+    }
+}

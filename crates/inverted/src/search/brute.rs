@@ -1,0 +1,36 @@
+//! `inv-index-search`: the brute-force strategy.
+//!
+//! Read the complete posting list of every category in the query and
+//! aggregate contributions per tuple. Because every non-zero term of
+//! `Pr(q = t) = Σ_j q.p_j · t.p_j` lives in some query list, the aggregate
+//! *is* the exact probability — no random access is needed. The cost is
+//! reading entire lists regardless of τ, which is why the paper calls it
+//! out as only competitive "when these lists are not too big and the query
+//! involves fewer d_ij".
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use uncat_core::equality::meets_threshold;
+use uncat_core::query::{EqQuery, Match};
+use uncat_storage::BufferPool;
+
+use crate::index::InvertedIndex;
+use crate::postings::decode_posting;
+
+use super::query_lists;
+
+pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    let mut acc: HashMap<u64, f64> = HashMap::new();
+    for (_cat, qp, tree) in query_lists(idx, &query.q) {
+        tree.scan_all(pool, |key, _| {
+            let (p, tid) = decode_posting(key);
+            *acc.entry(tid).or_insert(0.0) += qp * p as f64;
+            ControlFlow::Continue(())
+        });
+    }
+    acc.into_iter()
+        .filter(|&(_, pr)| meets_threshold(pr, query.tau))
+        .map(|(tid, pr)| Match::new(tid, pr))
+        .collect()
+}

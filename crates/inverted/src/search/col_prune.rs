@@ -1,0 +1,35 @@
+//! Column pruning (paper §3.1).
+//!
+//! Every query list is read, but only its *prefix* with probability ≥ τ
+//! (lists are sorted by descending probability, so the scan stops at the
+//! first entry below τ). Correctness: `Pr(q = t) ≤ max_{i ∈ supp(q)} t.p_i`
+//! because `Σ_i q.p_i ≤ 1`; a qualifying tuple therefore has an entry with
+//! `t.p ≥ τ` in some query list, inside the scanned prefix. Candidates are
+//! verified by random access.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use uncat_core::equality::THRESHOLD_EPS;
+use uncat_core::query::{EqQuery, Match};
+use uncat_storage::BufferPool;
+
+use crate::index::InvertedIndex;
+use crate::postings::decode_posting;
+
+use super::{query_lists, verify_candidates};
+
+pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    let mut candidates: HashSet<u64> = HashSet::new();
+    for (_cat, _qp, tree) in query_lists(idx, &query.q) {
+        tree.scan_all(pool, |key, _| {
+            let (p, tid) = decode_posting(key);
+            if (p as f64) < query.tau - THRESHOLD_EPS {
+                return ControlFlow::Break(()); // column pruned: prefix ends
+            }
+            candidates.insert(tid);
+            ControlFlow::Continue(())
+        });
+    }
+    verify_candidates(idx, pool, query, candidates)
+}

@@ -1,0 +1,52 @@
+//! Highest-prob-first search (paper §3.1, Figure 2).
+//!
+//! Keep a cursor in every query list. Repeatedly advance the cursor whose
+//! head maximizes `q.p_j · p'_j` (the most promising next tuple). Stop as
+//! soon as `Σ_j q.p_j · p'_j < τ`: by Lemma 1 no tuple first encountered
+//! later can qualify. Every tuple id encountered before the stop is a
+//! candidate and is verified by one random access.
+
+use std::collections::HashSet;
+
+use uncat_core::query::{EqQuery, Match};
+use uncat_storage::BufferPool;
+
+use crate::index::InvertedIndex;
+
+use super::{verify_candidates, Frontier};
+
+pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    let candidates = collect_candidates(idx, pool, query);
+    verify_candidates(idx, pool, query, candidates)
+}
+
+/// Crate-visible entry point (used as the NRA wide-query fallback).
+pub(crate) fn search_public(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+) -> Vec<Match> {
+    search(idx, pool, query)
+}
+
+/// Drain list heads in most-promising-first order until Lemma 1 stops the
+/// search; return every tuple id encountered.
+pub(crate) fn collect_candidates(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+) -> HashSet<u64> {
+    let mut frontier = Frontier::open(idx, pool, &query.q);
+    let mut seen: HashSet<u64> = HashSet::new();
+    loop {
+        // Lemma 1: any tuple not yet seen is bounded by the frontier sum.
+        // The epsilon keeps pruning consistent with `meets_threshold`.
+        if frontier.sum() < query.tau - uncat_core::equality::THRESHOLD_EPS {
+            break;
+        }
+        let Some((j, tid, _c)) = frontier.best() else { break };
+        seen.insert(tid);
+        frontier.advance(pool, j);
+    }
+    seen
+}

@@ -1,0 +1,34 @@
+//! Row pruning (paper §3.1).
+//!
+//! Only posting lists whose *query* probability reaches τ are read (fully).
+//! Correctness: `Pr(q = t) ≤ max_{i ∈ supp(q) ∩ supp(t)} q.p_i` because
+//! `Σ_i t.p_i ≤ 1`; so a tuple qualifying with `Pr ≥ τ` must share at least
+//! one item whose query probability is ≥ τ, and therefore appears in one of
+//! the retained lists. Candidates are verified by random access.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use uncat_core::equality::THRESHOLD_EPS;
+use uncat_core::query::{EqQuery, Match};
+use uncat_storage::BufferPool;
+
+use crate::index::InvertedIndex;
+use crate::postings::decode_posting;
+
+use super::{query_lists, verify_candidates};
+
+pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    let mut candidates: HashSet<u64> = HashSet::new();
+    for (_cat, qp, tree) in query_lists(idx, &query.q) {
+        if qp < query.tau - THRESHOLD_EPS {
+            continue; // row pruned
+        }
+        tree.scan_all(pool, |key, _| {
+            let (_p, tid) = decode_posting(key);
+            candidates.insert(tid);
+            ControlFlow::Continue(())
+        });
+    }
+    verify_candidates(idx, pool, query, candidates)
+}

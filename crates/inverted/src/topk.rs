@@ -1,0 +1,153 @@
+//! PEQ-top-k over the inverted index.
+//!
+//! "Top-k queries are executed essentially using threshold queries … by
+//! dynamically adjusting the threshold τ to the k-th highest probability in
+//! the current result set" (paper §2). The driver combines
+//! highest-prob-first ordering with rank-join bounds: list heads are
+//! drained most-promising-first while per-candidate lower bounds
+//! accumulate; the live threshold θ is the k-th best lower bound, and
+//! Lemma 1 stops the drain once `Σ_j q.p_j · p'_j < θ`. Only candidates
+//! whose upper bound still reaches θ are verified by batched random
+//! access.
+
+use std::collections::{HashMap, HashSet};
+
+use uncat_core::equality::{eq_prob, THRESHOLD_EPS};
+use uncat_core::query::{Match, TopKQuery};
+use uncat_core::topk::TopKHeap;
+use uncat_storage::BufferPool;
+
+use crate::index::InvertedIndex;
+use crate::search::Frontier;
+
+/// Pops between θ refreshes.
+const THETA_EVERY: usize = 64;
+
+struct Cand {
+    lb: f64,
+    seen: u128,
+}
+
+impl InvertedIndex {
+    /// The `k` tuples with the highest equality probability to `query.q`
+    /// (only tuples with non-zero probability are returned), in canonical
+    /// descending order.
+    pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+        if query.k == 0 {
+            return Vec::new();
+        }
+        let mut frontier = Frontier::open(self, pool, &query.q);
+        if frontier.len() > 128 {
+            return self.top_k_random_access(pool, query);
+        }
+
+        let mut cand: HashMap<u64, Cand> = HashMap::new();
+        let mut theta = 0.0f64; // k-th best lower bound so far
+        let mut pops = 0usize;
+        let mut next_refresh = THETA_EVERY;
+
+        while let Some((j, tid, c)) = frontier.best() {
+            // Lemma 1 with the dynamic threshold: an unseen tuple is
+            // bounded by the frontier sum; once that cannot reach the k-th
+            // best lower bound, the candidate set is complete.
+            if cand.len() >= query.k && frontier.sum() < theta - THRESHOLD_EPS {
+                break;
+            }
+            let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
+            e.lb += c;
+            e.seen |= 1u128 << j;
+            frontier.advance(pool, j);
+
+            pops += 1;
+            // Refreshing θ costs a pass over the candidate map, so the
+            // interval scales with its size (dense data accumulates
+            // hundreds of thousands of candidates).
+            if pops >= next_refresh {
+                next_refresh = pops + THETA_EVERY.max(cand.len() / 4);
+                if cand.len() >= query.k {
+                    theta = kth_largest(cand.values().map(|c| c.lb), query.k);
+                }
+            }
+        }
+
+        // Final bounds with the residual frontier (zero where exhausted).
+        let heads = frontier.residual();
+        let all_exhausted = frontier.all_exhausted();
+        theta = if cand.len() >= query.k {
+            kth_largest(cand.values().map(|c| c.lb), query.k)
+        } else {
+            0.0
+        };
+
+        // Split finalists into settled (lb already exact) and unsettled.
+        let mut settled: Vec<(u64, f64)> = Vec::new();
+        let mut unsettled: Vec<u64> = Vec::new();
+        for (tid, c) in &cand {
+            let remaining: f64 = heads
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| c.seen & (1u128 << j) == 0)
+                .map(|(_, &h)| h)
+                .sum();
+            let ub = c.lb + remaining;
+            if ub < theta - THRESHOLD_EPS {
+                continue; // cannot make the top k
+            }
+            if all_exhausted || remaining == 0.0 {
+                settled.push((*tid, c.lb));
+            } else {
+                unsettled.push(*tid);
+            }
+        }
+
+        let mut heap = TopKHeap::new(query.k, 0.0);
+        // Unsettled finalists need one random access each; sorting by heap
+        // page batches candidates sharing a page into one read.
+        for tid in crate::search::sorted_by_page(self, unsettled) {
+            let t = self.get_tuple(pool, tid).expect("candidate came from a posting list");
+            let pr = eq_prob(&query.q, &t);
+            if pr > 0.0 {
+                heap.offer(tid, pr);
+            }
+        }
+        for (tid, pr) in settled {
+            if pr > 0.0 {
+                heap.offer(tid, pr);
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// Fallback for queries wider than the bound mask: verify every
+    /// encountered candidate by random access.
+    fn top_k_random_access(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+        let mut frontier = Frontier::open(self, pool, &query.q);
+        let mut heap = TopKHeap::new(query.k, 0.0);
+        let mut verified: HashSet<u64> = HashSet::new();
+        while let Some((j, tid, _c)) = frontier.best() {
+            if heap.is_full() && frontier.sum() < heap.threshold() - THRESHOLD_EPS {
+                break;
+            }
+            if verified.insert(tid) {
+                let t = self.get_tuple(pool, tid).expect("posting refers to stored tuple");
+                let pr = eq_prob(&query.q, &t);
+                if pr > 0.0 {
+                    heap.offer(tid, pr);
+                }
+            }
+            frontier.advance(pool, j);
+        }
+        heap.into_sorted()
+    }
+}
+
+/// The k-th largest value of an iterator (0 when fewer than k values).
+fn kth_largest(values: impl Iterator<Item = f64>, k: usize) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.len() < k {
+        return 0.0;
+    }
+    let idx = k - 1;
+    v.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("finite"));
+    v[idx]
+}

@@ -1,0 +1,378 @@
+//! MBR boundary vectors.
+//!
+//! "The MBR boundary for a page is a vector `v = (v1, …, vN)` such that
+//! `v_i` is the maximum probability of item `d_i` in any of the UDAs
+//! indexed in the subtree of the current page" (paper §3.2). Boundaries
+//! are *not* probability distributions (their mass may exceed 1); they are
+//! point-wise upper envelopes.
+//!
+//! A boundary lives in one of two shapes, fixed per tree by the
+//! compression configuration:
+//!
+//! * **Sparse** — `(cat, prob)` pairs over the original domain (used by
+//!   [`Compression::None`] and [`Compression::Discretized`], the latter
+//!   rounding probabilities up at serialization time);
+//! * **Signature** — a dense `|C|`-vector over the compressed domain with
+//!   the fixed mapping `f(d) = d mod |C|` (paper's set-signature scheme).
+//!
+//! Every operation preserves the *domination invariant*: for each UDA `u`
+//! merged into a boundary `v`, `v(f(i)) ≥ u.p_i` for all `i` — including
+//! after lossy serialization, which may only round up.
+
+use uncat_core::uda::Entry;
+use uncat_core::{CatId, Divergence, Prob, Uda};
+
+use crate::config::Compression;
+
+/// A point-wise maximum envelope over a set of distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Boundary {
+    /// Sparse per-category maxima, sorted by category id.
+    Sparse(Vec<Entry>),
+    /// Dense maxima over the compressed domain `C`; `f(d) = d mod |C|`.
+    Signature(Vec<Prob>),
+}
+
+impl Boundary {
+    /// An empty boundary in the shape demanded by `compression`.
+    pub fn empty(compression: Compression) -> Boundary {
+        match compression {
+            Compression::Signature { width } => Boundary::Signature(vec![0.0; width as usize]),
+            _ => Boundary::Sparse(Vec::new()),
+        }
+    }
+
+    /// Boundary of a single UDA.
+    pub fn of_uda(u: &Uda, compression: Compression) -> Boundary {
+        let mut b = Boundary::empty(compression);
+        b.merge_uda(u);
+        b
+    }
+
+    /// The boundary's upper bound for category `cat`.
+    pub fn bound_of(&self, cat: CatId) -> Prob {
+        match self {
+            Boundary::Sparse(v) => match v.binary_search_by_key(&cat, |e| e.cat) {
+                Ok(i) => v[i].prob,
+                Err(_) => 0.0,
+            },
+            Boundary::Signature(vals) => vals[cat.index() % vals.len()],
+        }
+    }
+
+    /// Whether the boundary dominates `u`: `bound_of(cat) ≥ p` for every
+    /// entry of `u`.
+    pub fn dominates(&self, u: &Uda) -> bool {
+        u.iter().all(|(cat, p)| self.bound_of(cat) >= p)
+    }
+
+    /// Grow to dominate `u` (point-wise max).
+    pub fn merge_uda(&mut self, u: &Uda) {
+        match self {
+            Boundary::Sparse(v) => merge_max(v, u.entries()),
+            Boundary::Signature(vals) => {
+                for (cat, p) in u.iter() {
+                    let slot = cat.index() % vals.len();
+                    vals[slot] = vals[slot].max(p);
+                }
+            }
+        }
+    }
+
+    /// Grow to dominate everything `other` dominates.
+    pub fn merge_boundary(&mut self, other: &Boundary) {
+        match (self, other) {
+            (Boundary::Sparse(v), Boundary::Sparse(o)) => merge_max(v, o),
+            (Boundary::Signature(vals), Boundary::Signature(o)) => {
+                assert_eq!(vals.len(), o.len(), "mismatched signature widths");
+                for (a, b) in vals.iter_mut().zip(o) {
+                    *a = a.max(*b);
+                }
+            }
+            _ => panic!("mixed boundary shapes within one tree"),
+        }
+    }
+
+    /// The L1 "area" of the boundary (paper: "the simplest one being the
+    /// L1 measure of the boundaries, Σ v_i"). Insertion minimizes the area
+    /// increase.
+    pub fn area(&self) -> f64 {
+        match self {
+            Boundary::Sparse(v) => v.iter().map(|e| e.prob as f64).sum(),
+            Boundary::Signature(vals) => vals.iter().map(|&p| p as f64).sum(),
+        }
+    }
+
+    /// How much [`area`](Boundary::area) would grow if `u` were merged.
+    pub fn area_increase(&self, u: &Uda) -> f64 {
+        match self {
+            Boundary::Sparse(_) => u
+                .iter()
+                .map(|(cat, p)| ((p - self.bound_of(cat)) as f64).max(0.0))
+                .sum(),
+            Boundary::Signature(vals) => {
+                // Several query categories may share a slot; the slot grows
+                // to the max of them, once.
+                let mut grow = vec![0.0f64; vals.len()];
+                for (cat, p) in u.iter() {
+                    let slot = cat.index() % vals.len();
+                    let inc = ((p - vals[slot]) as f64).max(0.0);
+                    grow[slot] = grow[slot].max(inc);
+                }
+                grow.iter().sum()
+            }
+        }
+    }
+
+    /// Lemma 2's pruning score: an upper bound on `Pr(q = u)` for every `u`
+    /// dominated by this boundary — `Σ_i q.p_i · v(f(i))`.
+    pub fn eq_upper_bound(&self, q: &Uda) -> f64 {
+        q.iter().map(|(cat, p)| p as f64 * self.bound_of(cat) as f64).sum()
+    }
+
+    /// A lower bound on `L1(q, u)` for every dominated `u`:
+    /// `Σ_i max(0, q.p_i − v(f(i)))` (each `u_i ≤ v(f(i))`).
+    pub fn l1_lower_bound(&self, q: &Uda) -> f64 {
+        q.iter().map(|(cat, p)| ((p - self.bound_of(cat)) as f64).max(0.0)).sum()
+    }
+
+    /// A lower bound on `L2(q, u)` for every dominated `u`.
+    pub fn l2_lower_bound(&self, q: &Uda) -> f64 {
+        q.iter()
+            .map(|(cat, p)| {
+                let d = ((p - self.bound_of(cat)) as f64).max(0.0);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Distributional divergence between a UDA and this boundary, used for
+    /// clustering decisions ("even though an MBR boundary is not a
+    /// probability distribution in the strict sense, we can still apply
+    /// most divergence measures").
+    pub fn divergence_to(&self, u: &Uda, dv: Divergence) -> f64 {
+        match self {
+            Boundary::Sparse(v) => dv.eval(u.entries(), v),
+            Boundary::Signature(vals) => {
+                let compressed = compress_entries(u.entries(), vals.len());
+                let dense: Vec<Entry> = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p > 0.0)
+                    .map(|(c, &p)| Entry { cat: CatId(c as u32), prob: p })
+                    .collect();
+                dv.eval(&compressed, &dense)
+            }
+        }
+    }
+
+    /// Divergence between two boundaries (cluster-to-cluster distance in
+    /// the bottom-up split).
+    pub fn divergence_between(&self, other: &Boundary, dv: Divergence) -> f64 {
+        match (self, other) {
+            (Boundary::Sparse(a), Boundary::Sparse(b)) => dv.eval(a, b),
+            (Boundary::Signature(a), Boundary::Signature(b)) => {
+                let da = dense_entries(a);
+                let db = dense_entries(b);
+                dv.eval(&da, &db)
+            }
+            _ => panic!("mixed boundary shapes within one tree"),
+        }
+    }
+
+    /// Number of stored components (drives serialized size / fan-out).
+    pub fn width(&self) -> usize {
+        match self {
+            Boundary::Sparse(v) => v.len(),
+            Boundary::Signature(vals) => vals.len(),
+        }
+    }
+
+    /// The sparse entries (panics for signature boundaries).
+    pub fn entries(&self) -> &[Entry] {
+        match self {
+            Boundary::Sparse(v) => v,
+            Boundary::Signature(_) => panic!("signature boundary has no sparse entries"),
+        }
+    }
+}
+
+/// Point-wise max merge of sorted sparse entry vectors, in place.
+fn merge_max(dst: &mut Vec<Entry>, src: &[Entry]) {
+    let mut out = Vec::with_capacity(dst.len() + src.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < dst.len() && j < src.len() {
+        match dst[i].cat.cmp(&src[j].cat) {
+            std::cmp::Ordering::Less => {
+                out.push(dst[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(src[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(Entry { cat: dst[i].cat, prob: dst[i].prob.max(src[j].prob) });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&dst[i..]);
+    out.extend_from_slice(&src[j..]);
+    *dst = out;
+}
+
+/// Max-aggregate sparse entries into the compressed domain.
+pub(crate) fn compress_entries(entries: &[Entry], width: usize) -> Vec<Entry> {
+    let mut vals = vec![0.0f32; width];
+    for e in entries {
+        let slot = e.cat.index() % width;
+        vals[slot] = vals[slot].max(e.prob);
+    }
+    dense_entries(&vals)
+}
+
+fn dense_entries(vals: &[Prob]) -> Vec<Entry> {
+    vals.iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > 0.0)
+        .map(|(c, &p)| Entry { cat: CatId(c as u32), prob: p })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    #[test]
+    fn sparse_merge_dominates_inputs() {
+        let mut b = Boundary::empty(Compression::None);
+        let u = uda(&[(0, 0.3), (2, 0.7)]);
+        let v = uda(&[(0, 0.5), (1, 0.2), (2, 0.3)]);
+        b.merge_uda(&u);
+        b.merge_uda(&v);
+        assert!(b.dominates(&u));
+        assert!(b.dominates(&v));
+        assert_eq!(b.bound_of(CatId(0)), 0.5);
+        assert_eq!(b.bound_of(CatId(1)), 0.2);
+        assert_eq!(b.bound_of(CatId(2)), 0.7);
+        assert_eq!(b.bound_of(CatId(3)), 0.0);
+        assert!((b.area() - 1.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq_upper_bound_is_sound() {
+        let u = uda(&[(0, 0.6), (1, 0.4)]);
+        let v = uda(&[(0, 0.2), (2, 0.8)]);
+        let mut b = Boundary::empty(Compression::None);
+        b.merge_uda(&u);
+        b.merge_uda(&v);
+        let q = uda(&[(0, 0.5), (2, 0.5)]);
+        let ub = b.eq_upper_bound(&q);
+        for t in [&u, &v] {
+            let pr = uncat_core::equality::eq_prob(&q, t);
+            assert!(pr <= ub + 1e-9, "Pr {pr} exceeded bound {ub}");
+        }
+    }
+
+    #[test]
+    fn area_increase_matches_actual_growth() {
+        let mut b = Boundary::of_uda(&uda(&[(0, 0.5), (1, 0.5)]), Compression::None);
+        let u = uda(&[(0, 0.7), (3, 0.3)]);
+        let predicted = b.area_increase(&u);
+        let before = b.area();
+        b.merge_uda(&u);
+        assert!((b.area() - before - predicted).abs() < 1e-9);
+        // Already-dominated UDA grows nothing.
+        assert_eq!(b.area_increase(&uda(&[(0, 0.1), (1, 0.2)])), 0.0);
+    }
+
+    #[test]
+    fn signature_boundary_dominates_via_mapping() {
+        let mut b = Boundary::empty(Compression::Signature { width: 4 });
+        let u = uda(&[(1, 0.4), (5, 0.6)]); // cats 1 and 5 share slot 1
+        b.merge_uda(&u);
+        assert!(b.dominates(&u));
+        assert_eq!(b.bound_of(CatId(1)), 0.6, "slot takes the max over the preimage");
+        assert_eq!(b.bound_of(CatId(5)), 0.6);
+        assert_eq!(b.bound_of(CatId(0)), 0.0);
+    }
+
+    #[test]
+    fn signature_eq_upper_bound_still_sound() {
+        let mut b = Boundary::empty(Compression::Signature { width: 2 });
+        let u = uda(&[(0, 0.5), (3, 0.5)]);
+        let v = uda(&[(2, 0.9), (5, 0.1)]);
+        b.merge_uda(&u);
+        b.merge_uda(&v);
+        let q = uda(&[(0, 0.3), (2, 0.3), (3, 0.4)]);
+        let ub = b.eq_upper_bound(&q);
+        for t in [&u, &v] {
+            let pr = uncat_core::equality::eq_prob(&q, t);
+            assert!(pr <= ub + 1e-9);
+        }
+    }
+
+    #[test]
+    fn signature_area_increase_counts_slots_once() {
+        let b = Boundary::empty(Compression::Signature { width: 2 });
+        // Cats 0 and 2 share slot 0; the slot grows to max(0.3, 0.8) once.
+        let u = uda(&[(0, 0.3), (2, 0.7)]);
+        assert!((b.area_increase(&u) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_lower_bound_is_sound() {
+        let u = uda(&[(0, 0.6), (1, 0.4)]);
+        let v = uda(&[(2, 1.0)]);
+        let b = {
+            let mut b = Boundary::of_uda(&u, Compression::None);
+            b.merge_uda(&v);
+            b
+        };
+        let q = uda(&[(0, 0.2), (3, 0.8)]);
+        let lb = b.l1_lower_bound(&q);
+        for t in [&u, &v] {
+            let d = uncat_core::distance::l1(q.entries(), t.entries());
+            assert!(d >= lb - 1e-9, "L1 {d} below bound {lb}");
+        }
+        let lb2 = b.l2_lower_bound(&q);
+        for t in [&u, &v] {
+            let d = uncat_core::distance::l2(q.entries(), t.entries());
+            assert!(d >= lb2 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_boundaries_both_shapes() {
+        let mut a = Boundary::of_uda(&uda(&[(0, 0.5)]), Compression::None);
+        let b = Boundary::of_uda(&uda(&[(0, 0.1), (1, 0.9)]), Compression::None);
+        a.merge_boundary(&b);
+        assert_eq!(a.bound_of(CatId(0)), 0.5);
+        assert_eq!(a.bound_of(CatId(1)), 0.9);
+
+        let cfg = Compression::Signature { width: 3 };
+        let mut s = Boundary::of_uda(&uda(&[(0, 0.5)]), cfg);
+        let t = Boundary::of_uda(&uda(&[(3, 0.8)]), cfg); // slot 0 again
+        s.merge_boundary(&t);
+        assert_eq!(s.bound_of(CatId(0)), 0.8);
+    }
+
+    #[test]
+    fn divergence_to_boundary_is_finite_and_zeroish_for_member() {
+        let u = uda(&[(0, 0.5), (1, 0.5)]);
+        let b = Boundary::of_uda(&u, Compression::None);
+        for dv in Divergence::ALL {
+            let d = b.divergence_to(&u, dv);
+            assert!(d.is_finite());
+            assert!(d.abs() < 1e-3, "{dv:?} distance of a member to its own envelope");
+        }
+    }
+}

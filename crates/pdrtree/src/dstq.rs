@@ -1,0 +1,114 @@
+//! Distributional similarity queries over the PDR-tree.
+//!
+//! For the metric divergences the boundary gives a sound *lower* bound on
+//! the distance between the query and anything in the subtree
+//! ([`crate::Boundary::l1_lower_bound`] / `l2_lower_bound`): a branch whose
+//! lower bound exceeds `τ_d` is pruned. KL admits no such bound ("it is not
+//! directly usable for pruning search paths", paper §2), so KL queries
+//! traverse every leaf — correct, just unpruned.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
+use uncat_core::topk::BottomKHeap;
+use uncat_core::{Divergence, Uda};
+use uncat_storage::{BufferPool, PageId};
+
+use crate::boundary::Boundary;
+use crate::node::{read_node, Node};
+use crate::tree::PdrTree;
+
+fn divergence_lower_bound(b: &Boundary, q: &Uda, dv: Divergence) -> f64 {
+    match dv {
+        Divergence::L1 => b.l1_lower_bound(q),
+        Divergence::L2 => b.l2_lower_bound(q),
+        Divergence::Kl => 0.0, // not prunable
+    }
+}
+
+impl PdrTree {
+    /// Evaluate a DSTQ: all tuples with `F(q, t) ≤ τ_d`, ascending by
+    /// divergence.
+    pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(pid) = stack.pop() {
+            match read_node(pool, pid, self.config().compression) {
+                Node::Leaf(entries) => {
+                    for e in &entries {
+                        let d = query.divergence.eval(query.q.entries(), e.uda.entries());
+                        if d <= query.tau_d {
+                            out.push(Match::new(e.tid, d));
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in &children {
+                        let lower = divergence_lower_bound(&c.boundary, &query.q, query.divergence);
+                        if lower <= query.tau_d + 1e-9 {
+                            stack.push(c.pid);
+                        }
+                    }
+                }
+            }
+        }
+        sort_matches_asc(&mut out);
+        out
+    }
+
+    /// DSQ-top-k: the `k` tuples with the smallest divergence from the
+    /// query, ascending. Best-first traversal ordered by the boundary's
+    /// divergence lower bound; a branch is pruned once its bound exceeds
+    /// the current k-th smallest exact distance. KL admits no bound, so KL
+    /// queries traverse every leaf.
+    pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+        struct Pending {
+            bound: f64,
+            pid: PageId,
+        }
+        impl PartialEq for Pending {
+            fn eq(&self, other: &Self) -> bool {
+                self.bound == other.bound
+            }
+        }
+        impl Eq for Pending {}
+        impl Ord for Pending {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on the lower bound.
+                other.bound.partial_cmp(&self.bound).expect("bounds are finite")
+            }
+        }
+        impl PartialOrd for Pending {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap = BottomKHeap::new(query.k);
+        let mut frontier = BinaryHeap::new();
+        frontier.push(Pending { bound: 0.0, pid: self.root() });
+        while let Some(Pending { bound, pid }) = frontier.pop() {
+            if heap.is_full() && bound > heap.bound() + 1e-9 {
+                break; // nothing unexplored can get closer
+            }
+            match read_node(pool, pid, self.config().compression) {
+                Node::Leaf(entries) => {
+                    for e in &entries {
+                        let d = query.divergence.eval(query.q.entries(), e.uda.entries());
+                        heap.offer(e.tid, d);
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in &children {
+                        let b = divergence_lower_bound(&c.boundary, &query.q, query.divergence);
+                        if !heap.is_full() || b <= heap.bound() + 1e-9 {
+                            frontier.push(Pending { bound: b, pid: c.pid });
+                        }
+                    }
+                }
+            }
+        }
+        heap.into_sorted()
+    }
+}

@@ -1,0 +1,401 @@
+//! On-page PDR-tree node serialization.
+//!
+//! Nodes hold variable-length entries (sparse UDAs / boundary vectors), so
+//! unlike the B+tree there is no fixed fan-out: a node is full when its
+//! serialization no longer fits an 8 KB page. Boundary compression directly
+//! increases fan-out — the effect the paper's compression section is after.
+//!
+//! Page layout:
+//!
+//! ```text
+//! 0  u8  node type (0 = leaf, 1 = internal)
+//! 1  u8  (reserved)
+//! 2  u16 entry count
+//! 4  entries…
+//!
+//! leaf entry:      u64 tid ‖ UDA codec encoding
+//! internal entry:  u64 child page ‖ boundary encoding
+//!
+//! boundary encodings (shape fixed per tree by the compression config):
+//!   none:          u16 n ‖ n × (u32 cat, f32 prob)
+//!   discretized b: u16 n ‖ n × u32 cat ‖ ⌈n·b/8⌉ code bytes (rounded UP)
+//!   signature w:   w × f32
+//! ```
+
+use uncat_core::uda::Entry;
+use uncat_core::{codec, CatId, Prob, Uda};
+use uncat_storage::page::field;
+use uncat_storage::{BufferPool, PageId, PAGE_SIZE};
+
+use crate::boundary::Boundary;
+use crate::config::Compression;
+
+pub(crate) const NODE_HDR: usize = 4;
+const TYPE_LEAF: u8 = 0;
+const TYPE_INTERNAL: u8 = 1;
+
+/// One stored distribution in a leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LeafEntry {
+    pub tid: u64,
+    pub uda: Uda,
+}
+
+/// One child reference in an internal node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChildEntry {
+    pub pid: PageId,
+    pub boundary: Boundary,
+}
+
+/// A deserialized node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
+    Leaf(Vec<LeafEntry>),
+    Internal(Vec<ChildEntry>),
+}
+
+impl Node {
+    pub(crate) fn count(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Internal(v) => v.len(),
+        }
+    }
+
+    /// Serialized size in bytes under `compression`.
+    pub(crate) fn serialized_size(&self, compression: Compression) -> usize {
+        NODE_HDR
+            + match self {
+                Node::Leaf(v) => v.iter().map(|e| leaf_entry_size(&e.uda)).sum::<usize>(),
+                Node::Internal(v) => v
+                    .iter()
+                    .map(|e| 8 + boundary_size(&e.boundary, compression))
+                    .sum::<usize>(),
+            }
+    }
+
+    /// Whether the node still fits a page.
+    pub(crate) fn fits(&self, compression: Compression) -> bool {
+        self.serialized_size(compression) <= PAGE_SIZE
+    }
+}
+
+/// Serialized bytes of one leaf entry.
+pub(crate) fn leaf_entry_size(uda: &Uda) -> usize {
+    8 + codec::encoded_len(uda)
+}
+
+/// Serialized bytes of one boundary.
+pub(crate) fn boundary_size(b: &Boundary, compression: Compression) -> usize {
+    match (b, compression) {
+        (Boundary::Sparse(v), Compression::None) => 2 + v.len() * 8,
+        (Boundary::Sparse(v), Compression::Discretized { bits }) => {
+            2 + v.len() * 4 + (v.len() * bits as usize).div_ceil(8)
+        }
+        (Boundary::Signature(vals), Compression::Signature { .. }) => vals.len() * 4,
+        _ => panic!("boundary shape does not match compression config"),
+    }
+}
+
+/// Round `p` *up* to the next representable `bits`-wide code. The code `c`
+/// (stored as `c − 1`) decodes to `c / 2^bits ≥ p`, preserving domination.
+fn quantize_up(p: Prob, bits: u8) -> u8 {
+    let slabs = (1u32 << bits) as f64;
+    let c = ((p as f64) * slabs).ceil().max(1.0) as u32;
+    debug_assert!(c <= 1 << bits);
+    (c - 1) as u8
+}
+
+fn dequantize(code: u8, bits: u8) -> Prob {
+    let slabs = (1u32 << bits) as f64;
+    ((code as f64 + 1.0) / slabs) as Prob
+}
+
+fn encode_boundary(b: &Boundary, compression: Compression, out: &mut Vec<u8>) {
+    match (b, compression) {
+        (Boundary::Sparse(v), Compression::None) => {
+            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+            for e in v {
+                out.extend_from_slice(&e.cat.0.to_le_bytes());
+                out.extend_from_slice(&e.prob.to_le_bytes());
+            }
+        }
+        (Boundary::Sparse(v), Compression::Discretized { bits }) => {
+            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+            for e in v {
+                out.extend_from_slice(&e.cat.0.to_le_bytes());
+            }
+            // Bit-packed codes.
+            let mut acc: u32 = 0;
+            let mut nbits = 0u32;
+            for e in v {
+                acc |= (quantize_up(e.prob, bits) as u32) << nbits;
+                nbits += bits as u32;
+                while nbits >= 8 {
+                    out.push((acc & 0xFF) as u8);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            if nbits > 0 {
+                out.push((acc & 0xFF) as u8);
+            }
+        }
+        (Boundary::Signature(vals), Compression::Signature { width }) => {
+            debug_assert_eq!(vals.len(), width as usize);
+            for p in vals {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        _ => panic!("boundary shape does not match compression config"),
+    }
+}
+
+fn decode_boundary(buf: &[u8], compression: Compression) -> (Boundary, usize) {
+    match compression {
+        Compression::None => {
+            let n = u16::from_le_bytes(buf[..2].try_into().expect("header")) as usize;
+            let mut v = Vec::with_capacity(n);
+            let mut off = 2;
+            for _ in 0..n {
+                let cat = CatId(field::get_u32(buf, off));
+                let prob = field::get_f32(buf, off + 4);
+                v.push(Entry { cat, prob });
+                off += 8;
+            }
+            (Boundary::Sparse(v), off)
+        }
+        Compression::Discretized { bits } => {
+            let n = u16::from_le_bytes(buf[..2].try_into().expect("header")) as usize;
+            let mut cats = Vec::with_capacity(n);
+            let mut off = 2;
+            for _ in 0..n {
+                cats.push(CatId(field::get_u32(buf, off)));
+                off += 4;
+            }
+            let code_bytes = (n * bits as usize).div_ceil(8);
+            let codes = &buf[off..off + code_bytes];
+            off += code_bytes;
+            let mut v = Vec::with_capacity(n);
+            let mask = (1u32 << bits) - 1;
+            let mut acc: u32 = 0;
+            let mut nbits = 0u32;
+            let mut byte_i = 0usize;
+            for cat in cats {
+                while nbits < bits as u32 {
+                    acc |= (codes[byte_i] as u32) << nbits;
+                    byte_i += 1;
+                    nbits += 8;
+                }
+                let code = (acc & mask) as u8;
+                acc >>= bits;
+                nbits -= bits as u32;
+                v.push(Entry { cat, prob: dequantize(code, bits) });
+            }
+            (Boundary::Sparse(v), off)
+        }
+        Compression::Signature { width } => {
+            let mut vals = Vec::with_capacity(width as usize);
+            let mut off = 0;
+            for _ in 0..width {
+                vals.push(field::get_f32(buf, off));
+                off += 4;
+            }
+            (Boundary::Signature(vals), off)
+        }
+    }
+}
+
+/// Write a node image onto its page. Panics if the node does not fit —
+/// callers split before writing.
+pub(crate) fn write_node(
+    pool: &mut BufferPool,
+    pid: PageId,
+    node: &Node,
+    compression: Compression,
+) {
+    let mut bytes = Vec::with_capacity(node.serialized_size(compression));
+    match node {
+        Node::Leaf(entries) => {
+            bytes.push(TYPE_LEAF);
+            bytes.push(0);
+            bytes.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+            for e in entries {
+                bytes.extend_from_slice(&e.tid.to_le_bytes());
+                codec::encode(&e.uda, &mut bytes);
+            }
+        }
+        Node::Internal(children) => {
+            bytes.push(TYPE_INTERNAL);
+            bytes.push(0);
+            bytes.extend_from_slice(&(children.len() as u16).to_le_bytes());
+            for c in children {
+                bytes.extend_from_slice(&c.pid.0.to_le_bytes());
+                encode_boundary(&c.boundary, compression, &mut bytes);
+            }
+        }
+    }
+    assert!(bytes.len() <= PAGE_SIZE, "node of {} bytes overflows its page", bytes.len());
+    pool.write(pid, |b| {
+        b[..bytes.len()].copy_from_slice(&bytes);
+    });
+}
+
+/// Read a node image from its page.
+pub(crate) fn read_node(pool: &mut BufferPool, pid: PageId, compression: Compression) -> Node {
+    pool.read(pid, |b| {
+        let ty = b[0];
+        let count = field::get_u16(&b[..], 2) as usize;
+        let mut off = NODE_HDR;
+        match ty {
+            TYPE_LEAF => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let tid = field::get_u64(&b[..], off);
+                    off += 8;
+                    let (uda, used) = codec::decode(&b[off..]).expect("stored UDA decodes");
+                    off += used;
+                    entries.push(LeafEntry { tid, uda });
+                }
+                Node::Leaf(entries)
+            }
+            TYPE_INTERNAL => {
+                let mut children = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let pid = PageId(field::get_u64(&b[..], off));
+                    off += 8;
+                    let (boundary, used) = decode_boundary(&b[off..], compression);
+                    off += used;
+                    children.push(ChildEntry { pid, boundary });
+                }
+                Node::Internal(children)
+            }
+            other => panic!("corrupt PDR node type {other}"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncat_storage::InMemoryDisk;
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    fn pool() -> BufferPool {
+        BufferPool::with_capacity(InMemoryDisk::shared(), 16)
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut p = pool();
+        let pid = p.allocate();
+        let node = Node::Leaf(vec![
+            LeafEntry { tid: 1, uda: uda(&[(0, 0.5), (7, 0.5)]) },
+            LeafEntry { tid: 99, uda: uda(&[(3, 1.0)]) },
+        ]);
+        write_node(&mut p, pid, &node, Compression::None);
+        assert_eq!(read_node(&mut p, pid, Compression::None), node);
+    }
+
+    #[test]
+    fn internal_roundtrip_uncompressed() {
+        let mut p = pool();
+        let pid = p.allocate();
+        let node = Node::Internal(vec![
+            ChildEntry {
+                pid: PageId(5),
+                boundary: Boundary::of_uda(&uda(&[(0, 0.1), (2, 0.9)]), Compression::None),
+            },
+            ChildEntry {
+                pid: PageId(9),
+                boundary: Boundary::of_uda(&uda(&[(1, 1.0)]), Compression::None),
+            },
+        ]);
+        write_node(&mut p, pid, &node, Compression::None);
+        assert_eq!(read_node(&mut p, pid, Compression::None), node);
+    }
+
+    #[test]
+    fn discretized_roundtrip_only_rounds_up() {
+        let mut p = pool();
+        let pid = p.allocate();
+        let cfg = Compression::Discretized { bits: 2 };
+        let orig = Boundary::Sparse(vec![
+            Entry { cat: CatId(0), prob: 0.62 },
+            Entry { cat: CatId(5), prob: 0.10 },
+            Entry { cat: CatId(6), prob: 1.0 },
+        ]);
+        let node = Node::Internal(vec![ChildEntry { pid: PageId(1), boundary: orig.clone() }]);
+        write_node(&mut p, pid, &node, cfg);
+        let back = read_node(&mut p, pid, cfg);
+        let Node::Internal(children) = back else { panic!("internal expected") };
+        let Boundary::Sparse(v) = &children[0].boundary else { panic!("sparse expected") };
+        // Paper's example: 0.62 → 0.75 in 2 bits.
+        assert_eq!(v[0].prob, 0.75);
+        assert_eq!(v[1].prob, 0.25);
+        assert_eq!(v[2].prob, 1.0);
+        for (a, b) in v.iter().zip(orig.entries()) {
+            assert_eq!(a.cat, b.cat);
+            assert!(a.prob >= b.prob, "lossy boundary must over-estimate");
+        }
+    }
+
+    #[test]
+    fn discretized_is_smaller_than_exact() {
+        let v: Vec<Entry> =
+            (0..100).map(|i| Entry { cat: CatId(i), prob: 0.5 }).collect();
+        let b = Boundary::Sparse(v);
+        let exact = boundary_size(&b, Compression::None);
+        let disc = boundary_size(&b, Compression::Discretized { bits: 2 });
+        assert!(disc < exact, "{disc} !< {exact}");
+        // 2 + 400 cat bytes + 25 code bytes vs 2 + 800.
+        assert_eq!(disc, 2 + 400 + 25);
+        assert_eq!(exact, 2 + 800);
+    }
+
+    #[test]
+    fn signature_roundtrip() {
+        let mut p = pool();
+        let pid = p.allocate();
+        let cfg = Compression::Signature { width: 8 };
+        let b = Boundary::of_uda(&uda(&[(1, 0.2), (9, 0.5), (17, 0.3)]), cfg);
+        let node = Node::Internal(vec![ChildEntry { pid: PageId(2), boundary: b.clone() }]);
+        write_node(&mut p, pid, &node, cfg);
+        let back = read_node(&mut p, pid, cfg);
+        let Node::Internal(children) = back else { panic!("internal expected") };
+        assert_eq!(children[0].boundary, b);
+    }
+
+    #[test]
+    fn quantize_bounds() {
+        for bits in 1..=8u8 {
+            for p in [1e-6f32, 0.1, 0.25, 0.5, 0.62, 0.99, 1.0] {
+                let q = dequantize(quantize_up(p, bits), bits);
+                assert!(q >= p, "{q} < {p} at {bits} bits");
+                assert!(q <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn eight_bit_codes_fit_a_byte() {
+        assert_eq!(quantize_up(1.0, 8), 255);
+        assert_eq!(dequantize(255, 8), 1.0);
+        assert_eq!(quantize_up(1.0 / 256.0, 8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows its page")]
+    fn oversized_node_panics() {
+        let mut p = pool();
+        let pid = p.allocate();
+        let entries: Vec<LeafEntry> = (0..2000)
+            .map(|i| LeafEntry { tid: i, uda: uda(&[(0, 0.5), (1, 0.25), (2, 0.25)]) })
+            .collect();
+        write_node(&mut p, pid, &Node::Leaf(entries), Compression::None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Metadata snapshots: close a PDR-tree and reopen it over the same
+//! (durable) page store.
+//!
+//! Unlike the inverted index, the PDR-tree keeps almost nothing in memory
+//! — just the root page, the configuration, and counters — so its
+//! snapshot is a few dozen bytes.
+
+use uncat_core::{Divergence, Domain};
+use uncat_storage::snapshot::{Reader, SnapshotError, Writer};
+
+use crate::config::{Compression, PdrConfig, SplitStrategy};
+use crate::tree::PdrTree;
+
+const MAGIC: &[u8; 4] = b"UPD1";
+
+fn write_domain(w: &mut Writer, d: &Domain) {
+    if d.is_labeled() {
+        w.u8(1);
+        w.u32(d.size());
+        for l in d.labels() {
+            w.str(l);
+        }
+    } else {
+        w.u8(0);
+        w.u32(d.size());
+    }
+}
+
+fn read_domain(r: &mut Reader<'_>) -> Result<Domain, SnapshotError> {
+    let labeled = r.u8()? == 1;
+    let size = r.u32()?;
+    if labeled {
+        let mut labels = Vec::with_capacity(size as usize);
+        for _ in 0..size {
+            labels.push(r.str()?);
+        }
+        Ok(Domain::from_labels(labels))
+    } else {
+        Ok(Domain::anonymous(size))
+    }
+}
+
+fn write_config(w: &mut Writer, c: &PdrConfig) {
+    w.u8(match c.divergence {
+        Divergence::L1 => 0,
+        Divergence::L2 => 1,
+        Divergence::Kl => 2,
+    });
+    w.u8(match c.split {
+        SplitStrategy::TopDown => 0,
+        SplitStrategy::BottomUp => 1,
+    });
+    match c.compression {
+        Compression::None => {
+            w.u8(0);
+            w.u16(0);
+        }
+        Compression::Discretized { bits } => {
+            w.u8(1);
+            w.u16(bits as u16);
+        }
+        Compression::Signature { width } => {
+            w.u8(2);
+            w.u16(width);
+        }
+    }
+    w.u32(c.balance_num as u32);
+    w.u32(c.balance_den as u32);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<PdrConfig, SnapshotError> {
+    let divergence = match r.u8()? {
+        0 => Divergence::L1,
+        1 => Divergence::L2,
+        2 => Divergence::Kl,
+        _ => return Err(SnapshotError("unknown divergence")),
+    };
+    let split = match r.u8()? {
+        0 => SplitStrategy::TopDown,
+        1 => SplitStrategy::BottomUp,
+        _ => return Err(SnapshotError("unknown split strategy")),
+    };
+    let ckind = r.u8()?;
+    let carg = r.u16()?;
+    let compression = match ckind {
+        0 => Compression::None,
+        1 => Compression::Discretized { bits: carg as u8 },
+        2 => Compression::Signature { width: carg },
+        _ => return Err(SnapshotError("unknown compression")),
+    };
+    let balance_num = r.u32()? as usize;
+    let balance_den = r.u32()? as usize;
+    let cfg = PdrConfig { divergence, split, compression, balance_num, balance_den };
+    cfg.validate().map_err(|_| SnapshotError("invalid configuration"))?;
+    Ok(cfg)
+}
+
+impl PdrTree {
+    /// Serialize the tree's metadata. Flush the building pool first so the
+    /// referenced pages are durable.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new(MAGIC);
+        write_domain(&mut w, self.domain());
+        write_config(&mut w, self.config());
+        w.pid(self.root());
+        w.u64(self.len());
+        w.u32(self.depth());
+        w.finish()
+    }
+
+    /// Reattach a tree from a snapshot over the same store.
+    pub fn open(blob: &[u8]) -> Result<PdrTree, SnapshotError> {
+        let mut r = Reader::new(blob, MAGIC)?;
+        let domain = read_domain(&mut r)?;
+        let config = read_config(&mut r)?;
+        let root = r.pid()?;
+        let len = r.u64()?;
+        let depth = r.u32()?;
+        if !r.is_done() {
+            return Err(SnapshotError("trailing bytes"));
+        }
+        Ok(PdrTree::from_raw(root, config, domain, len, depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncat_core::query::EqQuery;
+    use uncat_core::{CatId, Uda};
+    use uncat_storage::{BufferPool, InMemoryDisk};
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries_and_config() {
+        let store = InMemoryDisk::shared();
+        let cfg = PdrConfig {
+            divergence: Divergence::L1,
+            split: SplitStrategy::TopDown,
+            compression: Compression::Discretized { bits: 4 },
+            ..PdrConfig::default()
+        };
+        let data: Vec<(u64, Uda)> = (0..500u64)
+            .map(|i| {
+                let c = (i % 9) as u32;
+                (i, uda(&[(c, 0.7), ((c + 2) % 9, 0.3)]))
+            })
+            .collect();
+        let blob = {
+            let mut pool = BufferPool::with_capacity(store.clone(), 128);
+            let tree = PdrTree::build(
+                Domain::anonymous(9),
+                cfg,
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            );
+            pool.flush();
+            tree.snapshot()
+        };
+
+        let tree = PdrTree::open(&blob).expect("snapshot decodes");
+        assert_eq!(tree.len(), 500);
+        assert_eq!(*tree.config(), cfg, "configuration survives");
+        let mut pool = BufferPool::with_capacity(store, 128);
+        assert_eq!(tree.check_invariants(&mut pool), 500);
+        let out = tree.petq(&mut pool, &EqQuery::new(uda(&[(0, 1.0)]), 0.5));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        assert!(PdrTree::open(b"junk").is_err());
+        // Valid magic + invalid divergence byte.
+        let mut w = Writer::new(MAGIC);
+        w.u8(0);
+        w.u32(3);
+        w.u8(9); // bogus divergence
+        let blob = w.finish();
+        assert!(PdrTree::open(&blob).is_err());
+    }
+}

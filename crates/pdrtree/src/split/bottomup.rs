@@ -1,0 +1,98 @@
+//! Bottom-up (agglomerative) split.
+//!
+//! "We begin with each element forming an independent cluster. In each
+//! step the closest pair of clusters (in terms of their distributional
+//! distance) are merged. This process stops when only two clusters remain.
+//! … no cluster is allowed to contain more than 3/4 of the total elements"
+//! (paper §3.2). Cluster-to-cluster distance is the divergence between
+//! cluster boundaries; merging unions the boundaries.
+
+use crate::boundary::Boundary;
+use crate::config::PdrConfig;
+
+use super::{rebalance_bytes, Partition};
+
+struct Cluster {
+    members: Vec<usize>,
+    boundary: Boundary,
+    bytes: usize,
+}
+
+pub(crate) fn bottom_up(
+    reps: &[Boundary],
+    sizes: &[usize],
+    byte_budget: usize,
+    cfg: &PdrConfig,
+) -> Partition {
+    let n = reps.len();
+    let dv = cfg.divergence;
+    let cap = cfg.balance_cap(n);
+
+    let mut clusters: Vec<Option<Cluster>> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Some(Cluster { members: vec![i], boundary: b.clone(), bytes: sizes[i] }))
+        .collect();
+    let mut alive = n;
+
+    // Pairwise distance cache; recomputed lazily for merged clusters.
+    let mut dist = vec![f64::INFINITY; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = reps[i].divergence_between(&reps[j], dv);
+            dist[i * n + j] = d;
+        }
+    }
+
+    while alive > 2 {
+        // Closest mergeable pair: merged size within the balance cap.
+        // (With ≥ 3 clusters the two smallest always fit a ≥ 2/3 cap, so a
+        // mergeable pair exists; the byte budget is restored afterwards.)
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            let Some(ci) = clusters[i].as_ref() else { continue };
+            for j in (i + 1)..n {
+                let Some(cj) = clusters[j].as_ref() else { continue };
+                if ci.members.len() + cj.members.len() > cap {
+                    continue;
+                }
+                let d = dist[i * n + j];
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        let cj = clusters[j].take().expect("alive cluster");
+        let ci = clusters[i].as_mut().expect("alive cluster");
+        ci.members.extend(cj.members);
+        ci.boundary.merge_boundary(&cj.boundary);
+        ci.bytes += cj.bytes;
+        alive -= 1;
+        // Refresh distances involving the merged cluster.
+        let bi = clusters[i].as_ref().expect("alive").boundary.clone();
+        for (k, cluster) in clusters.iter().enumerate() {
+            if k == i {
+                continue;
+            }
+            if let Some(ck) = cluster.as_ref() {
+                let d = bi.divergence_between(&ck.boundary, dv);
+                let (a, b) = if i < k { (i, k) } else { (k, i) };
+                dist[a * n + b] = d;
+            }
+        }
+    }
+
+    let mut sides: Vec<Vec<usize>> = clusters
+        .into_iter()
+        .flatten()
+        .map(|c| c.members)
+        .collect();
+    // `break` above (no mergeable pair) can only leave two sides here
+    // because a mergeable pair always exists while more than two remain.
+    assert_eq!(sides.len(), 2, "agglomeration must end with two clusters");
+    let mut right = sides.pop().expect("two clusters");
+    let mut left = sides.pop().expect("two clusters");
+    rebalance_bytes(&mut left, &mut right, sizes, byte_budget);
+    Partition { left, right }
+}

@@ -1,0 +1,191 @@
+//! Node split strategies (paper §3.2, "Split()").
+//!
+//! Both strategies partition a node's entries into two groups under two
+//! constraints: the paper's balance cap ("no cluster is allowed to contain
+//! more than 3/4 of the total elements") and the physical page budget
+//! (entries are variable-length, so a by-count balance alone could still
+//! overflow a page).
+//!
+//! Entries are abstracted as `(representative boundary, serialized size)`
+//! pairs; leaf splits pass per-UDA boundaries, internal splits pass the
+//! child boundaries themselves.
+
+mod bottomup;
+mod topdown;
+
+use crate::boundary::Boundary;
+use crate::config::{PdrConfig, SplitStrategy};
+
+pub(crate) use bottomup::bottom_up;
+pub(crate) use topdown::top_down;
+
+/// The outcome of a split: index sets for the two new nodes.
+#[derive(Debug)]
+pub(crate) struct Partition {
+    pub left: Vec<usize>,
+    pub right: Vec<usize>,
+}
+
+impl Partition {
+    /// Sanity-check: a real two-way partition of `n` items.
+    pub(crate) fn validate(&self, n: usize) {
+        assert!(!self.left.is_empty() && !self.right.is_empty(), "degenerate split");
+        assert_eq!(self.left.len() + self.right.len(), n, "split lost entries");
+        let mut seen = vec![false; n];
+        for &i in self.left.iter().chain(&self.right) {
+            assert!(!seen[i], "entry {i} assigned twice");
+            seen[i] = true;
+        }
+    }
+}
+
+/// Split `n` entries with representatives `reps` and serialized sizes
+/// `sizes` into two groups, each within `byte_budget` and the config's
+/// balance cap.
+pub(crate) fn split(
+    reps: &[Boundary],
+    sizes: &[usize],
+    byte_budget: usize,
+    cfg: &PdrConfig,
+) -> Partition {
+    debug_assert_eq!(reps.len(), sizes.len());
+    debug_assert!(reps.len() >= 2, "cannot split fewer than two entries");
+    let p = match cfg.split {
+        SplitStrategy::TopDown => top_down(reps, sizes, byte_budget, cfg),
+        SplitStrategy::BottomUp => bottom_up(reps, sizes, byte_budget, cfg),
+    };
+    p.validate(reps.len());
+    debug_assert!(p.left.iter().map(|&i| sizes[i]).sum::<usize>() <= byte_budget);
+    debug_assert!(p.right.iter().map(|&i| sizes[i]).sum::<usize>() <= byte_budget);
+    p
+}
+
+/// Move members from an over-budget side to the other until both fit.
+/// `order` lists the overfull side's members from most-movable first.
+pub(super) fn rebalance_bytes(
+    left: &mut Vec<usize>,
+    right: &mut Vec<usize>,
+    sizes: &[usize],
+    byte_budget: usize,
+) {
+    let bytes = |v: &[usize]| v.iter().map(|&i| sizes[i]).sum::<usize>();
+    // At most one side can exceed the budget (the total fit a page plus one
+    // entry before the split); move its smallest members across.
+    loop {
+        let (lb, rb) = (bytes(left), bytes(right));
+        if lb <= byte_budget && rb <= byte_budget {
+            return;
+        }
+        let (from, to) = if lb > rb { (&mut *left, &mut *right) } else { (&mut *right, &mut *left) };
+        assert!(from.len() > 1, "cannot rebalance a single oversized entry");
+        // Move the smallest entry: least likely to push the target over.
+        let (k, _) = from
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| sizes[i])
+            .expect("non-empty");
+        let moved = from.swap_remove(k);
+        to.push(moved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Compression;
+    use uncat_core::{CatId, Divergence, Uda};
+
+    fn rep(pairs: &[(u32, f32)]) -> Boundary {
+        Boundary::of_uda(
+            &Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap(),
+            Compression::None,
+        )
+    }
+
+    fn two_obvious_clusters() -> Vec<Boundary> {
+        // Five near (0,1)-concentrated, five near (2,3)-concentrated.
+        let mut v = Vec::new();
+        for i in 0..5 {
+            let a = 0.5 + 0.05 * i as f32;
+            v.push(rep(&[(0, a), (1, 1.0 - a)]));
+        }
+        for i in 0..5 {
+            let a = 0.5 + 0.05 * i as f32;
+            v.push(rep(&[(2, a), (3, 1.0 - a)]));
+        }
+        v
+    }
+
+    fn cfg(split: SplitStrategy) -> PdrConfig {
+        PdrConfig { split, divergence: Divergence::Kl, ..PdrConfig::default() }
+    }
+
+    #[test]
+    fn both_strategies_separate_obvious_clusters() {
+        let reps = two_obvious_clusters();
+        let sizes = vec![20usize; reps.len()];
+        for s in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+            let p = split(&reps, &sizes, 10_000, &cfg(s));
+            // Each side must be exactly one of the two natural clusters.
+            let mut left: Vec<usize> = p.left.clone();
+            left.sort();
+            assert!(
+                left == vec![0, 1, 2, 3, 4] || left == vec![5, 6, 7, 8, 9],
+                "{s:?} mixed the clusters: {left:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balance_cap_respected_on_skewed_data() {
+        // Nine identical entries and one outlier: unconstrained assignment
+        // would put 9 on one side (> 3/4 of 10).
+        let mut reps: Vec<Boundary> = (0..9).map(|_| rep(&[(0, 0.5), (1, 0.5)])).collect();
+        reps.push(rep(&[(7, 1.0)]));
+        let sizes = vec![20usize; 10];
+        for s in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+            let p = split(&reps, &sizes, 10_000, &cfg(s));
+            let cap = cfg(s).balance_cap(10);
+            assert!(p.left.len() <= cap && p.right.len() <= cap, "{s:?} violated balance");
+        }
+    }
+
+    #[test]
+    fn byte_budget_respected() {
+        // One huge entry plus small ones: by-count balance alone would
+        // overflow.
+        let reps: Vec<Boundary> = (0..8).map(|i| rep(&[(i, 1.0)])).collect();
+        let mut sizes = vec![10usize; 8];
+        sizes[0] = 90;
+        for s in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+            let p = split(&reps, &sizes, 100, &cfg(s));
+            for side in [&p.left, &p.right] {
+                let b: usize = side.iter().map(|&i| sizes[i]).sum();
+                assert!(b <= 100, "{s:?} side exceeds byte budget: {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_entries_split_one_each() {
+        let reps = vec![rep(&[(0, 1.0)]), rep(&[(1, 1.0)])];
+        let sizes = vec![10, 10];
+        for s in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+            let p = split(&reps, &sizes, 100, &cfg(s));
+            assert_eq!(p.left.len(), 1);
+            assert_eq!(p.right.len(), 1);
+        }
+    }
+
+    #[test]
+    fn identical_entries_still_split_validly() {
+        let reps: Vec<Boundary> = (0..6).map(|_| rep(&[(0, 1.0)])).collect();
+        let sizes = vec![10usize; 6];
+        for s in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
+            let p = split(&reps, &sizes, 100, &cfg(s));
+            p.validate(6);
+            let cap = cfg(s).balance_cap(6);
+            assert!(p.left.len() <= cap && p.right.len() <= cap);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Top-down split: seed with the two distributionally farthest entries.
+//!
+//! "We pick two children MBRs whose boundaries are distributionally
+//! farthest from each other according to the divergence measures. With
+//! these two serving as the seeds for two clusters, all other UDAs are
+//! inserted into the closer cluster. An additional consideration is to
+//! create a balanced split" (paper §3.2). The paper's Figure 10 shows this
+//! strategy is vulnerable to outlier seeds — which is exactly the behaviour
+//! the reproduction exhibits.
+
+use crate::boundary::Boundary;
+use crate::config::PdrConfig;
+
+use super::{rebalance_bytes, Partition};
+
+pub(crate) fn top_down(
+    reps: &[Boundary],
+    sizes: &[usize],
+    byte_budget: usize,
+    cfg: &PdrConfig,
+) -> Partition {
+    let n = reps.len();
+    let dv = cfg.divergence;
+
+    // Farthest pair (O(n²) divergence evaluations).
+    let (mut s1, mut s2, mut best) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = reps[i].divergence_between(&reps[j], dv);
+            if d > best {
+                best = d;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+
+    // "All other UDAs are inserted into the closer cluster", in input
+    // order, subject to the balance cap — deliberately as naive as the
+    // paper describes (Figure 10 shows this strategy's weakness: outlier
+    // seeds drag ordinary entries to the wrong side).
+    let cap = cfg.balance_cap(n);
+    let mut left = vec![s1];
+    let mut right = vec![s2];
+    for k in (0..n).filter(|&k| k != s1 && k != s2) {
+        let d1 = reps[k].divergence_between(&reps[s1], dv);
+        let d2 = reps[k].divergence_between(&reps[s2], dv);
+        let prefer_left = d1 <= d2;
+        let left_open = left.len() < cap;
+        let right_open = right.len() < cap;
+        if (prefer_left && left_open) || !right_open {
+            left.push(k);
+        } else {
+            right.push(k);
+        }
+    }
+    rebalance_bytes(&mut left, &mut right, sizes, byte_budget);
+    Partition { left, right }
+}

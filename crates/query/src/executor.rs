@@ -1,0 +1,92 @@
+//! Per-query execution with the paper's buffer discipline.
+//!
+//! "All experiments are conducted with a buffer manager that allocates 100
+//! blocks to each query": the executor gives every query a fresh pool over
+//! the shared store and reports the I/O it incurred.
+
+use uncat_core::query::{DstQuery, EqQuery, Match, TopKQuery};
+use uncat_storage::buffer::DEFAULT_FRAMES;
+use uncat_storage::{BufferPool, IoStats, SharedStore};
+
+use crate::index_trait::UncertainIndex;
+
+/// Result of one query execution.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Qualifying tuples, canonical order.
+    pub matches: Vec<Match>,
+    /// I/O charged to this query (fresh buffer pool).
+    pub io: IoStats,
+}
+
+impl QueryOutcome {
+    /// The paper's y-axis: physical page reads.
+    pub fn reads(&self) -> u64 {
+        self.io.physical_reads
+    }
+
+    /// Result selectivity relative to `n` tuples.
+    pub fn selectivity(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.matches.len() as f64 / n as f64
+        }
+    }
+}
+
+/// Runs queries against an index with a fresh buffer pool each time.
+pub struct Executor<I> {
+    index: I,
+    store: SharedStore,
+    frames: usize,
+}
+
+impl<I: UncertainIndex> Executor<I> {
+    /// Executor with the paper's 100-frame per-query buffers.
+    pub fn new(index: I, store: SharedStore) -> Executor<I> {
+        Executor { index, store, frames: DEFAULT_FRAMES }
+    }
+
+    /// Executor with a custom per-query buffer size (for the buffer-size
+    /// ablation).
+    pub fn with_frames(index: I, store: SharedStore, frames: usize) -> Executor<I> {
+        Executor { index, store, frames }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Per-query frame budget.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    fn run(&self, f: impl FnOnce(&I, &mut BufferPool) -> Vec<Match>) -> QueryOutcome {
+        let mut pool = BufferPool::with_capacity(self.store.clone(), self.frames);
+        let matches = f(&self.index, &mut pool);
+        QueryOutcome { matches, io: pool.stats() }
+    }
+
+    /// Run a PETQ with a cold, private buffer.
+    pub fn petq(&self, query: &EqQuery) -> QueryOutcome {
+        self.run(|i, p| i.petq(p, query))
+    }
+
+    /// Run a top-k query with a cold, private buffer.
+    pub fn top_k(&self, query: &TopKQuery) -> QueryOutcome {
+        self.run(|i, p| i.top_k(p, query))
+    }
+
+    /// Run a DSTQ with a cold, private buffer.
+    pub fn dstq(&self, query: &DstQuery) -> QueryOutcome {
+        self.run(|i, p| i.dstq(p, query))
+    }
+
+    /// Run a DSQ-top-k with a cold, private buffer.
+    pub fn ds_top_k(&self, query: &uncat_core::query::DsTopKQuery) -> QueryOutcome {
+        self.run(|i, p| i.ds_top_k(p, query))
+    }
+}

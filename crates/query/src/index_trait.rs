@@ -1,0 +1,97 @@
+//! The common interface over index structures.
+
+use uncat_core::query::{DsTopKQuery, DstQuery, EqQuery, Match, TopKQuery};
+use uncat_storage::BufferPool;
+
+use uncat_inverted::{InvertedIndex, Strategy};
+use uncat_pdrtree::PdrTree;
+
+/// Anything that can answer the paper's query set. All three queries
+/// return exact scores in canonical order (descending probability for
+/// equality, ascending divergence for similarity).
+pub trait UncertainIndex {
+    /// Probabilistic equality threshold query (Definition 4).
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match>;
+    /// PEQ-top-k.
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match>;
+    /// Distributional similarity threshold query (Definition 5).
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match>;
+    /// DSQ-top-k: the `k` distributionally closest tuples.
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match>;
+    /// Number of indexed tuples.
+    fn tuple_count(&self) -> u64;
+    /// Short name for reports ("inverted", "pdr-tree", "scan").
+    fn backend_name(&self) -> &'static str;
+}
+
+/// The inverted index paired with a fixed search strategy.
+pub struct InvertedBackend {
+    /// The underlying index.
+    pub index: InvertedIndex,
+    /// Strategy used for threshold queries.
+    pub strategy: Strategy,
+}
+
+impl InvertedBackend {
+    /// Wrap an index with the default (NRA) threshold strategy.
+    pub fn new(index: InvertedIndex) -> InvertedBackend {
+        InvertedBackend { index, strategy: Strategy::Nra }
+    }
+
+    /// Wrap an index with an explicit strategy.
+    pub fn with_strategy(index: InvertedIndex, strategy: Strategy) -> InvertedBackend {
+        InvertedBackend { index, strategy }
+    }
+}
+
+impl UncertainIndex for InvertedBackend {
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+        self.index.petq(pool, query, self.strategy)
+    }
+
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+        self.index.top_k(pool, query)
+    }
+
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+        self.index.dstq(pool, query)
+    }
+
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+        self.index.ds_top_k(pool, query)
+    }
+
+    fn tuple_count(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "inverted"
+    }
+}
+
+impl UncertainIndex for PdrTree {
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+        PdrTree::petq(self, pool, query)
+    }
+
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+        PdrTree::top_k(self, pool, query)
+    }
+
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+        PdrTree::dstq(self, pool, query)
+    }
+
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+        PdrTree::ds_top_k(self, pool, query)
+    }
+
+    fn tuple_count(&self) -> u64 {
+        self.len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "pdr-tree"
+    }
+}

@@ -1,0 +1,121 @@
+//! Probabilistic join operators (paper §2, Definition 6 and variants).
+//!
+//! Given relations `R`, `S` with UDAs, `R ⋈_{a=b,τ} S` pairs every
+//! `(r, s)` with `Pr(r.a = s.b) ≥ τ` (PETJ). PEJ-top-k returns the `k`
+//! most probable pairs; DSTJ pairs tuples within a divergence radius.
+//!
+//! Two physical plans are provided: *index nested loop* (probe an
+//! [`UncertainIndex`] on `S` once per outer tuple) and *block nested loop*
+//! (scan-only baseline). As the paper notes, joining introduces
+//! correlations between result tuples; only threshold-based selection is
+//! modeled — lineage tracking is out of scope.
+
+mod nested_loop;
+
+pub use nested_loop::{block_nested_loop_petj, index_nested_loop_petj};
+
+use uncat_core::query::{DstQuery, Match, TopKQuery};
+use uncat_core::topk::TopKHeap;
+use uncat_core::Uda;
+use uncat_storage::BufferPool;
+
+use crate::index_trait::UncertainIndex;
+
+/// One joined pair: outer tuple id, inner tuple id, and the score
+/// (equality probability or divergence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPair {
+    /// Outer (R) tuple id.
+    pub left: u64,
+    /// Inner (S) tuple id.
+    pub right: u64,
+    /// `Pr(r = s)` for equality joins, `F(r, s)` for similarity joins.
+    pub score: f64,
+}
+
+/// Canonical pair ordering: score descending, then (left, right).
+pub fn sort_pairs_desc(pairs: &mut [JoinPair]) {
+    pairs.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+}
+
+/// PEJ-top-k: the `k` most probable pairs, by probing the inner index with
+/// a per-outer top-k whose floor rises as the global heap fills.
+pub fn index_top_k_pej(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    k: usize,
+) -> Vec<JoinPair> {
+    // A pair-level heap keyed by a synthetic id; tie-breaking therefore
+    // follows outer order, matching the canonical sort below.
+    let mut best: Vec<JoinPair> = Vec::new();
+    let mut floor = 0.0f64;
+    for (ltid, luda) in outer {
+        let probes = inner.top_k(pool, &TopKQuery::new(luda.clone(), k));
+        for m in probes {
+            if best.len() >= k && m.score < floor {
+                continue;
+            }
+            best.push(JoinPair { left: *ltid, right: m.tid, score: m.score });
+        }
+        if best.len() > k {
+            sort_pairs_desc(&mut best);
+            best.truncate(k);
+            floor = best.last().map_or(0.0, |p| p.score);
+        }
+    }
+    sort_pairs_desc(&mut best);
+    best.truncate(k);
+    best
+}
+
+/// DSTJ: all pairs within divergence `τ_d`, via index probes.
+pub fn index_dstj(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    tau_d: f64,
+    divergence: uncat_core::Divergence,
+) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    for (ltid, luda) in outer {
+        for m in inner.dstq(pool, &DstQuery::new(luda.clone(), tau_d, divergence)) {
+            out.push(JoinPair { left: *ltid, right: m.tid, score: m.score });
+        }
+    }
+    // Similarity joins order ascending by divergence.
+    out.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .expect("scores are finite")
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+    out
+}
+
+/// Per-outer-tuple top-k (the "k best partners for each r" variant, handy
+/// for entity-matching examples).
+pub fn index_top_k_per_outer(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    k: usize,
+) -> Vec<(u64, Vec<Match>)> {
+    outer
+        .iter()
+        .map(|(ltid, luda)| {
+            let mut h = TopKHeap::new(k, 0.0);
+            for m in inner.top_k(pool, &TopKQuery::new(luda.clone(), k)) {
+                h.offer(m.tid, m.score);
+            }
+            (*ltid, h.into_sorted())
+        })
+        .collect()
+}

@@ -1,0 +1,50 @@
+//! PETJ physical plans.
+
+use uncat_core::equality::{eq_prob, meets_threshold};
+use uncat_core::query::EqQuery;
+use uncat_core::Uda;
+use uncat_storage::BufferPool;
+
+use crate::index_trait::UncertainIndex;
+use crate::scan::ScanBaseline;
+
+use super::{sort_pairs_desc, JoinPair};
+
+/// Index nested loop PETJ: probe the inner index once per outer tuple.
+pub fn index_nested_loop_petj(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    tau: f64,
+) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    for (ltid, luda) in outer {
+        for m in inner.petq(pool, &EqQuery::new(luda.clone(), tau)) {
+            out.push(JoinPair { left: *ltid, right: m.tid, score: m.score });
+        }
+    }
+    sort_pairs_desc(&mut out);
+    out
+}
+
+/// Block nested loop PETJ baseline: for each outer tuple, scan the inner
+/// relation. (The outer side is in memory — the paper joins an uncertain
+/// relation against a stored one; the inner side is charged I/O.)
+pub fn block_nested_loop_petj(
+    outer: &[(u64, Uda)],
+    inner: &ScanBaseline,
+    pool: &mut BufferPool,
+    tau: f64,
+) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    inner.scan(pool, |rtid, ruda| {
+        for (ltid, luda) in outer {
+            let pr = eq_prob(luda, ruda);
+            if meets_threshold(pr, tau) {
+                out.push(JoinPair { left: *ltid, right: rtid, score: pr });
+            }
+        }
+    });
+    sort_pairs_desc(&mut out);
+    out
+}

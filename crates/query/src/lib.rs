@@ -1,0 +1,26 @@
+//! Unified query execution over uncertain-data indexes.
+//!
+//! * [`UncertainIndex`] — one trait for both paper indexes plus the
+//!   full-scan baseline, so benchmarks and joins are generic.
+//! * [`ScanBaseline`] — evaluates every query by scanning the tuple heap;
+//!   the correctness oracle and the "no index" comparison point.
+//! * [`Executor`] — owns a shared store and runs each query against a
+//!   fresh buffer pool (the paper's per-query 100-frame setup), reporting
+//!   result and I/O.
+//! * [`join`] — the join operators built on the select primitives: PETJ
+//!   (Definition 6), PEJ-top-k, and DSTJ.
+//! * [`parallel`] — batch execution across threads (each query gets its
+//!   own buffer pool, exactly like the paper's per-query setup).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod index_trait;
+pub mod join;
+pub mod parallel;
+mod scan;
+
+pub use executor::{Executor, QueryOutcome};
+pub use index_trait::{InvertedBackend, UncertainIndex};
+pub use scan::ScanBaseline;

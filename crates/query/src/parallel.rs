@@ -1,0 +1,202 @@
+//! Parallel batch execution.
+//!
+//! The paper's model gives every query its own buffer pool, which makes
+//! query batches embarrassingly parallel: the page store is shared and
+//! internally synchronized, the indexes are immutable during reads, and
+//! each worker owns its pools. This module fans a batch out over a fixed
+//! number of threads and returns outcomes in input order.
+
+use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
+use uncat_storage::{BufferPool, SharedStore};
+
+use crate::executor::QueryOutcome;
+use crate::index_trait::UncertainIndex;
+
+/// Run `f` once per query on `threads` workers, each query against a
+/// fresh pool; results come back in input order.
+fn run_batch<Q, I, F>(
+    index: &I,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[Q],
+    threads: usize,
+    f: F,
+) -> Vec<QueryOutcome>
+where
+    Q: Sync,
+    I: UncertainIndex + Sync,
+    F: Fn(&I, &mut BufferPool, &Q) -> Vec<uncat_core::query::Match> + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    let mut out: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
+    out.resize_with(queries.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out_cells: Vec<std::sync::Mutex<&mut Option<QueryOutcome>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(queries.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let mut pool = BufferPool::with_capacity(store.clone(), frames);
+                let matches = f(index, &mut pool, &queries[i]);
+                let outcome = QueryOutcome { matches, io: pool.stats() };
+                **out_cells[i].lock().expect("cell lock") = Some(outcome);
+            });
+        }
+    });
+    drop(out_cells);
+    out.into_iter().map(|o| o.expect("every query executed")).collect()
+}
+
+/// Evaluate a batch of PETQs in parallel.
+pub fn petq_batch<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[EqQuery],
+    threads: usize,
+) -> Vec<QueryOutcome> {
+    run_batch(index, store, frames, queries, threads, |i, p, q| i.petq(p, q))
+}
+
+/// Evaluate a batch of top-k queries in parallel.
+pub fn top_k_batch<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[TopKQuery],
+    threads: usize,
+) -> Vec<QueryOutcome> {
+    run_batch(index, store, frames, queries, threads, |i, p, q| i.top_k(p, q))
+}
+
+/// Evaluate a batch of DSTQs in parallel.
+pub fn dstq_batch<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[DstQuery],
+    threads: usize,
+) -> Vec<QueryOutcome> {
+    run_batch(index, store, frames, queries, threads, |i, p, q| i.dstq(p, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncat_core::{CatId, Domain, Uda};
+    use uncat_inverted::InvertedIndex;
+    use uncat_storage::InMemoryDisk;
+
+    fn uda(pairs: &[(u32, f32)]) -> Uda {
+        Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..2000u64)
+            .map(|i| {
+                let c = (i % 11) as u32;
+                (i, uda(&[(c, 0.6), ((c + 3) % 11, 0.4)]))
+            })
+            .collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 128);
+        let idx = crate::InvertedBackend::new(InvertedIndex::build(
+            Domain::anonymous(11),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        ));
+        pool.flush();
+        drop(pool);
+
+        let queries: Vec<EqQuery> = (0..16)
+            .map(|i| EqQuery::new(uda(&[((i % 11) as u32, 1.0)]), 0.3))
+            .collect();
+
+        let par = petq_batch(&idx, &store, 100, &queries, 4);
+        for (q, outcome) in queries.iter().zip(&par) {
+            let mut p = BufferPool::with_capacity(store.clone(), 100);
+            let seq = idx.petq(&mut p, q);
+            assert_eq!(
+                outcome.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                seq.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            );
+            assert_eq!(outcome.reads(), p.stats().physical_reads, "identical cold I/O");
+        }
+    }
+
+    #[test]
+    fn topk_and_dstq_batches_match_sequential_on_pdr() {
+        use uncat_core::query::{DstQuery, TopKQuery};
+        use uncat_core::Divergence;
+        use uncat_pdrtree::{PdrConfig, PdrTree};
+
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..800u64)
+            .map(|i| {
+                let c = (i % 9) as u32;
+                (i, uda(&[(c, 0.7), ((c + 4) % 9, 0.3)]))
+            })
+            .collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 128);
+        let tree = PdrTree::build(
+            Domain::anonymous(9),
+            PdrConfig::default(),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        );
+        pool.flush();
+        drop(pool);
+
+        let tks: Vec<TopKQuery> =
+            (0..8).map(|i| TopKQuery::new(data[i * 7].1.clone(), 6)).collect();
+        for (q, out) in tks.iter().zip(top_k_batch(&tree, &store, 100, &tks, 3)) {
+            let mut p = BufferPool::with_capacity(store.clone(), 100);
+            let seq = tree.top_k(&mut p, q);
+            assert_eq!(
+                out.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                seq.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
+        }
+
+        let dqs: Vec<DstQuery> = (0..8)
+            .map(|i| DstQuery::new(data[i * 11].1.clone(), 0.25, Divergence::L1))
+            .collect();
+        for (q, out) in dqs.iter().zip(dstq_batch(&tree, &store, 100, &dqs, 3)) {
+            let mut p = BufferPool::with_capacity(store.clone(), 100);
+            let seq = UncertainIndex::dstq(&tree, &mut p, q);
+            assert_eq!(
+                out.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                seq.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_and_oversubscription_work() {
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> =
+            (0..100u64).map(|i| (i, uda(&[((i % 3) as u32, 1.0)]))).collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 64);
+        let idx = crate::InvertedBackend::new(InvertedIndex::build(
+            Domain::anonymous(3),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        ));
+        pool.flush();
+        drop(pool);
+        let queries = vec![EqQuery::new(uda(&[(0, 1.0)]), 0.5); 3];
+        for threads in [1usize, 8] {
+            let out = petq_batch(&idx, &store, 50, &queries, threads);
+            assert_eq!(out.len(), 3);
+            for o in &out {
+                assert_eq!(o.matches.len(), 34);
+            }
+        }
+    }
+}

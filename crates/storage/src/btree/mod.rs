@@ -1,0 +1,703 @@
+//! A paged B+tree with fixed-width keys and values.
+//!
+//! The inverted index stores posting lists "organized as dynamic structures
+//! such as B-trees, allowing efficient searches, insertions, and deletions"
+//! (paper §3.1). This module provides that structure over the buffer pool:
+//!
+//! * keys are `K`-byte strings compared lexicographically (use [`keys`] for
+//!   order-preserving encodings);
+//! * values are `V`-byte strings (possibly zero-width);
+//! * leaves are chained for ordered range scans;
+//! * deletion is by tombstone-free removal without rebalancing — pages may
+//!   underfill after heavy deletion, which matches the simple dynamic-list
+//!   behaviour the paper assumes and keeps scans correct.
+//!
+//! All page access goes through a [`BufferPool`], so tree operations are
+//! charged I/O like any other structure.
+
+pub mod keys;
+mod node;
+
+use std::ops::ControlFlow;
+
+use crate::buffer::BufferPool;
+use crate::page::{PageBuf, PageId};
+
+use node::{
+    init_internal, init_leaf, int_child, int_insert_at, int_key, int_route,
+    internal_cap, is_leaf, leaf_cap, leaf_insert_at, leaf_key, leaf_remove_at, leaf_search,
+    leaf_val, next_leaf, set_count, set_int_child0, set_next_leaf,
+};
+
+/// A B+tree with `K`-byte keys and `V`-byte values.
+pub struct BTree<const K: usize, const V: usize> {
+    root: PageId,
+    len: u64,
+    depth: u32,
+}
+
+enum Ins<const K: usize> {
+    Done,
+    Replaced,
+    Split { sep: [u8; K], right: PageId },
+}
+
+impl<const K: usize, const V: usize> BTree<K, V> {
+    /// Max entries per leaf page.
+    pub const LEAF_CAP: usize = leaf_cap(K, V);
+    /// Max separators per internal page.
+    pub const INT_CAP: usize = internal_cap(K);
+
+    /// Create an empty tree (allocates the root leaf).
+    pub fn create(pool: &mut BufferPool) -> Self {
+        let root = pool.allocate();
+        pool.write(root, |b| init_leaf(b));
+        BTree { root, len: 0, depth: 1 }
+    }
+
+    /// Reattach a tree from persisted parts (see [`BTree::raw_parts`]).
+    ///
+    /// The caller asserts that `(root, len, depth)` describe a tree
+    /// previously built on the same store; no validation is performed.
+    pub fn from_raw_parts(root: PageId, len: u64, depth: u32) -> Self {
+        BTree { root, len, depth }
+    }
+
+    /// The persistable identity of this tree: `(root, len, depth)`.
+    pub fn raw_parts(&self) -> (PageId, u64, u32) {
+        (self.root, self.len, self.depth)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree in levels (1 = a single leaf).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Root page (for diagnostics).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Point lookup.
+    pub fn get(&self, pool: &mut BufferPool, key: &[u8; K]) -> Option<[u8; V]> {
+        let mut pid = self.root;
+        loop {
+            let next = pool.read(pid, |b| {
+                if is_leaf(b) {
+                    Err(match leaf_search(b, K, V, key) {
+                        Ok(i) => {
+                            let mut out = [0u8; V];
+                            out.copy_from_slice(leaf_val(b, K, V, i));
+                            Some(out)
+                        }
+                        Err(_) => None,
+                    })
+                } else {
+                    Ok(int_route(b, K, key).1)
+                }
+            });
+            match next {
+                Ok(child) => pid = child,
+                Err(res) => return res,
+            }
+        }
+    }
+
+    /// Upsert. Returns the previous value if the key was present.
+    pub fn insert(&mut self, pool: &mut BufferPool, key: &[u8; K], val: &[u8; V]) -> Option<[u8; V]> {
+        // Fast path: find and replace without structural changes is folded
+        // into the recursive path below (it reports Replaced).
+        let prev = self.get(pool, key);
+        match self.insert_rec(pool, self.root, key, val) {
+            Ins::Done => {
+                self.len += 1;
+                None
+            }
+            Ins::Replaced => prev,
+            Ins::Split { sep, right } => {
+                let new_root = pool.allocate();
+                let old_root = self.root;
+                pool.write(new_root, |b| {
+                    init_internal(b);
+                    set_int_child0(b, old_root);
+                    int_insert_at(b, K, 0, &sep, right);
+                });
+                self.root = new_root;
+                self.depth += 1;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, pool: &mut BufferPool, pid: PageId, key: &[u8; K], val: &[u8; V]) -> Ins<K> {
+        let leaf = pool.read(pid, |b| is_leaf(b));
+        if leaf {
+            return self.leaf_insert(pool, pid, key, val);
+        }
+        let (_, child) = pool.read(pid, |b| int_route(b, K, key));
+        match self.insert_rec(pool, child, key, val) {
+            Ins::Done => Ins::Done,
+            Ins::Replaced => Ins::Replaced,
+            Ins::Split { sep, right } => self.int_insert(pool, pid, sep, right),
+        }
+    }
+
+    fn leaf_insert(&mut self, pool: &mut BufferPool, pid: PageId, key: &[u8; K], val: &[u8; V]) -> Ins<K> {
+        enum Local {
+            InPlace,
+            Replaced,
+            NeedSplit,
+        }
+        let outcome = pool.write(pid, |b| match leaf_search(b, K, V, key) {
+            Ok(i) => {
+                let off = node::leaf_entry_off(K, V, i) + K;
+                b[off..off + V].copy_from_slice(val);
+                Local::Replaced
+            }
+            Err(i) => {
+                if node::count(b) < Self::LEAF_CAP {
+                    leaf_insert_at(b, K, V, i, key, val);
+                    Local::InPlace
+                } else {
+                    let _ = i;
+                    Local::NeedSplit
+                }
+            }
+        });
+        match outcome {
+            Local::InPlace => Ins::Done,
+            Local::Replaced => Ins::Replaced,
+            Local::NeedSplit => {
+                // Split, then insert into the proper half.
+                let mut left: PageBuf = pool.read(pid, |b| Box::new(*b));
+                let right_pid = pool.allocate();
+                let mut right: PageBuf = crate::page::zeroed_page();
+                init_leaf(&mut right[..]);
+
+                let n = node::count(&left[..]);
+                // Append-friendly split: bulk loads insert in key order, and
+                // an even split would leave every leaf half full. When the
+                // new key goes past the last entry, keep the left leaf full
+                // and start a fresh right leaf.
+                let appending = key.as_slice() > leaf_key(&left[..], K, V, n - 1);
+                let mid = if appending { n } else { n / 2 };
+                if appending {
+                    set_next_leaf(&mut right[..], next_leaf(&left[..]));
+                    set_next_leaf(&mut left[..], right_pid);
+                    leaf_insert_at(&mut right[..], K, V, 0, key, val);
+                    let mut sep = [0u8; K];
+                    sep.copy_from_slice(key);
+                    pool.write(pid, |b| *b = *left);
+                    pool.write(right_pid, |b| *b = *right);
+                    return Ins::Split { sep, right: right_pid };
+                }
+                let w = K + V;
+                let src = node::leaf_entry_off(K, V, mid);
+                let cnt_right = n - mid;
+                let dst = node::HDR;
+                right[dst..dst + cnt_right * w].copy_from_slice(&left[src..src + cnt_right * w]);
+                set_count(&mut right[..], cnt_right);
+                set_count(&mut left[..], mid);
+                set_next_leaf(&mut right[..], next_leaf(&left[..]));
+                set_next_leaf(&mut left[..], right_pid);
+
+                let mut sep = [0u8; K];
+                sep.copy_from_slice(leaf_key(&right[..], K, V, 0));
+
+                if key.as_slice() < sep.as_slice() {
+                    let i = leaf_search(&left[..], K, V, key).unwrap_err();
+                    leaf_insert_at(&mut left[..], K, V, i, key, val);
+                } else {
+                    let i = leaf_search(&right[..], K, V, key).unwrap_err();
+                    leaf_insert_at(&mut right[..], K, V, i, key, val);
+                }
+                pool.write(pid, |b| *b = *left);
+                pool.write(right_pid, |b| *b = *right);
+                Ins::Split { sep, right: right_pid }
+            }
+        }
+    }
+
+    fn int_insert(&mut self, pool: &mut BufferPool, pid: PageId, sep: [u8; K], right_child: PageId) -> Ins<K> {
+        let full = pool.read(pid, |b| node::count(b) >= Self::INT_CAP);
+        if !full {
+            pool.write(pid, |b| {
+                let n = node::count(b);
+                let mut lo = 0;
+                let mut hi = n;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if int_key(b, K, mid) < sep.as_slice() {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                int_insert_at(b, K, lo, &sep, right_child);
+            });
+            return Ins::Done;
+        }
+        // Split the internal node.
+        let mut left: PageBuf = pool.read(pid, |b| Box::new(*b));
+        let right_pid = pool.allocate();
+        let mut right: PageBuf = crate::page::zeroed_page();
+        init_internal(&mut right[..]);
+
+        let n = node::count(&left[..]);
+        let mid = n / 2;
+        let mut promoted = [0u8; K];
+        promoted.copy_from_slice(int_key(&left[..], K, mid));
+
+        // Right node: child0 = child(mid); separators mid+1..n.
+        set_int_child0(&mut right[..], int_child(&left[..], K, mid));
+        let w = K + 8;
+        let src = node::int_entry_off(K, mid + 1);
+        let cnt_right = n - mid - 1;
+        let dst = node::int_entry_off(K, 0);
+        right[dst..dst + cnt_right * w].copy_from_slice(&left[src..src + cnt_right * w]);
+        set_count(&mut right[..], cnt_right);
+        set_count(&mut left[..], mid);
+
+        // Insert the pending separator into the proper half.
+        let target = if sep.as_slice() < promoted.as_slice() { &mut left } else { &mut right };
+        {
+            let b = &mut target[..];
+            let n = node::count(b);
+            let mut lo = 0;
+            let mut hi = n;
+            while lo < hi {
+                let m = (lo + hi) / 2;
+                if int_key(b, K, m) < sep.as_slice() {
+                    lo = m + 1;
+                } else {
+                    hi = m;
+                }
+            }
+            int_insert_at(b, K, lo, &sep, right_child);
+        }
+        pool.write(pid, |b| *b = *left);
+        pool.write(right_pid, |b| *b = *right);
+        Ins::Split { sep: promoted, right: right_pid }
+    }
+
+    /// Remove a key. Returns its value if it was present.
+    ///
+    /// No rebalancing: leaves may underfill. Structure and scan order remain
+    /// correct; space is reclaimed only by rebuilding.
+    pub fn remove(&mut self, pool: &mut BufferPool, key: &[u8; K]) -> Option<[u8; V]> {
+        let mut pid = self.root;
+        loop {
+            let step = pool.read(pid, |b| {
+                if is_leaf(b) {
+                    Err(())
+                } else {
+                    Ok(int_route(b, K, key).1)
+                }
+            });
+            match step {
+                Ok(child) => pid = child,
+                Err(()) => break,
+            }
+        }
+        let removed = pool.write(pid, |b| match leaf_search(b, K, V, key) {
+            Ok(i) => {
+                let mut out = [0u8; V];
+                out.copy_from_slice(leaf_val(b, K, V, i));
+                leaf_remove_at(b, K, V, i);
+                Some(out)
+            }
+            Err(_) => None,
+        });
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Ordered scan from `start` (inclusive). `f` returns
+    /// [`ControlFlow::Break`] to stop early.
+    pub fn scan_from(
+        &self,
+        pool: &mut BufferPool,
+        start: &[u8; K],
+        mut f: impl FnMut(&[u8; K], &[u8; V]) -> ControlFlow<()>,
+    ) {
+        // Descend to the leaf containing `start`.
+        let mut pid = self.root;
+        loop {
+            let step = pool.read(pid, |b| {
+                if is_leaf(b) {
+                    Err(())
+                } else {
+                    Ok(int_route(b, K, start).1)
+                }
+            });
+            match step {
+                Ok(child) => pid = child,
+                Err(()) => break,
+            }
+        }
+        let mut first = true;
+        while pid.is_valid() {
+            // Copy out entries ≥ start, then release the page before calling f.
+            let (entries, next) = pool.read(pid, |b| {
+                let n = node::count(b);
+                let from = if first {
+                    match leaf_search(b, K, V, start) {
+                        Ok(i) => i,
+                        Err(i) => i,
+                    }
+                } else {
+                    0
+                };
+                let mut out: Vec<([u8; K], [u8; V])> = Vec::with_capacity(n.saturating_sub(from));
+                for i in from..n {
+                    let mut kk = [0u8; K];
+                    kk.copy_from_slice(leaf_key(b, K, V, i));
+                    let mut vv = [0u8; V];
+                    vv.copy_from_slice(leaf_val(b, K, V, i));
+                    out.push((kk, vv));
+                }
+                (out, next_leaf(b))
+            });
+            first = false;
+            for (k, v) in &entries {
+                if let ControlFlow::Break(()) = f(k, v) {
+                    return;
+                }
+            }
+            pid = next;
+        }
+    }
+
+    /// Ordered scan of the whole tree.
+    pub fn scan_all(
+        &self,
+        pool: &mut BufferPool,
+        f: impl FnMut(&[u8; K], &[u8; V]) -> ControlFlow<()>,
+    ) {
+        self.scan_from(pool, &[0u8; K], f)
+    }
+
+    /// Open a cursor positioned at the smallest key.
+    pub fn cursor_first(&self, pool: &mut BufferPool) -> Cursor<K, V> {
+        self.cursor_from(pool, &[0u8; K])
+    }
+
+    /// Open a cursor positioned at the smallest key ≥ `start`.
+    pub fn cursor_from(&self, pool: &mut BufferPool, start: &[u8; K]) -> Cursor<K, V> {
+        let mut pid = self.root;
+        loop {
+            let step = pool.read(pid, |b| {
+                if is_leaf(b) {
+                    Err(())
+                } else {
+                    Ok(int_route(b, K, start).1)
+                }
+            });
+            match step {
+                Ok(child) => pid = child,
+                Err(()) => break,
+            }
+        }
+        let idx = pool.read(pid, |b| match leaf_search(b, K, V, start) {
+            Ok(i) => i,
+            Err(i) => i,
+        });
+        let mut c = Cursor { pid, idx };
+        c.skip_exhausted_leaves(pool);
+        c
+    }
+}
+
+/// A forward cursor over a B+tree's leaf chain.
+///
+/// Cursors are *logically* positioned: each access re-reads the current leaf
+/// through the pool (normally a buffer hit), so interleaving many cursors —
+/// as the highest-prob-first search does — is charged realistic I/O. The
+/// cursor assumes the tree is not mutated while it is open.
+pub struct Cursor<const K: usize, const V: usize> {
+    pid: PageId,
+    idx: usize,
+}
+
+impl<const K: usize, const V: usize> Cursor<K, V> {
+    /// The entry under the cursor, or `None` when exhausted.
+    pub fn entry(&self, pool: &mut BufferPool) -> Option<([u8; K], [u8; V])> {
+        if !self.pid.is_valid() {
+            return None;
+        }
+        pool.read(self.pid, |b| {
+            debug_assert!(self.idx < node::count(b), "cursor normalized past short leaves");
+            let mut kk = [0u8; K];
+            kk.copy_from_slice(leaf_key(b, K, V, self.idx));
+            let mut vv = [0u8; V];
+            vv.copy_from_slice(leaf_val(b, K, V, self.idx));
+            Some((kk, vv))
+        })
+    }
+
+    /// Advance one entry.
+    pub fn advance(&mut self, pool: &mut BufferPool) {
+        if !self.pid.is_valid() {
+            return;
+        }
+        self.idx += 1;
+        self.skip_exhausted_leaves(pool);
+    }
+
+    /// Whether the cursor has run off the end.
+    pub fn is_exhausted(&self) -> bool {
+        !self.pid.is_valid()
+    }
+
+    fn skip_exhausted_leaves(&mut self, pool: &mut BufferPool) {
+        while self.pid.is_valid() {
+            let (n, next) = pool.read(self.pid, |b| (node::count(b), next_leaf(b)));
+            if self.idx < n {
+                return;
+            }
+            self.pid = next;
+            self.idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::keys::{u32_be, u32_from_be, u64_be, u64_from_be};
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn pool() -> BufferPool {
+        BufferPool::with_capacity(InMemoryDisk::shared(), 64)
+    }
+
+    type T = BTree<4, 8>;
+
+    #[test]
+    fn insert_get_small() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        for i in 0..100u32 {
+            assert!(t.insert(&mut p, &u32_be(i * 7 % 100), &u64_be(i as u64)).is_none());
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u32 {
+            let v = t.get(&mut p, &u32_be(i * 7 % 100)).unwrap();
+            assert_eq!(u64_from_be(&v), i as u64);
+        }
+        assert!(t.get(&mut p, &u32_be(100)).is_none());
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        assert!(t.insert(&mut p, &u32_be(5), &u64_be(1)).is_none());
+        let old = t.insert(&mut p, &u32_be(5), &u64_be(2)).unwrap();
+        assert_eq!(u64_from_be(&old), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(u64_from_be(&t.get(&mut p, &u32_be(5)).unwrap()), 2);
+    }
+
+    #[test]
+    fn many_inserts_split_leaves_and_internals() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        let n = 20_000u32;
+        // Insert in a scrambled order to exercise both split paths.
+        // gcd(7919, 20000) = 1, so i ↦ 7919·i mod n is a permutation.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            t.insert(&mut p, &u32_be(k), &u64_be(k as u64 * 3));
+        }
+        assert_eq!(t.len() as u32, n, "duplicates collapse: permutation covers 0..n");
+        assert!(t.depth() >= 2, "20k entries must overflow a single leaf");
+        for i in (0..n).step_by(997) {
+            assert_eq!(u64_from_be(&t.get(&mut p, &u32_be(i)).unwrap()), i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_and_complete() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        let n = 5000u32;
+        for i in 0..n {
+            let k = i.wrapping_mul(48271) % n;
+            t.insert(&mut p, &u32_be(k), &u64_be(0));
+        }
+        let mut seen = Vec::new();
+        t.scan_all(&mut p, |k, _| {
+            seen.push(u32_from_be(k));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), n as usize);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "scan must be strictly sorted");
+    }
+
+    #[test]
+    fn scan_from_midpoint_and_early_stop() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        for i in 0..1000u32 {
+            t.insert(&mut p, &u32_be(i), &u64_be(i as u64));
+        }
+        let mut got = Vec::new();
+        t.scan_from(&mut p, &u32_be(990), |k, _| {
+            got.push(u32_from_be(k));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(got, (990..1000).collect::<Vec<_>>());
+
+        let mut cnt = 0;
+        t.scan_from(&mut p, &u32_be(10), |_, _| {
+            cnt += 1;
+            if cnt == 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(cnt, 5);
+    }
+
+    #[test]
+    fn remove_then_get_misses() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        for i in 0..2000u32 {
+            t.insert(&mut p, &u32_be(i), &u64_be(i as u64));
+        }
+        for i in (0..2000).step_by(2) {
+            assert!(t.remove(&mut p, &u32_be(i)).is_some());
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.get(&mut p, &u32_be(4)).is_none());
+        assert!(t.get(&mut p, &u32_be(5)).is_some());
+        assert!(t.remove(&mut p, &u32_be(4)).is_none(), "double remove");
+        // Scan still sorted and complete.
+        let mut seen = Vec::new();
+        t.scan_all(&mut p, |k, _| {
+            seen.push(u32_from_be(k));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen, (0..2000).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_width_values_work() {
+        let mut p = pool();
+        let mut t: BTree<8, 0> = BTree::create(&mut p);
+        for i in 0..1000u64 {
+            t.insert(&mut p, &u64_be(i), &[]);
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.get(&mut p, &u64_be(999)).is_some());
+        assert!(t.get(&mut p, &u64_be(1000)).is_none());
+    }
+
+    #[test]
+    fn persists_across_pools() {
+        let store = InMemoryDisk::shared();
+        let (t, root_len) = {
+            let mut p = BufferPool::with_capacity(store.clone(), 64);
+            let mut t = T::create(&mut p);
+            for i in 0..3000u32 {
+                t.insert(&mut p, &u32_be(i), &u64_be(i as u64 + 1));
+            }
+            p.flush();
+            let l = t.len();
+            (t, l)
+        };
+        let mut q = BufferPool::with_capacity(store, 64);
+        assert_eq!(t.len(), root_len);
+        assert_eq!(u64_from_be(&t.get(&mut q, &u32_be(1234)).unwrap()), 1235);
+    }
+
+    #[test]
+    fn cursor_walks_sorted_and_interleaves() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        for i in 0..3000u32 {
+            t.insert(&mut p, &u32_be(i * 2), &u64_be(i as u64));
+        }
+        // Walk from an interior key.
+        let mut c = t.cursor_from(&mut p, &u32_be(101));
+        let (k, _) = c.entry(&mut p).unwrap();
+        assert_eq!(u32_from_be(&k), 102, "cursor seeks the next key ≥ start");
+        let mut last = 100;
+        let mut n = 0;
+        while let Some((k, _)) = c.entry(&mut p) {
+            let kk = u32_from_be(&k);
+            assert!(kk > last);
+            last = kk;
+            n += 1;
+            c.advance(&mut p);
+        }
+        assert!(c.is_exhausted());
+        assert_eq!(n, 3000 - 51);
+
+        // Two interleaved cursors are independent.
+        let mut a = t.cursor_first(&mut p);
+        let mut b = t.cursor_first(&mut p);
+        a.advance(&mut p);
+        assert_eq!(u32_from_be(&a.entry(&mut p).unwrap().0), 2);
+        assert_eq!(u32_from_be(&b.entry(&mut p).unwrap().0), 0);
+        b.advance(&mut p);
+        b.advance(&mut p);
+        assert_eq!(u32_from_be(&b.entry(&mut p).unwrap().0), 4);
+    }
+
+    #[test]
+    fn cursor_on_empty_tree_is_exhausted() {
+        let mut p = pool();
+        let t = T::create(&mut p);
+        let c = t.cursor_first(&mut p);
+        assert!(c.is_exhausted());
+        assert!(c.entry(&mut p).is_none());
+    }
+
+    #[test]
+    fn append_load_packs_leaves_densely() {
+        let store = InMemoryDisk::shared();
+        let mut p = BufferPool::with_capacity(store.clone(), 200);
+        let mut t = T::create(&mut p);
+        let n = 10 * T::LEAF_CAP as u32;
+        for i in 0..n {
+            t.insert(&mut p, &u32_be(i), &u64_be(0));
+        }
+        p.flush();
+        // With the append-friendly split, ~n/LEAF_CAP leaves (plus internal
+        // pages), not the ~2× an even split would produce.
+        let pages = store.num_pages();
+        assert!(
+            pages <= (n as u64 / T::LEAF_CAP as u64) + 4,
+            "expected dense packing, got {pages} pages for {n} appended keys"
+        );
+    }
+
+    #[test]
+    fn sequential_inserts_reach_expected_depth() {
+        let mut p = pool();
+        let mut t = T::create(&mut p);
+        // Leaf cap for K=4,V=8 is (8192-12)/12 = 681.
+        assert_eq!(T::LEAF_CAP, (8192 - 12) / 12);
+        for i in 0..(T::LEAF_CAP as u32 + 1) {
+            t.insert(&mut p, &u32_be(i), &u64_be(0));
+        }
+        assert_eq!(t.depth(), 2, "one overflow ⇒ root becomes internal");
+    }
+}

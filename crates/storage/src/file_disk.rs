@@ -1,0 +1,191 @@
+//! A file-backed page store.
+//!
+//! [`crate::InMemoryDisk`] reproduces the paper's I/O *counts*; `FileDisk`
+//! additionally persists pages to a real file, so indexes survive process
+//! restarts and wall-clock benches exercise genuine I/O. The two stores
+//! are interchangeable behind [`PageStore`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::disk::PageStore;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// A page store persisted in a single file (page `i` at offset
+/// `i · PAGE_SIZE`).
+pub struct FileDisk {
+    file: Mutex<File>,
+    path: PathBuf,
+    pages: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FileDisk {
+    /// Create (truncate) a new page file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileDisk> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            path,
+            pages: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Open an existing page file (page count derived from its length).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<FileDisk> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("file length {len} is not a whole number of {PAGE_SIZE}-byte pages"),
+            ));
+        }
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            path,
+            pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flush OS buffers to stable storage.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.file.lock().sync_data()
+    }
+}
+
+impl PageStore for FileDisk {
+    fn allocate(&self) -> PageId {
+        let pid = self.pages.fetch_add(1, Ordering::SeqCst);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(pid * PAGE_SIZE as u64)).expect("seek within file");
+        file.write_all(&[0u8; PAGE_SIZE]).expect("extend page file");
+        PageId(pid)
+    }
+
+    fn read(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) {
+        assert!(pid.0 < self.pages.load(Ordering::SeqCst), "read of unallocated page {pid}");
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64)).expect("seek within file");
+        file.read_exact(out).expect("read full page");
+    }
+
+    fn write(&self, pid: PageId, data: &[u8; PAGE_SIZE]) {
+        assert!(pid.0 < self.pages.load(Ordering::SeqCst), "write of unallocated page {pid}");
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64)).expect("seek within file");
+        file.write_all(data).expect("write full page");
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.load(Ordering::SeqCst)
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::zeroed_page;
+    use std::sync::Arc;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("uncat-filedisk-{tag}-{}.pages", std::process::id()));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn write_then_reopen_preserves_pages() {
+        let path = temp_path("reopen");
+        let _guard = Cleanup(path.clone());
+        {
+            let d = FileDisk::create(&path).expect("create");
+            let a = d.allocate();
+            let b = d.allocate();
+            let mut buf = zeroed_page();
+            buf[0] = 11;
+            d.write(a, &buf);
+            buf[0] = 22;
+            d.write(b, &buf);
+            d.sync().expect("sync");
+        }
+        let d = FileDisk::open(&path).expect("open");
+        assert_eq!(d.num_pages(), 2);
+        let mut out = zeroed_page();
+        d.read(PageId(0), &mut out);
+        assert_eq!(out[0], 11);
+        d.read(PageId(1), &mut out);
+        assert_eq!(out[0], 22);
+        assert_eq!(d.reads(), 2);
+    }
+
+    #[test]
+    fn works_behind_a_buffer_pool() {
+        let path = temp_path("pool");
+        let _guard = Cleanup(path.clone());
+        let store: crate::disk::SharedStore = Arc::new(FileDisk::create(&path).expect("create"));
+        let mut pool = crate::BufferPool::with_capacity(store.clone(), 4);
+        let pid = pool.allocate();
+        pool.write(pid, |b| b[100] = 42);
+        pool.flush();
+        pool.clear();
+        assert_eq!(pool.read(pid, |b| b[100]), 42);
+        assert!(store.reads() >= 1);
+    }
+
+    #[test]
+    fn open_rejects_torn_files() {
+        let path = temp_path("torn");
+        let _guard = Cleanup(path.clone());
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).expect("write odd-size file");
+        assert!(FileDisk::open(&path).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn out_of_bounds_read_panics() {
+        let path = temp_path("oob");
+        let _guard = Cleanup(path.clone());
+        let d = FileDisk::create(&path).expect("create");
+        let mut out = zeroed_page();
+        d.read(PageId(3), &mut out);
+    }
+}

@@ -1,0 +1,282 @@
+//! Slotted-page heap file: the tuple store.
+//!
+//! Each tuple's UDA encoding is stored as one variable-length record;
+//! random-access candidate verification ("check whether the tuple
+//! qualifies") costs exactly one page read per record, which is the I/O
+//! behaviour the paper's search strategies trade off against.
+//!
+//! Page layout:
+//!
+//! ```text
+//! 0   u16 slot_count
+//! 2   u16 free_end          offset where the record area starts (grows down)
+//! 4   slot[i]: u16 offset, u16 len     (len == 0 ⇒ deleted)
+//! ... free space ...
+//! ... records packed at the tail ...
+//! ```
+
+use crate::buffer::BufferPool;
+use crate::page::{field, PageId, PAGE_SIZE};
+
+const HDR_SLOTS: usize = 0;
+const HDR_FREE_END: usize = 2;
+const HDR_LEN: usize = 4;
+const SLOT_LEN: usize = 4;
+
+/// Address of a record: page plus slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// The page holding the record.
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+/// A heap file of variable-length records.
+///
+/// The file's page list lives in memory (it is index metadata, not data);
+/// record bytes live on pages and are accessed through a [`BufferPool`].
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    records: u64,
+}
+
+/// Largest record the heap can store on one page.
+pub const MAX_RECORD: usize = PAGE_SIZE - HDR_LEN - SLOT_LEN;
+
+impl HeapFile {
+    /// New empty heap file.
+    pub fn new() -> HeapFile {
+        HeapFile { pages: Vec::new(), records: 0 }
+    }
+
+    /// Reattach a heap file from persisted parts (see
+    /// [`HeapFile::raw_parts`]). The caller asserts the pages belong to a
+    /// heap previously built on the same store.
+    pub fn from_raw_parts(pages: Vec<PageId>, records: u64) -> HeapFile {
+        HeapFile { pages, records }
+    }
+
+    /// The persistable identity of this heap: its page list and live
+    /// record count.
+    pub fn raw_parts(&self) -> (&[PageId], u64) {
+        (&self.pages, self.records)
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the heap holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of pages the heap occupies.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The heap's pages in allocation order (for full scans).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Insert a record, returning its address.
+    ///
+    /// Panics if `data` exceeds [`MAX_RECORD`] — callers size records to
+    /// pages (a UDA over even a 500-value domain fits comfortably) — or is
+    /// empty (zero length marks a deleted slot on the page, so empty
+    /// records would be unretrievable; no caller stores them).
+    pub fn insert(&mut self, pool: &mut BufferPool, data: &[u8]) -> RecordId {
+        assert!(data.len() <= MAX_RECORD, "record of {} bytes exceeds page", data.len());
+        assert!(!data.is_empty(), "empty records are not storable (0 marks a tombstone)");
+        if let Some(&last) = self.pages.last() {
+            if let Some(rid) = Self::try_insert_on(pool, last, data) {
+                self.records += 1;
+                return rid;
+            }
+        }
+        let pid = pool.allocate();
+        pool.write(pid, |b| {
+            field::put_u16(b, HDR_SLOTS, 0);
+            field::put_u16(b, HDR_FREE_END, PAGE_SIZE as u16);
+        });
+        self.pages.push(pid);
+        let rid = Self::try_insert_on(pool, pid, data).expect("fresh page fits record");
+        self.records += 1;
+        rid
+    }
+
+    fn try_insert_on(pool: &mut BufferPool, pid: PageId, data: &[u8]) -> Option<RecordId> {
+        pool.write(pid, |b| {
+            let slots = field::get_u16(b, HDR_SLOTS) as usize;
+            let free_end = field::get_u16(b, HDR_FREE_END) as usize;
+            let slot_area_end = HDR_LEN + (slots + 1) * SLOT_LEN;
+            if free_end < slot_area_end || free_end - slot_area_end < data.len() {
+                return None;
+            }
+            let off = free_end - data.len();
+            b[off..off + data.len()].copy_from_slice(data);
+            let slot_off = HDR_LEN + slots * SLOT_LEN;
+            field::put_u16(b, slot_off, off as u16);
+            field::put_u16(b, slot_off + 2, data.len() as u16);
+            field::put_u16(b, HDR_SLOTS, (slots + 1) as u16);
+            field::put_u16(b, HDR_FREE_END, off as u16);
+            Some(RecordId { page: pid, slot: slots as u16 })
+        })
+    }
+
+    /// Read a record's bytes. Returns `None` for a deleted slot.
+    pub fn get(&self, pool: &mut BufferPool, rid: RecordId) -> Option<Vec<u8>> {
+        pool.read(rid.page, |b| {
+            let slots = field::get_u16(b, HDR_SLOTS);
+            if rid.slot >= slots {
+                return None;
+            }
+            let slot_off = HDR_LEN + rid.slot as usize * SLOT_LEN;
+            let off = field::get_u16(b, slot_off) as usize;
+            let len = field::get_u16(b, slot_off + 2) as usize;
+            if len == 0 {
+                return None;
+            }
+            Some(b[off..off + len].to_vec())
+        })
+    }
+
+    /// Delete a record. Space is not reclaimed (no compaction); the slot is
+    /// tombstoned. Returns whether a live record was deleted.
+    pub fn delete(&mut self, pool: &mut BufferPool, rid: RecordId) -> bool {
+        let deleted = pool.write(rid.page, |b| {
+            let slots = field::get_u16(b, HDR_SLOTS);
+            if rid.slot >= slots {
+                return false;
+            }
+            let slot_off = HDR_LEN + rid.slot as usize * SLOT_LEN;
+            if field::get_u16(b, slot_off + 2) == 0 {
+                return false;
+            }
+            field::put_u16(b, slot_off + 2, 0);
+            true
+        });
+        if deleted {
+            self.records -= 1;
+        }
+        deleted
+    }
+
+    /// Visit every live record in page order: `f(rid, bytes)`.
+    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(RecordId, &[u8])) {
+        for &pid in &self.pages {
+            pool.read(pid, |b| {
+                let slots = field::get_u16(b, HDR_SLOTS);
+                for slot in 0..slots {
+                    let slot_off = HDR_LEN + slot as usize * SLOT_LEN;
+                    let off = field::get_u16(b, slot_off) as usize;
+                    let len = field::get_u16(b, slot_off + 2) as usize;
+                    if len > 0 {
+                        f(RecordId { page: pid, slot }, &b[off..off + len]);
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl Default for HeapFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    fn setup() -> (HeapFile, BufferPool) {
+        (HeapFile::new(), BufferPool::with_capacity(InMemoryDisk::shared(), 16))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (mut h, mut p) = setup();
+        let a = h.insert(&mut p, b"hello");
+        let b = h.insert(&mut p, b"world!!");
+        assert_eq!(h.get(&mut p, a).unwrap(), b"hello");
+        assert_eq!(h.get(&mut p, b).unwrap(), b"world!!");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn records_pack_many_per_page() {
+        let (mut h, mut p) = setup();
+        for i in 0..100u32 {
+            h.insert(&mut p, &i.to_le_bytes());
+        }
+        assert_eq!(h.num_pages(), 1, "100 tiny records fit one 8K page");
+    }
+
+    #[test]
+    fn page_overflow_allocates_new_page() {
+        let (mut h, mut p) = setup();
+        let big = vec![0xAB; 4000];
+        let r1 = h.insert(&mut p, &big);
+        let r2 = h.insert(&mut p, &big);
+        let r3 = h.insert(&mut p, &big);
+        assert_eq!(h.num_pages(), 2);
+        assert_ne!(r1.page, r3.page);
+        assert_eq!(h.get(&mut p, r2).unwrap().len(), 4000);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let (mut h, mut p) = setup();
+        let a = h.insert(&mut p, b"gone");
+        let b = h.insert(&mut p, b"stays");
+        assert!(h.delete(&mut p, a));
+        assert!(!h.delete(&mut p, a), "double delete is a no-op");
+        assert_eq!(h.get(&mut p, a), None);
+        assert_eq!(h.get(&mut p, b).unwrap(), b"stays");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn scan_visits_live_records_in_order() {
+        let (mut h, mut p) = setup();
+        let ids: Vec<RecordId> = (0..5u8).map(|i| h.insert(&mut p, &[i])).collect();
+        h.delete(&mut p, ids[2]);
+        let mut seen = Vec::new();
+        h.scan(&mut p, |_, bytes| seen.push(bytes[0]));
+        assert_eq!(seen, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn get_of_bogus_slot_is_none() {
+        let (mut h, mut p) = setup();
+        let a = h.insert(&mut p, b"x");
+        assert!(h.get(&mut p, RecordId { page: a.page, slot: 99 }).is_none());
+    }
+
+    #[test]
+    fn max_record_fits() {
+        let (mut h, mut p) = setup();
+        let r = h.insert(&mut p, &vec![7u8; MAX_RECORD]);
+        assert_eq!(h.get(&mut p, r).unwrap().len(), MAX_RECORD);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page")]
+    fn oversize_record_panics() {
+        let (mut h, mut p) = setup();
+        h.insert(&mut p, &vec![0u8; MAX_RECORD + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tombstone")]
+    fn empty_record_panics() {
+        let (mut h, mut p) = setup();
+        h.insert(&mut p, b"");
+    }
+}

@@ -1,0 +1,36 @@
+//! Paged storage substrate for the uncertain-data indexes.
+//!
+//! The ICDE'07 evaluation measures *disk I/Os through a buffer manager*:
+//! 8 KB pages, a 100-frame buffer pool per query, clock replacement. This
+//! crate reproduces that measurement substrate:
+//!
+//! * [`page`] — the 8 KB page unit and little-endian field accessors.
+//! * [`disk`] — [`disk::PageStore`], the simulated disk: an in-memory page
+//!   array with physical read/write counters.
+//! * [`buffer`] — [`buffer::BufferPool`], a buffer manager with clock
+//!   (second-chance) replacement. All index structures read pages
+//!   exclusively through a pool, so buffer misses *are* the paper's I/O
+//!   metric.
+//! * [`heap`] — a slotted-page heap file; the tuple store that random-access
+//!   candidate verification reads from.
+//! * [`btree`] — a paged B+tree with fixed-width keys/values; backs the
+//!   inverted index's posting lists and directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod file_disk;
+pub mod heap;
+pub mod page;
+pub mod snapshot;
+pub mod stats;
+
+pub use buffer::{BufferPool, Replacement};
+pub use disk::{InMemoryDisk, PageStore, SharedStore};
+pub use file_disk::FileDisk;
+pub use heap::{HeapFile, RecordId};
+pub use page::{PageId, PAGE_SIZE};
+pub use stats::IoStats;

@@ -1,0 +1,174 @@
+//! A minimal little-endian reader/writer for index metadata snapshots.
+//!
+//! Index structures keep small in-memory metadata (directory roots, page
+//! lists, tuple maps). [`Writer`]/[`Reader`] serialize that metadata to a
+//! byte blob so an index can be closed and reopened over a durable
+//! [`crate::FileDisk`]. Page *contents* are already durable; only the
+//! metadata needs a snapshot.
+
+use crate::page::PageId;
+
+/// Error returned when a snapshot cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub &'static str);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serializer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh writer, starting with a format magic.
+    pub fn new(magic: &[u8; 4]) -> Writer {
+        Writer { buf: magic.to_vec() }
+    }
+
+    /// Finish, returning the blob.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a [`PageId`].
+    pub fn pid(&mut self, v: PageId) {
+        self.u64(v.0);
+    }
+
+    /// Append a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "snapshot string too long");
+        self.u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Deserializer over a blob.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Open a reader, checking the magic.
+    pub fn new(buf: &'a [u8], magic: &[u8; 4]) -> Result<Reader<'a>, SnapshotError> {
+        if buf.len() < 4 || &buf[..4] != magic {
+            return Err(SnapshotError("bad magic"));
+        }
+        Ok(Reader { buf, pos: 4 })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SnapshotError("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    /// Read a [`PageId`].
+    pub fn pid(&mut self) -> Result<PageId, SnapshotError> {
+        Ok(PageId(self.u64()?))
+    }
+
+    /// Read a length-prefixed string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError("invalid utf-8"))
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new(b"TST1");
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(u64::MAX - 3);
+        w.pid(PageId(42));
+        w.str("hello snapshot");
+        let blob = w.finish();
+
+        let mut r = Reader::new(&blob, b"TST1").expect("magic");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.pid().unwrap(), PageId(42));
+        assert_eq!(r.str().unwrap(), "hello snapshot");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let blob = Writer::new(b"AAAA").finish();
+        assert!(Reader::new(&blob, b"BBBB").is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new(b"TST1");
+        w.u64(1);
+        let blob = w.finish();
+        let mut r = Reader::new(&blob[..8], b"TST1").expect("magic ok");
+        assert!(r.u64().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! I/O accounting. Buffer misses are the paper's headline metric.
+
+/// Counters collected by a [`crate::BufferPool`] (and, independently, by the
+/// underlying [`crate::disk::PageStore`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests satisfied from the pool (no disk access).
+    pub hits: u64,
+    /// Page requests that had to read from the store — the paper's "disk
+    /// I/O" figure.
+    pub physical_reads: u64,
+    /// Dirty pages written back to the store (on eviction or flush).
+    pub physical_writes: u64,
+    /// Total page requests (`hits + physical_reads`).
+    pub logical_reads: u64,
+}
+
+impl IoStats {
+    /// Total I/O operations (reads + writes), should both directions count.
+    pub fn total_io(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Difference `self - earlier`, for interval measurements.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            hits: self.hits - earlier.hits,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            logical_reads: self.logical_reads - earlier.logical_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let s = IoStats { hits: 3, physical_reads: 1, physical_writes: 0, logical_reads: 4 };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(IoStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = IoStats { hits: 10, physical_reads: 5, physical_writes: 2, logical_reads: 15 };
+        let b = IoStats { hits: 4, physical_reads: 2, physical_writes: 1, logical_reads: 6 };
+        let d = a.since(&b);
+        assert_eq!(d, IoStats { hits: 6, physical_reads: 3, physical_writes: 1, logical_reads: 9 });
+        assert_eq!(d.total_io(), 4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Probabilistic deduplication across two integrated databases.
+//!
+//! The paper's web-integration motivation: two sources describe the same
+//! employees, but an extraction pipeline produced *uncertain* department
+//! assignments for both. Find record pairs that probably refer to the
+//! same placement — a probabilistic equality threshold join (PETJ,
+//! Definition 6) — and the k most confident matches (PEJ-top-k), then
+//! compare the index-nested-loop plan with the block-nested-loop baseline.
+//!
+//! ```text
+//! cargo run --release --example dedup_join
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uncat::prelude::*;
+use uncat::query::ScanBaseline;
+use uncat_pdrtree::{PdrConfig, PdrTree};
+use uncat_query::join::{block_nested_loop_petj, index_nested_loop_petj, index_top_k_pej};
+
+const DEPARTMENTS: u32 = 24;
+const SOURCE_A: usize = 150;
+const SOURCE_B: usize = 5_000;
+
+/// An extractor's department guess: one or two candidates.
+fn extract(rng: &mut StdRng) -> Uda {
+    let d1 = rng.random_range(0..DEPARTMENTS);
+    if rng.random_range(0.0..1.0f64) < 0.35 {
+        Uda::certain(CatId(d1))
+    } else {
+        let d2 = (d1 + rng.random_range(1..DEPARTMENTS)) % DEPARTMENTS;
+        let p = rng.random_range(0.55..0.9f32);
+        Uda::from_pairs([(CatId(d1), p), (CatId(d2), 1.0 - p)]).expect("valid pair")
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let domain = Domain::anonymous(DEPARTMENTS);
+
+    let source_a: Vec<(u64, Uda)> = (0..SOURCE_A as u64).map(|i| (i, extract(&mut rng))).collect();
+    let source_b: Vec<(u64, Uda)> =
+        (0..SOURCE_B as u64).map(|i| (100_000 + i, extract(&mut rng))).collect();
+
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 256);
+    let index_b = PdrTree::build(
+        domain.clone(),
+        PdrConfig::default(),
+        &mut pool,
+        source_b.iter().map(|(t, u)| (*t, u)),
+    );
+    let scan_b = ScanBaseline::build(&mut pool, source_b.iter().map(|(t, u)| (*t, u)));
+    pool.flush();
+
+    let tau = 0.6;
+    println!(
+        "PETJ: {} × {} records, Pr(same department) ≥ {tau}",
+        SOURCE_A, SOURCE_B
+    );
+
+    let mut inl_pool = BufferPool::new(store.clone());
+    let inl = index_nested_loop_petj(&source_a, &index_b, &mut inl_pool, tau);
+    println!(
+        "  index nested loop: {:6} pairs, {:6} page reads",
+        inl.len(),
+        inl_pool.stats().physical_reads
+    );
+
+    let mut bnl_pool = BufferPool::new(store.clone());
+    let bnl = block_nested_loop_petj(&source_a, &scan_b, &mut bnl_pool, tau);
+    println!(
+        "  block nested loop: {:6} pairs, {:6} page reads",
+        bnl.len(),
+        bnl_pool.stats().physical_reads
+    );
+    assert_eq!(
+        inl.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
+        bnl.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
+        "both plans must produce the same join"
+    );
+
+    let mut topk_pool = BufferPool::new(store.clone());
+    let best = index_top_k_pej(&source_a, &index_b, &mut topk_pool, 5);
+    println!("\nFive most confident matches:");
+    for p in &best {
+        println!("  A#{:<4} ↔ B#{:<7} Pr = {:.3}", p.left, p.right, p.score);
+    }
+}

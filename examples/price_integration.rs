@@ -1,0 +1,90 @@
+//! Deep-web price integration — ordered-domain operators.
+//!
+//! The paper's web-integration motivation: "it may be known that the page
+//! contains prices for data items … existing algorithms generate multiple
+//! candidates for the value of an attribute, each with a likelihood".
+//! Prices live in a *totally ordered* categorical domain (price buckets),
+//! which enables the paper's §2 extension operators: `Pr(u > v)`,
+//! `Pr(|u − v| ≤ c)`, and windowed equality.
+//!
+//! ```text
+//! cargo run --example price_integration
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use uncat::core::ordered::{pr_greater, pr_less, pr_within};
+use uncat::prelude::*;
+use uncat::query::ScanBaseline;
+
+/// Price buckets: $10 steps from $0 to $500.
+const BUCKETS: u32 = 50;
+
+/// An extractor's price guess: 1–3 adjacent-ish candidate buckets.
+fn extract_price(rng: &mut StdRng, true_bucket: u32) -> Uda {
+    let mut b = uncat::core::UdaBuilder::new();
+    b.push(CatId(true_bucket), rng.random_range(0.5..0.9f32)).unwrap();
+    for delta in 1..=rng.random_range(1..3u32) {
+        let neighbor = (true_bucket + delta).min(BUCKETS - 1);
+        if neighbor != true_bucket {
+            b.push(CatId(neighbor), rng.random_range(0.05..0.3f32)).unwrap();
+        }
+    }
+    b.finish_normalized().unwrap()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(500);
+
+    // Integrated catalog: 5 000 products with uncertain extracted prices.
+    let catalog: Vec<(u64, Uda)> = (0..5000u64)
+        .map(|id| {
+            let bucket = rng.random_range(0..BUCKETS - 3);
+            (id, extract_price(&mut rng, bucket))
+        })
+        .collect();
+
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 256);
+    let relation = ScanBaseline::build(&mut pool, catalog.iter().map(|(t, u)| (*t, u)));
+
+    // "Probably cheaper than $100": Pr(price < bucket 10) via Pr(u < v).
+    let hundred = Uda::certain(CatId(10));
+    let cheaper: Vec<_> = catalog
+        .iter()
+        .filter(|(_, u)| pr_less(u, &hundred) >= 0.9)
+        .take(5)
+        .collect();
+    println!("First products with Pr(price < $100) ≥ 0.9:");
+    for (id, u) in &cheaper {
+        println!("  product {id:4}  Pr = {:.2}  price dist {u:?}", pr_less(u, &hundred));
+    }
+
+    // Same-price-within-$20 matching between two extractions of one item:
+    // windowed equality Pr(|u − v| ≤ 2 buckets).
+    let a = &catalog[0].1;
+    println!("\nPr(|price₀ − priceᵢ| ≤ $20) for the first items:");
+    for (id, u) in catalog.iter().take(5) {
+        println!("  product {id:4}  Pr = {:.2}", pr_within(a, u, 2));
+    }
+
+    // The windowed threshold query as a relation-level operator
+    // (cold cache, so the page reads are meaningful).
+    pool.clear();
+    pool.reset_stats();
+    let matches = relation.window_petq(&mut pool, a, 2, 0.8);
+    println!(
+        "\n{} products are within $20 of product 0's price with Pr ≥ 0.8 \
+         ({} page reads)",
+        matches.len(),
+        pool.stats().physical_reads
+    );
+
+    // Trichotomy sanity: less + greater + equal = 1 for unit-mass prices.
+    let u = &catalog[1].1;
+    let v = &catalog[2].1;
+    let total =
+        pr_less(u, v) + pr_greater(u, v) + uncat::core::equality::eq_prob(u, v);
+    println!("\nPr(u<v) + Pr(u>v) + Pr(u=v) = {total:.4} (must be 1)");
+}

@@ -1,0 +1,96 @@
+//! Quickstart: the paper's Table 1 as running code.
+//!
+//! Builds the two example relations (car problems, employee departments),
+//! indexes them, and runs each query family.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use uncat::prelude::*;
+use uncat::query::UncertainIndex;
+use uncat_inverted::InvertedIndex;
+use uncat_pdrtree::{PdrConfig, PdrTree};
+
+fn main() {
+    // --- Table 1(a): car complaints with an uncertain Problem attribute.
+    let problems = Domain::from_labels(["Brake", "Tires", "Trans", "Suspension", "Exhaust"]);
+    let p = |label: &str| problems.id_of(label).expect("known label");
+
+    let cars: Vec<(&str, Uda)> = vec![
+        ("Explorer", Uda::from_pairs([(p("Brake"), 0.5), (p("Tires"), 0.5)]).unwrap()),
+        ("Camry", Uda::from_pairs([(p("Trans"), 0.2), (p("Suspension"), 0.8)]).unwrap()),
+        ("Civic", Uda::from_pairs([(p("Exhaust"), 0.4), (p("Brake"), 0.6)]).unwrap()),
+        ("Caravan", Uda::from_pairs([(p("Trans"), 1.0)]).unwrap()),
+    ];
+
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::new(store.clone());
+    let index = InvertedIndex::build(
+        problems.clone(),
+        &mut pool,
+        cars.iter().enumerate().map(|(i, (_, u))| (i as u64, u)),
+    );
+
+    // "Report all the tuples which are highly likely to have a brake
+    // problem (Problem = Brake)."
+    println!("Cars with Pr(Problem = Brake) ≥ 0.5:");
+    let query = uncat::core::EqQuery::new(Uda::certain(p("Brake")), 0.5);
+    for m in index.petq(&mut pool, &query, uncat::inverted::Strategy::ColumnPruning) {
+        println!("  {:10}  Pr = {:.2}", cars[m.tid as usize].0, m.score);
+    }
+
+    // --- Table 1(b): employees with an uncertain Department attribute.
+    let departments = Domain::from_labels(["Shoes", "Sales", "Clothes", "Hardware", "HR"]);
+    let d = |label: &str| departments.id_of(label).expect("known label");
+
+    let employees: Vec<(&str, Uda)> = vec![
+        ("Jim", Uda::from_pairs([(d("Shoes"), 0.5), (d("Sales"), 0.5)]).unwrap()),
+        ("Tom", Uda::from_pairs([(d("Sales"), 0.4), (d("Clothes"), 0.6)]).unwrap()),
+        ("Lin", Uda::from_pairs([(d("Hardware"), 0.6), (d("Sales"), 0.4)]).unwrap()),
+        ("Nancy", Uda::from_pairs([(d("HR"), 1.0)]).unwrap()),
+    ];
+
+    let tree = PdrTree::build(
+        departments.clone(),
+        PdrConfig::default(),
+        &mut pool,
+        employees.iter().enumerate().map(|(i, (_, u))| (i as u64, u)),
+    );
+
+    // "Which pairs of employees have a given minimum probability of
+    // potentially working for the same department?" — probe each employee
+    // against the tree (a PETJ).
+    println!("\nEmployee pairs with Pr(same department) ≥ 0.2:");
+    for (i, (name, uda)) in employees.iter().enumerate() {
+        let q = uncat::core::EqQuery::new(uda.clone(), 0.2);
+        for m in UncertainIndex::petq(&tree, &mut pool, &q) {
+            if m.tid as usize > i {
+                println!("  {name:6} & {:6}  Pr = {:.2}", employees[m.tid as usize].0, m.score);
+            }
+        }
+    }
+
+    // The paper's §2 example: distributional similarity is NOT equality.
+    let flat = Uda::from_pairs((0..5).map(|i| (CatId(i), 0.2))).unwrap();
+    println!(
+        "\nPr(flat = flat) = {:.2}  (identical distributions, low equality)",
+        uncat::core::equality::eq_prob(&flat, &flat)
+    );
+    let u = Uda::from_pairs([(CatId(0), 0.6), (CatId(1), 0.4)]).unwrap();
+    let v = Uda::from_pairs([(CatId(0), 0.4), (CatId(1), 0.6)]).unwrap();
+    println!(
+        "Pr(u = v)       = {:.2}  (different distributions, higher equality)",
+        uncat::core::equality::eq_prob(&u, &v)
+    );
+
+    // Top-k: the 2 employees most likely to share Jim's department.
+    println!("\nMost similar colleagues to Jim (top-2 by equality probability):");
+    let topk = uncat::core::TopKQuery::new(employees[0].1.clone(), 3);
+    for m in UncertainIndex::top_k(&tree, &mut pool, &topk).into_iter().filter(|m| m.tid != 0).take(2)
+    {
+        println!("  {:6}  Pr = {:.2}", employees[m.tid as usize].0, m.score);
+    }
+
+    println!("\nI/O so far: {:?}", pool.stats());
+}

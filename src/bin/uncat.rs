@@ -1,0 +1,252 @@
+//! `uncat` — command-line front end for the uncertain-categorical-data
+//! indexes.
+//!
+//! ```text
+//! uncat gen    --dataset crm1 --n 10000 --seed 42 --out data.uds
+//! uncat build  --index pdr [--bulk] --data data.uds --pages idx.pages --meta idx.meta
+//! uncat query  --index pdr --pages idx.pages --meta idx.meta --cat 3 --tau 0.5
+//! uncat topk   --index pdr --pages idx.pages --meta idx.meta --cat 3 --k 10
+//! uncat stats  --index pdr --pages idx.pages --meta idx.meta
+//! ```
+//!
+//! Indexes are persisted as a page file (`--pages`) plus a metadata
+//! snapshot (`--meta`); `query`/`topk`/`stats` reopen both.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use uncat::core::{CatId, EqQuery, TopKQuery, Uda};
+use uncat::datagen;
+use uncat::inverted::{InvertedIndex, Strategy};
+use uncat::pdrtree::{PdrConfig, PdrTree};
+use uncat::storage::{BufferPool, FileDisk, SharedStore};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.trim().to_owned());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => gen(&flags),
+        "build" => build(&flags),
+        "query" => query(&flags, false),
+        "topk" => query(&flags, true),
+        "stats" => stats(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE.trim());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", USAGE.trim())),
+    }
+}
+
+const USAGE: &str = r#"
+usage:
+  uncat gen    --dataset <crm1|crm2|uniform|pairwise|gen3|textsim> --n <N>
+               [--domain <D>] [--seed <S>] --out <file.uds>
+  uncat build  --index <inverted|pdr> [--bulk] --data <file.uds>
+               --pages <file.pages> --meta <file.meta>
+  uncat query  --index <inverted|pdr> --pages <...> --meta <...>
+               --cat <id> --tau <t> [--limit <n>]
+  uncat topk   --index <inverted|pdr> --pages <...> --meta <...>
+               --cat <id> --k <k>
+  uncat stats  --index <inverted|pdr> --pages <...> --meta <...>
+"#;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found {a:?}"));
+        };
+        if name == "bulk" {
+            flags.insert("bulk".to_owned(), "true".to_owned());
+            continue;
+        }
+        let Some(v) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_owned(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = need(flags, "dataset")?;
+    let n: usize = parse(need(flags, "n")?, "--n")?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "--seed"))?;
+    let out = need(flags, "out")?;
+    let (domain, data) = match dataset {
+        "crm1" => datagen::crm::crm1(n, seed),
+        "crm2" => datagen::crm::crm2(n, seed),
+        "uniform" => datagen::uniform::generate(n, seed),
+        "pairwise" => datagen::pairwise::generate(n, seed),
+        "gen3" => {
+            let d: u32 = flags.get("domain").map_or(Ok(50), |s| parse(s, "--domain"))?;
+            datagen::gen3::generate(n, d, seed)
+        }
+        "textsim" => {
+            let (domain, data, accuracy) = datagen::textsim::generate(n, seed);
+            println!("classifier top-1 accuracy vs generative truth: {accuracy:.3}");
+            (domain, data)
+        }
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    datagen::io::save(out, &domain, &data).map_err(|e| e.to_string())?;
+    println!("wrote {n} tuples over {} categories to {out}", domain.size());
+    Ok(())
+}
+
+fn build(flags: &HashMap<String, String>) -> Result<(), String> {
+    let index = need(flags, "index")?;
+    let data_path = need(flags, "data")?;
+    let pages = need(flags, "pages")?;
+    let meta = need(flags, "meta")?;
+    let bulk = flags.contains_key("bulk");
+
+    let (domain, data) = datagen::io::load(data_path).map_err(|e| e.to_string())?;
+    let disk = FileDisk::create(pages).map_err(|e| e.to_string())?;
+    let store: SharedStore = Arc::new(disk);
+    let mut pool = BufferPool::with_capacity(store.clone(), 512);
+    let t0 = std::time::Instant::now();
+    let blob = match index {
+        "inverted" => {
+            if bulk {
+                return Err("--bulk applies to the pdr index only".into());
+            }
+            let idx =
+                InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)));
+            pool.flush();
+            idx.snapshot()
+        }
+        "pdr" => {
+            let tree = if bulk {
+                PdrTree::bulk_build(
+                    domain,
+                    PdrConfig::default(),
+                    &mut pool,
+                    data.iter().map(|(t, u)| (*t, u)),
+                )
+            } else {
+                PdrTree::build(
+                    domain,
+                    PdrConfig::default(),
+                    &mut pool,
+                    data.iter().map(|(t, u)| (*t, u)),
+                )
+            };
+            pool.flush();
+            tree.snapshot()
+        }
+        other => return Err(format!("unknown index {other:?}")),
+    };
+    drop(pool);
+    std::fs::write(meta, &blob).map_err(|e| e.to_string())?;
+    println!(
+        "built {index} index over {} tuples in {:.1}s ({} pages)",
+        data.len(),
+        t0.elapsed().as_secs_f64(),
+        store.num_pages()
+    );
+    Ok(())
+}
+
+enum AnyIndex {
+    Inverted(InvertedIndex),
+    Pdr(PdrTree),
+}
+
+fn reopen(flags: &HashMap<String, String>) -> Result<(AnyIndex, SharedStore), String> {
+    let index = need(flags, "index")?;
+    let pages = need(flags, "pages")?;
+    let meta = need(flags, "meta")?;
+    let blob = std::fs::read(meta).map_err(|e| e.to_string())?;
+    let store: SharedStore =
+        Arc::new(FileDisk::open(pages).map_err(|e| e.to_string())?);
+    let idx = match index {
+        "inverted" => AnyIndex::Inverted(InvertedIndex::open(&blob).map_err(|e| e.to_string())?),
+        "pdr" => AnyIndex::Pdr(PdrTree::open(&blob).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown index {other:?}")),
+    };
+    Ok((idx, store))
+}
+
+fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
+    let (idx, store) = reopen(flags)?;
+    let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
+    let q = Uda::certain(CatId(cat));
+    let mut pool = BufferPool::new(store);
+    let matches = if topk {
+        let k: usize = parse(need(flags, "k")?, "--k")?;
+        match &idx {
+            AnyIndex::Inverted(i) => i.top_k(&mut pool, &TopKQuery::new(q, k)),
+            AnyIndex::Pdr(t) => t.top_k(&mut pool, &TopKQuery::new(q, k)),
+        }
+    } else {
+        let tau: f64 = parse(need(flags, "tau")?, "--tau")?;
+        match &idx {
+            AnyIndex::Inverted(i) => i.petq(&mut pool, &EqQuery::new(q, tau), Strategy::Nra),
+            AnyIndex::Pdr(t) => t.petq(&mut pool, &EqQuery::new(q, tau)),
+        }
+    };
+    let limit: usize = flags.get("limit").map_or(Ok(20), |s| parse(s, "--limit"))?;
+    for m in matches.iter().take(limit) {
+        println!("tuple {:8}  Pr = {:.4}", m.tid, m.score);
+    }
+    if matches.len() > limit {
+        println!("… and {} more", matches.len() - limit);
+    }
+    println!(
+        "{} matches, {} page reads",
+        matches.len(),
+        pool.stats().physical_reads
+    );
+    Ok(())
+}
+
+fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (idx, store) = reopen(flags)?;
+    let mut pool = BufferPool::with_capacity(store.clone(), 512);
+    match &idx {
+        AnyIndex::Inverted(i) => {
+            let s = i.stats();
+            println!("inverted index: {} tuples", i.len());
+            println!("  posting lists:  {}", s.lists);
+            println!("  postings:       {}", s.postings);
+            println!("  longest list:   {}", s.longest_list);
+            println!("  avg list:       {:.1}", s.avg_list_len());
+            println!("  heap pages:     {}", s.heap_pages);
+        }
+        AnyIndex::Pdr(t) => {
+            let s = t.stats(&mut pool);
+            println!("pdr-tree: {} tuples, depth {}", s.entries, s.depth);
+            println!("  nodes:          {} ({} leaves)", s.nodes, s.leaves);
+            println!("  avg fanout:     {:.1}", s.avg_fanout());
+            println!("  avg leaf fill:  {:.1} entries", s.avg_leaf_entries());
+            println!("  page fill:      {:.0}%", s.fill_factor() * 100.0);
+        }
+    }
+    println!("  store pages:    {}", store.num_pages());
+    Ok(())
+}

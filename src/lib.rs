@@ -1,0 +1,35 @@
+//! `uncat` — indexing uncertain categorical data.
+//!
+//! A faithful, production-quality reproduction of Singh, Mayfield,
+//! Prabhakar, Shah & Hambrusch, *Indexing Uncertain Categorical Data*
+//! (ICDE 2007). This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the UDA data model, equality semantics, divergences and
+//!   query definitions.
+//! * [`storage`] — the paged storage substrate (8 KB pages, clock buffer
+//!   pool, heap files, B+tree) whose buffer misses are the paper's I/O
+//!   metric.
+//! * [`inverted`] — the probabilistic inverted index (§3.1) with the four
+//!   search strategies and the no-random-access variant.
+//! * [`pdrtree`] — the Probabilistic Distribution R-tree (§3.2) with both
+//!   split strategies and both boundary-compression schemes.
+//! * [`datagen`] — the evaluation's dataset generators and workloads.
+//! * [`query`] — a unified executor, full-scan baseline, and the join
+//!   operators (PETJ and friends).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use uncat_core as core;
+pub use uncat_datagen as datagen;
+pub use uncat_inverted as inverted;
+pub use uncat_pdrtree as pdrtree;
+pub use uncat_query as query;
+pub use uncat_storage as storage;
+
+/// Commonly used items, for `use uncat::prelude::*`.
+pub mod prelude {
+    pub use uncat_core::{
+        CatId, Divergence, Domain, DstQuery, EqQuery, TopKQuery, TupleId, Uda, UdaBuilder,
+    };
+    pub use uncat_storage::{BufferPool, InMemoryDisk, IoStats, PageId};
+}

@@ -1,0 +1,125 @@
+//! End-to-end CLI test: generate → build (both indexes) → query → stats,
+//! all through the `uncat` binary and real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let mut p = std::env::temp_dir();
+        p.push(format!("uncat-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&p).expect("create temp dir");
+        TempDir(p)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn uncat(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_uncat"))
+        .args(args)
+        .output()
+        .expect("spawn uncat binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn full_cli_workflow_both_indexes() {
+    let dir = TempDir::new("flow");
+    let data = dir.path("data.uds");
+
+    let (ok, out) = uncat(&[
+        "gen", "--dataset", "crm1", "--n", "2000", "--seed", "5", "--out", &data,
+    ]);
+    assert!(ok, "gen failed: {out}");
+    assert!(out.contains("wrote 2000 tuples"));
+
+    for (index, bulk) in [("inverted", false), ("pdr", false), ("pdr", true)] {
+        let tag = if bulk { format!("{index}-bulk") } else { index.to_owned() };
+        let pages = dir.path(&format!("{tag}.pages"));
+        let meta = dir.path(&format!("{tag}.meta"));
+        let mut args = vec![
+            "build", "--index", index, "--data", &data, "--pages", &pages, "--meta", &meta,
+        ];
+        if bulk {
+            args.push("--bulk");
+        }
+        let (ok, out) = uncat(&args);
+        assert!(ok, "build {tag} failed: {out}");
+
+        let (ok, out) = uncat(&[
+            "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0",
+            "--tau", "0.7",
+        ]);
+        assert!(ok, "query {tag} failed: {out}");
+        assert!(out.contains("matches"), "unexpected query output: {out}");
+
+        let (ok, out) = uncat(&[
+            "topk", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0",
+            "--k", "5",
+        ]);
+        assert!(ok, "topk {tag} failed: {out}");
+        assert!(out.contains("5 matches"), "topk should return 5: {out}");
+
+        let (ok, out) = uncat(&[
+            "stats", "--index", index, "--pages", &pages, "--meta", &meta,
+        ]);
+        assert!(ok, "stats {tag} failed: {out}");
+        assert!(out.contains("store pages"));
+    }
+}
+
+#[test]
+fn query_results_agree_across_indexes_via_cli() {
+    let dir = TempDir::new("agree");
+    let data = dir.path("data.uds");
+    uncat(&["gen", "--dataset", "pairwise", "--n", "1000", "--seed", "9", "--out", &data]);
+
+    let mut counts = Vec::new();
+    for index in ["inverted", "pdr"] {
+        let pages = dir.path(&format!("{index}.pages"));
+        let meta = dir.path(&format!("{index}.meta"));
+        let (ok, _) = uncat(&[
+            "build", "--index", index, "--data", &data, "--pages", &pages, "--meta", &meta,
+        ]);
+        assert!(ok);
+        let (ok, out) = uncat(&[
+            "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "1",
+            "--tau", "0.4",
+        ]);
+        assert!(ok);
+        let line = out.lines().find(|l| l.contains("matches,")).expect("summary line");
+        counts.push(line.split_whitespace().next().expect("count").to_owned());
+    }
+    assert_eq!(counts[0], counts[1], "both indexes must return the same count");
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let (ok, out) = uncat(&["frobnicate"]);
+    assert!(!ok);
+    assert!(out.contains("unknown command"));
+
+    let (ok, out) = uncat(&["gen", "--dataset", "nope", "--n", "10", "--out", "/dev/null"]);
+    assert!(!ok);
+    assert!(out.contains("unknown dataset"));
+
+    let (ok, out) = uncat(&["query", "--index", "pdr"]);
+    assert!(!ok);
+    assert!(out.contains("missing --pages"));
+}

@@ -1,0 +1,117 @@
+//! Cross-crate persistence: both indexes built over one durable file,
+//! snapshotted, "restarted", and queried — results must equal a fresh
+//! in-memory build.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use uncat::core::{EqQuery, TopKQuery};
+use uncat::datagen::crm;
+use uncat::prelude::*;
+use uncat::query::UncertainIndex;
+use uncat_inverted::{InvertedIndex, Strategy};
+use uncat_pdrtree::{PdrConfig, PdrTree};
+use uncat_storage::FileDisk;
+
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> TempFile {
+        let mut p = std::env::temp_dir();
+        p.push(format!("uncat-persist-{tag}-{}.pages", std::process::id()));
+        TempFile(p)
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn both_indexes_survive_restart_on_one_file() {
+    let file = TempFile::new("both");
+    let (domain, data) = crm::crm1(3000, 77);
+
+    // Session 1: build both indexes into one page file; keep snapshots.
+    let (inv_blob, pdr_blob) = {
+        let store: uncat::storage::SharedStore =
+            Arc::new(FileDisk::create(&file.0).expect("create page file"));
+        let mut pool = BufferPool::with_capacity(store, 256);
+        let inv = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)));
+        let pdr = PdrTree::build(
+            domain.clone(),
+            PdrConfig::default(),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        );
+        pool.flush();
+        (inv.snapshot(), pdr.snapshot())
+    };
+
+    // Session 2: reopen and compare against a fresh in-memory build.
+    let store: uncat::storage::SharedStore =
+        Arc::new(FileDisk::open(&file.0).expect("reopen page file"));
+    let inv = InvertedIndex::open(&inv_blob).expect("inverted snapshot");
+    let pdr = PdrTree::open(&pdr_blob).expect("pdr snapshot");
+    assert_eq!(inv.len(), 3000);
+    assert_eq!(pdr.len(), 3000);
+
+    let mem_store = InMemoryDisk::shared();
+    let mut mem_pool = BufferPool::with_capacity(mem_store, 256);
+    let fresh = InvertedIndex::build(domain, &mut mem_pool, data.iter().map(|(t, u)| (*t, u)));
+
+    let mut pool = BufferPool::new(store);
+    for (tid, q) in data.iter().take(5) {
+        let eq = EqQuery::new(q.clone(), 0.4);
+        let expect: Vec<u64> =
+            fresh.petq(&mut mem_pool, &eq, Strategy::Nra).iter().map(|m| m.tid).collect();
+        let a: Vec<u64> =
+            inv.petq(&mut pool, &eq, Strategy::Nra).iter().map(|m| m.tid).collect();
+        let b: Vec<u64> =
+            UncertainIndex::petq(&pdr, &mut pool, &eq).iter().map(|m| m.tid).collect();
+        assert_eq!(a, expect, "inverted after restart, query from tuple {tid}");
+        assert_eq!(b, expect, "pdr after restart, query from tuple {tid}");
+
+        let tk = TopKQuery::new(q.clone(), 7);
+        let expect: Vec<u64> = fresh.top_k(&mut mem_pool, &tk).iter().map(|m| m.tid).collect();
+        assert_eq!(
+            inv.top_k(&mut pool, &tk).iter().map(|m| m.tid).collect::<Vec<_>>(),
+            expect
+        );
+        assert_eq!(
+            UncertainIndex::top_k(&pdr, &mut pool, &tk).iter().map(|m| m.tid).collect::<Vec<_>>(),
+            expect
+        );
+    }
+    pdr.check_invariants(&mut pool);
+    inv.check_invariants(&mut pool);
+}
+
+#[test]
+fn restarted_index_accepts_new_inserts() {
+    let file = TempFile::new("insert");
+    let (domain, data) = crm::crm1(500, 3);
+    let blob = {
+        let store: uncat::storage::SharedStore =
+            Arc::new(FileDisk::create(&file.0).expect("create"));
+        let mut pool = BufferPool::with_capacity(store, 128);
+        let mut idx = InvertedIndex::build(
+            domain.clone(),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        );
+        idx.delete(&mut pool, 0);
+        pool.flush();
+        idx.snapshot()
+    };
+    let store: uncat::storage::SharedStore = Arc::new(FileDisk::open(&file.0).expect("open"));
+    let mut idx = InvertedIndex::open(&blob).expect("snapshot");
+    assert_eq!(idx.len(), 499);
+    let mut pool = BufferPool::with_capacity(store, 128);
+    idx.insert(&mut pool, 9999, &data[0].1);
+    assert_eq!(idx.len(), 500);
+    assert_eq!(idx.check_invariants(&mut pool), 500);
+    assert!(idx.get_tuple(&mut pool, 9999).is_some());
+}
