@@ -50,12 +50,19 @@ fn compression(c: &mut Criterion) {
         Compression::Discretized { bits: 2 },
         Compression::Signature { width: 32 },
     ] {
-        let cfg = PdrConfig { compression, ..PdrConfig::default() };
+        let cfg = PdrConfig {
+            compression,
+            ..PdrConfig::default()
+        };
         let (tree, store) = build_pdr(&domain, &data, cfg);
         g.bench_function(compression.name(), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
-                black_box(UncertainIndex::petq(&tree, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+                black_box(UncertainIndex::petq(
+                    &tree,
+                    &mut pool,
+                    &EqQuery::new(cq.q.clone(), cq.tau),
+                ))
             })
         });
     }
@@ -74,12 +81,20 @@ fn buffer(c: &mut Criterion) {
     let mut g = c.benchmark_group("buffer");
     g.sample_size(20);
     for frames in [25usize, 100, 400] {
-        g.bench_with_input(BenchmarkId::new("pdr-petq", frames), &frames, |b, &frames| {
-            b.iter(|| {
-                let mut pool = BufferPool::with_capacity(store.clone(), frames);
-                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pdr-petq", frames),
+            &frames,
+            |b, &frames| {
+                b.iter(|| {
+                    let mut pool = BufferPool::with_capacity(store.clone(), frames);
+                    black_box(UncertainIndex::petq(
+                        &pdr,
+                        &mut pool,
+                        &EqQuery::new(cq.q.clone(), cq.tau),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -23,7 +23,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     for split in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
-        let cfg = PdrConfig { split, ..PdrConfig::default() };
+        let cfg = PdrConfig {
+            split,
+            ..PdrConfig::default()
+        };
         g.bench_function(format!("build-{}", split.name()), |b| {
             b.iter(|| black_box(build_pdr(&domain, &data, cfg)))
         });

@@ -10,8 +10,8 @@ use std::hint::black_box;
 use uncat_bench::measure::{build_pdr, Scale, QUERY_FRAMES};
 use uncat_core::query::{EqQuery, TopKQuery};
 use uncat_core::Divergence;
-use uncat_datagen::workload::{make_workload, queries_from_data};
 use uncat_datagen::crm;
+use uncat_datagen::workload::{make_workload, queries_from_data};
 use uncat_pdrtree::PdrConfig;
 use uncat_storage::BufferPool;
 
@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4");
     g.sample_size(20);
     for dv in Divergence::ALL {
-        let cfg = PdrConfig { divergence: dv, ..PdrConfig::default() };
+        let cfg = PdrConfig {
+            divergence: dv,
+            ..PdrConfig::default()
+        };
         let (tree, store) = build_pdr(&domain, &data, cfg);
         g.bench_function(format!("petq-{}", dv.name()), |b| {
             b.iter(|| {

@@ -38,7 +38,11 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("{name}-pdr"), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+                black_box(UncertainIndex::petq(
+                    &pdr,
+                    &mut pool,
+                    &EqQuery::new(cq.q.clone(), cq.tau),
+                ))
             })
         });
     }

@@ -42,13 +42,21 @@ fn bench(c: &mut Criterion) {
     g.bench_function("crm1-pdr-thres", |b| {
         b.iter(|| {
             let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-            black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            black_box(UncertainIndex::petq(
+                &pdr,
+                &mut pool,
+                &EqQuery::new(cq.q.clone(), cq.tau),
+            ))
         })
     });
     g.bench_function("crm1-pdr-topk", |b| {
         b.iter(|| {
             let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-            black_box(UncertainIndex::top_k(&pdr, &mut pool, &TopKQuery::new(cq.q.clone(), cq.k)))
+            black_box(UncertainIndex::top_k(
+                &pdr,
+                &mut pool,
+                &TopKQuery::new(cq.q.clone(), cq.k),
+            ))
         })
     });
     g.finish();

@@ -18,7 +18,10 @@ use uncat_storage::BufferPool;
 fn bench(c: &mut Criterion) {
     // CRM2 is dense; a smaller tuple count keeps the bench minutes short
     // while preserving density (the property fig7 is about).
-    let scale = Scale { crm_n: 4_000, ..Scale::quick() };
+    let scale = Scale {
+        crm_n: 4_000,
+        ..Scale::quick()
+    };
     let (domain, data) = crm::crm2(scale.crm_n, scale.seed);
     let queries = queries_from_data(&data, scale.queries, scale.seed);
     let wl = make_workload(&data, &queries, &[0.01]);
@@ -44,13 +47,21 @@ fn bench(c: &mut Criterion) {
     g.bench_function("crm2-pdr-thres", |b| {
         b.iter(|| {
             let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-            black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+            black_box(UncertainIndex::petq(
+                &pdr,
+                &mut pool,
+                &EqQuery::new(cq.q.clone(), cq.tau),
+            ))
         })
     });
     g.bench_function("crm2-pdr-topk", |b| {
         b.iter(|| {
             let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-            black_box(UncertainIndex::top_k(&pdr, &mut pool, &TopKQuery::new(cq.q.clone(), cq.k)))
+            black_box(UncertainIndex::top_k(
+                &pdr,
+                &mut pool,
+                &TopKQuery::new(cq.q.clone(), cq.k),
+            ))
         })
     });
     g.finish();

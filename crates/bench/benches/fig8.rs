@@ -36,7 +36,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("pdr", n), &n, |b, _| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+                black_box(UncertainIndex::petq(
+                    &pdr,
+                    &mut pool,
+                    &EqQuery::new(cq.q.clone(), cq.tau),
+                ))
             })
         });
     }

@@ -23,7 +23,9 @@ fn bench(c: &mut Criterion) {
         let (domain, data) = gen3::generate(scale.synth_n, d, scale.seed);
         let queries = queries_from_data(&data, scale.queries, scale.seed);
         let wl = make_workload(&data, &queries, &[0.01]);
-        let Some(cq) = wl[0].1.first().cloned() else { continue };
+        let Some(cq) = wl[0].1.first().cloned() else {
+            continue;
+        };
 
         let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
         g.bench_with_input(BenchmarkId::new("inverted", d), &d, |b, _| {
@@ -36,7 +38,11 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("pdr", d), &d, |b, _| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);
-                black_box(UncertainIndex::petq(&pdr, &mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
+                black_box(UncertainIndex::petq(
+                    &pdr,
+                    &mut pool,
+                    &EqQuery::new(cq.q.clone(), cq.tau),
+                ))
             })
         });
     }

@@ -18,8 +18,11 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let names: Vec<&str> =
-        if names.is_empty() { ALL_FIGURES.to_vec() } else { names };
+    let names: Vec<&str> = if names.is_empty() {
+        ALL_FIGURES.to_vec()
+    } else {
+        names
+    };
 
     let scale = if quick {
         Scale::quick()

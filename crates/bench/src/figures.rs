@@ -9,9 +9,7 @@ use uncat_pdrtree::{Compression, PdrConfig, SplitStrategy};
 use uncat_query::UncertainIndex;
 use uncat_storage::SharedStore;
 
-use crate::measure::{
-    avg_petq_io, avg_topk_io, build_inverted, build_pdr, Scale, QUERY_FRAMES,
-};
+use crate::measure::{avg_petq_io, avg_topk_io, build_inverted, build_pdr, Scale, QUERY_FRAMES};
 use crate::table::{FigureTable, Series};
 
 type Workload = Vec<(f64, Vec<CalibratedQuery>)>;
@@ -37,7 +35,10 @@ fn petq_topk_series(
         thres.push((*s, avg_petq_io(index, store, QUERY_FRAMES, qs)));
         topk.push((*s, avg_topk_io(index, store, QUERY_FRAMES, qs)));
     }
-    (Series::new(format!("{prefix}-Thres"), thres), Series::new(format!("{prefix}-TopK"), topk))
+    (
+        Series::new(format!("{prefix}-Thres"), thres),
+        Series::new(format!("{prefix}-TopK"), topk),
+    )
 }
 
 /// Figure 4: L1 vs L2 vs KL as the PDR-tree clustering measure (CRM1).
@@ -46,13 +47,21 @@ pub fn fig4(scale: &Scale) -> FigureTable {
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
     for dv in Divergence::ALL {
-        let cfg = PdrConfig { divergence: dv, ..PdrConfig::default() };
+        let cfg = PdrConfig {
+            divergence: dv,
+            ..PdrConfig::default()
+        };
         let (tree, store) = build_pdr(&domain, &data, cfg);
         let (t, k) = petq_topk_series(&format!("CRM1-{}", dv.name()), &tree, &store, &workload);
         series.push(t);
         series.push(k);
     }
-    FigureTable::new("fig4", "L1 vs L2 vs KL (PDR-tree, CRM1)", "selectivity", series)
+    FigureTable::new(
+        "fig4",
+        "L1 vs L2 vs KL (PDR-tree, CRM1)",
+        "selectivity",
+        series,
+    )
 }
 
 /// Figure 5: inverted index vs PDR-tree on the synthetic datasets.
@@ -72,10 +81,20 @@ pub fn fig5(scale: &Scale) -> FigureTable {
         series.push(t);
         series.push(k);
     }
-    FigureTable::new("fig5", "Inverted index vs PDR-tree (synthetic)", "selectivity", series)
+    FigureTable::new(
+        "fig5",
+        "Inverted index vs PDR-tree (synthetic)",
+        "selectivity",
+        series,
+    )
 }
 
-fn crm_figure(id: &str, name: &str, scale: &Scale, data: (uncat_core::Domain, Dataset)) -> FigureTable {
+fn crm_figure(
+    id: &str,
+    name: &str,
+    scale: &Scale,
+    data: (uncat_core::Domain, Dataset),
+) -> FigureTable {
     let (domain, data) = data;
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
@@ -87,7 +106,12 @@ fn crm_figure(id: &str, name: &str, scale: &Scale, data: (uncat_core::Domain, Da
     let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload);
     series.push(t);
     series.push(k);
-    FigureTable::new(id, format!("Inverted index vs PDR-tree ({name})"), "selectivity", series)
+    FigureTable::new(
+        id,
+        format!("Inverted index vs PDR-tree ({name})"),
+        "selectivity",
+        series,
+    )
 }
 
 /// Figure 6: inverted vs PDR-tree on CRM1.
@@ -189,7 +213,10 @@ pub fn fig10(scale: &Scale) -> FigureTable {
         },
     ] {
         for split in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
-            let cfg = PdrConfig { split, ..PdrConfig::default() };
+            let cfg = PdrConfig {
+                split,
+                ..PdrConfig::default()
+            };
             let (tree, store) = build_pdr(&domain, &data, cfg);
             let mut pts = Vec::new();
             for (s, qs) in &workload {
@@ -197,13 +224,24 @@ pub fn fig10(scale: &Scale) -> FigureTable {
                     pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
                 }
             }
-            series.push(Series::new(format!("{name}-{}-Thres", match split {
-                SplitStrategy::TopDown => "TopDown",
-                SplitStrategy::BottomUp => "BottomUp",
-            }), pts));
+            series.push(Series::new(
+                format!(
+                    "{name}-{}-Thres",
+                    match split {
+                        SplitStrategy::TopDown => "TopDown",
+                        SplitStrategy::BottomUp => "BottomUp",
+                    }
+                ),
+                pts,
+            ));
         }
     }
-    FigureTable::new("fig10", "PDR split: top-down vs bottom-up", "selectivity", series)
+    FigureTable::new(
+        "fig10",
+        "PDR split: top-down vs bottom-up",
+        "selectivity",
+        series,
+    )
 }
 
 /// Ablation: the four inverted-index search strategies plus NRA (CRM1).
@@ -221,7 +259,12 @@ pub fn strategies(scale: &Scale) -> FigureTable {
         }
         series.push(Series::new(strat.name(), pts));
     }
-    FigureTable::new("strategies", "Inverted-index search strategies (CRM1)", "selectivity", series)
+    FigureTable::new(
+        "strategies",
+        "Inverted-index search strategies (CRM1)",
+        "selectivity",
+        series,
+    )
 }
 
 /// Ablation: PDR boundary compression (Gen3, |D| = 200).
@@ -235,7 +278,10 @@ pub fn compression(scale: &Scale) -> FigureTable {
         Compression::Discretized { bits: 4 },
         Compression::Signature { width: 32 },
     ] {
-        let cfg = PdrConfig { compression, ..PdrConfig::default() };
+        let cfg = PdrConfig {
+            compression,
+            ..PdrConfig::default()
+        };
         let (tree, store) = build_pdr(&domain, &data, cfg);
         let mut pts = Vec::new();
         for (s, qs) in &workload {
@@ -245,7 +291,12 @@ pub fn compression(scale: &Scale) -> FigureTable {
         }
         series.push(Series::new(compression.name(), pts));
     }
-    FigureTable::new("compression", "PDR boundary compression (Gen3, |D|=200)", "selectivity", series)
+    FigureTable::new(
+        "compression",
+        "PDR boundary compression (Gen3, |D|=200)",
+        "selectivity",
+        series,
+    )
 }
 
 /// Ablation: per-query buffer size and replacement policy (CRM1, 1 %
@@ -261,20 +312,20 @@ pub fn buffer(scale: &Scale) -> FigureTable {
     let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
     let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
 
-    let measure = |index: &dyn UncertainIndex,
-                   store: &SharedStore,
-                   frames: usize,
-                   policy: Replacement| {
-        let total: u64 = qs
-            .iter()
-            .map(|cq| {
-                let mut pool = BufferPool::with_policy(store.clone(), frames, policy);
-                let _ = index.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau));
-                pool.stats().physical_reads
-            })
-            .sum();
-        total as f64 / qs.len() as f64
-    };
+    let measure =
+        |index: &dyn UncertainIndex, store: &SharedStore, frames: usize, policy: Replacement| {
+            let total: u64 = qs
+                .iter()
+                .map(|cq| {
+                    let mut pool = BufferPool::with_policy(store.clone(), frames, policy);
+                    index
+                        .petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau))
+                        .expect("in-memory query");
+                    pool.stats().physical_reads
+                })
+                .sum();
+            total as f64 / qs.len() as f64
+        };
 
     let mut series = Vec::new();
     for (label, index, store) in [
@@ -317,6 +368,7 @@ pub fn bulkload(scale: &Scale) -> FigureTable {
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
             )
+            .expect("in-memory build")
         } else {
             uncat_pdrtree::PdrTree::build(
                 domain.clone(),
@@ -324,10 +376,15 @@ pub fn bulkload(scale: &Scale) -> FigureTable {
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
             )
+            .expect("in-memory build")
         };
-        pool.flush();
+        pool.flush().expect("in-memory flush");
         drop(pool);
-        let label = if bulk { "PDR-BulkLoad-Thres" } else { "PDR-Insert-Thres" };
+        let label = if bulk {
+            "PDR-BulkLoad-Thres"
+        } else {
+            "PDR-Insert-Thres"
+        };
         let mut pts = Vec::new();
         for (s, qs) in &workload {
             if !qs.is_empty() {
@@ -351,10 +408,26 @@ pub fn sizes(scale: &Scale) -> FigureTable {
     let mut pdr_pts = Vec::new();
     let mut bulk_pts = Vec::new();
     let sets: Vec<(f64, uncat_core::Domain, Dataset)> = vec![
-        (1.0, uniform::generate(scale.synth_n, scale.seed).0, uniform::generate(scale.synth_n, scale.seed).1),
-        (2.0, pairwise::generate(scale.synth_n, scale.seed).0, pairwise::generate(scale.synth_n, scale.seed).1),
-        (3.0, crm::crm1(scale.crm_n, scale.seed).0, crm::crm1(scale.crm_n, scale.seed).1),
-        (4.0, crm::crm2(scale.crm_n, scale.seed).0, crm::crm2(scale.crm_n, scale.seed).1),
+        (
+            1.0,
+            uniform::generate(scale.synth_n, scale.seed).0,
+            uniform::generate(scale.synth_n, scale.seed).1,
+        ),
+        (
+            2.0,
+            pairwise::generate(scale.synth_n, scale.seed).0,
+            pairwise::generate(scale.synth_n, scale.seed).1,
+        ),
+        (
+            3.0,
+            crm::crm1(scale.crm_n, scale.seed).0,
+            crm::crm1(scale.crm_n, scale.seed).1,
+        ),
+        (
+            4.0,
+            crm::crm2(scale.crm_n, scale.seed).0,
+            crm::crm2(scale.crm_n, scale.seed).1,
+        ),
     ];
     for (x, domain, data) in sets {
         let (_, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
@@ -368,8 +441,9 @@ pub fn sizes(scale: &Scale) -> FigureTable {
             PdrConfig::default(),
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
-        pool.flush();
+        )
+        .expect("in-memory build");
+        pool.flush().expect("in-memory flush");
         drop(pool);
         bulk_pts.push((x, bulk_store.num_pages() as f64));
     }
@@ -401,9 +475,11 @@ pub fn joins(scale: &Scale) -> FigureTable {
         PdrConfig::default(),
         &mut pool,
         data.iter().map(|(t, u)| (*t, u)),
-    );
-    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u)));
-    pool.flush();
+    )
+    .expect("in-memory build");
+    let scan =
+        ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).expect("in-memory build");
+    pool.flush().expect("in-memory flush");
     drop(pool);
 
     let (_, outer_all) = crm::crm1(256, scale.seed ^ 0xA5A5);
@@ -417,10 +493,10 @@ pub fn joins(scale: &Scale) -> FigureTable {
             .map(|(t, u)| (1_000_000 + *t, u.clone()))
             .collect();
         let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
-        let a = index_nested_loop_petj(&outer, &pdr, &mut p, tau);
+        let a = index_nested_loop_petj(&outer, &pdr, &mut p, tau).expect("in-memory join");
         inl_pts.push((outer_n as f64, p.stats().physical_reads as f64));
         let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
-        let b = block_nested_loop_petj(&outer, &scan, &mut p, tau);
+        let b = block_nested_loop_petj(&outer, &scan, &mut p, tau).expect("in-memory join");
         bnl_pts.push((outer_n as f64, p.stats().physical_reads as f64));
         assert_eq!(a.len(), b.len(), "join plans must agree");
     }
@@ -444,9 +520,15 @@ pub fn queryshape(scale: &Scale) -> FigureTable {
     let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
     let (tree, store) = build_pdr(&domain, &data, PdrConfig::default());
     let shapes: [(&str, Vec<uncat_core::Uda>); 3] = [
-        ("sampled", queries_from_data(&data, scale.queries, scale.seed)),
+        (
+            "sampled",
+            queries_from_data(&data, scale.queries, scale.seed),
+        ),
         ("certain", certain_queries(&data, scale.queries, scale.seed)),
-        ("random", random_queries(domain.size(), 3, scale.queries, scale.seed)),
+        (
+            "random",
+            random_queries(domain.size(), 3, scale.queries, scale.seed),
+        ),
     ];
     let mut series = Vec::new();
     for (name, queries) in shapes {
@@ -461,7 +543,12 @@ pub fn queryshape(scale: &Scale) -> FigureTable {
             series.push(Series::new(name, pts));
         }
     }
-    FigureTable::new("queryshape", "Query shape (CRM1, PDR-tree)", "selectivity", series)
+    FigureTable::new(
+        "queryshape",
+        "Query shape (CRM1, PDR-tree)",
+        "selectivity",
+        series,
+    )
 }
 
 /// Every figure/ablation by name.
@@ -487,6 +574,18 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
 
 /// All known figure/ablation names, in presentation order.
 pub const ALL_FIGURES: [&str; 14] = [
-    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "strategies", "compression",
-    "buffer", "bulkload", "sizes", "joins", "queryshape",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "strategies",
+    "compression",
+    "buffer",
+    "bulkload",
+    "sizes",
+    "joins",
+    "queryshape",
 ];

@@ -27,12 +27,22 @@ pub struct Scale {
 impl Scale {
     /// The paper's dataset sizes.
     pub fn full() -> Scale {
-        Scale { crm_n: 100_000, synth_n: 10_000, queries: 10, seed: 42 }
+        Scale {
+            crm_n: 100_000,
+            synth_n: 10_000,
+            queries: 10,
+            seed: 42,
+        }
     }
 
     /// Reduced sizes for tests/benches (same shapes, ~minutes → seconds).
     pub fn quick() -> Scale {
-        Scale { crm_n: 10_000, synth_n: 2_000, queries: 4, seed: 42 }
+        Scale {
+            crm_n: 10_000,
+            synth_n: 2_000,
+            queries: 4,
+            seed: 42,
+        }
     }
 
     /// Pick by the `UNCAT_SCALE` environment variable (`full` or `quick`).
@@ -50,11 +60,16 @@ const BUILD_FRAMES: usize = 512;
 pub const QUERY_FRAMES: usize = 100;
 
 /// Build an inverted index over its own store.
-pub fn build_inverted(domain: &Domain, data: &Dataset, strategy: Strategy) -> (InvertedBackend, SharedStore) {
+pub fn build_inverted(
+    domain: &Domain,
+    data: &Dataset,
+    strategy: Strategy,
+) -> (InvertedBackend, SharedStore) {
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
-    let idx = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)));
-    pool.flush();
+    let idx = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    pool.flush().expect("in-memory flush");
     (InvertedBackend::with_strategy(idx, strategy), store)
 }
 
@@ -62,8 +77,14 @@ pub fn build_inverted(domain: &Domain, data: &Dataset, strategy: Strategy) -> (I
 pub fn build_pdr(domain: &Domain, data: &Dataset, cfg: PdrConfig) -> (PdrTree, SharedStore) {
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
-    let tree = PdrTree::build(domain.clone(), cfg, &mut pool, data.iter().map(|(t, u)| (*t, u)));
-    pool.flush();
+    let tree = PdrTree::build(
+        domain.clone(),
+        cfg,
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+    )
+    .expect("in-memory build");
+    pool.flush().expect("in-memory flush");
     (tree, store)
 }
 
@@ -76,7 +97,9 @@ pub fn avg_petq_io(
 ) -> f64 {
     avg_io(queries, |cq| {
         let mut pool = BufferPool::with_capacity(store.clone(), frames);
-        let _ = index.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau));
+        index
+            .petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau))
+            .expect("in-memory query");
         pool.stats().physical_reads
     })
 }
@@ -90,7 +113,9 @@ pub fn avg_topk_io(
 ) -> f64 {
     avg_io(queries, |cq| {
         let mut pool = BufferPool::with_capacity(store.clone(), frames);
-        let _ = index.top_k(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k));
+        index
+            .top_k(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k))
+            .expect("in-memory query");
         pool.stats().physical_reads
     })
 }

@@ -14,12 +14,18 @@ pub struct Series {
 impl Series {
     /// Build a series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y value at `x`, if present.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-12).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-12)
+            .map(|&(_, y)| y)
     }
 }
 
@@ -44,12 +50,21 @@ impl FigureTable {
         xlabel: impl Into<String>,
         series: Vec<Series>,
     ) -> FigureTable {
-        FigureTable { id: id.into(), title: title.into(), xlabel: xlabel.into(), series }
+        FigureTable {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            series,
+        }
     }
 
     /// All distinct x values across series, sorted.
     pub fn xs(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         xs

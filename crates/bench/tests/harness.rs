@@ -5,7 +5,12 @@
 use uncat_bench::{by_name, FigureTable, Scale, ALL_FIGURES};
 
 fn tiny() -> Scale {
-    Scale { crm_n: 800, synth_n: 400, queries: 2, seed: 7 }
+    Scale {
+        crm_n: 800,
+        synth_n: 400,
+        queries: 2,
+        seed: 7,
+    }
 }
 
 fn check(t: &FigureTable) {
@@ -38,7 +43,10 @@ fn every_figure_renders_at_tiny_scale() {
 
 #[test]
 fn fig9_renders_at_reduced_scale() {
-    let scale = Scale { synth_n: 2000, ..tiny() };
+    let scale = Scale {
+        synth_n: 2000,
+        ..tiny()
+    };
     let t = by_name("fig9", &scale).expect("known figure");
     check(&t);
     // Domain sizes form the x-axis.
@@ -53,6 +61,9 @@ fn figure_shapes_hold_at_tiny_scale() {
     let bulk = sizes.series_named("PDR-BulkLoad").expect("bulk series");
     let insert = sizes.series_named("PDR-Insert").expect("insert series");
     for (&(_, b), &(_, i)) in bulk.points.iter().zip(&insert.points) {
-        assert!(b <= i, "bulk loading must not use more pages than insertion");
+        assert!(
+            b <= i,
+            "bulk loading must not use more pages than insertion"
+        );
     }
 }

@@ -59,7 +59,9 @@ pub fn decode(buf: &[u8]) -> Result<(Uda, usize)> {
     let mut prev: Option<CatId> = None;
     let mut mass = 0.0f64;
     for _ in 0..n {
-        let cat = CatId(u32::from_le_bytes(buf[off..off + 4].try_into().expect("len checked")));
+        let cat = CatId(u32::from_le_bytes(
+            buf[off..off + 4].try_into().expect("len checked"),
+        ));
         let prob = Prob::from_le_bytes(buf[off + 4..off + 8].try_into().expect("len checked"));
         off += ENTRY_BYTES;
         if !(prob > 0.0 && prob <= 1.0) {

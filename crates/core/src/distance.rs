@@ -177,7 +177,10 @@ mod tests {
         let u = uda(&[(0, 0.9), (1, 0.1)]);
         let v = uda(&[(0, 0.5), (1, 0.5)]);
         let (uv, vu) = (kl(u.entries(), v.entries()), kl(v.entries(), u.entries()));
-        assert!((uv - vu).abs() > 1e-3, "KL should be asymmetric: {uv} vs {vu}");
+        assert!(
+            (uv - vu).abs() > 1e-3,
+            "KL should be asymmetric: {uv} vs {vu}"
+        );
         let s1 = kl_symmetric(u.entries(), v.entries());
         let s2 = kl_symmetric(v.entries(), u.entries());
         assert!((s1 - s2).abs() < 1e-12);
@@ -195,8 +198,14 @@ mod tests {
     fn divergence_enum_dispatch() {
         let u = uda(&[(0, 0.7), (1, 0.3)]);
         let v = uda(&[(0, 0.3), (1, 0.7)]);
-        assert_eq!(Divergence::L1.eval(u.entries(), v.entries()), l1(u.entries(), v.entries()));
-        assert_eq!(Divergence::L2.eval(u.entries(), v.entries()), l2(u.entries(), v.entries()));
+        assert_eq!(
+            Divergence::L1.eval(u.entries(), v.entries()),
+            l1(u.entries(), v.entries())
+        );
+        assert_eq!(
+            Divergence::L2.eval(u.entries(), v.entries()),
+            l2(u.entries(), v.entries())
+        );
         assert_eq!(
             Divergence::Kl.eval(u.entries(), v.entries()),
             kl_symmetric(u.entries(), v.entries())

@@ -70,7 +70,11 @@ impl Domain {
             .collect();
         let size = labels.len() as u32;
         Domain {
-            inner: Arc::new(DomainInner { labels, by_label, size }),
+            inner: Arc::new(DomainInner {
+                labels,
+                by_label,
+                size,
+            }),
         }
     }
 
@@ -137,7 +141,11 @@ impl fmt::Debug for Domain {
         if self.inner.labels.is_empty() {
             write!(f, "Domain(anonymous, N={})", self.inner.size)
         } else {
-            write!(f, "Domain({:?}...)", &self.inner.labels[..self.inner.labels.len().min(4)])
+            write!(
+                f,
+                "Domain({:?}...)",
+                &self.inner.labels[..self.inner.labels.len().min(4)]
+            )
         }
     }
 }

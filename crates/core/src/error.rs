@@ -39,13 +39,19 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidProbability { value } => {
-                write!(f, "invalid probability {value}: must be finite and in [0, 1]")
+                write!(
+                    f,
+                    "invalid probability {value}: must be finite and in [0, 1]"
+                )
             }
             Error::MassExceedsOne { total } => {
                 write!(f, "probability mass {total} exceeds 1")
             }
             Error::UnknownCategory { cat, domain_size } => {
-                write!(f, "category id {cat} out of range for domain of size {domain_size}")
+                write!(
+                    f,
+                    "category id {cat} out of range for domain of size {domain_size}"
+                )
             }
             Error::DuplicateCategory { cat } => {
                 write!(f, "category id {cat} listed more than once")

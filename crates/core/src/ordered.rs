@@ -100,7 +100,13 @@ pub fn window_smooth(u: &Uda, c: u32, domain_size: u32) -> Vec<Entry> {
         for j in low..=high {
             match out.binary_search_by_key(&CatId(j), |e| e.cat) {
                 Ok(k) => out[k].prob += p,
-                Err(k) => out.insert(k, Entry { cat: CatId(j), prob: p }),
+                Err(k) => out.insert(
+                    k,
+                    Entry {
+                        cat: CatId(j),
+                        prob: p,
+                    },
+                ),
             }
         }
     }
@@ -121,7 +127,10 @@ mod tests {
         let u = uda(&[(0, 0.3), (2, 0.4), (5, 0.3)]);
         let v = uda(&[(1, 0.5), (2, 0.2), (9, 0.3)]);
         let total = pr_less(&u, &v) + pr_greater(&u, &v) + eq_prob(&u, &v);
-        assert!((total - 1.0).abs() < 1e-6, "trichotomy must partition: {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "trichotomy must partition: {total}"
+        );
     }
 
     #[test]
@@ -151,7 +160,10 @@ mod tests {
         let p2 = pr_within(&u, &v, 2);
         assert_eq!(p0, 0.0);
         assert_eq!(p1, 0.0);
-        assert!((p2 - 1.0).abs() < 1e-6, "both mass points are within |Δ| ≤ 2 of category 2");
+        assert!(
+            (p2 - 1.0).abs() < 1e-6,
+            "both mass points are within |Δ| ≤ 2 of category 2"
+        );
         assert!(p0 <= p1 && p1 <= p2);
     }
 
@@ -170,8 +182,9 @@ mod tests {
         let v = uda(&[(0, 0.2), (2, 0.3), (5, 0.5)]);
         for c in 0..4u32 {
             let smooth = window_smooth(&u, c, 10);
-            let ip: f64 =
-                v.iter().map(|(cat, p)| {
+            let ip: f64 = v
+                .iter()
+                .map(|(cat, p)| {
                     let s = smooth
                         .binary_search_by_key(&cat, |e| e.cat)
                         .map(|k| smooth[k].prob as f64)

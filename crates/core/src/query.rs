@@ -64,7 +64,11 @@ pub struct DstQuery {
 impl DstQuery {
     /// Build a DSTQ.
     pub fn new(q: Uda, tau_d: f64, divergence: Divergence) -> DstQuery {
-        DstQuery { q, tau_d, divergence }
+        DstQuery {
+            q,
+            tau_d,
+            divergence,
+        }
     }
 }
 

@@ -51,7 +51,11 @@ impl TopKHeap {
     /// matches scoring below `floor` are never admitted (use `0.0`, or a
     /// PETQ threshold when combining top-k with a minimum probability).
     pub fn new(k: usize, floor: f64) -> TopKHeap {
-        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1), floor }
+        TopKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            floor,
+        }
     }
 
     /// Offer a match. Returns `true` if it was retained.
@@ -140,7 +144,10 @@ pub struct BottomKHeap {
 impl BottomKHeap {
     /// New accumulator retaining at most `k` matches.
     pub fn new(k: usize) -> BottomKHeap {
-        BottomKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        BottomKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offer a match. Returns `true` if it was retained.
@@ -260,7 +267,10 @@ mod tests {
         let mut h = TopKHeap::new(2, 0.0);
         h.offer(10, 0.5);
         h.offer(20, 0.5);
-        assert!(h.offer(5, 0.5), "equal score but smaller tid should displace");
+        assert!(
+            h.offer(5, 0.5),
+            "equal score but smaller tid should displace"
+        );
         let out = h.into_sorted();
         assert_eq!(out.iter().map(|m| m.tid).collect::<Vec<_>>(), vec![5, 10]);
     }

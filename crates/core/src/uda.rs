@@ -79,7 +79,9 @@ impl Uda {
     pub(crate) fn from_sorted_unchecked(entries: Vec<Entry>) -> Uda {
         debug_assert!(entries.windows(2).all(|w| w[0].cat < w[1].cat));
         debug_assert!(entries.iter().all(|e| e.prob > 0.0 && e.prob <= 1.0));
-        Uda { entries: entries.into_boxed_slice() }
+        Uda {
+            entries: entries.into_boxed_slice(),
+        }
     }
 
     /// The entries, sorted by category id.
@@ -184,12 +186,16 @@ pub struct UdaBuilder {
 impl UdaBuilder {
     /// New empty builder.
     pub fn new() -> UdaBuilder {
-        UdaBuilder { entries: Vec::new() }
+        UdaBuilder {
+            entries: Vec::new(),
+        }
     }
 
     /// New builder with capacity for `n` entries.
     pub fn with_capacity(n: usize) -> UdaBuilder {
-        UdaBuilder { entries: Vec::with_capacity(n) }
+        UdaBuilder {
+            entries: Vec::with_capacity(n),
+        }
     }
 
     /// Add a `(category, probability)` pair.
@@ -205,7 +211,10 @@ impl UdaBuilder {
             return Err(Error::InvalidProbability { value: p });
         }
         if prob > 0.0 {
-            self.entries.push(Entry { cat, prob: prob.min(1.0) });
+            self.entries.push(Entry {
+                cat,
+                prob: prob.min(1.0),
+            });
         }
         Ok(self)
     }
@@ -235,7 +244,9 @@ impl UdaBuilder {
         if total > 1.0 + MASS_EPSILON {
             return Err(Error::MassExceedsOne { total });
         }
-        Ok(Uda { entries: self.entries.into_boxed_slice() })
+        Ok(Uda {
+            entries: self.entries.into_boxed_slice(),
+        })
     }
 
     /// Validate, then normalize the mass to exactly 1 and produce the UDA.
@@ -257,7 +268,9 @@ impl UdaBuilder {
         for e in &mut self.entries {
             e.prob = ((e.prob as f64) / total) as Prob;
         }
-        Ok(Uda { entries: self.entries.into_boxed_slice() })
+        Ok(Uda {
+            entries: self.entries.into_boxed_slice(),
+        })
     }
 }
 
@@ -313,7 +326,10 @@ mod tests {
     #[test]
     fn empty_uda_rejected() {
         assert!(matches!(Uda::from_pairs([]), Err(Error::EmptyUda)));
-        assert!(matches!(Uda::from_pairs([(c(0), 0.0)]), Err(Error::EmptyUda)));
+        assert!(matches!(
+            Uda::from_pairs([(c(0), 0.0)]),
+            Err(Error::EmptyUda)
+        ));
     }
 
     #[test]

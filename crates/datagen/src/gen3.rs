@@ -37,7 +37,9 @@ pub fn generate(n: usize, domain_size: u32, seed: u64) -> (Domain, Dataset) {
     let n_groups = (domain_size as usize).clamp(8, 64);
     let groups: Vec<Vec<u32>> = (0..n_groups)
         .map(|_| {
-            let size = geometric(&mut rng, mean_size).min(domain_size as usize).max(1);
+            let size = geometric(&mut rng, mean_size)
+                .min(domain_size as usize)
+                .max(1);
             // Partial Fisher–Yates draw of `size` distinct categories.
             let mut cats: Vec<u32> = (0..domain_size).collect();
             for i in 0..size {
@@ -55,7 +57,8 @@ pub fn generate(n: usize, domain_size: u32, seed: u64) -> (Domain, Dataset) {
             let group = &groups[rng.random_range(0..groups.len())];
             let mut b = UdaBuilder::with_capacity(group.len());
             for &c in group {
-                b.push(CatId(c), rng.random_range(0.05..1.0f32)).expect("valid probability");
+                b.push(CatId(c), rng.random_range(0.05..1.0f32))
+                    .expect("valid probability");
             }
             (tid, b.finish_normalized().expect("non-empty group"))
         })

@@ -42,5 +42,8 @@ pub type Dataset = Vec<(u64, Uda)>;
 
 /// Attach sequential tuple ids to a list of distributions.
 pub fn enumerate(udas: Vec<Uda>) -> Dataset {
-    udas.into_iter().enumerate().map(|(i, u)| (i as u64, u)).collect()
+    udas.into_iter()
+        .enumerate()
+        .map(|(i, u)| (i as u64, u))
+        .collect()
 }

@@ -49,7 +49,9 @@ mod tests {
             let cats: Vec<u32> = u.iter().map(|(c, _)| c.0).collect();
             let pair = (cats[0].min(cats[1]), cats[0].max(cats[1]));
             assert!(
-                COMBINATIONS.iter().any(|&(a, b)| (a.min(b), a.max(b)) == pair),
+                COMBINATIONS
+                    .iter()
+                    .any(|&(a, b)| (a.min(b), a.max(b)) == pair),
                 "combination {pair:?} not in the allowed five"
             );
             for (_, p) in u.iter() {

@@ -109,7 +109,10 @@ mod tests {
                 sum += g;
             }
             let mean = sum as f64 / n as f64;
-            assert!((mean - target).abs() < 0.15 * target, "geometric({target}) mean {mean}");
+            assert!(
+                (mean - target).abs() < 0.15 * target,
+                "geometric({target}) mean {mean}"
+            );
         }
     }
 }

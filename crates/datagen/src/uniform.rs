@@ -24,7 +24,8 @@ pub fn generate(n: usize, seed: u64) -> (Domain, Dataset) {
         .map(|tid| {
             let mut b = UdaBuilder::with_capacity(DOMAIN_SIZE as usize);
             for c in 0..DOMAIN_SIZE {
-                b.push(CatId(c), rng.random_range(0.01..1.0f32)).expect("valid probability");
+                b.push(CatId(c), rng.random_range(0.01..1.0f32))
+                    .expect("valid probability");
             }
             (tid, b.finish_normalized().expect("non-empty"))
         })

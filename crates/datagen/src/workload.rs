@@ -44,14 +44,21 @@ pub fn calibrate(data: &Dataset, q: &Uda, target: f64) -> Option<CalibratedQuery
         return None;
     }
     let qualifying = probs.iter().take_while(|&&p| p >= tau).count();
-    Some(CalibratedQuery { q: q.clone(), tau, k, achieved: qualifying as f64 / n as f64 })
+    Some(CalibratedQuery {
+        q: q.clone(),
+        tau,
+        k,
+        achieved: qualifying as f64 / n as f64,
+    })
 }
 
 /// Draw `count` query distributions by sampling tuples from the dataset
 /// (the usual "query follows the data distribution" workload).
 pub fn queries_from_data(data: &Dataset, count: usize, seed: u64) -> Vec<Uda> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| data[rng.random_range(0..data.len())].1.clone()).collect()
+    (0..count)
+        .map(|_| data[rng.random_range(0..data.len())].1.clone())
+        .collect()
 }
 
 /// Certain-value queries (`Pr(t.a = d)` for a plain category `d`): the
@@ -74,12 +81,7 @@ pub fn certain_queries(data: &Dataset, count: usize, seed: u64) -> Vec<Uda> {
 /// Uniform-random query distributions over the observed domain with the
 /// given support size — queries *uncorrelated* with the data, the
 /// hardest shape for distributional clustering.
-pub fn random_queries(
-    domain_size: u32,
-    support: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<Uda> {
+pub fn random_queries(domain_size: u32, support: usize, count: usize, seed: u64) -> Vec<Uda> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
@@ -108,7 +110,10 @@ pub fn make_workload(
     targets
         .iter()
         .map(|&s| {
-            let qs = queries.iter().filter_map(|q| calibrate(data, q, s)).collect();
+            let qs = queries
+                .iter()
+                .filter_map(|q| calibrate(data, q, s))
+                .collect();
             (s, qs)
         })
         .collect()
@@ -125,12 +130,13 @@ mod tests {
         let queries = queries_from_data(&data, 3, 2);
         for q in &queries {
             let c = calibrate(&data, q, 0.01).expect("uniform data overlaps everywhere");
-            let qualifying = data
-                .iter()
-                .filter(|(_, t)| eq_prob(q, t) >= c.tau)
-                .count();
+            let qualifying = data.iter().filter(|(_, t)| eq_prob(q, t) >= c.tau).count();
             assert!(qualifying >= c.k, "at least k tuples qualify");
-            assert!((c.achieved - 0.01).abs() < 0.01, "achieved {:.4}", c.achieved);
+            assert!(
+                (c.achieved - 0.01).abs() < 0.01,
+                "achieved {:.4}",
+                c.achieved
+            );
             assert_eq!(c.k, 20);
         }
     }

@@ -74,7 +74,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 800.0, "uniform expected, got {counts:?}");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 800.0,
+                "uniform expected, got {counts:?}"
+            );
         }
     }
 }

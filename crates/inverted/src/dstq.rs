@@ -22,7 +22,7 @@ use std::ops::ControlFlow;
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
 use uncat_core::Divergence;
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result, StorageError};
 
 use crate::index::InvertedIndex;
 use crate::postings::decode_posting;
@@ -31,12 +31,15 @@ use crate::search::query_lists;
 impl InvertedIndex {
     /// Evaluate a DSTQ: all tuples with `F(q, t) ≤ τ_d`, in ascending
     /// divergence order.
-    pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         let overlap_bound = match query.divergence {
             Divergence::L1 => query.q.mass(),
-            Divergence::L2 => {
-                query.q.iter().map(|(_, p)| (p as f64) * (p as f64)).sum::<f64>().sqrt()
-            }
+            Divergence::L2 => query
+                .q
+                .iter()
+                .map(|(_, p)| (p as f64) * (p as f64))
+                .sum::<f64>()
+                .sqrt(),
             Divergence::Kl => 0.0, // never candidate-prunable
         };
         if query.divergence.is_metric() && query.tau_d < overlap_bound {
@@ -47,25 +50,27 @@ impl InvertedIndex {
     }
 
     /// Candidate generation from the query's posting lists + verification.
-    fn dstq_candidates(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    fn dstq_candidates(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         let mut candidates: HashSet<u64> = HashSet::new();
         for (_cat, _qp, tree) in query_lists(self, &query.q) {
             tree.scan_all(pool, |key, _| {
                 let (_p, tid) = decode_posting(key);
                 candidates.insert(tid);
                 ControlFlow::Continue(())
-            });
+            })?;
         }
         let mut out = Vec::new();
         for tid in candidates {
-            let t = self.get_tuple(pool, tid).expect("candidate came from a posting list");
+            let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
+                "posting refers to an unindexed tuple",
+            ))?;
             let d = query.divergence.eval(query.q.entries(), t.entries());
             if d <= query.tau_d {
                 out.push(Match::new(tid, d));
             }
         }
         sort_matches_asc(&mut out);
-        out
+        Ok(out)
     }
 
     /// DSQ-top-k: the `k` distributionally closest tuples, ascending by
@@ -76,15 +81,18 @@ impl InvertedIndex {
     /// tuple could reach (`mass(q)` for L1, `‖q‖₂` for L2), the candidate
     /// answer is complete. Otherwise — wide radius or KL — a full
     /// tuple-store scan resolves the query exactly.
-    pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+    pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
         if query.k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let disjoint_floor = match query.divergence {
             Divergence::L1 => query.q.mass(),
-            Divergence::L2 => {
-                query.q.iter().map(|(_, p)| (p as f64) * (p as f64)).sum::<f64>().sqrt()
-            }
+            Divergence::L2 => query
+                .q
+                .iter()
+                .map(|(_, p)| (p as f64) * (p as f64))
+                .sum::<f64>()
+                .sqrt(),
             Divergence::Kl => f64::NEG_INFINITY, // candidates never suffice
         };
         if query.divergence.is_metric() {
@@ -94,35 +102,37 @@ impl InvertedIndex {
                     let (_p, tid) = decode_posting(key);
                     candidates.insert(tid);
                     ControlFlow::Continue(())
-                });
+                })?;
             }
             let mut heap = BottomKHeap::new(query.k);
             for tid in candidates {
-                let t = self.get_tuple(pool, tid).expect("candidate came from a posting list");
+                let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
+                    "posting refers to an unindexed tuple",
+                ))?;
                 heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
             }
             if heap.is_full() && heap.bound() < disjoint_floor {
-                return heap.into_sorted();
+                return Ok(heap.into_sorted());
             }
         }
         // Fallback: exact scan.
         let mut heap = BottomKHeap::new(query.k);
         self.scan_tuples(pool, |tid, t| {
             heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
-        });
-        heap.into_sorted()
+        })?;
+        Ok(heap.into_sorted())
     }
 
     /// Full tuple-store scan fallback (always sound).
-    fn dstq_scan(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    fn dstq_scan(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan_tuples(pool, |tid, t| {
             let d = query.divergence.eval(query.q.entries(), t.entries());
             if d <= query.tau_d {
                 out.push(Match::new(tid, d));
             }
-        });
+        })?;
         sort_matches_asc(&mut out);
-        out
+        Ok(out)
     }
 }

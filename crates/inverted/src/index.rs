@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use uncat_core::{codec, CatId, Domain, Uda};
-use uncat_storage::{BufferPool, HeapFile, RecordId};
+use uncat_storage::{BufferPool, HeapFile, RecordId, Result, StorageError};
 
 use crate::postings::{posting_key, PostingTree};
 
@@ -17,10 +17,21 @@ fn encode_record(tid: u64, uda: &Uda) -> Vec<u8> {
     v
 }
 
-fn decode_record(bytes: &[u8]) -> (u64, Uda) {
-    let tid = u64::from_le_bytes(bytes[..8].try_into().expect("record has tid header"));
-    let (uda, _) = codec::decode(&bytes[8..]).expect("stored UDA decodes");
-    (tid, uda)
+/// Decode a stored tuple record. A record that does not parse — possible
+/// only if a page was corrupted past the physical checks — surfaces as a
+/// typed [`StorageError::Corrupt`], never a panic.
+fn decode_record(bytes: &[u8]) -> Result<(u64, Uda)> {
+    let tid_bytes: [u8; 8] =
+        bytes
+            .get(..8)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(StorageError::Corrupt(
+                "tuple record shorter than its tid header",
+            ))?;
+    let tid = u64::from_le_bytes(tid_bytes);
+    let (uda, _) = codec::decode(&bytes[8..])
+        .map_err(|_| StorageError::Corrupt("stored UDA does not decode"))?;
+    Ok((tid, uda))
 }
 
 /// Structural statistics returned by [`InvertedIndex::stats`].
@@ -55,7 +66,9 @@ impl IndexStats {
 /// map are kept in memory: they are per-category / per-tuple index
 /// *metadata*, equivalent to the always-hot top of an on-disk directory.
 /// Posting entries and tuple records live on pages and are charged I/O
-/// through the [`BufferPool`] passed to every operation.
+/// through the [`BufferPool`] passed to every operation. Every operation
+/// touching pages is fallible: an unreadable or corrupt page fails that
+/// operation with `Err(StorageError)` and leaves the process alive.
 ///
 /// ```
 /// use uncat_core::{CatId, Domain, EqQuery, Uda};
@@ -69,13 +82,13 @@ impl IndexStats {
 ///     Domain::anonymous(2),
 ///     &mut pool,
 ///     [(0u64, &t0), (1u64, &t1)],
-/// );
+/// ).expect("in-memory build");
 ///
 /// let hits = index.petq(
 ///     &mut pool,
 ///     &EqQuery::new(Uda::certain(CatId(1)), 0.6),
 ///     Strategy::ColumnPruning,
-/// );
+/// ).expect("in-memory query");
 /// assert_eq!(hits.len(), 1);
 /// assert_eq!(hits[0].tid, 1);
 /// # Ok::<(), uncat_core::Error>(())
@@ -102,7 +115,7 @@ impl InvertedIndex {
     ///
     /// Postings are loaded in key order per category, which packs list
     /// pages densely (the B+tree's append-friendly split).
-    pub fn build<'a, I>(domain: Domain, pool: &mut BufferPool, tuples: I) -> InvertedIndex
+    pub fn build<'a, I>(domain: Domain, pool: &mut BufferPool, tuples: I) -> Result<InvertedIndex>
     where
         I: IntoIterator<Item = (u64, &'a Uda)>,
     {
@@ -110,7 +123,7 @@ impl InvertedIndex {
         let mut per_cat: BTreeMap<CatId, Vec<[u8; crate::postings::KEY_LEN]>> = BTreeMap::new();
         for (tid, uda) in tuples {
             debug_assert!(uda.max_cat().is_none_or(|c| idx.domain.contains(c)));
-            let rid = idx.heap.insert(pool, &encode_record(tid, uda));
+            let rid = idx.heap.insert(pool, &encode_record(tid, uda))?;
             let prev = idx.rids.insert(tid, rid);
             assert!(prev.is_none(), "duplicate tuple id {tid}");
             for (cat, p) in uda.iter() {
@@ -119,51 +132,65 @@ impl InvertedIndex {
         }
         for (cat, mut keys) in per_cat {
             keys.sort_unstable();
-            let mut tree = PostingTree::create(pool);
+            let mut tree = PostingTree::create(pool)?;
             for k in &keys {
-                tree.insert(pool, k, &[]);
+                tree.insert(pool, k, &[])?;
             }
             idx.postings.insert(cat, tree);
         }
-        idx
+        Ok(idx)
     }
 
     /// Insert one tuple. Panics on a duplicate tuple id.
-    pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) {
-        let rid = self.heap.insert(pool, &encode_record(tid, uda));
+    pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<()> {
+        let rid = self.heap.insert(pool, &encode_record(tid, uda))?;
         let prev = self.rids.insert(tid, rid);
         assert!(prev.is_none(), "duplicate tuple id {tid}");
         for (cat, p) in uda.iter() {
-            let tree = self
-                .postings
-                .entry(cat)
-                .or_insert_with(|| PostingTree::create(pool));
-            tree.insert(pool, &posting_key(p, tid), &[]);
+            let tree = match self.postings.entry(cat) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(PostingTree::create(pool)?)
+                }
+            };
+            tree.insert(pool, &posting_key(p, tid), &[])?;
         }
+        Ok(())
     }
 
     /// Delete a tuple. Returns whether it existed.
-    pub fn delete(&mut self, pool: &mut BufferPool, tid: u64) -> bool {
+    pub fn delete(&mut self, pool: &mut BufferPool, tid: u64) -> Result<bool> {
         let Some(rid) = self.rids.remove(&tid) else {
-            return false;
+            return Ok(false);
         };
-        let bytes = self.heap.get(pool, rid).expect("rid map points at live record");
-        let (_tid, uda) = decode_record(&bytes);
+        let bytes = self
+            .heap
+            .get(pool, rid)?
+            .ok_or(StorageError::Corrupt("rid map points at a deleted record"))?;
+        let (_tid, uda) = decode_record(&bytes)?;
         for (cat, p) in uda.iter() {
-            let tree = self.postings.get_mut(&cat).expect("posting list exists for stored entry");
-            let removed = tree.remove(pool, &posting_key(p, tid));
+            let tree = self.postings.get_mut(&cat).ok_or(StorageError::Corrupt(
+                "posting list missing for stored entry",
+            ))?;
+            let removed = tree.remove(pool, &posting_key(p, tid))?;
             debug_assert!(removed.is_some(), "posting entry missing for tuple {tid}");
         }
-        self.heap.delete(pool, rid);
-        true
+        self.heap.delete(pool, rid)?;
+        Ok(true)
     }
 
     /// Random-access a tuple's distribution (one page read).
-    pub fn get_tuple(&self, pool: &mut BufferPool, tid: u64) -> Option<Uda> {
-        let rid = *self.rids.get(&tid)?;
-        let bytes = self.heap.get(pool, rid)?;
-        let (_tid, uda) = decode_record(&bytes);
-        Some(uda)
+    /// `Ok(None)` means the tuple id is not indexed.
+    pub fn get_tuple(&self, pool: &mut BufferPool, tid: u64) -> Result<Option<Uda>> {
+        let Some(&rid) = self.rids.get(&tid) else {
+            return Ok(None);
+        };
+        let bytes = self
+            .heap
+            .get(pool, rid)?
+            .ok_or(StorageError::Corrupt("rid map points at a deleted record"))?;
+        let (_tid, uda) = decode_record(&bytes)?;
+        Ok(Some(uda))
     }
 
     /// Number of indexed tuples.
@@ -193,11 +220,21 @@ impl InvertedIndex {
 
     /// Visit every stored tuple in heap order: `f(tid, uda)`. Costs one
     /// page read per heap page (a full relation scan).
-    pub fn scan_tuples(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) {
+    pub fn scan_tuples(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) -> Result<()> {
+        let mut decode_err: Option<StorageError> = None;
         self.heap.scan(pool, |_, bytes| {
-            let (tid, uda) = decode_record(bytes);
-            f(tid, &uda);
-        });
+            if decode_err.is_some() {
+                return;
+            }
+            match decode_record(bytes) {
+                Ok((tid, uda)) => f(tid, &uda),
+                Err(e) => decode_err = Some(e),
+            }
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Number of pages occupied by the tuple store (for sizing reports).
@@ -207,7 +244,10 @@ impl InvertedIndex {
 
     /// Structural statistics over the posting directory.
     pub fn stats(&self) -> IndexStats {
-        let mut s = IndexStats { heap_pages: self.heap.num_pages() as u64, ..IndexStats::default() };
+        let mut s = IndexStats {
+            heap_pages: self.heap.num_pages() as u64,
+            ..IndexStats::default()
+        };
         for tree in self.postings.values() {
             s.lists += 1;
             s.postings += tree.len();
@@ -230,16 +270,19 @@ impl InvertedIndex {
     /// posting per non-zero category (with the stored probability), every
     /// posting refers to a stored tuple, and the counters agree. Returns
     /// the number of tuples checked. Test/debug aid — reads everything.
-    pub fn check_invariants(&self, pool: &mut BufferPool) -> u64 {
+    pub fn check_invariants(&self, pool: &mut BufferPool) -> Result<u64> {
         use std::ops::ControlFlow;
 
         let mut tuple_entries = 0u64;
         let mut tuples = 0u64;
         self.scan_tuples(pool, |tid, uda| {
             tuples += 1;
-            assert!(self.rids.contains_key(&tid), "tuple {tid} missing from the rid map");
+            assert!(
+                self.rids.contains_key(&tid),
+                "tuple {tid} missing from the rid map"
+            );
             tuple_entries += uda.len() as u64;
-        });
+        })?;
         assert_eq!(tuples, self.rids.len() as u64, "heap and rid map disagree");
 
         let mut posting_entries = 0u64;
@@ -254,15 +297,19 @@ impl InvertedIndex {
                 );
                 assert!(p > 0.0 && p <= 1.0, "posting probability out of range");
                 ControlFlow::Continue(())
-            });
-            assert_eq!(in_list, tree.len(), "list length counter out of sync for {cat}");
+            })?;
+            assert_eq!(
+                in_list,
+                tree.len(),
+                "list length counter out of sync for {cat}"
+            );
             posting_entries += in_list;
         }
         assert_eq!(
             posting_entries, tuple_entries,
             "posting entries disagree with stored distributions"
         );
-        tuples
+        Ok(tuples)
     }
 
     // --- persistence plumbing (see `persist`) ---
@@ -285,7 +332,12 @@ impl InvertedIndex {
         heap: HeapFile,
         rids: HashMap<u64, RecordId>,
     ) -> InvertedIndex {
-        InvertedIndex { domain, postings, heap, rids }
+        InvertedIndex {
+            domain,
+            postings,
+            heap,
+            rids,
+        }
     }
 }
 
@@ -310,31 +362,35 @@ mod tests {
             (1, uda(&[(1, 0.2), (2, 0.8)])),
             (2, uda(&[(0, 1.0)])),
         ];
-        let idx =
-            InvertedIndex::build(Domain::anonymous(3), &mut p, data.iter().map(|(t, u)| (*t, u)));
+        let idx = InvertedIndex::build(
+            Domain::anonymous(3),
+            &mut p,
+            data.iter().map(|(t, u)| (*t, u)),
+        )
+        .unwrap();
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.list_len(CatId(0)), 2);
         assert_eq!(idx.list_len(CatId(1)), 2);
         assert_eq!(idx.list_len(CatId(2)), 1);
-        assert_eq!(idx.get_tuple(&mut p, 1).unwrap(), data[1].1);
-        assert!(idx.get_tuple(&mut p, 99).is_none());
+        assert_eq!(idx.get_tuple(&mut p, 1).unwrap().unwrap(), data[1].1);
+        assert!(idx.get_tuple(&mut p, 99).unwrap().is_none());
     }
 
     #[test]
     fn insert_then_delete_cleans_postings() {
         let mut p = pool();
         let mut idx = InvertedIndex::new(Domain::anonymous(4));
-        idx.insert(&mut p, 7, &uda(&[(0, 0.4), (3, 0.6)]));
-        idx.insert(&mut p, 8, &uda(&[(3, 1.0)]));
+        idx.insert(&mut p, 7, &uda(&[(0, 0.4), (3, 0.6)])).unwrap();
+        idx.insert(&mut p, 8, &uda(&[(3, 1.0)])).unwrap();
         assert_eq!(idx.list_len(CatId(3)), 2);
-        assert_eq!(idx.check_invariants(&mut p), 2);
-        assert!(idx.delete(&mut p, 7));
-        assert!(!idx.delete(&mut p, 7));
+        assert_eq!(idx.check_invariants(&mut p).unwrap(), 2);
+        assert!(idx.delete(&mut p, 7).unwrap());
+        assert!(!idx.delete(&mut p, 7).unwrap());
         assert_eq!(idx.list_len(CatId(0)), 0);
         assert_eq!(idx.list_len(CatId(3)), 1);
         assert_eq!(idx.len(), 1);
-        assert!(idx.get_tuple(&mut p, 7).is_none());
-        assert_eq!(idx.check_invariants(&mut p), 1);
+        assert!(idx.get_tuple(&mut p, 7).unwrap().is_none());
+        assert_eq!(idx.check_invariants(&mut p).unwrap(), 1);
     }
 
     #[test]
@@ -345,8 +401,12 @@ mod tests {
             (1, uda(&[(1, 0.2), (2, 0.8)])),
             (2, uda(&[(1, 1.0)])),
         ];
-        let idx =
-            InvertedIndex::build(Domain::anonymous(3), &mut p, data.iter().map(|(t, u)| (*t, u)));
+        let idx = InvertedIndex::build(
+            Domain::anonymous(3),
+            &mut p,
+            data.iter().map(|(t, u)| (*t, u)),
+        )
+        .unwrap();
         let s = idx.stats();
         assert_eq!(s.lists, 3);
         assert_eq!(s.postings, 5);
@@ -361,13 +421,17 @@ mod tests {
         let idx = InvertedIndex::new(Domain::anonymous(4));
         let q = uncat_core::query::EqQuery::new(Uda::certain(CatId(0)), 0.1);
         for strat in crate::Strategy::ALL {
-            assert!(idx.petq(&mut p, &q, strat).is_empty(), "{strat:?}");
+            assert!(idx.petq(&mut p, &q, strat).unwrap().is_empty(), "{strat:?}");
         }
         assert!(idx
-            .top_k(&mut p, &uncat_core::query::TopKQuery::new(Uda::certain(CatId(0)), 3))
+            .top_k(
+                &mut p,
+                &uncat_core::query::TopKQuery::new(Uda::certain(CatId(0)), 3)
+            )
+            .unwrap()
             .is_empty());
-        assert!(idx.peq(&mut p, &Uda::certain(CatId(0))).is_empty());
-        assert_eq!(idx.check_invariants(&mut p), 0);
+        assert!(idx.peq(&mut p, &Uda::certain(CatId(0))).unwrap().is_empty());
+        assert_eq!(idx.check_invariants(&mut p).unwrap(), 0);
     }
 
     #[test]
@@ -375,13 +439,54 @@ mod tests {
         let mut p = pool();
         let mut idx = InvertedIndex::new(Domain::anonymous(8));
         for i in 0..20u64 {
-            idx.insert(&mut p, i, &uda(&[(0, 0.5), (1, 0.5)]));
+            idx.insert(&mut p, i, &uda(&[(0, 0.5), (1, 0.5)])).unwrap();
         }
-        p.clear();
+        p.clear().unwrap();
         p.reset_stats();
         let q = uncat_core::query::EqQuery::new(Uda::certain(CatId(7)), 0.1);
-        assert!(idx.petq(&mut p, &q, crate::Strategy::Nra).is_empty());
-        assert_eq!(p.stats().physical_reads, 0, "no posting list exists for category 7");
+        assert!(idx
+            .petq(&mut p, &q, crate::Strategy::Nra)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            p.stats().physical_reads,
+            0,
+            "no posting list exists for category 7"
+        );
+    }
+
+    #[test]
+    fn corrupted_heap_page_degrades_to_a_typed_error() {
+        use uncat_storage::{Fault, FaultStore};
+
+        let faults = std::sync::Arc::new(FaultStore::new(InMemoryDisk::shared(), 11));
+        let mut p = BufferPool::with_capacity(faults.clone(), 100);
+        let data: Vec<(u64, Uda)> = (0..200u64)
+            .map(|i| (i, uda(&[((i % 3) as u32, 1.0)])))
+            .collect();
+        let idx = InvertedIndex::build(
+            Domain::anonymous(3),
+            &mut p,
+            data.iter().map(|(t, u)| (*t, u)),
+        )
+        .unwrap();
+        p.clear().unwrap();
+        // Fail the next physical read: the query using it errors instead of
+        // aborting, and the next query — with the fault spent — succeeds.
+        faults.arm(Fault::FailRead {
+            after: faults.reads_so_far() + 1,
+        });
+        let q = uncat_core::query::EqQuery::new(Uda::certain(CatId(1)), 0.5);
+        assert!(idx
+            .petq(&mut p, &q, crate::Strategy::ColumnPruning)
+            .is_err());
+        let ok = idx
+            .petq(&mut p, &q, crate::Strategy::ColumnPruning)
+            .unwrap();
+        assert!(
+            !ok.is_empty(),
+            "index answers normally once the fault is gone"
+        );
     }
 
     #[test]
@@ -389,7 +494,7 @@ mod tests {
     fn duplicate_tid_panics() {
         let mut p = pool();
         let mut idx = InvertedIndex::new(Domain::anonymous(2));
-        idx.insert(&mut p, 1, &uda(&[(0, 1.0)]));
-        idx.insert(&mut p, 1, &uda(&[(1, 1.0)]));
+        idx.insert(&mut p, 1, &uda(&[(0, 1.0)])).unwrap();
+        let _ = idx.insert(&mut p, 1, &uda(&[(1, 1.0)]));
     }
 }

@@ -7,47 +7,42 @@
 //! is the in-memory metadata: the posting directory (category → B+tree
 //! root), the heap's page list, and the tuple-id → record map.
 //! [`InvertedIndex::snapshot`] serializes exactly that; the blob is small
-//! (tens of bytes per category plus ~18 bytes per tuple) and the caller
-//! stores it wherever convenient — typically a sidecar file next to the
-//! page file.
+//! (tens of bytes per category plus ~18 bytes per tuple).
+//! [`InvertedIndex::save`] wraps it in the crash-atomic snapshot file
+//! protocol (`uncat_storage::snapshot::commit`): a torn or corrupted save
+//! is detected on [`InvertedIndex::load`] and the previous file survives
+//! untouched.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 
 use uncat_core::{CatId, Domain};
-use uncat_storage::snapshot::{Reader, SnapshotError, Writer};
-use uncat_storage::{HeapFile, PageId, RecordId};
+use uncat_storage::snapshot::{
+    self, read_domain_parts, write_domain_parts, Reader, SnapshotError, Writer,
+};
+use uncat_storage::{HeapFile, PageId, RecordId, SnapshotFileError};
 
 use crate::index::InvertedIndex;
 use crate::postings::PostingTree;
 
 const MAGIC: &[u8; 4] = b"UIV1";
 
+/// Bytes per serialized rid-map entry (tid + page + slot); used to clamp
+/// pre-allocation against the bytes actually present.
+const RID_ENTRY_LEN: usize = 8 + 8 + 2;
+
 /// Serialize a domain (labels or anonymous cardinality).
 pub(crate) fn write_domain(w: &mut Writer, d: &Domain) {
-    if d.is_labeled() {
-        w.u8(1);
-        w.u32(d.size());
-        for l in d.labels() {
-            w.str(l);
-        }
-    } else {
-        w.u8(0);
-        w.u32(d.size());
-    }
+    let labels = d.is_labeled().then(|| d.labels());
+    write_domain_parts(w, d.size(), labels);
 }
 
 pub(crate) fn read_domain(r: &mut Reader<'_>) -> Result<Domain, SnapshotError> {
-    let labeled = r.u8()? == 1;
-    let size = r.u32()?;
-    if labeled {
-        let mut labels = Vec::with_capacity(size as usize);
-        for _ in 0..size {
-            labels.push(r.str()?);
-        }
-        Ok(Domain::from_labels(labels))
-    } else {
-        Ok(Domain::anonymous(size))
-    }
+    let (size, labels) = read_domain_parts(r)?;
+    Ok(match labels {
+        Some(l) => Domain::from_labels(l),
+        None => Domain::anonymous(size),
+    })
 }
 
 impl InvertedIndex {
@@ -91,7 +86,8 @@ impl InvertedIndex {
         let domain = read_domain(&mut r)?;
 
         let n_pages = r.u32()? as usize;
-        let mut pages = Vec::with_capacity(n_pages);
+        // Untrusted count: clamp pre-allocation to what the blob can hold.
+        let mut pages = Vec::with_capacity(n_pages.min(r.remaining() / 8 + 1));
         for _ in 0..n_pages {
             pages.push(r.pid()?);
         }
@@ -99,7 +95,8 @@ impl InvertedIndex {
         let heap = HeapFile::from_raw_parts(pages, records);
 
         let n_rids = r.u64()? as usize;
-        let mut rids: HashMap<u64, RecordId> = HashMap::with_capacity(n_rids);
+        let mut rids: HashMap<u64, RecordId> =
+            HashMap::with_capacity(n_rids.min(r.remaining() / RID_ENTRY_LEN + 1));
         for _ in 0..n_rids {
             let tid = r.u64()?;
             let page = r.pid()?;
@@ -120,6 +117,20 @@ impl InvertedIndex {
             return Err(SnapshotError("trailing bytes"));
         }
         Ok(InvertedIndex::from_parts(domain, postings, heap, rids))
+    }
+
+    /// Commit the metadata snapshot to `path` atomically (temp file,
+    /// fsync, rename): a crash mid-save leaves the previous snapshot
+    /// loadable. Flush the page store first.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotFileError> {
+        snapshot::commit(path, &self.snapshot())
+    }
+
+    /// Load an index saved by [`InvertedIndex::save`]. Truncated, corrupt,
+    /// or wrong-version files are rejected with a typed error.
+    pub fn load(path: &Path) -> Result<InvertedIndex, SnapshotFileError> {
+        let payload = snapshot::load(path)?;
+        Ok(InvertedIndex::open(&payload)?)
     }
 }
 
@@ -149,8 +160,9 @@ mod tests {
                 Domain::anonymous(7),
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
-            );
-            pool.flush();
+            )
+            .unwrap();
+            pool.flush().unwrap();
             idx.snapshot()
         };
 
@@ -158,10 +170,13 @@ mod tests {
         assert_eq!(reopened.len(), 300);
         let mut pool = BufferPool::with_capacity(store, 100);
         let q = EqQuery::new(uda(&[(0, 1.0)]), 0.3);
-        let out = reopened.petq(&mut pool, &q, crate::Strategy::Nra);
+        let out = reopened.petq(&mut pool, &q, crate::Strategy::Nra).unwrap();
         assert!(!out.is_empty());
         for m in &out {
-            let t = reopened.get_tuple(&mut pool, m.tid).expect("tuple readable");
+            let t = reopened
+                .get_tuple(&mut pool, m.tid)
+                .unwrap()
+                .expect("tuple readable");
             assert!((uncat_core::equality::eq_prob(&q.q, &t) - m.score).abs() < 1e-9);
         }
     }
@@ -173,8 +188,8 @@ mod tests {
         let blob = {
             let mut pool = BufferPool::with_capacity(store.clone(), 16);
             let mut idx = InvertedIndex::new(domain);
-            idx.insert(&mut pool, 1, &uda(&[(0, 1.0)]));
-            pool.flush();
+            idx.insert(&mut pool, 1, &uda(&[(0, 1.0)])).unwrap();
+            pool.flush().unwrap();
             idx.snapshot()
         };
         let reopened = InvertedIndex::open(&blob).expect("snapshot decodes");
@@ -183,47 +198,68 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_survives_a_real_file() {
-        let mut path = std::env::temp_dir();
-        path.push(format!("uncat-inv-persist-{}.pages", std::process::id()));
-        struct Cleanup(std::path::PathBuf);
+    fn save_load_roundtrip_over_a_real_file() {
+        let dir = std::env::temp_dir();
+        let pages = dir.join(format!("uncat-inv-persist-{}.pages", std::process::id()));
+        let snap = dir.join(format!("uncat-inv-persist-{}.snap", std::process::id()));
+        struct Cleanup(Vec<std::path::PathBuf>);
         impl Drop for Cleanup {
             fn drop(&mut self) {
-                let _ = std::fs::remove_file(&self.0);
+                for p in &self.0 {
+                    let _ = std::fs::remove_file(p);
+                }
             }
         }
-        let _guard = Cleanup(path.clone());
+        let _guard = Cleanup(vec![pages.clone(), snap.clone()]);
 
-        let data: Vec<(u64, Uda)> =
-            (0..100u64).map(|i| (i, uda(&[((i % 5) as u32, 1.0)]))).collect();
-        let blob = {
+        let data: Vec<(u64, Uda)> = (0..100u64)
+            .map(|i| (i, uda(&[((i % 5) as u32, 1.0)])))
+            .collect();
+        {
             let store: uncat_storage::SharedStore =
-                std::sync::Arc::new(FileDisk::create(&path).expect("create"));
+                std::sync::Arc::new(FileDisk::create(&pages).expect("create"));
             let mut pool = BufferPool::with_capacity(store, 64);
             let idx = InvertedIndex::build(
                 Domain::anonymous(5),
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
-            );
-            pool.flush();
-            idx.snapshot()
-        };
-        // Process "restart": reopen the file and the snapshot.
+            )
+            .unwrap();
+            pool.flush().unwrap();
+            idx.save(&snap).expect("atomic snapshot commit");
+        }
+        // Process "restart": reopen the page file and the snapshot file.
         let store: uncat_storage::SharedStore =
-            std::sync::Arc::new(FileDisk::open(&path).expect("open"));
-        let idx = InvertedIndex::open(&blob).expect("snapshot decodes");
+            std::sync::Arc::new(FileDisk::open(&pages).expect("open"));
+        let idx = InvertedIndex::load(&snap).expect("snapshot loads");
         let mut pool = BufferPool::with_capacity(store, 64);
-        let out = idx.petq(
-            &mut pool,
-            &EqQuery::new(uda(&[(2, 1.0)]), 0.9),
-            crate::Strategy::ColumnPruning,
-        );
+        let out = idx
+            .petq(
+                &mut pool,
+                &EqQuery::new(uda(&[(2, 1.0)]), 0.9),
+                crate::Strategy::ColumnPruning,
+            )
+            .unwrap();
         assert_eq!(out.len(), 20);
     }
 
     #[test]
     fn garbage_blob_rejected() {
         assert!(InvertedIndex::open(b"nope").is_err());
-        assert!(InvertedIndex::open(b"UIV1").is_err(), "truncated after magic");
+        assert!(
+            InvertedIndex::open(b"UIV1").is_err(),
+            "truncated after magic"
+        );
+    }
+
+    #[test]
+    fn ballooned_counts_cannot_exhaust_memory() {
+        // A snapshot claiming u32::MAX heap pages must fail cleanly (the
+        // clamp keeps pre-allocation at the blob's actual size).
+        let mut w = Writer::new(MAGIC);
+        write_domain(&mut w, &Domain::anonymous(3));
+        w.u32(u32::MAX); // heap page count
+        let blob = w.finish();
+        assert!(InvertedIndex::open(&blob).is_err());
     }
 }

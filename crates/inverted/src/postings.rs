@@ -8,7 +8,7 @@
 use uncat_core::{Prob, TupleId};
 use uncat_storage::btree::keys::{concat, f32_desc, f32_from_desc, u32_be, u32_from_be};
 use uncat_storage::btree::{BTree, Cursor};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 /// Width of a posting key in bytes.
 pub const KEY_LEN: usize = 8;
@@ -18,7 +18,10 @@ pub type PostingTree = BTree<KEY_LEN, 0>;
 
 /// Encode a posting key.
 pub fn posting_key(prob: Prob, tid: TupleId) -> [u8; KEY_LEN] {
-    debug_assert!(tid <= u32::MAX as u64, "posting lists address tuples with 32-bit ids");
+    debug_assert!(
+        tid <= u32::MAX as u64,
+        "posting lists address tuples with 32-bit ids"
+    );
     concat(f32_desc(prob), u32_be(tid as u32))
 }
 
@@ -35,21 +38,23 @@ pub struct PostingCursor {
 
 impl PostingCursor {
     /// Cursor over a whole posting list from its highest probability.
-    pub fn open(tree: &PostingTree, pool: &mut BufferPool) -> PostingCursor {
-        PostingCursor { inner: tree.cursor_first(pool) }
-    }
-
-    /// Entry under the cursor: `(tid, prob)`.
-    pub fn head(&self, pool: &mut BufferPool) -> Option<(TupleId, Prob)> {
-        self.inner.entry(pool).map(|(k, _)| {
-            let (p, tid) = decode_posting(&k);
-            (tid, p)
+    pub fn open(tree: &PostingTree, pool: &mut BufferPool) -> Result<PostingCursor> {
+        Ok(PostingCursor {
+            inner: tree.cursor_first(pool)?,
         })
     }
 
+    /// Entry under the cursor: `(tid, prob)`.
+    pub fn head(&self, pool: &mut BufferPool) -> Result<Option<(TupleId, Prob)>> {
+        Ok(self.inner.entry(pool)?.map(|(k, _)| {
+            let (p, tid) = decode_posting(&k);
+            (tid, p)
+        }))
+    }
+
     /// Advance one entry.
-    pub fn advance(&mut self, pool: &mut BufferPool) {
-        self.inner.advance(pool);
+    pub fn advance(&mut self, pool: &mut BufferPool) -> Result<()> {
+        self.inner.advance(pool)
     }
 }
 
@@ -79,16 +84,17 @@ mod tests {
     #[test]
     fn cursor_streams_descending() {
         let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 32);
-        let mut tree = PostingTree::create(&mut pool);
+        let mut tree = PostingTree::create(&mut pool).unwrap();
         let probs = [0.3f32, 0.9, 0.1, 0.5, 0.7];
         for (tid, &p) in probs.iter().enumerate() {
-            tree.insert(&mut pool, &posting_key(p, tid as u64), &[]);
+            tree.insert(&mut pool, &posting_key(p, tid as u64), &[])
+                .unwrap();
         }
-        let mut c = PostingCursor::open(&tree, &mut pool);
+        let mut c = PostingCursor::open(&tree, &mut pool).unwrap();
         let mut seen = Vec::new();
-        while let Some((tid, p)) = c.head(&mut pool) {
+        while let Some((tid, p)) = c.head(&mut pool).unwrap() {
             seen.push((tid, p));
-            c.advance(&mut pool);
+            c.advance(&mut pool).unwrap();
         }
         assert_eq!(
             seen,

@@ -13,24 +13,29 @@ use std::ops::ControlFlow;
 
 use uncat_core::equality::meets_threshold;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::index::InvertedIndex;
 use crate::postings::decode_posting;
 
 use super::query_lists;
 
-pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+pub(super) fn search(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+) -> Result<Vec<Match>> {
     let mut acc: HashMap<u64, f64> = HashMap::new();
     for (_cat, qp, tree) in query_lists(idx, &query.q) {
         tree.scan_all(pool, |key, _| {
             let (p, tid) = decode_posting(key);
             *acc.entry(tid).or_insert(0.0) += qp * p as f64;
             ControlFlow::Continue(())
-        });
+        })?;
     }
-    acc.into_iter()
+    Ok(acc
+        .into_iter()
         .filter(|&(_, pr)| meets_threshold(pr, query.tau))
         .map(|(tid, pr)| Match::new(tid, pr))
-        .collect()
+        .collect())
 }

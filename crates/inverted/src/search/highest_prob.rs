@@ -9,14 +9,18 @@
 use std::collections::HashSet;
 
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::index::InvertedIndex;
 
 use super::{verify_candidates, Frontier};
 
-pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
-    let candidates = collect_candidates(idx, pool, query);
+pub(super) fn search(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+) -> Result<Vec<Match>> {
+    let candidates = collect_candidates(idx, pool, query)?;
     verify_candidates(idx, pool, query, candidates)
 }
 
@@ -25,7 +29,7 @@ pub(crate) fn search_public(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
-) -> Vec<Match> {
+) -> Result<Vec<Match>> {
     search(idx, pool, query)
 }
 
@@ -35,8 +39,8 @@ pub(crate) fn collect_candidates(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
-) -> HashSet<u64> {
-    let mut frontier = Frontier::open(idx, pool, &query.q);
+) -> Result<HashSet<u64>> {
+    let mut frontier = Frontier::open(idx, pool, &query.q)?;
     let mut seen: HashSet<u64> = HashSet::new();
     loop {
         // Lemma 1: any tuple not yet seen is bounded by the frontier sum.
@@ -44,9 +48,11 @@ pub(crate) fn collect_candidates(
         if frontier.sum() < query.tau - uncat_core::equality::THRESHOLD_EPS {
             break;
         }
-        let Some((j, tid, _c)) = frontier.best() else { break };
+        let Some((j, tid, _c)) = frontier.best() else {
+            break;
+        };
         seen.insert(tid);
-        frontier.advance(pool, j);
+        frontier.advance(pool, j)?;
     }
-    seen
+    Ok(seen)
 }

@@ -8,7 +8,7 @@ mod row_prune;
 
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result, StorageError};
 
 use crate::index::InvertedIndex;
 
@@ -54,27 +54,35 @@ impl InvertedIndex {
     /// Evaluate a PETQ with the chosen strategy, returning qualifying
     /// tuples with their exact equality probabilities, in canonical
     /// (descending-probability) order.
-    pub fn petq(&self, pool: &mut BufferPool, query: &EqQuery, strategy: Strategy) -> Vec<Match> {
+    ///
+    /// A page the store cannot produce fails *this query* with
+    /// `Err(StorageError)`; the index and pool remain usable.
+    pub fn petq(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        strategy: Strategy,
+    ) -> Result<Vec<Match>> {
         let mut out = match strategy {
-            Strategy::Brute => brute::search(self, pool, query),
-            Strategy::HighestProbFirst => highest_prob::search(self, pool, query),
-            Strategy::RowPruning => row_prune::search(self, pool, query),
-            Strategy::ColumnPruning => col_prune::search(self, pool, query),
-            Strategy::Nra => nra::search(self, pool, query),
+            Strategy::Brute => brute::search(self, pool, query)?,
+            Strategy::HighestProbFirst => highest_prob::search(self, pool, query)?,
+            Strategy::RowPruning => row_prune::search(self, pool, query)?,
+            Strategy::ColumnPruning => col_prune::search(self, pool, query)?,
+            Strategy::Nra => nra::search(self, pool, query)?,
         };
         sort_matches_desc(&mut out);
-        out
+        Ok(out)
     }
 
     /// PEQ: every tuple with non-zero equality probability (Definition 3),
     /// in canonical order. Evaluated by full aggregation over the query's
     /// posting lists.
-    pub fn peq(&self, pool: &mut BufferPool, q: &uncat_core::Uda) -> Vec<Match> {
+    pub fn peq(&self, pool: &mut BufferPool, q: &uncat_core::Uda) -> Result<Vec<Match>> {
         let query = EqQuery::new(q.clone(), 0.0);
-        let mut out = brute::search(self, pool, &query);
+        let mut out = brute::search(self, pool, &query)?;
         out.retain(|m| m.score > 0.0);
         sort_matches_desc(&mut out);
-        out
+        Ok(out)
     }
 }
 
@@ -88,16 +96,18 @@ pub(crate) fn verify_candidates(
     pool: &mut BufferPool,
     query: &EqQuery,
     candidates: impl IntoIterator<Item = u64>,
-) -> Vec<Match> {
+) -> Result<Vec<Match>> {
     let mut out = Vec::new();
-    for tid in sorted_by_page(idx, candidates) {
-        let t = idx.get_tuple(pool, tid).expect("candidate came from a posting list");
+    for tid in sorted_by_page(idx, candidates)? {
+        let t = idx.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
+            "posting refers to an unindexed tuple",
+        ))?;
         let pr = eq_prob(&query.q, &t);
         if meets_threshold(pr, query.tau) {
             out.push(Match::new(tid, pr));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Order tuple ids by their heap location so random accesses batch per
@@ -105,13 +115,20 @@ pub(crate) fn verify_candidates(
 pub(crate) fn sorted_by_page(
     idx: &InvertedIndex,
     candidates: impl IntoIterator<Item = u64>,
-) -> Vec<u64> {
+) -> Result<Vec<u64>> {
     let mut v: Vec<u64> = candidates.into_iter().collect();
+    for &tid in &v {
+        if idx.record_location(tid).is_none() {
+            return Err(StorageError::Corrupt(
+                "posting refers to an unindexed tuple",
+            ));
+        }
+    }
     v.sort_by_key(|&tid| {
-        let rid = idx.record_location(tid).expect("candidate came from a posting list");
+        let rid = idx.record_location(tid).expect("checked above");
         (rid.page, rid.slot)
     });
-    v
+    Ok(v)
 }
 
 /// The query's support restricted to lists that exist in the index:
@@ -154,22 +171,32 @@ const RESUM_EVERY: u32 = 1 << 16;
 
 impl Frontier {
     /// Open a cursor per query list and cache the initial heads.
-    pub(crate) fn open(idx: &InvertedIndex, pool: &mut BufferPool, q: &uncat_core::Uda) -> Frontier {
-        let mut cursors: Vec<(f64, crate::postings::PostingCursor)> = query_lists(idx, q)
-            .into_iter()
-            .map(|(_cat, qp, tree)| (qp, crate::postings::PostingCursor::open(tree, pool)))
-            .collect();
-        let heads: Vec<Option<(u64, f64)>> = cursors
-            .iter_mut()
-            .map(|(qp, cur)| cur.head(pool).map(|(tid, p)| (tid, *qp * p as f64)))
-            .collect();
+    pub(crate) fn open(
+        idx: &InvertedIndex,
+        pool: &mut BufferPool,
+        q: &uncat_core::Uda,
+    ) -> Result<Frontier> {
+        let mut cursors: Vec<(f64, crate::postings::PostingCursor)> = Vec::new();
+        for (_cat, qp, tree) in query_lists(idx, q) {
+            cursors.push((qp, crate::postings::PostingCursor::open(tree, pool)?));
+        }
+        let mut heads: Vec<Option<(u64, f64)>> = Vec::with_capacity(cursors.len());
+        for (qp, cur) in cursors.iter_mut() {
+            heads.push(cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64)));
+        }
         let order = heads
             .iter()
             .enumerate()
             .filter_map(|(j, h)| h.map(|(_, c)| (c.to_bits(), j)))
             .collect();
         let sum = heads.iter().flatten().map(|&(_, c)| c).sum();
-        Frontier { cursors, heads, order, sum, since_resum: 0 }
+        Ok(Frontier {
+            cursors,
+            heads,
+            order,
+            sum,
+            since_resum: 0,
+        })
     }
 
     /// Number of lists.
@@ -197,13 +224,13 @@ impl Frontier {
     }
 
     /// Pop list `j`'s head and refresh its cache.
-    pub(crate) fn advance(&mut self, pool: &mut BufferPool, j: usize) {
+    pub(crate) fn advance(&mut self, pool: &mut BufferPool, j: usize) -> Result<()> {
         let (qp, cur) = &mut self.cursors[j];
-        cur.advance(pool);
+        cur.advance(pool)?;
         if let Some((_, old)) = self.heads[j] {
             self.sum -= old;
         }
-        let next = cur.head(pool).map(|(tid, p)| (tid, *qp * p as f64));
+        let next = cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64));
         if let Some((_, c)) = next {
             self.sum += c;
             self.order.push((c.to_bits(), j));
@@ -215,11 +242,15 @@ impl Frontier {
             self.since_resum = 0;
             self.sum = self.heads.iter().flatten().map(|&(_, c)| c).sum();
         }
+        Ok(())
     }
 
     /// Residual head contribution per list (0 where exhausted).
     pub(crate) fn residual(&self) -> Vec<f64> {
-        self.heads.iter().map(|h| h.map_or(0.0, |(_, c)| c)).collect()
+        self.heads
+            .iter()
+            .map(|h| h.map_or(0.0, |(_, c)| c))
+            .collect()
     }
 
     /// Whether every list is drained.

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::index::InvertedIndex;
 
@@ -39,8 +39,12 @@ struct Cand {
     seen: u128,
 }
 
-pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
-    let mut frontier = Frontier::open(idx, pool, &query.q);
+pub(super) fn search(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+) -> Result<Vec<Match>> {
+    let mut frontier = Frontier::open(idx, pool, &query.q)?;
     if frontier.len() > 128 {
         // Mask width exceeded (never the case for realistic queries);
         // highest-prob-first is the general fallback.
@@ -62,7 +66,7 @@ pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery
         let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
         e.lb += c;
         e.seen |= 1u128 << j;
-        frontier.advance(pool, j);
+        frontier.advance(pool, j)?;
 
         pops += 1;
         // Sweeping costs a pass over the candidate map; scale the interval
@@ -114,6 +118,6 @@ pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery
             needs_ra.push(*tid);
         }
     }
-    accepted.extend(verify_candidates(idx, pool, query, needs_ra));
-    accepted
+    accepted.extend(verify_candidates(idx, pool, query, needs_ra)?);
+    Ok(accepted)
 }

@@ -11,14 +11,18 @@ use std::ops::ControlFlow;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::index::InvertedIndex;
 use crate::postings::decode_posting;
 
 use super::{query_lists, verify_candidates};
 
-pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+pub(super) fn search(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
     for (_cat, qp, tree) in query_lists(idx, &query.q) {
         if qp < query.tau - THRESHOLD_EPS {
@@ -28,7 +32,7 @@ pub(super) fn search(idx: &InvertedIndex, pool: &mut BufferPool, query: &EqQuery
             let (_p, tid) = decode_posting(key);
             candidates.insert(tid);
             ControlFlow::Continue(())
-        });
+        })?;
     }
     verify_candidates(idx, pool, query, candidates)
 }

@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use uncat_core::equality::{eq_prob, THRESHOLD_EPS};
 use uncat_core::query::{Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result, StorageError};
 
 use crate::index::InvertedIndex;
 use crate::search::Frontier;
@@ -32,11 +32,11 @@ impl InvertedIndex {
     /// The `k` tuples with the highest equality probability to `query.q`
     /// (only tuples with non-zero probability are returned), in canonical
     /// descending order.
-    pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+    pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
         if query.k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let mut frontier = Frontier::open(self, pool, &query.q);
+        let mut frontier = Frontier::open(self, pool, &query.q)?;
         if frontier.len() > 128 {
             return self.top_k_random_access(pool, query);
         }
@@ -56,7 +56,7 @@ impl InvertedIndex {
             let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
             e.lb += c;
             e.seen |= 1u128 << j;
-            frontier.advance(pool, j);
+            frontier.advance(pool, j)?;
 
             pops += 1;
             // Refreshing θ costs a pass over the candidate map, so the
@@ -103,8 +103,10 @@ impl InvertedIndex {
         let mut heap = TopKHeap::new(query.k, 0.0);
         // Unsettled finalists need one random access each; sorting by heap
         // page batches candidates sharing a page into one read.
-        for tid in crate::search::sorted_by_page(self, unsettled) {
-            let t = self.get_tuple(pool, tid).expect("candidate came from a posting list");
+        for tid in crate::search::sorted_by_page(self, unsettled)? {
+            let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
+                "posting refers to an unindexed tuple",
+            ))?;
             let pr = eq_prob(&query.q, &t);
             if pr > 0.0 {
                 heap.offer(tid, pr);
@@ -115,13 +117,13 @@ impl InvertedIndex {
                 heap.offer(tid, pr);
             }
         }
-        heap.into_sorted()
+        Ok(heap.into_sorted())
     }
 
     /// Fallback for queries wider than the bound mask: verify every
     /// encountered candidate by random access.
-    fn top_k_random_access(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
-        let mut frontier = Frontier::open(self, pool, &query.q);
+    fn top_k_random_access(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
+        let mut frontier = Frontier::open(self, pool, &query.q)?;
         let mut heap = TopKHeap::new(query.k, 0.0);
         let mut verified: HashSet<u64> = HashSet::new();
         while let Some((j, tid, _c)) = frontier.best() {
@@ -129,15 +131,17 @@ impl InvertedIndex {
                 break;
             }
             if verified.insert(tid) {
-                let t = self.get_tuple(pool, tid).expect("posting refers to stored tuple");
+                let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
+                    "posting refers to an unindexed tuple",
+                ))?;
                 let pr = eq_prob(&query.q, &t);
                 if pr > 0.0 {
                     heap.offer(tid, pr);
                 }
             }
-            frontier.advance(pool, j);
+            frontier.advance(pool, j)?;
         }
-        heap.into_sorted()
+        Ok(heap.into_sorted())
     }
 }
 

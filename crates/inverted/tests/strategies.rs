@@ -34,11 +34,16 @@ struct Fixture {
 
 fn fixture(seed: u64, n: usize, n_cats: u32, max_nz: usize) -> Fixture {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<(u64, Uda)> =
-        (0..n as u64).map(|tid| (tid, random_uda(&mut rng, n_cats, max_nz))).collect();
+    let data: Vec<(u64, Uda)> = (0..n as u64)
+        .map(|tid| (tid, random_uda(&mut rng, n_cats, max_nz)))
+        .collect();
     let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
-    let idx =
-        InvertedIndex::build(Domain::anonymous(n_cats), &mut pool, data.iter().map(|(t, u)| (*t, u)));
+    let idx = InvertedIndex::build(
+        Domain::anonymous(n_cats),
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+    )
+    .unwrap();
     Fixture { data, idx, pool }
 }
 
@@ -61,7 +66,11 @@ fn assert_same(a: &[Match], b: &[Match], ctx: &str) {
         "tuple sets differ: {ctx}"
     );
     for (x, y) in a.iter().zip(b) {
-        assert!((x.score - y.score).abs() < 1e-9, "scores differ for tid {}: {ctx}", x.tid);
+        assert!(
+            (x.score - y.score).abs() < 1e-9,
+            "scores differ for tid {}: {ctx}",
+            x.tid
+        );
     }
 }
 
@@ -75,8 +84,12 @@ fn all_strategies_match_reference_on_random_data() {
             let query = EqQuery::new(q.clone(), tau);
             let expect = reference_petq(&f.data, &q, tau);
             for strat in Strategy::ALL {
-                let got = f.idx.petq(&mut f.pool, &query, strat);
-                assert_same(&got, &expect, &format!("query {qi}, tau {tau}, {:?}", strat));
+                let got = f.idx.petq(&mut f.pool, &query, strat).unwrap();
+                assert_same(
+                    &got,
+                    &expect,
+                    &format!("query {qi}, tau {tau}, {:?}", strat),
+                );
             }
         }
     }
@@ -89,13 +102,20 @@ fn threshold_exactly_at_a_tuples_probability_includes_it() {
     let q = random_uda(&mut rng, 8, 3);
     // Pick an actual probability value as the threshold: the boundary case
     // that epsilon handling must keep consistent across strategies.
-    let probs: Vec<f64> =
-        f.data.iter().map(|(_, t)| eq_prob(&q, t)).filter(|&p| p > 0.0).collect();
+    let probs: Vec<f64> = f
+        .data
+        .iter()
+        .map(|(_, t)| eq_prob(&q, t))
+        .filter(|&p| p > 0.0)
+        .collect();
     let tau = probs[probs.len() / 2];
     let expect = reference_petq(&f.data, &q, tau);
     assert!(!expect.is_empty());
     for strat in Strategy::ALL {
-        let got = f.idx.petq(&mut f.pool, &EqQuery::new(q.clone(), tau), strat);
+        let got = f
+            .idx
+            .petq(&mut f.pool, &EqQuery::new(q.clone(), tau), strat)
+            .unwrap();
         assert_same(&got, &expect, &format!("boundary tau, {strat:?}"));
     }
 }
@@ -117,7 +137,10 @@ fn top_k_matches_reference() {
                 .collect();
             sort_matches_desc(&mut expect);
             expect.truncate(k);
-            let got = f.idx.top_k(&mut f.pool, &TopKQuery::new(q.clone(), k));
+            let got = f
+                .idx
+                .top_k(&mut f.pool, &TopKQuery::new(q.clone(), k))
+                .unwrap();
             assert_same(&got, &expect, &format!("top-{k}"));
         }
     }
@@ -127,9 +150,11 @@ fn top_k_matches_reference() {
 fn top_k_larger_than_matching_set_returns_all() {
     let mut f = fixture(3, 50, 6, 2);
     let q = Uda::certain(CatId(0));
-    let got = f.idx.top_k(&mut f.pool, &TopKQuery::new(q.clone(), 1000));
-    let matching =
-        f.data.iter().filter(|(_, t)| eq_prob(&q, t) > 0.0).count();
+    let got = f
+        .idx
+        .top_k(&mut f.pool, &TopKQuery::new(q.clone(), 1000))
+        .unwrap();
+    let matching = f.data.iter().filter(|(_, t)| eq_prob(&q, t) > 0.0).count();
     assert_eq!(got.len(), matching);
 }
 
@@ -138,7 +163,7 @@ fn peq_returns_every_overlapping_tuple() {
     let mut f = fixture(17, 200, 6, 3);
     let mut rng = StdRng::seed_from_u64(3);
     let q = random_uda(&mut rng, 6, 3);
-    let got = f.idx.peq(&mut f.pool, &q);
+    let got = f.idx.peq(&mut f.pool, &q).unwrap();
     let expect: Vec<u64> = {
         let mut v: Vec<Match> = f
             .data
@@ -163,7 +188,7 @@ fn dstq_matches_reference_for_all_divergences() {
         for dv in Divergence::ALL {
             for &tau_d in &[0.05, 0.3, 0.8, 1.5] {
                 let query = DstQuery::new(q.clone(), tau_d, dv);
-                let got = f.idx.dstq(&mut f.pool, &query);
+                let got = f.idx.dstq(&mut f.pool, &query).unwrap();
                 let mut expect: Vec<Match> = f
                     .data
                     .iter()
@@ -185,19 +210,22 @@ fn results_survive_incremental_inserts_and_deletes() {
     let mut rng = StdRng::seed_from_u64(13);
     // Delete a third, insert some new ones.
     for tid in (0..200u64).step_by(3) {
-        assert!(f.idx.delete(&mut f.pool, tid));
+        assert!(f.idx.delete(&mut f.pool, tid).unwrap());
     }
     f.data.retain(|(tid, _)| tid % 3 != 0);
     for tid in 1000..1050u64 {
         let u = random_uda(&mut rng, 8, 3);
-        f.idx.insert(&mut f.pool, tid, &u);
+        f.idx.insert(&mut f.pool, tid, &u).unwrap();
         f.data.push((tid, u));
     }
     let q = random_uda(&mut rng, 8, 3);
     for &tau in &[0.05, 0.4] {
         let expect = reference_petq(&f.data, &q, tau);
         for strat in Strategy::ALL {
-            let got = f.idx.petq(&mut f.pool, &EqQuery::new(q.clone(), tau), strat);
+            let got = f
+                .idx
+                .petq(&mut f.pool, &EqQuery::new(q.clone(), tau), strat)
+                .unwrap();
             assert_same(&got, &expect, &format!("after updates, {strat:?}"));
         }
     }
@@ -225,9 +253,9 @@ fn early_stopping_beats_brute_on_high_thresholds() {
     let query = EqQuery::new(q, 0.95);
 
     let io_for = |strat: Strategy, f: &mut Fixture| {
-        f.pool.clear();
+        f.pool.clear().unwrap();
         f.pool.reset_stats();
-        let n = f.idx.petq(&mut f.pool, &query, strat).len();
+        let n = f.idx.petq(&mut f.pool, &query, strat).unwrap().len();
         (f.pool.stats().physical_reads, n)
     };
 

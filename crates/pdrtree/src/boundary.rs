@@ -127,13 +127,17 @@ impl Boundary {
     /// Lemma 2's pruning score: an upper bound on `Pr(q = u)` for every `u`
     /// dominated by this boundary — `Σ_i q.p_i · v(f(i))`.
     pub fn eq_upper_bound(&self, q: &Uda) -> f64 {
-        q.iter().map(|(cat, p)| p as f64 * self.bound_of(cat) as f64).sum()
+        q.iter()
+            .map(|(cat, p)| p as f64 * self.bound_of(cat) as f64)
+            .sum()
     }
 
     /// A lower bound on `L1(q, u)` for every dominated `u`:
     /// `Σ_i max(0, q.p_i − v(f(i)))` (each `u_i ≤ v(f(i))`).
     pub fn l1_lower_bound(&self, q: &Uda) -> f64 {
-        q.iter().map(|(cat, p)| ((p - self.bound_of(cat)) as f64).max(0.0)).sum()
+        q.iter()
+            .map(|(cat, p)| ((p - self.bound_of(cat)) as f64).max(0.0))
+            .sum()
     }
 
     /// A lower bound on `L2(q, u)` for every dominated `u`.
@@ -160,7 +164,10 @@ impl Boundary {
                     .iter()
                     .enumerate()
                     .filter(|&(_, &p)| p > 0.0)
-                    .map(|(c, &p)| Entry { cat: CatId(c as u32), prob: p })
+                    .map(|(c, &p)| Entry {
+                        cat: CatId(c as u32),
+                        prob: p,
+                    })
                     .collect();
                 dv.eval(&compressed, &dense)
             }
@@ -214,7 +221,10 @@ fn merge_max(dst: &mut Vec<Entry>, src: &[Entry]) {
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                out.push(Entry { cat: dst[i].cat, prob: dst[i].prob.max(src[j].prob) });
+                out.push(Entry {
+                    cat: dst[i].cat,
+                    prob: dst[i].prob.max(src[j].prob),
+                });
                 i += 1;
                 j += 1;
             }
@@ -239,7 +249,10 @@ fn dense_entries(vals: &[Prob]) -> Vec<Entry> {
     vals.iter()
         .enumerate()
         .filter(|&(_, &p)| p > 0.0)
-        .map(|(c, &p)| Entry { cat: CatId(c as u32), prob: p })
+        .map(|(c, &p)| Entry {
+            cat: CatId(c as u32),
+            prob: p,
+        })
         .collect()
 }
 
@@ -300,7 +313,11 @@ mod tests {
         let u = uda(&[(1, 0.4), (5, 0.6)]); // cats 1 and 5 share slot 1
         b.merge_uda(&u);
         assert!(b.dominates(&u));
-        assert_eq!(b.bound_of(CatId(1)), 0.6, "slot takes the max over the preimage");
+        assert_eq!(
+            b.bound_of(CatId(1)),
+            0.6,
+            "slot takes the max over the preimage"
+        );
         assert_eq!(b.bound_of(CatId(5)), 0.6);
         assert_eq!(b.bound_of(CatId(0)), 0.0);
     }
@@ -372,7 +389,10 @@ mod tests {
         for dv in Divergence::ALL {
             let d = b.divergence_to(&u, dv);
             assert!(d.is_finite());
-            assert!(d.abs() < 1e-3, "{dv:?} distance of a member to its own envelope");
+            assert!(
+                d.abs() < 1e-3,
+                "{dv:?} distance of a member to its own envelope"
+            );
         }
     }
 }

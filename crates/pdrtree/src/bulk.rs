@@ -17,11 +17,13 @@
 //! the I/O difference.
 
 use uncat_core::{Domain, Uda};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::boundary::Boundary;
 use crate::config::PdrConfig;
-use crate::node::{boundary_size, leaf_entry_size, write_node, ChildEntry, LeafEntry, Node, NODE_HDR};
+use crate::node::{
+    boundary_size, leaf_entry_size, write_node, ChildEntry, LeafEntry, Node, NODE_HDR,
+};
 use crate::tree::{PdrTree, MAX_NODE_ENTRIES, NODE_BUDGET};
 
 /// Target fill fraction for bulk-built nodes: slightly under 100 % so the
@@ -37,14 +39,17 @@ impl PdrTree {
         config: PdrConfig,
         pool: &mut BufferPool,
         tuples: I,
-    ) -> PdrTree
+    ) -> Result<PdrTree>
     where
         I: IntoIterator<Item = (u64, &'a Uda)>,
     {
         config.validate().expect("invalid PDR-tree configuration");
         let mut entries: Vec<LeafEntry> = tuples
             .into_iter()
-            .map(|(tid, uda)| LeafEntry { tid, uda: uda.clone() })
+            .map(|(tid, uda)| LeafEntry {
+                tid,
+                uda: uda.clone(),
+            })
             .collect();
         if entries.is_empty() {
             return PdrTree::new(domain, config, pool);
@@ -66,31 +71,34 @@ impl PdrTree {
         let mut level: Vec<ChildEntry> = Vec::new();
         let mut current: Vec<LeafEntry> = Vec::new();
         let mut current_bytes = 0usize;
-        let flush_leaf =
-            |pool: &mut BufferPool, batch: &mut Vec<LeafEntry>, level: &mut Vec<ChildEntry>| {
-                if batch.is_empty() {
-                    return;
-                }
-                let mut b = Boundary::empty(compression);
-                for e in batch.iter() {
-                    b.merge_uda(&e.uda);
-                }
-                let pid = pool.allocate();
-                write_node(pool, pid, &Node::Leaf(std::mem::take(batch)), compression);
-                level.push(ChildEntry { pid, boundary: b });
-            };
+        let flush_leaf = |pool: &mut BufferPool,
+                          batch: &mut Vec<LeafEntry>,
+                          level: &mut Vec<ChildEntry>|
+         -> Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let mut b = Boundary::empty(compression);
+            for e in batch.iter() {
+                b.merge_uda(&e.uda);
+            }
+            let pid = pool.allocate()?;
+            write_node(pool, pid, &Node::Leaf(std::mem::take(batch)), compression)?;
+            level.push(ChildEntry { pid, boundary: b });
+            Ok(())
+        };
         for e in entries {
             let sz = leaf_entry_size(&e.uda);
             if !current.is_empty()
                 && (current_bytes + sz > budget || current.len() >= MAX_NODE_ENTRIES)
             {
-                flush_leaf(pool, &mut current, &mut level);
+                flush_leaf(pool, &mut current, &mut level)?;
                 current_bytes = 0;
             }
             current_bytes += sz;
             current.push(e);
         }
-        flush_leaf(pool, &mut current, &mut level);
+        flush_leaf(pool, &mut current, &mut level)?;
 
         // 3. Pack internal levels until a single root remains.
         let mut depth = 1u32;
@@ -99,35 +107,41 @@ impl PdrTree {
             let mut next: Vec<ChildEntry> = Vec::new();
             let mut batch: Vec<ChildEntry> = Vec::new();
             let mut bytes = 0usize;
-            let flush_internal =
-                |pool: &mut BufferPool, batch: &mut Vec<ChildEntry>, next: &mut Vec<ChildEntry>| {
-                    if batch.is_empty() {
-                        return;
-                    }
-                    let mut b = Boundary::empty(compression);
-                    for c in batch.iter() {
-                        b.merge_boundary(&c.boundary);
-                    }
-                    let pid = pool.allocate();
-                    write_node(pool, pid, &Node::Internal(std::mem::take(batch)), compression);
-                    next.push(ChildEntry { pid, boundary: b });
-                };
+            let flush_internal = |pool: &mut BufferPool,
+                                  batch: &mut Vec<ChildEntry>,
+                                  next: &mut Vec<ChildEntry>|
+             -> Result<()> {
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                let mut b = Boundary::empty(compression);
+                for c in batch.iter() {
+                    b.merge_boundary(&c.boundary);
+                }
+                let pid = pool.allocate()?;
+                write_node(
+                    pool,
+                    pid,
+                    &Node::Internal(std::mem::take(batch)),
+                    compression,
+                )?;
+                next.push(ChildEntry { pid, boundary: b });
+                Ok(())
+            };
             for c in level {
                 let sz = 8 + boundary_size(&c.boundary, compression);
-                if !batch.is_empty()
-                    && (bytes + sz > budget || batch.len() >= MAX_NODE_ENTRIES)
-                {
-                    flush_internal(pool, &mut batch, &mut next);
+                if !batch.is_empty() && (bytes + sz > budget || batch.len() >= MAX_NODE_ENTRIES) {
+                    flush_internal(pool, &mut batch, &mut next)?;
                     bytes = 0;
                 }
                 bytes += sz;
                 batch.push(c);
             }
-            flush_internal(pool, &mut batch, &mut next);
+            flush_internal(pool, &mut batch, &mut next)?;
             level = next;
         }
         let root = level.pop().expect("at least one node").pid;
-        PdrTree::from_raw(root, config, domain, n, depth)
+        Ok(PdrTree::from_raw(root, config, domain, n, depth))
     }
 }
 
@@ -154,7 +168,8 @@ mod tests {
                 for _ in 0..nz {
                     let c = (next() % cats as u64) as u32;
                     if used.insert(c) {
-                        b.push(CatId(c), 0.05 + (next() % 900) as f32 / 1000.0).unwrap();
+                        b.push(CatId(c), 0.05 + (next() % 900) as f32 / 1000.0)
+                            .unwrap();
                     }
                 }
                 (tid, b.finish_normalized().unwrap())
@@ -171,13 +186,15 @@ mod tests {
             PdrConfig::default(),
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
+        )
+        .unwrap();
         assert_eq!(tree.len(), 5000);
-        assert_eq!(tree.check_invariants(&mut pool), 5000);
+        assert_eq!(tree.check_invariants(&mut pool).unwrap(), 5000);
         let mut seen = std::collections::HashSet::new();
         tree.for_each(&mut pool, |tid, _| {
             assert!(seen.insert(tid));
-        });
+        })
+        .unwrap();
         assert_eq!(seen.len(), 5000);
     }
 
@@ -194,6 +211,7 @@ mod tests {
                     &mut pool,
                     data.iter().map(|(t, u)| (*t, u)),
                 )
+                .unwrap()
             } else {
                 PdrTree::build(
                     Domain::anonymous(10),
@@ -201,8 +219,9 @@ mod tests {
                     &mut pool,
                     data.iter().map(|(t, u)| (*t, u)),
                 )
+                .unwrap()
             };
-            pool.flush();
+            pool.flush().unwrap();
             store.num_pages()
         };
         let incremental = pages_of(false);
@@ -223,17 +242,23 @@ mod tests {
             PdrConfig::default(),
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
+        )
+        .unwrap();
         let b = PdrTree::bulk_build(
             Domain::anonymous(8),
             PdrConfig::default(),
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
+        )
+        .unwrap();
         for (i, (_tid, q)) in data.iter().take(8).enumerate() {
             for tau in [0.1, 0.5] {
-                let qa = a.petq(&mut pool, &uncat_core::EqQuery::new(q.clone(), tau));
-                let qb = b.petq(&mut pool, &uncat_core::EqQuery::new(q.clone(), tau));
+                let qa = a
+                    .petq(&mut pool, &uncat_core::EqQuery::new(q.clone(), tau))
+                    .unwrap();
+                let qb = b
+                    .petq(&mut pool, &uncat_core::EqQuery::new(q.clone(), tau))
+                    .unwrap();
                 assert_eq!(
                     qa.iter().map(|m| m.tid).collect::<Vec<_>>(),
                     qb.iter().map(|m| m.tid).collect::<Vec<_>>(),
@@ -256,22 +281,23 @@ mod tests {
             cfg,
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
+        )
+        .unwrap();
         // Incremental inserts continue to work on a bulk-built tree.
         let extra = synth(500, 16, 14);
         for (tid, u) in &extra {
-            tree.insert(&mut pool, tid + 10_000, u);
+            tree.insert(&mut pool, tid + 10_000, u).unwrap();
         }
         assert_eq!(tree.len(), 2000);
-        assert_eq!(tree.check_invariants(&mut pool), 2000);
+        assert_eq!(tree.check_invariants(&mut pool).unwrap(), 2000);
     }
 
     #[test]
     fn bulk_build_of_empty_input_is_empty_tree() {
         let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 16);
         let tree =
-            PdrTree::bulk_build(Domain::anonymous(4), PdrConfig::default(), &mut pool, []);
+            PdrTree::bulk_build(Domain::anonymous(4), PdrConfig::default(), &mut pool, []).unwrap();
         assert!(tree.is_empty());
-        assert_eq!(tree.check_invariants(&mut pool), 0);
+        assert_eq!(tree.check_invariants(&mut pool).unwrap(), 0);
     }
 }

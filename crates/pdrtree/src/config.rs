@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let c = PdrConfig { balance_num: 1, balance_den: 3, ..PdrConfig::default() };
+        let c = PdrConfig {
+            balance_num: 1,
+            balance_den: 3,
+            ..PdrConfig::default()
+        };
         assert!(c.validate().is_err());
         let c = PdrConfig {
             compression: Compression::Discretized { bits: 0 },
@@ -171,7 +175,10 @@ mod tests {
     #[test]
     fn names_for_reporting() {
         assert_eq!(SplitStrategy::TopDown.name(), "top-down");
-        assert_eq!(Compression::Discretized { bits: 2 }.name(), "discretized(2b)");
+        assert_eq!(
+            Compression::Discretized { bits: 2 }.name(),
+            "discretized(2b)"
+        );
         assert_eq!(Compression::Signature { width: 16 }.name(), "signature(16)");
     }
 }

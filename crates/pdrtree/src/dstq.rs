@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
 use uncat_core::{Divergence, Uda};
-use uncat_storage::{BufferPool, PageId};
+use uncat_storage::{BufferPool, PageId, Result};
 
 use crate::boundary::Boundary;
 use crate::node::{read_node, Node};
@@ -30,11 +30,11 @@ fn divergence_lower_bound(b: &Boundary, q: &Uda, dv: Divergence) -> f64 {
 impl PdrTree {
     /// Evaluate a DSTQ: all tuples with `F(q, t) ≤ τ_d`, ascending by
     /// divergence.
-    pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         let mut stack = vec![self.root()];
         while let Some(pid) = stack.pop() {
-            match read_node(pool, pid, self.config().compression) {
+            match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
                     for e in &entries {
                         let d = query.divergence.eval(query.q.entries(), e.uda.entries());
@@ -54,7 +54,7 @@ impl PdrTree {
             }
         }
         sort_matches_asc(&mut out);
-        out
+        Ok(out)
     }
 
     /// DSQ-top-k: the `k` tuples with the smallest divergence from the
@@ -62,7 +62,7 @@ impl PdrTree {
     /// divergence lower bound; a branch is pruned once its bound exceeds
     /// the current k-th smallest exact distance. KL admits no bound, so KL
     /// queries traverse every leaf.
-    pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+    pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
         struct Pending {
             bound: f64,
             pid: PageId,
@@ -76,7 +76,10 @@ impl PdrTree {
         impl Ord for Pending {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Min-heap on the lower bound.
-                other.bound.partial_cmp(&self.bound).expect("bounds are finite")
+                other
+                    .bound
+                    .partial_cmp(&self.bound)
+                    .expect("bounds are finite")
             }
         }
         impl PartialOrd for Pending {
@@ -87,12 +90,15 @@ impl PdrTree {
 
         let mut heap = BottomKHeap::new(query.k);
         let mut frontier = BinaryHeap::new();
-        frontier.push(Pending { bound: 0.0, pid: self.root() });
+        frontier.push(Pending {
+            bound: 0.0,
+            pid: self.root(),
+        });
         while let Some(Pending { bound, pid }) = frontier.pop() {
             if heap.is_full() && bound > heap.bound() + 1e-9 {
                 break; // nothing unexplored can get closer
             }
-            match read_node(pool, pid, self.config().compression) {
+            match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
                     for e in &entries {
                         let d = query.divergence.eval(query.q.entries(), e.uda.entries());
@@ -103,12 +109,15 @@ impl PdrTree {
                     for c in &children {
                         let b = divergence_lower_bound(&c.boundary, &query.q, query.divergence);
                         if !heap.is_full() || b <= heap.bound() + 1e-9 {
-                            frontier.push(Pending { bound: b, pid: c.pid });
+                            frontier.push(Pending {
+                                bound: b,
+                                pid: c.pid,
+                            });
                         }
                     }
                 }
             }
         }
-        heap.into_sorted()
+        Ok(heap.into_sorted())
     }
 }

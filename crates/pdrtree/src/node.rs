@@ -21,11 +21,16 @@
 //!   discretized b: u16 n ‖ n × u32 cat ‖ ⌈n·b/8⌉ code bytes (rounded UP)
 //!   signature w:   w × f32
 //! ```
+//!
+//! Deserialization never trusts the page: a node image that does not parse
+//! (bad type byte, counts pointing past the page, malformed UDA) is a
+//! typed [`StorageError::Corrupt`], not a panic — a corrupted page fails
+//! the query that touched it and nothing else.
 
 use uncat_core::uda::Entry;
 use uncat_core::{codec, CatId, Prob, Uda};
 use uncat_storage::page::field;
-use uncat_storage::{BufferPool, PageId, PAGE_SIZE};
+use uncat_storage::{BufferPool, PageId, Result, StorageError, PAGE_SIZE};
 
 use crate::boundary::Boundary;
 use crate::config::Compression;
@@ -152,10 +157,20 @@ fn encode_boundary(b: &Boundary, compression: Compression, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_boundary(buf: &[u8], compression: Compression) -> (Boundary, usize) {
+const BAD_BOUNDARY: StorageError =
+    StorageError::Corrupt("PDR boundary encoding points past its page");
+
+fn decode_boundary(buf: &[u8], compression: Compression) -> Result<(Boundary, usize)> {
     match compression {
         Compression::None => {
-            let n = u16::from_le_bytes(buf[..2].try_into().expect("header")) as usize;
+            let n = u16::from_le_bytes(
+                buf.get(..2)
+                    .and_then(|b| b.try_into().ok())
+                    .ok_or(BAD_BOUNDARY)?,
+            ) as usize;
+            if buf.len() < 2 + n * 8 {
+                return Err(BAD_BOUNDARY);
+            }
             let mut v = Vec::with_capacity(n);
             let mut off = 2;
             for _ in 0..n {
@@ -164,17 +179,24 @@ fn decode_boundary(buf: &[u8], compression: Compression) -> (Boundary, usize) {
                 v.push(Entry { cat, prob });
                 off += 8;
             }
-            (Boundary::Sparse(v), off)
+            Ok((Boundary::Sparse(v), off))
         }
         Compression::Discretized { bits } => {
-            let n = u16::from_le_bytes(buf[..2].try_into().expect("header")) as usize;
+            let n = u16::from_le_bytes(
+                buf.get(..2)
+                    .and_then(|b| b.try_into().ok())
+                    .ok_or(BAD_BOUNDARY)?,
+            ) as usize;
+            let code_bytes = (n * bits as usize).div_ceil(8);
+            if buf.len() < 2 + n * 4 + code_bytes {
+                return Err(BAD_BOUNDARY);
+            }
             let mut cats = Vec::with_capacity(n);
             let mut off = 2;
             for _ in 0..n {
                 cats.push(CatId(field::get_u32(buf, off)));
                 off += 4;
             }
-            let code_bytes = (n * bits as usize).div_ceil(8);
             let codes = &buf[off..off + code_bytes];
             off += code_bytes;
             let mut v = Vec::with_capacity(n);
@@ -191,30 +213,36 @@ fn decode_boundary(buf: &[u8], compression: Compression) -> (Boundary, usize) {
                 let code = (acc & mask) as u8;
                 acc >>= bits;
                 nbits -= bits as u32;
-                v.push(Entry { cat, prob: dequantize(code, bits) });
+                v.push(Entry {
+                    cat,
+                    prob: dequantize(code, bits),
+                });
             }
-            (Boundary::Sparse(v), off)
+            Ok((Boundary::Sparse(v), off))
         }
         Compression::Signature { width } => {
+            if buf.len() < width as usize * 4 {
+                return Err(BAD_BOUNDARY);
+            }
             let mut vals = Vec::with_capacity(width as usize);
             let mut off = 0;
             for _ in 0..width {
                 vals.push(field::get_f32(buf, off));
                 off += 4;
             }
-            (Boundary::Signature(vals), off)
+            Ok((Boundary::Signature(vals), off))
         }
     }
 }
 
 /// Write a node image onto its page. Panics if the node does not fit —
-/// callers split before writing.
+/// callers split before writing. I/O failures surface as `Err`.
 pub(crate) fn write_node(
     pool: &mut BufferPool,
     pid: PageId,
     node: &Node,
     compression: Compression,
-) {
+) -> Result<()> {
     let mut bytes = Vec::with_capacity(node.serialized_size(compression));
     match node {
         Node::Leaf(entries) => {
@@ -236,44 +264,60 @@ pub(crate) fn write_node(
             }
         }
     }
-    assert!(bytes.len() <= PAGE_SIZE, "node of {} bytes overflows its page", bytes.len());
+    assert!(
+        bytes.len() <= PAGE_SIZE,
+        "node of {} bytes overflows its page",
+        bytes.len()
+    );
     pool.write(pid, |b| {
         b[..bytes.len()].copy_from_slice(&bytes);
-    });
+    })
 }
 
-/// Read a node image from its page.
-pub(crate) fn read_node(pool: &mut BufferPool, pid: PageId, compression: Compression) -> Node {
+/// Read a node image from its page. A malformed image is
+/// [`StorageError::Corrupt`].
+pub(crate) fn read_node(
+    pool: &mut BufferPool,
+    pid: PageId,
+    compression: Compression,
+) -> Result<Node> {
     pool.read(pid, |b| {
         let ty = b[0];
         let count = field::get_u16(&b[..], 2) as usize;
         let mut off = NODE_HDR;
         match ty {
             TYPE_LEAF => {
-                let mut entries = Vec::with_capacity(count);
+                let mut entries = Vec::with_capacity(count.min(PAGE_SIZE / 16));
                 for _ in 0..count {
+                    if off + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupt("PDR leaf entry past its page"));
+                    }
                     let tid = field::get_u64(&b[..], off);
                     off += 8;
-                    let (uda, used) = codec::decode(&b[off..]).expect("stored UDA decodes");
+                    let (uda, used) = codec::decode(&b[off..])
+                        .map_err(|_| StorageError::Corrupt("stored UDA does not decode"))?;
                     off += used;
                     entries.push(LeafEntry { tid, uda });
                 }
-                Node::Leaf(entries)
+                Ok(Node::Leaf(entries))
             }
             TYPE_INTERNAL => {
-                let mut children = Vec::with_capacity(count);
+                let mut children = Vec::with_capacity(count.min(PAGE_SIZE / 16));
                 for _ in 0..count {
+                    if off + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupt("PDR child entry past its page"));
+                    }
                     let pid = PageId(field::get_u64(&b[..], off));
                     off += 8;
-                    let (boundary, used) = decode_boundary(&b[off..], compression);
+                    let (boundary, used) = decode_boundary(&b[off..], compression)?;
                     off += used;
                     children.push(ChildEntry { pid, boundary });
                 }
-                Node::Internal(children)
+                Ok(Node::Internal(children))
             }
-            other => panic!("corrupt PDR node type {other}"),
+            _ => Err(StorageError::Corrupt("unknown PDR node type byte")),
         }
-    })
+    })?
 }
 
 #[cfg(test)]
@@ -292,19 +336,25 @@ mod tests {
     #[test]
     fn leaf_roundtrip() {
         let mut p = pool();
-        let pid = p.allocate();
+        let pid = p.allocate().unwrap();
         let node = Node::Leaf(vec![
-            LeafEntry { tid: 1, uda: uda(&[(0, 0.5), (7, 0.5)]) },
-            LeafEntry { tid: 99, uda: uda(&[(3, 1.0)]) },
+            LeafEntry {
+                tid: 1,
+                uda: uda(&[(0, 0.5), (7, 0.5)]),
+            },
+            LeafEntry {
+                tid: 99,
+                uda: uda(&[(3, 1.0)]),
+            },
         ]);
-        write_node(&mut p, pid, &node, Compression::None);
-        assert_eq!(read_node(&mut p, pid, Compression::None), node);
+        write_node(&mut p, pid, &node, Compression::None).unwrap();
+        assert_eq!(read_node(&mut p, pid, Compression::None).unwrap(), node);
     }
 
     #[test]
     fn internal_roundtrip_uncompressed() {
         let mut p = pool();
-        let pid = p.allocate();
+        let pid = p.allocate().unwrap();
         let node = Node::Internal(vec![
             ChildEntry {
                 pid: PageId(5),
@@ -315,25 +365,41 @@ mod tests {
                 boundary: Boundary::of_uda(&uda(&[(1, 1.0)]), Compression::None),
             },
         ]);
-        write_node(&mut p, pid, &node, Compression::None);
-        assert_eq!(read_node(&mut p, pid, Compression::None), node);
+        write_node(&mut p, pid, &node, Compression::None).unwrap();
+        assert_eq!(read_node(&mut p, pid, Compression::None).unwrap(), node);
     }
 
     #[test]
     fn discretized_roundtrip_only_rounds_up() {
         let mut p = pool();
-        let pid = p.allocate();
+        let pid = p.allocate().unwrap();
         let cfg = Compression::Discretized { bits: 2 };
         let orig = Boundary::Sparse(vec![
-            Entry { cat: CatId(0), prob: 0.62 },
-            Entry { cat: CatId(5), prob: 0.10 },
-            Entry { cat: CatId(6), prob: 1.0 },
+            Entry {
+                cat: CatId(0),
+                prob: 0.62,
+            },
+            Entry {
+                cat: CatId(5),
+                prob: 0.10,
+            },
+            Entry {
+                cat: CatId(6),
+                prob: 1.0,
+            },
         ]);
-        let node = Node::Internal(vec![ChildEntry { pid: PageId(1), boundary: orig.clone() }]);
-        write_node(&mut p, pid, &node, cfg);
-        let back = read_node(&mut p, pid, cfg);
-        let Node::Internal(children) = back else { panic!("internal expected") };
-        let Boundary::Sparse(v) = &children[0].boundary else { panic!("sparse expected") };
+        let node = Node::Internal(vec![ChildEntry {
+            pid: PageId(1),
+            boundary: orig.clone(),
+        }]);
+        write_node(&mut p, pid, &node, cfg).unwrap();
+        let back = read_node(&mut p, pid, cfg).unwrap();
+        let Node::Internal(children) = back else {
+            panic!("internal expected")
+        };
+        let Boundary::Sparse(v) = &children[0].boundary else {
+            panic!("sparse expected")
+        };
         // Paper's example: 0.62 → 0.75 in 2 bits.
         assert_eq!(v[0].prob, 0.75);
         assert_eq!(v[1].prob, 0.25);
@@ -346,8 +412,12 @@ mod tests {
 
     #[test]
     fn discretized_is_smaller_than_exact() {
-        let v: Vec<Entry> =
-            (0..100).map(|i| Entry { cat: CatId(i), prob: 0.5 }).collect();
+        let v: Vec<Entry> = (0..100)
+            .map(|i| Entry {
+                cat: CatId(i),
+                prob: 0.5,
+            })
+            .collect();
         let b = Boundary::Sparse(v);
         let exact = boundary_size(&b, Compression::None);
         let disc = boundary_size(&b, Compression::Discretized { bits: 2 });
@@ -360,13 +430,18 @@ mod tests {
     #[test]
     fn signature_roundtrip() {
         let mut p = pool();
-        let pid = p.allocate();
+        let pid = p.allocate().unwrap();
         let cfg = Compression::Signature { width: 8 };
         let b = Boundary::of_uda(&uda(&[(1, 0.2), (9, 0.5), (17, 0.3)]), cfg);
-        let node = Node::Internal(vec![ChildEntry { pid: PageId(2), boundary: b.clone() }]);
-        write_node(&mut p, pid, &node, cfg);
-        let back = read_node(&mut p, pid, cfg);
-        let Node::Internal(children) = back else { panic!("internal expected") };
+        let node = Node::Internal(vec![ChildEntry {
+            pid: PageId(2),
+            boundary: b.clone(),
+        }]);
+        write_node(&mut p, pid, &node, cfg).unwrap();
+        let back = read_node(&mut p, pid, cfg).unwrap();
+        let Node::Internal(children) = back else {
+            panic!("internal expected")
+        };
         assert_eq!(children[0].boundary, b);
     }
 
@@ -389,13 +464,46 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_node_images_are_typed_errors() {
+        let mut p = pool();
+        let pid = p.allocate().unwrap();
+        // Unknown type byte.
+        p.write(pid, |b| b[0] = 0xEE).unwrap();
+        assert_eq!(
+            read_node(&mut p, pid, Compression::None),
+            Err(StorageError::Corrupt("unknown PDR node type byte"))
+        );
+        // Internal node whose child count walks past the page.
+        p.write(pid, |b| {
+            b[0] = 1; // internal
+            b[1] = 0;
+            b[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+        })
+        .unwrap();
+        assert!(read_node(&mut p, pid, Compression::None).is_err());
+        // Leaf whose entries claim a UDA that never decodes.
+        p.write(pid, |b| {
+            b[0] = 0; // leaf
+            b[2..4].copy_from_slice(&400u16.to_le_bytes());
+            for x in b[4..].iter_mut() {
+                *x = 0xFF;
+            }
+        })
+        .unwrap();
+        assert!(read_node(&mut p, pid, Compression::None).is_err());
+    }
+
+    #[test]
     #[should_panic(expected = "overflows its page")]
     fn oversized_node_panics() {
         let mut p = pool();
-        let pid = p.allocate();
+        let pid = p.allocate().unwrap();
         let entries: Vec<LeafEntry> = (0..2000)
-            .map(|i| LeafEntry { tid: i, uda: uda(&[(0, 0.5), (1, 0.25), (2, 0.25)]) })
+            .map(|i| LeafEntry {
+                tid: i,
+                uda: uda(&[(0, 0.5), (1, 0.25), (2, 0.25)]),
+            })
             .collect();
-        write_node(&mut p, pid, &Node::Leaf(entries), Compression::None);
+        let _ = write_node(&mut p, pid, &Node::Leaf(entries), Compression::None);
     }
 }

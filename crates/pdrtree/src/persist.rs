@@ -3,41 +3,37 @@
 //!
 //! Unlike the inverted index, the PDR-tree keeps almost nothing in memory
 //! — just the root page, the configuration, and counters — so its
-//! snapshot is a few dozen bytes.
+//! snapshot is a few dozen bytes. [`PdrTree::save`] wraps the blob in the
+//! crash-atomic snapshot file protocol (`uncat_storage::snapshot::commit`):
+//! a torn or corrupted save is detected on [`PdrTree::load`] and the
+//! previous file survives untouched.
+
+use std::path::Path;
 
 use uncat_core::{Divergence, Domain};
-use uncat_storage::snapshot::{Reader, SnapshotError, Writer};
+use uncat_storage::snapshot::{
+    self, read_domain_parts, write_domain_parts, Reader, SnapshotError, Writer,
+};
+use uncat_storage::SnapshotFileError;
 
 use crate::config::{Compression, PdrConfig, SplitStrategy};
 use crate::tree::PdrTree;
 
 const MAGIC: &[u8; 4] = b"UPD1";
 
+/// Serialize a domain (labels or anonymous cardinality) — shared encoding
+/// with the inverted index via `uncat_storage::snapshot`.
 fn write_domain(w: &mut Writer, d: &Domain) {
-    if d.is_labeled() {
-        w.u8(1);
-        w.u32(d.size());
-        for l in d.labels() {
-            w.str(l);
-        }
-    } else {
-        w.u8(0);
-        w.u32(d.size());
-    }
+    let labels = d.is_labeled().then(|| d.labels());
+    write_domain_parts(w, d.size(), labels);
 }
 
 fn read_domain(r: &mut Reader<'_>) -> Result<Domain, SnapshotError> {
-    let labeled = r.u8()? == 1;
-    let size = r.u32()?;
-    if labeled {
-        let mut labels = Vec::with_capacity(size as usize);
-        for _ in 0..size {
-            labels.push(r.str()?);
-        }
-        Ok(Domain::from_labels(labels))
-    } else {
-        Ok(Domain::anonymous(size))
-    }
+    let (size, labels) = read_domain_parts(r)?;
+    Ok(match labels {
+        Some(l) => Domain::from_labels(l),
+        None => Domain::anonymous(size),
+    })
 }
 
 fn write_config(w: &mut Writer, c: &PdrConfig) {
@@ -90,8 +86,15 @@ fn read_config(r: &mut Reader<'_>) -> Result<PdrConfig, SnapshotError> {
     };
     let balance_num = r.u32()? as usize;
     let balance_den = r.u32()? as usize;
-    let cfg = PdrConfig { divergence, split, compression, balance_num, balance_den };
-    cfg.validate().map_err(|_| SnapshotError("invalid configuration"))?;
+    let cfg = PdrConfig {
+        divergence,
+        split,
+        compression,
+        balance_num,
+        balance_den,
+    };
+    cfg.validate()
+        .map_err(|_| SnapshotError("invalid configuration"))?;
     Ok(cfg)
 }
 
@@ -121,6 +124,20 @@ impl PdrTree {
         }
         Ok(PdrTree::from_raw(root, config, domain, len, depth))
     }
+
+    /// Commit the metadata snapshot to `path` atomically (temp file,
+    /// fsync, rename): a crash mid-save leaves the previous snapshot
+    /// loadable. Flush the page store first.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotFileError> {
+        snapshot::commit(path, &self.snapshot())
+    }
+
+    /// Load a tree saved by [`PdrTree::save`]. Truncated, corrupt, or
+    /// wrong-version files are rejected with a typed error.
+    pub fn load(path: &Path) -> Result<PdrTree, SnapshotFileError> {
+        let payload = snapshot::load(path)?;
+        Ok(PdrTree::open(&payload)?)
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +145,7 @@ mod tests {
     use super::*;
     use uncat_core::query::EqQuery;
     use uncat_core::{CatId, Uda};
-    use uncat_storage::{BufferPool, InMemoryDisk};
+    use uncat_storage::{BufferPool, FileDisk, InMemoryDisk};
 
     fn uda(pairs: &[(u32, f32)]) -> Uda {
         Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
@@ -156,8 +173,9 @@ mod tests {
                 cfg,
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
-            );
-            pool.flush();
+            )
+            .unwrap();
+            pool.flush().unwrap();
             tree.snapshot()
         };
 
@@ -165,9 +183,54 @@ mod tests {
         assert_eq!(tree.len(), 500);
         assert_eq!(*tree.config(), cfg, "configuration survives");
         let mut pool = BufferPool::with_capacity(store, 128);
-        assert_eq!(tree.check_invariants(&mut pool), 500);
-        let out = tree.petq(&mut pool, &EqQuery::new(uda(&[(0, 1.0)]), 0.5));
+        assert_eq!(tree.check_invariants(&mut pool).unwrap(), 500);
+        let out = tree
+            .petq(&mut pool, &EqQuery::new(uda(&[(0, 1.0)]), 0.5))
+            .unwrap();
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn save_load_roundtrip_over_a_real_file() {
+        let dir = std::env::temp_dir();
+        let pages = dir.join(format!("uncat-pdr-persist-{}.pages", std::process::id()));
+        let snap = dir.join(format!("uncat-pdr-persist-{}.snap", std::process::id()));
+        struct Cleanup(Vec<std::path::PathBuf>);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                for p in &self.0 {
+                    let _ = std::fs::remove_file(p);
+                }
+            }
+        }
+        let _guard = Cleanup(vec![pages.clone(), snap.clone()]);
+
+        let data: Vec<(u64, Uda)> = (0..200u64)
+            .map(|i| (i, uda(&[((i % 5) as u32, 1.0)])))
+            .collect();
+        {
+            let store: uncat_storage::SharedStore =
+                std::sync::Arc::new(FileDisk::create(&pages).expect("create"));
+            let mut pool = BufferPool::with_capacity(store, 64);
+            let tree = PdrTree::build(
+                Domain::anonymous(5),
+                PdrConfig::default(),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap();
+            pool.flush().unwrap();
+            tree.save(&snap).expect("atomic snapshot commit");
+        }
+        // Process "restart": reopen the page file and the snapshot file.
+        let store: uncat_storage::SharedStore =
+            std::sync::Arc::new(FileDisk::open(&pages).expect("open"));
+        let tree = PdrTree::load(&snap).expect("snapshot loads");
+        let mut pool = BufferPool::with_capacity(store, 64);
+        let out = tree
+            .petq(&mut pool, &EqQuery::new(uda(&[(2, 1.0)]), 0.9))
+            .unwrap();
+        assert_eq!(out.len(), 40);
     }
 
     #[test]

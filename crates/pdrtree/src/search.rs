@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 use uncat_core::equality::{eq_prob, meets_threshold, THRESHOLD_EPS};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
-use uncat_storage::{BufferPool, PageId};
+use uncat_storage::{BufferPool, PageId, Result};
 
 use crate::node::{read_node, Node};
 use crate::tree::PdrTree;
@@ -20,11 +20,11 @@ use crate::tree::PdrTree;
 impl PdrTree {
     /// Evaluate a PETQ, returning qualifying tuples with exact equality
     /// probabilities in canonical descending order.
-    pub fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    pub fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         let mut stack = vec![self.root()];
         while let Some(pid) = stack.pop() {
-            match read_node(pool, pid, self.config().compression) {
+            match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
                     for e in &entries {
                         let pr = eq_prob(&query.q, &e.uda);
@@ -46,21 +46,21 @@ impl PdrTree {
             }
         }
         sort_matches_desc(&mut out);
-        out
+        Ok(out)
     }
 
     /// PEQ: all tuples with non-zero equality probability.
-    pub fn peq(&self, pool: &mut BufferPool, q: &uncat_core::Uda) -> Vec<Match> {
-        let mut out = self.petq(pool, &EqQuery::new(q.clone(), f64::MIN_POSITIVE));
+    pub fn peq(&self, pool: &mut BufferPool, q: &uncat_core::Uda) -> Result<Vec<Match>> {
+        let mut out = self.petq(pool, &EqQuery::new(q.clone(), f64::MIN_POSITIVE))?;
         out.retain(|m| m.score > 0.0);
-        out
+        Ok(out)
     }
 
     /// The `k` tuples with the highest equality probability, in canonical
     /// order. Best-first traversal: nodes are visited in decreasing
     /// upper-bound order, so the search stops as soon as the best
     /// unexplored bound cannot beat the current k-th best probability.
-    pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+    pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
         struct Pending {
             bound: f64,
             pid: PageId,
@@ -73,7 +73,9 @@ impl PdrTree {
         impl Eq for Pending {}
         impl Ord for Pending {
             fn cmp(&self, other: &Self) -> Ordering {
-                self.bound.partial_cmp(&other.bound).expect("bounds are finite")
+                self.bound
+                    .partial_cmp(&other.bound)
+                    .expect("bounds are finite")
             }
         }
         impl PartialOrd for Pending {
@@ -83,16 +85,19 @@ impl PdrTree {
         }
 
         if query.k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut heap = TopKHeap::new(query.k, 0.0);
         let mut frontier = BinaryHeap::new();
-        frontier.push(Pending { bound: f64::INFINITY, pid: self.root() });
+        frontier.push(Pending {
+            bound: f64::INFINITY,
+            pid: self.root(),
+        });
         while let Some(Pending { bound, pid }) = frontier.pop() {
             if heap.is_full() && bound < heap.threshold() - THRESHOLD_EPS {
                 break; // no unexplored subtree can displace the k-th best
             }
-            match read_node(pool, pid, self.config().compression) {
+            match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
                     for e in &entries {
                         let pr = eq_prob(&query.q, &e.uda);
@@ -105,13 +110,16 @@ impl PdrTree {
                     for c in &children {
                         let b = c.boundary.eq_upper_bound(&query.q);
                         if !heap.is_full() || b >= heap.threshold() - THRESHOLD_EPS {
-                            frontier.push(Pending { bound: b, pid: c.pid });
+                            frontier.push(Pending {
+                                bound: b,
+                                pid: c.pid,
+                            });
                         }
                     }
                 }
             }
         }
-        heap.into_sorted()
+        Ok(heap.into_sorted())
     }
 }
 
@@ -130,31 +138,43 @@ mod tests {
     #[test]
     fn queries_on_empty_tree_return_nothing() {
         let mut p = pool();
-        let t = PdrTree::new(Domain::anonymous(3), PdrConfig::default(), &mut p);
+        let t = PdrTree::new(Domain::anonymous(3), PdrConfig::default(), &mut p).unwrap();
         let q = Uda::certain(CatId(0));
-        assert!(t.petq(&mut p, &EqQuery::new(q.clone(), 0.1)).is_empty());
-        assert!(t.top_k(&mut p, &TopKQuery::new(q.clone(), 5)).is_empty());
-        assert!(t.peq(&mut p, &q).is_empty());
+        assert!(t
+            .petq(&mut p, &EqQuery::new(q.clone(), 0.1))
+            .unwrap()
+            .is_empty());
+        assert!(t
+            .top_k(&mut p, &TopKQuery::new(q.clone(), 5))
+            .unwrap()
+            .is_empty());
+        assert!(t.peq(&mut p, &q).unwrap().is_empty());
     }
 
     #[test]
     fn top_k_zero_returns_nothing() {
         let mut p = pool();
-        let mut t = PdrTree::new(Domain::anonymous(3), PdrConfig::default(), &mut p);
-        t.insert(&mut p, 1, &Uda::certain(CatId(0)));
-        assert!(t.top_k(&mut p, &TopKQuery::new(Uda::certain(CatId(0)), 0)).is_empty());
+        let mut t = PdrTree::new(Domain::anonymous(3), PdrConfig::default(), &mut p).unwrap();
+        t.insert(&mut p, 1, &Uda::certain(CatId(0))).unwrap();
+        assert!(t
+            .top_k(&mut p, &TopKQuery::new(Uda::certain(CatId(0)), 0))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn query_disjoint_from_data_is_empty_and_cheap() {
         let mut p = pool();
-        let mut t = PdrTree::new(Domain::anonymous(10), PdrConfig::default(), &mut p);
+        let mut t = PdrTree::new(Domain::anonymous(10), PdrConfig::default(), &mut p).unwrap();
         for i in 0..50u64 {
-            t.insert(&mut p, i, &Uda::certain(CatId((i % 3) as u32)));
+            t.insert(&mut p, i, &Uda::certain(CatId((i % 3) as u32)))
+                .unwrap();
         }
-        p.clear();
+        p.clear().unwrap();
         p.reset_stats();
-        let out = t.petq(&mut p, &EqQuery::new(Uda::certain(CatId(9)), 0.01));
+        let out = t
+            .petq(&mut p, &EqQuery::new(Uda::certain(CatId(9)), 0.01))
+            .unwrap();
         assert!(out.is_empty());
         // Root-only visit: boundary prunes immediately.
         assert!(p.stats().physical_reads <= 2, "{:?}", p.stats());

@@ -31,7 +31,13 @@ pub(crate) fn bottom_up(
     let mut clusters: Vec<Option<Cluster>> = reps
         .iter()
         .enumerate()
-        .map(|(i, b)| Some(Cluster { members: vec![i], boundary: b.clone(), bytes: sizes[i] }))
+        .map(|(i, b)| {
+            Some(Cluster {
+                members: vec![i],
+                boundary: b.clone(),
+                bytes: sizes[i],
+            })
+        })
         .collect();
     let mut alive = n;
 
@@ -50,9 +56,13 @@ pub(crate) fn bottom_up(
         // mergeable pair exists; the byte budget is restored afterwards.)
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..n {
-            let Some(ci) = clusters[i].as_ref() else { continue };
+            let Some(ci) = clusters[i].as_ref() else {
+                continue;
+            };
             for j in (i + 1)..n {
-                let Some(cj) = clusters[j].as_ref() else { continue };
+                let Some(cj) = clusters[j].as_ref() else {
+                    continue;
+                };
                 if ci.members.len() + cj.members.len() > cap {
                     continue;
                 }
@@ -83,11 +93,7 @@ pub(crate) fn bottom_up(
         }
     }
 
-    let mut sides: Vec<Vec<usize>> = clusters
-        .into_iter()
-        .flatten()
-        .map(|c| c.members)
-        .collect();
+    let mut sides: Vec<Vec<usize>> = clusters.into_iter().flatten().map(|c| c.members).collect();
     // `break` above (no mergeable pair) can only leave two sides here
     // because a mergeable pair always exists while more than two remain.
     assert_eq!(sides.len(), 2, "agglomeration must end with two clusters");

@@ -29,7 +29,10 @@ pub(crate) struct Partition {
 impl Partition {
     /// Sanity-check: a real two-way partition of `n` items.
     pub(crate) fn validate(&self, n: usize) {
-        assert!(!self.left.is_empty() && !self.right.is_empty(), "degenerate split");
+        assert!(
+            !self.left.is_empty() && !self.right.is_empty(),
+            "degenerate split"
+        );
         assert_eq!(self.left.len() + self.right.len(), n, "split lost entries");
         let mut seen = vec![false; n];
         for &i in self.left.iter().chain(&self.right) {
@@ -76,7 +79,11 @@ pub(super) fn rebalance_bytes(
         if lb <= byte_budget && rb <= byte_budget {
             return;
         }
-        let (from, to) = if lb > rb { (&mut *left, &mut *right) } else { (&mut *right, &mut *left) };
+        let (from, to) = if lb > rb {
+            (&mut *left, &mut *right)
+        } else {
+            (&mut *right, &mut *left)
+        };
         assert!(from.len() > 1, "cannot rebalance a single oversized entry");
         // Move the smallest entry: least likely to push the target over.
         let (k, _) = from
@@ -117,7 +124,11 @@ mod tests {
     }
 
     fn cfg(split: SplitStrategy) -> PdrConfig {
-        PdrConfig { split, divergence: Divergence::Kl, ..PdrConfig::default() }
+        PdrConfig {
+            split,
+            divergence: Divergence::Kl,
+            ..PdrConfig::default()
+        }
     }
 
     #[test]
@@ -146,7 +157,10 @@ mod tests {
         for s in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
             let p = split(&reps, &sizes, 10_000, &cfg(s));
             let cap = cfg(s).balance_cap(10);
-            assert!(p.left.len() <= cap && p.right.len() <= cap, "{s:?} violated balance");
+            assert!(
+                p.left.len() <= cap && p.right.len() <= cap,
+                "{s:?} violated balance"
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! The PDR-tree structure: creation, insertion, deletion.
 
 use uncat_core::{Domain, Uda};
-use uncat_storage::{BufferPool, PageId, PAGE_SIZE};
+use uncat_storage::{BufferPool, PageId, Result, PAGE_SIZE};
 
 use crate::boundary::Boundary;
 use crate::config::PdrConfig;
@@ -19,6 +19,10 @@ pub(crate) const NODE_BUDGET: usize = PAGE_SIZE - NODE_HDR;
 
 /// A Probabilistic Distribution R-tree over one uncertain attribute.
 ///
+/// Every operation that touches pages is fallible: an I/O error or a
+/// corrupted page surfaces as [`uncat_storage::StorageError`] from the one
+/// call that hit it.
+///
 /// ```
 /// use uncat_core::{CatId, Domain, EqQuery, Uda};
 /// use uncat_pdrtree::{PdrConfig, PdrTree};
@@ -32,9 +36,12 @@ pub(crate) const NODE_BUDGET: usize = PAGE_SIZE - NODE_HDR;
 ///     PdrConfig::default(),
 ///     &mut pool,
 ///     [(0u64, &t0), (1u64, &t1)],
-/// );
+/// )
+/// .expect("in-memory build");
 ///
-/// let hits = tree.petq(&mut pool, &EqQuery::new(Uda::certain(CatId(0)), 0.5));
+/// let hits = tree
+///     .petq(&mut pool, &EqQuery::new(Uda::certain(CatId(0)), 0.5))
+///     .expect("in-memory query");
 /// assert_eq!(hits.len(), 1);
 /// assert!((hits[0].score - 0.8).abs() < 1e-6);
 /// # Ok::<(), uncat_core::Error>(())
@@ -51,11 +58,17 @@ impl PdrTree {
     /// Create an empty tree.
     ///
     /// Panics if `config` is invalid (see [`PdrConfig::validate`]).
-    pub fn new(domain: Domain, config: PdrConfig, pool: &mut BufferPool) -> PdrTree {
+    pub fn new(domain: Domain, config: PdrConfig, pool: &mut BufferPool) -> Result<PdrTree> {
         config.validate().expect("invalid PDR-tree configuration");
-        let root = pool.allocate();
-        write_node(pool, root, &Node::Leaf(Vec::new()), config.compression);
-        PdrTree { root, config, domain, len: 0, depth: 1 }
+        let root = pool.allocate()?;
+        write_node(pool, root, &Node::Leaf(Vec::new()), config.compression)?;
+        Ok(PdrTree {
+            root,
+            config,
+            domain,
+            len: 0,
+            depth: 1,
+        })
     }
 
     /// Build a tree by inserting every tuple.
@@ -64,15 +77,15 @@ impl PdrTree {
         config: PdrConfig,
         pool: &mut BufferPool,
         tuples: I,
-    ) -> PdrTree
+    ) -> Result<PdrTree>
     where
         I: IntoIterator<Item = (u64, &'a Uda)>,
     {
-        let mut t = PdrTree::new(domain, config, pool);
+        let mut t = PdrTree::new(domain, config, pool)?;
         for (tid, uda) in tuples {
-            t.insert(pool, tid, uda);
+            t.insert(pool, tid, uda)?;
         }
-        t
+        Ok(t)
     }
 
     /// Number of stored distributions.
@@ -112,23 +125,35 @@ impl PdrTree {
         len: u64,
         depth: u32,
     ) -> PdrTree {
-        PdrTree { root, config, domain, len, depth }
+        PdrTree {
+            root,
+            config,
+            domain,
+            len,
+            depth,
+        }
     }
 
     /// Insert a distribution.
-    pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) {
+    pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<()> {
         assert!(
             leaf_entry_size(uda) <= NODE_BUDGET / 2,
             "UDA too wide to share a page with a sibling"
         );
-        if let Some((left, right)) = self.insert_rec(pool, self.root, tid, uda) {
+        if let Some((left, right)) = self.insert_rec(pool, self.root, tid, uda)? {
             // Root split: grow a new root above.
-            let new_root = pool.allocate();
-            write_node(pool, new_root, &Node::Internal(vec![left, right]), self.config.compression);
+            let new_root = pool.allocate()?;
+            write_node(
+                pool,
+                new_root,
+                &Node::Internal(vec![left, right]),
+                self.config.compression,
+            )?;
             self.root = new_root;
             self.depth += 1;
         }
         self.len += 1;
+        Ok(())
     }
 
     /// Recursive insert. `Some((l, r))` means the node at `pid` split: the
@@ -140,18 +165,23 @@ impl PdrTree {
         pid: PageId,
         tid: u64,
         uda: &Uda,
-    ) -> Option<(ChildEntry, ChildEntry)> {
+    ) -> Result<Option<(ChildEntry, ChildEntry)>> {
         let compression = self.config.compression;
-        match read_node(pool, pid, compression) {
+        match read_node(pool, pid, compression)? {
             Node::Leaf(mut entries) => {
-                entries.push(LeafEntry { tid, uda: clone_uda(uda) });
+                entries.push(LeafEntry {
+                    tid,
+                    uda: clone_uda(uda),
+                });
                 let node = Node::Leaf(entries);
                 if node.fits(compression) && node.count() <= MAX_NODE_ENTRIES {
-                    write_node(pool, pid, &node, compression);
-                    return None;
+                    write_node(pool, pid, &node, compression)?;
+                    return Ok(None);
                 }
-                let Node::Leaf(entries) = node else { unreachable!() };
-                Some(self.split_leaf(pool, pid, entries))
+                let Node::Leaf(entries) = node else {
+                    unreachable!()
+                };
+                Ok(Some(self.split_leaf(pool, pid, entries)?))
             }
             Node::Internal(mut children) => {
                 let best = self.choose_child(&children, uda);
@@ -162,17 +192,19 @@ impl PdrTree {
                 // can overflow the page — sparse boundaries grow when the
                 // UDA brings new categories — so even the no-child-split
                 // path may need to split this node.
-                if let Some((l, r)) = self.insert_rec(pool, child_pid, tid, uda) {
+                if let Some((l, r)) = self.insert_rec(pool, child_pid, tid, uda)? {
                     children[best] = l;
                     children.push(r);
                 }
                 let node = Node::Internal(children);
                 if node.fits(compression) && node.count() <= MAX_NODE_ENTRIES {
-                    write_node(pool, pid, &node, compression);
-                    return None;
+                    write_node(pool, pid, &node, compression)?;
+                    return Ok(None);
                 }
-                let Node::Internal(children) = node else { unreachable!() };
-                Some(self.split_internal(pool, pid, children))
+                let Node::Internal(children) = node else {
+                    unreachable!()
+                };
+                Ok(Some(self.split_internal(pool, pid, children)?))
             }
         }
     }
@@ -193,7 +225,9 @@ impl PdrTree {
                 best_div = f64::NAN; // computed lazily below when tied
             } else if (inc - best_inc).abs() <= 1e-12 {
                 if best_div.is_nan() {
-                    best_div = children[best].boundary.divergence_to(uda, self.config.divergence);
+                    best_div = children[best]
+                        .boundary
+                        .divergence_to(uda, self.config.divergence);
                 }
                 let div = c.boundary.divergence_to(uda, self.config.divergence);
                 if div < best_div {
@@ -210,10 +244,12 @@ impl PdrTree {
         pool: &mut BufferPool,
         pid: PageId,
         entries: Vec<LeafEntry>,
-    ) -> (ChildEntry, ChildEntry) {
+    ) -> Result<(ChildEntry, ChildEntry)> {
         let compression = self.config.compression;
-        let reps: Vec<Boundary> =
-            entries.iter().map(|e| Boundary::of_uda(&e.uda, compression)).collect();
+        let reps: Vec<Boundary> = entries
+            .iter()
+            .map(|e| Boundary::of_uda(&e.uda, compression))
+            .collect();
         let sizes: Vec<usize> = entries.iter().map(|e| leaf_entry_size(&e.uda)).collect();
         let part = split::split(&reps, &sizes, NODE_BUDGET, &self.config);
 
@@ -229,13 +265,19 @@ impl PdrTree {
         let (left_entries, left_b) = take(&part.left);
         let (right_entries, right_b) = take(&part.right);
 
-        let right_pid = pool.allocate();
-        write_node(pool, pid, &Node::Leaf(left_entries), compression);
-        write_node(pool, right_pid, &Node::Leaf(right_entries), compression);
-        (
-            ChildEntry { pid, boundary: left_b },
-            ChildEntry { pid: right_pid, boundary: right_b },
-        )
+        let right_pid = pool.allocate()?;
+        write_node(pool, pid, &Node::Leaf(left_entries), compression)?;
+        write_node(pool, right_pid, &Node::Leaf(right_entries), compression)?;
+        Ok((
+            ChildEntry {
+                pid,
+                boundary: left_b,
+            },
+            ChildEntry {
+                pid: right_pid,
+                boundary: right_b,
+            },
+        ))
     }
 
     fn split_internal(
@@ -243,11 +285,13 @@ impl PdrTree {
         pool: &mut BufferPool,
         pid: PageId,
         children: Vec<ChildEntry>,
-    ) -> (ChildEntry, ChildEntry) {
+    ) -> Result<(ChildEntry, ChildEntry)> {
         let compression = self.config.compression;
         let reps: Vec<Boundary> = children.iter().map(|c| c.boundary.clone()).collect();
-        let sizes: Vec<usize> =
-            children.iter().map(|c| 8 + boundary_size(&c.boundary, compression)).collect();
+        let sizes: Vec<usize> = children
+            .iter()
+            .map(|c| 8 + boundary_size(&c.boundary, compression))
+            .collect();
         let part = split::split(&reps, &sizes, NODE_BUDGET, &self.config);
 
         let take = |idxs: &[usize]| -> (Vec<ChildEntry>, Boundary) {
@@ -262,13 +306,24 @@ impl PdrTree {
         let (left_children, left_b) = take(&part.left);
         let (right_children, right_b) = take(&part.right);
 
-        let right_pid = pool.allocate();
-        write_node(pool, pid, &Node::Internal(left_children), compression);
-        write_node(pool, right_pid, &Node::Internal(right_children), compression);
-        (
-            ChildEntry { pid, boundary: left_b },
-            ChildEntry { pid: right_pid, boundary: right_b },
-        )
+        let right_pid = pool.allocate()?;
+        write_node(pool, pid, &Node::Internal(left_children), compression)?;
+        write_node(
+            pool,
+            right_pid,
+            &Node::Internal(right_children),
+            compression,
+        )?;
+        Ok((
+            ChildEntry {
+                pid,
+                boundary: left_b,
+            },
+            ChildEntry {
+                pid: right_pid,
+                boundary: right_b,
+            },
+        ))
     }
 
     /// Delete tuple `tid`, whose stored distribution must equal `uda`.
@@ -277,43 +332,49 @@ impl PdrTree {
     /// dominates it can hold the tuple. Boundaries are *not* shrunk (they
     /// remain valid over-estimates), matching the usual lazy R-tree
     /// deletion. Returns whether the tuple was found.
-    pub fn delete(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> bool {
-        if self.delete_rec(pool, self.root, tid, uda) {
+    pub fn delete(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<bool> {
+        if self.delete_rec(pool, self.root, tid, uda)? {
             self.len -= 1;
-            true
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
-    fn delete_rec(&mut self, pool: &mut BufferPool, pid: PageId, tid: u64, uda: &Uda) -> bool {
+    fn delete_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        tid: u64,
+        uda: &Uda,
+    ) -> Result<bool> {
         let compression = self.config.compression;
-        match read_node(pool, pid, compression) {
+        match read_node(pool, pid, compression)? {
             Node::Leaf(mut entries) => {
                 let Some(i) = entries.iter().position(|e| e.tid == tid) else {
-                    return false;
+                    return Ok(false);
                 };
                 entries.remove(i);
-                write_node(pool, pid, &Node::Leaf(entries), compression);
-                true
+                write_node(pool, pid, &Node::Leaf(entries), compression)?;
+                Ok(true)
             }
             Node::Internal(children) => {
                 for c in &children {
-                    if c.boundary.dominates(uda) && self.delete_rec(pool, c.pid, tid, uda) {
-                        return true;
+                    if c.boundary.dominates(uda) && self.delete_rec(pool, c.pid, tid, uda)? {
+                        return Ok(true);
                     }
                 }
-                false
+                Ok(false)
             }
         }
     }
 
     /// Visit every stored `(tid, uda)` (tree order). A full traversal —
     /// used by tests and the scan baseline.
-    pub fn for_each(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) {
+    pub fn for_each(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) -> Result<()> {
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match read_node(pool, pid, self.config.compression) {
+            match read_node(pool, pid, self.config.compression)? {
                 Node::Leaf(entries) => {
                     for e in &entries {
                         f(e.tid, &e.uda);
@@ -322,15 +383,19 @@ impl PdrTree {
                 Node::Internal(children) => stack.extend(children.iter().map(|c| c.pid)),
             }
         }
+        Ok(())
     }
 
     /// Structural statistics (full traversal).
-    pub fn stats(&self, pool: &mut BufferPool) -> TreeStats {
-        let mut s = TreeStats { depth: self.depth, ..TreeStats::default() };
+    pub fn stats(&self, pool: &mut BufferPool) -> Result<TreeStats> {
+        let mut s = TreeStats {
+            depth: self.depth,
+            ..TreeStats::default()
+        };
         let compression = self.config.compression;
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            let node = read_node(pool, pid, compression);
+            let node = read_node(pool, pid, compression)?;
             s.nodes += 1;
             s.used_bytes += node.serialized_size(compression) as u64;
             match node {
@@ -345,19 +410,24 @@ impl PdrTree {
                 }
             }
         }
-        s
+        Ok(s)
     }
 
     /// Check structural invariants (every boundary dominates its subtree,
     /// counts add up). Test/debug aid; returns the number of leaf entries.
-    pub fn check_invariants(&self, pool: &mut BufferPool) -> u64 {
-        let n = self.check_rec(pool, self.root, None);
+    pub fn check_invariants(&self, pool: &mut BufferPool) -> Result<u64> {
+        let n = self.check_rec(pool, self.root, None)?;
         assert_eq!(n, self.len, "stored entries disagree with len()");
-        n
+        Ok(n)
     }
 
-    fn check_rec(&self, pool: &mut BufferPool, pid: PageId, bound: Option<&Boundary>) -> u64 {
-        match read_node(pool, pid, self.config.compression) {
+    fn check_rec(
+        &self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        bound: Option<&Boundary>,
+    ) -> Result<u64> {
+        match read_node(pool, pid, self.config.compression)? {
             Node::Leaf(entries) => {
                 assert!(entries.len() <= MAX_NODE_ENTRIES);
                 if let Some(b) = bound {
@@ -369,7 +439,7 @@ impl PdrTree {
                         );
                     }
                 }
-                entries.len() as u64
+                Ok(entries.len() as u64)
             }
             Node::Internal(children) => {
                 assert!(!children.is_empty(), "internal node {pid} has no children");
@@ -382,9 +452,9 @@ impl PdrTree {
                         // recursion checks directly.
                         let _ = b;
                     }
-                    n += self.check_rec(pool, c.pid, Some(&c.boundary));
+                    n += self.check_rec(pool, c.pid, Some(&c.boundary))?;
                 }
-                n
+                Ok(n)
             }
         }
     }
@@ -447,7 +517,8 @@ mod tests {
     use super::*;
     use crate::config::{Compression, SplitStrategy};
     use uncat_core::{CatId, Divergence};
-    use uncat_storage::InMemoryDisk;
+    use uncat_storage::fault::{Fault, FaultStore};
+    use uncat_storage::{InMemoryDisk, StorageError};
 
     fn pool() -> BufferPool {
         BufferPool::with_capacity(InMemoryDisk::shared(), 200)
@@ -470,7 +541,8 @@ mod tests {
                 for _ in 0..nz {
                     let c = (next() % cats as u64) as u32;
                     if used.insert(c) {
-                        b.push(CatId(c), 0.05 + (next() % 900) as f32 / 1000.0).unwrap();
+                        b.push(CatId(c), 0.05 + (next() % 900) as f32 / 1000.0)
+                            .unwrap();
                     }
                 }
                 (tid, b.finish_normalized().unwrap())
@@ -481,27 +553,37 @@ mod tests {
     #[test]
     fn empty_tree() {
         let mut p = pool();
-        let t = PdrTree::new(Domain::anonymous(4), PdrConfig::default(), &mut p);
+        let t = PdrTree::new(Domain::anonymous(4), PdrConfig::default(), &mut p).unwrap();
         assert!(t.is_empty());
         assert_eq!(t.depth(), 1);
-        assert_eq!(t.check_invariants(&mut p), 0);
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 0);
     }
 
     #[test]
     fn insert_until_splits_and_check_invariants() {
         for split in [SplitStrategy::TopDown, SplitStrategy::BottomUp] {
             let mut p = pool();
-            let cfg = PdrConfig { split, ..PdrConfig::default() };
+            let cfg = PdrConfig {
+                split,
+                ..PdrConfig::default()
+            };
             let data = synth(3000, 10, 42);
-            let t = PdrTree::build(Domain::anonymous(10), cfg, &mut p, data.iter().map(|(i, u)| (*i, u)));
+            let t = PdrTree::build(
+                Domain::anonymous(10),
+                cfg,
+                &mut p,
+                data.iter().map(|(i, u)| (*i, u)),
+            )
+            .unwrap();
             assert_eq!(t.len(), 3000);
             assert!(t.depth() >= 2, "{split:?}: 3000 tuples must split");
-            assert_eq!(t.check_invariants(&mut p), 3000);
+            assert_eq!(t.check_invariants(&mut p).unwrap(), 3000);
             // Every tuple is findable by traversal.
             let mut seen = std::collections::HashSet::new();
             t.for_each(&mut p, |tid, _| {
                 assert!(seen.insert(tid), "tuple {tid} stored twice");
-            });
+            })
+            .unwrap();
             assert_eq!(seen.len(), 3000);
         }
     }
@@ -510,10 +592,19 @@ mod tests {
     fn invariants_hold_for_every_divergence() {
         for dv in Divergence::ALL {
             let mut p = pool();
-            let cfg = PdrConfig { divergence: dv, ..PdrConfig::default() };
+            let cfg = PdrConfig {
+                divergence: dv,
+                ..PdrConfig::default()
+            };
             let data = synth(1500, 8, 7);
-            let t = PdrTree::build(Domain::anonymous(8), cfg, &mut p, data.iter().map(|(i, u)| (*i, u)));
-            assert_eq!(t.check_invariants(&mut p), 1500);
+            let t = PdrTree::build(
+                Domain::anonymous(8),
+                cfg,
+                &mut p,
+                data.iter().map(|(i, u)| (*i, u)),
+            )
+            .unwrap();
+            assert_eq!(t.check_invariants(&mut p).unwrap(), 1500);
         }
     }
 
@@ -525,11 +616,19 @@ mod tests {
             Compression::Signature { width: 4 },
         ] {
             let mut p = pool();
-            let cfg = PdrConfig { compression, ..PdrConfig::default() };
+            let cfg = PdrConfig {
+                compression,
+                ..PdrConfig::default()
+            };
             let data = synth(1500, 20, 3);
-            let t =
-                PdrTree::build(Domain::anonymous(20), cfg, &mut p, data.iter().map(|(i, u)| (*i, u)));
-            assert_eq!(t.check_invariants(&mut p), 1500, "{compression:?}");
+            let t = PdrTree::build(
+                Domain::anonymous(20),
+                cfg,
+                &mut p,
+                data.iter().map(|(i, u)| (*i, u)),
+            )
+            .unwrap();
+            assert_eq!(t.check_invariants(&mut p).unwrap(), 1500, "{compression:?}");
         }
     }
 
@@ -542,18 +641,23 @@ mod tests {
             PdrConfig::default(),
             &mut p,
             data.iter().map(|(i, u)| (*i, u)),
-        );
+        )
+        .unwrap();
         for (tid, u) in data.iter().take(400) {
-            assert!(t.delete(&mut p, *tid, u), "tuple {tid} must be found");
+            assert!(
+                t.delete(&mut p, *tid, u).unwrap(),
+                "tuple {tid} must be found"
+            );
         }
         assert_eq!(t.len(), 400);
-        assert!(!t.delete(&mut p, 0, &data[0].1), "double delete");
-        assert_eq!(t.check_invariants(&mut p), 400);
+        assert!(!t.delete(&mut p, 0, &data[0].1).unwrap(), "double delete");
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 400);
         let mut remaining = 0;
         t.for_each(&mut p, |tid, _| {
             assert!(tid >= 400);
             remaining += 1;
-        });
+        })
+        .unwrap();
         assert_eq!(remaining, 400);
     }
 
@@ -566,8 +670,9 @@ mod tests {
             PdrConfig::default(),
             &mut p,
             data.iter().map(|(i, u)| (*i, u)),
-        );
-        let s = t.stats(&mut p);
+        )
+        .unwrap();
+        let s = t.stats(&mut p).unwrap();
         assert_eq!(s.entries, 4000);
         assert_eq!(s.depth, t.depth());
         assert_eq!(s.nodes, s.leaves + s.internals);
@@ -588,20 +693,45 @@ mod tests {
                 PdrConfig::default(),
                 &mut p,
                 data.iter().map(|(i, u)| (*i, u)),
-            );
-            p.flush();
+            )
+            .unwrap();
+            p.flush().unwrap();
             t
         };
         let mut q = BufferPool::with_capacity(store, 200);
-        assert_eq!(t.check_invariants(&mut q), 1000);
+        assert_eq!(t.check_invariants(&mut q).unwrap(), 1000);
+    }
+
+    #[test]
+    fn injected_read_failure_degrades_one_operation() {
+        let faults = std::sync::Arc::new(FaultStore::new(InMemoryDisk::shared(), 7));
+        let mut p = BufferPool::with_capacity(faults.clone(), 200);
+        let data = synth(600, 8, 5);
+        let t = PdrTree::build(
+            Domain::anonymous(8),
+            PdrConfig::default(),
+            &mut p,
+            data.iter().map(|(i, u)| (*i, u)),
+        )
+        .unwrap();
+        p.clear().unwrap();
+        faults.arm(Fault::FailRead {
+            after: faults.reads_so_far() + 1,
+        });
+        let err = t.for_each(&mut p, |_, _| {}).unwrap_err();
+        assert!(matches!(err, StorageError::Io { op: "read", .. }), "{err}");
+        // The fault is spent; the same traversal now succeeds.
+        let mut n = 0u64;
+        t.for_each(&mut p, |_, _| n += 1).unwrap();
+        assert_eq!(n, 600);
     }
 
     #[test]
     #[should_panic(expected = "too wide")]
     fn oversized_uda_rejected() {
         let mut p = pool();
-        let mut t = PdrTree::new(Domain::anonymous(2000), PdrConfig::default(), &mut p);
+        let mut t = PdrTree::new(Domain::anonymous(2000), PdrConfig::default(), &mut p).unwrap();
         let wide = Uda::from_pairs((0..1000).map(|i| (CatId(i), 0.001f32))).unwrap();
-        t.insert(&mut p, 0, &wide);
+        let _ = t.insert(&mut p, 0, &wide);
     }
 }

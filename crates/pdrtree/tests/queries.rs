@@ -27,13 +27,20 @@ fn random_uda(rng: &mut StdRng, n_cats: u32, max_nz: usize) -> Uda {
 
 fn dataset(seed: u64, n: usize, n_cats: u32, max_nz: usize) -> Vec<(u64, Uda)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n as u64).map(|tid| (tid, random_uda(&mut rng, n_cats, max_nz))).collect()
+    (0..n as u64)
+        .map(|tid| (tid, random_uda(&mut rng, n_cats, max_nz)))
+        .collect()
 }
 
 fn build(data: &[(u64, Uda)], n_cats: u32, cfg: PdrConfig) -> (PdrTree, BufferPool) {
     let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 150);
-    let tree =
-        PdrTree::build(Domain::anonymous(n_cats), cfg, &mut pool, data.iter().map(|(t, u)| (*t, u)));
+    let tree = PdrTree::build(
+        Domain::anonymous(n_cats),
+        cfg,
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+    )
+    .unwrap();
     (tree, pool)
 }
 
@@ -44,7 +51,11 @@ fn assert_same(a: &[Match], b: &[Match], ctx: &str) {
         "tuple sets differ: {ctx}"
     );
     for (x, y) in a.iter().zip(b) {
-        assert!((x.score - y.score).abs() < 1e-9, "score differs for tid {}: {ctx}", x.tid);
+        assert!(
+            (x.score - y.score).abs() < 1e-9,
+            "score differs for tid {}: {ctx}",
+            x.tid
+        );
     }
 }
 
@@ -64,12 +75,27 @@ fn reference_petq(data: &[(u64, Uda)], q: &Uda, tau: f64) -> Vec<Match> {
 fn configs() -> Vec<PdrConfig> {
     let mut v = Vec::new();
     for dv in Divergence::ALL {
-        v.push(PdrConfig { divergence: dv, ..PdrConfig::default() });
+        v.push(PdrConfig {
+            divergence: dv,
+            ..PdrConfig::default()
+        });
     }
-    v.push(PdrConfig { split: SplitStrategy::TopDown, ..PdrConfig::default() });
-    v.push(PdrConfig { compression: Compression::Discretized { bits: 2 }, ..PdrConfig::default() });
-    v.push(PdrConfig { compression: Compression::Discretized { bits: 4 }, ..PdrConfig::default() });
-    v.push(PdrConfig { compression: Compression::Signature { width: 4 }, ..PdrConfig::default() });
+    v.push(PdrConfig {
+        split: SplitStrategy::TopDown,
+        ..PdrConfig::default()
+    });
+    v.push(PdrConfig {
+        compression: Compression::Discretized { bits: 2 },
+        ..PdrConfig::default()
+    });
+    v.push(PdrConfig {
+        compression: Compression::Discretized { bits: 4 },
+        ..PdrConfig::default()
+    });
+    v.push(PdrConfig {
+        compression: Compression::Signature { width: 4 },
+        ..PdrConfig::default()
+    });
     v
 }
 
@@ -82,7 +108,7 @@ fn petq_matches_reference_under_every_config() {
         let (tree, mut pool) = build(&data, 10, cfg);
         for (qi, q) in queries.iter().enumerate() {
             for &tau in &[0.02, 0.1, 0.3, 0.7] {
-                let got = tree.petq(&mut pool, &EqQuery::new(q.clone(), tau));
+                let got = tree.petq(&mut pool, &EqQuery::new(q.clone(), tau)).unwrap();
                 let expect = reference_petq(&data, q, tau);
                 assert_same(&got, &expect, &format!("{cfg:?}, query {qi}, tau {tau}"));
             }
@@ -95,10 +121,14 @@ fn petq_boundary_threshold_inclusive() {
     let data = dataset(55, 400, 8, 3);
     let mut rng = StdRng::seed_from_u64(2);
     let q = random_uda(&mut rng, 8, 3);
-    let probs: Vec<f64> = data.iter().map(|(_, t)| eq_prob(&q, t)).filter(|&p| p > 0.0).collect();
+    let probs: Vec<f64> = data
+        .iter()
+        .map(|(_, t)| eq_prob(&q, t))
+        .filter(|&p| p > 0.0)
+        .collect();
     let tau = probs[probs.len() / 3];
     let (tree, mut pool) = build(&data, 8, PdrConfig::default());
-    let got = tree.petq(&mut pool, &EqQuery::new(q.clone(), tau));
+    let got = tree.petq(&mut pool, &EqQuery::new(q.clone(), tau)).unwrap();
     let expect = reference_petq(&data, &q, tau);
     assert!(!expect.is_empty());
     assert_same(&got, &expect, "threshold equal to an actual probability");
@@ -122,7 +152,9 @@ fn top_k_matches_reference_under_every_config() {
                     .collect();
                 sort_matches_desc(&mut expect);
                 expect.truncate(k);
-                let got = tree.top_k(&mut pool, &TopKQuery::new(q.clone(), k));
+                let got = tree
+                    .top_k(&mut pool, &TopKQuery::new(q.clone(), k))
+                    .unwrap();
                 assert_same(&got, &expect, &format!("{cfg:?}, top-{k}"));
             }
         }
@@ -138,7 +170,9 @@ fn dstq_matches_reference_for_all_divergences() {
         let q = random_uda(&mut rng, 8, 3);
         for dv in Divergence::ALL {
             for &tau_d in &[0.05, 0.3, 0.9, 1.6] {
-                let got = tree.dstq(&mut pool, &DstQuery::new(q.clone(), tau_d, dv));
+                let got = tree
+                    .dstq(&mut pool, &DstQuery::new(q.clone(), tau_d, dv))
+                    .unwrap();
                 let mut expect: Vec<Match> = data
                     .iter()
                     .filter_map(|(tid, t)| {
@@ -158,12 +192,17 @@ fn dstq_respects_compressed_boundaries() {
     // Lossy boundaries widen, so L1/L2 lower bounds shrink — pruning must
     // stay sound. Verify result equivalence under signature compression.
     let data = dataset(13, 400, 12, 3);
-    let cfg = PdrConfig { compression: Compression::Signature { width: 4 }, ..PdrConfig::default() };
+    let cfg = PdrConfig {
+        compression: Compression::Signature { width: 4 },
+        ..PdrConfig::default()
+    };
     let (tree, mut pool) = build(&data, 12, cfg);
     let mut rng = StdRng::seed_from_u64(21);
     let q = random_uda(&mut rng, 12, 3);
     for dv in [Divergence::L1, Divergence::L2] {
-        let got = tree.dstq(&mut pool, &DstQuery::new(q.clone(), 0.4, dv));
+        let got = tree
+            .dstq(&mut pool, &DstQuery::new(q.clone(), 0.4, dv))
+            .unwrap();
         let mut expect: Vec<Match> = data
             .iter()
             .filter_map(|(tid, t)| {
@@ -181,13 +220,13 @@ fn queries_survive_deletes() {
     let data = dataset(99, 500, 8, 3);
     let (mut tree, mut pool) = build(&data, 8, PdrConfig::default());
     for (tid, u) in data.iter().take(250) {
-        assert!(tree.delete(&mut pool, *tid, u));
+        assert!(tree.delete(&mut pool, *tid, u).unwrap());
     }
     let remaining: Vec<(u64, Uda)> = data.iter().skip(250).cloned().collect();
     let mut rng = StdRng::seed_from_u64(8);
     let q = random_uda(&mut rng, 8, 3);
     for &tau in &[0.05, 0.4] {
-        let got = tree.petq(&mut pool, &EqQuery::new(q.clone(), tau));
+        let got = tree.petq(&mut pool, &EqQuery::new(q.clone(), tau)).unwrap();
         let expect = reference_petq(&remaining, &q, tau);
         assert_same(&got, &expect, &format!("after deletes, tau {tau}"));
     }
@@ -199,20 +238,20 @@ fn pruning_reads_fewer_pages_than_full_traversal() {
     // fewer pages than the whole tree.
     let data = dataset(3, 6000, 20, 3);
     let (tree, mut pool) = build(&data, 20, PdrConfig::default());
-    pool.flush();
+    pool.flush().unwrap();
 
     let mut rng = StdRng::seed_from_u64(1);
     let q = random_uda(&mut rng, 20, 2);
 
-    pool.clear();
+    pool.clear().unwrap();
     pool.reset_stats();
     let mut total_pages = 0u64;
-    tree.for_each(&mut pool, |_, _| {});
+    tree.for_each(&mut pool, |_, _| {}).unwrap();
     total_pages += pool.stats().physical_reads;
 
-    pool.clear();
+    pool.clear().unwrap();
     pool.reset_stats();
-    let _ = tree.petq(&mut pool, &EqQuery::new(q, 0.7));
+    let _ = tree.petq(&mut pool, &EqQuery::new(q, 0.7)).unwrap();
     let query_pages = pool.stats().physical_reads;
 
     assert!(

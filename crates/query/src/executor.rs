@@ -3,10 +3,14 @@
 //! "All experiments are conducted with a buffer manager that allocates 100
 //! blocks to each query": the executor gives every query a fresh pool over
 //! the shared store and reports the I/O it incurred.
+//!
+//! Failure isolation: every entry point returns `Result`, so a checksum
+//! mismatch or I/O error on one query degrades that query alone — the
+//! executor, the index, and every other query remain usable.
 
 use uncat_core::query::{DstQuery, EqQuery, Match, TopKQuery};
 use uncat_storage::buffer::DEFAULT_FRAMES;
-use uncat_storage::{BufferPool, IoStats, SharedStore};
+use uncat_storage::{BufferPool, IoStats, Result, SharedStore};
 
 use crate::index_trait::UncertainIndex;
 
@@ -45,13 +49,21 @@ pub struct Executor<I> {
 impl<I: UncertainIndex> Executor<I> {
     /// Executor with the paper's 100-frame per-query buffers.
     pub fn new(index: I, store: SharedStore) -> Executor<I> {
-        Executor { index, store, frames: DEFAULT_FRAMES }
+        Executor {
+            index,
+            store,
+            frames: DEFAULT_FRAMES,
+        }
     }
 
     /// Executor with a custom per-query buffer size (for the buffer-size
     /// ablation).
     pub fn with_frames(index: I, store: SharedStore, frames: usize) -> Executor<I> {
-        Executor { index, store, frames }
+        Executor {
+            index,
+            store,
+            frames,
+        }
     }
 
     /// The wrapped index.
@@ -64,29 +76,35 @@ impl<I: UncertainIndex> Executor<I> {
         self.frames
     }
 
-    fn run(&self, f: impl FnOnce(&I, &mut BufferPool) -> Vec<Match>) -> QueryOutcome {
+    fn run(
+        &self,
+        f: impl FnOnce(&I, &mut BufferPool) -> Result<Vec<Match>>,
+    ) -> Result<QueryOutcome> {
         let mut pool = BufferPool::with_capacity(self.store.clone(), self.frames);
-        let matches = f(&self.index, &mut pool);
-        QueryOutcome { matches, io: pool.stats() }
+        let matches = f(&self.index, &mut pool)?;
+        Ok(QueryOutcome {
+            matches,
+            io: pool.stats(),
+        })
     }
 
     /// Run a PETQ with a cold, private buffer.
-    pub fn petq(&self, query: &EqQuery) -> QueryOutcome {
+    pub fn petq(&self, query: &EqQuery) -> Result<QueryOutcome> {
         self.run(|i, p| i.petq(p, query))
     }
 
     /// Run a top-k query with a cold, private buffer.
-    pub fn top_k(&self, query: &TopKQuery) -> QueryOutcome {
+    pub fn top_k(&self, query: &TopKQuery) -> Result<QueryOutcome> {
         self.run(|i, p| i.top_k(p, query))
     }
 
     /// Run a DSTQ with a cold, private buffer.
-    pub fn dstq(&self, query: &DstQuery) -> QueryOutcome {
+    pub fn dstq(&self, query: &DstQuery) -> Result<QueryOutcome> {
         self.run(|i, p| i.dstq(p, query))
     }
 
     /// Run a DSQ-top-k with a cold, private buffer.
-    pub fn ds_top_k(&self, query: &uncat_core::query::DsTopKQuery) -> QueryOutcome {
+    pub fn ds_top_k(&self, query: &uncat_core::query::DsTopKQuery) -> Result<QueryOutcome> {
         self.run(|i, p| i.ds_top_k(p, query))
     }
 }

@@ -1,7 +1,7 @@
 //! The common interface over index structures.
 
 use uncat_core::query::{DsTopKQuery, DstQuery, EqQuery, Match, TopKQuery};
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use uncat_inverted::{InvertedIndex, Strategy};
 use uncat_pdrtree::PdrTree;
@@ -9,15 +9,19 @@ use uncat_pdrtree::PdrTree;
 /// Anything that can answer the paper's query set. All three queries
 /// return exact scores in canonical order (descending probability for
 /// equality, ascending divergence for similarity).
+///
+/// Every method is fallible: an I/O error or corrupted page surfaces as
+/// `Err(StorageError)` from the one query that hit it, leaving the index
+/// and the process intact.
 pub trait UncertainIndex {
     /// Probabilistic equality threshold query (Definition 4).
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match>;
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>>;
     /// PEQ-top-k.
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match>;
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>>;
     /// Distributional similarity threshold query (Definition 5).
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match>;
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>>;
     /// DSQ-top-k: the `k` distributionally closest tuples.
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match>;
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>>;
     /// Number of indexed tuples.
     fn tuple_count(&self) -> u64;
     /// Short name for reports ("inverted", "pdr-tree", "scan").
@@ -35,7 +39,10 @@ pub struct InvertedBackend {
 impl InvertedBackend {
     /// Wrap an index with the default (NRA) threshold strategy.
     pub fn new(index: InvertedIndex) -> InvertedBackend {
-        InvertedBackend { index, strategy: Strategy::Nra }
+        InvertedBackend {
+            index,
+            strategy: Strategy::Nra,
+        }
     }
 
     /// Wrap an index with an explicit strategy.
@@ -45,19 +52,19 @@ impl InvertedBackend {
 }
 
 impl UncertainIndex for InvertedBackend {
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
         self.index.petq(pool, query, self.strategy)
     }
 
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
         self.index.top_k(pool, query)
     }
 
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         self.index.dstq(pool, query)
     }
 
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
         self.index.ds_top_k(pool, query)
     }
 
@@ -71,19 +78,19 @@ impl UncertainIndex for InvertedBackend {
 }
 
 impl UncertainIndex for PdrTree {
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
         PdrTree::petq(self, pool, query)
     }
 
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
         PdrTree::top_k(self, pool, query)
     }
 
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         PdrTree::dstq(self, pool, query)
     }
 
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
         PdrTree::ds_top_k(self, pool, query)
     }
 

@@ -17,7 +17,7 @@ pub use nested_loop::{block_nested_loop_petj, index_nested_loop_petj};
 use uncat_core::query::{DstQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
 use uncat_core::Uda;
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::index_trait::UncertainIndex;
 
@@ -51,18 +51,22 @@ pub fn index_top_k_pej(
     inner: &impl UncertainIndex,
     pool: &mut BufferPool,
     k: usize,
-) -> Vec<JoinPair> {
+) -> Result<Vec<JoinPair>> {
     // A pair-level heap keyed by a synthetic id; tie-breaking therefore
     // follows outer order, matching the canonical sort below.
     let mut best: Vec<JoinPair> = Vec::new();
     let mut floor = 0.0f64;
     for (ltid, luda) in outer {
-        let probes = inner.top_k(pool, &TopKQuery::new(luda.clone(), k));
+        let probes = inner.top_k(pool, &TopKQuery::new(luda.clone(), k))?;
         for m in probes {
             if best.len() >= k && m.score < floor {
                 continue;
             }
-            best.push(JoinPair { left: *ltid, right: m.tid, score: m.score });
+            best.push(JoinPair {
+                left: *ltid,
+                right: m.tid,
+                score: m.score,
+            });
         }
         if best.len() > k {
             sort_pairs_desc(&mut best);
@@ -72,7 +76,7 @@ pub fn index_top_k_pej(
     }
     sort_pairs_desc(&mut best);
     best.truncate(k);
-    best
+    Ok(best)
 }
 
 /// DSTJ: all pairs within divergence `τ_d`, via index probes.
@@ -82,11 +86,15 @@ pub fn index_dstj(
     pool: &mut BufferPool,
     tau_d: f64,
     divergence: uncat_core::Divergence,
-) -> Vec<JoinPair> {
+) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     for (ltid, luda) in outer {
-        for m in inner.dstq(pool, &DstQuery::new(luda.clone(), tau_d, divergence)) {
-            out.push(JoinPair { left: *ltid, right: m.tid, score: m.score });
+        for m in inner.dstq(pool, &DstQuery::new(luda.clone(), tau_d, divergence))? {
+            out.push(JoinPair {
+                left: *ltid,
+                right: m.tid,
+                score: m.score,
+            });
         }
     }
     // Similarity joins order ascending by divergence.
@@ -97,7 +105,7 @@ pub fn index_dstj(
             .then_with(|| a.left.cmp(&b.left))
             .then_with(|| a.right.cmp(&b.right))
     });
-    out
+    Ok(out)
 }
 
 /// Per-outer-tuple top-k (the "k best partners for each r" variant, handy
@@ -107,15 +115,14 @@ pub fn index_top_k_per_outer(
     inner: &impl UncertainIndex,
     pool: &mut BufferPool,
     k: usize,
-) -> Vec<(u64, Vec<Match>)> {
-    outer
-        .iter()
-        .map(|(ltid, luda)| {
-            let mut h = TopKHeap::new(k, 0.0);
-            for m in inner.top_k(pool, &TopKQuery::new(luda.clone(), k)) {
-                h.offer(m.tid, m.score);
-            }
-            (*ltid, h.into_sorted())
-        })
-        .collect()
+) -> Result<Vec<(u64, Vec<Match>)>> {
+    let mut out = Vec::with_capacity(outer.len());
+    for (ltid, luda) in outer {
+        let mut h = TopKHeap::new(k, 0.0);
+        for m in inner.top_k(pool, &TopKQuery::new(luda.clone(), k))? {
+            h.offer(m.tid, m.score);
+        }
+        out.push((*ltid, h.into_sorted()));
+    }
+    Ok(out)
 }

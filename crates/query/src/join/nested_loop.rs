@@ -3,7 +3,7 @@
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::EqQuery;
 use uncat_core::Uda;
-use uncat_storage::BufferPool;
+use uncat_storage::{BufferPool, Result};
 
 use crate::index_trait::UncertainIndex;
 use crate::scan::ScanBaseline;
@@ -16,15 +16,19 @@ pub fn index_nested_loop_petj(
     inner: &impl UncertainIndex,
     pool: &mut BufferPool,
     tau: f64,
-) -> Vec<JoinPair> {
+) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     for (ltid, luda) in outer {
-        for m in inner.petq(pool, &EqQuery::new(luda.clone(), tau)) {
-            out.push(JoinPair { left: *ltid, right: m.tid, score: m.score });
+        for m in inner.petq(pool, &EqQuery::new(luda.clone(), tau))? {
+            out.push(JoinPair {
+                left: *ltid,
+                right: m.tid,
+                score: m.score,
+            });
         }
     }
     sort_pairs_desc(&mut out);
-    out
+    Ok(out)
 }
 
 /// Block nested loop PETJ baseline: for each outer tuple, scan the inner
@@ -35,16 +39,20 @@ pub fn block_nested_loop_petj(
     inner: &ScanBaseline,
     pool: &mut BufferPool,
     tau: f64,
-) -> Vec<JoinPair> {
+) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     inner.scan(pool, |rtid, ruda| {
         for (ltid, luda) in outer {
             let pr = eq_prob(luda, ruda);
             if meets_threshold(pr, tau) {
-                out.push(JoinPair { left: *ltid, right: rtid, score: pr });
+                out.push(JoinPair {
+                    left: *ltid,
+                    right: rtid,
+                    score: pr,
+                });
             }
         }
-    });
+    })?;
     sort_pairs_desc(&mut out);
-    out
+    Ok(out)
 }

@@ -5,15 +5,19 @@
 //! internally synchronized, the indexes are immutable during reads, and
 //! each worker owns its pools. This module fans a batch out over a fixed
 //! number of threads and returns outcomes in input order.
+//!
+//! Failure isolation extends to batches: each query's outcome is its own
+//! `Result`, so one bad page fails one slot of the batch while every other
+//! query still completes.
 
 use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
-use uncat_storage::{BufferPool, SharedStore};
+use uncat_storage::{BufferPool, Result, SharedStore};
 
 use crate::executor::QueryOutcome;
 use crate::index_trait::UncertainIndex;
 
 /// Run `f` once per query on `threads` workers, each query against a
-/// fresh pool; results come back in input order.
+/// fresh pool; results come back in input order, one `Result` per query.
 fn run_batch<Q, I, F>(
     index: &I,
     store: &SharedStore,
@@ -21,17 +25,17 @@ fn run_batch<Q, I, F>(
     queries: &[Q],
     threads: usize,
     f: F,
-) -> Vec<QueryOutcome>
+) -> Vec<Result<QueryOutcome>>
 where
     Q: Sync,
     I: UncertainIndex + Sync,
-    F: Fn(&I, &mut BufferPool, &Q) -> Vec<uncat_core::query::Match> + Sync,
+    F: Fn(&I, &mut BufferPool, &Q) -> Result<Vec<uncat_core::query::Match>> + Sync,
 {
     assert!(threads >= 1, "need at least one worker");
-    let mut out: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
+    let mut out: Vec<Option<Result<QueryOutcome>>> = Vec::with_capacity(queries.len());
     out.resize_with(queries.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_cells: Vec<std::sync::Mutex<&mut Option<QueryOutcome>>> =
+    let out_cells: Vec<std::sync::Mutex<&mut Option<Result<QueryOutcome>>>> =
         out.iter_mut().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
@@ -42,14 +46,18 @@ where
                     break;
                 }
                 let mut pool = BufferPool::with_capacity(store.clone(), frames);
-                let matches = f(index, &mut pool, &queries[i]);
-                let outcome = QueryOutcome { matches, io: pool.stats() };
+                let outcome = f(index, &mut pool, &queries[i]).map(|matches| QueryOutcome {
+                    matches,
+                    io: pool.stats(),
+                });
                 **out_cells[i].lock().expect("cell lock") = Some(outcome);
             });
         }
     });
     drop(out_cells);
-    out.into_iter().map(|o| o.expect("every query executed")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every query executed"))
+        .collect()
 }
 
 /// Evaluate a batch of PETQs in parallel.
@@ -59,8 +67,10 @@ pub fn petq_batch<I: UncertainIndex + Sync>(
     frames: usize,
     queries: &[EqQuery],
     threads: usize,
-) -> Vec<QueryOutcome> {
-    run_batch(index, store, frames, queries, threads, |i, p, q| i.petq(p, q))
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(index, store, frames, queries, threads, |i, p, q| {
+        i.petq(p, q)
+    })
 }
 
 /// Evaluate a batch of top-k queries in parallel.
@@ -70,8 +80,10 @@ pub fn top_k_batch<I: UncertainIndex + Sync>(
     frames: usize,
     queries: &[TopKQuery],
     threads: usize,
-) -> Vec<QueryOutcome> {
-    run_batch(index, store, frames, queries, threads, |i, p, q| i.top_k(p, q))
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(index, store, frames, queries, threads, |i, p, q| {
+        i.top_k(p, q)
+    })
 }
 
 /// Evaluate a batch of DSTQs in parallel.
@@ -81,8 +93,10 @@ pub fn dstq_batch<I: UncertainIndex + Sync>(
     frames: usize,
     queries: &[DstQuery],
     threads: usize,
-) -> Vec<QueryOutcome> {
-    run_batch(index, store, frames, queries, threads, |i, p, q| i.dstq(p, q))
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(index, store, frames, queries, threads, |i, p, q| {
+        i.dstq(p, q)
+    })
 }
 
 #[cfg(test)]
@@ -106,12 +120,15 @@ mod tests {
             })
             .collect();
         let mut pool = BufferPool::with_capacity(store.clone(), 128);
-        let idx = crate::InvertedBackend::new(InvertedIndex::build(
-            Domain::anonymous(11),
-            &mut pool,
-            data.iter().map(|(t, u)| (*t, u)),
-        ));
-        pool.flush();
+        let idx = crate::InvertedBackend::new(
+            InvertedIndex::build(
+                Domain::anonymous(11),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap(),
+        );
+        pool.flush().unwrap();
         drop(pool);
 
         let queries: Vec<EqQuery> = (0..16)
@@ -120,13 +137,18 @@ mod tests {
 
         let par = petq_batch(&idx, &store, 100, &queries, 4);
         for (q, outcome) in queries.iter().zip(&par) {
+            let outcome = outcome.as_ref().expect("in-memory query");
             let mut p = BufferPool::with_capacity(store.clone(), 100);
-            let seq = idx.petq(&mut p, q);
+            let seq = idx.petq(&mut p, q).unwrap();
             assert_eq!(
                 outcome.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
                 seq.iter().map(|m| m.tid).collect::<Vec<_>>(),
             );
-            assert_eq!(outcome.reads(), p.stats().physical_reads, "identical cold I/O");
+            assert_eq!(
+                outcome.reads(),
+                p.stats().physical_reads,
+                "identical cold I/O"
+            );
         }
     }
 
@@ -149,15 +171,18 @@ mod tests {
             PdrConfig::default(),
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
-        pool.flush();
+        )
+        .unwrap();
+        pool.flush().unwrap();
         drop(pool);
 
-        let tks: Vec<TopKQuery> =
-            (0..8).map(|i| TopKQuery::new(data[i * 7].1.clone(), 6)).collect();
+        let tks: Vec<TopKQuery> = (0..8)
+            .map(|i| TopKQuery::new(data[i * 7].1.clone(), 6))
+            .collect();
         for (q, out) in tks.iter().zip(top_k_batch(&tree, &store, 100, &tks, 3)) {
+            let out = out.expect("in-memory query");
             let mut p = BufferPool::with_capacity(store.clone(), 100);
-            let seq = tree.top_k(&mut p, q);
+            let seq = tree.top_k(&mut p, q).unwrap();
             assert_eq!(
                 out.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
                 seq.iter().map(|m| m.tid).collect::<Vec<_>>()
@@ -168,8 +193,9 @@ mod tests {
             .map(|i| DstQuery::new(data[i * 11].1.clone(), 0.25, Divergence::L1))
             .collect();
         for (q, out) in dqs.iter().zip(dstq_batch(&tree, &store, 100, &dqs, 3)) {
+            let out = out.expect("in-memory query");
             let mut p = BufferPool::with_capacity(store.clone(), 100);
-            let seq = UncertainIndex::dstq(&tree, &mut p, q);
+            let seq = UncertainIndex::dstq(&tree, &mut p, q).unwrap();
             assert_eq!(
                 out.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
                 seq.iter().map(|m| m.tid).collect::<Vec<_>>()
@@ -180,22 +206,26 @@ mod tests {
     #[test]
     fn single_thread_and_oversubscription_work() {
         let store = InMemoryDisk::shared();
-        let data: Vec<(u64, Uda)> =
-            (0..100u64).map(|i| (i, uda(&[((i % 3) as u32, 1.0)]))).collect();
+        let data: Vec<(u64, Uda)> = (0..100u64)
+            .map(|i| (i, uda(&[((i % 3) as u32, 1.0)])))
+            .collect();
         let mut pool = BufferPool::with_capacity(store.clone(), 64);
-        let idx = crate::InvertedBackend::new(InvertedIndex::build(
-            Domain::anonymous(3),
-            &mut pool,
-            data.iter().map(|(t, u)| (*t, u)),
-        ));
-        pool.flush();
+        let idx = crate::InvertedBackend::new(
+            InvertedIndex::build(
+                Domain::anonymous(3),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap(),
+        );
+        pool.flush().unwrap();
         drop(pool);
         let queries = vec![EqQuery::new(uda(&[(0, 1.0)]), 0.5); 3];
         for threads in [1usize, 8] {
             let out = petq_batch(&idx, &store, 50, &queries, threads);
             assert_eq!(out.len(), 3);
             for o in &out {
-                assert_eq!(o.matches.len(), 34);
+                assert_eq!(o.as_ref().expect("in-memory query").matches.len(), 34);
             }
         }
     }

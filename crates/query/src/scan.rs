@@ -10,7 +10,7 @@ use uncat_core::query::{
 };
 use uncat_core::topk::{BottomKHeap, TopKHeap};
 use uncat_core::{codec, Uda};
-use uncat_storage::{BufferPool, HeapFile};
+use uncat_storage::{BufferPool, HeapFile, Result, StorageError};
 
 use crate::index_trait::UncertainIndex;
 
@@ -22,7 +22,7 @@ pub struct ScanBaseline {
 
 impl ScanBaseline {
     /// Load a relation into a fresh heap.
-    pub fn build<'a, I>(pool: &mut BufferPool, tuples: I) -> ScanBaseline
+    pub fn build<'a, I>(pool: &mut BufferPool, tuples: I) -> Result<ScanBaseline>
     where
         I: IntoIterator<Item = (u64, &'a Uda)>,
     {
@@ -32,19 +32,36 @@ impl ScanBaseline {
             let mut rec = Vec::with_capacity(8 + codec::encoded_len(uda));
             rec.extend_from_slice(&tid.to_le_bytes());
             codec::encode(uda, &mut rec);
-            heap.insert(pool, &rec);
+            heap.insert(pool, &rec)?;
             count += 1;
         }
-        ScanBaseline { heap, count }
+        Ok(ScanBaseline { heap, count })
     }
 
-    /// Visit every tuple (one page read per heap page).
-    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) {
+    /// Visit every tuple (one page read per heap page). A record that no
+    /// longer decodes is a [`StorageError::Corrupt`].
+    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(u64, &Uda)) -> Result<()> {
+        let mut decode_err: Option<StorageError> = None;
         self.heap.scan(pool, |_, bytes| {
-            let tid = u64::from_le_bytes(bytes[..8].try_into().expect("tid header"));
-            let (uda, _) = codec::decode(&bytes[8..]).expect("stored UDA decodes");
-            f(tid, &uda);
-        });
+            if decode_err.is_some() {
+                return;
+            }
+            let Some(header) = bytes.get(..8) else {
+                decode_err = Some(StorageError::Corrupt(
+                    "tuple record shorter than its tid header",
+                ));
+                return;
+            };
+            let tid = u64::from_le_bytes(header.try_into().expect("8-byte slice"));
+            match codec::decode(&bytes[8..]) {
+                Ok((uda, _)) => f(tid, &uda),
+                Err(_) => decode_err = Some(StorageError::Corrupt("stored UDA does not decode")),
+            }
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Pages occupied by the relation.
@@ -62,74 +79,74 @@ impl ScanBaseline {
         q: &Uda,
         window: u32,
         tau: f64,
-    ) -> Vec<Match> {
+    ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan(pool, |tid, t| {
             let pr = uncat_core::ordered::pr_within(q, t, window);
             if meets_threshold(pr, tau) {
                 out.push(Match::new(tid, pr));
             }
-        });
+        })?;
         sort_matches_desc(&mut out);
-        out
+        Ok(out)
     }
 
     /// `Pr(q < t) ≥ tau` over a totally ordered domain, by scan.
-    pub fn less_than_petq(&self, pool: &mut BufferPool, q: &Uda, tau: f64) -> Vec<Match> {
+    pub fn less_than_petq(&self, pool: &mut BufferPool, q: &Uda, tau: f64) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan(pool, |tid, t| {
             let pr = uncat_core::ordered::pr_less(q, t);
             if meets_threshold(pr, tau) {
                 out.push(Match::new(tid, pr));
             }
-        });
+        })?;
         sort_matches_desc(&mut out);
-        out
+        Ok(out)
     }
 }
 
 impl UncertainIndex for ScanBaseline {
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Vec<Match> {
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan(pool, |tid, t| {
             let pr = eq_prob(&query.q, t);
             if meets_threshold(pr, query.tau) {
                 out.push(Match::new(tid, pr));
             }
-        });
+        })?;
         sort_matches_desc(&mut out);
-        out
+        Ok(out)
     }
 
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Vec<Match> {
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
         let mut heap = TopKHeap::new(query.k, 0.0);
         self.scan(pool, |tid, t| {
             let pr = eq_prob(&query.q, t);
             if pr > 0.0 {
                 heap.offer(tid, pr);
             }
-        });
-        heap.into_sorted()
+        })?;
+        Ok(heap.into_sorted())
     }
 
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Vec<Match> {
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan(pool, |tid, t| {
             let d = query.divergence.eval(query.q.entries(), t.entries());
             if d <= query.tau_d {
                 out.push(Match::new(tid, d));
             }
-        });
+        })?;
         sort_matches_asc(&mut out);
-        out
+        Ok(out)
     }
 
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Vec<Match> {
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
         let mut heap = BottomKHeap::new(query.k);
         self.scan(pool, |tid, t| {
             heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
-        });
-        heap.into_sorted()
+        })?;
+        Ok(heap.into_sorted())
     }
 
     fn tuple_count(&self) -> u64 {

@@ -40,24 +40,35 @@ struct World {
 
 fn world(seed: u64, n: usize, cats: u32, max_nz: usize) -> World {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<(u64, Uda)> =
-        (0..n as u64).map(|tid| (tid, random_uda(&mut rng, cats, max_nz))).collect();
+    let data: Vec<(u64, Uda)> = (0..n as u64)
+        .map(|tid| (tid, random_uda(&mut rng, cats, max_nz)))
+        .collect();
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), 150);
-    let inverted = InvertedBackend::new(InvertedIndex::build(
-        Domain::anonymous(cats),
-        &mut pool,
-        data.iter().map(|(t, u)| (*t, u)),
-    ));
+    let inverted = InvertedBackend::new(
+        InvertedIndex::build(
+            Domain::anonymous(cats),
+            &mut pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        )
+        .unwrap(),
+    );
     let pdr = PdrTree::build(
         Domain::anonymous(cats),
         PdrConfig::default(),
         &mut pool,
         data.iter().map(|(t, u)| (*t, u)),
-    );
-    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u)));
-    pool.flush();
-    World { data, store, inverted, pdr, scan }
+    )
+    .unwrap();
+    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).unwrap();
+    pool.flush().unwrap();
+    World {
+        data,
+        store,
+        inverted,
+        pdr,
+        scan,
+    }
 }
 
 #[test]
@@ -69,9 +80,9 @@ fn all_backends_agree_on_every_query_family() {
         let q = random_uda(&mut rng, 10, 4);
         for &tau in &[0.05, 0.2, 0.5] {
             let query = EqQuery::new(q.clone(), tau);
-            let a = w.scan.petq(&mut pool, &query);
-            let b = w.inverted.petq(&mut pool, &query);
-            let c = w.pdr.petq(&mut pool, &query);
+            let a = w.scan.petq(&mut pool, &query).unwrap();
+            let b = w.inverted.petq(&mut pool, &query).unwrap();
+            let c = w.pdr.petq(&mut pool, &query).unwrap();
             assert_eq!(
                 a.iter().map(|m| m.tid).collect::<Vec<_>>(),
                 b.iter().map(|m| m.tid).collect::<Vec<_>>(),
@@ -85,19 +96,31 @@ fn all_backends_agree_on_every_query_family() {
         }
         for &k in &[3usize, 25] {
             let query = TopKQuery::new(q.clone(), k);
-            let a = w.scan.top_k(&mut pool, &query);
-            let b = w.inverted.top_k(&mut pool, &query);
-            let c = w.pdr.top_k(&mut pool, &query);
-            assert_eq!(a.iter().map(|m| m.tid).collect::<Vec<_>>(), b.iter().map(|m| m.tid).collect::<Vec<_>>());
-            assert_eq!(a.iter().map(|m| m.tid).collect::<Vec<_>>(), c.iter().map(|m| m.tid).collect::<Vec<_>>());
+            let a = w.scan.top_k(&mut pool, &query).unwrap();
+            let b = w.inverted.top_k(&mut pool, &query).unwrap();
+            let c = w.pdr.top_k(&mut pool, &query).unwrap();
+            assert_eq!(
+                a.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                b.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                a.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                c.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
         }
         for dv in Divergence::ALL {
             let query = DstQuery::new(q.clone(), 0.35, dv);
-            let a = w.scan.dstq(&mut pool, &query);
-            let b = w.inverted.dstq(&mut pool, &query);
-            let c = w.pdr.dstq(&mut pool, &query);
-            assert_eq!(a.iter().map(|m| m.tid).collect::<Vec<_>>(), b.iter().map(|m| m.tid).collect::<Vec<_>>());
-            assert_eq!(a.iter().map(|m| m.tid).collect::<Vec<_>>(), c.iter().map(|m| m.tid).collect::<Vec<_>>());
+            let a = w.scan.dstq(&mut pool, &query).unwrap();
+            let b = w.inverted.dstq(&mut pool, &query).unwrap();
+            let c = w.pdr.dstq(&mut pool, &query).unwrap();
+            assert_eq!(
+                a.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                b.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                a.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                c.iter().map(|m| m.tid).collect::<Vec<_>>()
+            );
         }
     }
 }
@@ -112,12 +135,11 @@ fn ds_top_k_agrees_across_backends() {
         for dv in Divergence::ALL {
             for &k in &[1usize, 10, 60] {
                 let query = uncat_core::query::DsTopKQuery::new(q.clone(), k, dv);
-                let a = w.scan.ds_top_k(&mut pool, &query);
-                let b = w.inverted.ds_top_k(&mut pool, &query);
-                let c = w.pdr.ds_top_k(&mut pool, &query);
-                let ids = |v: &[uncat_core::query::Match]| {
-                    v.iter().map(|m| m.tid).collect::<Vec<_>>()
-                };
+                let a = w.scan.ds_top_k(&mut pool, &query).unwrap();
+                let b = w.inverted.ds_top_k(&mut pool, &query).unwrap();
+                let c = w.pdr.ds_top_k(&mut pool, &query).unwrap();
+                let ids =
+                    |v: &[uncat_core::query::Match]| v.iter().map(|m| m.tid).collect::<Vec<_>>();
                 assert_eq!(ids(&a), ids(&b), "inverted ds-top-{k} {dv:?}");
                 assert_eq!(ids(&a), ids(&c), "pdr ds-top-{k} {dv:?}");
                 assert_eq!(a.len(), k.min(w.data.len()));
@@ -134,8 +156,8 @@ fn executor_charges_io_to_fresh_pools() {
     let exec = Executor::new(w.pdr, w.store.clone());
     let mut rng = StdRng::seed_from_u64(4);
     let q = random_uda(&mut rng, 12, 3);
-    let out1 = exec.petq(&EqQuery::new(q.clone(), 0.3));
-    let out2 = exec.petq(&EqQuery::new(q.clone(), 0.3));
+    let out1 = exec.petq(&EqQuery::new(q.clone(), 0.3)).unwrap();
+    let out2 = exec.petq(&EqQuery::new(q.clone(), 0.3)).unwrap();
     assert_eq!(
         out1.matches.len(),
         out2.matches.len(),
@@ -156,7 +178,11 @@ fn reference_petj(r: &[(u64, Uda)], s: &[(u64, Uda)], tau: f64) -> Vec<JoinPair>
         for (rt, ru) in s {
             let pr = eq_prob(lu, ru);
             if uncat_core::equality::meets_threshold(pr, tau) {
-                out.push(JoinPair { left: *lt, right: *rt, score: pr });
+                out.push(JoinPair {
+                    left: *lt,
+                    right: *rt,
+                    score: pr,
+                });
             }
         }
     }
@@ -168,15 +194,20 @@ fn reference_petj(r: &[(u64, Uda)], s: &[(u64, Uda)], tau: f64) -> Vec<JoinPair>
 fn petj_plans_match_reference() {
     let w = world(5, 300, 8, 3);
     let mut rng = StdRng::seed_from_u64(6);
-    let outer: Vec<(u64, Uda)> =
-        (0..20u64).map(|i| (1000 + i, random_uda(&mut rng, 8, 3))).collect();
+    let outer: Vec<(u64, Uda)> = (0..20u64)
+        .map(|i| (1000 + i, random_uda(&mut rng, 8, 3)))
+        .collect();
     let mut pool = BufferPool::with_capacity(w.store.clone(), 150);
     for &tau in &[0.15, 0.4] {
         let expect = reference_petj(&outer, &w.data, tau);
-        let inl_inv = index_nested_loop_petj(&outer, &w.inverted, &mut pool, tau);
-        let inl_pdr = index_nested_loop_petj(&outer, &w.pdr, &mut pool, tau);
-        let bnl = block_nested_loop_petj(&outer, &w.scan, &mut pool, tau);
-        for (name, got) in [("inl-inverted", &inl_inv), ("inl-pdr", &inl_pdr), ("bnl", &bnl)] {
+        let inl_inv = index_nested_loop_petj(&outer, &w.inverted, &mut pool, tau).unwrap();
+        let inl_pdr = index_nested_loop_petj(&outer, &w.pdr, &mut pool, tau).unwrap();
+        let bnl = block_nested_loop_petj(&outer, &w.scan, &mut pool, tau).unwrap();
+        for (name, got) in [
+            ("inl-inverted", &inl_inv),
+            ("inl-pdr", &inl_pdr),
+            ("bnl", &bnl),
+        ] {
             assert_eq!(
                 got.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
                 expect.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
@@ -190,14 +221,15 @@ fn petj_plans_match_reference() {
 fn pej_top_k_matches_reference() {
     let w = world(7, 300, 8, 3);
     let mut rng = StdRng::seed_from_u64(8);
-    let outer: Vec<(u64, Uda)> =
-        (0..15u64).map(|i| (2000 + i, random_uda(&mut rng, 8, 3))).collect();
+    let outer: Vec<(u64, Uda)> = (0..15u64)
+        .map(|i| (2000 + i, random_uda(&mut rng, 8, 3)))
+        .collect();
     let mut pool = BufferPool::with_capacity(w.store.clone(), 150);
     for &k in &[1usize, 10, 40] {
         let mut expect = reference_petj(&outer, &w.data, 0.0);
         expect.retain(|p| p.score > 0.0);
         expect.truncate(k);
-        let got = index_top_k_pej(&outer, &w.pdr, &mut pool, k);
+        let got = index_top_k_pej(&outer, &w.pdr, &mut pool, k).unwrap();
         assert_eq!(
             got.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
             expect.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
@@ -210,10 +242,11 @@ fn pej_top_k_matches_reference() {
 fn per_outer_top_k_gives_each_outer_its_best_partners() {
     let w = world(41, 200, 8, 3);
     let mut rng = StdRng::seed_from_u64(42);
-    let outer: Vec<(u64, Uda)> =
-        (0..5u64).map(|i| (5000 + i, random_uda(&mut rng, 8, 3))).collect();
+    let outer: Vec<(u64, Uda)> = (0..5u64)
+        .map(|i| (5000 + i, random_uda(&mut rng, 8, 3)))
+        .collect();
     let mut pool = BufferPool::with_capacity(w.store.clone(), 150);
-    let per_outer = uncat_query::join::index_top_k_per_outer(&outer, &w.pdr, &mut pool, 3);
+    let per_outer = uncat_query::join::index_top_k_per_outer(&outer, &w.pdr, &mut pool, 3).unwrap();
     assert_eq!(per_outer.len(), 5);
     for ((ltid, best), (otid, ouda)) in per_outer.iter().zip(&outer) {
         assert_eq!(ltid, otid);
@@ -239,7 +272,7 @@ fn window_petq_on_scan_matches_direct_computation() {
     let mut pool = BufferPool::with_capacity(w.store.clone(), 150);
     let q = w.data[0].1.clone();
     for window in [0u32, 1, 3] {
-        let got = w.scan.window_petq(&mut pool, &q, window, 0.3);
+        let got = w.scan.window_petq(&mut pool, &q, window, 0.3).unwrap();
         let expect: Vec<u64> = {
             let mut v: Vec<(f64, u64)> = w
                 .data
@@ -250,10 +283,17 @@ fn window_petq_on_scan_matches_direct_computation() {
             v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
             v.into_iter().map(|(_, tid)| tid).collect()
         };
-        assert_eq!(got.iter().map(|m| m.tid).collect::<Vec<_>>(), expect, "window {window}");
+        assert_eq!(
+            got.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            expect,
+            "window {window}"
+        );
         if window == 0 {
             // c = 0 is plain PETQ.
-            let plain = w.scan.petq(&mut pool, &EqQuery::new(q.clone(), 0.3));
+            let plain = w
+                .scan
+                .petq(&mut pool, &EqQuery::new(q.clone(), 0.3))
+                .unwrap();
             assert_eq!(
                 got.iter().map(|m| m.tid).collect::<Vec<_>>(),
                 plain.iter().map(|m| m.tid).collect::<Vec<_>>()
@@ -266,11 +306,12 @@ fn window_petq_on_scan_matches_direct_computation() {
 fn dstj_matches_reference() {
     let w = world(9, 250, 8, 3);
     let mut rng = StdRng::seed_from_u64(10);
-    let outer: Vec<(u64, Uda)> =
-        (0..10u64).map(|i| (3000 + i, random_uda(&mut rng, 8, 3))).collect();
+    let outer: Vec<(u64, Uda)> = (0..10u64)
+        .map(|i| (3000 + i, random_uda(&mut rng, 8, 3)))
+        .collect();
     let mut pool = BufferPool::with_capacity(w.store.clone(), 150);
     for dv in [Divergence::L1, Divergence::L2] {
-        let got = index_dstj(&outer, &w.pdr, &mut pool, 0.3, dv);
+        let got = index_dstj(&outer, &w.pdr, &mut pool, 0.3, dv).unwrap();
         let mut expect = Vec::new();
         for (lt, lu) in &outer {
             for (rt, ru) in &w.data {
@@ -282,8 +323,13 @@ fn dstj_matches_reference() {
         }
         expect.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         assert_eq!(
-            got.iter().map(|p| (p.left, p.right)).collect::<std::collections::HashSet<_>>(),
-            expect.iter().map(|&(_, l, r)| (l, r)).collect::<std::collections::HashSet<_>>(),
+            got.iter()
+                .map(|p| (p.left, p.right))
+                .collect::<std::collections::HashSet<_>>(),
+            expect
+                .iter()
+                .map(|&(_, l, r)| (l, r))
+                .collect::<std::collections::HashSet<_>>(),
             "dstj {dv:?}"
         );
     }

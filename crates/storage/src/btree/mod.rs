@@ -13,7 +13,9 @@
 //!   behaviour the paper assumes and keeps scans correct.
 //!
 //! All page access goes through a [`BufferPool`], so tree operations are
-//! charged I/O like any other structure.
+//! charged I/O like any other structure — and every operation is fallible:
+//! a page the pool cannot produce (I/O error, checksum mismatch) surfaces
+//! as `Err(StorageError)` from the tree operation that needed it.
 
 pub mod keys;
 mod node;
@@ -21,12 +23,13 @@ mod node;
 use std::ops::ControlFlow;
 
 use crate::buffer::BufferPool;
+use crate::error::Result;
 use crate::page::{PageBuf, PageId};
 
 use node::{
-    init_internal, init_leaf, int_child, int_insert_at, int_key, int_route,
-    internal_cap, is_leaf, leaf_cap, leaf_insert_at, leaf_key, leaf_remove_at, leaf_search,
-    leaf_val, next_leaf, set_count, set_int_child0, set_next_leaf,
+    init_internal, init_leaf, int_child, int_insert_at, int_key, int_route, internal_cap, is_leaf,
+    leaf_cap, leaf_insert_at, leaf_key, leaf_remove_at, leaf_search, leaf_val, next_leaf,
+    set_count, set_int_child0, set_next_leaf,
 };
 
 /// A B+tree with `K`-byte keys and `V`-byte values.
@@ -49,10 +52,14 @@ impl<const K: usize, const V: usize> BTree<K, V> {
     pub const INT_CAP: usize = internal_cap(K);
 
     /// Create an empty tree (allocates the root leaf).
-    pub fn create(pool: &mut BufferPool) -> Self {
-        let root = pool.allocate();
-        pool.write(root, |b| init_leaf(b));
-        BTree { root, len: 0, depth: 1 }
+    pub fn create(pool: &mut BufferPool) -> Result<Self> {
+        let root = pool.allocate()?;
+        pool.write(root, |b| init_leaf(b))?;
+        Ok(BTree {
+            root,
+            len: 0,
+            depth: 1,
+        })
     }
 
     /// Reattach a tree from persisted parts (see [`BTree::raw_parts`]).
@@ -88,72 +95,95 @@ impl<const K: usize, const V: usize> BTree<K, V> {
         self.root
     }
 
-    /// Point lookup.
-    pub fn get(&self, pool: &mut BufferPool, key: &[u8; K]) -> Option<[u8; V]> {
+    /// Descend from the root to the leaf that would hold `key`.
+    fn descend_to_leaf(&self, pool: &mut BufferPool, key: &[u8; K]) -> Result<PageId> {
         let mut pid = self.root;
         loop {
-            let next = pool.read(pid, |b| {
+            let step = pool.read(pid, |b| {
                 if is_leaf(b) {
-                    Err(match leaf_search(b, K, V, key) {
-                        Ok(i) => {
-                            let mut out = [0u8; V];
-                            out.copy_from_slice(leaf_val(b, K, V, i));
-                            Some(out)
-                        }
-                        Err(_) => None,
-                    })
+                    None
                 } else {
-                    Ok(int_route(b, K, key).1)
+                    Some(int_route(b, K, key).1)
                 }
-            });
-            match next {
-                Ok(child) => pid = child,
-                Err(res) => return res,
+            })?;
+            match step {
+                Some(child) => pid = child,
+                None => return Ok(pid),
             }
         }
     }
 
+    /// Point lookup.
+    pub fn get(&self, pool: &mut BufferPool, key: &[u8; K]) -> Result<Option<[u8; V]>> {
+        let pid = self.descend_to_leaf(pool, key)?;
+        pool.read(pid, |b| match leaf_search(b, K, V, key) {
+            Ok(i) => {
+                let mut out = [0u8; V];
+                out.copy_from_slice(leaf_val(b, K, V, i));
+                Some(out)
+            }
+            Err(_) => None,
+        })
+    }
+
     /// Upsert. Returns the previous value if the key was present.
-    pub fn insert(&mut self, pool: &mut BufferPool, key: &[u8; K], val: &[u8; V]) -> Option<[u8; V]> {
+    pub fn insert(
+        &mut self,
+        pool: &mut BufferPool,
+        key: &[u8; K],
+        val: &[u8; V],
+    ) -> Result<Option<[u8; V]>> {
         // Fast path: find and replace without structural changes is folded
         // into the recursive path below (it reports Replaced).
-        let prev = self.get(pool, key);
-        match self.insert_rec(pool, self.root, key, val) {
+        let prev = self.get(pool, key)?;
+        match self.insert_rec(pool, self.root, key, val)? {
             Ins::Done => {
                 self.len += 1;
-                None
+                Ok(None)
             }
-            Ins::Replaced => prev,
+            Ins::Replaced => Ok(prev),
             Ins::Split { sep, right } => {
-                let new_root = pool.allocate();
+                let new_root = pool.allocate()?;
                 let old_root = self.root;
                 pool.write(new_root, |b| {
                     init_internal(b);
                     set_int_child0(b, old_root);
                     int_insert_at(b, K, 0, &sep, right);
-                });
+                })?;
                 self.root = new_root;
                 self.depth += 1;
                 self.len += 1;
-                None
+                Ok(None)
             }
         }
     }
 
-    fn insert_rec(&mut self, pool: &mut BufferPool, pid: PageId, key: &[u8; K], val: &[u8; V]) -> Ins<K> {
-        let leaf = pool.read(pid, |b| is_leaf(b));
+    fn insert_rec(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        key: &[u8; K],
+        val: &[u8; V],
+    ) -> Result<Ins<K>> {
+        let leaf = pool.read(pid, |b| is_leaf(b))?;
         if leaf {
             return self.leaf_insert(pool, pid, key, val);
         }
-        let (_, child) = pool.read(pid, |b| int_route(b, K, key));
-        match self.insert_rec(pool, child, key, val) {
-            Ins::Done => Ins::Done,
-            Ins::Replaced => Ins::Replaced,
+        let (_, child) = pool.read(pid, |b| int_route(b, K, key))?;
+        match self.insert_rec(pool, child, key, val)? {
+            Ins::Done => Ok(Ins::Done),
+            Ins::Replaced => Ok(Ins::Replaced),
             Ins::Split { sep, right } => self.int_insert(pool, pid, sep, right),
         }
     }
 
-    fn leaf_insert(&mut self, pool: &mut BufferPool, pid: PageId, key: &[u8; K], val: &[u8; V]) -> Ins<K> {
+    fn leaf_insert(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        key: &[u8; K],
+        val: &[u8; V],
+    ) -> Result<Ins<K>> {
         enum Local {
             InPlace,
             Replaced,
@@ -174,14 +204,14 @@ impl<const K: usize, const V: usize> BTree<K, V> {
                     Local::NeedSplit
                 }
             }
-        });
+        })?;
         match outcome {
-            Local::InPlace => Ins::Done,
-            Local::Replaced => Ins::Replaced,
+            Local::InPlace => Ok(Ins::Done),
+            Local::Replaced => Ok(Ins::Replaced),
             Local::NeedSplit => {
                 // Split, then insert into the proper half.
-                let mut left: PageBuf = pool.read(pid, |b| Box::new(*b));
-                let right_pid = pool.allocate();
+                let mut left: PageBuf = pool.read(pid, |b| Box::new(*b))?;
+                let right_pid = pool.allocate()?;
                 let mut right: PageBuf = crate::page::zeroed_page();
                 init_leaf(&mut right[..]);
 
@@ -198,9 +228,12 @@ impl<const K: usize, const V: usize> BTree<K, V> {
                     leaf_insert_at(&mut right[..], K, V, 0, key, val);
                     let mut sep = [0u8; K];
                     sep.copy_from_slice(key);
-                    pool.write(pid, |b| *b = *left);
-                    pool.write(right_pid, |b| *b = *right);
-                    return Ins::Split { sep, right: right_pid };
+                    pool.write(pid, |b| *b = *left)?;
+                    pool.write(right_pid, |b| *b = *right)?;
+                    return Ok(Ins::Split {
+                        sep,
+                        right: right_pid,
+                    });
                 }
                 let w = K + V;
                 let src = node::leaf_entry_off(K, V, mid);
@@ -222,15 +255,24 @@ impl<const K: usize, const V: usize> BTree<K, V> {
                     let i = leaf_search(&right[..], K, V, key).unwrap_err();
                     leaf_insert_at(&mut right[..], K, V, i, key, val);
                 }
-                pool.write(pid, |b| *b = *left);
-                pool.write(right_pid, |b| *b = *right);
-                Ins::Split { sep, right: right_pid }
+                pool.write(pid, |b| *b = *left)?;
+                pool.write(right_pid, |b| *b = *right)?;
+                Ok(Ins::Split {
+                    sep,
+                    right: right_pid,
+                })
             }
         }
     }
 
-    fn int_insert(&mut self, pool: &mut BufferPool, pid: PageId, sep: [u8; K], right_child: PageId) -> Ins<K> {
-        let full = pool.read(pid, |b| node::count(b) >= Self::INT_CAP);
+    fn int_insert(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        sep: [u8; K],
+        right_child: PageId,
+    ) -> Result<Ins<K>> {
+        let full = pool.read(pid, |b| node::count(b) >= Self::INT_CAP)?;
         if !full {
             pool.write(pid, |b| {
                 let n = node::count(b);
@@ -245,12 +287,12 @@ impl<const K: usize, const V: usize> BTree<K, V> {
                     }
                 }
                 int_insert_at(b, K, lo, &sep, right_child);
-            });
-            return Ins::Done;
+            })?;
+            return Ok(Ins::Done);
         }
         // Split the internal node.
-        let mut left: PageBuf = pool.read(pid, |b| Box::new(*b));
-        let right_pid = pool.allocate();
+        let mut left: PageBuf = pool.read(pid, |b| Box::new(*b))?;
+        let right_pid = pool.allocate()?;
         let mut right: PageBuf = crate::page::zeroed_page();
         init_internal(&mut right[..]);
 
@@ -270,7 +312,11 @@ impl<const K: usize, const V: usize> BTree<K, V> {
         set_count(&mut left[..], mid);
 
         // Insert the pending separator into the proper half.
-        let target = if sep.as_slice() < promoted.as_slice() { &mut left } else { &mut right };
+        let target = if sep.as_slice() < promoted.as_slice() {
+            &mut left
+        } else {
+            &mut right
+        };
         {
             let b = &mut target[..];
             let n = node::count(b);
@@ -286,30 +332,20 @@ impl<const K: usize, const V: usize> BTree<K, V> {
             }
             int_insert_at(b, K, lo, &sep, right_child);
         }
-        pool.write(pid, |b| *b = *left);
-        pool.write(right_pid, |b| *b = *right);
-        Ins::Split { sep: promoted, right: right_pid }
+        pool.write(pid, |b| *b = *left)?;
+        pool.write(right_pid, |b| *b = *right)?;
+        Ok(Ins::Split {
+            sep: promoted,
+            right: right_pid,
+        })
     }
 
     /// Remove a key. Returns its value if it was present.
     ///
     /// No rebalancing: leaves may underfill. Structure and scan order remain
     /// correct; space is reclaimed only by rebuilding.
-    pub fn remove(&mut self, pool: &mut BufferPool, key: &[u8; K]) -> Option<[u8; V]> {
-        let mut pid = self.root;
-        loop {
-            let step = pool.read(pid, |b| {
-                if is_leaf(b) {
-                    Err(())
-                } else {
-                    Ok(int_route(b, K, key).1)
-                }
-            });
-            match step {
-                Ok(child) => pid = child,
-                Err(()) => break,
-            }
-        }
+    pub fn remove(&mut self, pool: &mut BufferPool, key: &[u8; K]) -> Result<Option<[u8; V]>> {
+        let pid = self.descend_to_leaf(pool, key)?;
         let removed = pool.write(pid, |b| match leaf_search(b, K, V, key) {
             Ok(i) => {
                 let mut out = [0u8; V];
@@ -318,11 +354,11 @@ impl<const K: usize, const V: usize> BTree<K, V> {
                 Some(out)
             }
             Err(_) => None,
-        });
+        })?;
         if removed.is_some() {
             self.len -= 1;
         }
-        removed
+        Ok(removed)
     }
 
     /// Ordered scan from `start` (inclusive). `f` returns
@@ -332,22 +368,8 @@ impl<const K: usize, const V: usize> BTree<K, V> {
         pool: &mut BufferPool,
         start: &[u8; K],
         mut f: impl FnMut(&[u8; K], &[u8; V]) -> ControlFlow<()>,
-    ) {
-        // Descend to the leaf containing `start`.
-        let mut pid = self.root;
-        loop {
-            let step = pool.read(pid, |b| {
-                if is_leaf(b) {
-                    Err(())
-                } else {
-                    Ok(int_route(b, K, start).1)
-                }
-            });
-            match step {
-                Ok(child) => pid = child,
-                Err(()) => break,
-            }
-        }
+    ) -> Result<()> {
+        let mut pid = self.descend_to_leaf(pool, start)?;
         let mut first = true;
         while pid.is_valid() {
             // Copy out entries ≥ start, then release the page before calling f.
@@ -370,15 +392,16 @@ impl<const K: usize, const V: usize> BTree<K, V> {
                     out.push((kk, vv));
                 }
                 (out, next_leaf(b))
-            });
+            })?;
             first = false;
             for (k, v) in &entries {
                 if let ControlFlow::Break(()) = f(k, v) {
-                    return;
+                    return Ok(());
                 }
             }
             pid = next;
         }
+        Ok(())
     }
 
     /// Ordered scan of the whole tree.
@@ -386,38 +409,25 @@ impl<const K: usize, const V: usize> BTree<K, V> {
         &self,
         pool: &mut BufferPool,
         f: impl FnMut(&[u8; K], &[u8; V]) -> ControlFlow<()>,
-    ) {
+    ) -> Result<()> {
         self.scan_from(pool, &[0u8; K], f)
     }
 
     /// Open a cursor positioned at the smallest key.
-    pub fn cursor_first(&self, pool: &mut BufferPool) -> Cursor<K, V> {
+    pub fn cursor_first(&self, pool: &mut BufferPool) -> Result<Cursor<K, V>> {
         self.cursor_from(pool, &[0u8; K])
     }
 
     /// Open a cursor positioned at the smallest key ≥ `start`.
-    pub fn cursor_from(&self, pool: &mut BufferPool, start: &[u8; K]) -> Cursor<K, V> {
-        let mut pid = self.root;
-        loop {
-            let step = pool.read(pid, |b| {
-                if is_leaf(b) {
-                    Err(())
-                } else {
-                    Ok(int_route(b, K, start).1)
-                }
-            });
-            match step {
-                Ok(child) => pid = child,
-                Err(()) => break,
-            }
-        }
+    pub fn cursor_from(&self, pool: &mut BufferPool, start: &[u8; K]) -> Result<Cursor<K, V>> {
+        let pid = self.descend_to_leaf(pool, start)?;
         let idx = pool.read(pid, |b| match leaf_search(b, K, V, start) {
             Ok(i) => i,
             Err(i) => i,
-        });
+        })?;
         let mut c = Cursor { pid, idx };
-        c.skip_exhausted_leaves(pool);
-        c
+        c.skip_exhausted_leaves(pool)?;
+        Ok(c)
     }
 }
 
@@ -434,12 +444,15 @@ pub struct Cursor<const K: usize, const V: usize> {
 
 impl<const K: usize, const V: usize> Cursor<K, V> {
     /// The entry under the cursor, or `None` when exhausted.
-    pub fn entry(&self, pool: &mut BufferPool) -> Option<([u8; K], [u8; V])> {
+    pub fn entry(&self, pool: &mut BufferPool) -> Result<Option<([u8; K], [u8; V])>> {
         if !self.pid.is_valid() {
-            return None;
+            return Ok(None);
         }
         pool.read(self.pid, |b| {
-            debug_assert!(self.idx < node::count(b), "cursor normalized past short leaves");
+            debug_assert!(
+                self.idx < node::count(b),
+                "cursor normalized past short leaves"
+            );
             let mut kk = [0u8; K];
             kk.copy_from_slice(leaf_key(b, K, V, self.idx));
             let mut vv = [0u8; V];
@@ -449,12 +462,12 @@ impl<const K: usize, const V: usize> Cursor<K, V> {
     }
 
     /// Advance one entry.
-    pub fn advance(&mut self, pool: &mut BufferPool) {
+    pub fn advance(&mut self, pool: &mut BufferPool) -> Result<()> {
         if !self.pid.is_valid() {
-            return;
+            return Ok(());
         }
         self.idx += 1;
-        self.skip_exhausted_leaves(pool);
+        self.skip_exhausted_leaves(pool)
     }
 
     /// Whether the cursor has run off the end.
@@ -462,15 +475,16 @@ impl<const K: usize, const V: usize> Cursor<K, V> {
         !self.pid.is_valid()
     }
 
-    fn skip_exhausted_leaves(&mut self, pool: &mut BufferPool) {
+    fn skip_exhausted_leaves(&mut self, pool: &mut BufferPool) -> Result<()> {
         while self.pid.is_valid() {
-            let (n, next) = pool.read(self.pid, |b| (node::count(b), next_leaf(b)));
+            let (n, next) = pool.read(self.pid, |b| (node::count(b), next_leaf(b)))?;
             if self.idx < n {
-                return;
+                return Ok(());
             }
             self.pid = next;
             self.idx = 0;
         }
+        Ok(())
     }
 }
 
@@ -489,77 +503,92 @@ mod tests {
     #[test]
     fn insert_get_small() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         for i in 0..100u32 {
-            assert!(t.insert(&mut p, &u32_be(i * 7 % 100), &u64_be(i as u64)).is_none());
+            assert!(t
+                .insert(&mut p, &u32_be(i * 7 % 100), &u64_be(i as u64))
+                .unwrap()
+                .is_none());
         }
         assert_eq!(t.len(), 100);
         for i in 0..100u32 {
-            let v = t.get(&mut p, &u32_be(i * 7 % 100)).unwrap();
+            let v = t.get(&mut p, &u32_be(i * 7 % 100)).unwrap().unwrap();
             assert_eq!(u64_from_be(&v), i as u64);
         }
-        assert!(t.get(&mut p, &u32_be(100)).is_none());
+        assert!(t.get(&mut p, &u32_be(100)).unwrap().is_none());
     }
 
     #[test]
     fn upsert_replaces() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
-        assert!(t.insert(&mut p, &u32_be(5), &u64_be(1)).is_none());
-        let old = t.insert(&mut p, &u32_be(5), &u64_be(2)).unwrap();
+        let mut t = T::create(&mut p).unwrap();
+        assert!(t.insert(&mut p, &u32_be(5), &u64_be(1)).unwrap().is_none());
+        let old = t.insert(&mut p, &u32_be(5), &u64_be(2)).unwrap().unwrap();
         assert_eq!(u64_from_be(&old), 1);
         assert_eq!(t.len(), 1);
-        assert_eq!(u64_from_be(&t.get(&mut p, &u32_be(5)).unwrap()), 2);
+        assert_eq!(u64_from_be(&t.get(&mut p, &u32_be(5)).unwrap().unwrap()), 2);
     }
 
     #[test]
     fn many_inserts_split_leaves_and_internals() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         let n = 20_000u32;
         // Insert in a scrambled order to exercise both split paths.
         // gcd(7919, 20000) = 1, so i ↦ 7919·i mod n is a permutation.
         for i in 0..n {
             let k = (i * 7919) % n;
-            t.insert(&mut p, &u32_be(k), &u64_be(k as u64 * 3));
+            t.insert(&mut p, &u32_be(k), &u64_be(k as u64 * 3)).unwrap();
         }
-        assert_eq!(t.len() as u32, n, "duplicates collapse: permutation covers 0..n");
+        assert_eq!(
+            t.len() as u32,
+            n,
+            "duplicates collapse: permutation covers 0..n"
+        );
         assert!(t.depth() >= 2, "20k entries must overflow a single leaf");
         for i in (0..n).step_by(997) {
-            assert_eq!(u64_from_be(&t.get(&mut p, &u32_be(i)).unwrap()), i as u64 * 3);
+            assert_eq!(
+                u64_from_be(&t.get(&mut p, &u32_be(i)).unwrap().unwrap()),
+                i as u64 * 3
+            );
         }
     }
 
     #[test]
     fn scan_is_sorted_and_complete() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         let n = 5000u32;
         for i in 0..n {
             let k = i.wrapping_mul(48271) % n;
-            t.insert(&mut p, &u32_be(k), &u64_be(0));
+            t.insert(&mut p, &u32_be(k), &u64_be(0)).unwrap();
         }
         let mut seen = Vec::new();
         t.scan_all(&mut p, |k, _| {
             seen.push(u32_from_be(k));
             ControlFlow::Continue(())
-        });
+        })
+        .unwrap();
         assert_eq!(seen.len(), n as usize);
-        assert!(seen.windows(2).all(|w| w[0] < w[1]), "scan must be strictly sorted");
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "scan must be strictly sorted"
+        );
     }
 
     #[test]
     fn scan_from_midpoint_and_early_stop() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         for i in 0..1000u32 {
-            t.insert(&mut p, &u32_be(i), &u64_be(i as u64));
+            t.insert(&mut p, &u32_be(i), &u64_be(i as u64)).unwrap();
         }
         let mut got = Vec::new();
         t.scan_from(&mut p, &u32_be(990), |k, _| {
             got.push(u32_from_be(k));
             ControlFlow::Continue(())
-        });
+        })
+        .unwrap();
         assert_eq!(got, (990..1000).collect::<Vec<_>>());
 
         let mut cnt = 0;
@@ -570,43 +599,48 @@ mod tests {
             } else {
                 ControlFlow::Continue(())
             }
-        });
+        })
+        .unwrap();
         assert_eq!(cnt, 5);
     }
 
     #[test]
     fn remove_then_get_misses() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         for i in 0..2000u32 {
-            t.insert(&mut p, &u32_be(i), &u64_be(i as u64));
+            t.insert(&mut p, &u32_be(i), &u64_be(i as u64)).unwrap();
         }
         for i in (0..2000).step_by(2) {
-            assert!(t.remove(&mut p, &u32_be(i)).is_some());
+            assert!(t.remove(&mut p, &u32_be(i)).unwrap().is_some());
         }
         assert_eq!(t.len(), 1000);
-        assert!(t.get(&mut p, &u32_be(4)).is_none());
-        assert!(t.get(&mut p, &u32_be(5)).is_some());
-        assert!(t.remove(&mut p, &u32_be(4)).is_none(), "double remove");
+        assert!(t.get(&mut p, &u32_be(4)).unwrap().is_none());
+        assert!(t.get(&mut p, &u32_be(5)).unwrap().is_some());
+        assert!(
+            t.remove(&mut p, &u32_be(4)).unwrap().is_none(),
+            "double remove"
+        );
         // Scan still sorted and complete.
         let mut seen = Vec::new();
         t.scan_all(&mut p, |k, _| {
             seen.push(u32_from_be(k));
             ControlFlow::Continue(())
-        });
+        })
+        .unwrap();
         assert_eq!(seen, (0..2000).filter(|i| i % 2 == 1).collect::<Vec<_>>());
     }
 
     #[test]
     fn zero_width_values_work() {
         let mut p = pool();
-        let mut t: BTree<8, 0> = BTree::create(&mut p);
+        let mut t: BTree<8, 0> = BTree::create(&mut p).unwrap();
         for i in 0..1000u64 {
-            t.insert(&mut p, &u64_be(i), &[]);
+            t.insert(&mut p, &u64_be(i), &[]).unwrap();
         }
         assert_eq!(t.len(), 1000);
-        assert!(t.get(&mut p, &u64_be(999)).is_some());
-        assert!(t.get(&mut p, &u64_be(1000)).is_none());
+        assert!(t.get(&mut p, &u64_be(999)).unwrap().is_some());
+        assert!(t.get(&mut p, &u64_be(1000)).unwrap().is_none());
     }
 
     #[test]
@@ -614,72 +648,75 @@ mod tests {
         let store = InMemoryDisk::shared();
         let (t, root_len) = {
             let mut p = BufferPool::with_capacity(store.clone(), 64);
-            let mut t = T::create(&mut p);
+            let mut t = T::create(&mut p).unwrap();
             for i in 0..3000u32 {
-                t.insert(&mut p, &u32_be(i), &u64_be(i as u64 + 1));
+                t.insert(&mut p, &u32_be(i), &u64_be(i as u64 + 1)).unwrap();
             }
-            p.flush();
+            p.flush().unwrap();
             let l = t.len();
             (t, l)
         };
         let mut q = BufferPool::with_capacity(store, 64);
         assert_eq!(t.len(), root_len);
-        assert_eq!(u64_from_be(&t.get(&mut q, &u32_be(1234)).unwrap()), 1235);
+        assert_eq!(
+            u64_from_be(&t.get(&mut q, &u32_be(1234)).unwrap().unwrap()),
+            1235
+        );
     }
 
     #[test]
     fn cursor_walks_sorted_and_interleaves() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         for i in 0..3000u32 {
-            t.insert(&mut p, &u32_be(i * 2), &u64_be(i as u64));
+            t.insert(&mut p, &u32_be(i * 2), &u64_be(i as u64)).unwrap();
         }
         // Walk from an interior key.
-        let mut c = t.cursor_from(&mut p, &u32_be(101));
-        let (k, _) = c.entry(&mut p).unwrap();
+        let mut c = t.cursor_from(&mut p, &u32_be(101)).unwrap();
+        let (k, _) = c.entry(&mut p).unwrap().unwrap();
         assert_eq!(u32_from_be(&k), 102, "cursor seeks the next key ≥ start");
         let mut last = 100;
         let mut n = 0;
-        while let Some((k, _)) = c.entry(&mut p) {
+        while let Some((k, _)) = c.entry(&mut p).unwrap() {
             let kk = u32_from_be(&k);
             assert!(kk > last);
             last = kk;
             n += 1;
-            c.advance(&mut p);
+            c.advance(&mut p).unwrap();
         }
         assert!(c.is_exhausted());
         assert_eq!(n, 3000 - 51);
 
         // Two interleaved cursors are independent.
-        let mut a = t.cursor_first(&mut p);
-        let mut b = t.cursor_first(&mut p);
-        a.advance(&mut p);
-        assert_eq!(u32_from_be(&a.entry(&mut p).unwrap().0), 2);
-        assert_eq!(u32_from_be(&b.entry(&mut p).unwrap().0), 0);
-        b.advance(&mut p);
-        b.advance(&mut p);
-        assert_eq!(u32_from_be(&b.entry(&mut p).unwrap().0), 4);
+        let mut a = t.cursor_first(&mut p).unwrap();
+        let mut b = t.cursor_first(&mut p).unwrap();
+        a.advance(&mut p).unwrap();
+        assert_eq!(u32_from_be(&a.entry(&mut p).unwrap().unwrap().0), 2);
+        assert_eq!(u32_from_be(&b.entry(&mut p).unwrap().unwrap().0), 0);
+        b.advance(&mut p).unwrap();
+        b.advance(&mut p).unwrap();
+        assert_eq!(u32_from_be(&b.entry(&mut p).unwrap().unwrap().0), 4);
     }
 
     #[test]
     fn cursor_on_empty_tree_is_exhausted() {
         let mut p = pool();
-        let t = T::create(&mut p);
-        let c = t.cursor_first(&mut p);
+        let t = T::create(&mut p).unwrap();
+        let c = t.cursor_first(&mut p).unwrap();
         assert!(c.is_exhausted());
-        assert!(c.entry(&mut p).is_none());
+        assert!(c.entry(&mut p).unwrap().is_none());
     }
 
     #[test]
     fn append_load_packs_leaves_densely() {
         let store = InMemoryDisk::shared();
         let mut p = BufferPool::with_capacity(store.clone(), 200);
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         let n = 10 * T::LEAF_CAP as u32;
         for i in 0..n {
-            t.insert(&mut p, &u32_be(i), &u64_be(0));
+            t.insert(&mut p, &u32_be(i), &u64_be(0)).unwrap();
         }
-        p.flush();
+        p.flush().unwrap();
         // With the append-friendly split, ~n/LEAF_CAP leaves (plus internal
         // pages), not the ~2× an even split would produce.
         let pages = store.num_pages();
@@ -692,12 +729,37 @@ mod tests {
     #[test]
     fn sequential_inserts_reach_expected_depth() {
         let mut p = pool();
-        let mut t = T::create(&mut p);
+        let mut t = T::create(&mut p).unwrap();
         // Leaf cap for K=4,V=8 is (8192-12)/12 = 681.
         assert_eq!(T::LEAF_CAP, (8192 - 12) / 12);
         for i in 0..(T::LEAF_CAP as u32 + 1) {
-            t.insert(&mut p, &u32_be(i), &u64_be(0));
+            t.insert(&mut p, &u32_be(i), &u64_be(0)).unwrap();
         }
         assert_eq!(t.depth(), 2, "one overflow ⇒ root becomes internal");
+    }
+
+    #[test]
+    fn injected_read_failure_surfaces_from_lookup() {
+        use crate::fault::{Fault, FaultStore};
+        use crate::StorageError;
+        use std::sync::Arc;
+
+        let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 3));
+        let mut p = BufferPool::with_capacity(faults.clone(), 4);
+        let mut t = T::create(&mut p).unwrap();
+        for i in 0..5000u32 {
+            t.insert(&mut p, &u32_be(i), &u64_be(i as u64)).unwrap();
+        }
+        p.clear().unwrap(); // force physical reads on the next lookup
+        faults.arm(Fault::FailRead {
+            after: faults.reads_so_far() + 1,
+        });
+        let err = t.get(&mut p, &u32_be(4321)).unwrap_err();
+        assert!(matches!(err, StorageError::Io { op: "read", .. }));
+        // The pool survives: the same lookup succeeds once the fault is spent.
+        assert_eq!(
+            u64_from_be(&t.get(&mut p, &u32_be(4321)).unwrap().unwrap()),
+            4321
+        );
     }
 }

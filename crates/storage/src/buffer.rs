@@ -5,10 +5,16 @@
 //! replacement algorithm is used to manage the buffer pool." Index code
 //! accesses pages only through [`BufferPool::read`] / [`BufferPool::write`],
 //! so [`IoStats::physical_reads`] is exactly the paper's y-axis.
+//!
+//! Every page access is fallible: a failed physical read, a checksum
+//! mismatch, or an unwritable eviction victim propagates as a
+//! [`StorageError`] to the calling query rather than aborting the
+//! process.
 
 use std::collections::HashMap;
 
 use crate::disk::SharedStore;
+use crate::error::{Result, StorageError};
 use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 
@@ -86,30 +92,34 @@ impl BufferPool {
     }
 
     /// Allocate a fresh page on the store and cache its (zeroed) image.
-    pub fn allocate(&mut self) -> PageId {
-        let pid = self.store.allocate();
+    pub fn allocate(&mut self) -> Result<PageId> {
+        let pid = self.store.allocate()?;
         // The zeroed image is already known; fault it in without a read.
-        let slot = self.victim_slot();
+        let slot = self.victim_slot()?;
         self.install(slot, pid, zeroed_page());
         self.frames[slot].dirty = true;
-        pid
+        Ok(pid)
     }
 
     /// Read page `pid`, exposing its bytes to `f`.
-    pub fn read<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
-        let slot = self.fault_in(pid);
+    pub fn read<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        let slot = self.fault_in(pid)?;
         self.touch(slot);
-        f(&self.frames[slot].buf)
+        Ok(f(&self.frames[slot].buf))
     }
 
     /// Mutate page `pid` in place; the frame is marked dirty and written
     /// back on eviction or [`flush`](BufferPool::flush).
-    pub fn write<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
-        let slot = self.fault_in(pid);
+    pub fn write<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
+        let slot = self.fault_in(pid)?;
         self.touch(slot);
         let frame = &mut self.frames[slot];
         frame.dirty = true;
-        f(&mut frame.buf)
+        Ok(f(&mut frame.buf))
     }
 
     fn touch(&mut self, slot: usize) {
@@ -119,23 +129,26 @@ impl BufferPool {
         frame.last_used = self.tick;
     }
 
-    /// Write every dirty frame back to the store.
-    pub fn flush(&mut self) {
+    /// Write every dirty frame back to the store. On error the failing
+    /// frame (and any not yet visited) stays dirty.
+    pub fn flush(&mut self) -> Result<()> {
         for frame in &mut self.frames {
             if frame.dirty {
-                self.store.write(frame.pid, &frame.buf);
+                self.store.write(frame.pid, &frame.buf)?;
                 self.stats.physical_writes += 1;
                 frame.dirty = false;
             }
         }
+        Ok(())
     }
 
     /// Drop all cached frames (flushing dirty ones): a cold cache.
-    pub fn clear(&mut self) {
-        self.flush();
+    pub fn clear(&mut self) -> Result<()> {
+        self.flush()?;
         self.frames.clear();
         self.map.clear();
         self.hand = 0;
+        Ok(())
     }
 
     /// I/O counters accumulated so far.
@@ -163,22 +176,22 @@ impl BufferPool {
         self.map.contains_key(&pid)
     }
 
-    fn fault_in(&mut self, pid: PageId) -> usize {
+    fn fault_in(&mut self, pid: PageId) -> Result<usize> {
         self.stats.logical_reads += 1;
         if let Some(&slot) = self.map.get(&pid) {
             self.stats.hits += 1;
-            return slot;
+            return Ok(slot);
         }
         self.stats.physical_reads += 1;
         let mut buf = zeroed_page();
-        self.store.read(pid, &mut buf);
-        let slot = self.victim_slot();
+        self.store.read(pid, &mut buf)?;
+        let slot = self.victim_slot()?;
         self.install(slot, pid, buf);
-        slot
+        Ok(slot)
     }
 
     /// Pick a frame slot, evicting per the configured policy if full.
-    fn victim_slot(&mut self) -> usize {
+    fn victim_slot(&mut self) -> Result<usize> {
         if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 pid: PageId::INVALID,
@@ -187,7 +200,7 @@ impl BufferPool {
                 dirty: false,
                 last_used: 0,
             });
-            return self.frames.len() - 1;
+            return Ok(self.frames.len() - 1);
         }
         let slot = match self.policy {
             Replacement::Clock => loop {
@@ -206,15 +219,18 @@ impl BufferPool {
                 .enumerate()
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
-                .expect("pool is full"),
+                .ok_or(StorageError::PoolExhausted)?,
         };
         let frame = &mut self.frames[slot];
         if frame.dirty {
-            self.store.write(frame.pid, &frame.buf);
+            // A victim we cannot persist stays resident and dirty; the
+            // caller's operation fails without losing the page image.
+            self.store.write(frame.pid, &frame.buf)?;
             self.stats.physical_writes += 1;
+            frame.dirty = false;
         }
         self.map.remove(&frame.pid);
-        slot
+        Ok(slot)
     }
 
     fn install(&mut self, slot: usize, pid: PageId, buf: PageBuf) {
@@ -232,7 +248,9 @@ impl BufferPool {
 
 impl Drop for BufferPool {
     fn drop(&mut self) {
-        self.flush();
+        // Best-effort writeback; errors here have no caller to report to
+        // and must not turn into a panic during unwinding.
+        let _ = self.flush();
     }
 }
 
@@ -240,6 +258,8 @@ impl Drop for BufferPool {
 mod tests {
     use super::*;
     use crate::disk::InMemoryDisk;
+    use crate::fault::{Fault, FaultStore};
+    use std::sync::Arc;
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::with_capacity(InMemoryDisk::shared(), frames)
@@ -248,11 +268,11 @@ mod tests {
     #[test]
     fn repeated_reads_hit_the_cache() {
         let mut p = pool(4);
-        let pid = p.allocate();
-        p.flush();
+        let pid = p.allocate().unwrap();
+        p.flush().unwrap();
         p.reset_stats();
         for _ in 0..5 {
-            p.read(pid, |_| ());
+            p.read(pid, |_| ()).unwrap();
         }
         let s = p.stats();
         assert_eq!(s.physical_reads, 0, "page was resident after allocate");
@@ -266,12 +286,12 @@ mod tests {
         let pid;
         {
             let mut w = BufferPool::with_capacity(store.clone(), 2);
-            pid = w.allocate();
-            w.write(pid, |b| b[17] = 99);
-            w.flush();
+            pid = w.allocate().unwrap();
+            w.write(pid, |b| b[17] = 99).unwrap();
+            w.flush().unwrap();
         }
         let mut r = BufferPool::with_capacity(store, 2);
-        let v = r.read(pid, |b| b[17]);
+        let v = r.read(pid, |b| b[17]).unwrap();
         assert_eq!(v, 99);
         assert_eq!(r.stats().physical_reads, 1);
     }
@@ -279,11 +299,11 @@ mod tests {
     #[test]
     fn eviction_happens_beyond_capacity() {
         let mut p = pool(2);
-        let pids: Vec<PageId> = (0..3).map(|_| p.allocate()).collect();
-        p.flush();
+        let pids: Vec<PageId> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        p.flush().unwrap();
         // Touch all three; only two fit.
         for &pid in &pids {
-            p.read(pid, |_| ());
+            p.read(pid, |_| ()).unwrap();
         }
         assert_eq!(p.resident(), 2);
         assert!(!p.is_resident(pids[0]) || !p.is_resident(pids[1]) || !p.is_resident(pids[2]));
@@ -292,12 +312,12 @@ mod tests {
     #[test]
     fn clock_gives_second_chance_to_referenced_pages() {
         let mut p = pool(2);
-        let a = p.allocate();
-        let _b = p.allocate(); // fills both frames; both referenced
-        p.flush();
-        p.read(a, |_| ()); // keep A hot
-        let c = p.allocate(); // must evict someone
-        p.flush();
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap(); // fills both frames; both referenced
+        p.flush().unwrap();
+        p.read(a, |_| ()).unwrap(); // keep A hot
+        let c = p.allocate().unwrap(); // must evict someone
+        p.flush().unwrap();
         // A was re-referenced after B, so the clock should clear reference
         // bits in order and evict one of the stale pages — after the dust
         // settles A or B is out but C is in.
@@ -309,11 +329,11 @@ mod tests {
     fn dirty_eviction_writes_back() {
         let store = InMemoryDisk::shared();
         let mut p = BufferPool::with_capacity(store.clone(), 1);
-        let a = p.allocate();
-        p.write(a, |b| b[0] = 7);
-        let _b = p.allocate(); // evicts dirty `a`
+        let a = p.allocate().unwrap();
+        p.write(a, |b| b[0] = 7).unwrap();
+        let _b = p.allocate().unwrap(); // evicts dirty `a`
         let mut q = BufferPool::with_capacity(store, 1);
-        assert_eq!(q.read(a, |b| b[0]), 7);
+        assert_eq!(q.read(a, |b| b[0]).unwrap(), 7);
     }
 
     #[test]
@@ -321,14 +341,14 @@ mod tests {
         let store = InMemoryDisk::shared();
         let pids: Vec<PageId> = {
             let mut w = BufferPool::with_capacity(store.clone(), 8);
-            let v: Vec<PageId> = (0..8).map(|_| w.allocate()).collect();
-            w.flush();
+            let v: Vec<PageId> = (0..8).map(|_| w.allocate().unwrap()).collect();
+            w.flush().unwrap();
             v
         };
         let mut p = BufferPool::with_capacity(store, 100);
         for &pid in &pids {
-            p.read(pid, |_| ());
-            p.read(pid, |_| ());
+            p.read(pid, |_| ()).unwrap();
+            p.read(pid, |_| ()).unwrap();
         }
         let s = p.stats();
         assert_eq!(s.physical_reads, 8);
@@ -338,11 +358,11 @@ mod tests {
     #[test]
     fn clear_resets_cache_but_preserves_data() {
         let mut p = pool(4);
-        let a = p.allocate();
-        p.write(a, |b| b[3] = 5);
-        p.clear();
+        let a = p.allocate().unwrap();
+        p.write(a, |b| b[3] = 5).unwrap();
+        p.clear().unwrap();
         assert_eq!(p.resident(), 0);
-        assert_eq!(p.read(a, |b| b[3]), 5);
+        assert_eq!(p.read(a, |b| b[3]).unwrap(), 5);
         assert!(p.is_resident(a));
     }
 
@@ -357,12 +377,12 @@ mod tests {
         let store = InMemoryDisk::shared();
         let mut p = BufferPool::with_policy(store, 2, Replacement::Lru);
         assert_eq!(p.policy(), Replacement::Lru);
-        let a = p.allocate();
-        let b = p.allocate();
-        p.flush();
-        p.read(a, |_| ()); // A is now the most recent
-        let c = p.allocate(); // must evict B (LRU)
-        p.flush();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.flush().unwrap();
+        p.read(a, |_| ()).unwrap(); // A is now the most recent
+        let c = p.allocate().unwrap(); // must evict B (LRU)
+        p.flush().unwrap();
         assert!(p.is_resident(a), "recently used page must survive");
         assert!(!p.is_resident(b), "LRU page must be evicted");
         assert!(p.is_resident(c));
@@ -373,13 +393,13 @@ mod tests {
         let store = InMemoryDisk::shared();
         let pids: Vec<PageId> = {
             let mut w = BufferPool::with_capacity(store.clone(), 8);
-            let v: Vec<PageId> = (0..6).map(|_| w.allocate()).collect();
-            w.flush();
+            let v: Vec<PageId> = (0..6).map(|_| w.allocate().unwrap()).collect();
+            w.flush().unwrap();
             v
         };
         let mut p = BufferPool::with_policy(store, 3, Replacement::Lru);
         for &pid in &pids {
-            p.read(pid, |_| ());
+            p.read(pid, |_| ()).unwrap();
         }
         // Only the last 3 touched remain.
         assert!(!p.is_resident(pids[0]));
@@ -395,19 +415,54 @@ mod tests {
             let mut w = BufferPool::with_capacity(store.clone(), 16);
             let v: Vec<PageId> = (0..10u8)
                 .map(|i| {
-                    let pid = w.allocate();
-                    w.write(pid, |b| b[0] = i);
+                    let pid = w.allocate().unwrap();
+                    w.write(pid, |b| b[0] = i).unwrap();
                     pid
                 })
                 .collect();
-            w.flush();
+            w.flush().unwrap();
             v
         };
         for policy in [Replacement::Clock, Replacement::Lru] {
             let mut p = BufferPool::with_policy(store.clone(), 3, policy);
             for (i, &pid) in pids.iter().enumerate() {
-                assert_eq!(p.read(pid, |b| b[0]) as usize, i, "{policy:?}");
+                assert_eq!(p.read(pid, |b| b[0]).unwrap() as usize, i, "{policy:?}");
             }
         }
+    }
+
+    #[test]
+    fn injected_read_failure_propagates_without_poisoning_the_pool() {
+        let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 3));
+        faults.arm(Fault::FailRead { after: 1 });
+        let mut p = BufferPool::with_capacity(faults.clone(), 4);
+        let pid = p.allocate().unwrap();
+        p.clear().unwrap();
+        assert!(matches!(p.read(pid, |_| ()), Err(StorageError::Io { .. })));
+        // The fault fired once; the pool stays usable.
+        assert_eq!(p.read(pid, |b| b[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn failed_dirty_eviction_keeps_the_frame_dirty() {
+        let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 3));
+        let mut p = BufferPool::with_capacity(faults.clone(), 1);
+        let a = p.allocate().unwrap();
+        p.write(a, |b| b[0] = 5).unwrap();
+        faults.arm(Fault::FailWrite { after: 1 });
+        // Allocating a second page must evict dirty `a`; the injected
+        // write failure surfaces and `a`'s image survives in the pool.
+        assert!(p.allocate().is_err());
+        assert_eq!(p.read(a, |b| b[0]).unwrap(), 5);
+        p.flush().unwrap();
+    }
+
+    #[test]
+    fn allocation_failure_surfaces_as_nospace() {
+        let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 3));
+        faults.arm(Fault::FailAllocate { after: 1 });
+        let mut p = BufferPool::with_capacity(faults, 2);
+        assert_eq!(p.allocate(), Err(StorageError::NoSpace));
+        assert!(p.allocate().is_ok());
     }
 }

@@ -1,0 +1,333 @@
+//! Deterministic fault injection for storage tests.
+//!
+//! [`FaultStore`] wraps any [`PageStore`] and injects failures at exact,
+//! seedable points: the Nth physical read or write, torn writes that
+//! persist only a prefix of the page, single-bit flips on read, and
+//! allocation failure (ENOSPC). Because triggers count operations rather
+//! than rolling dice per call, a failing test reproduces byte-for-byte —
+//! this is the harness behind the crate's failure-path coverage.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use uncat_storage::{FaultStore, Fault, InMemoryDisk, PageStore, StorageError};
+//!
+//! let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 42));
+//! faults.arm(Fault::FailRead { after: 2 });
+//! let store: uncat_storage::SharedStore = faults.clone();
+//! let pid = store.allocate().unwrap();
+//! let mut buf = [0u8; uncat_storage::PAGE_SIZE];
+//! assert!(store.read(pid, &mut buf).is_ok()); // read #1
+//! assert!(matches!(store.read(pid, &mut buf), Err(StorageError::Io { .. }))); // read #2
+//! assert!(store.read(pid, &mut buf).is_ok()); // faults fire once
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::disk::{PageStore, SharedStore};
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+
+/// A failure to inject, with its trigger point. Each `after` counts
+/// operations of the fault's kind on this store, starting at 1; a fault
+/// fires exactly once, on operation number `after`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The `after`-th read fails with [`StorageError::Io`].
+    FailRead {
+        /// 1-based read index that fails.
+        after: u64,
+    },
+    /// The `after`-th write fails with [`StorageError::Io`]; nothing is
+    /// persisted.
+    FailWrite {
+        /// 1-based write index that fails.
+        after: u64,
+    },
+    /// The `after`-th allocation fails with [`StorageError::NoSpace`].
+    FailAllocate {
+        /// 1-based allocation index that fails.
+        after: u64,
+    },
+    /// The `after`-th write persists only the first `keep` bytes of the
+    /// new image (the page keeps its old suffix) and reports
+    /// [`StorageError::Io`] — a torn write.
+    TornWrite {
+        /// 1-based write index that tears.
+        after: u64,
+        /// Bytes of the new image that reach the store.
+        keep: usize,
+    },
+    /// The `after`-th read succeeds but one bit of the returned buffer is
+    /// flipped (position derived from the store's seed) — bit rot past
+    /// any physical checksum.
+    FlipBitOnRead {
+        /// 1-based read index that is corrupted.
+        after: u64,
+    },
+}
+
+impl Fault {
+    fn counter(&self) -> Kind {
+        match self {
+            Fault::FailRead { .. } | Fault::FlipBitOnRead { .. } => Kind::Read,
+            Fault::FailWrite { .. } | Fault::TornWrite { .. } => Kind::Write,
+            Fault::FailAllocate { .. } => Kind::Allocate,
+        }
+    }
+
+    fn after(&self) -> u64 {
+        match *self {
+            Fault::FailRead { after }
+            | Fault::FailWrite { after }
+            | Fault::FailAllocate { after }
+            | Fault::TornWrite { after, .. }
+            | Fault::FlipBitOnRead { after } => after,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    Allocate,
+}
+
+/// A [`PageStore`] wrapper injecting armed [`Fault`]s deterministically.
+pub struct FaultStore {
+    inner: SharedStore,
+    seed: u64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocs: AtomicU64,
+    armed: Mutex<Vec<Fault>>,
+    fired: AtomicU64,
+}
+
+impl FaultStore {
+    /// Wrap `inner`; `seed` fixes the bit positions chosen by
+    /// [`Fault::FlipBitOnRead`].
+    pub fn new(inner: SharedStore, seed: u64) -> FaultStore {
+        FaultStore {
+            inner,
+            seed,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            armed: Mutex::new(Vec::new()),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm a fault. Multiple faults may be armed; each fires once when
+    /// its operation counter reaches its trigger.
+    pub fn arm(&self, fault: Fault) {
+        self.armed.lock().push(fault);
+    }
+
+    /// Remove every armed (not-yet-fired) fault.
+    pub fn disarm_all(&self) {
+        self.armed.lock().clear();
+    }
+
+    /// How many armed faults have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Physical reads seen so far; arm `FailRead { after: reads_so_far() + n }`
+    /// to fail the nth upcoming read regardless of history.
+    pub fn reads_so_far(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    /// Physical writes seen so far (see [`FaultStore::reads_so_far`]).
+    pub fn writes_so_far(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Allocations seen so far (see [`FaultStore::reads_so_far`]).
+    pub fn allocs_so_far(&self) -> u64 {
+        self.allocs.load(Ordering::SeqCst)
+    }
+
+    /// Take the fault of `kind` triggered at operation `n`, if any.
+    fn triggered(&self, kind: Kind, n: u64) -> Option<Fault> {
+        let mut armed = self.armed.lock();
+        let idx = armed
+            .iter()
+            .position(|f| f.counter() == kind && f.after() == n)?;
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        Some(armed.swap_remove(idx))
+    }
+
+    /// Deterministic bit index in a page for read corruption number `n`.
+    fn bit_position(&self, n: u64) -> usize {
+        // xorshift* over (seed, n): stable across platforms.
+        let mut x = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % (PAGE_SIZE as u64 * 8)) as usize
+    }
+}
+
+impl PageStore for FaultStore {
+    fn allocate(&self) -> Result<PageId> {
+        let n = self.allocs.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(Fault::FailAllocate { .. }) = self.triggered(Kind::Allocate, n) {
+            return Err(StorageError::NoSpace);
+        }
+        self.inner.allocate()
+    }
+
+    fn read(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        let n = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.triggered(Kind::Read, n) {
+            Some(Fault::FailRead { .. }) => Err(StorageError::Io {
+                op: "read",
+                pid: Some(pid),
+                detail: format!("injected read failure #{n}"),
+            }),
+            Some(Fault::FlipBitOnRead { .. }) => {
+                self.inner.read(pid, out)?;
+                let bit = self.bit_position(n);
+                out[bit / 8] ^= 1 << (bit % 8);
+                Ok(())
+            }
+            _ => self.inner.read(pid, out),
+        }
+    }
+
+    fn write(&self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+        let n = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.triggered(Kind::Write, n) {
+            Some(Fault::FailWrite { .. }) => Err(StorageError::Io {
+                op: "write",
+                pid: Some(pid),
+                detail: format!("injected write failure #{n}"),
+            }),
+            Some(Fault::TornWrite { keep, .. }) => {
+                // Persist the merge of the new prefix with the old
+                // suffix, then report failure — the state a torn write
+                // leaves behind.
+                let mut merged = [0u8; PAGE_SIZE];
+                self.inner.read(pid, &mut merged)?;
+                let keep = keep.min(PAGE_SIZE);
+                merged[..keep].copy_from_slice(&data[..keep]);
+                self.inner.write(pid, &merged)?;
+                Err(StorageError::Io {
+                    op: "write",
+                    pid: Some(pid),
+                    detail: format!("injected torn write #{n} (kept {keep} bytes)"),
+                })
+            }
+            _ => self.inner.write(pid, data),
+        }
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn reads(&self) -> u64 {
+        self.inner.reads()
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.writes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::page::zeroed_page;
+    use std::sync::Arc;
+
+    fn harness() -> (Arc<FaultStore>, SharedStore) {
+        let fs = Arc::new(FaultStore::new(InMemoryDisk::shared(), 7));
+        let store: SharedStore = fs.clone();
+        (fs, store)
+    }
+
+    #[test]
+    fn nth_read_fails_once() {
+        let (fs, store) = harness();
+        let pid = store.allocate().unwrap();
+        fs.arm(Fault::FailRead { after: 2 });
+        let mut buf = zeroed_page();
+        assert!(store.read(pid, &mut buf).is_ok());
+        assert!(matches!(
+            store.read(pid, &mut buf),
+            Err(StorageError::Io { op: "read", .. })
+        ));
+        assert!(
+            store.read(pid, &mut buf).is_ok(),
+            "fault fires exactly once"
+        );
+        assert_eq!(fs.fired(), 1);
+    }
+
+    #[test]
+    fn nth_write_fails_and_persists_nothing() {
+        let (fs, store) = harness();
+        let pid = store.allocate().unwrap();
+        fs.arm(Fault::FailWrite { after: 1 });
+        let mut data = zeroed_page();
+        data[0] = 9;
+        assert!(store.write(pid, &data).is_err());
+        let mut buf = zeroed_page();
+        store.read(pid, &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "failed write must not persist");
+    }
+
+    #[test]
+    fn allocation_failure_is_nospace() {
+        let (fs, store) = harness();
+        fs.arm(Fault::FailAllocate { after: 2 });
+        assert!(store.allocate().is_ok());
+        assert_eq!(store.allocate(), Err(StorageError::NoSpace));
+        assert!(store.allocate().is_ok());
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let (fs, store) = harness();
+        let pid = store.allocate().unwrap();
+        let mut old = zeroed_page();
+        old.fill(0xAA);
+        store.write(pid, &old).unwrap();
+        fs.arm(Fault::TornWrite {
+            after: 2,
+            keep: 100,
+        });
+        let mut new = zeroed_page();
+        new.fill(0xBB);
+        assert!(store.write(pid, &new).is_err());
+        let mut buf = zeroed_page();
+        store.read(pid, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xBB);
+        assert_eq!(buf[99], 0xBB);
+        assert_eq!(buf[100], 0xAA, "suffix keeps pre-tear contents");
+    }
+
+    #[test]
+    fn bit_flip_is_deterministic_per_seed() {
+        let observe = |seed| {
+            let fs = Arc::new(FaultStore::new(InMemoryDisk::shared(), seed));
+            let store: SharedStore = fs.clone();
+            let pid = store.allocate().unwrap();
+            fs.arm(Fault::FlipBitOnRead { after: 1 });
+            let mut buf = zeroed_page();
+            store.read(pid, &mut buf).unwrap();
+            buf.iter().position(|&b| b != 0)
+        };
+        let a = observe(1).expect("one byte corrupted");
+        let b = observe(1).expect("one byte corrupted");
+        assert_eq!(a, b, "same seed, same flipped bit");
+    }
+}

@@ -1,9 +1,18 @@
-//! A file-backed page store.
+//! A file-backed page store with per-page checksums.
 //!
 //! [`crate::InMemoryDisk`] reproduces the paper's I/O *counts*; `FileDisk`
 //! additionally persists pages to a real file, so indexes survive process
 //! restarts and wall-clock benches exercise genuine I/O. The two stores
 //! are interchangeable behind [`PageStore`].
+//!
+//! ## On-disk layout
+//!
+//! Each page occupies a [`RECORD_SIZE`]-byte record: the 8 KB page image
+//! followed by an 8-byte trailer — the little-endian CRC32C of the image
+//! plus 4 reserved (zero) bytes. The trailer is written together with the
+//! page and verified on **every** physical read, so bit rot and torn
+//! writes surface as [`StorageError::Checksum`] on the query that touches
+//! the page instead of being decoded as valid index structure.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -12,11 +21,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::crc::crc32c;
 use crate::disk::PageStore;
+use crate::error::{Result, StorageError};
 use crate::page::{PageId, PAGE_SIZE};
 
+/// Bytes after the page image: 4-byte CRC32C + 4 reserved.
+pub const PAGE_TRAILER: usize = 8;
+
+/// Bytes one page occupies on disk.
+pub const RECORD_SIZE: usize = PAGE_SIZE + PAGE_TRAILER;
+
 /// A page store persisted in a single file (page `i` at offset
-/// `i · PAGE_SIZE`).
+/// `i · RECORD_SIZE`), with a verified CRC32C trailer per page.
 pub struct FileDisk {
     file: Mutex<File>,
     path: PathBuf,
@@ -49,16 +66,18 @@ impl FileDisk {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
+        if len % RECORD_SIZE as u64 != 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("file length {len} is not a whole number of {PAGE_SIZE}-byte pages"),
+                format!(
+                    "file length {len} is not a whole number of {RECORD_SIZE}-byte page records"
+                ),
             ));
         }
         Ok(FileDisk {
             file: Mutex::new(file),
             path,
-            pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            pages: AtomicU64::new(len / RECORD_SIZE as u64),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         })
@@ -73,31 +92,115 @@ impl FileDisk {
     pub fn sync(&self) -> std::io::Result<()> {
         self.file.lock().sync_data()
     }
+
+    fn check_bounds(&self, pid: PageId) -> Result<()> {
+        let pages = self.pages.load(Ordering::SeqCst);
+        if pid.0 >= pages {
+            return Err(StorageError::OutOfBounds { pid, pages });
+        }
+        Ok(())
+    }
+
+    fn seek_to(&self, file: &mut File, pid: PageId, op: &'static str) -> Result<()> {
+        file.seek(SeekFrom::Start(pid.0 * RECORD_SIZE as u64))
+            .map(|_| ())
+            .map_err(|e| StorageError::io(op, pid, e))
+    }
+
+    /// Fault injection for tests: XOR one stored byte of page `pid` at
+    /// `offset` *without* updating the CRC trailer, simulating bit rot.
+    /// The next physical read of the page fails with
+    /// [`StorageError::Checksum`].
+    pub fn corrupt_byte(&self, pid: PageId, offset: usize) -> Result<()> {
+        self.check_bounds(pid)?;
+        assert!(
+            offset < PAGE_SIZE,
+            "corruption offset must land in the page image"
+        );
+        let mut file = self.file.lock();
+        let at = pid.0 * RECORD_SIZE as u64 + offset as u64;
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(at))
+            .map_err(|e| StorageError::io("seek", pid, e))?;
+        file.read_exact(&mut byte)
+            .map_err(|e| StorageError::io("read", pid, e))?;
+        byte[0] ^= 0x01;
+        file.seek(SeekFrom::Start(at))
+            .map_err(|e| StorageError::io("seek", pid, e))?;
+        file.write_all(&byte)
+            .map_err(|e| StorageError::io("write", pid, e))?;
+        Ok(())
+    }
+
+    /// Fault injection for tests: rewrite page `pid` keeping only the
+    /// first `keep` bytes of `data` (the rest of the record, trailer
+    /// included, keeps its previous contents) — a torn write. Unless the
+    /// tear is invisible (old and new bytes agree past `keep`), the next
+    /// read fails with [`StorageError::Checksum`].
+    pub fn torn_write(&self, pid: PageId, data: &[u8; PAGE_SIZE], keep: usize) -> Result<()> {
+        self.check_bounds(pid)?;
+        let keep = keep.min(PAGE_SIZE);
+        let mut file = self.file.lock();
+        self.seek_to(&mut file, pid, "seek")?;
+        file.write_all(&data[..keep])
+            .map_err(|e| StorageError::io("write", pid, e))?;
+        Ok(())
+    }
 }
 
 impl PageStore for FileDisk {
-    fn allocate(&self) -> PageId {
-        let pid = self.pages.fetch_add(1, Ordering::SeqCst);
+    fn allocate(&self) -> Result<PageId> {
+        // Hold the file lock across the counter bump so a failed extend
+        // can roll the counter back without racing another allocator.
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(pid * PAGE_SIZE as u64)).expect("seek within file");
-        file.write_all(&[0u8; PAGE_SIZE]).expect("extend page file");
-        PageId(pid)
+        let pid = PageId(self.pages.load(Ordering::SeqCst));
+        let mut record = [0u8; RECORD_SIZE];
+        let crc = crc32c(&record[..PAGE_SIZE]).to_le_bytes();
+        record[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc);
+        self.seek_to(&mut file, pid, "seek")?;
+        file.write_all(&record).map_err(|e| match e.kind() {
+            std::io::ErrorKind::StorageFull | std::io::ErrorKind::QuotaExceeded => {
+                StorageError::NoSpace
+            }
+            _ => StorageError::io("extend", pid, e),
+        })?;
+        self.pages.store(pid.0 + 1, Ordering::SeqCst);
+        Ok(pid)
     }
 
-    fn read(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) {
-        assert!(pid.0 < self.pages.load(Ordering::SeqCst), "read of unallocated page {pid}");
+    fn read(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.check_bounds(pid)?;
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64)).expect("seek within file");
-        file.read_exact(out).expect("read full page");
+        let mut trailer = [0u8; PAGE_TRAILER];
+        {
+            let mut file = self.file.lock();
+            self.seek_to(&mut file, pid, "seek")?;
+            file.read_exact(out).map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => StorageError::ShortRead { pid },
+                _ => StorageError::io("read", pid, e),
+            })?;
+            file.read_exact(&mut trailer).map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => StorageError::ShortRead { pid },
+                _ => StorageError::io("read", pid, e),
+            })?;
+        }
+        let stored = u32::from_le_bytes(trailer[..4].try_into().expect("4-byte slice"));
+        if stored != crc32c(out) {
+            return Err(StorageError::Checksum { pid });
+        }
+        Ok(())
     }
 
-    fn write(&self, pid: PageId, data: &[u8; PAGE_SIZE]) {
-        assert!(pid.0 < self.pages.load(Ordering::SeqCst), "write of unallocated page {pid}");
+    fn write(&self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.check_bounds(pid)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut record = [0u8; RECORD_SIZE];
+        record[..PAGE_SIZE].copy_from_slice(data);
+        record[PAGE_SIZE..PAGE_SIZE + 4].copy_from_slice(&crc32c(data).to_le_bytes());
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(pid.0 * PAGE_SIZE as u64)).expect("seek within file");
-        file.write_all(data).expect("write full page");
+        self.seek_to(&mut file, pid, "seek")?;
+        file.write_all(&record)
+            .map_err(|e| StorageError::io("write", pid, e))
     }
 
     fn num_pages(&self) -> u64 {
@@ -138,21 +241,21 @@ mod tests {
         let _guard = Cleanup(path.clone());
         {
             let d = FileDisk::create(&path).expect("create");
-            let a = d.allocate();
-            let b = d.allocate();
+            let a = d.allocate().unwrap();
+            let b = d.allocate().unwrap();
             let mut buf = zeroed_page();
             buf[0] = 11;
-            d.write(a, &buf);
+            d.write(a, &buf).unwrap();
             buf[0] = 22;
-            d.write(b, &buf);
+            d.write(b, &buf).unwrap();
             d.sync().expect("sync");
         }
         let d = FileDisk::open(&path).expect("open");
         assert_eq!(d.num_pages(), 2);
         let mut out = zeroed_page();
-        d.read(PageId(0), &mut out);
+        d.read(PageId(0), &mut out).unwrap();
         assert_eq!(out[0], 11);
-        d.read(PageId(1), &mut out);
+        d.read(PageId(1), &mut out).unwrap();
         assert_eq!(out[0], 22);
         assert_eq!(d.reads(), 2);
     }
@@ -163,11 +266,11 @@ mod tests {
         let _guard = Cleanup(path.clone());
         let store: crate::disk::SharedStore = Arc::new(FileDisk::create(&path).expect("create"));
         let mut pool = crate::BufferPool::with_capacity(store.clone(), 4);
-        let pid = pool.allocate();
-        pool.write(pid, |b| b[100] = 42);
-        pool.flush();
-        pool.clear();
-        assert_eq!(pool.read(pid, |b| b[100]), 42);
+        let pid = pool.allocate().unwrap();
+        pool.write(pid, |b| b[100] = 42).unwrap();
+        pool.flush().unwrap();
+        pool.clear().unwrap();
+        assert_eq!(pool.read(pid, |b| b[100]).unwrap(), 42);
         assert!(store.reads() >= 1);
     }
 
@@ -175,17 +278,72 @@ mod tests {
     fn open_rejects_torn_files() {
         let path = temp_path("torn");
         let _guard = Cleanup(path.clone());
-        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).expect("write odd-size file");
+        std::fs::write(&path, vec![0u8; RECORD_SIZE + 17]).expect("write odd-size file");
         assert!(FileDisk::open(&path).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn out_of_bounds_read_panics() {
+    fn out_of_bounds_access_is_typed() {
         let path = temp_path("oob");
         let _guard = Cleanup(path.clone());
         let d = FileDisk::create(&path).expect("create");
         let mut out = zeroed_page();
-        d.read(PageId(3), &mut out);
+        assert_eq!(
+            d.read(PageId(3), &mut out),
+            Err(StorageError::OutOfBounds {
+                pid: PageId(3),
+                pages: 0
+            })
+        );
+    }
+
+    #[test]
+    fn bit_rot_is_detected_on_read() {
+        let path = temp_path("rot");
+        let _guard = Cleanup(path.clone());
+        let d = FileDisk::create(&path).expect("create");
+        let pid = d.allocate().unwrap();
+        let mut buf = zeroed_page();
+        buf[1000] = 77;
+        d.write(pid, &buf).unwrap();
+        let mut out = zeroed_page();
+        d.read(pid, &mut out).unwrap();
+
+        d.corrupt_byte(pid, 1000).unwrap();
+        assert_eq!(d.read(pid, &mut out), Err(StorageError::Checksum { pid }));
+
+        // A full rewrite heals the page.
+        d.write(pid, &buf).unwrap();
+        assert_eq!(d.read(pid, &mut out), Ok(()));
+        assert_eq!(out[1000], 77);
+    }
+
+    #[test]
+    fn torn_write_is_detected_on_read() {
+        let path = temp_path("tear");
+        let _guard = Cleanup(path.clone());
+        let d = FileDisk::create(&path).expect("create");
+        let pid = d.allocate().unwrap();
+        let mut old = zeroed_page();
+        old.fill(0xAA);
+        d.write(pid, &old).unwrap();
+        let mut new = zeroed_page();
+        new.fill(0xBB);
+        d.torn_write(pid, &new, PAGE_SIZE / 2).unwrap();
+        let mut out = zeroed_page();
+        assert_eq!(d.read(pid, &mut out), Err(StorageError::Checksum { pid }));
+    }
+
+    #[test]
+    fn short_file_reads_as_short_read() {
+        let path = temp_path("short");
+        let _guard = Cleanup(path.clone());
+        let d = FileDisk::create(&path).expect("create");
+        let pid = d.allocate().unwrap();
+        // Truncate mid-page behind the store's back; the store still
+        // believes the page exists.
+        d.file.lock().set_len(100).expect("truncate");
+        let mut out = zeroed_page();
+        assert_eq!(d.read(pid, &mut out), Err(StorageError::ShortRead { pid }));
     }
 }

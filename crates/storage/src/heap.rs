@@ -14,8 +14,14 @@
 //! ... free space ...
 //! ... records packed at the tail ...
 //! ```
+//!
+//! Every page access goes through a fallible [`BufferPool`]; slot
+//! directories that point outside the page (possible only with a corrupt
+//! page that passed physical checks) surface as
+//! [`StorageError::Corrupt`].
 
 use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
 use crate::page::{field, PageId, PAGE_SIZE};
 
 const HDR_SLOTS: usize = 0;
@@ -44,10 +50,22 @@ pub struct HeapFile {
 /// Largest record the heap can store on one page.
 pub const MAX_RECORD: usize = PAGE_SIZE - HDR_LEN - SLOT_LEN;
 
+/// Validate a slot's record bounds against the page, rejecting corrupt
+/// directories instead of panicking on a slice.
+fn record_bounds(off: usize, len: usize) -> Result<std::ops::Range<usize>> {
+    if off >= PAGE_SIZE || len > PAGE_SIZE - off {
+        return Err(StorageError::Corrupt("heap slot points outside its page"));
+    }
+    Ok(off..off + len)
+}
+
 impl HeapFile {
     /// New empty heap file.
     pub fn new() -> HeapFile {
-        HeapFile { pages: Vec::new(), records: 0 }
+        HeapFile {
+            pages: Vec::new(),
+            records: 0,
+        }
     }
 
     /// Reattach a heap file from persisted parts (see
@@ -88,28 +106,36 @@ impl HeapFile {
     /// Panics if `data` exceeds [`MAX_RECORD`] — callers size records to
     /// pages (a UDA over even a 500-value domain fits comfortably) — or is
     /// empty (zero length marks a deleted slot on the page, so empty
-    /// records would be unretrievable; no caller stores them).
-    pub fn insert(&mut self, pool: &mut BufferPool, data: &[u8]) -> RecordId {
-        assert!(data.len() <= MAX_RECORD, "record of {} bytes exceeds page", data.len());
-        assert!(!data.is_empty(), "empty records are not storable (0 marks a tombstone)");
+    /// records would be unretrievable; no caller stores them). Those are
+    /// caller bugs; I/O failures surface as `Err`.
+    pub fn insert(&mut self, pool: &mut BufferPool, data: &[u8]) -> Result<RecordId> {
+        assert!(
+            data.len() <= MAX_RECORD,
+            "record of {} bytes exceeds page",
+            data.len()
+        );
+        assert!(
+            !data.is_empty(),
+            "empty records are not storable (0 marks a tombstone)"
+        );
         if let Some(&last) = self.pages.last() {
-            if let Some(rid) = Self::try_insert_on(pool, last, data) {
+            if let Some(rid) = Self::try_insert_on(pool, last, data)? {
                 self.records += 1;
-                return rid;
+                return Ok(rid);
             }
         }
-        let pid = pool.allocate();
+        let pid = pool.allocate()?;
         pool.write(pid, |b| {
             field::put_u16(b, HDR_SLOTS, 0);
             field::put_u16(b, HDR_FREE_END, PAGE_SIZE as u16);
-        });
+        })?;
         self.pages.push(pid);
-        let rid = Self::try_insert_on(pool, pid, data).expect("fresh page fits record");
+        let rid = Self::try_insert_on(pool, pid, data)?.expect("fresh page fits record");
         self.records += 1;
-        rid
+        Ok(rid)
     }
 
-    fn try_insert_on(pool: &mut BufferPool, pid: PageId, data: &[u8]) -> Option<RecordId> {
+    fn try_insert_on(pool: &mut BufferPool, pid: PageId, data: &[u8]) -> Result<Option<RecordId>> {
         pool.write(pid, |b| {
             let slots = field::get_u16(b, HDR_SLOTS) as usize;
             let free_end = field::get_u16(b, HDR_FREE_END) as usize;
@@ -124,30 +150,33 @@ impl HeapFile {
             field::put_u16(b, slot_off + 2, data.len() as u16);
             field::put_u16(b, HDR_SLOTS, (slots + 1) as u16);
             field::put_u16(b, HDR_FREE_END, off as u16);
-            Some(RecordId { page: pid, slot: slots as u16 })
+            Some(RecordId {
+                page: pid,
+                slot: slots as u16,
+            })
         })
     }
 
-    /// Read a record's bytes. Returns `None` for a deleted slot.
-    pub fn get(&self, pool: &mut BufferPool, rid: RecordId) -> Option<Vec<u8>> {
+    /// Read a record's bytes. Returns `Ok(None)` for a deleted slot.
+    pub fn get(&self, pool: &mut BufferPool, rid: RecordId) -> Result<Option<Vec<u8>>> {
         pool.read(rid.page, |b| {
             let slots = field::get_u16(b, HDR_SLOTS);
             if rid.slot >= slots {
-                return None;
+                return Ok(None);
             }
             let slot_off = HDR_LEN + rid.slot as usize * SLOT_LEN;
             let off = field::get_u16(b, slot_off) as usize;
             let len = field::get_u16(b, slot_off + 2) as usize;
             if len == 0 {
-                return None;
+                return Ok(None);
             }
-            Some(b[off..off + len].to_vec())
-        })
+            Ok(Some(b[record_bounds(off, len)?].to_vec()))
+        })?
     }
 
     /// Delete a record. Space is not reclaimed (no compaction); the slot is
     /// tombstoned. Returns whether a live record was deleted.
-    pub fn delete(&mut self, pool: &mut BufferPool, rid: RecordId) -> bool {
+    pub fn delete(&mut self, pool: &mut BufferPool, rid: RecordId) -> Result<bool> {
         let deleted = pool.write(rid.page, |b| {
             let slots = field::get_u16(b, HDR_SLOTS);
             if rid.slot >= slots {
@@ -159,15 +188,15 @@ impl HeapFile {
             }
             field::put_u16(b, slot_off + 2, 0);
             true
-        });
+        })?;
         if deleted {
             self.records -= 1;
         }
-        deleted
+        Ok(deleted)
     }
 
     /// Visit every live record in page order: `f(rid, bytes)`.
-    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(RecordId, &[u8])) {
+    pub fn scan(&self, pool: &mut BufferPool, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
         for &pid in &self.pages {
             pool.read(pid, |b| {
                 let slots = field::get_u16(b, HDR_SLOTS);
@@ -176,11 +205,13 @@ impl HeapFile {
                     let off = field::get_u16(b, slot_off) as usize;
                     let len = field::get_u16(b, slot_off + 2) as usize;
                     if len > 0 {
-                        f(RecordId { page: pid, slot }, &b[off..off + len]);
+                        f(RecordId { page: pid, slot }, &b[record_bounds(off, len)?]);
                     }
                 }
-            });
+                Ok(())
+            })??;
         }
+        Ok(())
     }
 }
 
@@ -196,16 +227,19 @@ mod tests {
     use crate::disk::InMemoryDisk;
 
     fn setup() -> (HeapFile, BufferPool) {
-        (HeapFile::new(), BufferPool::with_capacity(InMemoryDisk::shared(), 16))
+        (
+            HeapFile::new(),
+            BufferPool::with_capacity(InMemoryDisk::shared(), 16),
+        )
     }
 
     #[test]
     fn insert_get_roundtrip() {
         let (mut h, mut p) = setup();
-        let a = h.insert(&mut p, b"hello");
-        let b = h.insert(&mut p, b"world!!");
-        assert_eq!(h.get(&mut p, a).unwrap(), b"hello");
-        assert_eq!(h.get(&mut p, b).unwrap(), b"world!!");
+        let a = h.insert(&mut p, b"hello").unwrap();
+        let b = h.insert(&mut p, b"world!!").unwrap();
+        assert_eq!(h.get(&mut p, a).unwrap().unwrap(), b"hello");
+        assert_eq!(h.get(&mut p, b).unwrap().unwrap(), b"world!!");
         assert_eq!(h.len(), 2);
     }
 
@@ -213,7 +247,7 @@ mod tests {
     fn records_pack_many_per_page() {
         let (mut h, mut p) = setup();
         for i in 0..100u32 {
-            h.insert(&mut p, &i.to_le_bytes());
+            h.insert(&mut p, &i.to_le_bytes()).unwrap();
         }
         assert_eq!(h.num_pages(), 1, "100 tiny records fit one 8K page");
     }
@@ -222,61 +256,87 @@ mod tests {
     fn page_overflow_allocates_new_page() {
         let (mut h, mut p) = setup();
         let big = vec![0xAB; 4000];
-        let r1 = h.insert(&mut p, &big);
-        let r2 = h.insert(&mut p, &big);
-        let r3 = h.insert(&mut p, &big);
+        let r1 = h.insert(&mut p, &big).unwrap();
+        let r2 = h.insert(&mut p, &big).unwrap();
+        let r3 = h.insert(&mut p, &big).unwrap();
         assert_eq!(h.num_pages(), 2);
         assert_ne!(r1.page, r3.page);
-        assert_eq!(h.get(&mut p, r2).unwrap().len(), 4000);
+        assert_eq!(h.get(&mut p, r2).unwrap().unwrap().len(), 4000);
     }
 
     #[test]
     fn delete_tombstones() {
         let (mut h, mut p) = setup();
-        let a = h.insert(&mut p, b"gone");
-        let b = h.insert(&mut p, b"stays");
-        assert!(h.delete(&mut p, a));
-        assert!(!h.delete(&mut p, a), "double delete is a no-op");
-        assert_eq!(h.get(&mut p, a), None);
-        assert_eq!(h.get(&mut p, b).unwrap(), b"stays");
+        let a = h.insert(&mut p, b"gone").unwrap();
+        let b = h.insert(&mut p, b"stays").unwrap();
+        assert!(h.delete(&mut p, a).unwrap());
+        assert!(!h.delete(&mut p, a).unwrap(), "double delete is a no-op");
+        assert_eq!(h.get(&mut p, a).unwrap(), None);
+        assert_eq!(h.get(&mut p, b).unwrap().unwrap(), b"stays");
         assert_eq!(h.len(), 1);
     }
 
     #[test]
     fn scan_visits_live_records_in_order() {
         let (mut h, mut p) = setup();
-        let ids: Vec<RecordId> = (0..5u8).map(|i| h.insert(&mut p, &[i])).collect();
-        h.delete(&mut p, ids[2]);
+        let ids: Vec<RecordId> = (0..5u8).map(|i| h.insert(&mut p, &[i]).unwrap()).collect();
+        h.delete(&mut p, ids[2]).unwrap();
         let mut seen = Vec::new();
-        h.scan(&mut p, |_, bytes| seen.push(bytes[0]));
+        h.scan(&mut p, |_, bytes| seen.push(bytes[0])).unwrap();
         assert_eq!(seen, vec![0, 1, 3, 4]);
     }
 
     #[test]
     fn get_of_bogus_slot_is_none() {
         let (mut h, mut p) = setup();
-        let a = h.insert(&mut p, b"x");
-        assert!(h.get(&mut p, RecordId { page: a.page, slot: 99 }).is_none());
+        let a = h.insert(&mut p, b"x").unwrap();
+        assert!(h
+            .get(
+                &mut p,
+                RecordId {
+                    page: a.page,
+                    slot: 99
+                }
+            )
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn corrupt_slot_directory_is_a_typed_error() {
+        let (mut h, mut p) = setup();
+        let a = h.insert(&mut p, b"victim").unwrap();
+        // Point the slot's offset beyond the page.
+        p.write(a.page, |b| {
+            field::put_u16(b, HDR_LEN, (PAGE_SIZE - 1) as u16);
+            field::put_u16(b, HDR_LEN + 2, 32);
+        })
+        .unwrap();
+        assert_eq!(
+            h.get(&mut p, a),
+            Err(StorageError::Corrupt("heap slot points outside its page"))
+        );
+        assert!(h.scan(&mut p, |_, _| {}).is_err());
     }
 
     #[test]
     fn max_record_fits() {
         let (mut h, mut p) = setup();
-        let r = h.insert(&mut p, &vec![7u8; MAX_RECORD]);
-        assert_eq!(h.get(&mut p, r).unwrap().len(), MAX_RECORD);
+        let r = h.insert(&mut p, &vec![7u8; MAX_RECORD]).unwrap();
+        assert_eq!(h.get(&mut p, r).unwrap().unwrap().len(), MAX_RECORD);
     }
 
     #[test]
     #[should_panic(expected = "exceeds page")]
     fn oversize_record_panics() {
         let (mut h, mut p) = setup();
-        h.insert(&mut p, &vec![0u8; MAX_RECORD + 1]);
+        let _ = h.insert(&mut p, &vec![0u8; MAX_RECORD + 1]);
     }
 
     #[test]
     #[should_panic(expected = "tombstone")]
     fn empty_record_panics() {
         let (mut h, mut p) = setup();
-        h.insert(&mut p, b"");
+        let _ = h.insert(&mut p, b"");
     }
 }

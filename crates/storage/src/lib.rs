@@ -21,7 +21,10 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod crc;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod file_disk;
 pub mod heap;
 pub mod page;
@@ -30,7 +33,10 @@ pub mod stats;
 
 pub use buffer::{BufferPool, Replacement};
 pub use disk::{InMemoryDisk, PageStore, SharedStore};
+pub use error::{Result, StorageError};
+pub use fault::{Fault, FaultStore};
 pub use file_disk::FileDisk;
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
+pub use snapshot::SnapshotFileError;
 pub use stats::IoStats;

@@ -31,7 +31,10 @@ pub type PageBuf = Box<[u8; PAGE_SIZE]>;
 
 /// Allocate a zeroed page image.
 pub fn zeroed_page() -> PageBuf {
-    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("exact size")
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("exact size")
 }
 
 /// Little-endian field readers/writers for page layouts. All panics here

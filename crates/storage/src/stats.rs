@@ -47,17 +47,40 @@ mod tests {
 
     #[test]
     fn hit_ratio_bounds() {
-        let s = IoStats { hits: 3, physical_reads: 1, physical_writes: 0, logical_reads: 4 };
+        let s = IoStats {
+            hits: 3,
+            physical_reads: 1,
+            physical_writes: 0,
+            logical_reads: 4,
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(IoStats::default().hit_ratio(), 0.0);
     }
 
     #[test]
     fn since_subtracts() {
-        let a = IoStats { hits: 10, physical_reads: 5, physical_writes: 2, logical_reads: 15 };
-        let b = IoStats { hits: 4, physical_reads: 2, physical_writes: 1, logical_reads: 6 };
+        let a = IoStats {
+            hits: 10,
+            physical_reads: 5,
+            physical_writes: 2,
+            logical_reads: 15,
+        };
+        let b = IoStats {
+            hits: 4,
+            physical_reads: 2,
+            physical_writes: 1,
+            logical_reads: 6,
+        };
         let d = a.since(&b);
-        assert_eq!(d, IoStats { hits: 6, physical_reads: 3, physical_writes: 1, logical_reads: 9 });
+        assert_eq!(
+            d,
+            IoStats {
+                hits: 6,
+                physical_reads: 3,
+                physical_writes: 1,
+                logical_reads: 9
+            }
+        );
         assert_eq!(d.total_io(), 4);
     }
 }

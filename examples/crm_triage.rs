@@ -33,7 +33,12 @@ fn main() {
     let store = InMemoryDisk::shared();
     let mut build_pool = BufferPool::with_capacity(store.clone(), 512);
     let inverted = InvertedBackend::with_strategy(
-        InvertedIndex::build(domain.clone(), &mut build_pool, data.iter().map(|(t, u)| (*t, u))),
+        InvertedIndex::build(
+            domain.clone(),
+            &mut build_pool,
+            data.iter().map(|(t, u)| (*t, u)),
+        )
+        .expect("in-memory build"),
         Strategy::Nra,
     );
     let pdr = PdrTree::build(
@@ -41,20 +46,25 @@ fn main() {
         PdrConfig::default(),
         &mut build_pool,
         data.iter().map(|(t, u)| (*t, u)),
-    );
-    let scan = ScanBaseline::build(&mut build_pool, data.iter().map(|(t, u)| (*t, u)));
-    build_pool.flush();
+    )
+    .expect("in-memory build");
+    let scan = ScanBaseline::build(&mut build_pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    build_pool.flush().expect("in-memory flush");
     drop(build_pool);
 
-    let backends: [(&str, &dyn UncertainIndex); 3] =
-        [("inverted", &inverted), ("pdr-tree", &pdr), ("full scan", &scan)];
+    let backends: [(&str, &dyn UncertainIndex); 3] = [
+        ("inverted", &inverted),
+        ("pdr-tree", &pdr),
+        ("full scan", &scan),
+    ];
 
     // 1. All complaints highly likely about category #0.
     let petq = EqQuery::new(Uda::certain(CatId(0)), 0.8);
     println!("\nPETQ: Pr(category = #0) ≥ 0.8");
     for (name, idx) in backends {
         let mut pool = BufferPool::new(store.clone());
-        let out = idx.petq(&mut pool, &petq);
+        let out = idx.petq(&mut pool, &petq).expect("in-memory query");
         println!(
             "  {name:9}  {:5} matches   {:6} page reads",
             out.len(),
@@ -68,7 +78,7 @@ fn main() {
     println!("\nTop-10 complaints most likely equal to ticket #{}", N / 2);
     for (name, idx) in backends {
         let mut pool = BufferPool::new(store.clone());
-        let out = idx.top_k(&mut pool, &topk);
+        let out = idx.top_k(&mut pool, &topk).expect("in-memory query");
         println!(
             "  {name:9}  best Pr = {:.3}   {:6} page reads",
             out.first().map_or(0.0, |m| m.score),
@@ -81,7 +91,7 @@ fn main() {
     println!("\nDSTQ: L1 distance ≤ 0.1 from ticket #{}", N / 2);
     for (name, idx) in backends {
         let mut pool = BufferPool::new(store.clone());
-        let out = idx.dstq(&mut pool, &dstq);
+        let out = idx.dstq(&mut pool, &dstq).expect("in-memory query");
         println!(
             "  {name:9}  {:5} near-duplicates   {:6} page reads",
             out.len(),

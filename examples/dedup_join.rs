@@ -39,9 +39,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let domain = Domain::anonymous(DEPARTMENTS);
 
-    let source_a: Vec<(u64, Uda)> = (0..SOURCE_A as u64).map(|i| (i, extract(&mut rng))).collect();
-    let source_b: Vec<(u64, Uda)> =
-        (0..SOURCE_B as u64).map(|i| (100_000 + i, extract(&mut rng))).collect();
+    let source_a: Vec<(u64, Uda)> = (0..SOURCE_A as u64)
+        .map(|i| (i, extract(&mut rng)))
+        .collect();
+    let source_b: Vec<(u64, Uda)> = (0..SOURCE_B as u64)
+        .map(|i| (100_000 + i, extract(&mut rng)))
+        .collect();
 
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), 256);
@@ -50,9 +53,11 @@ fn main() {
         PdrConfig::default(),
         &mut pool,
         source_b.iter().map(|(t, u)| (*t, u)),
-    );
-    let scan_b = ScanBaseline::build(&mut pool, source_b.iter().map(|(t, u)| (*t, u)));
-    pool.flush();
+    )
+    .expect("in-memory build");
+    let scan_b = ScanBaseline::build(&mut pool, source_b.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    pool.flush().expect("in-memory flush");
 
     let tau = 0.6;
     println!(
@@ -61,7 +66,8 @@ fn main() {
     );
 
     let mut inl_pool = BufferPool::new(store.clone());
-    let inl = index_nested_loop_petj(&source_a, &index_b, &mut inl_pool, tau);
+    let inl =
+        index_nested_loop_petj(&source_a, &index_b, &mut inl_pool, tau).expect("in-memory join");
     println!(
         "  index nested loop: {:6} pairs, {:6} page reads",
         inl.len(),
@@ -69,7 +75,8 @@ fn main() {
     );
 
     let mut bnl_pool = BufferPool::new(store.clone());
-    let bnl = block_nested_loop_petj(&source_a, &scan_b, &mut bnl_pool, tau);
+    let bnl =
+        block_nested_loop_petj(&source_a, &scan_b, &mut bnl_pool, tau).expect("in-memory join");
     println!(
         "  block nested loop: {:6} pairs, {:6} page reads",
         bnl.len(),
@@ -82,7 +89,7 @@ fn main() {
     );
 
     let mut topk_pool = BufferPool::new(store.clone());
-    let best = index_top_k_pej(&source_a, &index_b, &mut topk_pool, 5);
+    let best = index_top_k_pej(&source_a, &index_b, &mut topk_pool, 5).expect("in-memory join");
     println!("\nFive most confident matches:");
     for p in &best {
         println!("  A#{:<4} ↔ B#{:<7} Pr = {:.3}", p.left, p.right, p.score);

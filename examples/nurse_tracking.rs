@@ -24,8 +24,16 @@ use uncat::query::UncertainIndex;
 use uncat_pdrtree::{PdrConfig, PdrTree};
 use uncat_query::join::index_nested_loop_petj;
 
-const ROOMS: [&str; 8] =
-    ["ICU", "ER", "Ward-A", "Ward-B", "Pharmacy", "Lab", "Break-Room", "Front-Desk"];
+const ROOMS: [&str; 8] = [
+    "ICU",
+    "ER",
+    "Ward-A",
+    "Ward-B",
+    "Pharmacy",
+    "Lab",
+    "Break-Room",
+    "Front-Desk",
+];
 const NURSES: usize = 40;
 
 /// Simulate one reader sweep: a nurse is near 1–3 readers with signal
@@ -34,10 +42,12 @@ fn observe(rng: &mut StdRng, home_room: usize) -> Uda {
     let mut b = uncat::core::UdaBuilder::new();
     // Strong signal near the nurse's actual room, spillover to neighbors.
     let spill = rng.random_range(0..2usize) + 1;
-    b.push(CatId(home_room as u32), rng.random_range(0.5..0.9f32)).unwrap();
+    b.push(CatId(home_room as u32), rng.random_range(0.5..0.9f32))
+        .unwrap();
     for step in 1..=spill {
         let neighbor = (home_room + step) % ROOMS.len();
-        b.push(CatId(neighbor as u32), rng.random_range(0.05..0.3f32)).unwrap();
+        b.push(CatId(neighbor as u32), rng.random_range(0.05..0.3f32))
+            .unwrap();
     }
     b.finish_normalized().unwrap()
 }
@@ -61,23 +71,27 @@ fn main() {
         PdrConfig::default(),
         &mut pool,
         positions.iter().map(|(t, u)| (*t, u)),
-    );
+    )
+    .expect("in-memory build");
 
     // Who is probably in the ICU?
     let icu = rooms.id_of("ICU").expect("known room");
     println!("Nurses with Pr(location = ICU) ≥ 0.5:");
     let q = EqQuery::new(Uda::certain(icu), 0.5);
-    for m in UncertainIndex::petq(&tree, &mut pool, &q) {
+    for m in UncertainIndex::petq(&tree, &mut pool, &q).expect("in-memory query") {
         println!("  nurse {:2}  Pr = {:.2}", m.tid, m.score);
     }
 
     // Probable co-locations (e.g. to study hand-off behaviour): PETJ of
     // the positions with themselves.
     println!("\nProbably co-located pairs (Pr ≥ 0.45):");
-    let pairs = index_nested_loop_petj(&positions, &tree, &mut pool, 0.45);
+    let pairs = index_nested_loop_petj(&positions, &tree, &mut pool, 0.45).expect("in-memory join");
     let mut shown = 0;
     for p in pairs.iter().filter(|p| p.left < p.right) {
-        println!("  nurse {:2} & nurse {:2}  Pr = {:.2}", p.left, p.right, p.score);
+        println!(
+            "  nurse {:2} & nurse {:2}  Pr = {:.2}",
+            p.left, p.right, p.score
+        );
         shown += 1;
         if shown == 8 {
             println!("  …");
@@ -89,7 +103,8 @@ fn main() {
     // similarity, not equality — the paper's §2 distinction.)
     println!("\nReading profiles within L1 ≤ 0.5 of nurse 0:");
     let dq = DstQuery::new(positions[0].1.clone(), 0.5, Divergence::L1);
-    for m in UncertainIndex::dstq(&tree, &mut pool, &dq).iter().filter(|m| m.tid != 0).take(5) {
+    let near = UncertainIndex::dstq(&tree, &mut pool, &dq).expect("in-memory query");
+    for m in near.iter().filter(|m| m.tid != 0).take(5) {
         println!("  nurse {:2}  L1 = {:.2}", m.tid, m.score);
     }
 

@@ -24,11 +24,13 @@ const BUCKETS: u32 = 50;
 /// An extractor's price guess: 1–3 adjacent-ish candidate buckets.
 fn extract_price(rng: &mut StdRng, true_bucket: u32) -> Uda {
     let mut b = uncat::core::UdaBuilder::new();
-    b.push(CatId(true_bucket), rng.random_range(0.5..0.9f32)).unwrap();
+    b.push(CatId(true_bucket), rng.random_range(0.5..0.9f32))
+        .unwrap();
     for delta in 1..=rng.random_range(1..3u32) {
         let neighbor = (true_bucket + delta).min(BUCKETS - 1);
         if neighbor != true_bucket {
-            b.push(CatId(neighbor), rng.random_range(0.05..0.3f32)).unwrap();
+            b.push(CatId(neighbor), rng.random_range(0.05..0.3f32))
+                .unwrap();
         }
     }
     b.finish_normalized().unwrap()
@@ -47,7 +49,8 @@ fn main() {
 
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), 256);
-    let relation = ScanBaseline::build(&mut pool, catalog.iter().map(|(t, u)| (*t, u)));
+    let relation = ScanBaseline::build(&mut pool, catalog.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
 
     // "Probably cheaper than $100": Pr(price < bucket 10) via Pr(u < v).
     let hundred = Uda::certain(CatId(10));
@@ -58,7 +61,10 @@ fn main() {
         .collect();
     println!("First products with Pr(price < $100) ≥ 0.9:");
     for (id, u) in &cheaper {
-        println!("  product {id:4}  Pr = {:.2}  price dist {u:?}", pr_less(u, &hundred));
+        println!(
+            "  product {id:4}  Pr = {:.2}  price dist {u:?}",
+            pr_less(u, &hundred)
+        );
     }
 
     // Same-price-within-$20 matching between two extractions of one item:
@@ -71,9 +77,11 @@ fn main() {
 
     // The windowed threshold query as a relation-level operator
     // (cold cache, so the page reads are meaningful).
-    pool.clear();
+    pool.clear().expect("in-memory flush");
     pool.reset_stats();
-    let matches = relation.window_petq(&mut pool, a, 2, 0.8);
+    let matches = relation
+        .window_petq(&mut pool, a, 2, 0.8)
+        .expect("in-memory query");
     println!(
         "\n{} products are within $20 of product 0's price with Pr ≥ 0.8 \
          ({} page reads)",
@@ -84,7 +92,6 @@ fn main() {
     // Trichotomy sanity: less + greater + equal = 1 for unit-mass prices.
     let u = &catalog[1].1;
     let v = &catalog[2].1;
-    let total =
-        pr_less(u, v) + pr_greater(u, v) + uncat::core::equality::eq_prob(u, v);
+    let total = pr_less(u, v) + pr_greater(u, v) + uncat::core::equality::eq_prob(u, v);
     println!("\nPr(u<v) + Pr(u>v) + Pr(u=v) = {total:.4} (must be 1)");
 }

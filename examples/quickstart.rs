@@ -18,9 +18,18 @@ fn main() {
     let p = |label: &str| problems.id_of(label).expect("known label");
 
     let cars: Vec<(&str, Uda)> = vec![
-        ("Explorer", Uda::from_pairs([(p("Brake"), 0.5), (p("Tires"), 0.5)]).unwrap()),
-        ("Camry", Uda::from_pairs([(p("Trans"), 0.2), (p("Suspension"), 0.8)]).unwrap()),
-        ("Civic", Uda::from_pairs([(p("Exhaust"), 0.4), (p("Brake"), 0.6)]).unwrap()),
+        (
+            "Explorer",
+            Uda::from_pairs([(p("Brake"), 0.5), (p("Tires"), 0.5)]).unwrap(),
+        ),
+        (
+            "Camry",
+            Uda::from_pairs([(p("Trans"), 0.2), (p("Suspension"), 0.8)]).unwrap(),
+        ),
+        (
+            "Civic",
+            Uda::from_pairs([(p("Exhaust"), 0.4), (p("Brake"), 0.6)]).unwrap(),
+        ),
         ("Caravan", Uda::from_pairs([(p("Trans"), 1.0)]).unwrap()),
     ];
 
@@ -30,13 +39,17 @@ fn main() {
         problems.clone(),
         &mut pool,
         cars.iter().enumerate().map(|(i, (_, u))| (i as u64, u)),
-    );
+    )
+    .expect("in-memory build");
 
     // "Report all the tuples which are highly likely to have a brake
     // problem (Problem = Brake)."
     println!("Cars with Pr(Problem = Brake) ≥ 0.5:");
     let query = uncat::core::EqQuery::new(Uda::certain(p("Brake")), 0.5);
-    for m in index.petq(&mut pool, &query, uncat::inverted::Strategy::ColumnPruning) {
+    for m in index
+        .petq(&mut pool, &query, uncat::inverted::Strategy::ColumnPruning)
+        .expect("in-memory query")
+    {
         println!("  {:10}  Pr = {:.2}", cars[m.tid as usize].0, m.score);
     }
 
@@ -45,9 +58,18 @@ fn main() {
     let d = |label: &str| departments.id_of(label).expect("known label");
 
     let employees: Vec<(&str, Uda)> = vec![
-        ("Jim", Uda::from_pairs([(d("Shoes"), 0.5), (d("Sales"), 0.5)]).unwrap()),
-        ("Tom", Uda::from_pairs([(d("Sales"), 0.4), (d("Clothes"), 0.6)]).unwrap()),
-        ("Lin", Uda::from_pairs([(d("Hardware"), 0.6), (d("Sales"), 0.4)]).unwrap()),
+        (
+            "Jim",
+            Uda::from_pairs([(d("Shoes"), 0.5), (d("Sales"), 0.5)]).unwrap(),
+        ),
+        (
+            "Tom",
+            Uda::from_pairs([(d("Sales"), 0.4), (d("Clothes"), 0.6)]).unwrap(),
+        ),
+        (
+            "Lin",
+            Uda::from_pairs([(d("Hardware"), 0.6), (d("Sales"), 0.4)]).unwrap(),
+        ),
         ("Nancy", Uda::from_pairs([(d("HR"), 1.0)]).unwrap()),
     ];
 
@@ -55,8 +77,12 @@ fn main() {
         departments.clone(),
         PdrConfig::default(),
         &mut pool,
-        employees.iter().enumerate().map(|(i, (_, u))| (i as u64, u)),
-    );
+        employees
+            .iter()
+            .enumerate()
+            .map(|(i, (_, u))| (i as u64, u)),
+    )
+    .expect("in-memory build");
 
     // "Which pairs of employees have a given minimum probability of
     // potentially working for the same department?" — probe each employee
@@ -64,9 +90,12 @@ fn main() {
     println!("\nEmployee pairs with Pr(same department) ≥ 0.2:");
     for (i, (name, uda)) in employees.iter().enumerate() {
         let q = uncat::core::EqQuery::new(uda.clone(), 0.2);
-        for m in UncertainIndex::petq(&tree, &mut pool, &q) {
+        for m in UncertainIndex::petq(&tree, &mut pool, &q).expect("in-memory query") {
             if m.tid as usize > i {
-                println!("  {name:6} & {:6}  Pr = {:.2}", employees[m.tid as usize].0, m.score);
+                println!(
+                    "  {name:6} & {:6}  Pr = {:.2}",
+                    employees[m.tid as usize].0, m.score
+                );
             }
         }
     }
@@ -87,8 +116,8 @@ fn main() {
     // Top-k: the 2 employees most likely to share Jim's department.
     println!("\nMost similar colleagues to Jim (top-2 by equality probability):");
     let topk = uncat::core::TopKQuery::new(employees[0].1.clone(), 3);
-    for m in UncertainIndex::top_k(&tree, &mut pool, &topk).into_iter().filter(|m| m.tid != 0).take(2)
-    {
+    let similar = UncertainIndex::top_k(&tree, &mut pool, &topk).expect("in-memory query");
+    for m in similar.into_iter().filter(|m| m.tid != 0).take(2) {
         println!("  {:6}  Pr = {:.2}", employees[m.tid as usize].0, m.score);
     }
 

@@ -85,7 +85,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}"))
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
@@ -103,7 +106,9 @@ fn gen(flags: &HashMap<String, String>) -> Result<(), String> {
         "uniform" => datagen::uniform::generate(n, seed),
         "pairwise" => datagen::pairwise::generate(n, seed),
         "gen3" => {
-            let d: u32 = flags.get("domain").map_or(Ok(50), |s| parse(s, "--domain"))?;
+            let d: u32 = flags
+                .get("domain")
+                .map_or(Ok(50), |s| parse(s, "--domain"))?;
             datagen::gen3::generate(n, d, seed)
         }
         "textsim" => {
@@ -114,7 +119,10 @@ fn gen(flags: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown dataset {other:?}")),
     };
     datagen::io::save(out, &domain, &data).map_err(|e| e.to_string())?;
-    println!("wrote {n} tuples over {} categories to {out}", domain.size());
+    println!(
+        "wrote {n} tuples over {} categories to {out}",
+        domain.size()
+    );
     Ok(())
 }
 
@@ -130,15 +138,15 @@ fn build(flags: &HashMap<String, String>) -> Result<(), String> {
     let store: SharedStore = Arc::new(disk);
     let mut pool = BufferPool::with_capacity(store.clone(), 512);
     let t0 = std::time::Instant::now();
-    let blob = match index {
+    match index {
         "inverted" => {
             if bulk {
                 return Err("--bulk applies to the pdr index only".into());
             }
-            let idx =
-                InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)));
-            pool.flush();
-            idx.snapshot()
+            let idx = InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)))
+                .map_err(|e| e.to_string())?;
+            pool.flush().map_err(|e| e.to_string())?;
+            idx.save(meta.as_ref()).map_err(|e| e.to_string())?;
         }
         "pdr" => {
             let tree = if bulk {
@@ -155,14 +163,14 @@ fn build(flags: &HashMap<String, String>) -> Result<(), String> {
                     &mut pool,
                     data.iter().map(|(t, u)| (*t, u)),
                 )
-            };
-            pool.flush();
-            tree.snapshot()
+            }
+            .map_err(|e| e.to_string())?;
+            pool.flush().map_err(|e| e.to_string())?;
+            tree.save(meta.as_ref()).map_err(|e| e.to_string())?;
         }
         other => return Err(format!("unknown index {other:?}")),
     };
     drop(pool);
-    std::fs::write(meta, &blob).map_err(|e| e.to_string())?;
     println!(
         "built {index} index over {} tuples in {:.1}s ({} pages)",
         data.len(),
@@ -181,12 +189,12 @@ fn reopen(flags: &HashMap<String, String>) -> Result<(AnyIndex, SharedStore), St
     let index = need(flags, "index")?;
     let pages = need(flags, "pages")?;
     let meta = need(flags, "meta")?;
-    let blob = std::fs::read(meta).map_err(|e| e.to_string())?;
-    let store: SharedStore =
-        Arc::new(FileDisk::open(pages).map_err(|e| e.to_string())?);
+    let store: SharedStore = Arc::new(FileDisk::open(pages).map_err(|e| e.to_string())?);
     let idx = match index {
-        "inverted" => AnyIndex::Inverted(InvertedIndex::open(&blob).map_err(|e| e.to_string())?),
-        "pdr" => AnyIndex::Pdr(PdrTree::open(&blob).map_err(|e| e.to_string())?),
+        "inverted" => {
+            AnyIndex::Inverted(InvertedIndex::load(meta.as_ref()).map_err(|e| e.to_string())?)
+        }
+        "pdr" => AnyIndex::Pdr(PdrTree::load(meta.as_ref()).map_err(|e| e.to_string())?),
         other => return Err(format!("unknown index {other:?}")),
     };
     Ok((idx, store))
@@ -203,12 +211,14 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
             AnyIndex::Inverted(i) => i.top_k(&mut pool, &TopKQuery::new(q, k)),
             AnyIndex::Pdr(t) => t.top_k(&mut pool, &TopKQuery::new(q, k)),
         }
+        .map_err(|e| e.to_string())?
     } else {
         let tau: f64 = parse(need(flags, "tau")?, "--tau")?;
         match &idx {
             AnyIndex::Inverted(i) => i.petq(&mut pool, &EqQuery::new(q, tau), Strategy::Nra),
             AnyIndex::Pdr(t) => t.petq(&mut pool, &EqQuery::new(q, tau)),
         }
+        .map_err(|e| e.to_string())?
     };
     let limit: usize = flags.get("limit").map_or(Ok(20), |s| parse(s, "--limit"))?;
     for m in matches.iter().take(limit) {
@@ -239,7 +249,7 @@ fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("  heap pages:     {}", s.heap_pages);
         }
         AnyIndex::Pdr(t) => {
-            let s = t.stats(&mut pool);
+            let s = t.stats(&mut pool).map_err(|e| e.to_string())?;
             println!("pdr-tree: {} tuples, depth {}", s.entries, s.depth);
             println!("  nodes:          {} ({} leaves)", s.nodes, s.leaves);
             println!("  avg fanout:     {:.1}", s.avg_fanout());

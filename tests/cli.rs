@@ -44,13 +44,25 @@ fn full_cli_workflow_both_indexes() {
     let data = dir.path("data.uds");
 
     let (ok, out) = uncat(&[
-        "gen", "--dataset", "crm1", "--n", "2000", "--seed", "5", "--out", &data,
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "2000",
+        "--seed",
+        "5",
+        "--out",
+        &data,
     ]);
     assert!(ok, "gen failed: {out}");
     assert!(out.contains("wrote 2000 tuples"));
 
     for (index, bulk) in [("inverted", false), ("pdr", false), ("pdr", true)] {
-        let tag = if bulk { format!("{index}-bulk") } else { index.to_owned() };
+        let tag = if bulk {
+            format!("{index}-bulk")
+        } else {
+            index.to_owned()
+        };
         let pages = dir.path(&format!("{tag}.pages"));
         let meta = dir.path(&format!("{tag}.meta"));
         let mut args = vec![
@@ -63,15 +75,14 @@ fn full_cli_workflow_both_indexes() {
         assert!(ok, "build {tag} failed: {out}");
 
         let (ok, out) = uncat(&[
-            "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0",
-            "--tau", "0.7",
+            "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0", "--tau",
+            "0.7",
         ]);
         assert!(ok, "query {tag} failed: {out}");
         assert!(out.contains("matches"), "unexpected query output: {out}");
 
         let (ok, out) = uncat(&[
-            "topk", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0",
-            "--k", "5",
+            "topk", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0", "--k", "5",
         ]);
         assert!(ok, "topk {tag} failed: {out}");
         assert!(out.contains("5 matches"), "topk should return 5: {out}");
@@ -88,7 +99,17 @@ fn full_cli_workflow_both_indexes() {
 fn query_results_agree_across_indexes_via_cli() {
     let dir = TempDir::new("agree");
     let data = dir.path("data.uds");
-    uncat(&["gen", "--dataset", "pairwise", "--n", "1000", "--seed", "9", "--out", &data]);
+    uncat(&[
+        "gen",
+        "--dataset",
+        "pairwise",
+        "--n",
+        "1000",
+        "--seed",
+        "9",
+        "--out",
+        &data,
+    ]);
 
     let mut counts = Vec::new();
     for index in ["inverted", "pdr"] {
@@ -99,14 +120,20 @@ fn query_results_agree_across_indexes_via_cli() {
         ]);
         assert!(ok);
         let (ok, out) = uncat(&[
-            "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "1",
-            "--tau", "0.4",
+            "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "1", "--tau",
+            "0.4",
         ]);
         assert!(ok);
-        let line = out.lines().find(|l| l.contains("matches,")).expect("summary line");
+        let line = out
+            .lines()
+            .find(|l| l.contains("matches,"))
+            .expect("summary line");
         counts.push(line.split_whitespace().next().expect("count").to_owned());
     }
-    assert_eq!(counts[0], counts[1], "both indexes must return the same count");
+    assert_eq!(
+        counts[0], counts[1],
+        "both indexes must return the same count"
+    );
 }
 
 #[test]
@@ -115,7 +142,15 @@ fn cli_rejects_bad_usage() {
     assert!(!ok);
     assert!(out.contains("unknown command"));
 
-    let (ok, out) = uncat(&["gen", "--dataset", "nope", "--n", "10", "--out", "/dev/null"]);
+    let (ok, out) = uncat(&[
+        "gen",
+        "--dataset",
+        "nope",
+        "--n",
+        "10",
+        "--out",
+        "/dev/null",
+    ]);
     assert!(!ok);
     assert!(out.contains("unknown dataset"));
 

@@ -2,7 +2,7 @@
 //! indexes plus the scan baseline, calibrated workloads, shared disk.
 
 use uncat::core::equality::eq_prob;
-use uncat::core::{DstQuery, Divergence, EqQuery, TopKQuery};
+use uncat::core::{Divergence, DstQuery, EqQuery, TopKQuery};
 use uncat::datagen::workload::{calibrate, queries_from_data, SELECTIVITIES};
 use uncat::datagen::{crm, gen3, pairwise, uniform, Dataset};
 use uncat::prelude::*;
@@ -21,20 +21,27 @@ struct World {
 fn world(domain: Domain, data: Dataset) -> World {
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), 256);
-    let inverted = InvertedBackend::new(InvertedIndex::build(
-        domain.clone(),
-        &mut pool,
-        data.iter().map(|(t, u)| (*t, u)),
-    ));
+    let inverted = InvertedBackend::new(
+        InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+            .expect("in-memory build"),
+    );
     let pdr = PdrTree::build(
         domain,
         PdrConfig::default(),
         &mut pool,
         data.iter().map(|(t, u)| (*t, u)),
-    );
-    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u)));
-    pool.flush();
-    World { data, store, inverted, pdr, scan }
+    )
+    .expect("in-memory build");
+    let scan =
+        ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).expect("in-memory build");
+    pool.flush().expect("in-memory flush");
+    World {
+        data,
+        store,
+        inverted,
+        pdr,
+        scan,
+    }
 }
 
 fn check_agreement(w: &World, label: &str) {
@@ -42,13 +49,19 @@ fn check_agreement(w: &World, label: &str) {
     let queries = queries_from_data(&w.data, 4, 99);
     for q in &queries {
         for &s in &SELECTIVITIES {
-            let Some(cq) = calibrate(&w.data, q, s) else { continue };
+            let Some(cq) = calibrate(&w.data, q, s) else {
+                continue;
+            };
             let eq = EqQuery::new(cq.q.clone(), cq.tau);
-            let a = w.scan.petq(&mut pool, &eq);
-            let b = w.inverted.petq(&mut pool, &eq);
-            let c = w.pdr.petq(&mut pool, &eq);
+            let a = w.scan.petq(&mut pool, &eq).expect("in-memory query");
+            let b = w.inverted.petq(&mut pool, &eq).expect("in-memory query");
+            let c = w.pdr.petq(&mut pool, &eq).expect("in-memory query");
             let ids = |v: &[uncat::core::query::Match]| v.iter().map(|m| m.tid).collect::<Vec<_>>();
-            assert_eq!(ids(&a), ids(&b), "{label}: inverted PETQ at selectivity {s}");
+            assert_eq!(
+                ids(&a),
+                ids(&b),
+                "{label}: inverted PETQ at selectivity {s}"
+            );
             assert_eq!(ids(&a), ids(&c), "{label}: pdr PETQ at selectivity {s}");
             assert!(
                 a.len() as f64 >= s * w.data.len() as f64 * 0.5,
@@ -56,10 +69,14 @@ fn check_agreement(w: &World, label: &str) {
             );
 
             let tk = TopKQuery::new(cq.q.clone(), cq.k);
-            let a = w.scan.top_k(&mut pool, &tk);
-            let b = w.inverted.top_k(&mut pool, &tk);
-            let c = w.pdr.top_k(&mut pool, &tk);
-            assert_eq!(ids(&a), ids(&b), "{label}: inverted top-k at selectivity {s}");
+            let a = w.scan.top_k(&mut pool, &tk).expect("in-memory query");
+            let b = w.inverted.top_k(&mut pool, &tk).expect("in-memory query");
+            let c = w.pdr.top_k(&mut pool, &tk).expect("in-memory query");
+            assert_eq!(
+                ids(&a),
+                ids(&b),
+                "{label}: inverted top-k at selectivity {s}"
+            );
             assert_eq!(ids(&a), ids(&c), "{label}: pdr top-k at selectivity {s}");
         }
     }
@@ -116,21 +133,33 @@ fn executor_with_custom_frames_runs_all_query_families() {
         PdrConfig::default(),
         &mut pool,
         data.iter().map(|(t, u)| (*t, u)),
-    );
-    pool.flush();
+    )
+    .expect("in-memory build");
+    pool.flush().expect("in-memory flush");
     drop(pool);
 
     let exec = uncat::query::Executor::with_frames(pdr, store, 25);
     assert_eq!(exec.frames(), 25);
     let q = data[10].1.clone();
-    let eq = exec.petq(&EqQuery::new(q.clone(), 0.3));
+    let eq = exec
+        .petq(&EqQuery::new(q.clone(), 0.3))
+        .expect("in-memory query");
     assert!(eq.reads() > 0);
-    let tk = exec.top_k(&TopKQuery::new(q.clone(), 5));
+    let tk = exec
+        .top_k(&TopKQuery::new(q.clone(), 5))
+        .expect("in-memory query");
     assert_eq!(tk.matches.len(), 5);
-    let ds = exec.ds_top_k(&uncat::core::DsTopKQuery::new(q.clone(), 5, Divergence::L1));
+    let ds = exec
+        .ds_top_k(&uncat::core::DsTopKQuery::new(q.clone(), 5, Divergence::L1))
+        .expect("in-memory query");
     assert_eq!(ds.matches.len(), 5);
-    let dq = exec.dstq(&DstQuery::new(q, 0.2, Divergence::L1));
-    assert!(!dq.matches.is_empty(), "the query tuple itself is within distance 0");
+    let dq = exec
+        .dstq(&DstQuery::new(q, 0.2, Divergence::L1))
+        .expect("in-memory query");
+    assert!(
+        !dq.matches.is_empty(),
+        "the query tuple itself is within distance 0"
+    );
 }
 
 #[test]
@@ -142,9 +171,9 @@ fn dstq_agreement_on_crm_data() {
     for dv in Divergence::ALL {
         for &tau_d in &[0.1, 0.5, 1.2] {
             let query = DstQuery::new(q.clone(), tau_d, dv);
-            let a = w.scan.dstq(&mut pool, &query);
-            let b = w.inverted.dstq(&mut pool, &query);
-            let c = w.pdr.dstq(&mut pool, &query);
+            let a = w.scan.dstq(&mut pool, &query).expect("in-memory query");
+            let b = w.inverted.dstq(&mut pool, &query).expect("in-memory query");
+            let c = w.pdr.dstq(&mut pool, &query).expect("in-memory query");
             let ids = |v: &[uncat::core::query::Match]| v.iter().map(|m| m.tid).collect::<Vec<_>>();
             assert_eq!(ids(&a), ids(&b), "inverted DSTQ {dv:?} τd={tau_d}");
             assert_eq!(ids(&a), ids(&c), "pdr DSTQ {dv:?} τd={tau_d}");
@@ -162,7 +191,10 @@ fn indexes_survive_a_shared_disk_and_reopened_pools() {
     let mut reference = None;
     for _ in 0..3 {
         let mut pool = BufferPool::new(w.store.clone());
-        let out = w.pdr.petq(&mut pool, &EqQuery::new(q.clone(), 0.3));
+        let out = w
+            .pdr
+            .petq(&mut pool, &EqQuery::new(q.clone(), 0.3))
+            .expect("in-memory query");
         let ids: Vec<u64> = out.iter().map(|m| m.tid).collect();
         if let Some(prev) = &reference {
             assert_eq!(*prev, ids, "results must be stable across pools");
@@ -182,7 +214,7 @@ fn index_io_beats_scan_on_selective_queries() {
 
     let io = |idx: &dyn UncertainIndex| {
         let mut pool = BufferPool::new(w.store.clone());
-        let n = idx.petq(&mut pool, &eq).len();
+        let n = idx.petq(&mut pool, &eq).expect("in-memory query").len();
         (n, pool.stats().physical_reads)
     };
     let (n_scan, io_scan) = io(&w.scan);
@@ -200,7 +232,10 @@ fn consistent_probabilities_with_reference_computation() {
     let w = world(domain, data);
     let mut pool = BufferPool::new(w.store.clone());
     let q = w.data[0].1.clone();
-    let out = w.inverted.petq(&mut pool, &EqQuery::new(q.clone(), 0.1));
+    let out = w
+        .inverted
+        .petq(&mut pool, &EqQuery::new(q.clone(), 0.1))
+        .expect("in-memory query");
     for m in out {
         let t = &w.data[m.tid as usize].1;
         assert!((m.score - eq_prob(&q, t)).abs() < 1e-9);

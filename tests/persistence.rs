@@ -39,14 +39,17 @@ fn both_indexes_survive_restart_on_one_file() {
         let store: uncat::storage::SharedStore =
             Arc::new(FileDisk::create(&file.0).expect("create page file"));
         let mut pool = BufferPool::with_capacity(store, 256);
-        let inv = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)));
+        let inv =
+            InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+                .expect("build inverted");
         let pdr = PdrTree::build(
             domain.clone(),
             PdrConfig::default(),
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
-        );
-        pool.flush();
+        )
+        .expect("build pdr");
+        pool.flush().expect("flush");
         (inv.snapshot(), pdr.snapshot())
     };
 
@@ -60,33 +63,59 @@ fn both_indexes_survive_restart_on_one_file() {
 
     let mem_store = InMemoryDisk::shared();
     let mut mem_pool = BufferPool::with_capacity(mem_store, 256);
-    let fresh = InvertedIndex::build(domain, &mut mem_pool, data.iter().map(|(t, u)| (*t, u)));
+    let fresh = InvertedIndex::build(domain, &mut mem_pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
 
     let mut pool = BufferPool::new(store);
     for (tid, q) in data.iter().take(5) {
         let eq = EqQuery::new(q.clone(), 0.4);
-        let expect: Vec<u64> =
-            fresh.petq(&mut mem_pool, &eq, Strategy::Nra).iter().map(|m| m.tid).collect();
-        let a: Vec<u64> =
-            inv.petq(&mut pool, &eq, Strategy::Nra).iter().map(|m| m.tid).collect();
-        let b: Vec<u64> =
-            UncertainIndex::petq(&pdr, &mut pool, &eq).iter().map(|m| m.tid).collect();
+        let expect: Vec<u64> = fresh
+            .petq(&mut mem_pool, &eq, Strategy::Nra)
+            .expect("petq")
+            .iter()
+            .map(|m| m.tid)
+            .collect();
+        let a: Vec<u64> = inv
+            .petq(&mut pool, &eq, Strategy::Nra)
+            .expect("petq")
+            .iter()
+            .map(|m| m.tid)
+            .collect();
+        let b: Vec<u64> = UncertainIndex::petq(&pdr, &mut pool, &eq)
+            .expect("petq")
+            .iter()
+            .map(|m| m.tid)
+            .collect();
         assert_eq!(a, expect, "inverted after restart, query from tuple {tid}");
         assert_eq!(b, expect, "pdr after restart, query from tuple {tid}");
 
         let tk = TopKQuery::new(q.clone(), 7);
-        let expect: Vec<u64> = fresh.top_k(&mut mem_pool, &tk).iter().map(|m| m.tid).collect();
+        let expect: Vec<u64> = fresh
+            .top_k(&mut mem_pool, &tk)
+            .expect("top_k")
+            .iter()
+            .map(|m| m.tid)
+            .collect();
         assert_eq!(
-            inv.top_k(&mut pool, &tk).iter().map(|m| m.tid).collect::<Vec<_>>(),
+            inv.top_k(&mut pool, &tk)
+                .expect("top_k")
+                .iter()
+                .map(|m| m.tid)
+                .collect::<Vec<_>>(),
             expect
         );
         assert_eq!(
-            UncertainIndex::top_k(&pdr, &mut pool, &tk).iter().map(|m| m.tid).collect::<Vec<_>>(),
+            UncertainIndex::top_k(&pdr, &mut pool, &tk)
+                .expect("top_k")
+                .iter()
+                .map(|m| m.tid)
+                .collect::<Vec<_>>(),
             expect
         );
     }
-    pdr.check_invariants(&mut pool);
-    inv.check_invariants(&mut pool);
+    pdr.check_invariants(&mut pool).expect("pdr invariants");
+    inv.check_invariants(&mut pool)
+        .expect("inverted invariants");
 }
 
 #[test]
@@ -97,21 +126,81 @@ fn restarted_index_accepts_new_inserts() {
         let store: uncat::storage::SharedStore =
             Arc::new(FileDisk::create(&file.0).expect("create"));
         let mut pool = BufferPool::with_capacity(store, 128);
-        let mut idx = InvertedIndex::build(
-            domain.clone(),
-            &mut pool,
-            data.iter().map(|(t, u)| (*t, u)),
-        );
-        idx.delete(&mut pool, 0);
-        pool.flush();
+        let mut idx =
+            InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+                .expect("build inverted");
+        idx.delete(&mut pool, 0).expect("delete");
+        pool.flush().expect("flush");
         idx.snapshot()
     };
     let store: uncat::storage::SharedStore = Arc::new(FileDisk::open(&file.0).expect("open"));
     let mut idx = InvertedIndex::open(&blob).expect("snapshot");
     assert_eq!(idx.len(), 499);
     let mut pool = BufferPool::with_capacity(store, 128);
-    idx.insert(&mut pool, 9999, &data[0].1);
+    idx.insert(&mut pool, 9999, &data[0].1).expect("insert");
     assert_eq!(idx.len(), 500);
-    assert_eq!(idx.check_invariants(&mut pool), 500);
-    assert!(idx.get_tuple(&mut pool, 9999).is_some());
+    assert_eq!(idx.check_invariants(&mut pool).expect("invariants"), 500);
+    assert!(idx.get_tuple(&mut pool, 9999).expect("get").is_some());
+}
+
+#[test]
+fn crash_between_flush_and_snapshot_commit_recovers_previous_snapshot() {
+    let pages = TempFile::new("crash");
+    let meta = TempFile::new("crash-meta");
+    let (domain, data) = crm::crm1(400, 9);
+    let probe = EqQuery::new(data[5].1.clone(), 0.4);
+
+    // Session 1: build v1, flush its pages, commit its snapshot.
+    let v1_results: Vec<u64> = {
+        let store: uncat::storage::SharedStore =
+            Arc::new(FileDisk::create(&pages.0).expect("create page file"));
+        let mut pool = BufferPool::with_capacity(store, 128);
+        let idx =
+            InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+                .expect("build v1");
+        pool.flush().expect("flush v1");
+        idx.save(&meta.0).expect("commit v1 snapshot");
+        idx.petq(&mut pool, &probe, Strategy::Nra)
+            .expect("query v1")
+            .iter()
+            .map(|m| m.tid)
+            .collect()
+    };
+
+    // Session 2: build a replacement index over the same page file (pages
+    // flushed), then die between `pool.flush()` and `snapshot::commit` —
+    // all that reaches disk is a torn temp file next to the snapshot.
+    let torn = PathBuf::from(format!("{}.tmp-dead", meta.0.display()));
+    let _torn_guard = TempFile(torn.clone());
+    {
+        let store: uncat::storage::SharedStore =
+            Arc::new(FileDisk::open(&pages.0).expect("reopen page file"));
+        let mut pool = BufferPool::with_capacity(store, 128);
+        let (domain2, data2) = crm::crm1(700, 10);
+        let v2 = InvertedIndex::build(domain2, &mut pool, data2.iter().map(|(t, u)| (*t, u)))
+            .expect("build v2");
+        pool.flush().expect("flush v2");
+        // Simulated crash mid-commit: a prefix of the would-be snapshot
+        // file is on disk under the temp name, never renamed over `meta`.
+        let unreached = v2.snapshot();
+        std::fs::write(&torn, &unreached[..unreached.len() / 2]).expect("torn write");
+    }
+
+    // Session 3: recovery. The previous snapshot is intact and answers
+    // queries exactly as before the crash.
+    let store: uncat::storage::SharedStore =
+        Arc::new(FileDisk::open(&pages.0).expect("reopen page file"));
+    let idx = InvertedIndex::load(&meta.0).expect("previous snapshot loadable");
+    assert_eq!(idx.len(), 400, "recovered index is the committed v1");
+    let mut pool = BufferPool::new(store);
+    let after: Vec<u64> = idx
+        .petq(&mut pool, &probe, Strategy::Nra)
+        .expect("query after recovery")
+        .iter()
+        .map(|m| m.tid)
+        .collect();
+    assert_eq!(
+        after, v1_results,
+        "recovered results equal pre-crash results"
+    );
 }

@@ -24,7 +24,8 @@ fn uda_strategy(cats: u32) -> impl Strategy<Value = Uda> {
         |m| {
             let mut b = uncat::core::UdaBuilder::new();
             for (c, p) in m {
-                b.push(CatId(c), p).expect("strategy emits valid probabilities");
+                b.push(CatId(c), p)
+                    .expect("strategy emits valid probabilities");
             }
             b.finish_normalized().expect("at least one entry")
         },
@@ -107,23 +108,23 @@ proptest! {
     #[test]
     fn btree_behaves_like_btreemap(ops in prop::collection::vec((0u8..3, 0u64..500), 1..400)) {
         let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 64);
-        let mut tree: BTree<8, 8> = BTree::create(&mut pool);
+        let mut tree: BTree<8, 8> = BTree::create(&mut pool).expect("in-memory create");
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for (op, key) in ops {
             match op {
                 0 => {
                     let val = key.wrapping_mul(31);
-                    let a = tree.insert(&mut pool, &u64_be(key), &u64_be(val));
+                    let a = tree.insert(&mut pool, &u64_be(key), &u64_be(val)).expect("in-memory insert");
                     let b = model.insert(key, val);
                     prop_assert_eq!(a.map(u64::from_be_bytes), b);
                 }
                 1 => {
-                    let a = tree.remove(&mut pool, &u64_be(key));
+                    let a = tree.remove(&mut pool, &u64_be(key)).expect("in-memory remove");
                     let b = model.remove(&key);
                     prop_assert_eq!(a.map(u64::from_be_bytes), b);
                 }
                 _ => {
-                    let a = tree.get(&mut pool, &u64_be(key));
+                    let a = tree.get(&mut pool, &u64_be(key)).expect("in-memory get");
                     let b = model.get(&key).copied();
                     prop_assert_eq!(a.map(u64::from_be_bytes), b);
                 }
@@ -134,7 +135,8 @@ proptest! {
         tree.scan_all(&mut pool, |k, v| {
             scanned.push((u64::from_be_bytes(*k), u64::from_be_bytes(*v)));
             ControlFlow::Continue(())
-        });
+        })
+        .expect("in-memory scan");
         let expect: Vec<(u64, u64)> = model.into_iter().collect();
         prop_assert_eq!(scanned, expect);
     }
@@ -149,13 +151,15 @@ proptest! {
             data.into_iter().enumerate().map(|(i, u)| (i as u64, u)).collect();
         let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
         let idx = InvertedBackend::with_strategy(
-            InvertedIndex::build(Domain::anonymous(8), &mut pool, tuples.iter().map(|(t, u)| (*t, u))),
+            InvertedIndex::build(Domain::anonymous(8), &mut pool, tuples.iter().map(|(t, u)| (*t, u)))
+                .expect("in-memory build"),
             uncat_inverted::Strategy::Nra,
         );
-        let scan = ScanBaseline::build(&mut pool, tuples.iter().map(|(t, u)| (*t, u)));
+        let scan = ScanBaseline::build(&mut pool, tuples.iter().map(|(t, u)| (*t, u)))
+            .expect("in-memory build");
         let query = EqQuery::new(q, tau);
-        let a = idx.petq(&mut pool, &query);
-        let b = scan.petq(&mut pool, &query);
+        let a = idx.petq(&mut pool, &query).expect("in-memory query");
+        let b = scan.petq(&mut pool, &query).expect("in-memory query");
         prop_assert_eq!(
             a.iter().map(|m| m.tid).collect::<Vec<_>>(),
             b.iter().map(|m| m.tid).collect::<Vec<_>>()
@@ -176,16 +180,18 @@ proptest! {
             PdrConfig::default(),
             &mut pool,
             tuples.iter().map(|(t, u)| (*t, u)),
-        );
-        let scan = ScanBaseline::build(&mut pool, tuples.iter().map(|(t, u)| (*t, u)));
+        )
+        .expect("in-memory build");
+        let scan = ScanBaseline::build(&mut pool, tuples.iter().map(|(t, u)| (*t, u)))
+            .expect("in-memory build");
         let query = EqQuery::new(q, tau);
-        let a = UncertainIndex::petq(&tree, &mut pool, &query);
-        let b = scan.petq(&mut pool, &query);
+        let a = UncertainIndex::petq(&tree, &mut pool, &query).expect("in-memory query");
+        let b = scan.petq(&mut pool, &query).expect("in-memory query");
         prop_assert_eq!(
             a.iter().map(|m| m.tid).collect::<Vec<_>>(),
             b.iter().map(|m| m.tid).collect::<Vec<_>>()
         );
-        tree.check_invariants(&mut pool);
+        tree.check_invariants(&mut pool).expect("in-memory read");
     }
 
     #[test]
@@ -323,13 +329,13 @@ proptest! {
         let mut model: Vec<(uncat_storage::RecordId, Option<Vec<u8>>)> = Vec::new();
         for (op, bytes) in ops {
             if op == 0 || model.is_empty() {
-                let rid = heap.insert(&mut pool, &bytes);
+                let rid = heap.insert(&mut pool, &bytes).expect("in-memory insert");
                 model.push((rid, Some(bytes)));
             } else {
                 // Delete a pseudo-random live record.
                 let i = bytes.len() % model.len();
                 let (rid, live) = &mut model[i];
-                let deleted = heap.delete(&mut pool, *rid);
+                let deleted = heap.delete(&mut pool, *rid).expect("in-memory delete");
                 prop_assert_eq!(deleted, live.is_some());
                 *live = None;
             }
@@ -337,7 +343,7 @@ proptest! {
         let live_count = model.iter().filter(|(_, l)| l.is_some()).count();
         prop_assert_eq!(heap.len() as usize, live_count);
         for (rid, expect) in &model {
-            prop_assert_eq!(&heap.get(&mut pool, *rid), expect);
+            prop_assert_eq!(&heap.get(&mut pool, *rid).expect("in-memory get"), expect);
         }
     }
 }
@@ -382,9 +388,11 @@ proptest! {
             PdrConfig::default(),
             &mut pool,
             tuples.iter().map(|(t, u)| (*t, u)),
-        );
+        )
+        .expect("in-memory build");
         for dv in [Divergence::L1, Divergence::L2] {
-            let got = UncertainIndex::ds_top_k(&tree, &mut pool, &DsTopKQuery::new(q.clone(), k, dv));
+            let got = UncertainIndex::ds_top_k(&tree, &mut pool, &DsTopKQuery::new(q.clone(), k, dv))
+                .expect("in-memory query");
             let mut expect: Vec<(f64, u64)> = tuples
                 .iter()
                 .map(|(tid, t)| (dv.eval(q.entries(), t.entries()), *tid))
@@ -396,5 +404,83 @@ proptest! {
                 expect.iter().map(|&(_, tid)| tid).collect::<Vec<_>>()
             );
         }
+    }
+}
+
+/// Body of `mutated_snapshot_blob_is_detected_or_decodes_equal`, kept out
+/// of the `proptest!` macro. Returns the byte index, loaded payload, and
+/// original blob if a mutation went undetected.
+fn check_mutated_snapshot(
+    data: Vec<Uda>,
+    pos: usize,
+    xor: u8,
+) -> Option<(usize, Vec<u8>, Vec<u8>)> {
+    use uncat_storage::snapshot;
+
+    let tuples: Vec<(u64, Uda)> = data
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| (i as u64, u))
+        .collect();
+    let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+    let idx = InvertedIndex::build(
+        Domain::anonymous(6),
+        &mut pool,
+        tuples.iter().map(|(t, u)| (*t, u)),
+    )
+    .expect("in-memory build");
+    let blob = idx.snapshot();
+
+    // Blob level: decoding after a flip must not panic.
+    let mut bad = blob.clone();
+    let i = pos % bad.len();
+    bad[i] ^= xor;
+    let _ = InvertedIndex::open(&bad);
+    let _ = PdrTree::open(&bad);
+
+    // File level: the snapshot file protocol detects the flip.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "uncat-prop-snap-{}-{}.meta",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+    let _guard = Cleanup(path.clone());
+    snapshot::commit(&path, &blob).expect("commit");
+    let good = std::fs::read(&path).expect("read committed file");
+    let mut torn = good.clone();
+    let j = pos % torn.len();
+    torn[j] ^= xor;
+    std::fs::write(&path, &torn).expect("plant corruption");
+    match snapshot::load(&path) {
+        Err(_) => None,
+        Ok(p) if p == blob => None,
+        Ok(p) => Some((j, p, blob)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Satellite of the durability work: a committed snapshot with any
+    // single byte flipped must either be rejected on load or read back
+    // byte-identical — and decoding a mutated metadata blob directly must
+    // never panic, only return a typed error (or a successfully decoded
+    // index, when the flip lands in a don't-care position).
+    #[test]
+    fn mutated_snapshot_blob_is_detected_or_decodes_equal(
+        data in dataset_strategy(6, 40),
+        pos in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let undetected = check_mutated_snapshot(data, pos, xor);
+        prop_assert!(undetected.is_none(), "undetected mutation: {:?}", undetected);
     }
 }
