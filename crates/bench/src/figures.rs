@@ -9,7 +9,9 @@ use uncat_pdrtree::{Compression, PdrConfig, SplitStrategy};
 use uncat_query::UncertainIndex;
 use uncat_storage::SharedStore;
 
-use crate::measure::{avg_petq_io, avg_topk_io, build_inverted, build_pdr, Scale, QUERY_FRAMES};
+use crate::measure::{
+    avg_petq_io, avg_topk_io, build_inverted, build_pdr, profile_petq, Scale, QUERY_FRAMES,
+};
 use crate::table::{FigureTable, Series};
 
 type Workload = Vec<(f64, Vec<CalibratedQuery>)>;
@@ -251,13 +253,30 @@ pub fn strategies(scale: &Scale) -> FigureTable {
     let mut series = Vec::new();
     for strat in Strategy::ALL {
         let (inv, store) = build_inverted(&domain, &data, strat);
-        let mut pts = Vec::new();
+        // Alongside the I/O series, emit the counters that explain it:
+        // postings scanned (the strategies' sorted-access work) and
+        // candidates verified (their random-access work), per query.
+        let mut io_pts = Vec::new();
+        let mut postings_pts = Vec::new();
+        let mut verified_pts = Vec::new();
         for (s, qs) in &workload {
-            if !qs.is_empty() {
-                pts.push((*s, avg_petq_io(&inv, &store, QUERY_FRAMES, qs)));
+            if qs.is_empty() {
+                continue;
             }
+            let p = profile_petq(&inv, &store, QUERY_FRAMES, qs);
+            io_pts.push((*s, p.avg_reads));
+            postings_pts.push((*s, p.per_query(p.metrics.postings_scanned)));
+            verified_pts.push((*s, p.per_query(p.metrics.candidates_verified)));
         }
-        series.push(Series::new(strat.name(), pts));
+        series.push(Series::new(strat.name(), io_pts));
+        series.push(Series::new(
+            format!("{}-postings", strat.name()),
+            postings_pts,
+        ));
+        series.push(Series::new(
+            format!("{}-verified", strat.name()),
+            verified_pts,
+        ));
     }
     FigureTable::new(
         "strategies",

@@ -8,7 +8,7 @@ use uncat_datagen::Dataset;
 use uncat_inverted::{InvertedIndex, Strategy};
 use uncat_pdrtree::{PdrConfig, PdrTree};
 use uncat_query::{InvertedBackend, UncertainIndex};
-use uncat_storage::{BufferPool, InMemoryDisk, SharedStore};
+use uncat_storage::{BufferPool, InMemoryDisk, QueryMetrics, SharedStore};
 
 /// Experiment sizing. `full()` is the paper's scale; `quick()` keeps unit
 /// tests and Criterion benches fast.
@@ -88,6 +88,32 @@ pub fn build_pdr(domain: &Domain, data: &Dataset, cfg: PdrConfig) -> (PdrTree, S
     (tree, store)
 }
 
+/// Cost profile of one plotted point: average physical reads (the paper's
+/// y-axis) plus the batch's summed [`QueryMetrics`] — the counters that
+/// *explain* the reads (see `docs/METRICS.md`).
+#[derive(Debug)]
+pub struct QueryProfile {
+    /// Average physical page reads per query.
+    pub avg_reads: f64,
+    /// Queries in the batch (divide a counter by this for a per-query
+    /// average).
+    pub queries: usize,
+    /// Execution counters summed over the batch (`metrics.io` is the
+    /// batch-summed pool I/O, so `avg_reads = io.physical_reads / queries`).
+    pub metrics: QueryMetrics,
+}
+
+impl QueryProfile {
+    /// Per-query average of an arbitrary counter value.
+    pub fn per_query(&self, total: u64) -> f64 {
+        if self.queries == 0 {
+            f64::NAN
+        } else {
+            total as f64 / self.queries as f64
+        }
+    }
+}
+
 /// Average physical reads per PETQ over a calibrated query set.
 pub fn avg_petq_io(
     index: &impl UncertainIndex,
@@ -95,12 +121,22 @@ pub fn avg_petq_io(
     frames: usize,
     queries: &[CalibratedQuery],
 ) -> f64 {
-    avg_io(queries, |cq| {
+    profile_petq(index, store, frames, queries).avg_reads
+}
+
+/// Full cost profile (reads + counters) per PETQ over a calibrated set.
+pub fn profile_petq(
+    index: &impl UncertainIndex,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[CalibratedQuery],
+) -> QueryProfile {
+    profile(queries, |cq, metrics| {
         let mut pool = BufferPool::with_capacity(store.clone(), frames);
         index
-            .petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau))
+            .petq_metered(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau), metrics)
             .expect("in-memory query");
-        pool.stats().physical_reads
+        pool.stats()
     })
 }
 
@@ -111,19 +147,46 @@ pub fn avg_topk_io(
     frames: usize,
     queries: &[CalibratedQuery],
 ) -> f64 {
-    avg_io(queries, |cq| {
+    profile_topk(index, store, frames, queries).avg_reads
+}
+
+/// Full cost profile (reads + counters) per top-k query over a calibrated
+/// set.
+pub fn profile_topk(
+    index: &impl UncertainIndex,
+    store: &SharedStore,
+    frames: usize,
+    queries: &[CalibratedQuery],
+) -> QueryProfile {
+    profile(queries, |cq, metrics| {
         let mut pool = BufferPool::with_capacity(store.clone(), frames);
         index
-            .top_k(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k))
+            .top_k_metered(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k), metrics)
             .expect("in-memory query");
-        pool.stats().physical_reads
+        pool.stats()
     })
 }
 
-fn avg_io(queries: &[CalibratedQuery], mut f: impl FnMut(&CalibratedQuery) -> u64) -> f64 {
-    if queries.is_empty() {
-        return f64::NAN;
+fn profile(
+    queries: &[CalibratedQuery],
+    mut f: impl FnMut(&CalibratedQuery, &mut QueryMetrics) -> uncat_storage::IoStats,
+) -> QueryProfile {
+    let mut metrics = QueryMetrics::new();
+    let mut total_reads: u64 = 0;
+    for cq in queries {
+        let mut m = QueryMetrics::new();
+        let io = f(cq, &mut m);
+        m.io = io;
+        total_reads += io.physical_reads;
+        metrics.merge(&m);
     }
-    let total: u64 = queries.iter().map(&mut f).sum();
-    total as f64 / queries.len() as f64
+    QueryProfile {
+        avg_reads: if queries.is_empty() {
+            f64::NAN
+        } else {
+            total_reads as f64 / queries.len() as f64
+        },
+        queries: queries.len(),
+        metrics,
+    }
 }

@@ -22,7 +22,7 @@ use std::ops::ControlFlow;
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
 use uncat_core::Divergence;
-use uncat_storage::{BufferPool, Result, StorageError};
+use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
 use crate::postings::decode_posting;
@@ -32,6 +32,19 @@ impl InvertedIndex {
     /// Evaluate a DSTQ: all tuples with `F(q, t) ≤ τ_d`, in ascending
     /// divergence order.
     pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
+        self.dstq_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`InvertedIndex::dstq`] with execution counters. The candidate path
+    /// tallies list scans and random-access verifications; the scan
+    /// fallback tallies `heap_tuples_scanned` — so the counters show
+    /// *which* of the two plans answered the query.
+    pub fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let overlap_bound = match query.divergence {
             Divergence::L1 => query.q.mass(),
             Divergence::L2 => query
@@ -43,27 +56,36 @@ impl InvertedIndex {
             Divergence::Kl => 0.0, // never candidate-prunable
         };
         if query.divergence.is_metric() && query.tau_d < overlap_bound {
-            self.dstq_candidates(pool, query)
+            self.dstq_candidates(pool, query, metrics)
         } else {
-            self.dstq_scan(pool, query)
+            self.dstq_scan(pool, query, metrics)
         }
     }
 
     /// Candidate generation from the query's posting lists + verification.
-    fn dstq_candidates(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
+    fn dstq_candidates(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut candidates: HashSet<u64> = HashSet::new();
         for (_cat, _qp, tree) in query_lists(self, &query.q) {
+            metrics.lists_opened += 1;
             tree.scan_all(pool, |key, _| {
+                metrics.postings_scanned += 1;
                 let (_p, tid) = decode_posting(key);
                 candidates.insert(tid);
                 ControlFlow::Continue(())
             })?;
         }
+        metrics.candidates_generated += candidates.len() as u64;
         let mut out = Vec::new();
         for tid in candidates {
             let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                 "posting refers to an unindexed tuple",
             ))?;
+            metrics.candidates_verified += 1;
             let d = query.divergence.eval(query.q.entries(), t.entries());
             if d <= query.tau_d {
                 out.push(Match::new(tid, d));
@@ -82,6 +104,20 @@ impl InvertedIndex {
     /// answer is complete. Otherwise — wide radius or KL — a full
     /// tuple-store scan resolves the query exactly.
     pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
+        self.ds_top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`InvertedIndex::ds_top_k`] with execution counters (same
+    /// conventions as [`InvertedIndex::dstq_metered`]; when the candidate
+    /// answer is incomplete, both the candidate counters *and* the
+    /// fallback's `heap_tuples_scanned` are populated — the query really
+    /// did both).
+    pub fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         if query.k == 0 {
             return Ok(Vec::new());
         }
@@ -98,17 +134,21 @@ impl InvertedIndex {
         if query.divergence.is_metric() {
             let mut candidates: HashSet<u64> = HashSet::new();
             for (_cat, _qp, tree) in query_lists(self, &query.q) {
+                metrics.lists_opened += 1;
                 tree.scan_all(pool, |key, _| {
+                    metrics.postings_scanned += 1;
                     let (_p, tid) = decode_posting(key);
                     candidates.insert(tid);
                     ControlFlow::Continue(())
                 })?;
             }
+            metrics.candidates_generated += candidates.len() as u64;
             let mut heap = BottomKHeap::new(query.k);
             for tid in candidates {
                 let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                     "posting refers to an unindexed tuple",
                 ))?;
+                metrics.candidates_verified += 1;
                 heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
             }
             if heap.is_full() && heap.bound() < disjoint_floor {
@@ -118,15 +158,22 @@ impl InvertedIndex {
         // Fallback: exact scan.
         let mut heap = BottomKHeap::new(query.k);
         self.scan_tuples(pool, |tid, t| {
+            metrics.heap_tuples_scanned += 1;
             heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
         })?;
         Ok(heap.into_sorted())
     }
 
     /// Full tuple-store scan fallback (always sound).
-    fn dstq_scan(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
+    fn dstq_scan(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan_tuples(pool, |tid, t| {
+            metrics.heap_tuples_scanned += 1;
             let d = query.divergence.eval(query.q.entries(), t.entries());
             if d <= query.tau_d {
                 out.push(Match::new(tid, d));

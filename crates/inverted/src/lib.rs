@@ -19,6 +19,11 @@
 //!   probability τ (a qualifying tuple must have one such entry).
 //! * [`Strategy::Nra`] — rank-join with per-candidate upper/lower bounds
 //!   ("lack"), deferring random access to a small undecided remainder.
+//!
+//! Every query method has a `*_metered` variant that tallies execution
+//! counters (lists/postings scanned, Lemma 1 stops, the candidate
+//! pipeline) into a [`uncat_storage::QueryMetrics`] — see
+//! `docs/METRICS.md` for the counting conventions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,21 +12,28 @@ use std::ops::ControlFlow;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 use crate::postings::decode_posting;
 
 use super::{query_lists, verify_candidates};
 
+/// Metrics profile: every query list is opened but scanned only to its
+/// τ-prefix, so `postings_scanned` ≤ brute force's on the same query (the
+/// first below-τ entry that terminates each scan is counted — it was
+/// read). Every candidate is verified by random access.
 pub(super) fn search(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
+    metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
     for (_cat, _qp, tree) in query_lists(idx, &query.q) {
+        metrics.lists_opened += 1;
         tree.scan_all(pool, |key, _| {
+            metrics.postings_scanned += 1;
             let (p, tid) = decode_posting(key);
             if (p as f64) < query.tau - THRESHOLD_EPS {
                 return ControlFlow::Break(()); // column pruned: prefix ends
@@ -35,5 +42,6 @@ pub(super) fn search(
             ControlFlow::Continue(())
         })?;
     }
-    verify_candidates(idx, pool, query, candidates)
+    metrics.candidates_generated += candidates.len() as u64;
+    verify_candidates(idx, pool, query, candidates, metrics)
 }

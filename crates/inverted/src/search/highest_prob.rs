@@ -9,19 +9,26 @@
 use std::collections::HashSet;
 
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
 use super::{verify_candidates, Frontier};
 
+/// Metrics profile: `frontier_pops` is the drain depth (the paper's
+/// "posting-list depth reached"); a `lemma1_stops` tick records that the
+/// drain ended by Lemma 1 rather than by exhausting the lists. Every
+/// encountered tuple is a candidate and every candidate is verified by
+/// random access.
 pub(super) fn search(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
+    metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
-    let candidates = collect_candidates(idx, pool, query)?;
-    verify_candidates(idx, pool, query, candidates)
+    let candidates = collect_candidates(idx, pool, query, metrics)?;
+    metrics.candidates_generated += candidates.len() as u64;
+    verify_candidates(idx, pool, query, candidates, metrics)
 }
 
 /// Crate-visible entry point (used as the NRA wide-query fallback).
@@ -29,8 +36,9 @@ pub(crate) fn search_public(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
+    metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
-    search(idx, pool, query)
+    search(idx, pool, query, metrics)
 }
 
 /// Drain list heads in most-promising-first order until Lemma 1 stops the
@@ -39,20 +47,24 @@ pub(crate) fn collect_candidates(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
+    metrics: &mut QueryMetrics,
 ) -> Result<HashSet<u64>> {
-    let mut frontier = Frontier::open(idx, pool, &query.q)?;
+    let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
     let mut seen: HashSet<u64> = HashSet::new();
     loop {
         // Lemma 1: any tuple not yet seen is bounded by the frontier sum.
         // The epsilon keeps pruning consistent with `meets_threshold`.
         if frontier.sum() < query.tau - uncat_core::equality::THRESHOLD_EPS {
+            if !frontier.all_exhausted() {
+                metrics.lemma1_stops += 1;
+            }
             break;
         }
         let Some((j, tid, _c)) = frontier.best() else {
             break;
         };
         seen.insert(tid);
-        frontier.advance(pool, j)?;
+        frontier.advance(pool, j, metrics)?;
     }
     Ok(seen)
 }

@@ -8,7 +8,7 @@ mod row_prune;
 
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match};
-use uncat_storage::{BufferPool, Result, StorageError};
+use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
 
@@ -63,12 +63,28 @@ impl InvertedIndex {
         query: &EqQuery,
         strategy: Strategy,
     ) -> Result<Vec<Match>> {
+        self.petq_metered(pool, query, strategy, &mut QueryMetrics::new())
+    }
+
+    /// [`InvertedIndex::petq`] with execution counters: every list, posting,
+    /// frontier and candidate event is tallied into `metrics` (counters are
+    /// added to, never reset, so one `QueryMetrics` can span several calls).
+    /// I/O is *not* recorded here — the pool owns the I/O counters; callers
+    /// that want the full picture copy `pool.stats()` deltas into
+    /// `metrics.io` (see `uncat_query::Executor`).
+    pub fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        strategy: Strategy,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut out = match strategy {
-            Strategy::Brute => brute::search(self, pool, query)?,
-            Strategy::HighestProbFirst => highest_prob::search(self, pool, query)?,
-            Strategy::RowPruning => row_prune::search(self, pool, query)?,
-            Strategy::ColumnPruning => col_prune::search(self, pool, query)?,
-            Strategy::Nra => nra::search(self, pool, query)?,
+            Strategy::Brute => brute::search(self, pool, query, metrics)?,
+            Strategy::HighestProbFirst => highest_prob::search(self, pool, query, metrics)?,
+            Strategy::RowPruning => row_prune::search(self, pool, query, metrics)?,
+            Strategy::ColumnPruning => col_prune::search(self, pool, query, metrics)?,
+            Strategy::Nra => nra::search(self, pool, query, metrics)?,
         };
         sort_matches_desc(&mut out);
         Ok(out)
@@ -79,7 +95,7 @@ impl InvertedIndex {
     /// posting lists.
     pub fn peq(&self, pool: &mut BufferPool, q: &uncat_core::Uda) -> Result<Vec<Match>> {
         let query = EqQuery::new(q.clone(), 0.0);
-        let mut out = brute::search(self, pool, &query)?;
+        let mut out = brute::search(self, pool, &query, &mut QueryMetrics::new())?;
         out.retain(|m| m.score > 0.0);
         sort_matches_desc(&mut out);
         Ok(out)
@@ -87,7 +103,8 @@ impl InvertedIndex {
 }
 
 /// Random-access verification: fetch each candidate's distribution and keep
-/// those meeting the threshold, with exact scores.
+/// those meeting the threshold, with exact scores. Each candidate counts as
+/// one `candidates_verified`.
 ///
 /// Accesses are *sorted by heap page* first, so candidates sharing a page
 /// cost one read — the standard batched-random-access discipline.
@@ -96,12 +113,14 @@ pub(crate) fn verify_candidates(
     pool: &mut BufferPool,
     query: &EqQuery,
     candidates: impl IntoIterator<Item = u64>,
+    metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut out = Vec::new();
     for tid in sorted_by_page(idx, candidates)? {
         let t = idx.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
             "posting refers to an unindexed tuple",
         ))?;
+        metrics.candidates_verified += 1;
         let pr = eq_prob(&query.q, &t);
         if meets_threshold(pr, query.tau) {
             out.push(Match::new(tid, pr));
@@ -170,19 +189,27 @@ pub(crate) struct Frontier {
 const RESUM_EVERY: u32 = 1 << 16;
 
 impl Frontier {
-    /// Open a cursor per query list and cache the initial heads.
+    /// Open a cursor per query list and cache the initial heads. Counts
+    /// one `lists_opened` per cursor and one `postings_scanned` per
+    /// non-empty initial head.
     pub(crate) fn open(
         idx: &InvertedIndex,
         pool: &mut BufferPool,
         q: &uncat_core::Uda,
+        metrics: &mut QueryMetrics,
     ) -> Result<Frontier> {
         let mut cursors: Vec<(f64, crate::postings::PostingCursor)> = Vec::new();
         for (_cat, qp, tree) in query_lists(idx, q) {
             cursors.push((qp, crate::postings::PostingCursor::open(tree, pool)?));
         }
+        metrics.lists_opened += cursors.len() as u64;
         let mut heads: Vec<Option<(u64, f64)>> = Vec::with_capacity(cursors.len());
         for (qp, cur) in cursors.iter_mut() {
-            heads.push(cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64)));
+            let head = cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64));
+            if head.is_some() {
+                metrics.postings_scanned += 1;
+            }
+            heads.push(head);
         }
         let order = heads
             .iter()
@@ -223,15 +250,24 @@ impl Frontier {
         None
     }
 
-    /// Pop list `j`'s head and refresh its cache.
-    pub(crate) fn advance(&mut self, pool: &mut BufferPool, j: usize) -> Result<()> {
+    /// Pop list `j`'s head and refresh its cache. Counts one
+    /// `frontier_pops`, plus one `postings_scanned` when the list still
+    /// had a next entry.
+    pub(crate) fn advance(
+        &mut self,
+        pool: &mut BufferPool,
+        j: usize,
+        metrics: &mut QueryMetrics,
+    ) -> Result<()> {
         let (qp, cur) = &mut self.cursors[j];
         cur.advance(pool)?;
+        metrics.frontier_pops += 1;
         if let Some((_, old)) = self.heads[j] {
             self.sum -= old;
         }
         let next = cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64));
         if let Some((_, c)) = next {
+            metrics.postings_scanned += 1;
             self.sum += c;
             self.order.push((c.to_bits(), j));
         }

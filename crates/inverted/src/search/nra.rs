@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
@@ -39,16 +39,23 @@ struct Cand {
     seen: u128,
 }
 
+/// Metrics profile: like highest-prob-first on the frontier side
+/// (`frontier_pops`, `lemma1_stops`), but the candidate accounting is the
+/// strategy's whole point — `candidates_pruned` are discarded by upper
+/// bound, `candidates_settled` are decided from converged bounds, and only
+/// `candidates_verified` cost a random access. The deferred random
+/// accesses the paper describes are `pruned + settled`.
 pub(super) fn search(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
+    metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
-    let mut frontier = Frontier::open(idx, pool, &query.q)?;
+    let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
     if frontier.len() > 128 {
         // Mask width exceeded (never the case for realistic queries);
         // highest-prob-first is the general fallback.
-        return super::highest_prob::search_public(idx, pool, query);
+        return super::highest_prob::search_public(idx, pool, query, metrics);
     }
 
     let tau = query.tau;
@@ -61,12 +68,13 @@ pub(super) fn search(
         // Stop once no unseen tuple can qualify and the undecided set is
         // small enough for the random-access fallback.
         if frontier.sum() < tau - THRESHOLD_EPS && undecided_small {
+            metrics.lemma1_stops += 1;
             break;
         }
         let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
         e.lb += c;
         e.seen |= 1u128 << j;
-        frontier.advance(pool, j)?;
+        frontier.advance(pool, j, metrics)?;
 
         pops += 1;
         // Sweeping costs a pass over the candidate map; scale the interval
@@ -96,6 +104,7 @@ pub(super) fn search(
     let heads = frontier.residual();
     let all_exhausted = frontier.all_exhausted();
 
+    metrics.candidates_generated += cand.len() as u64;
     let mut accepted: Vec<Match> = Vec::new();
     let mut needs_ra: Vec<u64> = Vec::new();
     for (tid, c) in &cand {
@@ -107,10 +116,12 @@ pub(super) fn search(
             .sum();
         let ub = c.lb + remaining;
         if ub < tau - THRESHOLD_EPS {
+            metrics.candidates_pruned += 1;
             continue; // discarded with zero random accesses
         }
         if all_exhausted || remaining == 0.0 {
             // Bounds converged: lb is the exact probability.
+            metrics.candidates_settled += 1;
             if c.lb >= tau - THRESHOLD_EPS {
                 accepted.push(Match::new(*tid, c.lb));
             }
@@ -118,6 +129,6 @@ pub(super) fn search(
             needs_ra.push(*tid);
         }
     }
-    accepted.extend(verify_candidates(idx, pool, query, needs_ra)?);
+    accepted.extend(verify_candidates(idx, pool, query, needs_ra, metrics)?);
     Ok(accepted)
 }

@@ -11,28 +11,37 @@ use std::ops::ControlFlow;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 use crate::postings::decode_posting;
 
 use super::{query_lists, verify_candidates};
 
+/// Metrics profile: each list below the query-probability threshold is a
+/// `lists_pruned` (its postings are never read — the strategy's entire
+/// saving); retained lists are scanned fully. Every candidate is verified
+/// by random access.
 pub(super) fn search(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
     query: &EqQuery,
+    metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
     for (_cat, qp, tree) in query_lists(idx, &query.q) {
         if qp < query.tau - THRESHOLD_EPS {
+            metrics.lists_pruned += 1;
             continue; // row pruned
         }
+        metrics.lists_opened += 1;
         tree.scan_all(pool, |key, _| {
+            metrics.postings_scanned += 1;
             let (_p, tid) = decode_posting(key);
             candidates.insert(tid);
             ControlFlow::Continue(())
         })?;
     }
-    verify_candidates(idx, pool, query, candidates)
+    metrics.candidates_generated += candidates.len() as u64;
+    verify_candidates(idx, pool, query, candidates, metrics)
 }

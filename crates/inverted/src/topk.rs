@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use uncat_core::equality::{eq_prob, THRESHOLD_EPS};
 use uncat_core::query::{Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
-use uncat_storage::{BufferPool, Result, StorageError};
+use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
 use crate::search::Frontier;
@@ -33,12 +33,25 @@ impl InvertedIndex {
     /// (only tuples with non-zero probability are returned), in canonical
     /// descending order.
     pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
+        self.top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`InvertedIndex::top_k`] with execution counters (see
+    /// [`InvertedIndex::petq_metered`] for the counting conventions). The
+    /// dynamic-threshold stop is tallied as a `lemma1_stops`: it is Lemma 1
+    /// with θ in place of τ.
+    pub fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         if query.k == 0 {
             return Ok(Vec::new());
         }
-        let mut frontier = Frontier::open(self, pool, &query.q)?;
+        let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
         if frontier.len() > 128 {
-            return self.top_k_random_access(pool, query);
+            return self.top_k_random_access(pool, query, metrics);
         }
 
         let mut cand: HashMap<u64, Cand> = HashMap::new();
@@ -51,12 +64,13 @@ impl InvertedIndex {
             // bounded by the frontier sum; once that cannot reach the k-th
             // best lower bound, the candidate set is complete.
             if cand.len() >= query.k && frontier.sum() < theta - THRESHOLD_EPS {
+                metrics.lemma1_stops += 1;
                 break;
             }
             let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
             e.lb += c;
             e.seen |= 1u128 << j;
-            frontier.advance(pool, j)?;
+            frontier.advance(pool, j, metrics)?;
 
             pops += 1;
             // Refreshing θ costs a pass over the candidate map, so the
@@ -80,6 +94,7 @@ impl InvertedIndex {
         };
 
         // Split finalists into settled (lb already exact) and unsettled.
+        metrics.candidates_generated += cand.len() as u64;
         let mut settled: Vec<(u64, f64)> = Vec::new();
         let mut unsettled: Vec<u64> = Vec::new();
         for (tid, c) in &cand {
@@ -91,6 +106,7 @@ impl InvertedIndex {
                 .sum();
             let ub = c.lb + remaining;
             if ub < theta - THRESHOLD_EPS {
+                metrics.candidates_pruned += 1;
                 continue; // cannot make the top k
             }
             if all_exhausted || remaining == 0.0 {
@@ -99,6 +115,7 @@ impl InvertedIndex {
                 unsettled.push(*tid);
             }
         }
+        metrics.candidates_settled += settled.len() as u64;
 
         let mut heap = TopKHeap::new(query.k, 0.0);
         // Unsettled finalists need one random access each; sorting by heap
@@ -107,6 +124,7 @@ impl InvertedIndex {
             let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                 "posting refers to an unindexed tuple",
             ))?;
+            metrics.candidates_verified += 1;
             let pr = eq_prob(&query.q, &t);
             if pr > 0.0 {
                 heap.offer(tid, pr);
@@ -122,24 +140,32 @@ impl InvertedIndex {
 
     /// Fallback for queries wider than the bound mask: verify every
     /// encountered candidate by random access.
-    fn top_k_random_access(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
-        let mut frontier = Frontier::open(self, pool, &query.q)?;
+    fn top_k_random_access(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
         let mut heap = TopKHeap::new(query.k, 0.0);
         let mut verified: HashSet<u64> = HashSet::new();
         while let Some((j, tid, _c)) = frontier.best() {
             if heap.is_full() && frontier.sum() < heap.threshold() - THRESHOLD_EPS {
+                metrics.lemma1_stops += 1;
                 break;
             }
             if verified.insert(tid) {
                 let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                     "posting refers to an unindexed tuple",
                 ))?;
+                metrics.candidates_generated += 1;
+                metrics.candidates_verified += 1;
                 let pr = eq_prob(&query.q, &t);
                 if pr > 0.0 {
                     heap.offer(tid, pr);
                 }
             }
-            frontier.advance(pool, j)?;
+            frontier.advance(pool, j, metrics)?;
         }
         Ok(heap.into_sorted())
     }

@@ -33,7 +33,7 @@ const FILL: f64 = 0.92;
 impl PdrTree {
     /// Build a tree from a complete relation by sort-and-pack bulk
     /// loading. Equivalent to [`PdrTree::build`] for queries; much better
-    /// page fill (≈ [`struct@Boundary`]-tight, ~92 % of the byte budget).
+    /// page fill (≈ [`crate::Boundary`]-tight, ~92 % of the byte budget).
     pub fn bulk_build<'a, I>(
         domain: Domain,
         config: PdrConfig,

@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
 use uncat_core::{Divergence, Uda};
-use uncat_storage::{BufferPool, PageId, Result};
+use uncat_storage::{BufferPool, PageId, QueryMetrics, Result};
 
 use crate::boundary::Boundary;
 use crate::node::{read_node, Node};
@@ -31,11 +31,26 @@ impl PdrTree {
     /// Evaluate a DSTQ: all tuples with `F(q, t) ≤ τ_d`, ascending by
     /// divergence.
     pub fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
+        self.dstq_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`PdrTree::dstq`] with execution counters: node visits, children
+    /// pruned by the divergence lower bound, and leaf entries scored. KL
+    /// queries show `nodes_pruned == 0` — the visible signature of an
+    /// unprunable divergence.
+    pub fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         let mut stack = vec![self.root()];
         while let Some(pid) = stack.pop() {
+            metrics.nodes_visited += 1;
             match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
+                    metrics.leaf_entries_examined += entries.len() as u64;
                     for e in &entries {
                         let d = query.divergence.eval(query.q.entries(), e.uda.entries());
                         if d <= query.tau_d {
@@ -48,6 +63,8 @@ impl PdrTree {
                         let lower = divergence_lower_bound(&c.boundary, &query.q, query.divergence);
                         if lower <= query.tau_d + 1e-9 {
                             stack.push(c.pid);
+                        } else {
+                            metrics.nodes_pruned += 1;
                         }
                     }
                 }
@@ -63,6 +80,18 @@ impl PdrTree {
     /// the current k-th smallest exact distance. KL admits no bound, so KL
     /// queries traverse every leaf.
     pub fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
+        self.ds_top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`PdrTree::ds_top_k`] with execution counters (conventions of
+    /// [`PdrTree::dstq_metered`]; children cut by the k-th smallest exact
+    /// distance also count as `nodes_pruned`).
+    pub fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         struct Pending {
             bound: f64,
             pid: PageId,
@@ -96,10 +125,14 @@ impl PdrTree {
         });
         while let Some(Pending { bound, pid }) = frontier.pop() {
             if heap.is_full() && bound > heap.bound() + 1e-9 {
+                // The remaining frontier is cut without being read.
+                metrics.nodes_pruned += 1 + frontier.len() as u64;
                 break; // nothing unexplored can get closer
             }
+            metrics.nodes_visited += 1;
             match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
+                    metrics.leaf_entries_examined += entries.len() as u64;
                     for e in &entries {
                         let d = query.divergence.eval(query.q.entries(), e.uda.entries());
                         heap.offer(e.tid, d);
@@ -113,6 +146,8 @@ impl PdrTree {
                                 bound: b,
                                 pid: c.pid,
                             });
+                        } else {
+                            metrics.nodes_pruned += 1;
                         }
                     }
                 }

@@ -17,6 +17,11 @@
 //!   and the *set-signature* domain reduction (`f : D → C`, boundary entry
 //!   is the max over the preimage). Both over-estimate, so pruning remains
 //!   sound.
+//!
+//! Every query method has a `*_metered` variant that tallies execution
+//! counters (nodes visited, children pruned by Lemma 2, leaf entries
+//! examined) into a [`uncat_storage::QueryMetrics`] — see
+//! `docs/METRICS.md` for the counting conventions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

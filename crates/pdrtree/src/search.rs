@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 use uncat_core::equality::{eq_prob, meets_threshold, THRESHOLD_EPS};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
-use uncat_storage::{BufferPool, PageId, Result};
+use uncat_storage::{BufferPool, PageId, QueryMetrics, Result};
 
 use crate::node::{read_node, Node};
 use crate::tree::PdrTree;
@@ -21,11 +21,26 @@ impl PdrTree {
     /// Evaluate a PETQ, returning qualifying tuples with exact equality
     /// probabilities in canonical descending order.
     pub fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
+        self.petq_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`PdrTree::petq`] with execution counters: each node read is a
+    /// `nodes_visited`, each child skipped by Lemma 2 a `nodes_pruned`,
+    /// and each leaf entry scored a `leaf_entries_examined`. Pruning
+    /// effectiveness is `nodes_pruned / (nodes_visited + nodes_pruned)`.
+    pub fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         let mut stack = vec![self.root()];
         while let Some(pid) = stack.pop() {
+            metrics.nodes_visited += 1;
             match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
+                    metrics.leaf_entries_examined += entries.len() as u64;
                     for e in &entries {
                         let pr = eq_prob(&query.q, &e.uda);
                         if meets_threshold(pr, query.tau) {
@@ -40,6 +55,8 @@ impl PdrTree {
                         // Pr(q = u) below c.
                         if c.boundary.eq_upper_bound(&query.q) >= query.tau - THRESHOLD_EPS {
                             stack.push(c.pid);
+                        } else {
+                            metrics.nodes_pruned += 1;
                         }
                     }
                 }
@@ -61,6 +78,18 @@ impl PdrTree {
     /// upper-bound order, so the search stops as soon as the best
     /// unexplored bound cannot beat the current k-th best probability.
     pub fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
+        self.top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
+
+    /// [`PdrTree::top_k`] with execution counters (conventions of
+    /// [`PdrTree::petq_metered`]; children cut by the dynamic k-th-best
+    /// threshold also count as `nodes_pruned`).
+    pub fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         struct Pending {
             bound: f64,
             pid: PageId,
@@ -95,10 +124,14 @@ impl PdrTree {
         });
         while let Some(Pending { bound, pid }) = frontier.pop() {
             if heap.is_full() && bound < heap.threshold() - THRESHOLD_EPS {
+                // The remaining frontier is cut without being read.
+                metrics.nodes_pruned += 1 + frontier.len() as u64;
                 break; // no unexplored subtree can displace the k-th best
             }
+            metrics.nodes_visited += 1;
             match read_node(pool, pid, self.config().compression)? {
                 Node::Leaf(entries) => {
+                    metrics.leaf_entries_examined += entries.len() as u64;
                     for e in &entries {
                         let pr = eq_prob(&query.q, &e.uda);
                         if pr > 0.0 {
@@ -114,6 +147,8 @@ impl PdrTree {
                                 bound: b,
                                 pid: c.pid,
                             });
+                        } else {
+                            metrics.nodes_pruned += 1;
                         }
                     }
                 }

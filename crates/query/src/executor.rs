@@ -10,7 +10,7 @@
 
 use uncat_core::query::{DstQuery, EqQuery, Match, TopKQuery};
 use uncat_storage::buffer::DEFAULT_FRAMES;
-use uncat_storage::{BufferPool, IoStats, Result, SharedStore};
+use uncat_storage::{BufferPool, IoStats, QueryMetrics, Result, SharedStore};
 
 use crate::index_trait::UncertainIndex;
 
@@ -21,6 +21,9 @@ pub struct QueryOutcome {
     pub matches: Vec<Match>,
     /// I/O charged to this query (fresh buffer pool).
     pub io: IoStats,
+    /// Execution counters for this query (its `io` field equals the
+    /// outcome's own `io` — the same pool snapshot is copied into both).
+    pub metrics: QueryMetrics,
 }
 
 impl QueryOutcome {
@@ -37,6 +40,18 @@ impl QueryOutcome {
             self.matches.len() as f64 / n as f64
         }
     }
+}
+
+/// Sum the execution counters of a batch of outcomes — the natural
+/// aggregate for "average cost per query" reporting (divide by the batch
+/// size). Counters are additive, so summing per-query metrics from any
+/// execution order (including [`crate::parallel`] workers) equals the
+/// metrics of running the batch sequentially.
+pub fn aggregate_metrics<'a, I>(outcomes: I) -> QueryMetrics
+where
+    I: IntoIterator<Item = &'a QueryOutcome>,
+{
+    QueryMetrics::sum(outcomes.into_iter().map(|o| &o.metrics))
 }
 
 /// Runs queries against an index with a fresh buffer pool each time.
@@ -78,33 +93,39 @@ impl<I: UncertainIndex> Executor<I> {
 
     fn run(
         &self,
-        f: impl FnOnce(&I, &mut BufferPool) -> Result<Vec<Match>>,
+        f: impl FnOnce(&I, &mut BufferPool, &mut QueryMetrics) -> Result<Vec<Match>>,
     ) -> Result<QueryOutcome> {
         let mut pool = BufferPool::with_capacity(self.store.clone(), self.frames);
-        let matches = f(&self.index, &mut pool)?;
+        let mut metrics = QueryMetrics::new();
+        let matches = f(&self.index, &mut pool, &mut metrics)?;
+        // I/O accounting lives in the pool; the search code never touches
+        // `metrics.io`. Copy the final pool snapshot in here so one struct
+        // carries the whole cost profile.
+        metrics.io = pool.stats();
         Ok(QueryOutcome {
             matches,
             io: pool.stats(),
+            metrics,
         })
     }
 
     /// Run a PETQ with a cold, private buffer.
     pub fn petq(&self, query: &EqQuery) -> Result<QueryOutcome> {
-        self.run(|i, p| i.petq(p, query))
+        self.run(|i, p, m| i.petq_metered(p, query, m))
     }
 
     /// Run a top-k query with a cold, private buffer.
     pub fn top_k(&self, query: &TopKQuery) -> Result<QueryOutcome> {
-        self.run(|i, p| i.top_k(p, query))
+        self.run(|i, p, m| i.top_k_metered(p, query, m))
     }
 
     /// Run a DSTQ with a cold, private buffer.
     pub fn dstq(&self, query: &DstQuery) -> Result<QueryOutcome> {
-        self.run(|i, p| i.dstq(p, query))
+        self.run(|i, p, m| i.dstq_metered(p, query, m))
     }
 
     /// Run a DSQ-top-k with a cold, private buffer.
     pub fn ds_top_k(&self, query: &uncat_core::query::DsTopKQuery) -> Result<QueryOutcome> {
-        self.run(|i, p| i.ds_top_k(p, query))
+        self.run(|i, p, m| i.ds_top_k_metered(p, query, m))
     }
 }

@@ -1,7 +1,7 @@
 //! The common interface over index structures.
 
 use uncat_core::query::{DsTopKQuery, DstQuery, EqQuery, Match, TopKQuery};
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use uncat_inverted::{InvertedIndex, Strategy};
 use uncat_pdrtree::PdrTree;
@@ -13,19 +13,64 @@ use uncat_pdrtree::PdrTree;
 /// Every method is fallible: an I/O error or corrupted page surfaces as
 /// `Err(StorageError)` from the one query that hit it, leaving the index
 /// and the process intact.
+///
+/// The `*_metered` methods are the primitive operations: they thread a
+/// [`QueryMetrics`] through the search so callers can observe *how* the
+/// answer was computed (postings scanned, nodes pruned, candidates
+/// verified — see `docs/METRICS.md`). The unmetered methods are provided
+/// conveniences that run against scratch counters.
 pub trait UncertainIndex {
-    /// Probabilistic equality threshold query (Definition 4).
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>>;
-    /// PEQ-top-k.
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>>;
-    /// Distributional similarity threshold query (Definition 5).
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>>;
-    /// DSQ-top-k: the `k` distributionally closest tuples.
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>>;
+    /// Probabilistic equality threshold query (Definition 4), with
+    /// execution counters.
+    fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>>;
+    /// PEQ-top-k, with execution counters.
+    fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>>;
+    /// Distributional similarity threshold query (Definition 5), with
+    /// execution counters.
+    fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>>;
+    /// DSQ-top-k, with execution counters.
+    fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>>;
     /// Number of indexed tuples.
     fn tuple_count(&self) -> u64;
     /// Short name for reports ("inverted", "pdr-tree", "scan").
     fn backend_name(&self) -> &'static str;
+
+    /// Probabilistic equality threshold query (Definition 4).
+    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
+        self.petq_metered(pool, query, &mut QueryMetrics::new())
+    }
+    /// PEQ-top-k.
+    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
+        self.top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
+    /// Distributional similarity threshold query (Definition 5).
+    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
+        self.dstq_metered(pool, query, &mut QueryMetrics::new())
+    }
+    /// DSQ-top-k: the `k` distributionally closest tuples.
+    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
+        self.ds_top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
 }
 
 /// The inverted index paired with a fixed search strategy.
@@ -52,20 +97,40 @@ impl InvertedBackend {
 }
 
 impl UncertainIndex for InvertedBackend {
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
-        self.index.petq(pool, query, self.strategy)
+    fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        self.index.petq_metered(pool, query, self.strategy, metrics)
     }
 
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
-        self.index.top_k(pool, query)
+    fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        self.index.top_k_metered(pool, query, metrics)
     }
 
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
-        self.index.dstq(pool, query)
+    fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        self.index.dstq_metered(pool, query, metrics)
     }
 
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
-        self.index.ds_top_k(pool, query)
+    fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        self.index.ds_top_k_metered(pool, query, metrics)
     }
 
     fn tuple_count(&self) -> u64 {
@@ -78,20 +143,40 @@ impl UncertainIndex for InvertedBackend {
 }
 
 impl UncertainIndex for PdrTree {
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
-        PdrTree::petq(self, pool, query)
+    fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        PdrTree::petq_metered(self, pool, query, metrics)
     }
 
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
-        PdrTree::top_k(self, pool, query)
+    fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        PdrTree::top_k_metered(self, pool, query, metrics)
     }
 
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
-        PdrTree::dstq(self, pool, query)
+    fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        PdrTree::dstq_metered(self, pool, query, metrics)
     }
 
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
-        PdrTree::ds_top_k(self, pool, query)
+    fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        PdrTree::ds_top_k_metered(self, pool, query, metrics)
     }
 
     fn tuple_count(&self) -> u64 {

@@ -12,12 +12,15 @@
 
 mod nested_loop;
 
-pub use nested_loop::{block_nested_loop_petj, index_nested_loop_petj};
+pub use nested_loop::{
+    block_nested_loop_petj, block_nested_loop_petj_metered, index_nested_loop_petj,
+    index_nested_loop_petj_metered,
+};
 
 use uncat_core::query::{DstQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
 use uncat_core::Uda;
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index_trait::UncertainIndex;
 
@@ -52,12 +55,24 @@ pub fn index_top_k_pej(
     pool: &mut BufferPool,
     k: usize,
 ) -> Result<Vec<JoinPair>> {
+    index_top_k_pej_metered(outer, inner, pool, k, &mut QueryMetrics::new())
+}
+
+/// [`index_top_k_pej`] with execution counters accumulated over every
+/// inner probe.
+pub fn index_top_k_pej_metered(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    k: usize,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<JoinPair>> {
     // A pair-level heap keyed by a synthetic id; tie-breaking therefore
     // follows outer order, matching the canonical sort below.
     let mut best: Vec<JoinPair> = Vec::new();
     let mut floor = 0.0f64;
     for (ltid, luda) in outer {
-        let probes = inner.top_k(pool, &TopKQuery::new(luda.clone(), k))?;
+        let probes = inner.top_k_metered(pool, &TopKQuery::new(luda.clone(), k), metrics)?;
         for m in probes {
             if best.len() >= k && m.score < floor {
                 continue;
@@ -87,9 +102,33 @@ pub fn index_dstj(
     tau_d: f64,
     divergence: uncat_core::Divergence,
 ) -> Result<Vec<JoinPair>> {
+    index_dstj_metered(
+        outer,
+        inner,
+        pool,
+        tau_d,
+        divergence,
+        &mut QueryMetrics::new(),
+    )
+}
+
+/// [`index_dstj`] with execution counters accumulated over every inner
+/// probe.
+pub fn index_dstj_metered(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    tau_d: f64,
+    divergence: uncat_core::Divergence,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     for (ltid, luda) in outer {
-        for m in inner.dstq(pool, &DstQuery::new(luda.clone(), tau_d, divergence))? {
+        for m in inner.dstq_metered(
+            pool,
+            &DstQuery::new(luda.clone(), tau_d, divergence),
+            metrics,
+        )? {
             out.push(JoinPair {
                 left: *ltid,
                 right: m.tid,
@@ -116,10 +155,22 @@ pub fn index_top_k_per_outer(
     pool: &mut BufferPool,
     k: usize,
 ) -> Result<Vec<(u64, Vec<Match>)>> {
+    index_top_k_per_outer_metered(outer, inner, pool, k, &mut QueryMetrics::new())
+}
+
+/// [`index_top_k_per_outer`] with execution counters accumulated over
+/// every inner probe.
+pub fn index_top_k_per_outer_metered(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    k: usize,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<(u64, Vec<Match>)>> {
     let mut out = Vec::with_capacity(outer.len());
     for (ltid, luda) in outer {
         let mut h = TopKHeap::new(k, 0.0);
-        for m in inner.top_k(pool, &TopKQuery::new(luda.clone(), k))? {
+        for m in inner.top_k_metered(pool, &TopKQuery::new(luda.clone(), k), metrics)? {
             h.offer(m.tid, m.score);
         }
         out.push((*ltid, h.into_sorted()));

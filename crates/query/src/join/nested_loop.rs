@@ -3,7 +3,7 @@
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::EqQuery;
 use uncat_core::Uda;
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index_trait::UncertainIndex;
 use crate::scan::ScanBaseline;
@@ -17,9 +17,22 @@ pub fn index_nested_loop_petj(
     pool: &mut BufferPool,
     tau: f64,
 ) -> Result<Vec<JoinPair>> {
+    index_nested_loop_petj_metered(outer, inner, pool, tau, &mut QueryMetrics::new())
+}
+
+/// [`index_nested_loop_petj`] with execution counters: `metrics`
+/// accumulates over every inner probe, so it reports the whole join's
+/// cost (counters are per-join, not per-probe).
+pub fn index_nested_loop_petj_metered(
+    outer: &[(u64, Uda)],
+    inner: &impl UncertainIndex,
+    pool: &mut BufferPool,
+    tau: f64,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     for (ltid, luda) in outer {
-        for m in inner.petq(pool, &EqQuery::new(luda.clone(), tau))? {
+        for m in inner.petq_metered(pool, &EqQuery::new(luda.clone(), tau), metrics)? {
             out.push(JoinPair {
                 left: *ltid,
                 right: m.tid,
@@ -40,8 +53,22 @@ pub fn block_nested_loop_petj(
     pool: &mut BufferPool,
     tau: f64,
 ) -> Result<Vec<JoinPair>> {
+    block_nested_loop_petj_metered(outer, inner, pool, tau, &mut QueryMetrics::new())
+}
+
+/// [`block_nested_loop_petj`] with execution counters: one
+/// `heap_tuples_scanned` per inner tuple (each is compared against every
+/// outer tuple, but read once).
+pub fn block_nested_loop_petj_metered(
+    outer: &[(u64, Uda)],
+    inner: &ScanBaseline,
+    pool: &mut BufferPool,
+    tau: f64,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     inner.scan(pool, |rtid, ruda| {
+        metrics.heap_tuples_scanned += 1;
         for (ltid, luda) in outer {
             let pr = eq_prob(luda, ruda);
             if meets_threshold(pr, tau) {

@@ -6,7 +6,8 @@
 //!   the correctness oracle and the "no index" comparison point.
 //! * [`Executor`] — owns a shared store and runs each query against a
 //!   fresh buffer pool (the paper's per-query 100-frame setup), reporting
-//!   result and I/O.
+//!   result, I/O, and per-query execution counters
+//!   ([`uncat_storage::QueryMetrics`], see `docs/METRICS.md`).
 //! * [`join`] — the join operators built on the select primitives: PETJ
 //!   (Definition 6), PEJ-top-k, and DSTJ.
 //! * [`parallel`] — batch execution across threads (each query gets its
@@ -21,6 +22,6 @@ pub mod join;
 pub mod parallel;
 mod scan;
 
-pub use executor::{Executor, QueryOutcome};
+pub use executor::{aggregate_metrics, Executor, QueryOutcome};
 pub use index_trait::{InvertedBackend, UncertainIndex};
 pub use scan::ScanBaseline;

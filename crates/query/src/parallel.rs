@@ -11,13 +11,16 @@
 //! query still completes.
 
 use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
-use uncat_storage::{BufferPool, Result, SharedStore};
+use uncat_storage::{BufferPool, QueryMetrics, Result, SharedStore};
 
 use crate::executor::QueryOutcome;
 use crate::index_trait::UncertainIndex;
 
 /// Run `f` once per query on `threads` workers, each query against a
 /// fresh pool; results come back in input order, one `Result` per query.
+/// Each worker populates a private [`QueryMetrics`] per query (never
+/// shared across threads), so per-query counters are exact regardless of
+/// scheduling.
 fn run_batch<Q, I, F>(
     index: &I,
     store: &SharedStore,
@@ -29,7 +32,8 @@ fn run_batch<Q, I, F>(
 where
     Q: Sync,
     I: UncertainIndex + Sync,
-    F: Fn(&I, &mut BufferPool, &Q) -> Result<Vec<uncat_core::query::Match>> + Sync,
+    F: Fn(&I, &mut BufferPool, &Q, &mut QueryMetrics) -> Result<Vec<uncat_core::query::Match>>
+        + Sync,
 {
     assert!(threads >= 1, "need at least one worker");
     let mut out: Vec<Option<Result<QueryOutcome>>> = Vec::with_capacity(queries.len());
@@ -46,9 +50,14 @@ where
                     break;
                 }
                 let mut pool = BufferPool::with_capacity(store.clone(), frames);
-                let outcome = f(index, &mut pool, &queries[i]).map(|matches| QueryOutcome {
-                    matches,
-                    io: pool.stats(),
+                let mut metrics = QueryMetrics::new();
+                let outcome = f(index, &mut pool, &queries[i], &mut metrics).map(|matches| {
+                    metrics.io = pool.stats();
+                    QueryOutcome {
+                        matches,
+                        io: pool.stats(),
+                        metrics,
+                    }
                 });
                 **out_cells[i].lock().expect("cell lock") = Some(outcome);
             });
@@ -60,6 +69,19 @@ where
         .collect()
 }
 
+/// Sum the counters of every *successful* outcome in a batch. Because
+/// counters are additive and each worker meters its queries privately,
+/// this equals the metrics of running the same queries sequentially —
+/// `tests` below pin that invariant.
+pub fn batch_metrics(results: &[Result<QueryOutcome>]) -> QueryMetrics {
+    QueryMetrics::sum(
+        results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|o| &o.metrics),
+    )
+}
+
 /// Evaluate a batch of PETQs in parallel.
 pub fn petq_batch<I: UncertainIndex + Sync>(
     index: &I,
@@ -68,8 +90,8 @@ pub fn petq_batch<I: UncertainIndex + Sync>(
     queries: &[EqQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, frames, queries, threads, |i, p, q| {
-        i.petq(p, q)
+    run_batch(index, store, frames, queries, threads, |i, p, q, m| {
+        i.petq_metered(p, q, m)
     })
 }
 
@@ -81,8 +103,8 @@ pub fn top_k_batch<I: UncertainIndex + Sync>(
     queries: &[TopKQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, frames, queries, threads, |i, p, q| {
-        i.top_k(p, q)
+    run_batch(index, store, frames, queries, threads, |i, p, q, m| {
+        i.top_k_metered(p, q, m)
     })
 }
 
@@ -94,8 +116,8 @@ pub fn dstq_batch<I: UncertainIndex + Sync>(
     queries: &[DstQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, frames, queries, threads, |i, p, q| {
-        i.dstq(p, q)
+    run_batch(index, store, frames, queries, threads, |i, p, q, m| {
+        i.dstq_metered(p, q, m)
     })
 }
 

@@ -10,7 +10,7 @@ use uncat_core::query::{
 };
 use uncat_core::topk::{BottomKHeap, TopKHeap};
 use uncat_core::{codec, Uda};
-use uncat_storage::{BufferPool, HeapFile, Result, StorageError};
+use uncat_storage::{BufferPool, HeapFile, QueryMetrics, Result, StorageError};
 
 use crate::index_trait::UncertainIndex;
 
@@ -106,9 +106,15 @@ impl ScanBaseline {
 }
 
 impl UncertainIndex for ScanBaseline {
-    fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
+    fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan(pool, |tid, t| {
+            metrics.heap_tuples_scanned += 1;
             let pr = eq_prob(&query.q, t);
             if meets_threshold(pr, query.tau) {
                 out.push(Match::new(tid, pr));
@@ -118,9 +124,15 @@ impl UncertainIndex for ScanBaseline {
         Ok(out)
     }
 
-    fn top_k(&self, pool: &mut BufferPool, query: &TopKQuery) -> Result<Vec<Match>> {
+    fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut heap = TopKHeap::new(query.k, 0.0);
         self.scan(pool, |tid, t| {
+            metrics.heap_tuples_scanned += 1;
             let pr = eq_prob(&query.q, t);
             if pr > 0.0 {
                 heap.offer(tid, pr);
@@ -129,9 +141,15 @@ impl UncertainIndex for ScanBaseline {
         Ok(heap.into_sorted())
     }
 
-    fn dstq(&self, pool: &mut BufferPool, query: &DstQuery) -> Result<Vec<Match>> {
+    fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
         self.scan(pool, |tid, t| {
+            metrics.heap_tuples_scanned += 1;
             let d = query.divergence.eval(query.q.entries(), t.entries());
             if d <= query.tau_d {
                 out.push(Match::new(tid, d));
@@ -141,9 +159,15 @@ impl UncertainIndex for ScanBaseline {
         Ok(out)
     }
 
-    fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
+    fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         let mut heap = BottomKHeap::new(query.k);
         self.scan(pool, |tid, t| {
+            metrics.heap_tuples_scanned += 1;
             heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
         })?;
         Ok(heap.into_sorted())

@@ -15,6 +15,9 @@
 //!   candidate verification reads from.
 //! * [`btree`] — a paged B+tree with fixed-width keys/values; backs the
 //!   inverted index's posting lists and directory.
+//! * [`metrics`] — [`metrics::QueryMetrics`], the query-level execution
+//!   counters every search path in the workspace populates (documented
+//!   counter by counter in `docs/METRICS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod error;
 pub mod fault;
 pub mod file_disk;
 pub mod heap;
+pub mod metrics;
 pub mod page;
 pub mod snapshot;
 pub mod stats;
@@ -37,6 +41,7 @@ pub use error::{Result, StorageError};
 pub use fault::{Fault, FaultStore};
 pub use file_disk::FileDisk;
 pub use heap::{HeapFile, RecordId};
+pub use metrics::QueryMetrics;
 pub use page::{PageId, PAGE_SIZE};
 pub use snapshot::SnapshotFileError;
 pub use stats::IoStats;

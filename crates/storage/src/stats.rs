@@ -16,7 +16,10 @@ pub struct IoStats {
 }
 
 impl IoStats {
-    /// Total I/O operations (reads + writes), should both directions count.
+    /// Total physical I/O operations: reads *and* writes both count, one
+    /// each. (The paper's figures plot reads only — use
+    /// [`IoStats::physical_reads`] for those; `total_io` is the right
+    /// quantity when write-back traffic matters, e.g. build workloads.)
     pub fn total_io(&self) -> u64 {
         self.physical_reads + self.physical_writes
     }
@@ -31,12 +34,24 @@ impl IoStats {
     }
 
     /// Difference `self - earlier`, for interval measurements.
+    ///
+    /// # Ordering expectations
+    ///
+    /// `earlier` must be a snapshot of the *same* counter stream (the same
+    /// pool or store) taken no later than `self`; counters are monotone
+    /// within a stream, so each field of the result is then the exact
+    /// number of events in the interval. Snapshots from a different stream,
+    /// or taken after `self` (e.g. across a
+    /// [`crate::BufferPool::reset_stats`]), violate that precondition; the
+    /// subtraction saturates at zero per field rather than wrapping, so a
+    /// misuse shows up as an implausible zero, never as a number near
+    /// `u64::MAX`.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
-            hits: self.hits - earlier.hits,
-            physical_reads: self.physical_reads - earlier.physical_reads,
-            physical_writes: self.physical_writes - earlier.physical_writes,
-            logical_reads: self.logical_reads - earlier.logical_reads,
+            hits: self.hits.saturating_sub(earlier.hits),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
         }
     }
 }

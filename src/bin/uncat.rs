@@ -20,7 +20,7 @@ use uncat::core::{CatId, EqQuery, TopKQuery, Uda};
 use uncat::datagen;
 use uncat::inverted::{InvertedIndex, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
-use uncat::storage::{BufferPool, FileDisk, SharedStore};
+use uncat::storage::{BufferPool, FileDisk, QueryMetrics, SharedStore};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +43,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "build" => build(&flags),
         "query" => query(&flags, false),
         "topk" => query(&flags, true),
+        "explain" => explain(&flags),
         "stats" => stats(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE.trim());
@@ -59,10 +60,18 @@ usage:
   uncat build  --index <inverted|pdr> [--bulk] --data <file.uds>
                --pages <file.pages> --meta <file.meta>
   uncat query  --index <inverted|pdr> --pages <...> --meta <...>
-               --cat <id> --tau <t> [--limit <n>]
+               --cat <id> --tau <t> [--limit <n>] [--strategy <s>] [--explain]
   uncat topk   --index <inverted|pdr> --pages <...> --meta <...>
-               --cat <id> --k <k>
+               --cat <id> --k <k> [--explain]
+  uncat explain --index <inverted|pdr> --pages <...> --meta <...>
+               --cat <id> --tau <t>
   uncat stats  --index <inverted|pdr> --pages <...> --meta <...>
+
+--strategy (inverted PETQ only): brute | highest-prob-first | row-pruning
+  | column-pruning | nra (default: nra)
+--explain: print the query's execution counters (see docs/METRICS.md)
+explain: run one PETQ under every inverted strategy and compare counters
+  (for --index pdr, prints the single PDR-tree profile)
 "#;
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -72,8 +81,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, found {a:?}"));
         };
-        if name == "bulk" {
-            flags.insert("bulk".to_owned(), "true".to_owned());
+        if name == "bulk" || name == "explain" {
+            flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
         let Some(v) = it.next() else {
@@ -200,23 +209,42 @@ fn reopen(flags: &HashMap<String, String>) -> Result<(AnyIndex, SharedStore), St
     Ok((idx, store))
 }
 
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    match s {
+        "brute" | "inv-index-search" => Ok(Strategy::Brute),
+        "hpf" | "highest-prob-first" => Ok(Strategy::HighestProbFirst),
+        "row" | "row-pruning" => Ok(Strategy::RowPruning),
+        "col" | "column-pruning" => Ok(Strategy::ColumnPruning),
+        "nra" => Ok(Strategy::Nra),
+        other => Err(format!("unknown strategy {other:?}")),
+    }
+}
+
 fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
     let (idx, store) = reopen(flags)?;
     let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
     let q = Uda::certain(CatId(cat));
+    let strategy = flags
+        .get("strategy")
+        .map_or(Ok(Strategy::Nra), |s| parse_strategy(s))?;
     let mut pool = BufferPool::new(store);
+    let mut metrics = QueryMetrics::new();
     let matches = if topk {
         let k: usize = parse(need(flags, "k")?, "--k")?;
         match &idx {
-            AnyIndex::Inverted(i) => i.top_k(&mut pool, &TopKQuery::new(q, k)),
-            AnyIndex::Pdr(t) => t.top_k(&mut pool, &TopKQuery::new(q, k)),
+            AnyIndex::Inverted(i) => {
+                i.top_k_metered(&mut pool, &TopKQuery::new(q, k), &mut metrics)
+            }
+            AnyIndex::Pdr(t) => t.top_k_metered(&mut pool, &TopKQuery::new(q, k), &mut metrics),
         }
         .map_err(|e| e.to_string())?
     } else {
         let tau: f64 = parse(need(flags, "tau")?, "--tau")?;
         match &idx {
-            AnyIndex::Inverted(i) => i.petq(&mut pool, &EqQuery::new(q, tau), Strategy::Nra),
-            AnyIndex::Pdr(t) => t.petq(&mut pool, &EqQuery::new(q, tau)),
+            AnyIndex::Inverted(i) => {
+                i.petq_metered(&mut pool, &EqQuery::new(q, tau), strategy, &mut metrics)
+            }
+            AnyIndex::Pdr(t) => t.petq_metered(&mut pool, &EqQuery::new(q, tau), &mut metrics),
         }
         .map_err(|e| e.to_string())?
     };
@@ -232,6 +260,66 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
         matches.len(),
         pool.stats().physical_reads
     );
+    if flags.contains_key("explain") {
+        metrics.io = pool.stats();
+        println!("execution counters:");
+        print!("{metrics}");
+    }
+    Ok(())
+}
+
+/// Run one PETQ under every inverted strategy and print the counters side
+/// by side (one column per strategy). For the PDR-tree there is a single
+/// algorithm, so the output is one profile.
+fn explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (idx, store) = reopen(flags)?;
+    let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
+    let tau: f64 = parse(need(flags, "tau")?, "--tau")?;
+    let q = EqQuery::new(Uda::certain(CatId(cat)), tau);
+    match &idx {
+        AnyIndex::Inverted(i) => {
+            let mut cols: Vec<(&'static str, QueryMetrics, usize)> = Vec::new();
+            for strategy in Strategy::ALL {
+                // A cold pool per strategy keeps the I/O columns comparable.
+                let mut pool = BufferPool::new(store.clone());
+                let mut m = QueryMetrics::new();
+                let matches = i
+                    .petq_metered(&mut pool, &q, strategy, &mut m)
+                    .map_err(|e| e.to_string())?;
+                m.io = pool.stats();
+                cols.push((strategy.name(), m, matches.len()));
+            }
+            print!("{:<22}", "counter");
+            for (name, _, _) in &cols {
+                print!(" {name:>18}");
+            }
+            println!();
+            print!("{:<22}", "matches");
+            for (_, _, n) in &cols {
+                print!(" {n:>18}");
+            }
+            println!();
+            let rows = cols[0].1.fields().len();
+            for r in 0..rows {
+                let (label, _) = cols[0].1.fields()[r];
+                print!("{label:<22}");
+                for (_, m, _) in &cols {
+                    print!(" {:>18}", m.fields()[r].1);
+                }
+                println!();
+            }
+        }
+        AnyIndex::Pdr(t) => {
+            let mut pool = BufferPool::new(store.clone());
+            let mut m = QueryMetrics::new();
+            let matches = t
+                .petq_metered(&mut pool, &q, &mut m)
+                .map_err(|e| e.to_string())?;
+            m.io = pool.stats();
+            println!("pdr-tree PETQ: {} matches", matches.len());
+            print!("{m}");
+        }
+    }
     Ok(())
 }
 

@@ -31,5 +31,5 @@ pub mod prelude {
     pub use uncat_core::{
         CatId, Divergence, Domain, DstQuery, EqQuery, TopKQuery, TupleId, Uda, UdaBuilder,
     };
-    pub use uncat_storage::{BufferPool, InMemoryDisk, IoStats, PageId};
+    pub use uncat_storage::{BufferPool, InMemoryDisk, IoStats, PageId, QueryMetrics};
 }

@@ -136,6 +136,97 @@ fn query_results_agree_across_indexes_via_cli() {
     );
 }
 
+/// `--explain` prints the full counter block, and on a seeded dataset a
+/// pruning strategy's postings-scanned is strictly lower than brute
+/// force's (the acceptance check for the observability layer).
+#[test]
+fn explain_shows_pruning_beating_brute_force() {
+    let dir = TempDir::new("explain");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "3000",
+        "--seed",
+        "11",
+        "--out",
+        &data,
+    ]);
+    assert!(ok);
+    let pages = dir.path("inv.pages");
+    let meta = dir.path("inv.meta");
+    let (ok, _) = uncat(&[
+        "build", "--index", "inverted", "--data", &data, "--pages", &pages, "--meta", &meta,
+    ]);
+    assert!(ok);
+
+    fn postings_scanned(out: &str) -> u64 {
+        out.lines()
+            .find(|l| l.trim_start().starts_with("postings_scanned"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no postings_scanned in output: {out}"))
+    }
+
+    let mut counts = Vec::new();
+    for strategy in ["brute", "column-pruning"] {
+        let (ok, out) = uncat(&[
+            "query",
+            "--index",
+            "inverted",
+            "--pages",
+            &pages,
+            "--meta",
+            &meta,
+            "--cat",
+            "0",
+            "--tau",
+            "0.6",
+            "--strategy",
+            strategy,
+            "--explain",
+        ]);
+        assert!(ok, "query --explain failed: {out}");
+        assert!(out.contains("execution counters:"), "missing block: {out}");
+        // Every documented counter is present in the explain output.
+        for name in [
+            "lists_opened",
+            "postings_scanned",
+            "candidates_generated",
+            "nodes_visited",
+            "io.physical_reads",
+        ] {
+            assert!(out.contains(name), "explain output missing {name}: {out}");
+        }
+        counts.push(postings_scanned(&out));
+    }
+    assert!(
+        counts[1] < counts[0],
+        "column pruning ({}) must scan strictly fewer postings than brute ({})",
+        counts[1],
+        counts[0],
+    );
+
+    // The explain command renders the five-strategy comparison table.
+    let (ok, out) = uncat(&[
+        "explain", "--index", "inverted", "--pages", &pages, "--meta", &meta, "--cat", "0",
+        "--tau", "0.6",
+    ]);
+    assert!(ok, "explain failed: {out}");
+    for name in [
+        "inv-index-search",
+        "highest-prob-first",
+        "row-pruning",
+        "column-pruning",
+        "nra",
+        "postings_scanned",
+    ] {
+        assert!(out.contains(name), "explain table missing {name}: {out}");
+    }
+}
+
 #[test]
 fn cli_rejects_bad_usage() {
     let (ok, out) = uncat(&["frobnicate"]);

@@ -1,0 +1,219 @@
+//! Cross-crate invariants of the query execution counters
+//! (`uncat_storage::QueryMetrics`, documented in docs/METRICS.md).
+
+use uncat::core::query::{DstQuery, EqQuery, TopKQuery};
+use uncat::core::{CatId, Divergence, Domain, Uda};
+use uncat::inverted::{InvertedIndex, Strategy};
+use uncat::pdrtree::{PdrConfig, PdrTree};
+use uncat::query::parallel::{batch_metrics, petq_batch};
+use uncat::query::{aggregate_metrics, Executor, InvertedBackend, ScanBaseline, UncertainIndex};
+use uncat::storage::{BufferPool, InMemoryDisk, QueryMetrics, SharedStore};
+
+fn uda(pairs: &[(u32, f32)]) -> Uda {
+    Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+}
+
+/// A seeded dataset whose posting lists mix probabilities above and below
+/// the query threshold, so column pruning has something to skip.
+fn seeded_dataset(n: u64) -> (Domain, Vec<(u64, Uda)>) {
+    let domain = Domain::anonymous(13);
+    let data = (0..n)
+        .map(|i| {
+            let c = (i % 13) as u32;
+            // Alternate dominant and faint memberships of category `c`.
+            let p = if i % 3 == 0 { 0.8 } else { 0.2 };
+            (i, uda(&[(c, p), ((c + 5) % 13, 1.0 - p)]))
+        })
+        .collect();
+    (domain, data)
+}
+
+fn build_inverted(domain: &Domain, data: &[(u64, Uda)]) -> (InvertedIndex, SharedStore) {
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 256);
+    let idx =
+        InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u))).unwrap();
+    pool.flush().unwrap();
+    (idx, store)
+}
+
+#[test]
+fn pruning_strategies_scan_fewer_postings_than_brute() {
+    let (domain, data) = seeded_dataset(3000);
+    let (idx, store) = build_inverted(&domain, &data);
+    let query = EqQuery::new(uda(&[(4, 1.0)]), 0.5);
+
+    let mut per_strategy = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut pool = BufferPool::with_capacity(store.clone(), 100);
+        let mut m = QueryMetrics::new();
+        let matches = idx
+            .petq_metered(&mut pool, &query, strategy, &mut m)
+            .unwrap();
+        assert!(!matches.is_empty(), "{strategy:?} found nothing");
+        assert!(
+            m.candidate_invariant_holds(),
+            "{strategy:?}: generated {} != pruned {} + verified {} + settled {}",
+            m.candidates_generated,
+            m.candidates_pruned,
+            m.candidates_verified,
+            m.candidates_settled,
+        );
+        per_strategy.push((strategy, m, matches));
+    }
+
+    // All strategies agree on the answer (exactness oracle).
+    for (strategy, _, matches) in &per_strategy[1..] {
+        assert_eq!(
+            matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            per_strategy[0].2.iter().map(|m| m.tid).collect::<Vec<_>>(),
+            "{strategy:?} disagrees with brute force"
+        );
+    }
+
+    let brute = &per_strategy[0].1;
+    assert_eq!(per_strategy[0].0, Strategy::Brute);
+    for (strategy, m, _) in &per_strategy {
+        assert!(
+            m.postings_scanned <= brute.postings_scanned,
+            "{strategy:?} scanned {} > brute's {}",
+            m.postings_scanned,
+            brute.postings_scanned,
+        );
+    }
+    // The dataset mixes 0.8 and 0.2 entries in every list, so scanning
+    // down to τ = 0.5 must stop strictly before the list end.
+    let col = per_strategy
+        .iter()
+        .find(|(s, _, _)| *s == Strategy::ColumnPruning)
+        .map(|(_, m, _)| m)
+        .unwrap();
+    assert!(
+        col.postings_scanned < brute.postings_scanned,
+        "column pruning ({}) should scan strictly fewer postings than brute ({})",
+        col.postings_scanned,
+        brute.postings_scanned,
+    );
+}
+
+#[test]
+fn candidate_invariant_holds_for_topk_and_dstq() {
+    let (domain, data) = seeded_dataset(2000);
+    let (idx, store) = build_inverted(&domain, &data);
+
+    let mut pool = BufferPool::with_capacity(store.clone(), 100);
+    let mut m = QueryMetrics::new();
+    idx.top_k_metered(&mut pool, &TopKQuery::new(uda(&[(2, 1.0)]), 8), &mut m)
+        .unwrap();
+    assert!(m.candidate_invariant_holds());
+    assert!(m.frontier_pops > 0, "top-k drains the frontier");
+
+    let mut m = QueryMetrics::new();
+    idx.dstq_metered(
+        &mut pool,
+        &DstQuery::new(uda(&[(2, 0.9), (7, 0.1)]), 0.3, Divergence::L1),
+        &mut m,
+    )
+    .unwrap();
+    assert!(m.candidate_invariant_holds());
+    assert!(
+        m.candidates_generated > 0 || m.heap_tuples_scanned > 0,
+        "DSTQ used either the candidate path or the scan fallback"
+    );
+}
+
+#[test]
+fn pdr_tree_counts_visits_and_lemma2_pruning() {
+    let (domain, data) = seeded_dataset(2000);
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 256);
+    let tree = PdrTree::build(
+        domain,
+        PdrConfig::default(),
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+    )
+    .unwrap();
+    pool.flush().unwrap();
+    drop(pool);
+
+    // Selective query: Lemma 2 must cut some subtrees.
+    let mut pool = BufferPool::with_capacity(store.clone(), 100);
+    let mut m = QueryMetrics::new();
+    let matches = tree
+        .petq_metered(&mut pool, &EqQuery::new(uda(&[(4, 1.0)]), 0.5), &mut m)
+        .unwrap();
+    assert!(!matches.is_empty());
+    assert!(m.nodes_visited > 0);
+    assert!(m.nodes_pruned > 0, "selective PETQ should prune subtrees");
+    // Cold pool: every visited node is one physical page read.
+    assert_eq!(m.nodes_visited, pool.stats().physical_reads, "{:?}", m);
+}
+
+#[test]
+fn executor_outcome_carries_matching_io() {
+    let (domain, data) = seeded_dataset(1500);
+    let (idx, store) = build_inverted(&domain, &data);
+    let exec = Executor::new(InvertedBackend::new(idx), store);
+    let outcomes: Vec<_> = (0..4u32)
+        .map(|c| exec.petq(&EqQuery::new(uda(&[(c, 1.0)]), 0.4)).unwrap())
+        .collect();
+    for o in &outcomes {
+        assert_eq!(o.metrics.io, o.io, "metrics embed the outcome's own I/O");
+        assert!(o.metrics.candidate_invariant_holds());
+    }
+    let total = aggregate_metrics(&outcomes);
+    assert_eq!(
+        total.postings_scanned,
+        outcomes
+            .iter()
+            .map(|o| o.metrics.postings_scanned)
+            .sum::<u64>()
+    );
+}
+
+#[test]
+fn parallel_batch_metrics_equal_sequential_sum() {
+    let (domain, data) = seeded_dataset(2000);
+    let (idx, store) = build_inverted(&domain, &data);
+    let backend = InvertedBackend::new(idx);
+    let queries: Vec<EqQuery> = (0..12)
+        .map(|i| EqQuery::new(uda(&[((i % 13) as u32, 1.0)]), 0.35))
+        .collect();
+
+    let par = petq_batch(&backend, &store, 100, &queries, 4);
+    let par_total = batch_metrics(&par);
+
+    let mut seq_total = QueryMetrics::new();
+    for q in &queries {
+        let mut pool = BufferPool::with_capacity(store.clone(), 100);
+        let mut m = QueryMetrics::new();
+        backend.petq_metered(&mut pool, q, &mut m).unwrap();
+        m.io = pool.stats();
+        seq_total.merge(&m);
+    }
+    assert_eq!(
+        par_total, seq_total,
+        "parallel sum must equal sequential sum"
+    );
+}
+
+#[test]
+fn scan_baseline_counts_every_tuple() {
+    let (_, data) = seeded_dataset(500);
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 64);
+    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).unwrap();
+    let mut m = QueryMetrics::new();
+    scan.petq_metered(&mut pool, &EqQuery::new(uda(&[(0, 1.0)]), 0.5), &mut m)
+        .unwrap();
+    assert_eq!(m.heap_tuples_scanned, 500);
+    let mut m = QueryMetrics::new();
+    scan.ds_top_k_metered(
+        &mut pool,
+        &uncat::core::query::DsTopKQuery::new(uda(&[(0, 1.0)]), 3, Divergence::L2),
+        &mut m,
+    )
+    .unwrap();
+    assert_eq!(m.heap_tuples_scanned, 500);
+}
