@@ -570,6 +570,66 @@ pub fn queryshape(scale: &Scale) -> FigureTable {
     )
 }
 
+/// Ablation: shared vs private buffer pools on a Zipf-skewed
+/// repeated-query batch (CRM1, 1 % selectivity, 4 worker threads).
+///
+/// Private mode is the paper's model — every query gets its own
+/// [`QUERY_FRAMES`]-frame pool, so each repeat of a hot query re-reads
+/// its posting pages. Shared mode runs the whole batch against one
+/// lock-striped [`uncat_storage::SharedBufferPool`] with the same total
+/// frame budget (`QUERY_FRAMES` × threads, 8 shards): hot pages are
+/// faulted once per batch, and the gap widens with batch length.
+pub fn sharedpool(scale: &Scale) -> FigureTable {
+    use uncat_core::query::EqQuery;
+    use uncat_datagen::zipf::zipf_ranks;
+    use uncat_query::parallel::{batch_metrics, petq_batch_with};
+    use uncat_query::BatchPools;
+
+    const THREADS: usize = 4;
+    const SHARDS: usize = 8;
+
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed ^ 0xBEEF);
+    let wl = make_workload(&data, &queries, &[0.01]);
+    let distinct: Vec<EqQuery> = wl[0]
+        .1
+        .iter()
+        .map(|cq| EqQuery::new(cq.q.clone(), cq.tau))
+        .collect();
+    assert!(!distinct.is_empty(), "calibration found no 1% queries");
+    let (inv, store) = build_inverted(&domain, &data, Strategy::Nra);
+
+    let mut private_pts = Vec::new();
+    let mut shared_pts = Vec::new();
+    for &len in &[8usize, 16, 32, 64] {
+        // A Zipf-skewed repeat mix over the distinct queries: the head
+        // query dominates, exactly the traffic a shared cache rewards.
+        let batch: Vec<EqQuery> = zipf_ranks(distinct.len(), 1.2, len, scale.seed ^ len as u64)
+            .into_iter()
+            .map(|r| distinct[r].clone())
+            .collect();
+        let avg = |pools: &BatchPools| {
+            let results = petq_batch_with(&inv, &store, pools, &batch, THREADS);
+            let m = batch_metrics(&results);
+            m.io.physical_reads as f64 / batch.len() as f64
+        };
+        private_pts.push((len as f64, avg(&BatchPools::private(QUERY_FRAMES))));
+        shared_pts.push((
+            len as f64,
+            avg(&BatchPools::shared(&store, QUERY_FRAMES * THREADS, SHARDS)),
+        ));
+    }
+    FigureTable::new(
+        "sharedpool",
+        "Shared vs private pools on a Zipf repeated-query batch (CRM1, 1% selectivity)",
+        "batch",
+        vec![
+            Series::new("Private-Thres", private_pts),
+            Series::new("Shared-Thres", shared_pts),
+        ],
+    )
+}
+
 /// Every figure/ablation by name.
 pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
     Some(match name {
@@ -587,12 +647,13 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
         "sizes" => sizes(scale),
         "joins" => joins(scale),
         "queryshape" => queryshape(scale),
+        "sharedpool" => sharedpool(scale),
         _ => return None,
     })
 }
 
 /// All known figure/ablation names, in presentation order.
-pub const ALL_FIGURES: [&str; 14] = [
+pub const ALL_FIGURES: [&str; 15] = [
     "fig4",
     "fig5",
     "fig6",
@@ -607,4 +668,5 @@ pub const ALL_FIGURES: [&str; 14] = [
     "sizes",
     "joins",
     "queryshape",
+    "sharedpool",
 ];

@@ -54,6 +54,29 @@ fn fig9_renders_at_reduced_scale() {
 }
 
 #[test]
+fn sharedpool_strictly_beats_private_on_repeated_queries() {
+    // The ablation's headline claim: on a Zipf-skewed repeated-query
+    // batch, the shared pool performs strictly fewer physical reads than
+    // the paper's private-pool-per-query model, at every batch length.
+    let scale = Scale {
+        crm_n: 4000,
+        synth_n: 400,
+        queries: 4,
+        seed: 11,
+    };
+    let t = by_name("sharedpool", &scale).expect("sharedpool");
+    let private = t.series_named("Private-Thres").expect("private series");
+    let shared = t.series_named("Shared-Thres").expect("shared series");
+    assert_eq!(private.points.len(), shared.points.len());
+    for (&(len, p), &(_, s)) in private.points.iter().zip(&shared.points) {
+        assert!(
+            s < p,
+            "batch of {len}: shared pool must read strictly less ({s} vs {p})"
+        );
+    }
+}
+
+#[test]
 fn figure_shapes_hold_at_tiny_scale() {
     // A couple of robust shape assertions that hold even at tiny scale.
     let scale = tiny();

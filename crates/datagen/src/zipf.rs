@@ -46,11 +46,31 @@ impl Zipf {
     }
 }
 
+/// Draw `count` Zipf(`s`)-distributed ranks in `0..n` from a fresh
+/// seeded generator — the one-call form for building repeated-query
+/// workloads without plumbing an RNG.
+pub fn zipf_ranks(n: usize, s: f64, count: usize, seed: u64) -> Vec<usize> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let z = Zipf::new(n, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| z.sample(&mut rng)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn zipf_ranks_is_deterministic_and_in_range() {
+        let a = zipf_ranks(20, 1.2, 100, 7);
+        let b = zipf_ranks(20, 1.2, 100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&r| r < 20));
+        assert_ne!(a, zipf_ranks(20, 1.2, 100, 8), "seed must matter");
+    }
 
     #[test]
     fn samples_in_range_and_skewed() {

@@ -24,4 +24,5 @@ mod scan;
 
 pub use executor::{aggregate_metrics, Executor, QueryOutcome};
 pub use index_trait::{InvertedBackend, UncertainIndex};
+pub use parallel::BatchPools;
 pub use scan::ScanBaseline;

@@ -10,21 +10,69 @@
 //! `Result`, so one bad page fails one slot of the batch while every other
 //! query still completes.
 
+use std::sync::Arc;
+
 use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
-use uncat_storage::{BufferPool, QueryMetrics, Result, SharedStore};
+use uncat_storage::{BufferPool, QueryMetrics, Result, SharedBufferPool, SharedStore};
 
 use crate::executor::QueryOutcome;
 use crate::index_trait::UncertainIndex;
 
-/// Run `f` once per query on `threads` workers, each query against a
-/// fresh pool; results come back in input order, one `Result` per query.
-/// Each worker populates a private [`QueryMetrics`] per query (never
-/// shared across threads), so per-query counters are exact regardless of
-/// scheduling.
+/// How a batch provisions buffer frames: the paper's model (a private
+/// pool per query) or one [`SharedBufferPool`] serving every query in
+/// the batch, so repeated index pages are fetched once per *batch*
+/// instead of once per *query*.
+pub enum BatchPools {
+    /// A fresh private pool of `frames` frames per query (the default,
+    /// and the paper's experimental setup).
+    Private {
+        /// Frames allocated to each query's private pool.
+        frames: usize,
+    },
+    /// One shared lock-striped pool for the whole batch; per-query I/O
+    /// attribution still comes out exact via per-handle stats.
+    Shared(Arc<SharedBufferPool>),
+}
+
+impl BatchPools {
+    /// The paper's model: a private `frames`-frame pool per query.
+    pub fn private(frames: usize) -> BatchPools {
+        BatchPools::Private { frames }
+    }
+
+    /// A shared pool of `total_frames` frames striped over `shards`
+    /// shards on `store`.
+    pub fn shared(store: &SharedStore, total_frames: usize, shards: usize) -> BatchPools {
+        BatchPools::Shared(SharedBufferPool::new(store.clone(), total_frames, shards))
+    }
+
+    /// The shared pool behind this provisioning, if any — for reading
+    /// pool-level hit-rate counters after the batch.
+    pub fn shared_pool(&self) -> Option<&Arc<SharedBufferPool>> {
+        match self {
+            BatchPools::Private { .. } => None,
+            BatchPools::Shared(pool) => Some(pool),
+        }
+    }
+
+    /// Materialize the pool one query runs against.
+    fn pool(&self, store: &SharedStore) -> BufferPool {
+        match self {
+            BatchPools::Private { frames } => BufferPool::with_capacity(store.clone(), *frames),
+            BatchPools::Shared(pool) => BufferPool::from_handle(pool.handle()),
+        }
+    }
+}
+
+/// Run `f` once per query on `threads` workers; results come back in
+/// input order, one `Result` per query. Each query runs against a pool
+/// from `pools` (private per query, or a handle onto the batch's shared
+/// pool) and populates a private [`QueryMetrics`] (never shared across
+/// threads), so per-query counters are exact regardless of scheduling.
 fn run_batch<Q, I, F>(
     index: &I,
     store: &SharedStore,
-    frames: usize,
+    pools: &BatchPools,
     queries: &[Q],
     threads: usize,
     f: F,
@@ -49,7 +97,7 @@ where
                 if i >= queries.len() {
                     break;
                 }
-                let mut pool = BufferPool::with_capacity(store.clone(), frames);
+                let mut pool = pools.pool(store);
                 let mut metrics = QueryMetrics::new();
                 let outcome = f(index, &mut pool, &queries[i], &mut metrics).map(|matches| {
                     metrics.io = pool.stats();
@@ -82,7 +130,7 @@ pub fn batch_metrics(results: &[Result<QueryOutcome>]) -> QueryMetrics {
     )
 }
 
-/// Evaluate a batch of PETQs in parallel.
+/// Evaluate a batch of PETQs in parallel with private per-query pools.
 pub fn petq_batch<I: UncertainIndex + Sync>(
     index: &I,
     store: &SharedStore,
@@ -90,12 +138,24 @@ pub fn petq_batch<I: UncertainIndex + Sync>(
     queries: &[EqQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, frames, queries, threads, |i, p, q, m| {
+    petq_batch_with(index, store, &BatchPools::private(frames), queries, threads)
+}
+
+/// Evaluate a batch of PETQs in parallel against `pools`.
+pub fn petq_batch_with<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    pools: &BatchPools,
+    queries: &[EqQuery],
+    threads: usize,
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(index, store, pools, queries, threads, |i, p, q, m| {
         i.petq_metered(p, q, m)
     })
 }
 
-/// Evaluate a batch of top-k queries in parallel.
+/// Evaluate a batch of top-k queries in parallel with private per-query
+/// pools.
 pub fn top_k_batch<I: UncertainIndex + Sync>(
     index: &I,
     store: &SharedStore,
@@ -103,12 +163,23 @@ pub fn top_k_batch<I: UncertainIndex + Sync>(
     queries: &[TopKQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, frames, queries, threads, |i, p, q, m| {
+    top_k_batch_with(index, store, &BatchPools::private(frames), queries, threads)
+}
+
+/// Evaluate a batch of top-k queries in parallel against `pools`.
+pub fn top_k_batch_with<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    pools: &BatchPools,
+    queries: &[TopKQuery],
+    threads: usize,
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(index, store, pools, queries, threads, |i, p, q, m| {
         i.top_k_metered(p, q, m)
     })
 }
 
-/// Evaluate a batch of DSTQs in parallel.
+/// Evaluate a batch of DSTQs in parallel with private per-query pools.
 pub fn dstq_batch<I: UncertainIndex + Sync>(
     index: &I,
     store: &SharedStore,
@@ -116,7 +187,18 @@ pub fn dstq_batch<I: UncertainIndex + Sync>(
     queries: &[DstQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, frames, queries, threads, |i, p, q, m| {
+    dstq_batch_with(index, store, &BatchPools::private(frames), queries, threads)
+}
+
+/// Evaluate a batch of DSTQs in parallel against `pools`.
+pub fn dstq_batch_with<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    pools: &BatchPools,
+    queries: &[DstQuery],
+    threads: usize,
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(index, store, pools, queries, threads, |i, p, q, m| {
         i.dstq_metered(p, q, m)
     })
 }
@@ -223,6 +305,62 @@ mod tests {
                 seq.iter().map(|m| m.tid).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn shared_pool_batch_matches_private_and_saves_reads() {
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..3000u64)
+            .map(|i| {
+                let c = (i % 13) as u32;
+                (i, uda(&[(c, 0.6), ((c + 5) % 13, 0.4)]))
+            })
+            .collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 128);
+        let idx = crate::InvertedBackend::new(
+            InvertedIndex::build(
+                Domain::anonymous(13),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap(),
+        );
+        pool.flush().unwrap();
+        drop(pool);
+
+        // A repeated-query mix: every query re-reads the same hot lists.
+        let queries: Vec<EqQuery> = (0..24)
+            .map(|i| EqQuery::new(uda(&[((i % 3) as u32, 1.0)]), 0.3))
+            .collect();
+
+        let private = petq_batch(&idx, &store, 100, &queries, 4);
+        let pools = BatchPools::shared(&store, 400, 8);
+        let shared = petq_batch_with(&idx, &store, &pools, &queries, 4);
+
+        let mut private_reads = 0;
+        let mut shared_reads = 0;
+        for (p, s) in private.iter().zip(&shared) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(
+                p.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                s.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                "pool flavor must not change results"
+            );
+            assert_eq!(
+                p.metrics.io.logical_reads, s.metrics.io.logical_reads,
+                "same access pattern either way"
+            );
+            private_reads += p.metrics.io.physical_reads;
+            shared_reads += s.metrics.io.physical_reads;
+        }
+        assert!(
+            shared_reads < private_reads,
+            "shared pool must save physical reads on repeated queries \
+             ({shared_reads} vs {private_reads})"
+        );
+        // Per-handle attribution sums to the pool's aggregate.
+        let agg = pools.shared_pool().unwrap().stats();
+        assert_eq!(agg.physical_reads, shared_reads);
     }
 
     #[test]

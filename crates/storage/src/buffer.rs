@@ -10,12 +10,21 @@
 //! mismatch, or an unwritable eviction victim propagates as a
 //! [`StorageError`] to the calling query rather than aborting the
 //! process.
+//!
+//! [`BufferPool`] is a facade over two backings: the paper's private
+//! per-query pool (the default, every constructor here), or a per-query
+//! [`PoolHandle`] onto a [`crate::SharedBufferPool`] (via
+//! [`BufferPool::from_handle`]). Index and query code is written against
+//! this one type and cannot tell the difference — `stats()` always
+//! reports the I/O performed *by this query*, whichever backing served
+//! it.
 
 use std::collections::HashMap;
 
 use crate::disk::SharedStore;
 use crate::error::{Result, StorageError};
 use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
+use crate::shared::PoolHandle;
 use crate::stats::IoStats;
 
 /// Default pool capacity in frames — the paper's per-query allocation.
@@ -42,9 +51,22 @@ struct Frame {
 
 /// A buffer manager over a shared page store.
 ///
-/// Single-owner (methods take `&mut self`): the simulation executes one
-/// query at a time per pool, exactly like the paper's per-query buffers.
+/// Single-owner (methods take `&mut self`): each query drives exactly one
+/// pool, like the paper's per-query buffers. The frames behind it are
+/// either private to this pool or one stripe-set of a
+/// [`crate::SharedBufferPool`] shared with concurrent queries — see
+/// [`BufferPool::from_handle`].
 pub struct BufferPool {
+    inner: Inner,
+}
+
+enum Inner {
+    Private(Private),
+    Shared(PoolHandle),
+}
+
+/// The paper's private per-query pool: one owner, no locks.
+struct Private {
     store: SharedStore,
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,
@@ -56,56 +78,78 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Pool with the paper's default 100 frames.
+    /// Private pool with the paper's default 100 frames.
     pub fn new(store: SharedStore) -> BufferPool {
         BufferPool::with_capacity(store, DEFAULT_FRAMES)
     }
 
-    /// Pool with a custom frame count (≥ 1).
+    /// Private pool with a custom frame count (≥ 1).
     pub fn with_capacity(store: SharedStore, capacity: usize) -> BufferPool {
         BufferPool::with_policy(store, capacity, Replacement::Clock)
     }
 
-    /// Pool with a custom frame count and replacement policy.
+    /// Private pool with a custom frame count and replacement policy.
     pub fn with_policy(store: SharedStore, capacity: usize, policy: Replacement) -> BufferPool {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         BufferPool {
-            store,
-            frames: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
-            hand: 0,
-            capacity,
-            policy,
-            tick: 0,
-            stats: IoStats::default(),
+            inner: Inner::Private(Private {
+                store,
+                frames: Vec::with_capacity(capacity),
+                map: HashMap::with_capacity(capacity),
+                hand: 0,
+                capacity,
+                policy,
+                tick: 0,
+                stats: IoStats::default(),
+            }),
         }
+    }
+
+    /// Pool backed by a per-query handle onto a
+    /// [`crate::SharedBufferPool`]. All reads and writes go through the
+    /// shared frames; [`stats`](BufferPool::stats) reports only the I/O
+    /// performed through this handle, so per-query metrics stay exact.
+    pub fn from_handle(handle: PoolHandle) -> BufferPool {
+        BufferPool {
+            inner: Inner::Shared(handle),
+        }
+    }
+
+    /// Whether this pool is a handle onto a shared pool.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.inner, Inner::Shared(_))
     }
 
     /// The replacement policy in use.
     pub fn policy(&self) -> Replacement {
-        self.policy
+        match &self.inner {
+            Inner::Private(p) => p.policy,
+            Inner::Shared(h) => h.pool().policy(),
+        }
     }
 
     /// The shared store this pool sits on.
     pub fn store(&self) -> &SharedStore {
-        &self.store
+        match &self.inner {
+            Inner::Private(p) => &p.store,
+            Inner::Shared(h) => h.pool().store(),
+        }
     }
 
     /// Allocate a fresh page on the store and cache its (zeroed) image.
     pub fn allocate(&mut self) -> Result<PageId> {
-        let pid = self.store.allocate()?;
-        // The zeroed image is already known; fault it in without a read.
-        let slot = self.victim_slot()?;
-        self.install(slot, pid, zeroed_page());
-        self.frames[slot].dirty = true;
-        Ok(pid)
+        match &mut self.inner {
+            Inner::Private(p) => p.allocate(),
+            Inner::Shared(h) => h.allocate(),
+        }
     }
 
     /// Read page `pid`, exposing its bytes to `f`.
     pub fn read<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
-        let slot = self.fault_in(pid)?;
-        self.touch(slot);
-        Ok(f(&self.frames[slot].buf))
+        match &mut self.inner {
+            Inner::Private(p) => p.read(pid, f),
+            Inner::Shared(h) => h.read(pid, f),
+        }
     }
 
     /// Mutate page `pid` in place; the frame is marked dirty and written
@@ -115,6 +159,90 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
+        match &mut self.inner {
+            Inner::Private(p) => p.write(pid, f),
+            Inner::Shared(h) => h.write(pid, f),
+        }
+    }
+
+    /// Write every dirty frame back to the store. On error the failing
+    /// frame (and any not yet visited) stays dirty. On a shared backing
+    /// this flushes the whole shared pool.
+    pub fn flush(&mut self) -> Result<()> {
+        match &mut self.inner {
+            Inner::Private(p) => p.flush(),
+            Inner::Shared(h) => h.pool().flush(),
+        }
+    }
+
+    /// Drop all cached frames (flushing dirty ones): a cold cache. On a
+    /// shared backing this clears the whole shared pool (pinned frames
+    /// held by other queries survive).
+    pub fn clear(&mut self) -> Result<()> {
+        match &mut self.inner {
+            Inner::Private(p) => p.clear(),
+            Inner::Shared(h) => h.pool().clear(),
+        }
+    }
+
+    /// I/O performed by this query so far (through this pool or handle).
+    pub fn stats(&self) -> IoStats {
+        match &self.inner {
+            Inner::Private(p) => p.stats,
+            Inner::Shared(h) => h.stats(),
+        }
+    }
+
+    /// Zero the I/O counters (cache contents are retained).
+    pub fn reset_stats(&mut self) {
+        match &mut self.inner {
+            Inner::Private(p) => p.stats = IoStats::default(),
+            Inner::Shared(h) => h.reset_stats(),
+        }
+    }
+
+    /// Frame capacity (of the whole shared pool, for a shared backing).
+    pub fn capacity(&self) -> usize {
+        match &self.inner {
+            Inner::Private(p) => p.capacity,
+            Inner::Shared(h) => h.pool().capacity(),
+        }
+    }
+
+    /// Number of resident pages (pool-wide, for a shared backing).
+    pub fn resident(&self) -> usize {
+        match &self.inner {
+            Inner::Private(p) => p.frames.len(),
+            Inner::Shared(h) => h.pool().resident(),
+        }
+    }
+
+    /// Whether `pid` is currently cached (no I/O side effects).
+    pub fn is_resident(&self, pid: PageId) -> bool {
+        match &self.inner {
+            Inner::Private(p) => p.map.contains_key(&pid),
+            Inner::Shared(h) => h.pool().is_resident(pid),
+        }
+    }
+}
+
+impl Private {
+    fn allocate(&mut self) -> Result<PageId> {
+        let pid = self.store.allocate()?;
+        // The zeroed image is already known; fault it in without a read.
+        let slot = self.victim_slot()?;
+        self.install(slot, pid, zeroed_page());
+        self.frames[slot].dirty = true;
+        Ok(pid)
+    }
+
+    fn read<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        let slot = self.fault_in(pid)?;
+        self.touch(slot);
+        Ok(f(&self.frames[slot].buf))
+    }
+
+    fn write<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> Result<R> {
         let slot = self.fault_in(pid)?;
         self.touch(slot);
         let frame = &mut self.frames[slot];
@@ -129,9 +257,7 @@ impl BufferPool {
         frame.last_used = self.tick;
     }
 
-    /// Write every dirty frame back to the store. On error the failing
-    /// frame (and any not yet visited) stays dirty.
-    pub fn flush(&mut self) -> Result<()> {
+    fn flush(&mut self) -> Result<()> {
         for frame in &mut self.frames {
             if frame.dirty {
                 self.store.write(frame.pid, &frame.buf)?;
@@ -142,38 +268,12 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Drop all cached frames (flushing dirty ones): a cold cache.
-    pub fn clear(&mut self) -> Result<()> {
+    fn clear(&mut self) -> Result<()> {
         self.flush()?;
         self.frames.clear();
         self.map.clear();
         self.hand = 0;
         Ok(())
-    }
-
-    /// I/O counters accumulated so far.
-    pub fn stats(&self) -> IoStats {
-        self.stats
-    }
-
-    /// Zero the I/O counters (cache contents are retained).
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
-    }
-
-    /// Frame capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of resident pages.
-    pub fn resident(&self) -> usize {
-        self.frames.len()
-    }
-
-    /// Whether `pid` is currently cached (no I/O side effects).
-    pub fn is_resident(&self, pid: PageId) -> bool {
-        self.map.contains_key(&pid)
     }
 
     fn fault_in(&mut self, pid: PageId) -> Result<usize> {
@@ -246,10 +346,12 @@ impl BufferPool {
     }
 }
 
-impl Drop for BufferPool {
+impl Drop for Private {
     fn drop(&mut self) {
         // Best-effort writeback; errors here have no caller to report to
-        // and must not turn into a panic during unwinding.
+        // and must not turn into a panic during unwinding. A shared
+        // backing is deliberately NOT flushed on handle drop — its dirty
+        // frames belong to the pool, which outlives any one query.
         let _ = self.flush();
     }
 }
@@ -431,6 +533,56 @@ mod tests {
         }
     }
 
+    /// Deterministic access trace separating Clock from exact LRU.
+    ///
+    /// Capacity 3, pages A B C resident with A re-touched last, then a
+    /// fourth page D faults in. Exact LRU evicts B (oldest last_used:
+    /// B < C < A). The clock hand sits at slot 0 with every reference
+    /// bit set, so it sweeps A, B, C clearing bits and returns to slot 0:
+    /// A — the re-touched page Clock cannot protect, because one full
+    /// sweep erases all recency it knows about.
+    #[test]
+    fn clock_and_lru_diverge_on_a_re_touched_page() {
+        for (policy, evicted, survivor) in [
+            (Replacement::Clock, 0usize, 1usize), // evicts A, keeps B
+            (Replacement::Lru, 1, 0),             // evicts B, keeps A
+        ] {
+            let store = InMemoryDisk::shared();
+            let pids: Vec<PageId> = {
+                let mut w = BufferPool::with_capacity(store.clone(), 8);
+                let v: Vec<PageId> = (0..4).map(|_| w.allocate().unwrap()).collect();
+                w.flush().unwrap();
+                v
+            };
+            let mut p = BufferPool::with_policy(store, 3, policy);
+            p.read(pids[0], |_| ()).unwrap(); // A → slot 0
+            p.read(pids[1], |_| ()).unwrap(); // B → slot 1
+            p.read(pids[2], |_| ()).unwrap(); // C → slot 2
+            p.read(pids[0], |_| ()).unwrap(); // re-touch A
+            p.read(pids[3], |_| ()).unwrap(); // D faults in, someone goes
+            assert!(
+                !p.is_resident(pids[evicted]),
+                "{policy:?} must evict page {evicted}"
+            );
+            assert!(
+                p.is_resident(pids[survivor]),
+                "{policy:?} must keep page {survivor}"
+            );
+            assert!(p.is_resident(pids[3]));
+            // The residency difference is visible in the I/O counters of
+            // the next access: the survivor hits, the victim re-faults.
+            p.reset_stats();
+            p.read(pids[survivor], |_| ()).unwrap();
+            assert_eq!(p.stats().hits, 1, "{policy:?} survivor must hit");
+            p.read(pids[evicted], |_| ()).unwrap();
+            assert_eq!(
+                p.stats().physical_reads,
+                1,
+                "{policy:?} victim must re-fault"
+            );
+        }
+    }
+
     #[test]
     fn injected_read_failure_propagates_without_poisoning_the_pool() {
         let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 3));
@@ -464,5 +616,25 @@ mod tests {
         let mut p = BufferPool::with_capacity(faults, 2);
         assert_eq!(p.allocate(), Err(StorageError::NoSpace));
         assert!(p.allocate().is_ok());
+    }
+
+    #[test]
+    fn shared_backed_pool_is_interchangeable_with_private() {
+        use crate::shared::SharedBufferPool;
+        let store = InMemoryDisk::shared();
+        let shared = SharedBufferPool::new(store.clone(), 8, 2);
+        let mut p = BufferPool::from_handle(shared.handle());
+        assert!(p.is_shared());
+        let pid = p.allocate().unwrap();
+        p.write(pid, |b| b[5] = 11).unwrap();
+        p.flush().unwrap();
+        assert_eq!(p.read(pid, |b| b[5]).unwrap(), 11);
+        let s = p.stats();
+        assert_eq!(s.logical_reads, 2); // the write and the read
+        assert_eq!(s.physical_reads, 0); // resident since allocate
+                                         // A private pool on the same store sees the flushed bytes.
+        let mut q = BufferPool::with_capacity(store, 2);
+        assert_eq!(q.read(pid, |b| b[5]).unwrap(), 11);
+        assert!(!q.is_shared());
     }
 }

@@ -11,6 +11,10 @@
 //!   (second-chance) replacement. All index structures read pages
 //!   exclusively through a pool, so buffer misses *are* the paper's I/O
 //!   metric.
+//! * [`shared`] — [`shared::SharedBufferPool`], a lock-striped sharded
+//!   pool shared by concurrent queries, with RAII pinning and per-handle
+//!   I/O attribution; [`buffer::BufferPool::from_handle`] lets any search
+//!   path run against it unchanged.
 //! * [`heap`] — a slotted-page heap file; the tuple store that random-access
 //!   candidate verification reads from.
 //! * [`btree`] — a paged B+tree with fixed-width keys/values; backs the
@@ -32,6 +36,7 @@ pub mod file_disk;
 pub mod heap;
 pub mod metrics;
 pub mod page;
+pub mod shared;
 pub mod snapshot;
 pub mod stats;
 
@@ -43,5 +48,6 @@ pub use file_disk::FileDisk;
 pub use heap::{HeapFile, RecordId};
 pub use metrics::QueryMetrics;
 pub use page::{PageId, PAGE_SIZE};
+pub use shared::{PinGuard, PoolHandle, SharedBufferPool, DEFAULT_SHARDS};
 pub use snapshot::SnapshotFileError;
 pub use stats::IoStats;

@@ -20,6 +20,8 @@ use uncat::core::{CatId, EqQuery, TopKQuery, Uda};
 use uncat::datagen;
 use uncat::inverted::{InvertedIndex, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
+use uncat::query::parallel::{batch_metrics, petq_batch_with};
+use uncat::query::{BatchPools, InvertedBackend};
 use uncat::storage::{BufferPool, FileDisk, QueryMetrics, SharedStore};
 
 fn main() -> ExitCode {
@@ -43,6 +45,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "build" => build(&flags),
         "query" => query(&flags, false),
         "topk" => query(&flags, true),
+        "batch" => batch(&flags),
         "explain" => explain(&flags),
         "stats" => stats(&flags),
         "help" | "--help" | "-h" => {
@@ -63,6 +66,10 @@ usage:
                --cat <id> --tau <t> [--limit <n>] [--strategy <s>] [--explain]
   uncat topk   --index <inverted|pdr> --pages <...> --meta <...>
                --cat <id> --k <k> [--explain]
+  uncat batch  --index <inverted|pdr> --pages <...> --meta <...>
+               [--pool <private|shared>] [--shards <N>] [--frames <F>]
+               [--threads <T>] [--n <Q>] [--tau <t>] [--zipf <s>]
+               [--seed <S>] [--explain]
   uncat explain --index <inverted|pdr> --pages <...> --meta <...>
                --cat <id> --tau <t>
   uncat stats  --index <inverted|pdr> --pages <...> --meta <...>
@@ -72,6 +79,11 @@ usage:
 --explain: print the query's execution counters (see docs/METRICS.md)
 explain: run one PETQ under every inverted strategy and compare counters
   (for --index pdr, prints the single PDR-tree profile)
+batch: run a Zipf-skewed PETQ batch on T threads. --pool private gives
+  each query its own F-frame pool (the paper's model); --pool shared runs
+  the batch against one F×T-frame pool striped over --shards shards, so
+  hot pages are read once per batch. --explain adds the summed execution
+  counters and, for the shared pool, a per-shard hit-rate table.
 "#;
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -264,6 +276,110 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
         metrics.io = pool.stats();
         println!("execution counters:");
         print!("{metrics}");
+    }
+    Ok(())
+}
+
+/// Run a Zipf-skewed batch of certain-category PETQs on a worker pool,
+/// against either private per-query buffer pools (the paper's model) or
+/// one shared lock-striped pool for the whole batch.
+fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (idx, store) = reopen(flags)?;
+    let n: usize = flags.get("n").map_or(Ok(64), |s| parse(s, "--n"))?;
+    let tau: f64 = flags.get("tau").map_or(Ok(0.3), |s| parse(s, "--tau"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "--seed"))?;
+    let zipf_s: f64 = flags.get("zipf").map_or(Ok(1.2), |s| parse(s, "--zipf"))?;
+    let threads: usize = flags
+        .get("threads")
+        .map_or(Ok(4), |s| parse(s, "--threads"))?;
+    let frames: usize = flags
+        .get("frames")
+        .map_or(Ok(100), |s| parse(s, "--frames"))?;
+    let shards: usize = flags
+        .get("shards")
+        .map_or(Ok(8), |s| parse(s, "--shards"))?;
+    let pool_kind = flags.get("pool").map_or("private", String::as_str);
+    let strategy = flags
+        .get("strategy")
+        .map_or(Ok(Strategy::Nra), |s| parse_strategy(s))?;
+
+    let domain_size = match &idx {
+        AnyIndex::Inverted(i) => i.domain().size(),
+        AnyIndex::Pdr(t) => t.domain().size(),
+    };
+    let queries: Vec<EqQuery> = datagen::zipf::zipf_ranks(domain_size as usize, zipf_s, n, seed)
+        .into_iter()
+        .map(|rank| EqQuery::new(Uda::certain(CatId(rank as u32)), tau))
+        .collect();
+
+    // Memory parity: the shared pool gets the same frame budget the
+    // private mode hands out across its workers.
+    let pools = match pool_kind {
+        "private" => BatchPools::private(frames),
+        "shared" => BatchPools::shared(&store, frames * threads.max(1), shards),
+        other => return Err(format!("unknown --pool {other:?} (private|shared)")),
+    };
+
+    let t0 = std::time::Instant::now();
+    let results = match idx {
+        AnyIndex::Inverted(i) => {
+            let backend = InvertedBackend::with_strategy(i, strategy);
+            petq_batch_with(&backend, &store, &pools, &queries, threads)
+        }
+        AnyIndex::Pdr(t) => petq_batch_with(&t, &store, &pools, &queries, threads),
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    let total_matches: usize = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|o| o.matches.len())
+        .sum();
+    let totals = batch_metrics(&results);
+    println!(
+        "{} queries ({failed} failed) on {threads} threads, {pool_kind} pool: \
+         {total_matches} matches in {elapsed:.2}s",
+        results.len()
+    );
+    println!(
+        "I/O: {} physical reads, {} hits / {} logical reads ({:.1}% hit rate)",
+        totals.io.physical_reads,
+        totals.io.hits,
+        totals.io.logical_reads,
+        totals.io.hit_ratio() * 100.0
+    );
+    if flags.contains_key("explain") {
+        println!("summed execution counters:");
+        print!("{totals}");
+        if let Some(shared) = pools.shared_pool() {
+            println!(
+                "shared pool: {} frames over {} shards",
+                shared.capacity(),
+                shared.shard_count()
+            );
+            println!(
+                "{:<8} {:>10} {:>10} {:>10} {:>10}",
+                "shard", "logical", "hits", "reads", "hit-rate"
+            );
+            for (i, s) in shared.shard_stats().iter().enumerate() {
+                println!(
+                    "{i:<8} {:>10} {:>10} {:>10} {:>9.1}%",
+                    s.logical_reads,
+                    s.hits,
+                    s.physical_reads,
+                    s.hit_ratio() * 100.0
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        for (i, r) in results.iter().enumerate() {
+            if let Err(e) = r {
+                eprintln!("query {i} failed: {e}");
+            }
+        }
+        return Err(format!("{failed} queries failed"));
     }
     Ok(())
 }

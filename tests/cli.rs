@@ -227,6 +227,86 @@ fn explain_shows_pruning_beating_brute_force() {
     }
 }
 
+/// `batch` runs a Zipf mix in both pool modes: identical match totals,
+/// strictly fewer physical reads under the shared pool, and a per-shard
+/// hit-rate table in `--explain` output proving where the savings came
+/// from.
+#[test]
+fn batch_shared_pool_beats_private_via_cli() {
+    let dir = TempDir::new("batch");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "5000",
+        "--seed",
+        "13",
+        "--out",
+        &data,
+    ]);
+    assert!(ok);
+    let pages = dir.path("inv.pages");
+    let meta = dir.path("inv.meta");
+    let (ok, _) = uncat(&[
+        "build", "--index", "inverted", "--data", &data, "--pages", &pages, "--meta", &meta,
+    ]);
+    assert!(ok);
+
+    fn field(out: &str, which: &str) -> u64 {
+        let line = out
+            .lines()
+            .find(|l| l.contains(which))
+            .unwrap_or_else(|| panic!("no {which} line in: {out}"));
+        line.split(&[' ', ':'][..])
+            .filter_map(|w| w.parse().ok())
+            .next()
+            .unwrap_or_else(|| panic!("unparsable {which} line: {line}"))
+    }
+
+    let mut matches = Vec::new();
+    let mut reads = Vec::new();
+    for pool in ["private", "shared"] {
+        let (ok, out) = uncat(&[
+            "batch",
+            "--index",
+            "inverted",
+            "--pages",
+            &pages,
+            "--meta",
+            &meta,
+            "--pool",
+            pool,
+            "--n",
+            "40",
+            "--threads",
+            "4",
+            "--shards",
+            "8",
+            "--seed",
+            "3",
+            "--explain",
+        ]);
+        assert!(ok, "batch --pool {pool} failed: {out}");
+        assert!(out.contains("0 failed"), "queries failed: {out}");
+        matches.push(field(&out, "matches in"));
+        reads.push(field(&out, "physical reads,"));
+        assert!(out.contains("io.physical_reads"), "missing counters: {out}");
+        if pool == "shared" {
+            assert!(out.contains("hit-rate"), "missing shard table: {out}");
+            assert!(out.contains("8 shards"), "missing shard count: {out}");
+        }
+    }
+    assert_eq!(matches[0], matches[1], "pool mode must not change results");
+    assert!(
+        reads[1] < reads[0],
+        "shared pool must do strictly fewer reads ({} vs {})",
+        reads[1],
+        reads[0]
+    );
+}
+
 #[test]
 fn cli_rejects_bad_usage() {
     let (ok, out) = uncat(&["frobnicate"]);

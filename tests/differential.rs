@@ -1,0 +1,161 @@
+//! Cross-index differential property tests.
+//!
+//! Three implementations answer every query in this workspace: the
+//! probabilistic inverted index (under five search strategies), the
+//! PDR-tree, and the full-scan baseline. They share nothing but the data
+//! model, which makes them ideal differential-testing oracles for each
+//! other: on proptest-generated datasets and queries, all of them must
+//! return the same tuples in the same order with scores agreeing to
+//! 1e-9. A pruning bug, a bound that is not actually an upper bound, or
+//! a posting-list truncation shows up here as a divergence long before
+//! it would be caught by a hand-written example.
+
+use proptest::prelude::*;
+
+use uncat::core::query::{DstQuery, EqQuery, Match, TopKQuery};
+use uncat::core::{CatId, Divergence, Domain, Uda};
+use uncat::prelude::*;
+use uncat::query::{InvertedBackend, ScanBaseline, UncertainIndex};
+use uncat_inverted::{InvertedIndex, Strategy as SearchStrategy};
+use uncat_pdrtree::{PdrConfig, PdrTree};
+
+const CATS: u32 = 8;
+
+/// Strategy: a valid sparse UDA over `cats` categories.
+fn uda_strategy(cats: u32) -> impl Strategy<Value = Uda> {
+    prop::collection::btree_map(0..cats, 0.01f32..1.0f32, 1..=(cats.min(6) as usize)).prop_map(
+        |m| {
+            let mut b = uncat::core::UdaBuilder::new();
+            for (c, p) in m {
+                b.push(CatId(c), p)
+                    .expect("strategy emits valid probabilities");
+            }
+            b.finish_normalized().expect("at least one entry")
+        },
+    )
+}
+
+fn dataset_strategy(cats: u32, max_n: usize) -> impl Strategy<Value = Vec<(u64, Uda)>> {
+    prop::collection::vec(uda_strategy(cats), 1..=max_n).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, u)| (i as u64, u))
+            .collect()
+    })
+}
+
+/// Every backend under test, each with its own name for failure output.
+/// The scan baseline is positionally first: it is the semantic reference
+/// the others are diffed against.
+fn all_backends(
+    pool: &mut BufferPool,
+    tuples: &[(u64, Uda)],
+) -> Vec<(String, Box<dyn UncertainIndex>)> {
+    let mut backends: Vec<(String, Box<dyn UncertainIndex>)> = vec![(
+        "scan".into(),
+        Box::new(
+            ScanBaseline::build(pool, tuples.iter().map(|(t, u)| (*t, u)))
+                .expect("in-memory build"),
+        ),
+    )];
+    for strategy in SearchStrategy::ALL {
+        let idx = InvertedIndex::build(
+            Domain::anonymous(CATS),
+            pool,
+            tuples.iter().map(|(t, u)| (*t, u)),
+        )
+        .expect("in-memory build");
+        backends.push((
+            format!("inverted/{}", strategy.name()),
+            Box::new(InvertedBackend::with_strategy(idx, strategy)),
+        ));
+    }
+    backends.push((
+        "pdr-tree".into(),
+        Box::new(
+            PdrTree::build(
+                Domain::anonymous(CATS),
+                PdrConfig::default(),
+                pool,
+                tuples.iter().map(|(t, u)| (*t, u)),
+            )
+            .expect("in-memory build"),
+        ),
+    ));
+    backends
+}
+
+/// Same tuples, same order, scores within 1e-9 of the reference.
+fn assert_matches_agree(what: &str, name: &str, reference: &[Match], got: &[Match]) {
+    assert_eq!(
+        got.iter().map(|m| m.tid).collect::<Vec<_>>(),
+        reference.iter().map(|m| m.tid).collect::<Vec<_>>(),
+        "{what}: {name} returned different tuples than scan"
+    );
+    for (r, g) in reference.iter().zip(got) {
+        assert!(
+            (r.score - g.score).abs() <= 1e-9,
+            "{what}: {name} scored tuple {} as {} vs scan's {}",
+            g.tid,
+            g.score,
+            r.score
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn petq_agrees_across_every_index_and_strategy(
+        tuples in dataset_strategy(CATS, 60),
+        q in uda_strategy(CATS),
+        tau in 0.01f64..0.9,
+    ) {
+        let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+        let backends = all_backends(&mut pool, &tuples);
+        let query = EqQuery::new(q, tau);
+        let reference = backends[0].1.petq(&mut pool, &query).expect("in-memory query");
+        for (name, backend) in &backends[1..] {
+            let got = backend.petq(&mut pool, &query).expect("in-memory query");
+            assert_matches_agree("petq", name, &reference, &got);
+        }
+    }
+
+    #[test]
+    fn top_k_agrees_across_every_index_and_strategy(
+        tuples in dataset_strategy(CATS, 60),
+        q in uda_strategy(CATS),
+        k in 1usize..15,
+    ) {
+        let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+        let backends = all_backends(&mut pool, &tuples);
+        let query = TopKQuery::new(q, k);
+        let reference = backends[0].1.top_k(&mut pool, &query).expect("in-memory query");
+        // Zero-probability tuples are never returned, so the result may
+        // be shorter than k; the property is agreement, not length.
+        prop_assert!(reference.len() <= k);
+        for (name, backend) in &backends[1..] {
+            let got = backend.top_k(&mut pool, &query).expect("in-memory query");
+            assert_matches_agree("top_k", name, &reference, &got);
+        }
+    }
+
+    #[test]
+    fn dstq_agrees_across_every_index_and_divergence(
+        tuples in dataset_strategy(CATS, 60),
+        q in uda_strategy(CATS),
+        radius in 0.05f64..1.5,
+    ) {
+        let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+        let backends = all_backends(&mut pool, &tuples);
+        for dv in [Divergence::L1, Divergence::L2] {
+            let query = DstQuery::new(q.clone(), radius, dv);
+            let reference = backends[0].1.dstq(&mut pool, &query).expect("in-memory query");
+            for (name, backend) in &backends[1..] {
+                let got = backend.dstq(&mut pool, &query).expect("in-memory query");
+                assert_matches_agree("dstq", name, &reference, &got);
+            }
+        }
+    }
+}

@@ -1,13 +1,19 @@
 //! Cross-crate invariants of the query execution counters
 //! (`uncat_storage::QueryMetrics`, documented in docs/METRICS.md).
 
+use std::sync::Arc;
+
 use uncat::core::query::{DstQuery, EqQuery, TopKQuery};
 use uncat::core::{CatId, Divergence, Domain, Uda};
 use uncat::inverted::{InvertedIndex, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
-use uncat::query::parallel::{batch_metrics, petq_batch};
-use uncat::query::{aggregate_metrics, Executor, InvertedBackend, ScanBaseline, UncertainIndex};
-use uncat::storage::{BufferPool, InMemoryDisk, QueryMetrics, SharedStore};
+use uncat::query::parallel::{batch_metrics, petq_batch, petq_batch_with};
+use uncat::query::{
+    aggregate_metrics, BatchPools, Executor, InvertedBackend, ScanBaseline, UncertainIndex,
+};
+use uncat::storage::{
+    BufferPool, Fault, FaultStore, InMemoryDisk, IoStats, QueryMetrics, SharedStore,
+};
 
 fn uda(pairs: &[(u32, f32)]) -> Uda {
     Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
@@ -196,6 +202,163 @@ fn parallel_batch_metrics_equal_sequential_sum() {
         par_total, seq_total,
         "parallel sum must equal sequential sum"
     );
+}
+
+/// Tiny xorshift generator for seeded query mixes — keeps the stress
+/// tests free of an RNG dependency while staying fully reproducible.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A reproducible mix of thresholds and categories: repeated hot
+/// categories (so the shared pool has something to cache) interleaved
+/// with colder ones.
+fn seeded_queries(seed: u64, n: usize) -> Vec<EqQuery> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            let cat = (xorshift(&mut s) % 13) as u32;
+            let tau = 0.15 + (xorshift(&mut s) % 5) as f64 * 0.15;
+            EqQuery::new(uda(&[(cat, 1.0)]), tau)
+        })
+        .collect()
+}
+
+/// Eight threads hammering one shared pool must be invisible in every
+/// counter except physical reads (which the pool may only *save*): for
+/// several seeds, matches, execution counters, and logical reads all
+/// equal a sequential private-pool run, and `batch_metrics` sums exactly.
+#[test]
+fn shared_pool_stress_matches_sequential_across_seeds() {
+    let (domain, data) = seeded_dataset(3000);
+    let (idx, store) = build_inverted(&domain, &data);
+    let backend = InvertedBackend::new(idx);
+
+    for seed in [3u64, 17, 99] {
+        let queries = seeded_queries(seed, 32);
+        let pools = BatchPools::shared(&store, 256, 8);
+        let results = petq_batch_with(&backend, &store, &pools, &queries, 8);
+
+        // `batch_metrics` is exactly the sum of the per-outcome metrics.
+        let total = batch_metrics(&results);
+        let manual = QueryMetrics::sum(results.iter().map(|r| &r.as_ref().unwrap().metrics));
+        assert_eq!(total, manual, "seed {seed}: batch_metrics must sum exactly");
+
+        let mut seq_total = QueryMetrics::new();
+        for (q, r) in queries.iter().zip(&results) {
+            let r = r.as_ref().expect("in-memory query");
+            let mut pool = BufferPool::with_capacity(store.clone(), 100);
+            let mut m = QueryMetrics::new();
+            let seq = backend.petq_metered(&mut pool, q, &mut m).unwrap();
+            m.io = pool.stats();
+            assert_eq!(
+                r.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                seq.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                "seed {seed}: pool flavor must not change results"
+            );
+            seq_total.merge(&m);
+        }
+
+        // Identical work, identical counters — except the I/O block.
+        let mut shared_counters = total;
+        let mut seq_counters = seq_total;
+        shared_counters.io = IoStats::default();
+        seq_counters.io = IoStats::default();
+        assert_eq!(
+            shared_counters, seq_counters,
+            "seed {seed}: sharing frames must not change execution"
+        );
+        assert_eq!(
+            total.io.logical_reads, seq_total.io.logical_reads,
+            "seed {seed}: same access pattern either way"
+        );
+        assert!(
+            total.io.physical_reads <= seq_total.io.physical_reads,
+            "seed {seed}: the shared pool may only save reads ({} vs {})",
+            total.io.physical_reads,
+            seq_total.io.physical_reads,
+        );
+    }
+}
+
+/// PR 1's failure-isolation contract survives sharing: an injected read
+/// failure fails only the query that pinned the bad page. Every other
+/// query in the 8-thread batch matches the clean run, and the same pool
+/// answers the full batch correctly once the schedule is disarmed.
+#[test]
+fn shared_pool_fault_schedule_fails_only_pinning_queries() {
+    let (domain, data) = seeded_dataset(3000);
+    let faults = Arc::new(FaultStore::new(InMemoryDisk::shared(), 99));
+    let store: SharedStore = faults.clone();
+    let mut pool = BufferPool::with_capacity(store.clone(), 256);
+    let idx = InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u))).unwrap();
+    pool.flush().unwrap();
+    drop(pool);
+    let backend = InvertedBackend::new(idx);
+
+    for seed in [5u64, 21, 77] {
+        let queries = seeded_queries(seed, 24);
+        let clean: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| {
+                let mut pool = BufferPool::with_capacity(store.clone(), 100);
+                let matches = backend.petq(&mut pool, q).unwrap();
+                matches.iter().map(|m| m.tid).collect()
+            })
+            .collect();
+
+        // One shared pool serves both the faulty batch and the retry.
+        let pools = BatchPools::shared(&store, 256, 8);
+
+        // Schedule three read failures among the batch's first cold
+        // misses; which queries pin those reads depends on scheduling,
+        // and must not matter.
+        let base = faults.reads_so_far();
+        for n in [1, 4, 9] {
+            faults.arm(Fault::FailRead {
+                after: base + n + seed % 3,
+            });
+        }
+        let fired_before = faults.fired();
+        let results = petq_batch_with(&backend, &store, &pools, &queries, 8);
+        assert!(
+            faults.fired() > fired_before,
+            "seed {seed}: the fault schedule never fired"
+        );
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        assert!(
+            (1..=3).contains(&failed),
+            "seed {seed}: each injected read failure fails at most the one \
+             pinning query, got {failed} failures"
+        );
+        for (r, want) in results.iter().zip(&clean) {
+            if let Ok(o) = r {
+                assert_eq!(
+                    &o.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                    want,
+                    "seed {seed}: surviving queries must match the clean run"
+                );
+            }
+        }
+
+        // The failed page was never installed, so the same pool recovers
+        // completely once the faults are gone.
+        faults.disarm_all();
+        let retry = petq_batch_with(&backend, &store, &pools, &queries, 8);
+        for (r, want) in retry.iter().zip(&clean) {
+            let o = r.as_ref().expect("pool must stay usable after faults");
+            assert_eq!(
+                &o.matches.iter().map(|m| m.tid).collect::<Vec<_>>(),
+                want,
+                "seed {seed}: retry must fully match the clean run"
+            );
+        }
+    }
 }
 
 #[test]

@@ -484,3 +484,17 @@ proptest! {
         prop_assert!(undetected.is_none(), "undetected mutation: {:?}", undetected);
     }
 }
+
+/// The checked-in `tests/properties.proptest-regressions` file is found
+/// by the replay machinery: every `proptest!` test in this file runs its
+/// recorded seed before the generated cases (vendor/proptest replays
+/// `cc <hex>` lines from the sibling regression file).
+#[test]
+fn regression_file_is_discovered_for_replay() {
+    let seeds = proptest::regression_seeds(file!());
+    assert_eq!(
+        seeds.len(),
+        1,
+        "tests/properties.proptest-regressions holds one recorded failure"
+    );
+}

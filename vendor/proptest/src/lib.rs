@@ -11,6 +11,13 @@
 //! harness: failing cases are **not shrunk** (the panic reports the
 //! assertion only), and case generation uses a fixed per-test seed
 //! derived from the test name, so runs are fully deterministic.
+//!
+//! Upstream's `<test-file>.proptest-regressions` files are honoured in
+//! spirit: before the seeded case loop, every `cc <hex>` line in the
+//! sibling regression file is folded to a seed and replayed as an extra
+//! case (see [`regression_seeds`]). The stand-in cannot reproduce the
+//! exact upstream values behind a hash, but checked-in failure seeds keep
+//! exercising extra deterministic cases on every `cargo test` run.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +39,46 @@ pub fn test_rng(name: &str) -> TestRng {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     StdRng::seed_from_u64(h)
+}
+
+/// Build the RNG replaying one recorded regression seed.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Seeds recorded in the regression file next to `source_file` (the
+/// `file!()` of the invoking test). Upstream proptest persists failures
+/// as `cc <hex> # shrinks to ...` lines in
+/// `<test-file>.proptest-regressions`; each hex blob is folded to a
+/// replay seed. A missing file means no recorded regressions.
+pub fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let path = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    match std::fs::read_to_string(path) {
+        Ok(content) => parse_regression_seeds(&content),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Parse `cc <hex>` lines into replay seeds (see [`regression_seeds`]).
+pub fn parse_regression_seeds(content: &str) -> Vec<u64> {
+    content
+        .lines()
+        .filter_map(|line| {
+            let mut words = line.split_whitespace();
+            if words.next() != Some("cc") {
+                return None; // comments, blanks, unknown directives
+            }
+            let hex = words.next()?;
+            // FNV-1a over the hex text: upstream seeds are 32-byte blobs,
+            // ours are u64s, so fold all the entropy down deterministically.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in hex.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Some(h)
+        })
+        .collect()
 }
 
 /// Runner configuration; only the case count is honoured.
@@ -311,6 +358,12 @@ macro_rules! proptest {
         $(
             #[test]
             fn $name() {
+                // Recorded failures replay first, one case per seed.
+                for __seed in $crate::regression_seeds(file!()) {
+                    let mut __rng = $crate::rng_from_seed(__seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
                 let __cfg: $crate::ProptestConfig = $cfg;
                 let mut __rng = $crate::test_rng(stringify!($name));
                 for __case in 0..__cfg.cases {
@@ -356,6 +409,36 @@ mod tests {
             s += 1;
             prop_assert!(s % 2 == 1 && s < 101);
         }
+    }
+
+    #[test]
+    fn regression_seed_parsing_skips_everything_but_cc_lines() {
+        let file = "\
+# Seeds for failure cases proptest has generated in the past.
+cc 79ea9dbfde74cd154cdcfb911581f6b22e66f1365779ba8a89a7efc9ba2273e5 # shrinks to ops = [(0, [])]
+
+xx not-a-directive
+cc deadbeef
+";
+        let seeds = crate::parse_regression_seeds(file);
+        assert_eq!(seeds.len(), 2, "two cc lines, two seeds");
+        assert_eq!(seeds, crate::parse_regression_seeds(file), "deterministic");
+        assert_ne!(seeds[0], seeds[1], "distinct blobs, distinct seeds");
+        assert!(crate::parse_regression_seeds("# only comments\n").is_empty());
+    }
+
+    #[test]
+    fn missing_regression_file_means_no_replays() {
+        assert!(crate::regression_seeds("src/does-not-exist.rs").is_empty());
+    }
+
+    #[test]
+    fn replayed_seed_reproduces_its_case() {
+        let s = prop::collection::vec(0u32..1000, 5..6);
+        let seeds = crate::parse_regression_seeds("cc 79ea9dbf\n");
+        let mut a = crate::rng_from_seed(seeds[0]);
+        let mut b = crate::rng_from_seed(seeds[0]);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
     }
 
     #[test]
