@@ -530,6 +530,118 @@ pub fn joins(scale: &Scale) -> FigureTable {
     )
 }
 
+/// Figure: block vs index vs parallel join plans on Zipf-skewed
+/// relations (CRM1 inner, Zipf certain-probe outer, inverted index).
+///
+/// Threshold series plot physical reads per plan. The top-k series plot
+/// **postings scanned per probe**: the sequential index plan issues a
+/// full top-k probe for every outer tuple (exactly the pre-floor-fix
+/// cost), while the parallel plan's shared floor seeds every warm
+/// probe's dynamic threshold, so probes stop as early as Lemma 1 allows
+/// at θ = floor — the gap between `TopK-Index` and `TopK-Par` is the
+/// floor-propagation win, and it widens with the outer relation.
+pub fn join(scale: &Scale) -> FigureTable {
+    use uncat_core::query::TopKQuery;
+    use uncat_core::Uda;
+    use uncat_datagen::zipf::zipf_ranks;
+    use uncat_query::join::{block_join, index_join, parallel_join, JoinSpec};
+    use uncat_query::{BatchPools, ScanBaseline};
+    use uncat_storage::{BufferPool, QueryMetrics};
+
+    const THREADS: usize = 4;
+    const K: usize = 10;
+    const TAU: f64 = 0.5;
+
+    let (domain, data) = crm::crm1(scale.crm_n / 2, scale.seed);
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+    let store = uncat_storage::InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 512);
+    let scan =
+        ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).expect("in-memory build");
+    pool.flush().expect("in-memory flush");
+    drop(pool);
+
+    let outer_all: Vec<(u64, Uda)> =
+        zipf_ranks(domain.size() as usize, 1.2, 256, scale.seed ^ 0xA5A5)
+            .into_iter()
+            .enumerate()
+            .map(|(i, rank)| {
+                (
+                    1_000_000 + i as u64,
+                    Uda::certain(uncat_core::CatId(rank as u32)),
+                )
+            })
+            .collect();
+
+    let mut block_pts = Vec::new();
+    let mut index_pts = Vec::new();
+    let mut par_pts = Vec::new();
+    let mut topk_index_pts = Vec::new();
+    let mut topk_par_pts = Vec::new();
+    for &outer_n in &[16usize, 64, 256] {
+        let outer = &outer_all[..outer_n];
+        let x = outer_n as f64;
+
+        // PETJ: physical reads per plan.
+        let petj = JoinSpec::Petj { tau: TAU };
+        let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
+        let b = block_join(outer, &scan, &mut p, petj).expect("in-memory join");
+        block_pts.push((x, b.reads() as f64));
+        let mut p = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
+        let i = index_join(outer, &inv, &mut p, petj).expect("in-memory join");
+        index_pts.push((x, i.reads() as f64));
+        let pools = BatchPools::shared(&inv_store, QUERY_FRAMES * THREADS, 8);
+        let par =
+            parallel_join(outer, &inv, &inv_store, &pools, petj, THREADS).expect("in-memory join");
+        par_pts.push((x, par.reads() as f64));
+        assert_eq!(
+            i.pairs.len(),
+            par.pairs.len(),
+            "parallel plan must agree with sequential"
+        );
+        assert_eq!(b.pairs.len(), i.pairs.len(), "join plans must agree");
+
+        // PEJ-top-k: probe work (postings scanned) per outer tuple. The
+        // sequential baseline probes full top-k every time — the
+        // pre-floor-fix plan's exact probe cost.
+        let mut baseline = QueryMetrics::new();
+        let mut p = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
+        for (_, luda) in outer {
+            uncat_query::UncertainIndex::top_k_metered(
+                &inv,
+                &mut p,
+                &TopKQuery::new(luda.clone(), K),
+                &mut baseline,
+            )
+            .expect("in-memory probe");
+        }
+        topk_index_pts.push((x, baseline.postings_scanned as f64 / outer_n as f64));
+        let pools = BatchPools::private(QUERY_FRAMES);
+        let par = parallel_join(
+            outer,
+            &inv,
+            &inv_store,
+            &pools,
+            JoinSpec::PejTopK { k: K },
+            THREADS,
+        )
+        .expect("in-memory join");
+        topk_par_pts.push((x, par.metrics.postings_scanned as f64 / outer_n as f64));
+    }
+    FigureTable::new(
+        "join",
+        "Join plans: block vs index vs parallel (CRM1, Zipf outer)",
+        "outer",
+        vec![
+            Series::new("Thres-Block-reads", block_pts),
+            Series::new("Thres-Index-reads", index_pts),
+            Series::new("Thres-Par-reads", par_pts),
+            Series::new("TopK-Index-postings", topk_index_pts),
+            Series::new("TopK-Par-postings", topk_par_pts),
+        ],
+    )
+}
+
 /// Ablation: query shape — tuples sampled from the data vs certain-value
 /// queries vs uniform-random distributions (CRM1, PDR-tree, τ calibrated
 /// to 1% where reachable).
@@ -646,6 +758,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
         "bulkload" => bulkload(scale),
         "sizes" => sizes(scale),
         "joins" => joins(scale),
+        "join" => join(scale),
         "queryshape" => queryshape(scale),
         "sharedpool" => sharedpool(scale),
         _ => return None,
@@ -653,7 +766,7 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
 }
 
 /// All known figure/ablation names, in presentation order.
-pub const ALL_FIGURES: [&str; 15] = [
+pub const ALL_FIGURES: [&str; 16] = [
     "fig4",
     "fig5",
     "fig6",
@@ -667,6 +780,7 @@ pub const ALL_FIGURES: [&str; 15] = [
     "bulkload",
     "sizes",
     "joins",
+    "join",
     "queryshape",
     "sharedpool",
 ];

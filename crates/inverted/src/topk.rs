@@ -46,24 +46,49 @@ impl InvertedIndex {
         query: &TopKQuery,
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
+        self.top_k_floored_metered(pool, query, 0.0, metrics)
+    }
+
+    /// [`InvertedIndex::top_k_metered`] under an external score *floor*:
+    /// the `k` best matches scoring at least `floor`. Callers that already
+    /// hold `k` results at `floor` or better (the PEJ-top-k join) seed the
+    /// dynamic threshold θ with it, so the drain stops once
+    /// `Σ_j q.p_j · p'_j < max(θ, floor)` — never later than a plain top-k
+    /// probe, and *before* `k` candidates exist when the frontier cannot
+    /// reach the floor at all. Non-positive and non-finite floors degrade
+    /// to a plain top-k.
+    pub fn top_k_floored_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        floor: f64,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         if query.k == 0 {
             return Ok(Vec::new());
         }
+        let floor = if floor.is_finite() && floor > 0.0 {
+            floor
+        } else {
+            0.0
+        };
         let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
         if frontier.len() > 128 {
-            return self.top_k_random_access(pool, query, metrics);
+            return self.top_k_random_access(pool, query, floor, metrics);
         }
 
         let mut cand: HashMap<u64, Cand> = HashMap::new();
-        let mut theta = 0.0f64; // k-th best lower bound so far
+        let mut theta = floor; // max(floor, k-th best lower bound so far)
         let mut pops = 0usize;
         let mut next_refresh = THETA_EVERY;
 
         while let Some((j, tid, c)) = frontier.best() {
             // Lemma 1 with the dynamic threshold: an unseen tuple is
             // bounded by the frontier sum; once that cannot reach the k-th
-            // best lower bound, the candidate set is complete.
-            if cand.len() >= query.k && frontier.sum() < theta - THRESHOLD_EPS {
+            // best lower bound, the candidate set is complete. A positive
+            // floor makes the stop valid even before k candidates exist:
+            // nothing the frontier can still produce reaches the floor.
+            if (cand.len() >= query.k || floor > 0.0) && frontier.sum() < theta - THRESHOLD_EPS {
                 metrics.lemma1_stops += 1;
                 break;
             }
@@ -79,7 +104,7 @@ impl InvertedIndex {
             if pops >= next_refresh {
                 next_refresh = pops + THETA_EVERY.max(cand.len() / 4);
                 if cand.len() >= query.k {
-                    theta = kth_largest(cand.values().map(|c| c.lb), query.k);
+                    theta = kth_largest(cand.values().map(|c| c.lb), query.k).max(floor);
                 }
             }
         }
@@ -88,9 +113,9 @@ impl InvertedIndex {
         let heads = frontier.residual();
         let all_exhausted = frontier.all_exhausted();
         theta = if cand.len() >= query.k {
-            kth_largest(cand.values().map(|c| c.lb), query.k)
+            kth_largest(cand.values().map(|c| c.lb), query.k).max(floor)
         } else {
-            0.0
+            floor
         };
 
         // Split finalists into settled (lb already exact) and unsettled.
@@ -117,7 +142,7 @@ impl InvertedIndex {
         }
         metrics.candidates_settled += settled.len() as u64;
 
-        let mut heap = TopKHeap::new(query.k, 0.0);
+        let mut heap = TopKHeap::new(query.k, floor);
         // Unsettled finalists need one random access each; sorting by heap
         // page batches candidates sharing a page into one read.
         for tid in crate::search::sorted_by_page(self, unsettled)? {
@@ -139,18 +164,22 @@ impl InvertedIndex {
     }
 
     /// Fallback for queries wider than the bound mask: verify every
-    /// encountered candidate by random access.
+    /// encountered candidate by random access. The heap's threshold is
+    /// `floor` until it fills, so a positive floor prunes from the first
+    /// pop.
     fn top_k_random_access(
         &self,
         pool: &mut BufferPool,
         query: &TopKQuery,
+        floor: f64,
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
         let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
-        let mut heap = TopKHeap::new(query.k, 0.0);
+        let mut heap = TopKHeap::new(query.k, floor);
         let mut verified: HashSet<u64> = HashSet::new();
         while let Some((j, tid, _c)) = frontier.best() {
-            if heap.is_full() && frontier.sum() < heap.threshold() - THRESHOLD_EPS {
+            if (heap.is_full() || floor > 0.0) && frontier.sum() < heap.threshold() - THRESHOLD_EPS
+            {
                 metrics.lemma1_stops += 1;
                 break;
             }
@@ -172,12 +201,32 @@ impl InvertedIndex {
 }
 
 /// The k-th largest value of an iterator (0 when fewer than k values).
+/// Ordering is total even for NaN inputs (`f64::total_cmp`): a corrupt
+/// page that yields a NaN bound must degrade that one query, not panic
+/// the process.
 fn kth_largest(values: impl Iterator<Item = f64>, k: usize) -> f64 {
     let mut v: Vec<f64> = values.collect();
     if v.len() < k {
         return 0.0;
     }
     let idx = k - 1;
-    v.select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("finite"));
+    v.select_nth_unstable_by(idx, |a, b| b.total_cmp(a));
     v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kth_largest;
+
+    #[test]
+    fn kth_largest_tolerates_nan_without_panicking() {
+        // total_cmp ranks a positive NaN above every finite value; the
+        // important property is that a corrupt bound cannot panic the
+        // selection, and finite inputs are unaffected.
+        let vals = [0.3, f64::NAN, 0.9, 0.1];
+        assert!(kth_largest(vals.iter().copied(), 1).is_nan());
+        assert_eq!(kth_largest(vals.iter().copied(), 2), 0.9);
+        assert_eq!(kth_largest(vals.iter().copied(), 4), 0.1);
+        assert_eq!(kth_largest([0.5].iter().copied(), 2), 0.0);
+    }
 }

@@ -90,6 +90,23 @@ impl PdrTree {
         query: &TopKQuery,
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
+        self.top_k_floored_metered(pool, query, 0.0, metrics)
+    }
+
+    /// [`PdrTree::top_k_metered`] under an external score *floor*: the `k`
+    /// best matches scoring at least `floor`. The floor becomes the heap's
+    /// initial threshold, so subtrees whose Lemma-2 upper bound cannot
+    /// reach it are pruned from the first node on — never more work than a
+    /// plain top-k, and the best-first stop fires even before `k` matches
+    /// exist once every unexplored bound is below the floor. Non-positive
+    /// and non-finite floors degrade to a plain top-k.
+    pub fn top_k_floored_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        floor: f64,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
         struct Pending {
             bound: f64,
             pid: PageId,
@@ -116,17 +133,24 @@ impl PdrTree {
         if query.k == 0 {
             return Ok(Vec::new());
         }
-        let mut heap = TopKHeap::new(query.k, 0.0);
+        let floor = if floor.is_finite() && floor > 0.0 {
+            floor
+        } else {
+            0.0
+        };
+        // `heap.threshold()` is `floor` until the heap fills, then the
+        // k-th best score — exactly the cutoff every prune below wants.
+        let mut heap = TopKHeap::new(query.k, floor);
         let mut frontier = BinaryHeap::new();
         frontier.push(Pending {
             bound: f64::INFINITY,
             pid: self.root(),
         });
         while let Some(Pending { bound, pid }) = frontier.pop() {
-            if heap.is_full() && bound < heap.threshold() - THRESHOLD_EPS {
+            if bound < heap.threshold() - THRESHOLD_EPS {
                 // The remaining frontier is cut without being read.
                 metrics.nodes_pruned += 1 + frontier.len() as u64;
-                break; // no unexplored subtree can displace the k-th best
+                break; // no unexplored subtree can reach the cutoff
             }
             metrics.nodes_visited += 1;
             match read_node(pool, pid, self.config().compression)? {
@@ -142,7 +166,7 @@ impl PdrTree {
                 Node::Internal(children) => {
                     for c in &children {
                         let b = c.boundary.eq_upper_bound(&query.q);
-                        if !heap.is_full() || b >= heap.threshold() - THRESHOLD_EPS {
+                        if b >= heap.threshold() - THRESHOLD_EPS {
                             frontier.push(Pending {
                                 bound: b,
                                 pid: c.pid,

@@ -55,6 +55,30 @@ pub trait UncertainIndex {
     /// Short name for reports ("inverted", "pdr-tree", "scan").
     fn backend_name(&self) -> &'static str;
 
+    /// PEQ-top-k under an external score *floor*: the `k` best matches
+    /// scoring at least `floor`, with execution counters. The PEJ-top-k
+    /// join propagates its current k-th best pair score into every probe
+    /// through this method; an implementation that seeds its dynamic
+    /// threshold with the floor (both paper indexes do) prunes everything
+    /// the caller would discard anyway, and never does *more* work than
+    /// [`UncertainIndex::top_k_metered`] — the threshold only starts
+    /// higher. Non-positive and non-finite floors mean "no floor". The
+    /// provided default runs a plain top-k and filters, so backends
+    /// without floor-aware search stay correct, just unaccelerated.
+    fn top_k_floored_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        floor: f64,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        let mut out = self.top_k_metered(pool, query, metrics)?;
+        if floor.is_finite() && floor > 0.0 {
+            out.retain(|m| m.score >= floor);
+        }
+        Ok(out)
+    }
+
     /// Probabilistic equality threshold query (Definition 4).
     fn petq(&self, pool: &mut BufferPool, query: &EqQuery) -> Result<Vec<Match>> {
         self.petq_metered(pool, query, &mut QueryMetrics::new())
@@ -70,6 +94,65 @@ pub trait UncertainIndex {
     /// DSQ-top-k: the `k` distributionally closest tuples.
     fn ds_top_k(&self, pool: &mut BufferPool, query: &DsTopKQuery) -> Result<Vec<Match>> {
         self.ds_top_k_metered(pool, query, &mut QueryMetrics::new())
+    }
+}
+
+/// Boxed indexes answer queries by delegation, so heterogeneous backend
+/// collections (`Box<dyn UncertainIndex>`) work with the generic join
+/// and batch executors.
+impl<T: UncertainIndex + ?Sized> UncertainIndex for Box<T> {
+    fn petq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        (**self).petq_metered(pool, query, metrics)
+    }
+
+    fn top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        (**self).top_k_metered(pool, query, metrics)
+    }
+
+    fn dstq_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DstQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        (**self).dstq_metered(pool, query, metrics)
+    }
+
+    fn ds_top_k_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &DsTopKQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        (**self).ds_top_k_metered(pool, query, metrics)
+    }
+
+    fn tuple_count(&self) -> u64 {
+        (**self).tuple_count()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+
+    fn top_k_floored_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        floor: f64,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        (**self).top_k_floored_metered(pool, query, floor, metrics)
     }
 }
 
@@ -140,6 +223,17 @@ impl UncertainIndex for InvertedBackend {
     fn backend_name(&self) -> &'static str {
         "inverted"
     }
+
+    fn top_k_floored_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        floor: f64,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        self.index
+            .top_k_floored_metered(pool, query, floor, metrics)
+    }
 }
 
 impl UncertainIndex for PdrTree {
@@ -185,5 +279,15 @@ impl UncertainIndex for PdrTree {
 
     fn backend_name(&self) -> &'static str {
         "pdr-tree"
+    }
+
+    fn top_k_floored_metered(
+        &self,
+        pool: &mut BufferPool,
+        query: &TopKQuery,
+        floor: f64,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>> {
+        PdrTree::top_k_floored_metered(self, pool, query, floor, metrics)
     }
 }

@@ -2,13 +2,13 @@
 
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::EqQuery;
-use uncat_core::Uda;
+use uncat_core::{Divergence, Uda};
 use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index_trait::UncertainIndex;
 use crate::scan::ScanBaseline;
 
-use super::{sort_pairs_desc, JoinPair};
+use super::{sort_pairs_asc, sort_pairs_desc, JoinPair};
 
 /// Index nested loop PETJ: probe the inner index once per outer tuple.
 pub fn index_nested_loop_petj(
@@ -81,5 +81,102 @@ pub fn block_nested_loop_petj_metered(
         }
     })?;
     sort_pairs_desc(&mut out);
+    Ok(out)
+}
+
+/// Block nested loop PEJ-top-k baseline: one scan of the inner relation,
+/// keeping the `k` best pairs seen so far.
+pub fn block_top_k_pej(
+    outer: &[(u64, Uda)],
+    inner: &ScanBaseline,
+    pool: &mut BufferPool,
+    k: usize,
+) -> Result<Vec<JoinPair>> {
+    block_top_k_pej_metered(outer, inner, pool, k, &mut QueryMetrics::new())
+}
+
+/// [`block_top_k_pej`] with execution counters: one `heap_tuples_scanned`
+/// per inner tuple. Zero-probability pairs never qualify and are dropped
+/// on sight, matching the index plans.
+pub fn block_top_k_pej_metered(
+    outer: &[(u64, Uda)],
+    inner: &ScanBaseline,
+    pool: &mut BufferPool,
+    k: usize,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<JoinPair>> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut best: Vec<JoinPair> = Vec::new();
+    // Compact whenever the buffer outgrows a small multiple of k, so the
+    // scan stays O(k) in memory instead of materializing every pair.
+    let compact_at = 4 * k.max(16);
+    inner.scan(pool, |rtid, ruda| {
+        metrics.heap_tuples_scanned += 1;
+        for (ltid, luda) in outer {
+            let pr = eq_prob(luda, ruda);
+            if pr > 0.0 {
+                best.push(JoinPair {
+                    left: *ltid,
+                    right: rtid,
+                    score: pr,
+                });
+            }
+        }
+        if best.len() > compact_at {
+            sort_pairs_desc(&mut best);
+            best.truncate(k);
+        }
+    })?;
+    sort_pairs_desc(&mut best);
+    best.truncate(k);
+    Ok(best)
+}
+
+/// Block nested loop DSTJ baseline: one scan of the inner relation,
+/// keeping every pair within divergence `tau_d`.
+pub fn block_dstj(
+    outer: &[(u64, Uda)],
+    inner: &ScanBaseline,
+    pool: &mut BufferPool,
+    tau_d: f64,
+    divergence: Divergence,
+) -> Result<Vec<JoinPair>> {
+    block_dstj_metered(
+        outer,
+        inner,
+        pool,
+        tau_d,
+        divergence,
+        &mut QueryMetrics::new(),
+    )
+}
+
+/// [`block_dstj`] with execution counters: one `heap_tuples_scanned` per
+/// inner tuple.
+pub fn block_dstj_metered(
+    outer: &[(u64, Uda)],
+    inner: &ScanBaseline,
+    pool: &mut BufferPool,
+    tau_d: f64,
+    divergence: Divergence,
+    metrics: &mut QueryMetrics,
+) -> Result<Vec<JoinPair>> {
+    let mut out = Vec::new();
+    inner.scan(pool, |rtid, ruda| {
+        metrics.heap_tuples_scanned += 1;
+        for (ltid, luda) in outer {
+            let d = divergence.eval(luda.entries(), ruda.entries());
+            if d <= tau_d {
+                out.push(JoinPair {
+                    left: *ltid,
+                    right: rtid,
+                    score: d,
+                });
+            }
+        }
+    })?;
+    sort_pairs_asc(&mut out);
     Ok(out)
 }

@@ -9,7 +9,9 @@
 //!   result, I/O, and per-query execution counters
 //!   ([`uncat_storage::QueryMetrics`], see `docs/METRICS.md`).
 //! * [`join`] — the join operators built on the select primitives: PETJ
-//!   (Definition 6), PEJ-top-k, and DSTJ.
+//!   (Definition 6), PEJ-top-k, and DSTJ, each with block, index, and
+//!   parallel physical plans (the parallel PEJ-top-k plan shares a rising
+//!   score floor across workers and propagates it into every probe).
 //! * [`parallel`] — batch execution across threads (each query gets its
 //!   own buffer pool, exactly like the paper's per-query setup).
 

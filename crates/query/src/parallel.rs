@@ -55,8 +55,8 @@ impl BatchPools {
         }
     }
 
-    /// Materialize the pool one query runs against.
-    fn pool(&self, store: &SharedStore) -> BufferPool {
+    /// Materialize the pool one query (or one join worker) runs against.
+    pub(crate) fn pool(&self, store: &SharedStore) -> BufferPool {
         match self {
             BatchPools::Private { frames } => BufferPool::with_capacity(store.clone(), *frames),
             BatchPools::Shared(pool) => BufferPool::from_handle(pool.handle()),

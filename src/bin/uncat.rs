@@ -16,13 +16,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use uncat::core::{CatId, EqQuery, TopKQuery, Uda};
+use uncat::core::{CatId, Divergence, EqQuery, TopKQuery, Uda};
 use uncat::datagen;
 use uncat::inverted::{InvertedIndex, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
+use uncat::query::join::{block_join, index_join, parallel_join, JoinOutcome, JoinSpec};
 use uncat::query::parallel::{batch_metrics, petq_batch_with};
-use uncat::query::{BatchPools, InvertedBackend};
-use uncat::storage::{BufferPool, FileDisk, QueryMetrics, SharedStore};
+use uncat::query::{BatchPools, InvertedBackend, ScanBaseline, UncertainIndex};
+use uncat::storage::{BufferPool, FileDisk, InMemoryDisk, QueryMetrics, SharedStore};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +47,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => query(&flags, false),
         "topk" => query(&flags, true),
         "batch" => batch(&flags),
+        "join" => join(&flags),
         "explain" => explain(&flags),
         "stats" => stats(&flags),
         "help" | "--help" | "-h" => {
@@ -70,6 +72,12 @@ usage:
                [--pool <private|shared>] [--shards <N>] [--frames <F>]
                [--threads <T>] [--n <Q>] [--tau <t>] [--zipf <s>]
                [--seed <S>] [--explain]
+  uncat join   --data <file.uds> --kind <petj|pej-topk|dstj>
+               [--plan <block|index|parallel>] [--index <inverted|pdr>]
+               [--tau <t>] [--k <k>] [--radius <r>] [--divergence <l1|l2|kl>]
+               [--outer <N>] [--zipf <s>] [--seed <S>] [--pool <private|shared>]
+               [--threads <T>] [--frames <F>] [--shards <N>] [--limit <n>]
+               [--explain]
   uncat explain --index <inverted|pdr> --pages <...> --meta <...>
                --cat <id> --tau <t>
   uncat stats  --index <inverted|pdr> --pages <...> --meta <...>
@@ -84,6 +92,13 @@ batch: run a Zipf-skewed PETQ batch on T threads. --pool private gives
   the batch against one F×T-frame pool striped over --shards shards, so
   hot pages are read once per batch. --explain adds the summed execution
   counters and, for the shared pool, a per-shard hit-rate table.
+join: join a Zipf-skewed outer relation of N certain-category probes
+  against file.uds. --plan block scans the inner relation once (no
+  index), --plan index probes the chosen index per outer tuple, --plan
+  parallel partitions the outer relation over T workers (pej-topk shares
+  a rising score floor so warm probes run as prunable threshold probes).
+  --explain prints the join's execution counter table (and the per-shard
+  hit-rate table under --pool shared).
 "#;
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -380,6 +395,163 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
         return Err(format!("{failed} queries failed"));
+    }
+    Ok(())
+}
+
+/// Join a synthesized Zipf-skewed outer relation against a stored
+/// relation under one of the three join kinds and three physical plans.
+/// The inner relation (and its index, for the index/parallel plans) is
+/// built in memory from `--data`, mirroring the bench setup, so the
+/// printed physical reads are cold-pool counts.
+fn join(flags: &HashMap<String, String>) -> Result<(), String> {
+    let data_path = need(flags, "data")?;
+    let (domain, data) = datagen::io::load(data_path).map_err(|e| e.to_string())?;
+    let kind = need(flags, "kind")?;
+    let plan = flags.get("plan").map_or("index", String::as_str);
+    let index = flags.get("index").map_or("inverted", String::as_str);
+    let outer_n: usize = flags.get("outer").map_or(Ok(64), |s| parse(s, "--outer"))?;
+    let zipf_s: f64 = flags.get("zipf").map_or(Ok(1.2), |s| parse(s, "--zipf"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "--seed"))?;
+    let threads: usize = flags
+        .get("threads")
+        .map_or(Ok(4), |s| parse(s, "--threads"))?;
+    let frames: usize = flags
+        .get("frames")
+        .map_or(Ok(100), |s| parse(s, "--frames"))?;
+    let shards: usize = flags
+        .get("shards")
+        .map_or(Ok(8), |s| parse(s, "--shards"))?;
+    let pool_kind = flags.get("pool").map_or("private", String::as_str);
+    let limit: usize = flags.get("limit").map_or(Ok(10), |s| parse(s, "--limit"))?;
+
+    let spec = match kind {
+        "petj" => JoinSpec::Petj {
+            tau: flags.get("tau").map_or(Ok(0.5), |s| parse(s, "--tau"))?,
+        },
+        "pej-topk" | "topk" => JoinSpec::PejTopK {
+            k: flags.get("k").map_or(Ok(10), |s| parse(s, "--k"))?,
+        },
+        "dstj" => JoinSpec::Dstj {
+            tau_d: flags
+                .get("radius")
+                .map_or(Ok(0.25), |s| parse(s, "--radius"))?,
+            divergence: match flags.get("divergence").map(String::as_str) {
+                None | Some("l1") => Divergence::L1,
+                Some("l2") => Divergence::L2,
+                Some("kl") => Divergence::Kl,
+                Some(other) => return Err(format!("unknown --divergence {other:?} (l1|l2|kl)")),
+            },
+        },
+        other => return Err(format!("unknown --kind {other:?} (petj|pej-topk|dstj)")),
+    };
+
+    // The outer relation: Zipf-skewed certain-category probes, disjoint
+    // tids so joined pairs are unambiguous.
+    let outer: Vec<(u64, Uda)> =
+        datagen::zipf::zipf_ranks(domain.size() as usize, zipf_s, outer_n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, rank)| (1_000_000 + i as u64, Uda::certain(CatId(rank as u32))))
+            .collect();
+
+    let store: SharedStore = InMemoryDisk::shared();
+    let mut build_pool = BufferPool::with_capacity(store.clone(), 512);
+    let t0 = std::time::Instant::now();
+    let (outcome, shared_pool): (
+        JoinOutcome,
+        Option<std::sync::Arc<uncat::storage::SharedBufferPool>>,
+    ) = match plan {
+        "block" => {
+            let scan = ScanBaseline::build(&mut build_pool, data.iter().map(|(t, u)| (*t, u)))
+                .map_err(|e| e.to_string())?;
+            build_pool.flush().map_err(|e| e.to_string())?;
+            drop(build_pool);
+            let mut pool = BufferPool::with_capacity(store.clone(), frames);
+            (
+                block_join(&outer, &scan, &mut pool, spec).map_err(|e| e.to_string())?,
+                None,
+            )
+        }
+        "index" | "parallel" => {
+            let backend: Box<dyn UncertainIndex + Sync> = match index {
+                "inverted" => Box::new(InvertedBackend::new(
+                    InvertedIndex::build(
+                        domain.clone(),
+                        &mut build_pool,
+                        data.iter().map(|(t, u)| (*t, u)),
+                    )
+                    .map_err(|e| e.to_string())?,
+                )),
+                "pdr" => Box::new(
+                    PdrTree::build(
+                        domain.clone(),
+                        PdrConfig::default(),
+                        &mut build_pool,
+                        data.iter().map(|(t, u)| (*t, u)),
+                    )
+                    .map_err(|e| e.to_string())?,
+                ),
+                other => return Err(format!("unknown index {other:?}")),
+            };
+            build_pool.flush().map_err(|e| e.to_string())?;
+            drop(build_pool);
+            if plan == "index" {
+                let mut pool = BufferPool::with_capacity(store.clone(), frames);
+                (
+                    index_join(&outer, &backend, &mut pool, spec).map_err(|e| e.to_string())?,
+                    None,
+                )
+            } else {
+                let pools = match pool_kind {
+                    "private" => BatchPools::private(frames),
+                    "shared" => BatchPools::shared(&store, frames * threads.max(1), shards),
+                    other => return Err(format!("unknown --pool {other:?} (private|shared)")),
+                };
+                let outcome = parallel_join(&outer, &backend, &store, &pools, spec, threads)
+                    .map_err(|e| e.to_string())?;
+                (outcome, pools.shared_pool().cloned())
+            }
+        }
+        other => return Err(format!("unknown --plan {other:?} (block|index|parallel)")),
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    for p in outcome.pairs.iter().take(limit) {
+        println!("({:8}, {:8})  score = {:.4}", p.left, p.right, p.score);
+    }
+    if outcome.pairs.len() > limit {
+        println!("… and {} more", outcome.pairs.len() - limit);
+    }
+    println!(
+        "{} {} pairs via {plan} plan in {elapsed:.2}s, {} physical reads",
+        outcome.pairs.len(),
+        spec.name(),
+        outcome.metrics.io.physical_reads
+    );
+    if flags.contains_key("explain") {
+        println!("execution counters:");
+        print!("{}", outcome.metrics);
+        if let Some(shared) = shared_pool {
+            println!(
+                "shared pool: {} frames over {} shards",
+                shared.capacity(),
+                shared.shard_count()
+            );
+            println!(
+                "{:<8} {:>10} {:>10} {:>10} {:>10}",
+                "shard", "logical", "hits", "reads", "hit-rate"
+            );
+            for (i, s) in shared.shard_stats().iter().enumerate() {
+                println!(
+                    "{i:<8} {:>10} {:>10} {:>10} {:>9.1}%",
+                    s.logical_reads,
+                    s.hits,
+                    s.physical_reads,
+                    s.hit_ratio() * 100.0
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -307,6 +307,80 @@ fn batch_shared_pool_beats_private_via_cli() {
     );
 }
 
+/// `join` runs all three physical plans over the same relation: every
+/// plan returns the same pair count, and `--explain` prints the counter
+/// block (plus the per-shard table when the parallel plan uses the
+/// shared pool).
+#[test]
+fn join_plans_agree_via_cli() {
+    let dir = TempDir::new("join");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "2000",
+        "--seed",
+        "17",
+        "--out",
+        &data,
+    ]);
+    assert!(ok);
+
+    let mut counts = Vec::new();
+    for plan in ["block", "index", "parallel"] {
+        let (ok, out) = uncat(&[
+            "join", "--data", &data, "--kind", "petj", "--tau", "0.5", "--plan", plan, "--outer",
+            "32", "--seed", "23",
+        ]);
+        assert!(ok, "join --plan {plan} failed: {out}");
+        let line = out
+            .lines()
+            .find(|l| l.contains("pairs via"))
+            .unwrap_or_else(|| panic!("no summary line: {out}"));
+        counts.push(
+            line.split_whitespace()
+                .next()
+                .expect("pair count")
+                .to_owned(),
+        );
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "plans disagree on pair count: {counts:?}"
+    );
+
+    let (ok, out) = uncat(&[
+        "join",
+        "--data",
+        &data,
+        "--kind",
+        "pej-topk",
+        "--k",
+        "8",
+        "--plan",
+        "parallel",
+        "--pool",
+        "shared",
+        "--threads",
+        "4",
+        "--shards",
+        "8",
+        "--outer",
+        "32",
+        "--seed",
+        "23",
+        "--explain",
+    ]);
+    assert!(ok, "parallel pej-topk failed: {out}");
+    assert!(out.contains("8 pej-topk pairs"), "wrong count: {out}");
+    assert!(out.contains("execution counters:"), "missing block: {out}");
+    for name in ["postings_scanned", "io.physical_reads", "hit-rate"] {
+        assert!(out.contains(name), "explain output missing {name}: {out}");
+    }
+}
+
 #[test]
 fn cli_rejects_bad_usage() {
     let (ok, out) = uncat(&["frobnicate"]);

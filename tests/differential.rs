@@ -15,11 +15,24 @@ use proptest::prelude::*;
 use uncat::core::query::{DstQuery, EqQuery, Match, TopKQuery};
 use uncat::core::{CatId, Divergence, Domain, Uda};
 use uncat::prelude::*;
-use uncat::query::{InvertedBackend, ScanBaseline, UncertainIndex};
+use uncat::query::join::{
+    block_join_metered, index_join, index_join_metered, parallel_join, JoinPair, JoinSpec,
+};
+use uncat::query::{BatchPools, InvertedBackend, ScanBaseline, UncertainIndex};
 use uncat_inverted::{InvertedIndex, Strategy as SearchStrategy};
 use uncat_pdrtree::{PdrConfig, PdrTree};
 
 const CATS: u32 = 8;
+
+/// Cases per property: `default`, or the `PROPTEST_CASES` environment
+/// variable when set (the nightly CI job raises it to 256; the vendored
+/// proptest does not read the variable itself).
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Strategy: a valid sparse UDA over `cats` categories.
 fn uda_strategy(cats: u32) -> impl Strategy<Value = Uda> {
@@ -85,6 +98,57 @@ fn all_backends(
     backends
 }
 
+/// Outer relation for join tests: tids are offset so they never collide
+/// with inner tids and a swapped left/right shows up immediately.
+fn outer_strategy(cats: u32, max_n: usize) -> impl Strategy<Value = Vec<(u64, Uda)>> {
+    prop::collection::vec(uda_strategy(cats), 1..=max_n).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, u)| (1_000_000 + i as u64, u))
+            .collect()
+    })
+}
+
+/// One of the paper's three join forms, with generated parameters
+/// (selector-and-map in place of `prop_oneof`, which the vendored
+/// proptest does not provide).
+fn spec_strategy() -> impl Strategy<Value = JoinSpec> {
+    (0u32..6, 0.01f64..0.9, 1usize..12).prop_map(|(sel, t, k)| match sel {
+        0 | 1 => JoinSpec::Petj { tau: t },
+        2 | 3 => JoinSpec::PejTopK { k },
+        4 => JoinSpec::Dstj {
+            tau_d: t * 1.6,
+            divergence: Divergence::L1,
+        },
+        _ => JoinSpec::Dstj {
+            tau_d: t * 1.6,
+            divergence: Divergence::L2,
+        },
+    })
+}
+
+/// Same pairs, same order, scores within 1e-9 of the reference.
+fn assert_pairs_agree(what: &str, name: &str, reference: &[JoinPair], got: &[JoinPair]) {
+    assert_eq!(
+        got.iter().map(|p| (p.left, p.right)).collect::<Vec<_>>(),
+        reference
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect::<Vec<_>>(),
+        "{what}: {name} returned different pairs than the block plan"
+    );
+    for (r, g) in reference.iter().zip(got) {
+        assert!(
+            (r.score - g.score).abs() <= 1e-9,
+            "{what}: {name} scored pair ({}, {}) as {} vs {}",
+            g.left,
+            g.right,
+            g.score,
+            r.score
+        );
+    }
+}
+
 /// Same tuples, same order, scores within 1e-9 of the reference.
 fn assert_matches_agree(what: &str, name: &str, reference: &[Match], got: &[Match]) {
     assert_eq!(
@@ -104,7 +168,7 @@ fn assert_matches_agree(what: &str, name: &str, reference: &[Match], got: &[Matc
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
 
     #[test]
     fn petq_agrees_across_every_index_and_strategy(
@@ -157,5 +221,92 @@ proptest! {
                 assert_matches_agree("dstq", name, &reference, &got);
             }
         }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    // See `check_join_plans_agree` for the property; the body lives in a
+    // plain function because `proptest!`'s recursive expansion is
+    // token-hungry.
+    #[test]
+    fn join_plans_agree_across_backends(
+        tuples in dataset_strategy(CATS, 40),
+        outer in outer_strategy(CATS, 10),
+        spec in spec_strategy(),
+        threads in 1usize..4,
+    ) {
+        check_join_plans_agree(&tuples, &outer, spec, threads);
+    }
+}
+
+fn check_join_plans_agree(
+    tuples: &[(u64, Uda)],
+    outer: &[(u64, Uda)],
+    spec: JoinSpec,
+    threads: usize,
+) {
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 100);
+    let scan = ScanBaseline::build(&mut pool, tuples.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    let inv = InvertedBackend::new(
+        InvertedIndex::build(
+            Domain::anonymous(CATS),
+            &mut pool,
+            tuples.iter().map(|(t, u)| (*t, u)),
+        )
+        .expect("in-memory build"),
+    );
+    let pdr = PdrTree::build(
+        Domain::anonymous(CATS),
+        PdrConfig::default(),
+        &mut pool,
+        tuples.iter().map(|(t, u)| (*t, u)),
+    )
+    .expect("in-memory build");
+    pool.flush().expect("in-memory flush");
+
+    let reference = block_join_metered(outer, &scan, &mut pool, spec, &mut QueryMetrics::new())
+        .expect("in-memory join");
+
+    let seq = index_join(outer, &inv, &mut pool, spec).expect("in-memory join");
+    assert_pairs_agree("join", "index/inverted", &reference, &seq.pairs);
+    let got = index_join_metered(outer, &pdr, &mut pool, spec, &mut QueryMetrics::new())
+        .expect("in-memory join");
+    assert_pairs_agree("join", "index/pdr-tree", &reference, &got);
+
+    let par = parallel_join(
+        outer,
+        &inv,
+        &store,
+        &BatchPools::private(100),
+        spec,
+        threads,
+    )
+    .expect("in-memory join");
+    assert_pairs_agree("join", "parallel/inverted", &reference, &par.pairs);
+
+    if !matches!(spec, JoinSpec::PejTopK { .. }) {
+        // PEJ-top-k probe work depends on floor timing; threshold joins
+        // must match counter for counter.
+        let mut par_counters = par.metrics;
+        let mut seq_counters = seq.metrics;
+        assert_eq!(
+            par_counters.io.logical_reads,
+            seq_counters.io.logical_reads,
+            "{}: logical accesses are partition-independent",
+            spec.name()
+        );
+        par_counters.io = IoStats::default();
+        seq_counters.io = IoStats::default();
+        assert_eq!(
+            par_counters,
+            seq_counters,
+            "{}: counters must sum exactly",
+            spec.name()
+        );
     }
 }
