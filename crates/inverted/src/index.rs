@@ -123,9 +123,11 @@ impl InvertedIndex {
         let mut per_cat: BTreeMap<CatId, Vec<[u8; crate::postings::KEY_LEN]>> = BTreeMap::new();
         for (tid, uda) in tuples {
             debug_assert!(uda.max_cat().is_none_or(|c| idx.domain.contains(c)));
+            if idx.rids.contains_key(&tid) {
+                return Err(StorageError::Duplicate { key: tid });
+            }
             let rid = idx.heap.insert(pool, &encode_record(tid, uda))?;
-            let prev = idx.rids.insert(tid, rid);
-            assert!(prev.is_none(), "duplicate tuple id {tid}");
+            idx.rids.insert(tid, rid);
             for (cat, p) in uda.iter() {
                 per_cat.entry(cat).or_default().push(posting_key(p, tid));
             }
@@ -141,11 +143,14 @@ impl InvertedIndex {
         Ok(idx)
     }
 
-    /// Insert one tuple. Panics on a duplicate tuple id.
+    /// Insert one tuple. A duplicate tuple id is rejected with
+    /// [`StorageError::Duplicate`] before anything is modified.
     pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<()> {
+        if self.rids.contains_key(&tid) {
+            return Err(StorageError::Duplicate { key: tid });
+        }
         let rid = self.heap.insert(pool, &encode_record(tid, uda))?;
-        let prev = self.rids.insert(tid, rid);
-        assert!(prev.is_none(), "duplicate tuple id {tid}");
+        self.rids.insert(tid, rid);
         for (cat, p) in uda.iter() {
             let tree = match self.postings.entry(cat) {
                 std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
@@ -156,6 +161,21 @@ impl InvertedIndex {
             tree.insert(pool, &posting_key(p, tid), &[])?;
         }
         Ok(())
+    }
+
+    /// Upsert a tuple: replace its distribution if present (delete plus
+    /// probability-ordered reinsertion — posting keys sort by descending
+    /// probability, so reinserting re-establishes list order), insert it
+    /// otherwise. Returns whether a previous distribution was replaced.
+    pub fn update(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<bool> {
+        let existed = self.delete(pool, tid)?;
+        self.insert(pool, tid, uda)?;
+        Ok(existed)
+    }
+
+    /// Whether `tid` is indexed (in-memory lookup, no I/O).
+    pub fn contains(&self, tid: u64) -> bool {
+        self.rids.contains_key(&tid)
     }
 
     /// Delete a tuple. Returns whether it existed.
@@ -490,11 +510,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate tuple id")]
-    fn duplicate_tid_panics() {
+    fn duplicate_tid_is_a_typed_error() {
         let mut p = pool();
         let mut idx = InvertedIndex::new(Domain::anonymous(2));
         idx.insert(&mut p, 1, &uda(&[(0, 1.0)])).unwrap();
-        let _ = idx.insert(&mut p, 1, &uda(&[(1, 1.0)]));
+        assert_eq!(
+            idx.insert(&mut p, 1, &uda(&[(1, 1.0)])),
+            Err(StorageError::Duplicate { key: 1 })
+        );
+        // The rejected insert modified nothing: the original
+        // distribution and postings are intact.
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get_tuple(&mut p, 1).unwrap().unwrap(), uda(&[(0, 1.0)]));
+        assert_eq!(idx.check_invariants(&mut p).unwrap(), 1);
+        // build() rejects duplicates the same way.
+        let dup = [(5u64, uda(&[(0, 1.0)])), (5, uda(&[(1, 1.0)]))];
+        assert_eq!(
+            InvertedIndex::build(
+                Domain::anonymous(2),
+                &mut p,
+                dup.iter().map(|(t, u)| (*t, u)),
+            )
+            .err(),
+            Some(StorageError::Duplicate { key: 5 })
+        );
+    }
+
+    #[test]
+    fn update_replaces_in_probability_order() {
+        let mut p = pool();
+        let mut idx = InvertedIndex::new(Domain::anonymous(4));
+        idx.insert(&mut p, 1, &uda(&[(0, 0.9), (1, 0.1)])).unwrap();
+        idx.insert(&mut p, 2, &uda(&[(0, 0.5), (2, 0.5)])).unwrap();
+        assert!(idx.contains(1));
+        assert!(!idx.contains(9));
+        // Replace tuple 1's distribution entirely.
+        assert!(idx.update(&mut p, 1, &uda(&[(2, 0.3), (3, 0.7)])).unwrap());
+        assert_eq!(idx.list_len(CatId(0)), 1, "old postings removed");
+        assert_eq!(idx.list_len(CatId(1)), 0);
+        assert_eq!(idx.list_len(CatId(2)), 2);
+        assert_eq!(idx.list_len(CatId(3)), 1);
+        assert_eq!(
+            idx.get_tuple(&mut p, 1).unwrap().unwrap(),
+            uda(&[(2, 0.3), (3, 0.7)])
+        );
+        // Upsert of a fresh tid inserts.
+        assert!(!idx.update(&mut p, 3, &uda(&[(0, 1.0)])).unwrap());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.check_invariants(&mut p).unwrap(), 3);
+        // Queries see the updated state.
+        let q = uncat_core::query::EqQuery::new(Uda::certain(CatId(2)), 0.2);
+        let mut tids: Vec<u64> = idx
+            .petq(&mut p, &q, crate::Strategy::Nra)
+            .unwrap()
+            .iter()
+            .map(|m| m.tid)
+            .collect();
+        tids.sort_unstable();
+        assert_eq!(tids, vec![1, 2]);
     }
 }

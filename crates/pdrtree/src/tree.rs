@@ -1,7 +1,7 @@
 //! The PDR-tree structure: creation, insertion, deletion.
 
 use uncat_core::{Domain, Uda};
-use uncat_storage::{BufferPool, PageId, Result, PAGE_SIZE};
+use uncat_storage::{BufferPool, PageId, Result, StorageError, PAGE_SIZE};
 
 use crate::boundary::Boundary;
 use crate::config::PdrConfig;
@@ -135,11 +135,18 @@ impl PdrTree {
     }
 
     /// Insert a distribution.
+    ///
+    /// A UDA too wide to share a node page with a sibling is rejected
+    /// with [`StorageError::RecordTooLarge`] before anything is modified
+    /// (the split algorithms need two entries per page).
     pub fn insert(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<()> {
-        assert!(
-            leaf_entry_size(uda) <= NODE_BUDGET / 2,
-            "UDA too wide to share a page with a sibling"
-        );
+        let size = leaf_entry_size(uda);
+        if size > NODE_BUDGET / 2 {
+            return Err(StorageError::RecordTooLarge {
+                len: size,
+                max: NODE_BUDGET / 2,
+            });
+        }
         if let Some((left, right)) = self.insert_rec(pool, self.root, tid, uda)? {
             // Root split: grow a new root above.
             let new_root = pool.allocate()?;
@@ -329,42 +336,133 @@ impl PdrTree {
     /// Delete tuple `tid`, whose stored distribution must equal `uda`.
     ///
     /// The distribution guides the descent: only subtrees whose boundary
-    /// dominates it can hold the tuple. Boundaries are *not* shrunk (they
-    /// remain valid over-estimates), matching the usual lazy R-tree
-    /// deletion. Returns whether the tuple was found.
+    /// dominates it can hold the tuple. Boundaries along the removal path
+    /// are recomputed from the surviving entries (repair), so they stay
+    /// tight — a recomputed boundary is still a valid over-estimate for
+    /// every remaining tuple, just no wider than needed. Returns whether
+    /// the tuple was found.
     pub fn delete(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<bool> {
-        if self.delete_rec(pool, self.root, tid, uda)? {
-            self.len -= 1;
-            Ok(true)
-        } else {
-            Ok(false)
+        Ok(self.delete_impl(pool, tid, Some(uda))?.is_some())
+    }
+
+    /// Delete tuple `tid` without knowing its distribution (unguided: the
+    /// descent cannot prune, so the worst case is a full traversal).
+    /// Returns the removed distribution, or `None` if the tuple was not
+    /// stored. Boundaries along the removal path are repaired as in
+    /// [`PdrTree::delete`].
+    pub fn delete_by_tid(&mut self, pool: &mut BufferPool, tid: u64) -> Result<Option<Uda>> {
+        self.delete_impl(pool, tid, None)
+    }
+
+    /// Upsert: replace `tid`'s distribution if present, insert it
+    /// otherwise. Returns whether a previous distribution was replaced.
+    pub fn update(&mut self, pool: &mut BufferPool, tid: u64, uda: &Uda) -> Result<bool> {
+        let existed = self.delete_by_tid(pool, tid)?.is_some();
+        self.insert(pool, tid, uda)?;
+        Ok(existed)
+    }
+
+    /// Look up `tid`'s stored distribution (unguided full traversal in
+    /// the worst case — the tree is keyed by distribution, not id).
+    pub fn find_tuple(&self, pool: &mut BufferPool, tid: u64) -> Result<Option<Uda>> {
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            match read_node(pool, pid, self.config.compression)? {
+                Node::Leaf(entries) => {
+                    if let Some(e) = entries.into_iter().find(|e| e.tid == tid) {
+                        return Ok(Some(e.uda));
+                    }
+                }
+                Node::Internal(children) => stack.extend(children.iter().map(|c| c.pid)),
+            }
+        }
+        Ok(None)
+    }
+
+    fn delete_impl(
+        &mut self,
+        pool: &mut BufferPool,
+        tid: u64,
+        guide: Option<&Uda>,
+    ) -> Result<Option<Uda>> {
+        match self.delete_rec(pool, self.root, tid, guide)? {
+            Removal::NotFound => Ok(None),
+            Removal::Removed { uda, boundary } => {
+                self.len -= 1;
+                if boundary.is_none() && self.depth > 1 {
+                    // The root emptied out: collapse it back to depth 1.
+                    write_node(
+                        pool,
+                        self.root,
+                        &Node::Leaf(Vec::new()),
+                        self.config.compression,
+                    )?;
+                    self.depth = 1;
+                }
+                Ok(Some(uda))
+            }
         }
     }
 
+    /// Recursive delete with boundary repair. On removal, returns the
+    /// boundary recomputed from the node's surviving entries (`None` when
+    /// the node is now empty, telling the parent to drop its reference —
+    /// the emptied page is orphaned, like pages freed by merges; a later
+    /// checkpoint-compaction could reclaim them).
     fn delete_rec(
         &mut self,
         pool: &mut BufferPool,
         pid: PageId,
         tid: u64,
-        uda: &Uda,
-    ) -> Result<bool> {
+        guide: Option<&Uda>,
+    ) -> Result<Removal> {
         let compression = self.config.compression;
         match read_node(pool, pid, compression)? {
             Node::Leaf(mut entries) => {
                 let Some(i) = entries.iter().position(|e| e.tid == tid) else {
-                    return Ok(false);
+                    return Ok(Removal::NotFound);
                 };
-                entries.remove(i);
+                let removed = entries.remove(i);
+                let boundary = (!entries.is_empty()).then(|| {
+                    let mut b = Boundary::empty(compression);
+                    for e in &entries {
+                        b.merge_uda(&e.uda);
+                    }
+                    b
+                });
                 write_node(pool, pid, &Node::Leaf(entries), compression)?;
-                Ok(true)
+                Ok(Removal::Removed {
+                    uda: removed.uda,
+                    boundary,
+                })
             }
-            Node::Internal(children) => {
-                for c in &children {
-                    if c.boundary.dominates(uda) && self.delete_rec(pool, c.pid, tid, uda)? {
-                        return Ok(true);
+            Node::Internal(mut children) => {
+                for i in 0..children.len() {
+                    if guide.is_some_and(|u| !children[i].boundary.dominates(u)) {
+                        continue;
+                    }
+                    match self.delete_rec(pool, children[i].pid, tid, guide)? {
+                        Removal::NotFound => continue,
+                        Removal::Removed { uda, boundary } => {
+                            match boundary {
+                                Some(b) => children[i].boundary = b,
+                                None => {
+                                    children.remove(i);
+                                }
+                            }
+                            let boundary = (!children.is_empty()).then(|| {
+                                let mut b = Boundary::empty(compression);
+                                for c in &children {
+                                    b.merge_boundary(&c.boundary);
+                                }
+                                b
+                            });
+                            write_node(pool, pid, &Node::Internal(children), compression)?;
+                            return Ok(Removal::Removed { uda, boundary });
+                        }
                     }
                 }
-                Ok(false)
+                Ok(Removal::NotFound)
             }
         }
     }
@@ -462,6 +560,18 @@ impl PdrTree {
 
 fn clone_uda(u: &Uda) -> Uda {
     u.clone()
+}
+
+/// Outcome of a recursive delete (see [`PdrTree::delete_rec`]).
+enum Removal {
+    /// The subtree does not hold the tuple.
+    NotFound,
+    /// The tuple was removed; `boundary` is the subtree's repaired
+    /// boundary (`None` = the subtree is now empty).
+    Removed {
+        uda: Uda,
+        boundary: Option<Boundary>,
+    },
 }
 
 /// Structural statistics returned by [`PdrTree::stats`].
@@ -727,11 +837,122 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too wide")]
-    fn oversized_uda_rejected() {
+    fn oversized_uda_is_a_typed_error() {
         let mut p = pool();
         let mut t = PdrTree::new(Domain::anonymous(2000), PdrConfig::default(), &mut p).unwrap();
         let wide = Uda::from_pairs((0..1000).map(|i| (CatId(i), 0.001f32))).unwrap();
-        let _ = t.insert(&mut p, 0, &wide);
+        assert!(matches!(
+            t.insert(&mut p, 0, &wide),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        assert!(t.is_empty(), "rejected insert modifies nothing");
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn delete_repairs_boundaries_tightly() {
+        // After deleting every tuple that touches a category, repaired
+        // boundaries must no longer dominate that category — a query UDA
+        // concentrated there prunes at the root instead of descending.
+        let mut p = pool();
+        let data = synth(1200, 6, 13);
+        let mut t = PdrTree::build(
+            Domain::anonymous(6),
+            PdrConfig::default(),
+            &mut p,
+            data.iter().map(|(i, u)| (*i, u)),
+        )
+        .unwrap();
+        let touches_cat0 = |u: &Uda| u.iter().any(|(c, _)| c == CatId(0));
+        let mut survivors = 0u64;
+        for (tid, u) in &data {
+            if touches_cat0(u) {
+                assert!(t.delete(&mut p, *tid, u).unwrap());
+            } else {
+                survivors += 1;
+            }
+        }
+        assert_eq!(t.len(), survivors);
+        assert_eq!(t.check_invariants(&mut p).unwrap(), survivors);
+        // Every surviving boundary was recomputed without cat 0, so the
+        // root's children must not report any support there.
+        let root = read_node(&mut p, t.root(), t.config().compression).unwrap();
+        let certain0 = Uda::certain(CatId(0));
+        if let Node::Internal(children) = root {
+            for c in &children {
+                assert!(
+                    !c.boundary.dominates(&certain0),
+                    "repaired boundary still spans the emptied category"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delete_by_tid_returns_the_stored_distribution() {
+        let mut p = pool();
+        let data = synth(500, 6, 21);
+        let mut t = PdrTree::build(
+            Domain::anonymous(6),
+            PdrConfig::default(),
+            &mut p,
+            data.iter().map(|(i, u)| (*i, u)),
+        )
+        .unwrap();
+        assert_eq!(
+            t.find_tuple(&mut p, 123).unwrap().as_ref(),
+            Some(&data[123].1)
+        );
+        assert_eq!(
+            t.delete_by_tid(&mut p, 123).unwrap(),
+            Some(data[123].1.clone())
+        );
+        assert_eq!(t.delete_by_tid(&mut p, 123).unwrap(), None, "double delete");
+        assert_eq!(t.find_tuple(&mut p, 123).unwrap(), None);
+        assert_eq!(t.len(), 499);
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 499);
+    }
+
+    #[test]
+    fn update_is_an_upsert() {
+        let mut p = pool();
+        let data = synth(300, 6, 31);
+        let mut t = PdrTree::build(
+            Domain::anonymous(6),
+            PdrConfig::default(),
+            &mut p,
+            data.iter().map(|(i, u)| (*i, u)),
+        )
+        .unwrap();
+        let fresh = Uda::from_pairs([(CatId(5), 1.0f32)]).unwrap();
+        assert!(t.update(&mut p, 7, &fresh).unwrap(), "7 existed");
+        assert!(!t.update(&mut p, 900, &fresh).unwrap(), "900 is new");
+        assert_eq!(t.len(), 301);
+        assert_eq!(t.find_tuple(&mut p, 7).unwrap(), Some(fresh.clone()));
+        assert_eq!(t.find_tuple(&mut p, 900).unwrap(), Some(fresh));
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 301);
+    }
+
+    #[test]
+    fn deleting_everything_collapses_to_an_empty_leaf() {
+        let mut p = pool();
+        let data = synth(900, 6, 37);
+        let mut t = PdrTree::build(
+            Domain::anonymous(6),
+            PdrConfig::default(),
+            &mut p,
+            data.iter().map(|(i, u)| (*i, u)),
+        )
+        .unwrap();
+        assert!(t.depth() >= 2);
+        for (tid, _) in &data {
+            assert!(t.delete_by_tid(&mut p, *tid).unwrap().is_some());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 1, "empty tree is a single leaf again");
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 0);
+        // And it is insertable again.
+        t.insert(&mut p, 1, &data[0].1).unwrap();
+        assert_eq!(t.check_invariants(&mut p).unwrap(), 1);
     }
 }

@@ -14,16 +14,25 @@
 //!   score floor across workers and propagates it into every probe).
 //! * [`parallel`] — batch execution across threads (each query gets its
 //!   own buffer pool, exactly like the paper's per-query setup).
+//! * [`durable`] — [`DurableIndex`], crash-safe online mutation for both
+//!   paper indexes: write-ahead logging with group commit, no-steal
+//!   buffering, redo-journaled checkpoints, and recovery that truncates
+//!   torn log tails and replays the rest (DESIGN.md §6f).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 mod executor;
 mod index_trait;
 pub mod join;
 pub mod parallel;
 mod scan;
 
+pub use durable::{
+    split_snapshot, CheckpointCrash, DurableConfig, DurableIndex, DurableStorage, FileSlot,
+    LogRecord, MemSlot, MutableBackend, RecoveryReport, SnapshotSlot,
+};
 pub use executor::{aggregate_metrics, Executor, QueryOutcome};
 pub use index_trait::{InvertedBackend, UncertainIndex};
 pub use parallel::BatchPools;

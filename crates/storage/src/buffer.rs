@@ -73,6 +73,7 @@ struct Private {
     hand: usize,
     capacity: usize,
     policy: Replacement,
+    no_steal: bool,
     tick: u64,
     stats: IoStats,
 }
@@ -99,9 +100,89 @@ impl BufferPool {
                 hand: 0,
                 capacity,
                 policy,
+                no_steal: false,
                 tick: 0,
                 stats: IoStats::default(),
             }),
+        }
+    }
+
+    /// Private pool under the *no-steal* discipline: dirty frames are
+    /// never written back to the store — not by eviction (dirty frames
+    /// are ineligible victims), not on drop. Durable pages therefore
+    /// always hold the state of the last explicit installation (the
+    /// checkpoint discipline of `uncat_query`'s durable index); a pool
+    /// whose frames are all dirty reports [`StorageError::PoolExhausted`]
+    /// rather than stealing one. [`flush`](BufferPool::flush) remains
+    /// available as the *explicit* install path.
+    pub fn new_no_steal(store: SharedStore, capacity: usize) -> BufferPool {
+        let mut pool = BufferPool::with_policy(store, capacity, Replacement::Clock);
+        match &mut pool.inner {
+            Inner::Private(p) => p.no_steal = true,
+            Inner::Shared(_) => unreachable!("with_policy builds a private pool"),
+        }
+        pool
+    }
+
+    /// Whether this pool runs the no-steal discipline.
+    pub fn is_no_steal(&self) -> bool {
+        match &self.inner {
+            Inner::Private(p) => p.no_steal,
+            Inner::Shared(_) => false,
+        }
+    }
+
+    /// Number of dirty (not-yet-written-back) resident frames. Only
+    /// meaningful on a private pool; a shared backing reports 0 because
+    /// its dirty frames belong to every query at once.
+    pub fn dirty_count(&self) -> usize {
+        match &self.inner {
+            Inner::Private(p) => p.frames.iter().filter(|f| f.dirty).count(),
+            Inner::Shared(_) => 0,
+        }
+    }
+
+    /// Clone the after-images of every dirty frame (page id ascending, so
+    /// output is deterministic). This is the checkpoint's redo source:
+    /// the pages whose durable copies are stale.
+    ///
+    /// # Panics
+    /// On a shared backing — checkpoint bookkeeping requires a private
+    /// (typically no-steal) pool.
+    pub fn dirty_pages(&self) -> Vec<(PageId, PageBuf)> {
+        match &self.inner {
+            Inner::Private(p) => {
+                let mut pages: Vec<(PageId, PageBuf)> = p
+                    .frames
+                    .iter()
+                    .filter(|f| f.dirty)
+                    .map(|f| (f.pid, f.buf.clone()))
+                    .collect();
+                pages.sort_by_key(|(pid, _)| *pid);
+                pages
+            }
+            Inner::Shared(_) => {
+                panic!("dirty-page bookkeeping requires a private pool")
+            }
+        }
+    }
+
+    /// Mark every frame clean *without* writing anything back: the caller
+    /// has installed the dirty images through another channel (a
+    /// committed checkpoint).
+    ///
+    /// # Panics
+    /// On a shared backing (see [`BufferPool::dirty_pages`]).
+    pub fn mark_all_clean(&mut self) {
+        match &mut self.inner {
+            Inner::Private(p) => {
+                for frame in &mut p.frames {
+                    frame.dirty = false;
+                }
+            }
+            Inner::Shared(_) => {
+                panic!("dirty-page bookkeeping requires a private pool")
+            }
         }
     }
 
@@ -302,21 +383,34 @@ impl Private {
             });
             return Ok(self.frames.len() - 1);
         }
+        let no_steal = self.no_steal;
         let slot = match self.policy {
-            Replacement::Clock => loop {
-                let slot = self.hand;
-                self.hand = (self.hand + 1) % self.frames.len();
-                let frame = &mut self.frames[slot];
-                if frame.referenced {
-                    frame.referenced = false; // second chance
-                } else {
-                    break slot;
+            Replacement::Clock => {
+                // Two sweeps clear every reference bit, so a third pass is
+                // guaranteed a victim — unless no-steal pins every dirty
+                // frame, in which case an all-dirty pool is exhausted.
+                let mut chosen = None;
+                for _ in 0..3 * self.frames.len() {
+                    let slot = self.hand;
+                    self.hand = (self.hand + 1) % self.frames.len();
+                    let frame = &mut self.frames[slot];
+                    if no_steal && frame.dirty {
+                        continue;
+                    }
+                    if frame.referenced {
+                        frame.referenced = false; // second chance
+                    } else {
+                        chosen = Some(slot);
+                        break;
+                    }
                 }
-            },
+                chosen.ok_or(StorageError::PoolExhausted)?
+            }
             Replacement::Lru => self
                 .frames
                 .iter()
                 .enumerate()
+                .filter(|(_, f)| !(no_steal && f.dirty))
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
                 .ok_or(StorageError::PoolExhausted)?,
@@ -351,8 +445,13 @@ impl Drop for Private {
         // Best-effort writeback; errors here have no caller to report to
         // and must not turn into a panic during unwinding. A shared
         // backing is deliberately NOT flushed on handle drop — its dirty
-        // frames belong to the pool, which outlives any one query.
-        let _ = self.flush();
+        // frames belong to the pool, which outlives any one query. A
+        // no-steal pool must not flush either: its dirty frames are
+        // exactly the pages the durability protocol keeps off the store
+        // until a checkpoint, and the WAL already covers them.
+        if !self.no_steal {
+            let _ = self.flush();
+        }
     }
 }
 
@@ -616,6 +715,79 @@ mod tests {
         let mut p = BufferPool::with_capacity(faults, 2);
         assert_eq!(p.allocate(), Err(StorageError::NoSpace));
         assert!(p.allocate().is_ok());
+    }
+
+    #[test]
+    fn no_steal_never_writes_dirty_pages_to_the_store() {
+        let store = InMemoryDisk::shared();
+        // Pre-allocate pages through a normal pool so the store has them.
+        let pids: Vec<PageId> = {
+            let mut w = BufferPool::with_capacity(store.clone(), 8);
+            let v: Vec<PageId> = (0..4).map(|_| w.allocate().unwrap()).collect();
+            w.flush().unwrap();
+            v
+        };
+        {
+            let mut p = BufferPool::new_no_steal(store.clone(), 2);
+            assert!(p.is_no_steal());
+            p.write(pids[0], |b| b[0] = 1).unwrap();
+            // One clean slot left: reading the others cycles through it
+            // without ever touching the dirty frame.
+            for &pid in &pids[1..] {
+                p.read(pid, |_| ()).unwrap();
+            }
+            assert_eq!(p.dirty_count(), 1);
+            assert_eq!(p.stats().physical_writes, 0, "no-steal: no writeback");
+            // Dropping the pool must not flush either.
+        }
+        let mut check = BufferPool::with_capacity(store, 2);
+        assert_eq!(
+            check.read(pids[0], |b| b[0]).unwrap(),
+            0,
+            "durable page keeps its pre-mutation image"
+        );
+    }
+
+    #[test]
+    fn no_steal_all_dirty_pool_is_exhausted_not_stolen() {
+        let store = InMemoryDisk::shared();
+        let mut p = BufferPool::new_no_steal(store, 2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        assert_eq!(p.dirty_count(), 2, "fresh pages are dirty");
+        assert_eq!(p.allocate(), Err(StorageError::PoolExhausted));
+        // The two dirty pages are intact and the store untouched.
+        p.read(a, |_| ()).unwrap();
+        p.read(b, |_| ()).unwrap();
+        assert_eq!(p.stats().physical_writes, 0);
+    }
+
+    #[test]
+    fn dirty_pages_and_mark_all_clean_drive_the_checkpoint_protocol() {
+        let store = InMemoryDisk::shared();
+        let mut p = BufferPool::new_no_steal(store.clone(), 4);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.write(b, |buf| buf[9] = 42).unwrap();
+        let dirty = p.dirty_pages();
+        assert_eq!(
+            dirty.iter().map(|(pid, _)| *pid).collect::<Vec<_>>(),
+            {
+                let mut v = vec![a, b];
+                v.sort();
+                v
+            },
+            "deterministic ascending order"
+        );
+        // Install through the side channel (what a checkpoint does) …
+        for (pid, buf) in &dirty {
+            store.write(*pid, buf).unwrap();
+        }
+        p.mark_all_clean();
+        assert_eq!(p.dirty_count(), 0);
+        // … and the durable copies now match the cached images.
+        let mut check = BufferPool::with_capacity(store, 4);
+        assert_eq!(check.read(b, |buf| buf[9]).unwrap(), 42);
     }
 
     #[test]

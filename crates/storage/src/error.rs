@@ -32,6 +32,15 @@ pub type Result<T> = std::result::Result<T, StorageError>;
 ///   (ENOSPC-class conditions).
 /// * [`Corrupt`](StorageError::Corrupt) — page bytes passed physical
 ///   checks but do not decode as the expected structure.
+/// * [`Duplicate`](StorageError::Duplicate) — an insert named a key that
+///   already exists; nothing was modified.
+/// * [`RecordTooLarge`](StorageError::RecordTooLarge) — the record cannot
+///   fit the page-size budget of its container; nothing was modified.
+/// * [`EmptyRecord`](StorageError::EmptyRecord) — zero-length records are
+///   not storable (length 0 marks a tombstone); nothing was modified.
+/// * [`Poisoned`](StorageError::Poisoned) — a durable index hit a failure
+///   after logging a mutation, so its in-memory state may disagree with
+///   the log; reopen (recover) to restore consistency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
     /// The OS-level operation `op` failed with `detail`.
@@ -66,6 +75,23 @@ pub enum StorageError {
     NoSpace,
     /// Page bytes decode to an invalid structure.
     Corrupt(&'static str),
+    /// An insert named a key (tuple id) that already exists.
+    Duplicate {
+        /// The duplicated key.
+        key: u64,
+    },
+    /// A record exceeds its container's budget.
+    RecordTooLarge {
+        /// Size of the offending record in bytes.
+        len: usize,
+        /// Largest storable size in bytes.
+        max: usize,
+    },
+    /// A zero-length record was offered for storage.
+    EmptyRecord,
+    /// The in-memory state of a durable index was poisoned by an earlier
+    /// post-log failure; reopen to recover.
+    Poisoned,
 }
 
 impl std::fmt::Display for StorageError {
@@ -100,6 +126,24 @@ impl std::fmt::Display for StorageError {
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted"),
             StorageError::NoSpace => write!(f, "out of space allocating a page"),
             StorageError::Corrupt(what) => write!(f, "corrupt page structure: {what}"),
+            StorageError::Duplicate { key } => {
+                write!(f, "duplicate tuple id {key}")
+            }
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds the {max}-byte budget")
+            }
+            StorageError::EmptyRecord => {
+                write!(
+                    f,
+                    "empty records are not storable (length 0 marks a tombstone)"
+                )
+            }
+            StorageError::Poisoned => {
+                write!(
+                    f,
+                    "durable index state poisoned by an earlier failure; reopen to recover"
+                )
+            }
         }
     }
 }
@@ -130,5 +174,21 @@ mod tests {
             e.to_string().contains("read") && e.to_string().contains("boom"),
             "{e}"
         );
+    }
+
+    #[test]
+    fn mutation_variants_name_their_cause() {
+        let e = StorageError::Duplicate { key: 17 };
+        assert!(e.to_string().contains("17"), "{e}");
+        let e = StorageError::RecordTooLarge {
+            len: 9000,
+            max: 8000,
+        };
+        assert!(
+            e.to_string().contains("9000") && e.to_string().contains("8000"),
+            "{e}"
+        );
+        assert!(StorageError::EmptyRecord.to_string().contains("tombstone"));
+        assert!(StorageError::Poisoned.to_string().contains("reopen"));
     }
 }

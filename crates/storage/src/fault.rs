@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use crate::disk::{PageStore, SharedStore};
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PAGE_SIZE};
+use crate::wal::{LogDevice, SharedLog};
 
 /// A failure to inject, with its trigger point. Each `after` counts
 /// operations of the fault's kind on this store, starting at 1; a fault
@@ -241,6 +242,237 @@ impl PageStore for FaultStore {
     }
 }
 
+/// A failure to inject into a [`LogDevice`], with its trigger point. Like
+/// [`Fault`], every `after` is 1-based over operations of that kind on
+/// this device and fires exactly once — except that [`FaultLog`] also has
+/// a *crash mode* (see [`FaultLog::crash_after_ops`]) under which every
+/// operation past a chosen point fails, modelling a dead process rather
+/// than a transient error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFault {
+    /// The `after`-th append fails with [`StorageError::Io`]; nothing
+    /// reaches the device.
+    FailAppend {
+        /// 1-based append index that fails.
+        after: u64,
+    },
+    /// The `after`-th append persists only the first `keep` bytes — a
+    /// short write at byte granularity — and reports
+    /// [`StorageError::Io`]. The partial bytes stay on the device (a
+    /// later writeback or explicit sync can make them durable), which is
+    /// exactly how a torn record reaches a WAL tail.
+    ShortAppend {
+        /// 1-based append index that tears.
+        after: u64,
+        /// Bytes of the record that reach the device.
+        keep: usize,
+    },
+    /// The `after`-th sync fails with [`StorageError::Io`]; the durable
+    /// prefix is unchanged.
+    FailSync {
+        /// 1-based sync index that fails.
+        after: u64,
+    },
+    /// The `after`-th truncate fails with [`StorageError::Io`]; the
+    /// device keeps its length.
+    FailTruncate {
+        /// 1-based truncate index that fails.
+        after: u64,
+    },
+}
+
+impl LogFault {
+    fn counter(&self) -> LogKind {
+        match self {
+            LogFault::FailAppend { .. } | LogFault::ShortAppend { .. } => LogKind::Append,
+            LogFault::FailSync { .. } => LogKind::Sync,
+            LogFault::FailTruncate { .. } => LogKind::Truncate,
+        }
+    }
+
+    fn after(&self) -> u64 {
+        match *self {
+            LogFault::FailAppend { after }
+            | LogFault::ShortAppend { after, .. }
+            | LogFault::FailSync { after }
+            | LogFault::FailTruncate { after } => after,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LogKind {
+    Append,
+    Sync,
+    Truncate,
+}
+
+/// A [`LogDevice`] wrapper injecting [`LogFault`]s deterministically —
+/// the byte-granularity counterpart of [`FaultStore`] for WAL paths.
+pub struct FaultLog {
+    inner: SharedLog,
+    appends: AtomicU64,
+    syncs: AtomicU64,
+    truncates: AtomicU64,
+    ops: AtomicU64,
+    /// Total-operation count after which every operation fails
+    /// (crash mode); 0 = off.
+    crash_at: AtomicU64,
+    armed: Mutex<Vec<LogFault>>,
+    fired: AtomicU64,
+}
+
+impl FaultLog {
+    /// Wrap `inner`.
+    pub fn new(inner: SharedLog) -> FaultLog {
+        FaultLog {
+            inner,
+            appends: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            truncates: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            crash_at: AtomicU64::new(0),
+            armed: Mutex::new(Vec::new()),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm a fault (fires once; see [`FaultStore::arm`]).
+    pub fn arm(&self, fault: LogFault) {
+        self.armed.lock().push(fault);
+    }
+
+    /// Remove every armed (not-yet-fired) fault.
+    pub fn disarm_all(&self) {
+        self.armed.lock().clear();
+    }
+
+    /// How many armed faults have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Enter crash mode after `n` more operations (appends, syncs, and
+    /// truncates combined): operations up to and including the `n`-th
+    /// from now succeed, everything after fails with
+    /// [`StorageError::Io`] until [`FaultLog::revive`] — the process is
+    /// dead, not unlucky. `n = 0` kills the device immediately.
+    pub fn crash_after_ops(&self, n: u64) {
+        let now = self.ops.load(Ordering::SeqCst);
+        self.crash_at.store(now + n + 1, Ordering::SeqCst);
+    }
+
+    /// Leave crash mode (the harness "restarts the process").
+    pub fn revive(&self) {
+        self.crash_at.store(0, Ordering::SeqCst);
+    }
+
+    /// Appends seen so far (arm `after: appends_so_far() + n` to hit the
+    /// nth upcoming append regardless of history).
+    pub fn appends_so_far(&self) -> u64 {
+        self.appends.load(Ordering::SeqCst)
+    }
+
+    /// Syncs seen so far (see [`FaultLog::appends_so_far`]).
+    pub fn syncs_so_far(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Truncates seen so far (see [`FaultLog::appends_so_far`]).
+    pub fn truncates_so_far(&self) -> u64 {
+        self.truncates.load(Ordering::SeqCst)
+    }
+
+    /// Count a mutating operation and report whether crash mode fails it.
+    fn crashed(&self) -> bool {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        let at = self.crash_at.load(Ordering::SeqCst);
+        at != 0 && op >= at
+    }
+
+    fn dead(op: &'static str) -> StorageError {
+        StorageError::Io {
+            op,
+            pid: None,
+            detail: "injected crash: log device is dead".into(),
+        }
+    }
+
+    /// Take the fault of `kind` triggered at operation `n`, if any.
+    fn triggered(&self, kind: LogKind, n: u64) -> Option<LogFault> {
+        let mut armed = self.armed.lock();
+        let idx = armed
+            .iter()
+            .position(|f| f.counter() == kind && f.after() == n)?;
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        Some(armed.swap_remove(idx))
+    }
+}
+
+impl LogDevice for FaultLog {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        if self.crashed() {
+            return Err(FaultLog::dead("append"));
+        }
+        let n = self.appends.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.triggered(LogKind::Append, n) {
+            Some(LogFault::FailAppend { .. }) => Err(StorageError::Io {
+                op: "append",
+                pid: None,
+                detail: format!("injected append failure #{n}"),
+            }),
+            Some(LogFault::ShortAppend { keep, .. }) => {
+                let keep = keep.min(bytes.len());
+                self.inner.append(&bytes[..keep])?;
+                Err(StorageError::Io {
+                    op: "append",
+                    pid: None,
+                    detail: format!("injected short append #{n} (kept {keep} bytes)"),
+                })
+            }
+            _ => self.inner.append(bytes),
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.crashed() {
+            return Err(FaultLog::dead("sync"));
+        }
+        let n = self.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(LogFault::FailSync { .. }) = self.triggered(LogKind::Sync, n) {
+            return Err(StorageError::Io {
+                op: "sync",
+                pid: None,
+                detail: format!("injected sync failure #{n}"),
+            });
+        }
+        self.inner.sync()
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate(&self, len: u64) -> Result<()> {
+        if self.crashed() {
+            return Err(FaultLog::dead("truncate"));
+        }
+        let n = self.truncates.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(LogFault::FailTruncate { .. }) = self.triggered(LogKind::Truncate, n) {
+            return Err(StorageError::Io {
+                op: "truncate",
+                pid: None,
+                detail: format!("injected truncate failure #{n}"),
+            });
+        }
+        self.inner.truncate(len)
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +561,83 @@ mod tests {
         let a = observe(1).expect("one byte corrupted");
         let b = observe(1).expect("one byte corrupted");
         assert_eq!(a, b, "same seed, same flipped bit");
+    }
+
+    use crate::wal::MemLog;
+
+    fn log_harness() -> (Arc<FaultLog>, Arc<MemLog>) {
+        let mem = MemLog::shared();
+        let log: SharedLog = mem.clone();
+        (Arc::new(FaultLog::new(log)), mem)
+    }
+
+    #[test]
+    fn short_append_persists_exact_prefix() {
+        let (fl, mem) = log_harness();
+        fl.arm(LogFault::ShortAppend { after: 2, keep: 3 });
+        fl.append(b"whole").unwrap();
+        assert!(matches!(
+            fl.append(b"cut here"),
+            Err(StorageError::Io { op: "append", .. })
+        ));
+        fl.append(b"!").unwrap();
+        assert_eq!(mem.read_all().unwrap(), b"wholecut!");
+        assert_eq!(fl.fired(), 1);
+    }
+
+    #[test]
+    fn nth_sync_fails_without_advancing_durability() {
+        let (fl, mem) = log_harness();
+        fl.arm(LogFault::FailSync { after: 1 });
+        fl.append(b"abc").unwrap();
+        assert!(fl.sync().is_err());
+        assert_eq!(mem.synced_len(), 0, "failed sync must not seal bytes");
+        fl.sync().unwrap();
+        assert_eq!(mem.synced_len(), 3);
+    }
+
+    #[test]
+    fn nth_truncate_fails_and_keeps_length() {
+        let (fl, mem) = log_harness();
+        fl.append(b"abcdef").unwrap();
+        fl.arm(LogFault::FailTruncate { after: 1 });
+        assert!(fl.truncate(0).is_err());
+        assert_eq!(mem.len().unwrap(), 6);
+        fl.truncate(0).unwrap();
+        assert_eq!(mem.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_mode_kills_every_operation_after_the_point() {
+        let (fl, mem) = log_harness();
+        fl.crash_after_ops(2);
+        fl.append(b"one").unwrap(); // op 1
+        fl.sync().unwrap(); // op 2
+        assert!(fl.append(b"dead").is_err(), "op 3 is past the crash");
+        assert!(fl.sync().is_err(), "a dead process stays dead");
+        assert!(fl.truncate(0).is_err());
+        assert_eq!(mem.read_all().unwrap(), b"one");
+        fl.revive();
+        fl.append(b"+back").unwrap();
+        assert_eq!(mem.read_all().unwrap(), b"one+back");
+    }
+
+    #[test]
+    fn crash_counts_are_deterministic_across_runs() {
+        let survivors = |kill_at: u64| {
+            let (fl, mem) = log_harness();
+            fl.crash_after_ops(kill_at);
+            let mut acked = 0;
+            for i in 0..10u8 {
+                if fl.append(&[i]).is_ok() && fl.sync().is_ok() {
+                    acked += 1;
+                } else {
+                    break;
+                }
+            }
+            (acked, mem.synced_len())
+        };
+        assert_eq!(survivors(5), survivors(5), "same kill point, same state");
+        assert_eq!(survivors(5).0, 2, "2 append+sync pairs fit in 5 ops");
     }
 }

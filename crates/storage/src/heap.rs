@@ -103,21 +103,23 @@ impl HeapFile {
 
     /// Insert a record, returning its address.
     ///
-    /// Panics if `data` exceeds [`MAX_RECORD`] — callers size records to
-    /// pages (a UDA over even a 500-value domain fits comfortably) — or is
-    /// empty (zero length marks a deleted slot on the page, so empty
-    /// records would be unretrievable; no caller stores them). Those are
-    /// caller bugs; I/O failures surface as `Err`.
+    /// Rejects `data` above [`MAX_RECORD`] with
+    /// [`StorageError::RecordTooLarge`] and zero-length `data` with
+    /// [`StorageError::EmptyRecord`] (zero length marks a deleted slot on
+    /// the page, so empty records would be unretrievable). With online
+    /// mutation these sizes arrive from callers at runtime, so they are
+    /// typed errors rather than panics; nothing is modified when they
+    /// fire.
     pub fn insert(&mut self, pool: &mut BufferPool, data: &[u8]) -> Result<RecordId> {
-        assert!(
-            data.len() <= MAX_RECORD,
-            "record of {} bytes exceeds page",
-            data.len()
-        );
-        assert!(
-            !data.is_empty(),
-            "empty records are not storable (0 marks a tombstone)"
-        );
+        if data.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                len: data.len(),
+                max: MAX_RECORD,
+            });
+        }
+        if data.is_empty() {
+            return Err(StorageError::EmptyRecord);
+        }
         if let Some(&last) = self.pages.last() {
             if let Some(rid) = Self::try_insert_on(pool, last, data)? {
                 self.records += 1;
@@ -130,7 +132,8 @@ impl HeapFile {
             field::put_u16(b, HDR_FREE_END, PAGE_SIZE as u16);
         })?;
         self.pages.push(pid);
-        let rid = Self::try_insert_on(pool, pid, data)?.expect("fresh page fits record");
+        let rid = Self::try_insert_on(pool, pid, data)?
+            .ok_or(StorageError::Corrupt("fresh heap page rejected a record"))?;
         self.records += 1;
         Ok(rid)
     }
@@ -327,16 +330,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds page")]
-    fn oversize_record_panics() {
+    fn oversize_record_is_a_typed_error() {
         let (mut h, mut p) = setup();
-        let _ = h.insert(&mut p, &vec![0u8; MAX_RECORD + 1]);
+        assert_eq!(
+            h.insert(&mut p, &vec![0u8; MAX_RECORD + 1]),
+            Err(StorageError::RecordTooLarge {
+                len: MAX_RECORD + 1,
+                max: MAX_RECORD
+            })
+        );
+        assert_eq!(h.len(), 0, "rejected insert modifies nothing");
+        assert_eq!(h.num_pages(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "tombstone")]
-    fn empty_record_panics() {
+    fn empty_record_is_a_typed_error() {
         let (mut h, mut p) = setup();
-        let _ = h.insert(&mut p, b"");
+        assert_eq!(h.insert(&mut p, b""), Err(StorageError::EmptyRecord));
+        assert_eq!(h.len(), 0, "rejected insert modifies nothing");
     }
 }

@@ -22,6 +22,10 @@
 //! * [`metrics`] — [`metrics::QueryMetrics`], the query-level execution
 //!   counters every search path in the workspace populates (documented
 //!   counter by counter in `docs/METRICS.md`).
+//! * [`wal`] — [`wal::Wal`], an append-only write-ahead log with
+//!   CRC32C-framed records, group commit, and a reader that truncates a
+//!   torn tail at the first bad record; the durability substrate for
+//!   online index mutation (DESIGN.md §6f).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,11 +43,12 @@ pub mod page;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::{BufferPool, Replacement};
 pub use disk::{InMemoryDisk, PageStore, SharedStore};
 pub use error::{Result, StorageError};
-pub use fault::{Fault, FaultStore};
+pub use fault::{Fault, FaultLog, FaultStore, LogFault};
 pub use file_disk::FileDisk;
 pub use heap::{HeapFile, RecordId};
 pub use metrics::QueryMetrics;
@@ -51,3 +56,6 @@ pub use page::{PageId, PAGE_SIZE};
 pub use shared::{PinGuard, PoolHandle, SharedBufferPool, DEFAULT_SHARDS};
 pub use snapshot::SnapshotFileError;
 pub use stats::IoStats;
+pub use wal::{
+    FileLog, LogDevice, LogScan, MemLog, SharedLog, TailStatus, Wal, WalConfig, WalStats,
+};

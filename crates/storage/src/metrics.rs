@@ -83,6 +83,15 @@ pub struct QueryMetrics {
     /// Tuples read by a full heap scan (scan baseline, or an index's
     /// scan fallback).
     pub heap_tuples_scanned: u64,
+    /// Write-ahead-log records appended by the durable index serving this
+    /// session (insert/update/delete plus epoch markers).
+    pub wal_appends: u64,
+    /// Device fsyncs the write-ahead log issued (group commit batches
+    /// plus record-free syncs such as log resets).
+    pub wal_fsyncs: u64,
+    /// WAL records re-applied during the recovery that opened this
+    /// durable index (0 after a clean shutdown or checkpoint).
+    pub replayed_records: u64,
     /// Buffer-pool I/O charged to this query.
     pub io: IoStats,
 }
@@ -123,6 +132,9 @@ impl QueryMetrics {
         self.nodes_pruned += other.nodes_pruned;
         self.leaf_entries_examined += other.leaf_entries_examined;
         self.heap_tuples_scanned += other.heap_tuples_scanned;
+        self.wal_appends += other.wal_appends;
+        self.wal_fsyncs += other.wal_fsyncs;
+        self.replayed_records += other.replayed_records;
         self.io.hits += other.io.hits;
         self.io.physical_reads += other.io.physical_reads;
         self.io.physical_writes += other.io.physical_writes;
@@ -141,7 +153,7 @@ impl QueryMetrics {
     /// The `(name, value)` pairs of every counter, in display order —
     /// the single source of truth for the CLI explain output and for
     /// documentation checks.
-    pub fn fields(&self) -> [(&'static str, u64); 17] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("lists_opened", self.lists_opened),
             ("lists_pruned", self.lists_pruned),
@@ -156,6 +168,9 @@ impl QueryMetrics {
             ("nodes_pruned", self.nodes_pruned),
             ("leaf_entries_examined", self.leaf_entries_examined),
             ("heap_tuples_scanned", self.heap_tuples_scanned),
+            ("wal_appends", self.wal_appends),
+            ("wal_fsyncs", self.wal_fsyncs),
+            ("replayed_records", self.replayed_records),
             ("io.hits", self.io.hits),
             ("io.physical_reads", self.io.physical_reads),
             ("io.physical_writes", self.io.physical_writes),

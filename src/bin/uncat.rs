@@ -11,8 +11,17 @@
 //!
 //! Indexes are persisted as a page file (`--pages`) plus a metadata
 //! snapshot (`--meta`); `query`/`topk`/`stats` reopen both.
+//!
+//! Online mutation (`put`/`delete`) runs through the durable layer: the
+//! first mutation adopts the index (creating `<meta>.durable`, a
+//! `<meta>.wal` write-ahead log, and a `<meta>.journal` checkpoint
+//! journal) and every mutation is logged before it touches a page.
+//! `checkpoint` folds the log into a new durable base; `recover` replays
+//! it after a crash. Read commands recover automatically when a durable
+//! sidecar exists, so they always see the latest acknowledged mutation.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -22,8 +31,11 @@ use uncat::inverted::{InvertedIndex, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
 use uncat::query::join::{block_join, index_join, parallel_join, JoinOutcome, JoinSpec};
 use uncat::query::parallel::{batch_metrics, petq_batch_with};
-use uncat::query::{BatchPools, InvertedBackend, ScanBaseline, UncertainIndex};
-use uncat::storage::{BufferPool, FileDisk, InMemoryDisk, QueryMetrics, SharedStore};
+use uncat::query::{
+    BatchPools, DurableConfig, DurableIndex, DurableStorage, InvertedBackend, MutableBackend,
+    RecoveryReport, ScanBaseline, UncertainIndex,
+};
+use uncat::storage::{BufferPool, FileDisk, InMemoryDisk, QueryMetrics, SharedStore, TailStatus};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +62,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "join" => join(&flags),
         "explain" => explain(&flags),
         "stats" => stats(&flags),
+        "put" => put(&flags),
+        "delete" => delete(&flags),
+        "checkpoint" => checkpoint(&flags),
+        "recover" => recover(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE.trim());
             Ok(())
@@ -81,6 +97,13 @@ usage:
   uncat explain --index <inverted|pdr> --pages <...> --meta <...>
                --cat <id> --tau <t>
   uncat stats  --index <inverted|pdr> --pages <...> --meta <...>
+  uncat put    --index <inverted|pdr> --pages <...> --meta <...>
+               --tid <id> --uda <cat:prob[,cat:prob...]>
+               [--group-commit <n>] [--explain]
+  uncat delete --index <inverted|pdr> --pages <...> --meta <...>
+               --tid <id> [--explain]
+  uncat checkpoint --index <inverted|pdr> --pages <...> --meta <...>
+  uncat recover    --index <inverted|pdr> --pages <...> --meta <...>
 
 --strategy (inverted PETQ only): brute | highest-prob-first | row-pruning
   | column-pruning | nra (default: nra)
@@ -99,6 +122,14 @@ join: join a Zipf-skewed outer relation of N certain-category probes
   a rising score floor so warm probes run as prunable threshold probes).
   --explain prints the join's execution counter table (and the per-shard
   hit-rate table under --pool shared).
+put/delete: online mutation through a write-ahead log. The first
+  mutation adopts the built index, creating <meta>.durable (epoch
+  snapshot), <meta>.wal, and <meta>.journal; the original --meta file is
+  no longer consulted afterwards. put is an upsert; --group-commit N
+  batches N records per fsync (the log is flushed before exit either
+  way). checkpoint folds the log into a new durable base and truncates
+  it; recover replays a crashed log explicitly and reports what it did
+  (read commands also recover automatically).
 "#;
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -221,19 +252,323 @@ enum AnyIndex {
     Pdr(PdrTree),
 }
 
-fn reopen(flags: &HashMap<String, String>) -> Result<(AnyIndex, SharedStore), String> {
+/// The durable sidecar files that appear next to `--meta` once an index
+/// is mutated online.
+struct Sidecar {
+    wal: PathBuf,
+    journal: PathBuf,
+    snap: PathBuf,
+}
+
+fn sidecar(meta: &str) -> Sidecar {
+    Sidecar {
+        wal: PathBuf::from(format!("{meta}.wal")),
+        journal: PathBuf::from(format!("{meta}.journal")),
+        snap: PathBuf::from(format!("{meta}.durable")),
+    }
+}
+
+enum AnyDurable {
+    Inverted(DurableIndex<InvertedBackend>),
+    Pdr(DurableIndex<PdrTree>),
+}
+
+impl AnyDurable {
+    fn update(&mut self, tid: u64, uda: &Uda, m: &mut QueryMetrics) -> Result<bool, String> {
+        match self {
+            AnyDurable::Inverted(d) => d.update_metered(tid, uda, m),
+            AnyDurable::Pdr(d) => d.update_metered(tid, uda, m),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn delete(&mut self, tid: u64, m: &mut QueryMetrics) -> Result<bool, String> {
+        match self {
+            AnyDurable::Inverted(d) => d.delete_metered(tid, m),
+            AnyDurable::Pdr(d) => d.delete_metered(tid, m),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn checkpoint(&mut self) -> Result<(), String> {
+        match self {
+            AnyDurable::Inverted(d) => d.checkpoint(),
+            AnyDurable::Pdr(d) => d.checkpoint(),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn flush_wal(&mut self) -> Result<(), String> {
+        match self {
+            AnyDurable::Inverted(d) => d.flush_wal(),
+            AnyDurable::Pdr(d) => d.flush_wal(),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            AnyDurable::Inverted(d) => d.epoch(),
+            AnyDurable::Pdr(d) => d.epoch(),
+        }
+    }
+
+    fn tuple_count(&self) -> u64 {
+        match self {
+            AnyDurable::Inverted(d) => d.tuple_count(),
+            AnyDurable::Pdr(d) => d.tuple_count(),
+        }
+    }
+
+    fn replayed_records(&self) -> u64 {
+        match self {
+            AnyDurable::Inverted(d) => d.replayed_records(),
+            AnyDurable::Pdr(d) => d.replayed_records(),
+        }
+    }
+
+    fn mutations_since_checkpoint(&self) -> u64 {
+        match self {
+            AnyDurable::Inverted(d) => d.mutations_since_checkpoint(),
+            AnyDurable::Pdr(d) => d.mutations_since_checkpoint(),
+        }
+    }
+}
+
+/// Open the durable layer over `--pages`/`--meta`. A first mutation
+/// adopts a plain-built index (its `--meta` snapshot becomes the durable
+/// base); afterwards the `<meta>.durable` sidecar is authoritative.
+/// Returns the recovery report when an existing durable index was
+/// reopened (`None` on adoption).
+fn open_durable(
+    flags: &HashMap<String, String>,
+) -> Result<(AnyDurable, Option<RecoveryReport>), String> {
     let index = need(flags, "index")?;
     let pages = need(flags, "pages")?;
     let meta = need(flags, "meta")?;
-    let store: SharedStore = Arc::new(FileDisk::open(pages).map_err(|e| e.to_string())?);
-    let idx = match index {
-        "inverted" => {
-            AnyIndex::Inverted(InvertedIndex::load(meta.as_ref()).map_err(|e| e.to_string())?)
-        }
-        "pdr" => AnyIndex::Pdr(PdrTree::load(meta.as_ref()).map_err(|e| e.to_string())?),
-        other => return Err(format!("unknown index {other:?}")),
+    let side = sidecar(meta);
+    let group_commit: usize = flags
+        .get("group-commit")
+        .map_or(Ok(1), |s| parse(s, "--group-commit"))?;
+    let config = DurableConfig {
+        group_commit,
+        pool_frames: 256,
+        ..DurableConfig::default()
     };
-    Ok((idx, store))
+    let adopt = !side.snap.exists();
+    let storage = DurableStorage::open_files(
+        Path::new(pages),
+        &side.wal,
+        &side.journal,
+        &side.snap,
+        false,
+    )
+    .map_err(|e| e.to_string())?;
+    if adopt {
+        let blob = uncat::storage::snapshot::load(meta).map_err(|e| e.to_string())?;
+        let idx = match index {
+            "inverted" => AnyDurable::Inverted(
+                DurableIndex::create(storage, config, |_pool| InvertedBackend::open_blob(&blob))
+                    .map_err(|e| e.to_string())?,
+            ),
+            "pdr" => AnyDurable::Pdr(
+                DurableIndex::create(storage, config, |_pool| PdrTree::open_blob(&blob))
+                    .map_err(|e| e.to_string())?,
+            ),
+            other => return Err(format!("unknown index {other:?}")),
+        };
+        Ok((idx, None))
+    } else {
+        match index {
+            "inverted" => {
+                let (d, r) = DurableIndex::<InvertedBackend>::open(storage, config)
+                    .map_err(|e| e.to_string())?;
+                Ok((AnyDurable::Inverted(d), Some(r)))
+            }
+            "pdr" => {
+                let (d, r) =
+                    DurableIndex::<PdrTree>::open(storage, config).map_err(|e| e.to_string())?;
+                Ok((AnyDurable::Pdr(d), Some(r)))
+            }
+            other => Err(format!("unknown index {other:?}")),
+        }
+    }
+}
+
+fn reopen(
+    flags: &HashMap<String, String>,
+) -> Result<(AnyIndex, SharedStore, Option<RecoveryReport>), String> {
+    let index = need(flags, "index")?;
+    let pages = need(flags, "pages")?;
+    let meta = need(flags, "meta")?;
+    let side = sidecar(meta);
+    let mut report = None;
+    if side.snap.exists() {
+        // A mutated index: recover (replaying any crashed log) and fold
+        // the result into the page file so the plain read path below
+        // sees the latest acknowledged state.
+        let (mut d, r) = open_durable(flags)?;
+        if let Some(r) = &r {
+            if r.replayed_records > 0 || r.journal_redone {
+                d.checkpoint()?;
+            }
+        }
+        report = r;
+    }
+    let store: SharedStore = Arc::new(FileDisk::open(pages).map_err(|e| e.to_string())?);
+    let idx = if side.snap.exists() {
+        let wrapped = uncat::storage::snapshot::load(&side.snap).map_err(|e| e.to_string())?;
+        let (_epoch, blob) = uncat::query::split_snapshot(&wrapped).map_err(|e| e.to_string())?;
+        match index {
+            "inverted" => AnyIndex::Inverted(InvertedIndex::open(blob).map_err(|e| e.to_string())?),
+            "pdr" => AnyIndex::Pdr(PdrTree::open(blob).map_err(|e| e.to_string())?),
+            other => return Err(format!("unknown index {other:?}")),
+        }
+    } else {
+        match index {
+            "inverted" => {
+                AnyIndex::Inverted(InvertedIndex::load(meta.as_ref()).map_err(|e| e.to_string())?)
+            }
+            "pdr" => AnyIndex::Pdr(PdrTree::load(meta.as_ref()).map_err(|e| e.to_string())?),
+            other => return Err(format!("unknown index {other:?}")),
+        }
+    };
+    Ok((idx, store, report))
+}
+
+/// Parse `cat:prob[,cat:prob...]` into a distribution.
+fn parse_uda(s: &str) -> Result<Uda, String> {
+    let mut pairs = Vec::new();
+    for part in s.split(',') {
+        let (c, p) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad uda component {part:?} (want cat:prob)"))?;
+        let cat: u32 = parse(c.trim(), "--uda category")?;
+        let prob: f32 = parse(p.trim(), "--uda probability")?;
+        pairs.push((CatId(cat), prob));
+    }
+    Uda::from_pairs(pairs).map_err(|e| format!("invalid uda: {e}"))
+}
+
+fn note_recovery(report: &Option<RecoveryReport>) {
+    if let Some(r) = report {
+        if r.replayed_records > 0 || r.journal_redone || r.stale_wal_discarded {
+            println!(
+                "recovered epoch {}: {} wal records replayed{}{}",
+                r.epoch,
+                r.replayed_records,
+                if r.journal_redone {
+                    ", checkpoint journal redone"
+                } else {
+                    ""
+                },
+                if r.stale_wal_discarded {
+                    ", stale log discarded"
+                } else {
+                    ""
+                },
+            );
+        }
+        if let TailStatus::Torn {
+            valid_len,
+            dropped_bytes,
+            reason,
+        } = r.wal_tail
+        {
+            println!(
+                "wal tail repaired: {dropped_bytes} bytes dropped after offset {valid_len} ({reason})"
+            );
+        }
+    }
+}
+
+fn put(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tid: u64 = parse(need(flags, "tid")?, "--tid")?;
+    let uda = parse_uda(need(flags, "uda")?)?;
+    let (mut idx, report) = open_durable(flags)?;
+    note_recovery(&report);
+    let mut metrics = QueryMetrics::new();
+    let replaced = idx.update(tid, &uda, &mut metrics)?;
+    idx.flush_wal()?;
+    println!(
+        "{} tuple {tid} (epoch {}, {} tuples, {} logged since checkpoint)",
+        if replaced { "replaced" } else { "inserted" },
+        idx.epoch(),
+        idx.tuple_count(),
+        idx.mutations_since_checkpoint(),
+    );
+    if flags.contains_key("explain") {
+        metrics.replayed_records = idx.replayed_records();
+        println!("execution counters:");
+        print!("{metrics}");
+    }
+    Ok(())
+}
+
+fn delete(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tid: u64 = parse(need(flags, "tid")?, "--tid")?;
+    let (mut idx, report) = open_durable(flags)?;
+    note_recovery(&report);
+    let mut metrics = QueryMetrics::new();
+    let existed = idx.delete(tid, &mut metrics)?;
+    idx.flush_wal()?;
+    if existed {
+        println!(
+            "deleted tuple {tid} (epoch {}, {} tuples remain)",
+            idx.epoch(),
+            idx.tuple_count()
+        );
+    } else {
+        println!("tuple {tid} was not indexed (nothing logged)");
+    }
+    if flags.contains_key("explain") {
+        metrics.replayed_records = idx.replayed_records();
+        println!("execution counters:");
+        print!("{metrics}");
+    }
+    Ok(())
+}
+
+fn checkpoint(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (mut idx, report) = open_durable(flags)?;
+    note_recovery(&report);
+    let folded = idx.mutations_since_checkpoint();
+    idx.checkpoint()?;
+    println!(
+        "checkpoint complete: epoch {}, {folded} logged mutations folded, log truncated",
+        idx.epoch()
+    );
+    Ok(())
+}
+
+fn recover(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (mut idx, report) = open_durable(flags)?;
+    match &report {
+        None => println!("adopted plain-built index; nothing to recover"),
+        Some(r) => {
+            println!("recovered to epoch {}", r.epoch);
+            println!("  replayed records:     {}", r.replayed_records);
+            match r.wal_tail {
+                TailStatus::Clean => println!("  wal tail:             clean"),
+                TailStatus::Torn {
+                    valid_len,
+                    dropped_bytes,
+                    reason,
+                } => println!(
+                    "  wal tail:             torn — {dropped_bytes} bytes dropped after offset {valid_len} ({reason})"
+                ),
+            }
+            println!("  journal redone:       {}", r.journal_redone);
+            println!("  stale log discarded:  {}", r.stale_wal_discarded);
+        }
+    }
+    idx.checkpoint()?;
+    println!(
+        "state checkpointed at epoch {} ({} tuples)",
+        idx.epoch(),
+        idx.tuple_count()
+    );
+    Ok(())
 }
 
 fn parse_strategy(s: &str) -> Result<Strategy, String> {
@@ -248,7 +583,8 @@ fn parse_strategy(s: &str) -> Result<Strategy, String> {
 }
 
 fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
-    let (idx, store) = reopen(flags)?;
+    let (idx, store, recovered) = reopen(flags)?;
+    note_recovery(&recovered);
     let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
     let q = Uda::certain(CatId(cat));
     let strategy = flags
@@ -289,6 +625,9 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
     );
     if flags.contains_key("explain") {
         metrics.io = pool.stats();
+        if let Some(r) = &recovered {
+            metrics.replayed_records = r.replayed_records;
+        }
         println!("execution counters:");
         print!("{metrics}");
     }
@@ -299,7 +638,8 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
 /// against either private per-query buffer pools (the paper's model) or
 /// one shared lock-striped pool for the whole batch.
 fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (idx, store) = reopen(flags)?;
+    let (idx, store, recovered) = reopen(flags)?;
+    note_recovery(&recovered);
     let n: usize = flags.get("n").map_or(Ok(64), |s| parse(s, "--n"))?;
     let tau: f64 = flags.get("tau").map_or(Ok(0.3), |s| parse(s, "--tau"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "--seed"))?;
@@ -560,7 +900,8 @@ fn join(flags: &HashMap<String, String>) -> Result<(), String> {
 /// by side (one column per strategy). For the PDR-tree there is a single
 /// algorithm, so the output is one profile.
 fn explain(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (idx, store) = reopen(flags)?;
+    let (idx, store, recovered) = reopen(flags)?;
+    note_recovery(&recovered);
     let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
     let tau: f64 = parse(need(flags, "tau")?, "--tau")?;
     let q = EqQuery::new(Uda::certain(CatId(cat)), tau);
@@ -612,7 +953,8 @@ fn explain(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (idx, store) = reopen(flags)?;
+    let (idx, store, recovered) = reopen(flags)?;
+    note_recovery(&recovered);
     let mut pool = BufferPool::with_capacity(store.clone(), 512);
     match &idx {
         AnyIndex::Inverted(i) => {

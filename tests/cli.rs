@@ -381,6 +381,148 @@ fn join_plans_agree_via_cli() {
     }
 }
 
+/// The online-mutation workflow: `put` adopts a plain-built index into
+/// the durable sidecar (WAL + journal + snapshot), later commands
+/// recover the logged mutations automatically and see their effects,
+/// and `checkpoint`/`recover` fold and report the log.
+#[test]
+fn mutate_and_recover_workflow_via_cli() {
+    let dir = TempDir::new("mutate");
+    let data = dir.path("data.uds");
+    let (ok, out) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "1500",
+        "--seed",
+        "21",
+        "--out",
+        &data,
+    ]);
+    assert!(ok, "gen failed: {out}");
+
+    fn count(out: &str) -> u64 {
+        out.lines()
+            .find(|l| l.contains("matches,"))
+            .and_then(|l| l.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no match count in output: {out}"))
+    }
+
+    for index in ["inverted", "pdr"] {
+        let pages = dir.path(&format!("{index}.pages"));
+        let meta = dir.path(&format!("{index}.meta"));
+        let (ok, out) = uncat(&[
+            "build", "--index", index, "--data", &data, "--pages", &pages, "--meta", &meta,
+        ]);
+        assert!(ok, "build {index} failed: {out}");
+
+        let query = |tag: &str| {
+            let (ok, out) = uncat(&[
+                "query", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0",
+                "--tau", "0.9",
+            ]);
+            assert!(ok, "query {index}/{tag} failed: {out}");
+            (count(&out), out)
+        };
+        let (before, _) = query("baseline");
+
+        // First mutation adopts the plain-built index into the sidecar.
+        let (ok, out) = uncat(&[
+            "put",
+            "--index",
+            index,
+            "--pages",
+            &pages,
+            "--meta",
+            &meta,
+            "--tid",
+            "900001",
+            "--uda",
+            "0:0.95,1:0.05",
+            "--explain",
+        ]);
+        assert!(ok, "put {index} failed: {out}");
+        assert!(out.contains("inserted tuple 900001"), "put output: {out}");
+        assert!(out.contains("wal_appends"), "missing WAL counters: {out}");
+        for file in ["durable", "wal", "journal"] {
+            let side = format!("{meta}.{file}");
+            assert!(
+                std::path::Path::new(&side).exists(),
+                "{index}: sidecar {file} missing after put"
+            );
+        }
+
+        // A second put of the same tid is an upsert.
+        let (ok, out) = uncat(&[
+            "put",
+            "--index",
+            index,
+            "--pages",
+            &pages,
+            "--meta",
+            &meta,
+            "--tid",
+            "900001",
+            "--uda",
+            "0:0.92,2:0.08",
+        ]);
+        assert!(ok, "re-put {index} failed: {out}");
+        assert!(
+            out.contains("replaced tuple 900001"),
+            "re-put output: {out}"
+        );
+
+        // The query path recovers the logged mutations and sees them.
+        let (after, out) = query("mutated");
+        assert_eq!(after, before + 1, "{index}: put not visible: {out}");
+
+        // Delete removes it again; a second delete is a clean no-op.
+        let (ok, out) = uncat(&[
+            "delete", "--index", index, "--pages", &pages, "--meta", &meta, "--tid", "900001",
+        ]);
+        assert!(ok, "delete {index} failed: {out}");
+        assert!(out.contains("deleted tuple 900001"), "delete output: {out}");
+        let (ok, out) = uncat(&[
+            "delete", "--index", index, "--pages", &pages, "--meta", &meta, "--tid", "900001",
+        ]);
+        assert!(ok, "re-delete {index} failed: {out}");
+        assert!(out.contains("was not indexed"), "re-delete output: {out}");
+        let (restored, out) = query("deleted");
+        assert_eq!(restored, before, "{index}: delete not visible: {out}");
+
+        // Fold the log and verify an explicit recovery reports cleanly.
+        let (ok, out) = uncat(&[
+            "checkpoint",
+            "--index",
+            index,
+            "--pages",
+            &pages,
+            "--meta",
+            &meta,
+        ]);
+        assert!(ok, "checkpoint {index} failed: {out}");
+        assert!(
+            out.contains("checkpoint complete: epoch"),
+            "checkpoint output: {out}"
+        );
+        let (ok, out) = uncat(&[
+            "recover", "--index", index, "--pages", &pages, "--meta", &meta,
+        ]);
+        assert!(ok, "recover {index} failed: {out}");
+        assert!(out.contains("recovered to epoch"), "recover output: {out}");
+        assert!(out.contains("replayed records:"), "recover output: {out}");
+
+        // The index stays fully queryable after the durable round trips.
+        let (ok, out) = uncat(&[
+            "topk", "--index", index, "--pages", &pages, "--meta", &meta, "--cat", "0", "--k", "5",
+        ]);
+        assert!(ok, "topk {index} failed: {out}");
+        assert!(out.contains("5 matches"), "topk output: {out}");
+    }
+}
+
 #[test]
 fn cli_rejects_bad_usage() {
     let (ok, out) = uncat(&["frobnicate"]);

@@ -10,6 +10,8 @@
 //! a posting-list truncation shows up here as a divergence long before
 //! it would be caught by a hand-written example.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 
 use uncat::core::query::{DstQuery, EqQuery, Match, TopKQuery};
@@ -18,7 +20,10 @@ use uncat::prelude::*;
 use uncat::query::join::{
     block_join_metered, index_join, index_join_metered, parallel_join, JoinPair, JoinSpec,
 };
-use uncat::query::{BatchPools, InvertedBackend, ScanBaseline, UncertainIndex};
+use uncat::query::{
+    BatchPools, DurableConfig, DurableIndex, DurableStorage, InvertedBackend, MutableBackend,
+    ScanBaseline, UncertainIndex,
+};
 use uncat_inverted::{InvertedIndex, Strategy as SearchStrategy};
 use uncat_pdrtree::{PdrConfig, PdrTree};
 
@@ -240,6 +245,271 @@ proptest! {
     ) {
         check_join_plans_agree(&tuples, &outer, spec, threads);
     }
+}
+
+// --- Interleaved mutation / query differential ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    // A mutated index must be indistinguishable from one rebuilt from
+    // scratch. Both durable backends apply the same interleaved schedule
+    // of inserts, updates, and deletes (with group commit batching and
+    // auto-checkpoints firing mid-schedule); at every query point and
+    // after a final crash-free reopen they must answer PETQ, top-k, and
+    // DSTQ identically to a scan baseline and freshly built indexes over
+    // the evolved model.
+    #[test]
+    fn interleaved_mutations_agree_with_rebuilt_indexes(
+        initial in dataset_strategy(CATS, 30),
+        ops in prop::collection::vec(
+            (0u8..4, uda_strategy(CATS), 0u64..1 << 32),
+            1..=24,
+        ),
+        queries in prop::collection::vec(
+            (uda_strategy(CATS), 0.01f64..0.5, 1usize..12),
+            1..=3,
+        ),
+    ) {
+        check_interleaved_mutations(&initial, &ops, &queries);
+    }
+}
+
+/// A concrete mutation, already validated against the model it was
+/// derived from.
+enum MutOp {
+    Insert(u64, Uda),
+    Update(u64, Uda),
+    Delete(u64),
+}
+
+/// Interpret an abstract `(selector, uda, pick)` step against the
+/// current model: inserts get fresh tids, updates and deletes target
+/// existing tuples (falling back to insert when the model is empty).
+fn concretize(
+    (sel, uda, pick): &(u8, Uda, u64),
+    model: &BTreeMap<u64, Uda>,
+    next_tid: &mut u64,
+) -> MutOp {
+    let existing = |pick: u64| -> Option<u64> {
+        if model.is_empty() {
+            None
+        } else {
+            model
+                .keys()
+                .nth((pick % model.len() as u64) as usize)
+                .copied()
+        }
+    };
+    match sel {
+        3 => match existing(*pick) {
+            Some(tid) => MutOp::Delete(tid),
+            None => {
+                *next_tid += 1;
+                MutOp::Insert(*next_tid - 1, uda.clone())
+            }
+        },
+        2 => match existing(*pick) {
+            Some(tid) => MutOp::Update(tid, uda.clone()),
+            None => {
+                *next_tid += 1;
+                MutOp::Insert(*next_tid - 1, uda.clone())
+            }
+        },
+        _ => {
+            *next_tid += 1;
+            MutOp::Insert(*next_tid - 1, uda.clone())
+        }
+    }
+}
+
+fn apply_mut<B: MutableBackend>(idx: &mut DurableIndex<B>, op: &MutOp) {
+    match op {
+        MutOp::Insert(tid, u) => idx.insert(*tid, u).expect("in-memory insert"),
+        MutOp::Update(tid, u) => {
+            idx.update(*tid, u).expect("in-memory update");
+        }
+        MutOp::Delete(tid) => {
+            idx.delete(*tid).expect("in-memory delete");
+        }
+    }
+}
+
+/// Assert `got` matches the reference answers for one query triple.
+fn assert_query_point(
+    what: &str,
+    reference: &(Vec<Match>, Vec<Match>, Vec<Match>),
+    got: &(Vec<Match>, Vec<Match>, Vec<Match>),
+) {
+    assert_matches_agree("interleaved/petq", what, &reference.0, &got.0);
+    assert_matches_agree("interleaved/top_k", what, &reference.1, &got.1);
+    assert_matches_agree("interleaved/dstq", what, &reference.2, &got.2);
+}
+
+/// PETQ + top-k + DSTQ answers for one `(uda, tau, k)` probe against an
+/// arbitrary backend.
+fn answers(
+    backend: &dyn UncertainIndex,
+    pool: &mut BufferPool,
+    (q, tau, k): &(Uda, f64, usize),
+) -> (Vec<Match>, Vec<Match>, Vec<Match>) {
+    (
+        backend
+            .petq(pool, &EqQuery::new(q.clone(), *tau))
+            .expect("in-memory query"),
+        backend
+            .top_k(pool, &TopKQuery::new(q.clone(), *k))
+            .expect("in-memory query"),
+        backend
+            .dstq(pool, &DstQuery::new(q.clone(), 1.0, Divergence::L1))
+            .expect("in-memory query"),
+    )
+}
+
+/// Same three answers from a durable index (which queries through its
+/// own buffer pool).
+fn durable_answers<B: MutableBackend>(
+    idx: &mut DurableIndex<B>,
+    (q, tau, k): &(Uda, f64, usize),
+) -> (Vec<Match>, Vec<Match>, Vec<Match>) {
+    (
+        idx.petq(&EqQuery::new(q.clone(), *tau))
+            .expect("in-memory query"),
+        idx.top_k(&TopKQuery::new(q.clone(), *k))
+            .expect("in-memory query"),
+        idx.dstq(&DstQuery::new(q.clone(), 1.0, Divergence::L1))
+            .expect("in-memory query"),
+    )
+}
+
+/// Compare both durable indexes against a scan baseline and freshly
+/// rebuilt indexes over the model, across every probe and (for the
+/// inverted index) every search strategy.
+fn compare_against_model(
+    what: &str,
+    inv: &mut DurableIndex<InvertedBackend>,
+    pdr: &mut DurableIndex<PdrTree>,
+    model: &BTreeMap<u64, Uda>,
+    queries: &[(Uda, f64, usize)],
+) {
+    let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+    let scan = ScanBaseline::build(&mut pool, model.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    let rebuilt_inv = InvertedBackend::new(
+        InvertedIndex::build(
+            Domain::anonymous(CATS),
+            &mut pool,
+            model.iter().map(|(t, u)| (*t, u)),
+        )
+        .expect("in-memory build"),
+    );
+    let rebuilt_pdr = PdrTree::build(
+        Domain::anonymous(CATS),
+        PdrConfig::default(),
+        &mut pool,
+        model.iter().map(|(t, u)| (*t, u)),
+    )
+    .expect("in-memory build");
+
+    for (qi, probe) in queries.iter().enumerate() {
+        let reference = answers(&scan, &mut pool, probe);
+        assert_query_point(
+            &format!("{what}/q{qi}/rebuilt-inverted"),
+            &reference,
+            &answers(&rebuilt_inv, &mut pool, probe),
+        );
+        assert_query_point(
+            &format!("{what}/q{qi}/rebuilt-pdr"),
+            &reference,
+            &answers(&rebuilt_pdr, &mut pool, probe),
+        );
+        for strategy in SearchStrategy::ALL {
+            inv.parts_mut().0.strategy = strategy;
+            assert_query_point(
+                &format!("{what}/q{qi}/mutated-inverted/{}", strategy.name()),
+                &reference,
+                &durable_answers(inv, probe),
+            );
+        }
+        assert_query_point(
+            &format!("{what}/q{qi}/mutated-pdr"),
+            &reference,
+            &durable_answers(pdr, probe),
+        );
+    }
+}
+
+fn check_interleaved_mutations(
+    initial: &[(u64, Uda)],
+    ops: &[(u8, Uda, u64)],
+    queries: &[(Uda, f64, usize)],
+) {
+    // Group commit and a short auto-checkpoint interval so batching and
+    // log folding both fire inside the schedule.
+    let config = DurableConfig {
+        group_commit: 2,
+        pool_frames: 256,
+        checkpoint_every: 5,
+        ..DurableConfig::default()
+    };
+    let mut model: BTreeMap<u64, Uda> = initial.iter().cloned().collect();
+    let mut next_tid = initial.len() as u64;
+
+    let inv_storage = DurableStorage::in_memory();
+    let mut inv = DurableIndex::create(inv_storage.clone(), config, |pool| {
+        Ok(InvertedBackend::new(InvertedIndex::build(
+            Domain::anonymous(CATS),
+            pool,
+            initial.iter().map(|(t, u)| (*t, u)),
+        )?))
+    })
+    .expect("create durable inverted index");
+    let pdr_storage = DurableStorage::in_memory();
+    let mut pdr = DurableIndex::create(pdr_storage.clone(), config, |pool| {
+        PdrTree::build(
+            Domain::anonymous(CATS),
+            PdrConfig::default(),
+            pool,
+            initial.iter().map(|(t, u)| (*t, u)),
+        )
+    })
+    .expect("create durable pdr-tree");
+
+    for (i, step) in ops.iter().enumerate() {
+        let op = concretize(step, &model, &mut next_tid);
+        apply_mut(&mut inv, &op);
+        apply_mut(&mut pdr, &op);
+        match op {
+            MutOp::Insert(tid, u) | MutOp::Update(tid, u) => {
+                model.insert(tid, u);
+            }
+            MutOp::Delete(tid) => {
+                model.remove(&tid);
+            }
+        }
+        if i % 4 == 3 {
+            compare_against_model(&format!("step_{i}"), &mut inv, &mut pdr, &model, queries);
+        }
+    }
+    compare_against_model("final", &mut inv, &mut pdr, &model, queries);
+
+    // Structural invariants still hold on the mutated indexes.
+    let (backend, pool) = inv.parts_mut();
+    backend
+        .index
+        .check_invariants(pool)
+        .expect("inverted invariants");
+    let (backend, pool) = pdr.parts_mut();
+    backend.check_invariants(pool).expect("pdr-tree invariants");
+
+    // A crash-free reopen (snapshot + WAL replay) reproduces the same
+    // state on both backends.
+    drop(inv);
+    drop(pdr);
+    let (mut inv, _) =
+        DurableIndex::<InvertedBackend>::open(inv_storage, config).expect("clean reopen");
+    let (mut pdr, _) = DurableIndex::<PdrTree>::open(pdr_storage, config).expect("clean reopen");
+    compare_against_model("reopened", &mut inv, &mut pdr, &model, queries);
 }
 
 fn check_join_plans_agree(
