@@ -5,7 +5,7 @@ use uncat_core::query::{EqQuery, TopKQuery};
 use uncat_core::Domain;
 use uncat_datagen::workload::CalibratedQuery;
 use uncat_datagen::Dataset;
-use uncat_inverted::{InvertedIndex, Strategy};
+use uncat_inverted::{InvertedIndex, PostingFormat, Strategy};
 use uncat_pdrtree::{PdrConfig, PdrTree};
 use uncat_query::{InvertedBackend, UncertainIndex};
 use uncat_storage::{BufferPool, InMemoryDisk, QueryMetrics, SharedStore};
@@ -59,16 +59,32 @@ const BUILD_FRAMES: usize = 512;
 /// Frames per query — the paper's setting.
 pub const QUERY_FRAMES: usize = 100;
 
-/// Build an inverted index over its own store.
+/// Build an inverted index over its own store (default posting format).
 pub fn build_inverted(
     domain: &Domain,
     data: &Dataset,
     strategy: Strategy,
 ) -> (InvertedBackend, SharedStore) {
+    build_inverted_fmt(domain, data, strategy, PostingFormat::default())
+}
+
+/// Build an inverted index in an explicit posting format — the block-max
+/// ablation compares `Raw` and `Blocks` over identical data.
+pub fn build_inverted_fmt(
+    domain: &Domain,
+    data: &Dataset,
+    strategy: Strategy,
+    format: PostingFormat,
+) -> (InvertedBackend, SharedStore) {
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
-    let idx = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
-        .expect("in-memory build");
+    let idx = InvertedIndex::build_with_format(
+        domain.clone(),
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+        format,
+    )
+    .expect("in-memory build");
     pool.flush().expect("in-memory flush");
     (InvertedBackend::with_strategy(idx, strategy), store)
 }

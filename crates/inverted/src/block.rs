@@ -1,0 +1,593 @@
+//! Compressed block posting format (ROADMAP open item 1).
+//!
+//! A posting list is split into blocks of ~[`BLOCK_TARGET`] entries, each
+//! stored as one heap record. Inside a block, tuple ids are delta-varint
+//! encoded (sorted ascending) and probabilities are kept as raw `f32`
+//! bits — lossless, so every strategy produces scores identical to the
+//! raw B-tree format. Per block, the in-memory directory keeps:
+//!
+//! * the exact 8-byte posting key of the block's first entry (the
+//!   *separator*, used to place mutations),
+//! * the entry count,
+//! * `max_q`: the block's maximum probability quantized **up** to a
+//!   multiple of `1/65535`. Rounding up keeps pruning conservative —
+//!   [`dequantize`]`(max_q)` dominates every probability in the block, so
+//!   a block whose dequantized maximum is below the live bound (τ, θ, or
+//!   a Lemma 1 frontier sum) can be skipped without decoding,
+//! * the heap [`RecordId`] holding the payload (the skip pointer: the
+//!   directory walks block to block without touching payload pages).
+//!
+//! Payload wire format (`docs/FORMAT.md` has the byte-level spec):
+//!
+//! ```text
+//! u16 count (LE)
+//! count × varint tid        first tid absolute, then deltas (ascending)
+//! count × f32 prob (LE)     raw bits, ascending-tid order
+//! ```
+//!
+//! The *stream* order of a block — the order cursors deliver entries — is
+//! descending probability with ties by ascending tid, exactly the raw
+//! posting-key order; [`decode_block`] re-sorts into it.
+
+use uncat_core::{Prob, TupleId};
+use uncat_storage::{BufferPool, HeapFile, RecordId, Result, StorageError};
+
+use crate::postings::{posting_key, KEY_LEN};
+
+/// Entries per block when building or splitting.
+pub const BLOCK_TARGET: usize = 128;
+
+/// An inserted-into block splits once it exceeds this (2 × target).
+pub const BLOCK_SPLIT: usize = 2 * BLOCK_TARGET;
+
+/// Quantization denominator for block maxima.
+pub const PROB_SCALE: u32 = 65_535;
+
+/// Quantize a probability **up**: the smallest `q` with
+/// `q / 65535 ≥ p`. Over-estimation keeps block-max pruning sound.
+pub fn quantize_up(p: f32) -> u16 {
+    debug_assert!(p >= 0.0 && p <= 1.0, "probability out of range: {p}");
+    let mut q = ((p as f64) * PROB_SCALE as f64).ceil() as u32;
+    q = q.min(PROB_SCALE);
+    // Guard the float path: bump until the dequantized value dominates.
+    while ((q as f64) / PROB_SCALE as f64) < p as f64 && q < PROB_SCALE {
+        q += 1;
+    }
+    q as u16
+}
+
+/// The probability bound a quantized maximum stands for.
+pub fn dequantize(q: u16) -> f64 {
+    q as f64 / PROB_SCALE as f64
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], at: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*at)
+            .ok_or(StorageError::Corrupt("posting block varint truncated"))?;
+        *at += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(StorageError::Corrupt("posting block varint overflows"));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encode a block payload. `entries` must be in stream order (descending
+/// probability, ties by ascending tid); tids must be distinct.
+pub fn encode_block(entries: &[(TupleId, Prob)]) -> Vec<u8> {
+    debug_assert!(entries.len() <= u16::MAX as usize);
+    let mut by_tid: Vec<(TupleId, Prob)> = entries.to_vec();
+    by_tid.sort_unstable_by_key(|&(tid, _)| tid);
+    let mut out = Vec::with_capacity(2 + by_tid.len() * 6);
+    out.extend_from_slice(&(by_tid.len() as u16).to_le_bytes());
+    let mut prev = 0u64;
+    for (i, &(tid, _)) in by_tid.iter().enumerate() {
+        push_varint(&mut out, if i == 0 { tid } else { tid - prev });
+        prev = tid;
+    }
+    for &(_, p) in &by_tid {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decode a block payload back into stream order (descending probability,
+/// ties by ascending tid). A payload that does not parse — possible only
+/// through corruption that passed the physical checks — is a typed error.
+pub fn decode_block(bytes: &[u8]) -> Result<Vec<(TupleId, Prob)>> {
+    let count_bytes: [u8; 2] = bytes
+        .get(..2)
+        .and_then(|b| b.try_into().ok())
+        .ok_or(StorageError::Corrupt("posting block shorter than its header"))?;
+    let count = u16::from_le_bytes(count_bytes) as usize;
+    let mut at = 2usize;
+    let mut tids = Vec::with_capacity(count.min(bytes.len()));
+    let mut prev = 0u64;
+    for i in 0..count {
+        let v = read_varint(bytes, &mut at)?;
+        let tid = if i == 0 { v } else { prev.checked_add(v).ok_or(StorageError::Corrupt("posting block tid overflows"))? };
+        if i > 0 && tid <= prev {
+            return Err(StorageError::Corrupt("posting block tids not ascending"));
+        }
+        tids.push(tid);
+        prev = tid;
+    }
+    if bytes.len() != at + 4 * count {
+        return Err(StorageError::Corrupt("posting block probability area missized"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for (i, tid) in tids.into_iter().enumerate() {
+        let bits = u32::from_le_bytes(bytes[at + 4 * i..at + 4 * i + 4].try_into().expect("4 bytes"));
+        let p = f32::from_bits(bits);
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(StorageError::Corrupt("posting block probability out of range"));
+        }
+        entries.push((tid, p));
+    }
+    // Stream order = posting-key order: descending p, ties ascending tid.
+    entries.sort_unstable_by_key(|&(tid, p)| posting_key(p, tid));
+    Ok(entries)
+}
+
+/// Directory entry for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Exact posting key of the block's first stream entry. Directory
+    /// order is ascending `sep` — i.e. descending probability.
+    pub sep: [u8; KEY_LEN],
+    /// Entries in the block.
+    pub count: u16,
+    /// Block maximum probability, quantized up ([`quantize_up`]).
+    pub max_q: u16,
+    /// Heap record holding the encoded payload (the skip pointer).
+    pub rid: RecordId,
+}
+
+/// One category's posting list in block format: the block directory plus
+/// the total entry count. Payloads live in the index's block heap.
+#[derive(Debug, Default, Clone)]
+pub struct BlockList {
+    blocks: Vec<BlockMeta>,
+    entries: u64,
+}
+
+impl BlockList {
+    /// An empty list.
+    pub fn new() -> BlockList {
+        BlockList::default()
+    }
+
+    /// Reattach from persisted parts (see `persist`).
+    pub fn from_raw_parts(blocks: Vec<BlockMeta>, entries: u64) -> BlockList {
+        BlockList { blocks, entries }
+    }
+
+    /// Total posting entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// The block directory, in stream order.
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// Build a list from entries already in stream order, packing
+    /// [`BLOCK_TARGET`] entries per block. Payload records are inserted
+    /// in stream order, so consecutive blocks pack pages densely.
+    pub fn build(
+        heap: &mut HeapFile,
+        pool: &mut BufferPool,
+        entries: &[(TupleId, Prob)],
+    ) -> Result<BlockList> {
+        let mut list = BlockList::new();
+        for chunk in entries.chunks(BLOCK_TARGET) {
+            let rid = heap.insert(pool, &encode_block(chunk))?;
+            list.blocks.push(meta_for(chunk, rid));
+            list.entries += chunk.len() as u64;
+        }
+        Ok(list)
+    }
+
+    /// Index of the block whose key range covers `key` (for mutation
+    /// placement). Empty lists have no covering block.
+    fn covering_block(&self, key: &[u8; KEY_LEN]) -> Option<usize> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        // Last block with sep ≤ key; keys before the first separator
+        // belong in block 0 (its separator moves down).
+        Some(self.blocks.partition_point(|b| b.sep <= *key).saturating_sub(1))
+    }
+
+    /// Insert one entry, splitting the receiving block at
+    /// [`BLOCK_SPLIT`]. The payload record is rewritten (delete +
+    /// insert); the directory keeps exact separators so stream order is
+    /// preserved across arbitrary mutations.
+    pub fn insert(
+        &mut self,
+        heap: &mut HeapFile,
+        pool: &mut BufferPool,
+        tid: TupleId,
+        p: Prob,
+    ) -> Result<()> {
+        let key = posting_key(p, tid);
+        let Some(i) = self.covering_block(&key) else {
+            let rid = heap.insert(pool, &encode_block(&[(tid, p)]))?;
+            self.blocks.push(meta_for(&[(tid, p)], rid));
+            self.entries = 1;
+            return Ok(());
+        };
+        let mut entries = self.read_block(heap, pool, i)?;
+        let at = entries.partition_point(|&(t, q)| posting_key(q, t) < key);
+        entries.insert(at, (tid, p));
+        heap.delete(pool, self.blocks[i].rid)?;
+        if entries.len() > BLOCK_SPLIT {
+            let right = entries.split_off(entries.len() / 2);
+            let left_rid = heap.insert(pool, &encode_block(&entries))?;
+            let right_rid = heap.insert(pool, &encode_block(&right))?;
+            self.blocks[i] = meta_for(&entries, left_rid);
+            self.blocks.insert(i + 1, meta_for(&right, right_rid));
+        } else {
+            let rid = heap.insert(pool, &encode_block(&entries))?;
+            self.blocks[i] = meta_for(&entries, rid);
+        }
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Remove one entry (exact `(tid, p)` match). Returns whether it was
+    /// present; an emptied block is dropped from the directory.
+    pub fn remove(
+        &mut self,
+        heap: &mut HeapFile,
+        pool: &mut BufferPool,
+        tid: TupleId,
+        p: Prob,
+    ) -> Result<bool> {
+        let key = posting_key(p, tid);
+        let Some(i) = self.covering_block(&key) else {
+            return Ok(false);
+        };
+        let mut entries = self.read_block(heap, pool, i)?;
+        let Some(at) = entries.iter().position(|&(t, q)| t == tid && q == p) else {
+            return Ok(false);
+        };
+        entries.remove(at);
+        heap.delete(pool, self.blocks[i].rid)?;
+        if entries.is_empty() {
+            self.blocks.remove(i);
+        } else {
+            let rid = heap.insert(pool, &encode_block(&entries))?;
+            self.blocks[i] = meta_for(&entries, rid);
+        }
+        self.entries -= 1;
+        Ok(true)
+    }
+
+    fn read_block(
+        &self,
+        heap: &HeapFile,
+        pool: &mut BufferPool,
+        i: usize,
+    ) -> Result<Vec<(TupleId, Prob)>> {
+        let bytes = heap
+            .get(pool, self.blocks[i].rid)?
+            .ok_or(StorageError::Corrupt("block directory points at a deleted record"))?;
+        decode_block(&bytes)
+    }
+}
+
+fn meta_for(entries: &[(TupleId, Prob)], rid: RecordId) -> BlockMeta {
+    let (tid0, p0) = entries[0];
+    BlockMeta {
+        sep: posting_key(p0, tid0),
+        count: entries.len() as u16,
+        max_q: quantize_up(p0),
+        rid,
+    }
+}
+
+/// A seeking cursor over a [`BlockList`]: blocks decode lazily, so a list
+/// whose bound never justifies a decode costs no payload reads at all.
+pub struct BlockCursor<'a> {
+    list: &'a BlockList,
+    heap: &'a HeapFile,
+    /// Current block index.
+    block: usize,
+    /// Decoded entries of the current block (stream order), empty while
+    /// the block is undecoded.
+    buf: Vec<(TupleId, Prob)>,
+    pos: usize,
+    decoded: bool,
+    /// Blocks this cursor has decoded (for skip accounting).
+    decoded_blocks: u64,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// Cursor at the head of the list, with nothing decoded yet.
+    pub fn open(list: &'a BlockList, heap: &'a HeapFile) -> BlockCursor<'a> {
+        BlockCursor {
+            list,
+            heap,
+            block: 0,
+            buf: Vec::new(),
+            pos: 0,
+            decoded: false,
+            decoded_blocks: 0,
+        }
+    }
+
+    /// Whether the cursor is past the last entry.
+    pub fn exhausted(&self) -> bool {
+        self.block >= self.list.blocks.len()
+    }
+
+    /// An upper bound on the probability under the cursor, available
+    /// without decoding: the exact head probability when the current
+    /// block is decoded, its quantized-up maximum otherwise.
+    pub fn bound(&self) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        if self.decoded {
+            Some(self.buf[self.pos].1 as f64)
+        } else {
+            Some(dequantize(self.list.blocks[self.block].max_q))
+        }
+    }
+
+    /// Whether the entry under the cursor is already decoded (its exact
+    /// `(tid, p)` is known without I/O).
+    pub fn head_is_exact(&self) -> bool {
+        self.decoded && !self.exhausted()
+    }
+
+    /// The exact entry under the cursor, decoding the current block if
+    /// needed. `decoded_new` reports whether this call decoded a block
+    /// (the caller ticks `blocks_decoded`).
+    pub fn head(
+        &mut self,
+        pool: &mut BufferPool,
+    ) -> Result<Option<((TupleId, Prob), bool)>> {
+        if self.exhausted() {
+            return Ok(None);
+        }
+        let mut decoded_new = false;
+        if !self.decoded {
+            let bytes = self
+                .heap
+                .get(pool, self.list.blocks[self.block].rid)?
+                .ok_or(StorageError::Corrupt("block directory points at a deleted record"))?;
+            self.buf = decode_block(&bytes)?;
+            if self.buf.len() != self.list.blocks[self.block].count as usize {
+                return Err(StorageError::Corrupt("block count disagrees with its directory"));
+            }
+            self.pos = 0;
+            self.decoded = true;
+            self.decoded_blocks += 1;
+            decoded_new = true;
+        }
+        Ok(Some((self.buf[self.pos], decoded_new)))
+    }
+
+    /// Step one entry. Crossing a block boundary leaves the next block
+    /// undecoded — its [`bound`](BlockCursor::bound) is served from the
+    /// directory until [`head`](BlockCursor::head) is forced.
+    pub fn advance(&mut self) {
+        if self.exhausted() {
+            return;
+        }
+        debug_assert!(self.decoded, "advance past an undecoded head");
+        self.pos += 1;
+        if self.pos >= self.buf.len() {
+            self.block += 1;
+            self.pos = 0;
+            self.decoded = false;
+            self.buf.clear();
+        }
+    }
+
+    /// Blocks this cursor never decoded — charged as `blocks_skipped`
+    /// when the search stops (so `blocks_decoded + blocks_skipped` equals
+    /// the block count of every opened list).
+    pub fn undecoded_blocks(&self) -> u64 {
+        self.list.blocks.len() as u64 - self.decoded_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uncat_storage::InMemoryDisk;
+
+    fn stream_sorted(entries: &mut Vec<(TupleId, Prob)>) {
+        entries.sort_unstable_by_key(|&(tid, p)| posting_key(p, tid));
+    }
+
+    #[test]
+    fn quantization_rounds_up_and_dominates() {
+        for p in [1e-7f32, 1e-4, 0.1, 0.25, 0.5, 0.999, 1.0, 1.0 / 3.0, 0.7] {
+            let q = quantize_up(p);
+            assert!(dequantize(q) >= p as f64, "p={p} q={q}");
+            if q > 1 {
+                assert!(
+                    dequantize(q - 1) < p as f64,
+                    "q not minimal for p={p}: {q}"
+                );
+            }
+        }
+        assert_eq!(quantize_up(1.0), PROB_SCALE as u16);
+    }
+
+    #[test]
+    fn codec_roundtrips_edge_blocks() {
+        // Empty, single entry, maximal tid delta, boundary probabilities.
+        let cases: Vec<Vec<(TupleId, Prob)>> = vec![
+            vec![],
+            vec![(0, 1.0)],
+            vec![(u32::MAX as u64, f32::MIN_POSITIVE)],
+            vec![(0, 0.5), (u32::MAX as u64, 0.5)],
+            vec![(7, 1.0), (3, 0.25), (9, 0.25), (1, 1.0 / 65535.0)],
+        ];
+        for mut entries in cases {
+            stream_sorted(&mut entries);
+            let bytes = encode_block(&entries);
+            assert_eq!(decode_block(&bytes).unwrap(), entries);
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_errors() {
+        assert!(decode_block(&[]).is_err());
+        assert!(decode_block(&[5, 0]).is_err(), "count with no entries");
+        let good = encode_block(&[(1, 0.5), (2, 0.25)]);
+        assert!(decode_block(&good[..good.len() - 1]).is_err(), "truncated");
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_block(&long).is_err(), "trailing bytes");
+        // A zero probability cannot appear in a posting list.
+        let mut zero_p = encode_block(&[(1, 0.5)]);
+        let n = zero_p.len();
+        zero_p[n - 4..].copy_from_slice(&0f32.to_bits().to_le_bytes());
+        assert!(decode_block(&zero_p).is_err());
+    }
+
+    #[test]
+    fn build_packs_blocks_and_mutations_keep_order() {
+        let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 64);
+        let mut heap = HeapFile::new();
+        let mut entries: Vec<(TupleId, Prob)> = (0..300u64)
+            .map(|t| (t, 1.0 - (t as f32 + 1.0) / 512.0))
+            .collect();
+        stream_sorted(&mut entries);
+        let mut list = BlockList::build(&mut heap, &mut pool, &entries).unwrap();
+        assert_eq!(list.len(), 300);
+        assert_eq!(list.blocks().len(), 3);
+        for b in list.blocks() {
+            assert!(b.count as usize <= BLOCK_TARGET);
+        }
+
+        // Insert at the front (new maximum), middle, and back.
+        list.insert(&mut heap, &mut pool, 1000, 1.0).unwrap();
+        list.insert(&mut heap, &mut pool, 1001, 0.6).unwrap();
+        list.insert(&mut heap, &mut pool, 1002, 1e-6).unwrap();
+        assert!(list.remove(&mut heap, &mut pool, 1001, 0.6).unwrap());
+        assert!(!list.remove(&mut heap, &mut pool, 1001, 0.6).unwrap());
+
+        // Full stream through a cursor is sorted and complete.
+        let mut cur = BlockCursor::open(&list, &heap);
+        let mut seen = Vec::new();
+        while let Some(((tid, p), _)) = cur.head(&mut pool).unwrap() {
+            seen.push((tid, p));
+            cur.advance();
+        }
+        assert_eq!(seen.len(), 302);
+        assert_eq!(seen[0], (1000, 1.0));
+        assert_eq!(seen.last().copied().unwrap(), (1002, 1e-6));
+        for w in seen.windows(2) {
+            assert!(
+                posting_key(w[0].1, w[0].0) < posting_key(w[1].1, w[1].0),
+                "stream order violated: {w:?}"
+            );
+        }
+        assert_eq!(cur.undecoded_blocks(), 0);
+    }
+
+    #[test]
+    fn splitting_keeps_separators_exact() {
+        let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 64);
+        let mut heap = HeapFile::new();
+        let mut list = BlockList::new();
+        for t in 0..(BLOCK_SPLIT as u64 + 50) {
+            let p = 0.9 - (t as f32) * 1e-3;
+            list.insert(&mut heap, &mut pool, t, p).unwrap();
+        }
+        assert!(list.blocks().len() >= 2, "split must have happened");
+        let mut cur = BlockCursor::open(&list, &heap);
+        let mut n = 0u64;
+        let mut block_starts: Vec<(TupleId, Prob)> = Vec::new();
+        let mut at_start = true;
+        while let Some(((tid, p), decoded_new)) = cur.head(&mut pool).unwrap() {
+            if decoded_new || at_start {
+                block_starts.push((tid, p));
+                at_start = false;
+            }
+            n += 1;
+            cur.advance();
+        }
+        assert_eq!(n, list.len());
+        for (meta, &(tid, p)) in list.blocks().iter().zip(&block_starts) {
+            assert_eq!(meta.sep, posting_key(p, tid), "separator must be exact");
+            assert!(dequantize(meta.max_q) >= p as f64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Round trip over arbitrary blocks, including quantization
+        // boundaries and maximal tids.
+        #[test]
+        fn codec_roundtrip(raw in proptest::collection::vec(
+            (0u64..=u32::MAX as u64, 1u32..=PROB_SCALE), 0..200)
+        ) {
+            let mut entries: Vec<(TupleId, Prob)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (tid, q) in raw {
+                if seen.insert(tid) {
+                    entries.push((tid, q as f32 / PROB_SCALE as f32));
+                }
+            }
+            stream_sorted(&mut entries);
+            let bytes = encode_block(&entries);
+            let back = decode_block(&bytes).unwrap();
+            prop_assert_eq!(back, entries);
+        }
+
+        // Every decoded probability is dominated by the block's
+        // quantized-up maximum — the invariant block-max pruning needs.
+        #[test]
+        fn decoded_p_never_exceeds_block_max(raw in proptest::collection::vec(
+            (0u64..=u32::MAX as u64, 1u32..=u32::MAX), 1..150)
+        ) {
+            let mut entries: Vec<(TupleId, Prob)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (tid, bits) in raw {
+                // Spread probabilities across (0, 1] including values that
+                // straddle quantization boundaries.
+                let p = (bits as f64 / u32::MAX as f64) as f32;
+                let p = p.clamp(f32::MIN_POSITIVE, 1.0);
+                if seen.insert(tid) {
+                    entries.push((tid, p));
+                }
+            }
+            stream_sorted(&mut entries);
+            let max_q = quantize_up(entries[0].1);
+            for &(_, p) in decode_block(&encode_block(&entries)).unwrap().iter() {
+                prop_assert!(p as f64 <= dequantize(max_q));
+            }
+        }
+    }
+}

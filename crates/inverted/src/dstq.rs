@@ -17,7 +17,6 @@
 //! KL only for clustering.
 
 use std::collections::HashSet;
-use std::ops::ControlFlow;
 
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
@@ -25,7 +24,6 @@ use uncat_core::Divergence;
 use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
-use crate::postings::decode_posting;
 use crate::search::query_lists;
 
 impl InvertedIndex {
@@ -70,13 +68,10 @@ impl InvertedIndex {
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
         let mut candidates: HashSet<u64> = HashSet::new();
-        for (_cat, _qp, tree) in query_lists(self, &query.q) {
+        for (_cat, _qp, list) in query_lists(self, &query.q) {
             metrics.lists_opened += 1;
-            tree.scan_all(pool, |key, _| {
-                metrics.postings_scanned += 1;
-                let (_p, tid) = decode_posting(key);
+            list.scan_all(self.block_heap(), pool, metrics, |tid, _p| {
                 candidates.insert(tid);
-                ControlFlow::Continue(())
             })?;
         }
         metrics.candidates_generated += candidates.len() as u64;
@@ -133,13 +128,10 @@ impl InvertedIndex {
         };
         if query.divergence.is_metric() {
             let mut candidates: HashSet<u64> = HashSet::new();
-            for (_cat, _qp, tree) in query_lists(self, &query.q) {
+            for (_cat, _qp, list) in query_lists(self, &query.q) {
                 metrics.lists_opened += 1;
-                tree.scan_all(pool, |key, _| {
-                    metrics.postings_scanned += 1;
-                    let (_p, tid) = decode_posting(key);
+                list.scan_all(self.block_heap(), pool, metrics, |tid, _p| {
                     candidates.insert(tid);
-                    ControlFlow::Continue(())
                 })?;
             }
             metrics.candidates_generated += candidates.len() as u64;

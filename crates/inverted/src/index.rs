@@ -5,7 +5,21 @@ use std::collections::{BTreeMap, HashMap};
 use uncat_core::{codec, CatId, Domain, Uda};
 use uncat_storage::{BufferPool, HeapFile, RecordId, Result, StorageError};
 
-use crate::postings::{posting_key, PostingTree};
+use crate::block::BlockList;
+use crate::postings::{decode_posting, posting_key, PostingList, PostingTree};
+
+/// Physical layout of the posting lists (see `docs/FORMAT.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostingFormat {
+    /// Raw `(tid, p)` pairs as B+tree keys — the original layout,
+    /// snapshot format `UIV1`. Still fully supported for loading old
+    /// snapshots and for differential testing.
+    Raw,
+    /// Compressed blocks (delta-varint tids, lossless probabilities,
+    /// quantized-up block maxima) — snapshot format `UIV2`, the default.
+    #[default]
+    Blocks,
+}
 
 /// Heap-record layout: `u64 tid (LE) ‖ UDA encoding`. Carrying the tid in
 /// the record lets full scans attribute distributions without a reverse
@@ -43,8 +57,12 @@ pub struct IndexStats {
     pub postings: u64,
     /// Length of the longest posting list.
     pub longest_list: u64,
-    /// Deepest posting B+tree.
+    /// Deepest posting B+tree (raw format; zero for block lists).
     pub max_list_depth: u32,
+    /// Posting blocks across all lists (block format; zero for raw).
+    pub posting_blocks: u64,
+    /// Pages occupied by the block heap (block format; zero for raw).
+    pub block_pages: u64,
     /// Pages occupied by the tuple store.
     pub heap_pages: u64,
 }
@@ -95,31 +113,59 @@ impl IndexStats {
 /// ```
 pub struct InvertedIndex {
     domain: Domain,
-    postings: BTreeMap<CatId, PostingTree>,
+    format: PostingFormat,
+    postings: BTreeMap<CatId, PostingList>,
     heap: HeapFile,
+    /// Payloads of block-format posting lists. Unused (and empty) for
+    /// raw-format indexes; kept unconditionally so the two formats share
+    /// one code path everywhere else.
+    block_heap: HeapFile,
     rids: HashMap<u64, RecordId>,
 }
 
 impl InvertedIndex {
-    /// Create an empty index over `domain`.
+    /// Create an empty index over `domain` in the default (block)
+    /// posting format.
     pub fn new(domain: Domain) -> InvertedIndex {
+        InvertedIndex::new_with_format(domain, PostingFormat::default())
+    }
+
+    /// Create an empty index over `domain` in an explicit posting
+    /// format.
+    pub fn new_with_format(domain: Domain, format: PostingFormat) -> InvertedIndex {
         InvertedIndex {
             domain,
+            format,
             postings: BTreeMap::new(),
             heap: HeapFile::new(),
+            block_heap: HeapFile::new(),
             rids: HashMap::new(),
         }
     }
 
-    /// Build from a collection of tuples.
-    ///
-    /// Postings are loaded in key order per category, which packs list
-    /// pages densely (the B+tree's append-friendly split).
+    /// Build from a collection of tuples in the default (block) format.
     pub fn build<'a, I>(domain: Domain, pool: &mut BufferPool, tuples: I) -> Result<InvertedIndex>
     where
         I: IntoIterator<Item = (u64, &'a Uda)>,
     {
-        let mut idx = InvertedIndex::new(domain);
+        InvertedIndex::build_with_format(domain, pool, tuples, PostingFormat::default())
+    }
+
+    /// Build from a collection of tuples in an explicit posting format.
+    ///
+    /// Postings are loaded in stream (key) order per category: raw lists
+    /// pack B+tree pages densely (append-friendly splits), block lists
+    /// pack consecutive full blocks onto consecutive heap pages.
+    pub fn build_with_format<'a, I>(
+        domain: Domain,
+        pool: &mut BufferPool,
+        tuples: I,
+        format: PostingFormat,
+    ) -> Result<InvertedIndex>
+    where
+        I: IntoIterator<Item = (u64, &'a Uda)>,
+    {
+        let mut idx = InvertedIndex::new_with_format(domain, format);
         let mut per_cat: BTreeMap<CatId, Vec<[u8; crate::postings::KEY_LEN]>> = BTreeMap::new();
         for (tid, uda) in tuples {
             debug_assert!(uda.max_cat().is_none_or(|c| idx.domain.contains(c)));
@@ -134,11 +180,26 @@ impl InvertedIndex {
         }
         for (cat, mut keys) in per_cat {
             keys.sort_unstable();
-            let mut tree = PostingTree::create(pool)?;
-            for k in &keys {
-                tree.insert(pool, k, &[])?;
-            }
-            idx.postings.insert(cat, tree);
+            let list = match format {
+                PostingFormat::Raw => {
+                    let mut tree = PostingTree::create(pool)?;
+                    for k in &keys {
+                        tree.insert(pool, k, &[])?;
+                    }
+                    PostingList::Tree(tree)
+                }
+                PostingFormat::Blocks => {
+                    let entries: Vec<(u64, f32)> = keys
+                        .iter()
+                        .map(|k| {
+                            let (p, tid) = decode_posting(k);
+                            (tid, p)
+                        })
+                        .collect();
+                    PostingList::Blocks(BlockList::build(&mut idx.block_heap, pool, &entries)?)
+                }
+            };
+            idx.postings.insert(cat, list);
         }
         Ok(idx)
     }
@@ -151,14 +212,23 @@ impl InvertedIndex {
         }
         let rid = self.heap.insert(pool, &encode_record(tid, uda))?;
         self.rids.insert(tid, rid);
+        let format = self.format;
         for (cat, p) in uda.iter() {
-            let tree = match self.postings.entry(cat) {
+            let list = match self.postings.entry(cat) {
                 std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(PostingTree::create(pool)?)
-                }
+                std::collections::btree_map::Entry::Vacant(e) => e.insert(match format {
+                    PostingFormat::Raw => PostingList::Tree(PostingTree::create(pool)?),
+                    PostingFormat::Blocks => PostingList::Blocks(BlockList::new()),
+                }),
             };
-            tree.insert(pool, &posting_key(p, tid), &[])?;
+            match list {
+                PostingList::Tree(tree) => {
+                    tree.insert(pool, &posting_key(p, tid), &[])?;
+                }
+                PostingList::Blocks(blocks) => {
+                    blocks.insert(&mut self.block_heap, pool, tid, p)?;
+                }
+            }
         }
         Ok(())
     }
@@ -189,11 +259,19 @@ impl InvertedIndex {
             .ok_or(StorageError::Corrupt("rid map points at a deleted record"))?;
         let (_tid, uda) = decode_record(&bytes)?;
         for (cat, p) in uda.iter() {
-            let tree = self.postings.get_mut(&cat).ok_or(StorageError::Corrupt(
+            let list = self.postings.get_mut(&cat).ok_or(StorageError::Corrupt(
                 "posting list missing for stored entry",
             ))?;
-            let removed = tree.remove(pool, &posting_key(p, tid))?;
-            debug_assert!(removed.is_some(), "posting entry missing for tuple {tid}");
+            match list {
+                PostingList::Tree(tree) => {
+                    let removed = tree.remove(pool, &posting_key(p, tid))?;
+                    debug_assert!(removed.is_some(), "posting entry missing for tuple {tid}");
+                }
+                PostingList::Blocks(blocks) => {
+                    let removed = blocks.remove(&mut self.block_heap, pool, tid, p)?;
+                    debug_assert!(removed, "posting entry missing for tuple {tid}");
+                }
+            }
         }
         self.heap.delete(pool, rid)?;
         Ok(true)
@@ -228,9 +306,14 @@ impl InvertedIndex {
         &self.domain
     }
 
+    /// The physical posting format this index uses.
+    pub fn format(&self) -> PostingFormat {
+        self.format
+    }
+
     /// Number of posting entries in `cat`'s list.
     pub fn list_len(&self, cat: CatId) -> u64 {
-        self.postings.get(&cat).map_or(0, |t| t.len())
+        self.postings.get(&cat).map_or(0, |l| l.len())
     }
 
     /// Iterate all tuple ids (unordered).
@@ -266,19 +349,32 @@ impl InvertedIndex {
     pub fn stats(&self) -> IndexStats {
         let mut s = IndexStats {
             heap_pages: self.heap.num_pages() as u64,
+            block_pages: self.block_heap.num_pages() as u64,
             ..IndexStats::default()
         };
-        for tree in self.postings.values() {
+        for list in self.postings.values() {
             s.lists += 1;
-            s.postings += tree.len();
-            s.longest_list = s.longest_list.max(tree.len());
-            s.max_list_depth = s.max_list_depth.max(tree.depth());
+            s.postings += list.len();
+            s.longest_list = s.longest_list.max(list.len());
+            match list {
+                PostingList::Tree(tree) => {
+                    s.max_list_depth = s.max_list_depth.max(tree.depth());
+                }
+                PostingList::Blocks(blocks) => {
+                    s.posting_blocks += blocks.blocks().len() as u64;
+                }
+            }
         }
         s
     }
 
-    pub(crate) fn posting_tree(&self, cat: CatId) -> Option<&PostingTree> {
+    pub(crate) fn posting_list(&self, cat: CatId) -> Option<&PostingList> {
         self.postings.get(&cat)
+    }
+
+    /// The heap holding block-format posting payloads.
+    pub(crate) fn block_heap(&self) -> &HeapFile {
+        &self.block_heap
     }
 
     /// The heap page a tuple's record lives on (for sorted random access).
@@ -306,21 +402,62 @@ impl InvertedIndex {
         assert_eq!(tuples, self.rids.len() as u64, "heap and rid map disagree");
 
         let mut posting_entries = 0u64;
-        for (cat, tree) in &self.postings {
+        for (cat, list) in &self.postings {
             let mut in_list = 0u64;
-            tree.scan_all(pool, |key, _| {
-                let (p, tid) = crate::postings::decode_posting(key);
-                in_list += 1;
-                assert!(
-                    self.rids.contains_key(&tid),
-                    "posting in {cat} refers to unknown tuple {tid}"
-                );
-                assert!(p > 0.0 && p <= 1.0, "posting probability out of range");
-                ControlFlow::Continue(())
-            })?;
+            match list {
+                PostingList::Tree(tree) => {
+                    tree.scan_all(pool, |key, _| {
+                        let (p, tid) = decode_posting(key);
+                        in_list += 1;
+                        assert!(
+                            self.rids.contains_key(&tid),
+                            "posting in {cat} refers to unknown tuple {tid}"
+                        );
+                        assert!(p > 0.0 && p <= 1.0, "posting probability out of range");
+                        ControlFlow::Continue(())
+                    })?;
+                }
+                PostingList::Blocks(blocks) => {
+                    let mut prev: Option<[u8; crate::postings::KEY_LEN]> = None;
+                    for meta in blocks.blocks() {
+                        let bytes = self.block_heap.get(pool, meta.rid)?.ok_or(
+                            StorageError::Corrupt("block directory points at a deleted record"),
+                        )?;
+                        let entries = crate::block::decode_block(&bytes)?;
+                        assert_eq!(
+                            entries.len(),
+                            meta.count as usize,
+                            "block count disagrees with its directory in {cat}"
+                        );
+                        let (tid0, p0) = entries[0];
+                        assert_eq!(
+                            meta.sep,
+                            posting_key(p0, tid0),
+                            "block separator not the exact first key in {cat}"
+                        );
+                        for &(tid, p) in &entries {
+                            in_list += 1;
+                            assert!(
+                                self.rids.contains_key(&tid),
+                                "posting in {cat} refers to unknown tuple {tid}"
+                            );
+                            assert!(p > 0.0 && p <= 1.0, "posting probability out of range");
+                            assert!(
+                                p as f64 <= crate::block::dequantize(meta.max_q),
+                                "block max must dominate every entry in {cat}"
+                            );
+                            let key = posting_key(p, tid);
+                            if let Some(prev) = prev {
+                                assert!(prev < key, "stream order violated in {cat}");
+                            }
+                            prev = Some(key);
+                        }
+                    }
+                }
+            }
             assert_eq!(
                 in_list,
-                tree.len(),
+                list.len(),
                 "list length counter out of sync for {cat}"
             );
             posting_entries += in_list;
@@ -338,24 +475,32 @@ impl InvertedIndex {
         self.heap.raw_parts()
     }
 
+    pub(crate) fn block_heap_parts(&self) -> (&[uncat_storage::PageId], u64) {
+        self.block_heap.raw_parts()
+    }
+
     pub(crate) fn rid_map(&self) -> &HashMap<u64, RecordId> {
         &self.rids
     }
 
-    pub(crate) fn posting_map(&self) -> &BTreeMap<CatId, PostingTree> {
+    pub(crate) fn posting_map(&self) -> &BTreeMap<CatId, PostingList> {
         &self.postings
     }
 
     pub(crate) fn from_parts(
         domain: Domain,
-        postings: BTreeMap<CatId, PostingTree>,
+        format: PostingFormat,
+        postings: BTreeMap<CatId, PostingList>,
         heap: HeapFile,
+        block_heap: HeapFile,
         rids: HashMap<u64, RecordId>,
     ) -> InvertedIndex {
         InvertedIndex {
             domain,
+            format,
             postings,
             heap,
+            block_heap,
             rids,
         }
     }

@@ -2,8 +2,13 @@
 //!
 //! The structure keeps, for every category `d ∈ D`, a posting list
 //! `d.list = {(tid, p) | Pr(tid = d) = p > 0}` sorted by **descending**
-//! probability and organized as a paged B+tree. A heap-file tuple store
-//! supports the random accesses that candidate verification performs.
+//! probability. Two physical formats exist ([`PostingFormat`]): raw
+//! pairs in a paged B+tree, or — the default — compressed blocks
+//! (delta-varint tids + lossless probabilities) whose quantized-up
+//! per-block maxima let every strategy skip whole blocks that cannot
+//! meet the live bound (WAND-style block-max pruning). A heap-file
+//! tuple store supports the random accesses that candidate verification
+//! performs.
 //!
 //! Four search strategies answer PETQ (plus a no-random-access variant):
 //!
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod dstq;
 mod index;
 mod persist;
@@ -35,5 +41,8 @@ mod postings;
 mod search;
 mod topk;
 
-pub use index::{IndexStats, InvertedIndex};
+pub use block::{
+    decode_block, dequantize, encode_block, quantize_up, BLOCK_SPLIT, BLOCK_TARGET, PROB_SCALE,
+};
+pub use index::{IndexStats, InvertedIndex, PostingFormat};
 pub use search::Strategy;

@@ -1,17 +1,29 @@
 //! Metadata snapshots: close an inverted index and reopen it later over
 //! the same (durable) page store.
 //!
-//! Page contents — posting nodes and heap pages — live in the store and
-//! are durable by themselves (e.g. behind a
+//! Page contents — posting nodes, block payloads, and heap pages — live
+//! in the store and are durable by themselves (e.g. behind a
 //! [`uncat_storage::FileDisk`]). What must be remembered across a restart
-//! is the in-memory metadata: the posting directory (category → B+tree
-//! root), the heap's page list, and the tuple-id → record map.
-//! [`InvertedIndex::snapshot`] serializes exactly that; the blob is small
-//! (tens of bytes per category plus ~18 bytes per tuple).
+//! is the in-memory metadata: the posting directory, the heap page
+//! lists, and the tuple-id → record map. [`InvertedIndex::snapshot`]
+//! serializes exactly that; the blob is small (tens of bytes per
+//! category plus ~18 bytes per tuple plus 22 bytes per posting block).
 //! [`InvertedIndex::save`] wraps it in the crash-atomic snapshot file
 //! protocol (`uncat_storage::snapshot::commit`): a torn or corrupted save
 //! is detected on [`InvertedIndex::load`] and the previous file survives
 //! untouched.
+//!
+//! Two snapshot versions exist (byte-level spec in `docs/FORMAT.md`):
+//!
+//! * `UIV1` — raw B-tree posting lists, written by pre-block builds and
+//!   still written for [`PostingFormat::Raw`] indexes. Loading one
+//!   yields a raw-format index, so old snapshots keep working untouched.
+//! * `UIV2` — block posting lists: adds the block heap's page list and,
+//!   per category, the block directory (separator key, count, quantized
+//!   maximum, payload record).
+//!
+//! [`InvertedIndex::open`] dispatches on the magic, so callers never
+//! care which version a blob is.
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
@@ -22,14 +34,20 @@ use uncat_storage::snapshot::{
 };
 use uncat_storage::{HeapFile, PageId, RecordId, SnapshotFileError};
 
-use crate::index::InvertedIndex;
-use crate::postings::PostingTree;
+use crate::block::{BlockList, BlockMeta};
+use crate::index::{InvertedIndex, PostingFormat};
+use crate::postings::{PostingList, PostingTree, KEY_LEN};
 
-const MAGIC: &[u8; 4] = b"UIV1";
+const MAGIC_V1: &[u8; 4] = b"UIV1";
+const MAGIC_V2: &[u8; 4] = b"UIV2";
 
 /// Bytes per serialized rid-map entry (tid + page + slot); used to clamp
 /// pre-allocation against the bytes actually present.
 const RID_ENTRY_LEN: usize = 8 + 8 + 2;
+
+/// Bytes per serialized block directory entry
+/// (sep + count + max_q + page + slot).
+const BLOCK_META_LEN: usize = 8 + 2 + 2 + 8 + 2;
 
 /// Serialize a domain (labels or anonymous cardinality).
 pub(crate) fn write_domain(w: &mut Writer, d: &Domain) {
@@ -46,11 +64,15 @@ pub(crate) fn read_domain(r: &mut Reader<'_>) -> Result<Domain, SnapshotError> {
 }
 
 impl InvertedIndex {
-    /// Serialize the index's metadata. Pair with a flushed store: call
-    /// `pool.flush()` first so every page this metadata references is
-    /// durable.
+    /// Serialize the index's metadata — `UIV1` for raw-format indexes
+    /// (bit-compatible with pre-block snapshots), `UIV2` for block
+    /// format. Pair with a flushed store: call `pool.flush()` first so
+    /// every page this metadata references is durable.
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut w = Writer::new(MAGIC);
+        let mut w = Writer::new(match self.format() {
+            PostingFormat::Raw => MAGIC_V1,
+            PostingFormat::Blocks => MAGIC_V2,
+        });
         write_domain(&mut w, self.domain());
 
         let (heap_pages, records) = self.heap_parts();
@@ -68,55 +90,137 @@ impl InvertedIndex {
             w.u16(rid.slot);
         }
 
+        if self.format() == PostingFormat::Blocks {
+            let (block_pages, block_records) = self.block_heap_parts();
+            w.u32(block_pages.len() as u32);
+            for &p in block_pages {
+                w.pid(p);
+            }
+            w.u64(block_records);
+        }
+
         let postings = self.posting_map();
         w.u32(postings.len() as u32);
-        for (cat, tree) in postings {
+        for (cat, list) in postings {
             w.u32(cat.0);
-            let (root, len, depth) = tree.raw_parts();
-            w.pid(root);
-            w.u64(len);
-            w.u32(depth);
+            match list {
+                PostingList::Tree(tree) => {
+                    let (root, len, depth) = tree.raw_parts();
+                    w.pid(root);
+                    w.u64(len);
+                    w.u32(depth);
+                }
+                PostingList::Blocks(blocks) => {
+                    w.u64(blocks.len());
+                    w.u32(blocks.blocks().len() as u32);
+                    for b in blocks.blocks() {
+                        w.u64(u64::from_be_bytes(b.sep));
+                        w.u16(b.count);
+                        w.u16(b.max_q);
+                        w.pid(b.rid.page);
+                        w.u16(b.rid.slot);
+                    }
+                }
+            }
         }
         w.finish()
     }
 
-    /// Reattach an index from a snapshot over the same store.
+    /// Reattach an index from a snapshot over the same store. Both
+    /// snapshot versions load (`UIV1` yields a raw-format index).
     pub fn open(blob: &[u8]) -> Result<InvertedIndex, SnapshotError> {
-        let mut r = Reader::new(blob, MAGIC)?;
+        if blob.starts_with(MAGIC_V2) {
+            InvertedIndex::open_v2(blob)
+        } else {
+            InvertedIndex::open_v1(blob)
+        }
+    }
+
+    fn open_v1(blob: &[u8]) -> Result<InvertedIndex, SnapshotError> {
+        let mut r = Reader::new(blob, MAGIC_V1)?;
         let domain = read_domain(&mut r)?;
-
-        let n_pages = r.u32()? as usize;
-        // Untrusted count: clamp pre-allocation to what the blob can hold.
-        let mut pages = Vec::with_capacity(n_pages.min(r.remaining() / 8 + 1));
-        for _ in 0..n_pages {
-            pages.push(r.pid()?);
-        }
-        let records = r.u64()?;
-        let heap = HeapFile::from_raw_parts(pages, records);
-
-        let n_rids = r.u64()? as usize;
-        let mut rids: HashMap<u64, RecordId> =
-            HashMap::with_capacity(n_rids.min(r.remaining() / RID_ENTRY_LEN + 1));
-        for _ in 0..n_rids {
-            let tid = r.u64()?;
-            let page = r.pid()?;
-            let slot = r.u16()?;
-            rids.insert(tid, RecordId { page, slot });
-        }
+        let (heap, rids) = read_store_parts(&mut r)?;
 
         let n_lists = r.u32()? as usize;
-        let mut postings: BTreeMap<CatId, PostingTree> = BTreeMap::new();
+        let mut postings: BTreeMap<CatId, PostingList> = BTreeMap::new();
         for _ in 0..n_lists {
             let cat = CatId(r.u32()?);
             let root: PageId = r.pid()?;
             let len = r.u64()?;
             let depth = r.u32()?;
-            postings.insert(cat, PostingTree::from_raw_parts(root, len, depth));
+            postings.insert(
+                cat,
+                PostingList::Tree(PostingTree::from_raw_parts(root, len, depth)),
+            );
         }
         if !r.is_done() {
             return Err(SnapshotError("trailing bytes"));
         }
-        Ok(InvertedIndex::from_parts(domain, postings, heap, rids))
+        Ok(InvertedIndex::from_parts(
+            domain,
+            PostingFormat::Raw,
+            postings,
+            heap,
+            HeapFile::new(),
+            rids,
+        ))
+    }
+
+    fn open_v2(blob: &[u8]) -> Result<InvertedIndex, SnapshotError> {
+        let mut r = Reader::new(blob, MAGIC_V2)?;
+        let domain = read_domain(&mut r)?;
+        let (heap, rids) = read_store_parts(&mut r)?;
+
+        let n_block_pages = r.u32()? as usize;
+        let mut block_pages = Vec::with_capacity(n_block_pages.min(r.remaining() / 8 + 1));
+        for _ in 0..n_block_pages {
+            block_pages.push(r.pid()?);
+        }
+        let block_records = r.u64()?;
+        let block_heap = HeapFile::from_raw_parts(block_pages, block_records);
+
+        let n_lists = r.u32()? as usize;
+        let mut postings: BTreeMap<CatId, PostingList> = BTreeMap::new();
+        for _ in 0..n_lists {
+            let cat = CatId(r.u32()?);
+            let entries = r.u64()?;
+            let n_blocks = r.u32()? as usize;
+            let mut blocks: Vec<BlockMeta> =
+                Vec::with_capacity(n_blocks.min(r.remaining() / BLOCK_META_LEN + 1));
+            let mut counted = 0u64;
+            for _ in 0..n_blocks {
+                let sep: [u8; KEY_LEN] = r.u64()?.to_be_bytes();
+                let count = r.u16()?;
+                let max_q = r.u16()?;
+                let page = r.pid()?;
+                let slot = r.u16()?;
+                counted += count as u64;
+                blocks.push(BlockMeta {
+                    sep,
+                    count,
+                    max_q,
+                    rid: RecordId { page, slot },
+                });
+            }
+            if counted != entries {
+                return Err(SnapshotError("block directory counts disagree"));
+            }
+            postings.insert(
+                cat,
+                PostingList::Blocks(BlockList::from_raw_parts(blocks, entries)),
+            );
+        }
+        if !r.is_done() {
+            return Err(SnapshotError("trailing bytes"));
+        }
+        Ok(InvertedIndex::from_parts(
+            domain,
+            PostingFormat::Blocks,
+            postings,
+            heap,
+            block_heap,
+            rids,
+        ))
     }
 
     /// Commit the metadata snapshot to `path` atomically (temp file,
@@ -132,6 +236,30 @@ impl InvertedIndex {
         let payload = snapshot::load(path)?;
         Ok(InvertedIndex::open(&payload)?)
     }
+}
+
+/// The tuple-store sections shared by both snapshot versions: heap page
+/// list + record count, then the rid map.
+fn read_store_parts(r: &mut Reader<'_>) -> Result<(HeapFile, HashMap<u64, RecordId>), SnapshotError> {
+    let n_pages = r.u32()? as usize;
+    // Untrusted count: clamp pre-allocation to what the blob can hold.
+    let mut pages = Vec::with_capacity(n_pages.min(r.remaining() / 8 + 1));
+    for _ in 0..n_pages {
+        pages.push(r.pid()?);
+    }
+    let records = r.u64()?;
+    let heap = HeapFile::from_raw_parts(pages, records);
+
+    let n_rids = r.u64()? as usize;
+    let mut rids: HashMap<u64, RecordId> =
+        HashMap::with_capacity(n_rids.min(r.remaining() / RID_ENTRY_LEN + 1));
+    for _ in 0..n_rids {
+        let tid = r.u64()?;
+        let page = r.pid()?;
+        let slot = r.u16()?;
+        rids.insert(tid, RecordId { page, slot });
+    }
+    Ok((heap, rids))
 }
 
 #[cfg(test)]
@@ -165,9 +293,11 @@ mod tests {
             pool.flush().unwrap();
             idx.snapshot()
         };
+        assert!(blob.starts_with(MAGIC_V2), "default build snapshots as v2");
 
         let reopened = InvertedIndex::open(&blob).expect("snapshot decodes");
         assert_eq!(reopened.len(), 300);
+        assert_eq!(reopened.format(), PostingFormat::Blocks);
         let mut pool = BufferPool::with_capacity(store, 100);
         let q = EqQuery::new(uda(&[(0, 1.0)]), 0.3);
         let out = reopened.petq(&mut pool, &q, crate::Strategy::Nra).unwrap();
@@ -179,6 +309,41 @@ mod tests {
                 .expect("tuple readable");
             assert!((uncat_core::equality::eq_prob(&q.q, &t) - m.score).abs() < 1e-9);
         }
+        assert!(reopened.check_invariants(&mut pool).unwrap() == 300);
+    }
+
+    #[test]
+    fn raw_format_snapshots_as_v1_and_loads_back_raw() {
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..200u64)
+            .map(|i| (i, uda(&[((i % 5) as u32, 1.0)])))
+            .collect();
+        let blob = {
+            let mut pool = BufferPool::with_capacity(store.clone(), 100);
+            let idx = InvertedIndex::build_with_format(
+                Domain::anonymous(5),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+                PostingFormat::Raw,
+            )
+            .unwrap();
+            pool.flush().unwrap();
+            idx.snapshot()
+        };
+        // Raw indexes write the v1 format — byte-compatible with
+        // pre-block snapshots, so legacy files keep loading.
+        assert!(blob.starts_with(MAGIC_V1));
+        let reopened = InvertedIndex::open(&blob).expect("v1 decodes");
+        assert_eq!(reopened.format(), PostingFormat::Raw);
+        let mut pool = BufferPool::with_capacity(store, 100);
+        let out = reopened
+            .petq(
+                &mut pool,
+                &EqQuery::new(uda(&[(2, 1.0)]), 0.9),
+                crate::Strategy::ColumnPruning,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 40);
     }
 
     #[test]
@@ -250,15 +415,45 @@ mod tests {
             InvertedIndex::open(b"UIV1").is_err(),
             "truncated after magic"
         );
+        assert!(
+            InvertedIndex::open(b"UIV2").is_err(),
+            "truncated after magic"
+        );
     }
 
     #[test]
     fn ballooned_counts_cannot_exhaust_memory() {
         // A snapshot claiming u32::MAX heap pages must fail cleanly (the
         // clamp keeps pre-allocation at the blob's actual size).
-        let mut w = Writer::new(MAGIC);
-        write_domain(&mut w, &Domain::anonymous(3));
-        w.u32(u32::MAX); // heap page count
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let mut w = Writer::new(magic);
+            write_domain(&mut w, &Domain::anonymous(3));
+            w.u32(u32::MAX); // heap page count
+            let blob = w.finish();
+            assert!(InvertedIndex::open(&blob).is_err());
+        }
+    }
+
+    #[test]
+    fn v2_rejects_directory_count_mismatch() {
+        // A v2 list whose block counts do not sum to its entry count is
+        // corrupt metadata, not a usable index.
+        let mut w = Writer::new(MAGIC_V2);
+        write_domain(&mut w, &Domain::anonymous(2));
+        w.u32(0); // heap pages
+        w.u64(0); // heap records
+        w.u64(0); // rids
+        w.u32(0); // block-heap pages
+        w.u64(0); // block-heap records
+        w.u32(1); // one list
+        w.u32(0); // cat
+        w.u64(5); // claims 5 entries...
+        w.u32(1); // ...in one block...
+        w.u64(0); // sep
+        w.u16(2); // ...of 2 (mismatch)
+        w.u16(100);
+        w.pid(PageId(0));
+        w.u16(0);
         let blob = w.finish();
         assert!(InvertedIndex::open(&blob).is_err());
     }

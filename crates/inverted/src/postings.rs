@@ -1,14 +1,34 @@
-//! Posting-list key encoding and cursor adapter.
+//! Posting-list key encoding, the two physical list formats, and the
+//! cursor adapters the search strategies consume.
 //!
-//! A posting entry `(tid, p)` is stored as the 8-byte B+tree key
-//! `f32_desc(p) ‖ u32_be(tid)` with a zero-width value: an ascending tree
-//! scan yields entries by descending probability, ties by ascending tuple
-//! id — exactly the order the search strategies consume.
+//! A posting entry `(tid, p)` is keyed by the 8 bytes
+//! `f32_desc(p) ‖ u32_be(tid)`: ascending key order is descending
+//! probability, ties by ascending tuple id — exactly the order the
+//! search strategies consume (the *stream order*). Two physical layouts
+//! produce that stream:
+//!
+//! * [`PostingList::Tree`] — raw pairs as zero-value B+tree keys
+//!   (`UIV1`, the original format),
+//! * [`PostingList::Blocks`] — compressed blocks with a quantized-up
+//!   per-block maximum enabling block-max pruning (`UIV2`, the default;
+//!   see [`crate::block`]).
+//!
+//! [`ListCursor`] unifies the two for frontier searches. Its head is
+//! either *exact* (the entry is materialized) or a *bound* (only the
+//! block's quantized maximum is known — an upper bound on the head's
+//! probability, obtained without decoding). Counting convention:
+//! `postings_scanned` ticks once per entry *materialized*, so block
+//! lists whose blocks are never decoded contribute zero, and
+//! `blocks_decoded`/`blocks_skipped` partition every opened block list.
+
+use std::ops::ControlFlow;
 
 use uncat_core::{Prob, TupleId};
 use uncat_storage::btree::keys::{concat, f32_desc, f32_from_desc, u32_be, u32_from_be};
 use uncat_storage::btree::{BTree, Cursor};
-use uncat_storage::{BufferPool, Result};
+use uncat_storage::{BufferPool, HeapFile, QueryMetrics, Result};
+
+use crate::block::{BlockCursor, BlockList};
 
 /// Width of a posting key in bytes.
 pub const KEY_LEN: usize = 8;
@@ -55,6 +75,232 @@ impl PostingCursor {
     /// Advance one entry.
     pub fn advance(&mut self, pool: &mut BufferPool) -> Result<()> {
         self.inner.advance(pool)
+    }
+}
+
+/// One category's posting list in either physical format.
+pub enum PostingList {
+    /// Raw `(tid, p)` pairs as B+tree keys (snapshot format `UIV1`).
+    Tree(PostingTree),
+    /// Compressed, skippable blocks (snapshot format `UIV2`).
+    Blocks(BlockList),
+}
+
+impl PostingList {
+    /// Total posting entries.
+    pub fn len(&self) -> u64 {
+        match self {
+            PostingList::Tree(t) => t.len(),
+            PostingList::Blocks(b) => b.len(),
+        }
+    }
+
+    /// Visit every entry in stream order. Ticks `postings_scanned` per
+    /// entry; block lists also tick `blocks_decoded` per block — a full
+    /// scan decodes everything, so both formats count identically on the
+    /// entries axis.
+    pub fn scan_all(
+        &self,
+        block_heap: &HeapFile,
+        pool: &mut BufferPool,
+        metrics: &mut QueryMetrics,
+        mut f: impl FnMut(TupleId, Prob),
+    ) -> Result<()> {
+        match self {
+            PostingList::Tree(tree) => tree.scan_all(pool, |key, _| {
+                let (p, tid) = decode_posting(key);
+                metrics.postings_scanned += 1;
+                f(tid, p);
+                ControlFlow::Continue(())
+            }),
+            PostingList::Blocks(list) => {
+                let mut cur = BlockCursor::open(list, block_heap);
+                while let Some(((tid, p), decoded_new)) = cur.head(pool)? {
+                    if decoded_new {
+                        metrics.blocks_decoded += 1;
+                    }
+                    metrics.postings_scanned += 1;
+                    f(tid, p);
+                    cur.advance();
+                }
+                debug_assert_eq!(cur.undecoded_blocks(), 0);
+                Ok(())
+            }
+        }
+    }
+
+    /// Visit entries in stream order while `p ≥ cut`, stopping at the
+    /// first entry below — column pruning's access pattern. For the raw
+    /// tree the terminating entry ticks `postings_scanned`: the scan has
+    /// no information besides the entries themselves, so it must decode
+    /// one below-cut key to know to stop. Block lists don't charge it —
+    /// the boundary is located inside the already-decoded buffer — and
+    /// stop at block granularity too: a block whose quantized-up maximum
+    /// is below `cut` is skipped without decoding, as is everything
+    /// after the stop point (`blocks_skipped`).
+    pub fn scan_prefix(
+        &self,
+        block_heap: &HeapFile,
+        pool: &mut BufferPool,
+        cut: f64,
+        metrics: &mut QueryMetrics,
+        mut f: impl FnMut(TupleId, Prob),
+    ) -> Result<()> {
+        match self {
+            PostingList::Tree(tree) => tree.scan_all(pool, |key, _| {
+                let (p, tid) = decode_posting(key);
+                metrics.postings_scanned += 1;
+                if (p as f64) < cut {
+                    return ControlFlow::Break(());
+                }
+                f(tid, p);
+                ControlFlow::Continue(())
+            }),
+            PostingList::Blocks(list) => {
+                let mut cur = BlockCursor::open(list, block_heap);
+                'blocks: while !cur.exhausted() {
+                    if cur.bound().is_some_and(|b| b < cut) {
+                        // The quantized maximum dominates every entry in
+                        // the block (and in all later blocks): skip
+                        // without decoding.
+                        break;
+                    }
+                    while let Some(((tid, p), decoded_new)) = cur.head(pool)? {
+                        if decoded_new {
+                            metrics.blocks_decoded += 1;
+                        }
+                        if (p as f64) < cut {
+                            break 'blocks;
+                        }
+                        metrics.postings_scanned += 1;
+                        f(tid, p);
+                        cur.advance();
+                        if !cur.head_is_exact() {
+                            continue 'blocks;
+                        }
+                    }
+                }
+                metrics.blocks_skipped += cur.undecoded_blocks();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What a [`ListCursor`] knows about the entry under it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CursorHead {
+    /// The entry is materialized.
+    Exact {
+        /// Tuple id under the cursor.
+        tid: TupleId,
+        /// Exact probability under the cursor.
+        p: Prob,
+    },
+    /// Only an upper bound on the head probability is known (the current
+    /// block's quantized-up maximum); the block is not decoded.
+    Bound {
+        /// Upper bound on the probability under the cursor.
+        p: f64,
+    },
+}
+
+
+/// A cursor over either list format, streaming heads for the frontier
+/// searches. Tree cursors always expose exact heads; block cursors
+/// expose bounds until a decode is forced.
+pub enum ListCursor<'a> {
+    /// Cursor over a raw B+tree list.
+    Tree(PostingCursor),
+    /// Lazily decoding cursor over a block list.
+    Blocks(BlockCursor<'a>),
+}
+
+impl<'a> ListCursor<'a> {
+    /// Open a cursor and return the first head. Tree heads are exact and
+    /// tick `postings_scanned`; block heads start as bounds, for free.
+    pub fn open(
+        list: &'a PostingList,
+        block_heap: &'a HeapFile,
+        pool: &mut BufferPool,
+        metrics: &mut QueryMetrics,
+    ) -> Result<(ListCursor<'a>, Option<CursorHead>)> {
+        match list {
+            PostingList::Tree(tree) => {
+                let cur = PostingCursor::open(tree, pool)?;
+                let head = cur.head(pool)?.map(|(tid, p)| {
+                    metrics.postings_scanned += 1;
+                    CursorHead::Exact { tid, p }
+                });
+                Ok((ListCursor::Tree(cur), head))
+            }
+            PostingList::Blocks(blocks) => {
+                let cur = BlockCursor::open(blocks, block_heap);
+                let head = cur.bound().map(|p| CursorHead::Bound { p });
+                Ok((ListCursor::Blocks(cur), head))
+            }
+        }
+    }
+
+    /// Materialize the entry under the cursor, decoding its block if
+    /// needed (ticking `blocks_decoded`, and `postings_scanned` for the
+    /// newly materialized entry). `None` iff the cursor is exhausted.
+    pub fn force(
+        &mut self,
+        pool: &mut BufferPool,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Option<(TupleId, Prob)>> {
+        match self {
+            ListCursor::Tree(cur) => cur.head(pool),
+            ListCursor::Blocks(cur) => {
+                let Some(((tid, p), decoded_new)) = cur.head(pool)? else {
+                    return Ok(None);
+                };
+                if decoded_new {
+                    metrics.blocks_decoded += 1;
+                    metrics.postings_scanned += 1;
+                }
+                Ok(Some((tid, p)))
+            }
+        }
+    }
+
+    /// Step one entry and return the new head. An exact new head ticks
+    /// `postings_scanned`; a block-boundary crossing yields a bound head
+    /// without I/O.
+    pub fn advance(
+        &mut self,
+        pool: &mut BufferPool,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Option<CursorHead>> {
+        match self {
+            ListCursor::Tree(cur) => {
+                cur.advance(pool)?;
+                Ok(cur.head(pool)?.map(|(tid, p)| {
+                    metrics.postings_scanned += 1;
+                    CursorHead::Exact { tid, p }
+                }))
+            }
+            ListCursor::Blocks(cur) => {
+                cur.advance();
+                if cur.head_is_exact() {
+                    let ((tid, p), _) = cur.head(pool)?.expect("exact head present");
+                    metrics.postings_scanned += 1;
+                    Ok(Some(CursorHead::Exact { tid, p }))
+                } else {
+                    Ok(cur.bound().map(|p| CursorHead::Bound { p }))
+                }
+            }
+        }
+    }
+
+    /// Charge this cursor's never-decoded blocks as skipped. Call once
+    /// when the search stops consuming the cursor, so that
+    /// `blocks_decoded + blocks_skipped` covers every opened list.
+    pub fn account_skips(&self, metrics: &mut QueryMetrics) {
+        if let ListCursor::Blocks(cur) = self {
+            metrics.blocks_skipped += cur.undecoded_blocks();
+        }
     }
 }
 

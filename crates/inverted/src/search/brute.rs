@@ -9,20 +9,19 @@
 //! involves fewer d_ij".
 
 use std::collections::HashMap;
-use std::ops::ControlFlow;
 
 use uncat_core::equality::meets_threshold;
 use uncat_core::query::{EqQuery, Match};
 use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
-use crate::postings::decode_posting;
 
 use super::query_lists;
 
 /// Metrics profile: every query list is opened and scanned to the end
 /// (`postings_scanned` is the total posting count of the query lists — the
-/// ceiling the pruning strategies are measured against). Each aggregated
+/// ceiling the pruning strategies are measured against; block lists decode
+/// every block, so both formats scan the same entries). Each aggregated
 /// tuple is decided exactly from its accumulated contributions, so all
 /// candidates are `candidates_settled`; no random access ever happens.
 pub(super) fn search(
@@ -32,13 +31,10 @@ pub(super) fn search(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut acc: HashMap<u64, f64> = HashMap::new();
-    for (_cat, qp, tree) in query_lists(idx, &query.q) {
+    for (_cat, qp, list) in query_lists(idx, &query.q) {
         metrics.lists_opened += 1;
-        tree.scan_all(pool, |key, _| {
-            metrics.postings_scanned += 1;
-            let (p, tid) = decode_posting(key);
+        list.scan_all(idx.block_heap(), pool, metrics, |tid, p| {
             *acc.entry(tid).or_insert(0.0) += qp * p as f64;
-            ControlFlow::Continue(())
         })?;
     }
     metrics.candidates_generated += acc.len() as u64;

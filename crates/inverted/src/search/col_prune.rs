@@ -8,21 +8,22 @@
 //! verified by random access.
 
 use std::collections::HashSet;
-use std::ops::ControlFlow;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
 use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
-use crate::postings::decode_posting;
 
 use super::{query_lists, verify_candidates};
 
 /// Metrics profile: every query list is opened but scanned only to its
 /// τ-prefix, so `postings_scanned` ≤ brute force's on the same query (the
 /// first below-τ entry that terminates each scan is counted — it was
-/// read). Every candidate is verified by random access.
+/// read). Block lists stop at block granularity on top: blocks whose
+/// quantized-up maximum is below τ are `blocks_skipped` without being
+/// decoded, so a list whose very first block maximum misses τ costs zero
+/// postings. Every candidate is verified by random access.
 pub(super) fn search(
     idx: &InvertedIndex,
     pool: &mut BufferPool,
@@ -30,17 +31,17 @@ pub(super) fn search(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
-    for (_cat, _qp, tree) in query_lists(idx, &query.q) {
+    for (_cat, _qp, list) in query_lists(idx, &query.q) {
         metrics.lists_opened += 1;
-        tree.scan_all(pool, |key, _| {
-            metrics.postings_scanned += 1;
-            let (p, tid) = decode_posting(key);
-            if (p as f64) < query.tau - THRESHOLD_EPS {
-                return ControlFlow::Break(()); // column pruned: prefix ends
-            }
-            candidates.insert(tid);
-            ControlFlow::Continue(())
-        })?;
+        list.scan_prefix(
+            idx.block_heap(),
+            pool,
+            query.tau - THRESHOLD_EPS,
+            metrics,
+            |tid, _p| {
+                candidates.insert(tid);
+            },
+        )?;
     }
     metrics.candidates_generated += candidates.len() as u64;
     verify_candidates(idx, pool, query, candidates, metrics)

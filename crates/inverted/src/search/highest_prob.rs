@@ -52,19 +52,22 @@ pub(crate) fn collect_candidates(
     let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
     let mut seen: HashSet<u64> = HashSet::new();
     loop {
-        // Lemma 1: any tuple not yet seen is bounded by the frontier sum.
-        // The epsilon keeps pruning consistent with `meets_threshold`.
+        // Lemma 1: any tuple not yet seen is bounded by the frontier sum
+        // (an over-estimate while bound heads are live, so the stop is
+        // conservative). The epsilon keeps pruning consistent with
+        // `meets_threshold`.
         if frontier.sum() < query.tau - uncat_core::equality::THRESHOLD_EPS {
             if !frontier.all_exhausted() {
                 metrics.lemma1_stops += 1;
             }
             break;
         }
-        let Some((j, tid, _c)) = frontier.best() else {
+        let Some((j, tid, _c)) = frontier.best(pool, metrics)? else {
             break;
         };
         seen.insert(tid);
         frontier.advance(pool, j, metrics)?;
     }
+    frontier.account_skips(metrics);
     Ok(seen)
 }

@@ -155,10 +155,39 @@ pub(crate) fn sorted_by_page(
 pub(crate) fn query_lists<'a>(
     idx: &'a InvertedIndex,
     q: &uncat_core::Uda,
-) -> Vec<(uncat_core::CatId, f64, &'a crate::postings::PostingTree)> {
+) -> Vec<(uncat_core::CatId, f64, &'a crate::postings::PostingList)> {
     q.iter()
-        .filter_map(|(cat, p)| idx.posting_tree(cat).map(|t| (cat, p as f64, t)))
+        .filter_map(|(cat, p)| idx.posting_list(cat).map(|l| (cat, p as f64, l)))
         .collect()
+}
+
+/// A cached frontier head: the contribution `c_j = q.p_j · p'_j` of list
+/// `j`'s head, either exact or an upper bound (the head sits in an
+/// undecoded block, whose quantized-up maximum bounds `p'_j`).
+#[derive(Clone, Copy)]
+pub(crate) enum Head {
+    /// The head entry is materialized.
+    Exact { tid: u64, c: f64 },
+    /// Only an upper bound on the head's contribution is known.
+    Bound { c: f64 },
+}
+
+impl Head {
+    fn c(&self) -> f64 {
+        match *self {
+            Head::Exact { c, .. } | Head::Bound { c } => c,
+        }
+    }
+
+    fn from_cursor(qp: f64, h: crate::postings::CursorHead) -> Head {
+        match h {
+            crate::postings::CursorHead::Exact { tid, p } => Head::Exact {
+                tid,
+                c: qp * p as f64,
+            },
+            crate::postings::CursorHead::Bound { p } => Head::Bound { c: qp * p },
+        }
+    }
 }
 
 /// A frontier over the query's posting-list cursors with *cached* heads:
@@ -166,19 +195,26 @@ pub(crate) fn query_lists<'a>(
 /// the frontier is pure in-memory work. Contributions are pre-scaled by
 /// the query probability (`c_j = q.p_j · p'_j`).
 ///
+/// Block-format lists participate through [`Head::Bound`]: an undecoded
+/// block contributes its quantized-up maximum, so [`Frontier::sum`] only
+/// ever *over*-estimates the true head sum — every Lemma 1 / θ stop made
+/// against it is conservative, while blocks whose bound never tops the
+/// heap are skipped without decoding (WAND-style block-max pruning).
+/// [`Frontier::best`] force-decodes a bound only when it is the maximum.
+///
 /// `best()` is served by a lazily-invalidated max-heap and `sum()` is
 /// maintained incrementally (with periodic recomputation to cancel float
 /// drift), so a full drain of `E` postings over `l` lists costs
 /// `O(E log l)` instead of `O(E · l)` — material at the paper's scale
 /// (CRM2: 5 M postings over 50 lists per query).
-pub(crate) struct Frontier {
-    cursors: Vec<(f64, crate::postings::PostingCursor)>,
-    /// Cached `(tid, contribution)` under each cursor.
-    heads: Vec<Option<(u64, f64)>>,
+pub(crate) struct Frontier<'a> {
+    cursors: Vec<(f64, crate::postings::ListCursor<'a>)>,
+    /// Cached head under each cursor.
+    heads: Vec<Option<Head>>,
     /// Max-heap of `(contribution bits, list)`; entries may be stale and
     /// are skipped when they disagree with `heads`.
     order: std::collections::BinaryHeap<(u64, usize)>,
-    /// Incremental Σ of live head contributions.
+    /// Incremental Σ of live head contributions (bounds included).
     sum: f64,
     /// Advances since the last exact recomputation of `sum`.
     since_resum: u32,
@@ -188,35 +224,31 @@ pub(crate) struct Frontier {
 /// drift without measurable cost).
 const RESUM_EVERY: u32 = 1 << 16;
 
-impl Frontier {
+impl<'a> Frontier<'a> {
     /// Open a cursor per query list and cache the initial heads. Counts
     /// one `lists_opened` per cursor and one `postings_scanned` per
-    /// non-empty initial head.
+    /// non-empty *exact* initial head (block lists start as free bounds).
     pub(crate) fn open(
-        idx: &InvertedIndex,
+        idx: &'a InvertedIndex,
         pool: &mut BufferPool,
         q: &uncat_core::Uda,
         metrics: &mut QueryMetrics,
-    ) -> Result<Frontier> {
-        let mut cursors: Vec<(f64, crate::postings::PostingCursor)> = Vec::new();
-        for (_cat, qp, tree) in query_lists(idx, q) {
-            cursors.push((qp, crate::postings::PostingCursor::open(tree, pool)?));
+    ) -> Result<Frontier<'a>> {
+        let mut cursors: Vec<(f64, crate::postings::ListCursor<'a>)> = Vec::new();
+        let mut heads: Vec<Option<Head>> = Vec::new();
+        for (_cat, qp, list) in query_lists(idx, q) {
+            let (cur, head) =
+                crate::postings::ListCursor::open(list, idx.block_heap(), pool, metrics)?;
+            cursors.push((qp, cur));
+            heads.push(head.map(|h| Head::from_cursor(qp, h)));
         }
         metrics.lists_opened += cursors.len() as u64;
-        let mut heads: Vec<Option<(u64, f64)>> = Vec::with_capacity(cursors.len());
-        for (qp, cur) in cursors.iter_mut() {
-            let head = cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64));
-            if head.is_some() {
-                metrics.postings_scanned += 1;
-            }
-            heads.push(head);
-        }
         let order = heads
             .iter()
             .enumerate()
-            .filter_map(|(j, h)| h.map(|(_, c)| (c.to_bits(), j)))
+            .filter_map(|(j, h)| h.map(|h| (h.c().to_bits(), j)))
             .collect();
-        let sum = heads.iter().flatten().map(|&(_, c)| c).sum();
+        let sum = heads.iter().flatten().map(Head::c).sum();
         Ok(Frontier {
             cursors,
             heads,
@@ -231,28 +263,54 @@ impl Frontier {
         self.cursors.len()
     }
 
-    /// `Σ_j q.p_j · p'_j` over the live heads — Lemma 1's bound on any
-    /// tuple not yet encountered.
+    /// `Σ_j q.p_j · p'_j` over the live heads, bound heads included —
+    /// an upper bound on Lemma 1's sum, so `sum() < τ` soundly implies
+    /// the true sum is below τ.
     pub(crate) fn sum(&self) -> f64 {
         self.sum
     }
 
-    /// The most promising head: `(list, tid, contribution)`.
-    pub(crate) fn best(&mut self) -> Option<(usize, u64, f64)> {
-        while let Some(&(bits, j)) = self.order.peek() {
+    /// The most promising head: `(list, tid, contribution)`. When a
+    /// *bound* head tops the heap its block is force-decoded (ticking
+    /// `blocks_decoded`/`postings_scanned`), the head turns exact — its
+    /// contribution can only shrink, preserving the heap property — and
+    /// the scan resumes; blocks whose bound never reaches the top are
+    /// never decoded.
+    pub(crate) fn best(
+        &mut self,
+        pool: &mut BufferPool,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Option<(usize, u64, f64)>> {
+        loop {
+            let Some(&(bits, j)) = self.order.peek() else {
+                return Ok(None);
+            };
             match self.heads[j] {
-                Some((tid, c)) if c.to_bits() == bits => return Some((j, tid, c)),
+                Some(Head::Exact { tid, c }) if c.to_bits() == bits => {
+                    return Ok(Some((j, tid, c)));
+                }
+                Some(Head::Bound { c }) if c.to_bits() == bits => {
+                    self.order.pop();
+                    let (qp, cur) = &mut self.cursors[j];
+                    let (tid, p) = cur
+                        .force(pool, metrics)?
+                        .expect("a bound head implies a live entry");
+                    let exact = *qp * p as f64;
+                    self.sum += exact - c;
+                    self.heads[j] = Some(Head::Exact { tid, c: exact });
+                    self.order.push((exact.to_bits(), j));
+                }
                 _ => {
                     self.order.pop(); // stale entry
                 }
             }
         }
-        None
     }
 
     /// Pop list `j`'s head and refresh its cache. Counts one
-    /// `frontier_pops`, plus one `postings_scanned` when the list still
-    /// had a next entry.
+    /// `frontier_pops`, plus one `postings_scanned` when the next entry
+    /// is materialized (a block-boundary crossing caches a free bound
+    /// instead).
     pub(crate) fn advance(
         &mut self,
         pool: &mut BufferPool,
@@ -260,37 +318,45 @@ impl Frontier {
         metrics: &mut QueryMetrics,
     ) -> Result<()> {
         let (qp, cur) = &mut self.cursors[j];
-        cur.advance(pool)?;
         metrics.frontier_pops += 1;
-        if let Some((_, old)) = self.heads[j] {
-            self.sum -= old;
+        if let Some(h) = self.heads[j] {
+            self.sum -= h.c();
         }
-        let next = cur.head(pool)?.map(|(tid, p)| (tid, *qp * p as f64));
-        if let Some((_, c)) = next {
-            metrics.postings_scanned += 1;
-            self.sum += c;
-            self.order.push((c.to_bits(), j));
+        let qp = *qp;
+        let next = cur.advance(pool, metrics)?.map(|h| Head::from_cursor(qp, h));
+        if let Some(h) = next {
+            self.sum += h.c();
+            self.order.push((h.c().to_bits(), j));
         }
         self.heads[j] = next;
 
         self.since_resum += 1;
         if self.since_resum >= RESUM_EVERY {
             self.since_resum = 0;
-            self.sum = self.heads.iter().flatten().map(|&(_, c)| c).sum();
+            self.sum = self.heads.iter().flatten().map(Head::c).sum();
         }
         Ok(())
     }
 
-    /// Residual head contribution per list (0 where exhausted).
+    /// Residual head contribution per list (0 where exhausted). Bound
+    /// heads report their upper bound, so per-candidate upper bounds
+    /// built from these stay conservative; a candidate whose bound rests
+    /// on an undecoded block is never *settled* by it (see NRA), only
+    /// pruned or sent to verification.
     pub(crate) fn residual(&self) -> Vec<f64> {
-        self.heads
-            .iter()
-            .map(|h| h.map_or(0.0, |(_, c)| c))
-            .collect()
+        self.heads.iter().map(|h| h.map_or(0.0, |h| h.c())).collect()
     }
 
     /// Whether every list is drained.
     pub(crate) fn all_exhausted(&self) -> bool {
         self.heads.iter().all(Option::is_none)
+    }
+
+    /// Charge every cursor's never-decoded blocks as `blocks_skipped`.
+    /// Call exactly once, when the search stops consuming the frontier.
+    pub(crate) fn account_skips(&self, metrics: &mut QueryMetrics) {
+        for (_, cur) in &self.cursors {
+            cur.account_skips(metrics);
+        }
     }
 }

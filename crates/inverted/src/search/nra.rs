@@ -54,7 +54,9 @@ pub(super) fn search(
     let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
     if frontier.len() > 128 {
         // Mask width exceeded (never the case for realistic queries);
-        // highest-prob-first is the general fallback.
+        // highest-prob-first is the general fallback. Nothing was
+        // decoded, so the whole frontier is charged as skipped.
+        frontier.account_skips(metrics);
         return super::highest_prob::search_public(idx, pool, query, metrics);
     }
 
@@ -64,13 +66,20 @@ pub(super) fn search(
     let mut next_sweep = SWEEP_EVERY;
     let mut undecided_small = false;
 
-    while let Some((j, tid, c)) = frontier.best() {
+    loop {
         // Stop once no unseen tuple can qualify and the undecided set is
-        // small enough for the random-access fallback.
+        // small enough for the random-access fallback. Checked before
+        // `best()` — which force-decodes bound heads — so a stop leaves
+        // the pending blocks undecoded (skipped).
         if frontier.sum() < tau - THRESHOLD_EPS && undecided_small {
-            metrics.lemma1_stops += 1;
+            if !frontier.all_exhausted() {
+                metrics.lemma1_stops += 1;
+            }
             break;
         }
+        let Some((j, tid, c)) = frontier.best(pool, metrics)? else {
+            break;
+        };
         let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
         e.lb += c;
         e.seen |= 1u128 << j;
@@ -100,9 +109,13 @@ pub(super) fn search(
         }
     }
 
-    // Final heads after the drain (zero for exhausted lists).
+    // Final heads after the drain (zero for exhausted lists). Bound
+    // heads report their block's quantized-up maximum: upper bounds
+    // built from them are conservative, and `remaining == 0.0` still
+    // certifies convergence (a live bound head is strictly positive).
     let heads = frontier.residual();
     let all_exhausted = frontier.all_exhausted();
+    frontier.account_skips(metrics);
 
     metrics.candidates_generated += cand.len() as u64;
     let mut accepted: Vec<Match> = Vec::new();

@@ -7,14 +7,12 @@
 //! the retained lists. Candidates are verified by random access.
 
 use std::collections::HashSet;
-use std::ops::ControlFlow;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
 use uncat_storage::{BufferPool, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
-use crate::postings::decode_posting;
 
 use super::{query_lists, verify_candidates};
 
@@ -29,17 +27,14 @@ pub(super) fn search(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
-    for (_cat, qp, tree) in query_lists(idx, &query.q) {
+    for (_cat, qp, list) in query_lists(idx, &query.q) {
         if qp < query.tau - THRESHOLD_EPS {
             metrics.lists_pruned += 1;
             continue; // row pruned
         }
         metrics.lists_opened += 1;
-        tree.scan_all(pool, |key, _| {
-            metrics.postings_scanned += 1;
-            let (_p, tid) = decode_posting(key);
+        list.scan_all(idx.block_heap(), pool, metrics, |tid, _p| {
             candidates.insert(tid);
-            ControlFlow::Continue(())
         })?;
     }
     metrics.candidates_generated += candidates.len() as u64;

@@ -74,6 +74,9 @@ impl InvertedIndex {
         };
         let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
         if frontier.len() > 128 {
+            // Nothing decoded yet: the whole frontier counts as skipped
+            // before the fallback opens its own.
+            frontier.account_skips(metrics);
             return self.top_k_random_access(pool, query, floor, metrics);
         }
 
@@ -82,16 +85,25 @@ impl InvertedIndex {
         let mut pops = 0usize;
         let mut next_refresh = THETA_EVERY;
 
-        while let Some((j, tid, c)) = frontier.best() {
+        loop {
             // Lemma 1 with the dynamic threshold: an unseen tuple is
-            // bounded by the frontier sum; once that cannot reach the k-th
-            // best lower bound, the candidate set is complete. A positive
-            // floor makes the stop valid even before k candidates exist:
+            // bounded by the frontier sum (an over-estimate while bound
+            // heads are live, so the stop is conservative); once that
+            // cannot reach the k-th best lower bound, the candidate set
+            // is complete — and blocks whose maximum cannot beat θ/floor
+            // are leapt over without decoding (the check runs *before*
+            // `best()`, which is what force-decodes). A positive floor
+            // makes the stop valid even before k candidates exist:
             // nothing the frontier can still produce reaches the floor.
             if (cand.len() >= query.k || floor > 0.0) && frontier.sum() < theta - THRESHOLD_EPS {
-                metrics.lemma1_stops += 1;
+                if !frontier.all_exhausted() {
+                    metrics.lemma1_stops += 1;
+                }
                 break;
             }
+            let Some((j, tid, c)) = frontier.best(pool, metrics)? else {
+                break;
+            };
             let e = cand.entry(tid).or_insert(Cand { lb: 0.0, seen: 0 });
             e.lb += c;
             e.seen |= 1u128 << j;
@@ -109,9 +121,12 @@ impl InvertedIndex {
             }
         }
 
-        // Final bounds with the residual frontier (zero where exhausted).
+        // Final bounds with the residual frontier (zero where exhausted;
+        // bound heads report their block maximum, keeping upper bounds
+        // conservative).
         let heads = frontier.residual();
         let all_exhausted = frontier.all_exhausted();
+        frontier.account_skips(metrics);
         theta = if cand.len() >= query.k {
             kth_largest(cand.values().map(|c| c.lb), query.k).max(floor)
         } else {
@@ -177,12 +192,17 @@ impl InvertedIndex {
         let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
         let mut heap = TopKHeap::new(query.k, floor);
         let mut verified: HashSet<u64> = HashSet::new();
-        while let Some((j, tid, _c)) = frontier.best() {
+        loop {
             if (heap.is_full() || floor > 0.0) && frontier.sum() < heap.threshold() - THRESHOLD_EPS
             {
-                metrics.lemma1_stops += 1;
+                if !frontier.all_exhausted() {
+                    metrics.lemma1_stops += 1;
+                }
                 break;
             }
+            let Some((j, tid, _c)) = frontier.best(pool, metrics)? else {
+                break;
+            };
             if verified.insert(tid) {
                 let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                     "posting refers to an unindexed tuple",
@@ -196,6 +216,7 @@ impl InvertedIndex {
             }
             frontier.advance(pool, j, metrics)?;
         }
+        frontier.account_skips(metrics);
         Ok(heap.into_sorted())
     }
 }

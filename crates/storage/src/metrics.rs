@@ -53,7 +53,19 @@ pub struct QueryMetrics {
     pub lists_pruned: u64,
     /// Posting entries read from lists, sequentially. The paper's
     /// "entries examined" axis; column pruning's saving shows up here.
+    /// Block-format lists count only entries *materialized* from decoded
+    /// blocks, so the block-max savings show up here too.
     pub postings_scanned: u64,
+    /// Posting blocks decoded into entries (block-format lists only; raw
+    /// B-tree lists leave this zero). Each decode materializes the whole
+    /// block, so `blocks_decoded × block size` bounds the decode work.
+    pub blocks_decoded: u64,
+    /// Posting blocks skipped without decoding because the quantized
+    /// block maximum could not meet the live bound (τ, θ, or the Lemma 1
+    /// frontier sum) — WAND-style block-max pruning. For every opened
+    /// block list, `blocks_decoded + blocks_skipped` equals the list's
+    /// block count.
+    pub blocks_skipped: u64,
     /// Most-promising-head-first cursor advances (highest-prob-first,
     /// NRA, and top-k drains).
     pub frontier_pops: u64,
@@ -122,6 +134,8 @@ impl QueryMetrics {
         self.lists_opened += other.lists_opened;
         self.lists_pruned += other.lists_pruned;
         self.postings_scanned += other.postings_scanned;
+        self.blocks_decoded += other.blocks_decoded;
+        self.blocks_skipped += other.blocks_skipped;
         self.frontier_pops += other.frontier_pops;
         self.lemma1_stops += other.lemma1_stops;
         self.candidates_generated += other.candidates_generated;
@@ -153,11 +167,13 @@ impl QueryMetrics {
     /// The `(name, value)` pairs of every counter, in display order —
     /// the single source of truth for the CLI explain output and for
     /// documentation checks.
-    pub fn fields(&self) -> [(&'static str, u64); 20] {
+    pub fn fields(&self) -> [(&'static str, u64); 22] {
         [
             ("lists_opened", self.lists_opened),
             ("lists_pruned", self.lists_pruned),
             ("postings_scanned", self.postings_scanned),
+            ("blocks_decoded", self.blocks_decoded),
+            ("blocks_skipped", self.blocks_skipped),
             ("frontier_pops", self.frontier_pops),
             ("lemma1_stops", self.lemma1_stops),
             ("candidates_generated", self.candidates_generated),
@@ -198,6 +214,7 @@ mod tests {
     fn merge_is_fieldwise_sum() {
         let mut a = QueryMetrics {
             postings_scanned: 5,
+            blocks_decoded: 2,
             frontier_pops: 2,
             candidates_generated: 3,
             candidates_verified: 3,
@@ -206,6 +223,8 @@ mod tests {
         a.io.physical_reads = 7;
         let mut b = QueryMetrics {
             postings_scanned: 10,
+            blocks_decoded: 1,
+            blocks_skipped: 6,
             lemma1_stops: 1,
             candidates_generated: 4,
             candidates_pruned: 4,
@@ -215,6 +234,8 @@ mod tests {
         let mut m = a;
         m.merge(&b);
         assert_eq!(m.postings_scanned, 15);
+        assert_eq!(m.blocks_decoded, 3);
+        assert_eq!(m.blocks_skipped, 6);
         assert_eq!(m.frontier_pops, 2);
         assert_eq!(m.lemma1_stops, 1);
         assert_eq!(m.candidates_generated, 7);

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Markdown link checker: every relative link target in the repo's
+# documentation must exist. Pure shell + grep, no dependencies, so it
+# runs identically in CI and locally:
+#
+#   scripts/check_links.sh [file.md ...]     # default: all tracked *.md
+#
+# Checked: inline links/images `[text](target)`. External schemes
+# (http/https/mailto) and pure in-page anchors (#...) are skipped;
+# a relative target's anchor suffix is stripped before the existence
+# check. Exits non-zero listing every broken link.
+set -u
+
+if [ "$#" -gt 0 ]; then
+    files="$*"
+elif git rev-parse --git-dir >/dev/null 2>&1; then
+    files=$(git ls-files '*.md')
+else
+    files=$(find . -name '*.md' -not -path './target/*' -not -path './.git/*')
+fi
+
+fail=0
+for f in $files; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # One inline link target per match; tolerates several links per line.
+    targets=$(grep -o ']([^)]*)' "$f" 2>/dev/null | sed 's/^](//; s/)$//')
+    for t in $targets; do
+        case "$t" in
+        http://* | https://* | mailto:*) continue ;;
+        '#'*) continue ;;
+        esac
+        path=${t%%#*}                      # strip anchor
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "BROKEN: $f -> $t"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed" >&2
+    exit 1
+fi
+echo "markdown links OK"

@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use uncat::core::{CatId, Divergence, EqQuery, TopKQuery, Uda};
 use uncat::datagen;
-use uncat::inverted::{InvertedIndex, Strategy};
+use uncat::inverted::{InvertedIndex, PostingFormat, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
 use uncat::query::join::{block_join, index_join, parallel_join, JoinOutcome, JoinSpec};
 use uncat::query::parallel::{batch_metrics, petq_batch_with};
@@ -78,8 +78,8 @@ const USAGE: &str = r#"
 usage:
   uncat gen    --dataset <crm1|crm2|uniform|pairwise|gen3|textsim> --n <N>
                [--domain <D>] [--seed <S>] --out <file.uds>
-  uncat build  --index <inverted|pdr> [--bulk] --data <file.uds>
-               --pages <file.pages> --meta <file.meta>
+  uncat build  --index <inverted|pdr> [--bulk] [--format <raw|blocks>]
+               --data <file.uds> --pages <file.pages> --meta <file.meta>
   uncat query  --index <inverted|pdr> --pages <...> --meta <...>
                --cat <id> --tau <t> [--limit <n>] [--strategy <s>] [--explain]
   uncat topk   --index <inverted|pdr> --pages <...> --meta <...>
@@ -107,6 +107,11 @@ usage:
 
 --strategy (inverted PETQ only): brute | highest-prob-first | row-pruning
   | column-pruning | nra (default: nra)
+--format (inverted only): posting-list layout. blocks (default) packs
+  each list into delta-compressed blocks with a block-max directory so
+  searches skip whole blocks without decoding them; raw keeps one B-tree
+  entry per posting (the pre-block layout, snapshot format UIV1). See
+  docs/FORMAT.md for the bytes.
 --explain: print the query's execution counters (see docs/METRICS.md)
 explain: run one PETQ under every inverted strategy and compare counters
   (for --index pdr, prints the single PDR-tree profile)
@@ -210,8 +215,18 @@ fn build(flags: &HashMap<String, String>) -> Result<(), String> {
             if bulk {
                 return Err("--bulk applies to the pdr index only".into());
             }
-            let idx = InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)))
-                .map_err(|e| e.to_string())?;
+            let format = match flags.get("format").map(String::as_str) {
+                None | Some("blocks") => PostingFormat::Blocks,
+                Some("raw") => PostingFormat::Raw,
+                Some(other) => return Err(format!("unknown --format {other:?} (raw|blocks)")),
+            };
+            let idx = InvertedIndex::build_with_format(
+                domain,
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+                format,
+            )
+            .map_err(|e| e.to_string())?;
             pool.flush().map_err(|e| e.to_string())?;
             idx.save(meta.as_ref()).map_err(|e| e.to_string())?;
         }
@@ -960,10 +975,21 @@ fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
         AnyIndex::Inverted(i) => {
             let s = i.stats();
             println!("inverted index: {} tuples", i.len());
+            println!(
+                "  format:         {}",
+                match i.format() {
+                    PostingFormat::Raw => "raw (UIV1)",
+                    PostingFormat::Blocks => "blocks (UIV2)",
+                }
+            );
             println!("  posting lists:  {}", s.lists);
             println!("  postings:       {}", s.postings);
             println!("  longest list:   {}", s.longest_list);
             println!("  avg list:       {:.1}", s.avg_list_len());
+            if i.format() == PostingFormat::Blocks {
+                println!("  posting blocks: {}", s.posting_blocks);
+                println!("  block pages:    {}", s.block_pages);
+            }
             println!("  heap pages:     {}", s.heap_pages);
         }
         AnyIndex::Pdr(t) => {

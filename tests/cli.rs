@@ -194,6 +194,8 @@ fn explain_shows_pruning_beating_brute_force() {
         for name in [
             "lists_opened",
             "postings_scanned",
+            "blocks_decoded",
+            "blocks_skipped",
             "candidates_generated",
             "nodes_visited",
             "io.physical_reads",
@@ -222,9 +224,71 @@ fn explain_shows_pruning_beating_brute_force() {
         "column-pruning",
         "nra",
         "postings_scanned",
+        "blocks_decoded",
+        "blocks_skipped",
     ] {
         assert!(out.contains(name), "explain table missing {name}: {out}");
     }
+}
+
+/// `build --format` selects the posting layout: both formats answer the
+/// same query identically, `stats` names the format, and only the block
+/// format reports block counters.
+#[test]
+fn posting_format_flag_roundtrips_both_layouts() {
+    let dir = TempDir::new("format");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen", "--dataset", "crm1", "--n", "2000", "--seed", "5", "--out", &data,
+    ]);
+    assert!(ok);
+
+    let mut answers = Vec::new();
+    for format in ["raw", "blocks"] {
+        let pages = dir.path(&format!("{format}.pages"));
+        let meta = dir.path(&format!("{format}.meta"));
+        let (ok, out) = uncat(&[
+            "build", "--index", "inverted", "--format", format, "--data", &data, "--pages",
+            &pages, "--meta", &meta,
+        ]);
+        assert!(ok, "build --format {format} failed: {out}");
+
+        let (ok, out) = uncat(&[
+            "stats", "--index", "inverted", "--pages", &pages, "--meta", &meta,
+        ]);
+        assert!(ok, "stats failed: {out}");
+        match format {
+            "raw" => {
+                assert!(out.contains("raw (UIV1)"), "stats must name the format: {out}");
+                assert!(!out.contains("posting blocks"), "raw has no blocks: {out}");
+            }
+            _ => {
+                assert!(out.contains("blocks (UIV2)"), "stats must name the format: {out}");
+                assert!(out.contains("posting blocks"), "missing block count: {out}");
+                assert!(out.contains("block pages"), "missing block pages: {out}");
+            }
+        }
+
+        let (ok, out) = uncat(&[
+            "query", "--index", "inverted", "--pages", &pages, "--meta", &meta, "--cat", "0",
+            "--tau", "0.3", "--limit", "10",
+        ]);
+        assert!(ok, "query failed: {out}");
+        answers.push(out);
+    }
+    assert_eq!(
+        answers[0], answers[1],
+        "raw and block formats must answer identically"
+    );
+
+    let pages = dir.path("bad.pages");
+    let meta = dir.path("bad.meta");
+    let (ok, out) = uncat(&[
+        "build", "--index", "inverted", "--format", "zip", "--data", &data, "--pages", &pages,
+        "--meta", &meta,
+    ]);
+    assert!(!ok, "unknown format must be rejected");
+    assert!(out.contains("--format"), "error should name the flag: {out}");
 }
 
 /// `batch` runs a Zipf mix in both pool modes: identical match totals,

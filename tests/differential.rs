@@ -24,7 +24,7 @@ use uncat::query::{
     BatchPools, DurableConfig, DurableIndex, DurableStorage, InvertedBackend, MutableBackend,
     ScanBaseline, UncertainIndex,
 };
-use uncat_inverted::{InvertedIndex, Strategy as SearchStrategy};
+use uncat_inverted::{InvertedIndex, PostingFormat, Strategy as SearchStrategy};
 use uncat_pdrtree::{PdrConfig, PdrTree};
 
 const CATS: u32 = 8;
@@ -228,6 +228,25 @@ proptest! {
         }
     }
 
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    // The block posting format is a pure layout change: against the raw
+    // one-entry-per-posting layout it must return identical tuples with
+    // scores within 1e-9 under every strategy, and its block accounting
+    // must balance (every block of every opened list is either decoded
+    // or charged as skipped).
+    #[test]
+    fn block_format_agrees_with_raw_and_accounts_blocks(
+        tuples in dataset_strategy(CATS, 60),
+        q in uda_strategy(CATS),
+        tau in 0.01f64..0.9,
+        k in 1usize..15,
+    ) {
+        check_block_format_differential(&tuples, &q, tau, k);
+    }
 }
 
 proptest! {
@@ -510,6 +529,83 @@ fn check_interleaved_mutations(
         DurableIndex::<InvertedBackend>::open(inv_storage, config).expect("clean reopen");
     let (mut pdr, _) = DurableIndex::<PdrTree>::open(pdr_storage, config).expect("clean reopen");
     compare_against_model("reopened", &mut inv, &mut pdr, &model, queries);
+}
+
+fn check_block_format_differential(tuples: &[(u64, Uda)], q: &Uda, tau: f64, k: usize) {
+    let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+    let raw = InvertedIndex::build_with_format(
+        Domain::anonymous(CATS),
+        &mut pool,
+        tuples.iter().map(|(t, u)| (*t, u)),
+        PostingFormat::Raw,
+    )
+    .expect("in-memory build");
+    let blocks = InvertedIndex::build_with_format(
+        Domain::anonymous(CATS),
+        &mut pool,
+        tuples.iter().map(|(t, u)| (*t, u)),
+        PostingFormat::Blocks,
+    )
+    .expect("in-memory build");
+    assert_eq!(raw.format(), PostingFormat::Raw);
+    assert_eq!(blocks.format(), PostingFormat::Blocks);
+
+    let query = EqQuery::new(q.clone(), tau);
+    for strategy in SearchStrategy::ALL {
+        let reference = raw
+            .petq(&mut pool, &query, strategy)
+            .expect("in-memory query");
+        let got = blocks
+            .petq(&mut pool, &query, strategy)
+            .expect("in-memory query");
+        assert_matches_agree(
+            "format/petq",
+            &format!("blocks/{}", strategy.name()),
+            &reference,
+            &got,
+        );
+    }
+    let topk = TopKQuery::new(q.clone(), k);
+    let reference = raw.top_k(&mut pool, &topk).expect("in-memory query");
+    let got = blocks.top_k(&mut pool, &topk).expect("in-memory query");
+    assert_matches_agree("format/top_k", "blocks", &reference, &got);
+
+    // Block accounting: a full-support query opens every posting list,
+    // so across any strategy the decoded + skipped blocks must add up to
+    // exactly the index's block count — no block is both, none vanishes.
+    let mut full = uncat::core::UdaBuilder::new();
+    for c in 0..CATS {
+        full.push(CatId(c), 0.01).expect("valid probability");
+    }
+    let full = full.finish_normalized().expect("non-empty");
+    let total_blocks = blocks.stats().posting_blocks;
+    for strategy in SearchStrategy::ALL {
+        let mut metrics = QueryMetrics::new();
+        blocks
+            .petq_metered(&mut pool, &EqQuery::new(full.clone(), tau), strategy, &mut metrics)
+            .expect("in-memory query");
+        let covered = metrics.blocks_decoded + metrics.blocks_skipped;
+        if strategy == SearchStrategy::RowPruning {
+            // Row pruning legitimately skips whole *lists* (those with
+            // `q.p < τ`); their blocks are neither decoded nor skipped.
+            assert!(covered <= total_blocks, "row-pruning overcounts blocks");
+        } else {
+            assert_eq!(
+                covered, total_blocks,
+                "{}: blocks decoded + skipped must cover every opened list",
+                strategy.name()
+            );
+        }
+    }
+    let mut metrics = QueryMetrics::new();
+    blocks
+        .top_k_metered(&mut pool, &TopKQuery::new(full, k), &mut metrics)
+        .expect("in-memory query");
+    assert_eq!(
+        metrics.blocks_decoded + metrics.blocks_skipped,
+        total_blocks,
+        "top_k: blocks decoded + skipped must cover every opened list"
+    );
 }
 
 fn check_join_plans_agree(
