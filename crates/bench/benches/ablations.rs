@@ -24,7 +24,7 @@ fn strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("strategies");
     g.sample_size(20);
     for strat in Strategy::ALL {
-        let (inv, store) = build_inverted(&domain, &data, strat);
+        let (inv, store) = build_inverted(&domain, &data, strat).expect("bench build");
         g.bench_function(strat.name(), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
@@ -54,7 +54,7 @@ fn compression(c: &mut Criterion) {
             compression,
             ..PdrConfig::default()
         };
-        let (tree, store) = build_pdr(&domain, &data, cfg);
+        let (tree, store) = build_pdr(&domain, &data, cfg).expect("bench build");
         g.bench_function(compression.name(), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
@@ -76,7 +76,7 @@ fn buffer(c: &mut Criterion) {
     let queries = queries_from_data(&data, scale.queries, scale.seed);
     let wl = make_workload(&data, &queries, &[0.01]);
     let cq = wl[0].1.first().expect("calibrated query").clone();
-    let (pdr, store) = build_pdr(&domain, &data, PdrConfig::default());
+    let (pdr, store) = build_pdr(&domain, &data, PdrConfig::default()).expect("bench build");
 
     let mut g = c.benchmark_group("buffer");
     g.sample_size(20);

@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("build-{}", split.name()), |b| {
             b.iter(|| black_box(build_pdr(&domain, &data, cfg)))
         });
-        let (tree, store) = build_pdr(&domain, &data, cfg);
+        let (tree, store) = build_pdr(&domain, &data, cfg).expect("bench build");
         g.bench_function(format!("petq-{}", split.name()), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);

@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
             divergence: dv,
             ..PdrConfig::default()
         };
-        let (tree, store) = build_pdr(&domain, &data, cfg);
+        let (tree, store) = build_pdr(&domain, &data, cfg).expect("bench build");
         g.bench_function(format!("petq-{}", dv.name()), |b| {
             b.iter(|| {
                 let cq = &qs[0];

@@ -27,14 +27,15 @@ fn bench(c: &mut Criterion) {
         let wl = make_workload(&data, &queries, &[0.01]);
         let cq = wl[0].1.first().expect("calibrated query").clone();
 
-        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra).expect("bench build");
         g.bench_function(format!("{name}-inverted"), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
                 black_box(inv.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
             })
         });
-        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        let (pdr, pdr_store) =
+            build_pdr(&domain, &data, PdrConfig::default()).expect("bench build");
         g.bench_function(format!("{name}-pdr"), |b| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);

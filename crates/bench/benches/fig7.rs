@@ -27,8 +27,8 @@ fn bench(c: &mut Criterion) {
     let wl = make_workload(&data, &queries, &[0.01]);
     let cq = wl[0].1.first().expect("calibrated query").clone();
 
-    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
-    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra).expect("bench build");
+    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default()).expect("bench build");
 
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);

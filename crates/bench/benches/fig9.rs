@@ -27,14 +27,15 @@ fn bench(c: &mut Criterion) {
             continue;
         };
 
-        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra).expect("bench build");
         g.bench_with_input(BenchmarkId::new("inverted", d), &d, |b, _| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
                 black_box(inv.petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau)))
             })
         });
-        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        let (pdr, pdr_store) =
+            build_pdr(&domain, &data, PdrConfig::default()).expect("bench build");
         g.bench_with_input(BenchmarkId::new("pdr", d), &d, |b, _| {
             b.iter(|| {
                 let mut pool = BufferPool::with_capacity(pdr_store.clone(), QUERY_FRAMES);

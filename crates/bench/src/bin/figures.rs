@@ -37,9 +37,13 @@ fn main() {
     for name in names {
         let t0 = Instant::now();
         match by_name(name, &scale) {
-            Some(table) => {
+            Some(Ok(table)) => {
                 println!("{table}");
                 println!("# {name} took {:.1}s\n", t0.elapsed().as_secs_f64());
+            }
+            Some(Err(err)) => {
+                eprintln!("figure {name} failed: {err}");
+                std::process::exit(1);
             }
             None => {
                 eprintln!("unknown figure {name:?}; known: {ALL_FIGURES:?}");

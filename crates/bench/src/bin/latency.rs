@@ -1,0 +1,88 @@
+//! Produce (or validate) the `BENCH_latency.json` wall-clock artifact.
+//!
+//! ```text
+//! cargo run --release -p uncat-bench --bin latency                # paper scale
+//! cargo run --release -p uncat-bench --bin latency -- --quick     # reduced scale
+//! cargo run --release -p uncat-bench --bin latency -- --out x.json
+//! cargo run --release -p uncat-bench --bin latency -- --validate x.json
+//! ```
+//!
+//! The artifact is validated against the schema *before* it is written,
+//! so a bad run never replaces a good file. `--validate` re-reads an
+//! existing artifact and exits nonzero on any schema violation — that is
+//! what the CI bench-smoke job runs.
+
+use std::process::ExitCode;
+
+use uncat_bench::latency::{latency_sweep, report_to_json, validate_report};
+use uncat_bench::{BenchError, BenchResult, Json, Scale};
+
+fn run() -> BenchResult<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_after = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    if let Some(path) = arg_after("--validate") {
+        let text = std::fs::read_to_string(path).map_err(BenchError::io(path))?;
+        let doc = Json::parse(&text).map_err(BenchError::schema)?;
+        validate_report(&doc)?;
+        println!(
+            "{path}: valid (schema v{})",
+            doc.get("schema_version")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        );
+        return Ok(());
+    }
+
+    let out = arg_after("--out").unwrap_or("BENCH_latency.json");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::from_env()
+    };
+    eprintln!(
+        "# latency sweep: crm_n={} queries/point={} seed={}",
+        scale.crm_n, scale.queries, scale.seed
+    );
+    let report = latency_sweep(&scale)?;
+    let doc = report_to_json(&report);
+    validate_report(&doc)?; // never write an artifact the validator rejects
+    std::fs::write(out, doc.render_pretty()).map_err(BenchError::io(out))?;
+
+    println!(
+        "{:<10} {:<18} {:<5} {:<8} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "backend", "strategy", "kind", "pool", "count", "p50_us", "p95_us", "p99_us", "max_us"
+    );
+    for run in &report.runs {
+        println!(
+            "{:<10} {:<18} {:<5} {:<8} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            run.backend,
+            run.strategy,
+            run.kind,
+            run.pool,
+            run.hist.count(),
+            run.hist.p50_ns() as f64 / 1e3,
+            run.hist.p95_ns() as f64 / 1e3,
+            run.hist.p99_ns() as f64 / 1e3,
+            run.hist.max_ns() as f64 / 1e3,
+        );
+    }
+    println!("wrote {out} ({} runs)", report.runs.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("latency: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,6 +9,7 @@ use uncat_pdrtree::{Compression, PdrConfig, SplitStrategy};
 use uncat_query::UncertainIndex;
 use uncat_storage::SharedStore;
 
+use crate::error::{BenchError, BenchResult};
 use crate::measure::{
     avg_petq_io, avg_topk_io, build_inverted, build_inverted_fmt, build_pdr, profile_petq,
     profile_topk, Scale, QUERY_FRAMES,
@@ -28,24 +29,24 @@ fn petq_topk_series(
     index: &impl UncertainIndex,
     store: &SharedStore,
     workload: &Workload,
-) -> (Series, Series) {
+) -> BenchResult<(Series, Series)> {
     let mut thres = Vec::new();
     let mut topk = Vec::new();
     for (s, qs) in workload {
         if qs.is_empty() {
             continue;
         }
-        thres.push((*s, avg_petq_io(index, store, QUERY_FRAMES, qs)));
-        topk.push((*s, avg_topk_io(index, store, QUERY_FRAMES, qs)));
+        thres.push((*s, avg_petq_io(index, store, QUERY_FRAMES, qs)?));
+        topk.push((*s, avg_topk_io(index, store, QUERY_FRAMES, qs)?));
     }
-    (
+    Ok((
         Series::new(format!("{prefix}-Thres"), thres),
         Series::new(format!("{prefix}-TopK"), topk),
-    )
+    ))
 }
 
 /// Figure 4: L1 vs L2 vs KL as the PDR-tree clustering measure (CRM1).
-pub fn fig4(scale: &Scale) -> FigureTable {
+pub fn fig4(scale: &Scale) -> BenchResult<FigureTable> {
     let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
@@ -54,42 +55,42 @@ pub fn fig4(scale: &Scale) -> FigureTable {
             divergence: dv,
             ..PdrConfig::default()
         };
-        let (tree, store) = build_pdr(&domain, &data, cfg);
-        let (t, k) = petq_topk_series(&format!("CRM1-{}", dv.name()), &tree, &store, &workload);
+        let (tree, store) = build_pdr(&domain, &data, cfg)?;
+        let (t, k) = petq_topk_series(&format!("CRM1-{}", dv.name()), &tree, &store, &workload)?;
         series.push(t);
         series.push(k);
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "fig4",
         "L1 vs L2 vs KL (PDR-tree, CRM1)",
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Figure 5: inverted index vs PDR-tree on the synthetic datasets.
-pub fn fig5(scale: &Scale) -> FigureTable {
+pub fn fig5(scale: &Scale) -> BenchResult<FigureTable> {
     let mut series = Vec::new();
     for (name, (domain, data)) in [
         ("Uniform", uniform::generate(scale.synth_n, scale.seed)),
         ("Pairwise", pairwise::generate(scale.synth_n, scale.seed)),
     ] {
         let workload = workload_for(&data, scale);
-        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
-        let (t, k) = petq_topk_series(&format!("{name}-Inv"), &inv, &inv_store, &workload);
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
+        let (t, k) = petq_topk_series(&format!("{name}-Inv"), &inv, &inv_store, &workload)?;
         series.push(t);
         series.push(k);
-        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
-        let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload);
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default())?;
+        let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload)?;
         series.push(t);
         series.push(k);
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "fig5",
         "Inverted index vs PDR-tree (synthetic)",
         "selectivity",
         series,
-    )
+    ))
 }
 
 fn crm_figure(
@@ -97,39 +98,39 @@ fn crm_figure(
     name: &str,
     scale: &Scale,
     data: (uncat_core::Domain, Dataset),
-) -> FigureTable {
+) -> BenchResult<FigureTable> {
     let (domain, data) = data;
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
-    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
-    let (t, k) = petq_topk_series(&format!("{name}-Inv"), &inv, &inv_store, &workload);
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
+    let (t, k) = petq_topk_series(&format!("{name}-Inv"), &inv, &inv_store, &workload)?;
     series.push(t);
     series.push(k);
-    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
-    let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload);
+    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default())?;
+    let (t, k) = petq_topk_series(&format!("{name}-PDR"), &pdr, &pdr_store, &workload)?;
     series.push(t);
     series.push(k);
-    FigureTable::new(
+    Ok(FigureTable::new(
         id,
         format!("Inverted index vs PDR-tree ({name})"),
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Figure 6: inverted vs PDR-tree on CRM1.
-pub fn fig6(scale: &Scale) -> FigureTable {
+pub fn fig6(scale: &Scale) -> BenchResult<FigureTable> {
     crm_figure("fig6", "CRM1", scale, crm::crm1(scale.crm_n, scale.seed))
 }
 
 /// Figure 7: inverted vs PDR-tree on CRM2 (≈10× costlier than CRM1).
-pub fn fig7(scale: &Scale) -> FigureTable {
+pub fn fig7(scale: &Scale) -> BenchResult<FigureTable> {
     crm_figure("fig7", "CRM2", scale, crm::crm2(scale.crm_n, scale.seed))
 }
 
 /// Figure 8: scalability with dataset size (CRM2; inverted grows linearly,
 /// the PDR-tree sub-linearly). Measured at 1 % selectivity.
-pub fn fig8(scale: &Scale) -> FigureTable {
+pub fn fig8(scale: &Scale) -> BenchResult<FigureTable> {
     let steps = 5;
     let mut inv_t = Vec::new();
     let mut inv_k = Vec::new();
@@ -142,14 +143,14 @@ pub fn fig8(scale: &Scale) -> FigureTable {
         let wl = make_workload(&data, &queries, &[0.01]);
         let qs = &wl[0].1;
         let x = n as f64 / 1000.0; // thousands of tuples, like the paper
-        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
-        inv_t.push((x, avg_petq_io(&inv, &inv_store, QUERY_FRAMES, qs)));
-        inv_k.push((x, avg_topk_io(&inv, &inv_store, QUERY_FRAMES, qs)));
-        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
-        pdr_t.push((x, avg_petq_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
-        pdr_k.push((x, avg_topk_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
+        inv_t.push((x, avg_petq_io(&inv, &inv_store, QUERY_FRAMES, qs)?));
+        inv_k.push((x, avg_topk_io(&inv, &inv_store, QUERY_FRAMES, qs)?));
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default())?;
+        pdr_t.push((x, avg_petq_io(&pdr, &pdr_store, QUERY_FRAMES, qs)?));
+        pdr_k.push((x, avg_topk_io(&pdr, &pdr_store, QUERY_FRAMES, qs)?));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "fig8",
         "Scalability with dataset size (CRM2, 1% selectivity)",
         "ktuples",
@@ -159,11 +160,11 @@ pub fn fig8(scale: &Scale) -> FigureTable {
             Series::new("CRM2-PDR-Thres", pdr_t),
             Series::new("CRM2-PDR-TopK", pdr_k),
         ],
-    )
+    ))
 }
 
 /// Figure 9: scalability with domain size (Gen3, 1 % selectivity).
-pub fn fig9(scale: &Scale) -> FigureTable {
+pub fn fig9(scale: &Scale) -> BenchResult<FigureTable> {
     let domains: &[u32] = &[5, 10, 20, 50, 100, 200, 500];
     let mut inv_t = Vec::new();
     let mut inv_k = Vec::new();
@@ -178,14 +179,14 @@ pub fn fig9(scale: &Scale) -> FigureTable {
             continue;
         }
         let x = d as f64;
-        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
-        inv_t.push((x, avg_petq_io(&inv, &inv_store, QUERY_FRAMES, qs)));
-        inv_k.push((x, avg_topk_io(&inv, &inv_store, QUERY_FRAMES, qs)));
-        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
-        pdr_t.push((x, avg_petq_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
-        pdr_k.push((x, avg_topk_io(&pdr, &pdr_store, QUERY_FRAMES, qs)));
+        let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
+        inv_t.push((x, avg_petq_io(&inv, &inv_store, QUERY_FRAMES, qs)?));
+        inv_k.push((x, avg_topk_io(&inv, &inv_store, QUERY_FRAMES, qs)?));
+        let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default())?;
+        pdr_t.push((x, avg_petq_io(&pdr, &pdr_store, QUERY_FRAMES, qs)?));
+        pdr_k.push((x, avg_topk_io(&pdr, &pdr_store, QUERY_FRAMES, qs)?));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "fig9",
         "Scalability with domain size (Gen3, 1% selectivity)",
         "domain",
@@ -195,13 +196,13 @@ pub fn fig9(scale: &Scale) -> FigureTable {
             Series::new("Gen3-PDR-Thres", pdr_t),
             Series::new("Gen3-PDR-TopK", pdr_k),
         ],
-    )
+    ))
 }
 
 /// Figure 10: PDR-tree split algorithm, top-down vs bottom-up. The paper
 /// plots Uniform and notes "a similar relative behavior was observed for
 /// the other datasets including the real data" — CRM1 series included.
-pub fn fig10(scale: &Scale) -> FigureTable {
+pub fn fig10(scale: &Scale) -> BenchResult<FigureTable> {
     let mut series = Vec::new();
     for (name, domain, data, workload) in [
         {
@@ -220,11 +221,11 @@ pub fn fig10(scale: &Scale) -> FigureTable {
                 split,
                 ..PdrConfig::default()
             };
-            let (tree, store) = build_pdr(&domain, &data, cfg);
+            let (tree, store) = build_pdr(&domain, &data, cfg)?;
             let mut pts = Vec::new();
             for (s, qs) in &workload {
                 if !qs.is_empty() {
-                    pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+                    pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)?));
                 }
             }
             series.push(Series::new(
@@ -239,21 +240,21 @@ pub fn fig10(scale: &Scale) -> FigureTable {
             ));
         }
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "fig10",
         "PDR split: top-down vs bottom-up",
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Ablation: the four inverted-index search strategies plus NRA (CRM1).
-pub fn strategies(scale: &Scale) -> FigureTable {
+pub fn strategies(scale: &Scale) -> BenchResult<FigureTable> {
     let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
     for strat in Strategy::ALL {
-        let (inv, store) = build_inverted(&domain, &data, strat);
+        let (inv, store) = build_inverted(&domain, &data, strat)?;
         // Alongside the I/O series, emit the counters that explain it:
         // postings scanned (the strategies' sorted-access work) and
         // candidates verified (their random-access work), per query.
@@ -264,7 +265,7 @@ pub fn strategies(scale: &Scale) -> FigureTable {
             if qs.is_empty() {
                 continue;
             }
-            let p = profile_petq(&inv, &store, QUERY_FRAMES, qs);
+            let p = profile_petq(&inv, &store, QUERY_FRAMES, qs)?;
             io_pts.push((*s, p.avg_reads));
             postings_pts.push((*s, p.per_query(p.metrics.postings_scanned)));
             verified_pts.push((*s, p.per_query(p.metrics.candidates_verified)));
@@ -279,16 +280,16 @@ pub fn strategies(scale: &Scale) -> FigureTable {
             verified_pts,
         ));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "strategies",
         "Inverted-index search strategies (CRM1)",
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Ablation: PDR boundary compression (Gen3, |D| = 200).
-pub fn compression(scale: &Scale) -> FigureTable {
+pub fn compression(scale: &Scale) -> BenchResult<FigureTable> {
     let (domain, data) = gen3::generate(scale.synth_n, 200, scale.seed);
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
@@ -302,26 +303,26 @@ pub fn compression(scale: &Scale) -> FigureTable {
             compression,
             ..PdrConfig::default()
         };
-        let (tree, store) = build_pdr(&domain, &data, cfg);
+        let (tree, store) = build_pdr(&domain, &data, cfg)?;
         let mut pts = Vec::new();
         for (s, qs) in &workload {
             if !qs.is_empty() {
-                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)?));
             }
         }
         series.push(Series::new(compression.name(), pts));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "compression",
         "PDR boundary compression (Gen3, |D|=200)",
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Ablation: per-query buffer size and replacement policy (CRM1, 1 %
 /// selectivity).
-pub fn buffer(scale: &Scale) -> FigureTable {
+pub fn buffer(scale: &Scale) -> BenchResult<FigureTable> {
     use uncat_core::query::EqQuery;
     use uncat_storage::{BufferPool, Replacement};
 
@@ -329,22 +330,20 @@ pub fn buffer(scale: &Scale) -> FigureTable {
     let queries = queries_from_data(&data, scale.queries, scale.seed ^ 0xBEEF);
     let wl = make_workload(&data, &queries, &[0.01]);
     let qs = &wl[0].1;
-    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
-    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
+    let (pdr, pdr_store) = build_pdr(&domain, &data, PdrConfig::default())?;
 
     let measure =
         |index: &dyn UncertainIndex, store: &SharedStore, frames: usize, policy: Replacement| {
-            let total: u64 = qs
-                .iter()
-                .map(|cq| {
-                    let mut pool = BufferPool::with_policy(store.clone(), frames, policy);
-                    index
-                        .petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau))
-                        .expect("in-memory query");
-                    pool.stats().physical_reads
-                })
-                .sum();
-            total as f64 / qs.len() as f64
+            let mut total: u64 = 0;
+            for cq in qs {
+                let mut pool = BufferPool::with_policy(store.clone(), frames, policy);
+                index
+                    .petq(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau))
+                    .map_err(BenchError::storage("buffer-policy probe"))?;
+                total += pool.stats().physical_reads;
+            }
+            Ok::<f64, BenchError>(total as f64 / qs.len() as f64)
         };
 
     let mut series = Vec::new();
@@ -357,24 +356,24 @@ pub fn buffer(scale: &Scale) -> FigureTable {
                 Replacement::Clock => "Clock",
                 Replacement::Lru => "LRU",
             };
-            let pts = [25usize, 50, 100, 200, 400]
-                .iter()
-                .map(|&frames| (frames as f64, measure(index, store, frames, policy)))
-                .collect();
+            let mut pts = Vec::new();
+            for &frames in &[25usize, 50, 100, 200, 400] {
+                pts.push((frames as f64, measure(index, store, frames, policy)?));
+            }
             series.push(Series::new(format!("{label}-{pname}"), pts));
         }
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "buffer",
         "Per-query buffer size and replacement policy (CRM1, 1% selectivity)",
         "frames",
         series,
-    )
+    ))
 }
 
 /// Ablation: PDR build method — incremental insertion vs sort-and-pack
 /// bulk loading (CRM1). Reports query I/O at each selectivity.
-pub fn bulkload(scale: &Scale) -> FigureTable {
+pub fn bulkload(scale: &Scale) -> BenchResult<FigureTable> {
     let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
     let workload = workload_for(&data, scale);
     let mut series = Vec::new();
@@ -388,7 +387,7 @@ pub fn bulkload(scale: &Scale) -> FigureTable {
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
             )
-            .expect("in-memory build")
+            .map_err(BenchError::storage("bulk-load pdr-tree"))?
         } else {
             uncat_pdrtree::PdrTree::build(
                 domain.clone(),
@@ -396,9 +395,10 @@ pub fn bulkload(scale: &Scale) -> FigureTable {
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
             )
-            .expect("in-memory build")
+            .map_err(BenchError::storage("build pdr-tree"))?
         };
-        pool.flush().expect("in-memory flush");
+        pool.flush()
+            .map_err(BenchError::storage("flush pdr-tree"))?;
         drop(pool);
         let label = if bulk {
             "PDR-BulkLoad-Thres"
@@ -408,22 +408,22 @@ pub fn bulkload(scale: &Scale) -> FigureTable {
         let mut pts = Vec::new();
         for (s, qs) in &workload {
             if !qs.is_empty() {
-                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)?));
             }
         }
         series.push(Series::new(label, pts));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "bulkload",
         "PDR build method: incremental vs bulk (CRM1)",
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Index sizes in pages per dataset and structure (context for every
 /// other figure).
-pub fn sizes(scale: &Scale) -> FigureTable {
+pub fn sizes(scale: &Scale) -> BenchResult<FigureTable> {
     let mut inv_pts = Vec::new();
     let mut pdr_pts = Vec::new();
     let mut bulk_pts = Vec::new();
@@ -450,9 +450,9 @@ pub fn sizes(scale: &Scale) -> FigureTable {
         ),
     ];
     for (x, domain, data) in sets {
-        let (_, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+        let (_, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
         inv_pts.push((x, inv_store.num_pages() as f64));
-        let (_, pdr_store) = build_pdr(&domain, &data, PdrConfig::default());
+        let (_, pdr_store) = build_pdr(&domain, &data, PdrConfig::default())?;
         pdr_pts.push((x, pdr_store.num_pages() as f64));
         let bulk_store = uncat_storage::InMemoryDisk::shared();
         let mut pool = uncat_storage::BufferPool::with_capacity(bulk_store.clone(), 512);
@@ -462,12 +462,13 @@ pub fn sizes(scale: &Scale) -> FigureTable {
             &mut pool,
             data.iter().map(|(t, u)| (*t, u)),
         )
-        .expect("in-memory build");
-        pool.flush().expect("in-memory flush");
+        .map_err(BenchError::storage("bulk-load pdr-tree"))?;
+        pool.flush()
+            .map_err(BenchError::storage("flush pdr-tree"))?;
         drop(pool);
         bulk_pts.push((x, bulk_store.num_pages() as f64));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "sizes",
         "Index size in pages (1=Uniform 2=Pairwise 3=CRM1 4=CRM2)",
         "dataset",
@@ -476,13 +477,13 @@ pub fn sizes(scale: &Scale) -> FigureTable {
             Series::new("PDR-Insert", pdr_pts),
             Series::new("PDR-BulkLoad", bulk_pts),
         ],
-    )
+    ))
 }
 
 /// Ablation: PETJ physical plans — index nested loop (probing the
 /// PDR-tree) vs block nested loop, varying the outer relation size
 /// (CRM1-style data, τ = 0.5).
-pub fn joins(scale: &Scale) -> FigureTable {
+pub fn joins(scale: &Scale) -> BenchResult<FigureTable> {
     use uncat_query::join::{block_nested_loop_petj, index_nested_loop_petj};
     use uncat_query::ScanBaseline;
     use uncat_storage::BufferPool;
@@ -496,10 +497,11 @@ pub fn joins(scale: &Scale) -> FigureTable {
         &mut pool,
         data.iter().map(|(t, u)| (*t, u)),
     )
-    .expect("in-memory build");
-    let scan =
-        ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).expect("in-memory build");
-    pool.flush().expect("in-memory flush");
+    .map_err(BenchError::storage("build pdr-tree"))?;
+    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .map_err(BenchError::storage("build scan baseline"))?;
+    pool.flush()
+        .map_err(BenchError::storage("flush join inputs"))?;
     drop(pool);
 
     let (_, outer_all) = crm::crm1(256, scale.seed ^ 0xA5A5);
@@ -513,14 +515,16 @@ pub fn joins(scale: &Scale) -> FigureTable {
             .map(|(t, u)| (1_000_000 + *t, u.clone()))
             .collect();
         let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
-        let a = index_nested_loop_petj(&outer, &pdr, &mut p, tau).expect("in-memory join");
+        let a = index_nested_loop_petj(&outer, &pdr, &mut p, tau)
+            .map_err(BenchError::storage("index nested-loop join"))?;
         inl_pts.push((outer_n as f64, p.stats().physical_reads as f64));
         let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
-        let b = block_nested_loop_petj(&outer, &scan, &mut p, tau).expect("in-memory join");
+        let b = block_nested_loop_petj(&outer, &scan, &mut p, tau)
+            .map_err(BenchError::storage("block nested-loop join"))?;
         bnl_pts.push((outer_n as f64, p.stats().physical_reads as f64));
         assert_eq!(a.len(), b.len(), "join plans must agree");
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "joins",
         "PETJ plans: index vs block nested loop (CRM1, tau=0.5)",
         "outer",
@@ -528,7 +532,7 @@ pub fn joins(scale: &Scale) -> FigureTable {
             Series::new("INL-PDR", inl_pts),
             Series::new("BNL-Scan", bnl_pts),
         ],
-    )
+    ))
 }
 
 /// Figure: block vs index vs parallel join plans on Zipf-skewed
@@ -541,7 +545,7 @@ pub fn joins(scale: &Scale) -> FigureTable {
 /// probe's dynamic threshold, so probes stop as early as Lemma 1 allows
 /// at θ = floor — the gap between `TopK-Index` and `TopK-Par` is the
 /// floor-propagation win, and it widens with the outer relation.
-pub fn join(scale: &Scale) -> FigureTable {
+pub fn join(scale: &Scale) -> BenchResult<FigureTable> {
     use uncat_core::query::TopKQuery;
     use uncat_core::Uda;
     use uncat_datagen::zipf::zipf_ranks;
@@ -554,12 +558,13 @@ pub fn join(scale: &Scale) -> FigureTable {
     const TAU: f64 = 0.5;
 
     let (domain, data) = crm::crm1(scale.crm_n / 2, scale.seed);
-    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra);
+    let (inv, inv_store) = build_inverted(&domain, &data, Strategy::Nra)?;
     let store = uncat_storage::InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), 512);
-    let scan =
-        ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).expect("in-memory build");
-    pool.flush().expect("in-memory flush");
+    let scan = ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .map_err(BenchError::storage("build scan baseline"))?;
+    pool.flush()
+        .map_err(BenchError::storage("flush join inputs"))?;
     drop(pool);
 
     let outer_all: Vec<(u64, Uda)> =
@@ -586,14 +591,15 @@ pub fn join(scale: &Scale) -> FigureTable {
         // PETJ: physical reads per plan.
         let petj = JoinSpec::Petj { tau: TAU };
         let mut p = BufferPool::with_capacity(store.clone(), QUERY_FRAMES);
-        let b = block_join(outer, &scan, &mut p, petj).expect("in-memory join");
+        let b =
+            block_join(outer, &scan, &mut p, petj).map_err(BenchError::storage("block join"))?;
         block_pts.push((x, b.reads() as f64));
         let mut p = BufferPool::with_capacity(inv_store.clone(), QUERY_FRAMES);
-        let i = index_join(outer, &inv, &mut p, petj).expect("in-memory join");
+        let i = index_join(outer, &inv, &mut p, petj).map_err(BenchError::storage("index join"))?;
         index_pts.push((x, i.reads() as f64));
         let pools = BatchPools::shared(&inv_store, QUERY_FRAMES * THREADS, 8);
-        let par =
-            parallel_join(outer, &inv, &inv_store, &pools, petj, THREADS).expect("in-memory join");
+        let par = parallel_join(outer, &inv, &inv_store, &pools, petj, THREADS)
+            .map_err(BenchError::storage("parallel join"))?;
         par_pts.push((x, par.reads() as f64));
         assert_eq!(
             i.pairs.len(),
@@ -614,7 +620,7 @@ pub fn join(scale: &Scale) -> FigureTable {
                 &TopKQuery::new(luda.clone(), K),
                 &mut baseline,
             )
-            .expect("in-memory probe");
+            .map_err(BenchError::storage("top-k probe"))?;
         }
         topk_index_pts.push((x, baseline.postings_scanned as f64 / outer_n as f64));
         let pools = BatchPools::private(QUERY_FRAMES);
@@ -626,10 +632,10 @@ pub fn join(scale: &Scale) -> FigureTable {
             JoinSpec::PejTopK { k: K },
             THREADS,
         )
-        .expect("in-memory join");
+        .map_err(BenchError::storage("parallel top-k join"))?;
         topk_par_pts.push((x, par.metrics.postings_scanned as f64 / outer_n as f64));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "join",
         "Join plans: block vs index vs parallel (CRM1, Zipf outer)",
         "outer",
@@ -640,17 +646,17 @@ pub fn join(scale: &Scale) -> FigureTable {
             Series::new("TopK-Index-postings", topk_index_pts),
             Series::new("TopK-Par-postings", topk_par_pts),
         ],
-    )
+    ))
 }
 
 /// Ablation: query shape — tuples sampled from the data vs certain-value
 /// queries vs uniform-random distributions (CRM1, PDR-tree, τ calibrated
 /// to 1% where reachable).
-pub fn queryshape(scale: &Scale) -> FigureTable {
+pub fn queryshape(scale: &Scale) -> BenchResult<FigureTable> {
     use uncat_datagen::workload::{certain_queries, random_queries};
 
     let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
-    let (tree, store) = build_pdr(&domain, &data, PdrConfig::default());
+    let (tree, store) = build_pdr(&domain, &data, PdrConfig::default())?;
     let shapes: [(&str, Vec<uncat_core::Uda>); 3] = [
         (
             "sampled",
@@ -668,19 +674,19 @@ pub fn queryshape(scale: &Scale) -> FigureTable {
         let mut pts = Vec::new();
         for (s, qs) in &wl {
             if !qs.is_empty() {
-                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)));
+                pts.push((*s, avg_petq_io(&tree, &store, QUERY_FRAMES, qs)?));
             }
         }
         if !pts.is_empty() {
             series.push(Series::new(name, pts));
         }
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "queryshape",
         "Query shape (CRM1, PDR-tree)",
         "selectivity",
         series,
-    )
+    ))
 }
 
 /// Ablation: shared vs private buffer pools on a Zipf-skewed
@@ -692,7 +698,7 @@ pub fn queryshape(scale: &Scale) -> FigureTable {
 /// lock-striped [`uncat_storage::SharedBufferPool`] with the same total
 /// frame budget (`QUERY_FRAMES` × threads, 8 shards): hot pages are
 /// faulted once per batch, and the gap widens with batch length.
-pub fn sharedpool(scale: &Scale) -> FigureTable {
+pub fn sharedpool(scale: &Scale) -> BenchResult<FigureTable> {
     use uncat_core::query::EqQuery;
     use uncat_datagen::zipf::zipf_ranks;
     use uncat_query::parallel::{batch_metrics, petq_batch_with};
@@ -709,8 +715,12 @@ pub fn sharedpool(scale: &Scale) -> FigureTable {
         .iter()
         .map(|cq| EqQuery::new(cq.q.clone(), cq.tau))
         .collect();
-    assert!(!distinct.is_empty(), "calibration found no 1% queries");
-    let (inv, store) = build_inverted(&domain, &data, Strategy::Nra);
+    if distinct.is_empty() {
+        return Err(BenchError::Empty {
+            what: "1% selectivity calibration",
+        });
+    }
+    let (inv, store) = build_inverted(&domain, &data, Strategy::Nra)?;
 
     let mut private_pts = Vec::new();
     let mut shared_pts = Vec::new();
@@ -732,7 +742,7 @@ pub fn sharedpool(scale: &Scale) -> FigureTable {
             avg(&BatchPools::shared(&store, QUERY_FRAMES * THREADS, SHARDS)),
         ));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "sharedpool",
         "Shared vs private pools on a Zipf repeated-query batch (CRM1, 1% selectivity)",
         "batch",
@@ -740,7 +750,7 @@ pub fn sharedpool(scale: &Scale) -> FigureTable {
             Series::new("Private-Thres", private_pts),
             Series::new("Shared-Thres", shared_pts),
         ],
-    )
+    ))
 }
 
 /// Ablation: block-max pruning — the compressed block posting format
@@ -752,7 +762,7 @@ pub fn sharedpool(scale: &Scale) -> FigureTable {
 /// materialized per query (`…-post`, the `postings_scanned` counter —
 /// block lists only tick it for entries actually decoded). Block-max
 /// pruning wins on both: skipped blocks are neither read nor decoded.
-pub fn blockmax(scale: &Scale) -> FigureTable {
+pub fn blockmax(scale: &Scale) -> BenchResult<FigureTable> {
     use uncat_inverted::PostingFormat;
 
     let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
@@ -764,14 +774,14 @@ pub fn blockmax(scale: &Scale) -> FigureTable {
             ("Hpf", Strategy::HighestProbFirst),
             ("Nra", Strategy::Nra),
         ] {
-            let (idx, store) = build_inverted_fmt(&domain, &data, strat, fmt);
+            let (idx, store) = build_inverted_fmt(&domain, &data, strat, fmt)?;
             let mut reads = Vec::new();
             let mut posts = Vec::new();
             for (s, qs) in &workload {
                 if qs.is_empty() {
                     continue;
                 }
-                let prof = profile_petq(&idx, &store, QUERY_FRAMES, qs);
+                let prof = profile_petq(&idx, &store, QUERY_FRAMES, qs)?;
                 reads.push((*s, prof.avg_reads));
                 posts.push((*s, prof.per_query(prof.metrics.postings_scanned)));
             }
@@ -781,30 +791,31 @@ pub fn blockmax(scale: &Scale) -> FigureTable {
         // Top-k probes drain the same frontier under a dynamic θ; the
         // WAND-style leap over blocks whose maximum cannot beat θ is
         // measured here.
-        let (idx, store) = build_inverted_fmt(&domain, &data, Strategy::Nra, fmt);
+        let (idx, store) = build_inverted_fmt(&domain, &data, Strategy::Nra, fmt)?;
         let mut reads = Vec::new();
         let mut posts = Vec::new();
         for (s, qs) in &workload {
             if qs.is_empty() {
                 continue;
             }
-            let prof = profile_topk(&idx, &store, QUERY_FRAMES, qs);
+            let prof = profile_topk(&idx, &store, QUERY_FRAMES, qs)?;
             reads.push((*s, prof.avg_reads));
             posts.push((*s, prof.per_query(prof.metrics.postings_scanned)));
         }
         series.push(Series::new(format!("TopK-{fmt_name}-reads"), reads));
         series.push(Series::new(format!("TopK-{fmt_name}-post"), posts));
     }
-    FigureTable::new(
+    Ok(FigureTable::new(
         "blockmax",
         "Block-max pruning vs raw postings (CRM1)",
         "selectivity",
         series,
-    )
+    ))
 }
 
-/// Every figure/ablation by name.
-pub fn by_name(name: &str, scale: &Scale) -> Option<FigureTable> {
+/// Every figure/ablation by name. `None` means the name is unknown;
+/// `Some(Err(_))` means the figure is known but its sweep failed.
+pub fn by_name(name: &str, scale: &Scale) -> Option<BenchResult<FigureTable>> {
     Some(match name {
         "fig4" => fig4(scale),
         "fig5" => fig5(scale),

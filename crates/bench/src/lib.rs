@@ -12,10 +12,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod figures;
+pub mod json;
+pub mod latency;
 pub mod measure;
 pub mod table;
 
+pub use error::{BenchError, BenchResult};
 pub use figures::*;
+pub use json::Json;
+pub use latency::{latency_sweep, LatencyReport, LatencyRun};
 pub use measure::{avg_petq_io, avg_topk_io, build_inverted, build_pdr, Scale};
 pub use table::{FigureTable, Series};

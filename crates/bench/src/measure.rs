@@ -10,6 +10,8 @@ use uncat_pdrtree::{PdrConfig, PdrTree};
 use uncat_query::{InvertedBackend, UncertainIndex};
 use uncat_storage::{BufferPool, InMemoryDisk, QueryMetrics, SharedStore};
 
+use crate::error::{BenchError, BenchResult};
+
 /// Experiment sizing. `full()` is the paper's scale; `quick()` keeps unit
 /// tests and Criterion benches fast.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +66,7 @@ pub fn build_inverted(
     domain: &Domain,
     data: &Dataset,
     strategy: Strategy,
-) -> (InvertedBackend, SharedStore) {
+) -> BenchResult<(InvertedBackend, SharedStore)> {
     build_inverted_fmt(domain, data, strategy, PostingFormat::default())
 }
 
@@ -75,7 +77,7 @@ pub fn build_inverted_fmt(
     data: &Dataset,
     strategy: Strategy,
     format: PostingFormat,
-) -> (InvertedBackend, SharedStore) {
+) -> BenchResult<(InvertedBackend, SharedStore)> {
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
     let idx = InvertedIndex::build_with_format(
@@ -84,13 +86,18 @@ pub fn build_inverted_fmt(
         data.iter().map(|(t, u)| (*t, u)),
         format,
     )
-    .expect("in-memory build");
-    pool.flush().expect("in-memory flush");
-    (InvertedBackend::with_strategy(idx, strategy), store)
+    .map_err(BenchError::storage("build inverted index"))?;
+    pool.flush()
+        .map_err(BenchError::storage("flush inverted index"))?;
+    Ok((InvertedBackend::with_strategy(idx, strategy), store))
 }
 
 /// Build a PDR-tree over its own store.
-pub fn build_pdr(domain: &Domain, data: &Dataset, cfg: PdrConfig) -> (PdrTree, SharedStore) {
+pub fn build_pdr(
+    domain: &Domain,
+    data: &Dataset,
+    cfg: PdrConfig,
+) -> BenchResult<(PdrTree, SharedStore)> {
     let store = InMemoryDisk::shared();
     let mut pool = BufferPool::with_capacity(store.clone(), BUILD_FRAMES);
     let tree = PdrTree::build(
@@ -99,9 +106,10 @@ pub fn build_pdr(domain: &Domain, data: &Dataset, cfg: PdrConfig) -> (PdrTree, S
         &mut pool,
         data.iter().map(|(t, u)| (*t, u)),
     )
-    .expect("in-memory build");
-    pool.flush().expect("in-memory flush");
-    (tree, store)
+    .map_err(BenchError::storage("build pdr-tree"))?;
+    pool.flush()
+        .map_err(BenchError::storage("flush pdr-tree"))?;
+    Ok((tree, store))
 }
 
 /// Cost profile of one plotted point: average physical reads (the paper's
@@ -136,8 +144,8 @@ pub fn avg_petq_io(
     store: &SharedStore,
     frames: usize,
     queries: &[CalibratedQuery],
-) -> f64 {
-    profile_petq(index, store, frames, queries).avg_reads
+) -> BenchResult<f64> {
+    Ok(profile_petq(index, store, frames, queries)?.avg_reads)
 }
 
 /// Full cost profile (reads + counters) per PETQ over a calibrated set.
@@ -146,13 +154,13 @@ pub fn profile_petq(
     store: &SharedStore,
     frames: usize,
     queries: &[CalibratedQuery],
-) -> QueryProfile {
+) -> BenchResult<QueryProfile> {
     profile(queries, |cq, metrics| {
         let mut pool = BufferPool::with_capacity(store.clone(), frames);
         index
             .petq_metered(&mut pool, &EqQuery::new(cq.q.clone(), cq.tau), metrics)
-            .expect("in-memory query");
-        pool.stats()
+            .map_err(BenchError::storage("petq probe"))?;
+        Ok(pool.stats())
     })
 }
 
@@ -162,8 +170,8 @@ pub fn avg_topk_io(
     store: &SharedStore,
     frames: usize,
     queries: &[CalibratedQuery],
-) -> f64 {
-    profile_topk(index, store, frames, queries).avg_reads
+) -> BenchResult<f64> {
+    Ok(profile_topk(index, store, frames, queries)?.avg_reads)
 }
 
 /// Full cost profile (reads + counters) per top-k query over a calibrated
@@ -173,30 +181,30 @@ pub fn profile_topk(
     store: &SharedStore,
     frames: usize,
     queries: &[CalibratedQuery],
-) -> QueryProfile {
+) -> BenchResult<QueryProfile> {
     profile(queries, |cq, metrics| {
         let mut pool = BufferPool::with_capacity(store.clone(), frames);
         index
             .top_k_metered(&mut pool, &TopKQuery::new(cq.q.clone(), cq.k), metrics)
-            .expect("in-memory query");
-        pool.stats()
+            .map_err(BenchError::storage("top-k probe"))?;
+        Ok(pool.stats())
     })
 }
 
 fn profile(
     queries: &[CalibratedQuery],
-    mut f: impl FnMut(&CalibratedQuery, &mut QueryMetrics) -> uncat_storage::IoStats,
-) -> QueryProfile {
+    mut f: impl FnMut(&CalibratedQuery, &mut QueryMetrics) -> BenchResult<uncat_storage::IoStats>,
+) -> BenchResult<QueryProfile> {
     let mut metrics = QueryMetrics::new();
     let mut total_reads: u64 = 0;
     for cq in queries {
         let mut m = QueryMetrics::new();
-        let io = f(cq, &mut m);
+        let io = f(cq, &mut m)?;
         m.io = io;
         total_reads += io.physical_reads;
         metrics.merge(&m);
     }
-    QueryProfile {
+    Ok(QueryProfile {
         avg_reads: if queries.is_empty() {
             f64::NAN
         } else {
@@ -204,5 +212,5 @@ fn profile(
         },
         queries: queries.len(),
         metrics,
-    }
+    })
 }

@@ -35,7 +35,9 @@ fn every_figure_renders_at_tiny_scale() {
         if name == "fig9" {
             continue;
         }
-        let t = by_name(name, &scale).expect("known figure");
+        let t = by_name(name, &scale)
+            .expect("known figure")
+            .expect("figure builds");
         check(&t);
     }
     assert!(by_name("nonsense", &scale).is_none());
@@ -47,7 +49,9 @@ fn fig9_renders_at_reduced_scale() {
         synth_n: 2000,
         ..tiny()
     };
-    let t = by_name("fig9", &scale).expect("known figure");
+    let t = by_name("fig9", &scale)
+        .expect("known figure")
+        .expect("figure builds");
     check(&t);
     // Domain sizes form the x-axis.
     assert!(t.xs().len() >= 4);
@@ -64,7 +68,9 @@ fn sharedpool_strictly_beats_private_on_repeated_queries() {
         queries: 4,
         seed: 11,
     };
-    let t = by_name("sharedpool", &scale).expect("sharedpool");
+    let t = by_name("sharedpool", &scale)
+        .expect("sharedpool")
+        .expect("figure builds");
     let private = t.series_named("Private-Thres").expect("private series");
     let shared = t.series_named("Shared-Thres").expect("shared series");
     assert_eq!(private.points.len(), shared.points.len());
@@ -90,7 +96,9 @@ fn blockmax_reads_and_decodes_strictly_less_than_raw() {
         queries: 4,
         seed: 11,
     };
-    let t = by_name("blockmax", &scale).expect("blockmax");
+    let t = by_name("blockmax", &scale)
+        .expect("blockmax")
+        .expect("figure builds");
     let sweep_total = |label: &str| -> f64 {
         t.series_named(label)
             .unwrap_or_else(|| panic!("missing series {label}"))
@@ -115,7 +123,9 @@ fn blockmax_reads_and_decodes_strictly_less_than_raw() {
 fn figure_shapes_hold_at_tiny_scale() {
     // A couple of robust shape assertions that hold even at tiny scale.
     let scale = tiny();
-    let sizes = by_name("sizes", &scale).expect("sizes");
+    let sizes = by_name("sizes", &scale)
+        .expect("sizes")
+        .expect("figure builds");
     let bulk = sizes.series_named("PDR-BulkLoad").expect("bulk series");
     let insert = sizes.series_named("PDR-Insert").expect("insert series");
     for (&(_, b), &(_, i)) in bulk.points.iter().zip(&insert.points) {

@@ -46,7 +46,7 @@ pub const PROB_SCALE: u32 = 65_535;
 /// Quantize a probability **up**: the smallest `q` with
 /// `q / 65535 ≥ p`. Over-estimation keeps block-max pruning sound.
 pub fn quantize_up(p: f32) -> u16 {
-    debug_assert!(p >= 0.0 && p <= 1.0, "probability out of range: {p}");
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
     let mut q = ((p as f64) * PROB_SCALE as f64).ceil() as u32;
     q = q.min(PROB_SCALE);
     // Guard the float path: bump until the dequantized value dominates.
@@ -115,17 +115,25 @@ pub fn encode_block(entries: &[(TupleId, Prob)]) -> Vec<u8> {
 /// ties by ascending tid). A payload that does not parse — possible only
 /// through corruption that passed the physical checks — is a typed error.
 pub fn decode_block(bytes: &[u8]) -> Result<Vec<(TupleId, Prob)>> {
-    let count_bytes: [u8; 2] = bytes
-        .get(..2)
-        .and_then(|b| b.try_into().ok())
-        .ok_or(StorageError::Corrupt("posting block shorter than its header"))?;
+    let count_bytes: [u8; 2] =
+        bytes
+            .get(..2)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(StorageError::Corrupt(
+                "posting block shorter than its header",
+            ))?;
     let count = u16::from_le_bytes(count_bytes) as usize;
     let mut at = 2usize;
     let mut tids = Vec::with_capacity(count.min(bytes.len()));
     let mut prev = 0u64;
     for i in 0..count {
         let v = read_varint(bytes, &mut at)?;
-        let tid = if i == 0 { v } else { prev.checked_add(v).ok_or(StorageError::Corrupt("posting block tid overflows"))? };
+        let tid = if i == 0 {
+            v
+        } else {
+            prev.checked_add(v)
+                .ok_or(StorageError::Corrupt("posting block tid overflows"))?
+        };
         if i > 0 && tid <= prev {
             return Err(StorageError::Corrupt("posting block tids not ascending"));
         }
@@ -133,14 +141,22 @@ pub fn decode_block(bytes: &[u8]) -> Result<Vec<(TupleId, Prob)>> {
         prev = tid;
     }
     if bytes.len() != at + 4 * count {
-        return Err(StorageError::Corrupt("posting block probability area missized"));
+        return Err(StorageError::Corrupt(
+            "posting block probability area missized",
+        ));
     }
     let mut entries = Vec::with_capacity(count);
     for (i, tid) in tids.into_iter().enumerate() {
-        let bits = u32::from_le_bytes(bytes[at + 4 * i..at + 4 * i + 4].try_into().expect("4 bytes"));
+        let bits = u32::from_le_bytes(
+            bytes[at + 4 * i..at + 4 * i + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
         let p = f32::from_bits(bits);
         if !(p > 0.0 && p <= 1.0) {
-            return Err(StorageError::Corrupt("posting block probability out of range"));
+            return Err(StorageError::Corrupt(
+                "posting block probability out of range",
+            ));
         }
         entries.push((tid, p));
     }
@@ -217,7 +233,11 @@ impl BlockList {
         }
         // Last block with sep ≤ key; keys before the first separator
         // belong in block 0 (its separator moves down).
-        Some(self.blocks.partition_point(|b| b.sep <= *key).saturating_sub(1))
+        Some(
+            self.blocks
+                .partition_point(|b| b.sep <= *key)
+                .saturating_sub(1),
+        )
     }
 
     /// Insert one entry, splitting the receiving block at
@@ -293,7 +313,9 @@ impl BlockList {
     ) -> Result<Vec<(TupleId, Prob)>> {
         let bytes = heap
             .get(pool, self.blocks[i].rid)?
-            .ok_or(StorageError::Corrupt("block directory points at a deleted record"))?;
+            .ok_or(StorageError::Corrupt(
+                "block directory points at a deleted record",
+            ))?;
         decode_block(&bytes)
     }
 }
@@ -366,10 +388,7 @@ impl<'a> BlockCursor<'a> {
     /// The exact entry under the cursor, decoding the current block if
     /// needed. `decoded_new` reports whether this call decoded a block
     /// (the caller ticks `blocks_decoded`).
-    pub fn head(
-        &mut self,
-        pool: &mut BufferPool,
-    ) -> Result<Option<((TupleId, Prob), bool)>> {
+    pub fn head(&mut self, pool: &mut BufferPool) -> Result<Option<((TupleId, Prob), bool)>> {
         if self.exhausted() {
             return Ok(None);
         }
@@ -378,10 +397,14 @@ impl<'a> BlockCursor<'a> {
             let bytes = self
                 .heap
                 .get(pool, self.list.blocks[self.block].rid)?
-                .ok_or(StorageError::Corrupt("block directory points at a deleted record"))?;
+                .ok_or(StorageError::Corrupt(
+                    "block directory points at a deleted record",
+                ))?;
             self.buf = decode_block(&bytes)?;
             if self.buf.len() != self.list.blocks[self.block].count as usize {
-                return Err(StorageError::Corrupt("block count disagrees with its directory"));
+                return Err(StorageError::Corrupt(
+                    "block count disagrees with its directory",
+                ));
             }
             self.pos = 0;
             self.decoded = true;
@@ -422,7 +445,7 @@ mod tests {
     use proptest::prelude::*;
     use uncat_storage::InMemoryDisk;
 
-    fn stream_sorted(entries: &mut Vec<(TupleId, Prob)>) {
+    fn stream_sorted(entries: &mut [(TupleId, Prob)]) {
         entries.sort_unstable_by_key(|&(tid, p)| posting_key(p, tid));
     }
 
@@ -432,10 +455,7 @@ mod tests {
             let q = quantize_up(p);
             assert!(dequantize(q) >= p as f64, "p={p} q={q}");
             if q > 1 {
-                assert!(
-                    dequantize(q - 1) < p as f64,
-                    "q not minimal for p={p}: {q}"
-                );
+                assert!(dequantize(q - 1) < p as f64, "q not minimal for p={p}: {q}");
             }
         }
         assert_eq!(quantize_up(1.0), PROB_SCALE as u16);

@@ -21,7 +21,7 @@ use std::collections::HashSet;
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
 use uncat_core::Divergence;
-use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
 use crate::search::query_lists;
@@ -68,14 +68,17 @@ impl InvertedIndex {
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
         let mut candidates: HashSet<u64> = HashSet::new();
+        let scan = pool.trace_begin(Phase::PostingScan);
         for (_cat, _qp, list) in query_lists(self, &query.q) {
             metrics.lists_opened += 1;
             list.scan_all(self.block_heap(), pool, metrics, |tid, _p| {
                 candidates.insert(tid);
             })?;
         }
+        pool.trace_end(scan);
         metrics.candidates_generated += candidates.len() as u64;
         let mut out = Vec::new();
+        let verify = pool.trace_begin(Phase::Verification);
         for tid in candidates {
             let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                 "posting refers to an unindexed tuple",
@@ -86,6 +89,7 @@ impl InvertedIndex {
                 out.push(Match::new(tid, d));
             }
         }
+        pool.trace_end(verify);
         sort_matches_asc(&mut out);
         Ok(out)
     }
@@ -128,14 +132,17 @@ impl InvertedIndex {
         };
         if query.divergence.is_metric() {
             let mut candidates: HashSet<u64> = HashSet::new();
+            let scan = pool.trace_begin(Phase::PostingScan);
             for (_cat, _qp, list) in query_lists(self, &query.q) {
                 metrics.lists_opened += 1;
                 list.scan_all(self.block_heap(), pool, metrics, |tid, _p| {
                     candidates.insert(tid);
                 })?;
             }
+            pool.trace_end(scan);
             metrics.candidates_generated += candidates.len() as u64;
             let mut heap = BottomKHeap::new(query.k);
+            let verify = pool.trace_begin(Phase::Verification);
             for tid in candidates {
                 let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                     "posting refers to an unindexed tuple",
@@ -143,16 +150,19 @@ impl InvertedIndex {
                 metrics.candidates_verified += 1;
                 heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
             }
+            pool.trace_end(verify);
             if heap.is_full() && heap.bound() < disjoint_floor {
                 return Ok(heap.into_sorted());
             }
         }
         // Fallback: exact scan.
         let mut heap = BottomKHeap::new(query.k);
+        let scan = pool.trace_begin(Phase::HeapScan);
         self.scan_tuples(pool, |tid, t| {
             metrics.heap_tuples_scanned += 1;
             heap.offer(tid, query.divergence.eval(query.q.entries(), t.entries()));
         })?;
+        pool.trace_end(scan);
         Ok(heap.into_sorted())
     }
 
@@ -164,6 +174,7 @@ impl InvertedIndex {
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
+        let scan = pool.trace_begin(Phase::HeapScan);
         self.scan_tuples(pool, |tid, t| {
             metrics.heap_tuples_scanned += 1;
             let d = query.divergence.eval(query.q.entries(), t.entries());
@@ -171,6 +182,7 @@ impl InvertedIndex {
                 out.push(Match::new(tid, d));
             }
         })?;
+        pool.trace_end(scan);
         sort_matches_asc(&mut out);
         Ok(out)
     }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use uncat_core::equality::meets_threshold;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
@@ -31,12 +31,14 @@ pub(super) fn search(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut acc: HashMap<u64, f64> = HashMap::new();
+    let span = pool.trace_begin(Phase::PostingScan);
     for (_cat, qp, list) in query_lists(idx, &query.q) {
         metrics.lists_opened += 1;
         list.scan_all(idx.block_heap(), pool, metrics, |tid, p| {
             *acc.entry(tid).or_insert(0.0) += qp * p as f64;
         })?;
     }
+    pool.trace_end(span);
     metrics.candidates_generated += acc.len() as u64;
     metrics.candidates_settled += acc.len() as u64;
     Ok(acc

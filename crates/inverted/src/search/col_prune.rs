@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
@@ -31,6 +31,7 @@ pub(super) fn search(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
+    let span = pool.trace_begin(Phase::PostingScan);
     for (_cat, _qp, list) in query_lists(idx, &query.q) {
         metrics.lists_opened += 1;
         list.scan_prefix(
@@ -43,6 +44,7 @@ pub(super) fn search(
             },
         )?;
     }
+    pool.trace_end(span);
     metrics.candidates_generated += candidates.len() as u64;
     verify_candidates(idx, pool, query, candidates, metrics)
 }

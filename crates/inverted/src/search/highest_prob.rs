@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
@@ -49,7 +49,10 @@ pub(crate) fn collect_candidates(
     query: &EqQuery,
     metrics: &mut QueryMetrics,
 ) -> Result<HashSet<u64>> {
+    let plan = pool.trace_begin(Phase::Plan);
     let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
+    pool.trace_end(plan);
+    let drain = pool.trace_begin(Phase::FrontierMaintenance);
     let mut seen: HashSet<u64> = HashSet::new();
     loop {
         // Lemma 1: any tuple not yet seen is bounded by the frontier sum
@@ -69,5 +72,6 @@ pub(crate) fn collect_candidates(
         frontier.advance(pool, j, metrics)?;
     }
     frontier.account_skips(metrics);
+    pool.trace_end(drain);
     Ok(seen)
 }

@@ -8,7 +8,7 @@ mod row_prune;
 
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match};
-use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
 
@@ -115,6 +115,9 @@ pub(crate) fn verify_candidates(
     candidates: impl IntoIterator<Item = u64>,
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
+    // On an error return the span stays open; ending the enclosing span
+    // (or taking the trace) closes it, so the tree stays well-formed.
+    let span = pool.trace_begin(Phase::Verification);
     let mut out = Vec::new();
     for tid in sorted_by_page(idx, candidates)? {
         let t = idx.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
@@ -126,6 +129,7 @@ pub(crate) fn verify_candidates(
             out.push(Match::new(tid, pr));
         }
     }
+    pool.trace_end(span);
     Ok(out)
 }
 
@@ -323,7 +327,9 @@ impl<'a> Frontier<'a> {
             self.sum -= h.c();
         }
         let qp = *qp;
-        let next = cur.advance(pool, metrics)?.map(|h| Head::from_cursor(qp, h));
+        let next = cur
+            .advance(pool, metrics)?
+            .map(|h| Head::from_cursor(qp, h));
         if let Some(h) = next {
             self.sum += h.c();
             self.order.push((h.c().to_bits(), j));
@@ -344,7 +350,10 @@ impl<'a> Frontier<'a> {
     /// on an undecoded block is never *settled* by it (see NRA), only
     /// pruned or sent to verification.
     pub(crate) fn residual(&self) -> Vec<f64> {
-        self.heads.iter().map(|h| h.map_or(0.0, |h| h.c())).collect()
+        self.heads
+            .iter()
+            .map(|h| h.map_or(0.0, |h| h.c()))
+            .collect()
     }
 
     /// Whether every list is drained.

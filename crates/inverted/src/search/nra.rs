@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
@@ -51,7 +51,9 @@ pub(super) fn search(
     query: &EqQuery,
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
+    let plan = pool.trace_begin(Phase::Plan);
     let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
+    pool.trace_end(plan);
     if frontier.len() > 128 {
         // Mask width exceeded (never the case for realistic queries);
         // highest-prob-first is the general fallback. Nothing was
@@ -66,6 +68,7 @@ pub(super) fn search(
     let mut next_sweep = SWEEP_EVERY;
     let mut undecided_small = false;
 
+    let drain = pool.trace_begin(Phase::NraDrain);
     loop {
         // Stop once no unseen tuple can qualify and the undecided set is
         // small enough for the random-access fallback. Checked before
@@ -113,6 +116,7 @@ pub(super) fn search(
     // heads report their block's quantized-up maximum: upper bounds
     // built from them are conservative, and `remaining == 0.0` still
     // certifies convergence (a live bound head is strictly positive).
+    pool.trace_end(drain);
     let heads = frontier.residual();
     let all_exhausted = frontier.all_exhausted();
     frontier.account_skips(metrics);

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index::InvertedIndex;
 
@@ -27,6 +27,7 @@ pub(super) fn search(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
     let mut candidates: HashSet<u64> = HashSet::new();
+    let span = pool.trace_begin(Phase::PostingScan);
     for (_cat, qp, list) in query_lists(idx, &query.q) {
         if qp < query.tau - THRESHOLD_EPS {
             metrics.lists_pruned += 1;
@@ -37,6 +38,7 @@ pub(super) fn search(
             candidates.insert(tid);
         })?;
     }
+    pool.trace_end(span);
     metrics.candidates_generated += candidates.len() as u64;
     verify_candidates(idx, pool, query, candidates, metrics)
 }

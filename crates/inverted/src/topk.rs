@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use uncat_core::equality::{eq_prob, THRESHOLD_EPS};
 use uncat_core::query::{Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
-use uncat_storage::{BufferPool, QueryMetrics, Result, StorageError};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result, StorageError};
 
 use crate::index::InvertedIndex;
 use crate::search::Frontier;
@@ -72,7 +72,9 @@ impl InvertedIndex {
         } else {
             0.0
         };
+        let plan = pool.trace_begin(Phase::Plan);
         let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
+        pool.trace_end(plan);
         if frontier.len() > 128 {
             // Nothing decoded yet: the whole frontier counts as skipped
             // before the fallback opens its own.
@@ -85,6 +87,7 @@ impl InvertedIndex {
         let mut pops = 0usize;
         let mut next_refresh = THETA_EVERY;
 
+        let drain = pool.trace_begin(Phase::FrontierMaintenance);
         loop {
             // Lemma 1 with the dynamic threshold: an unseen tuple is
             // bounded by the frontier sum (an over-estimate while bound
@@ -124,6 +127,7 @@ impl InvertedIndex {
         // Final bounds with the residual frontier (zero where exhausted;
         // bound heads report their block maximum, keeping upper bounds
         // conservative).
+        pool.trace_end(drain);
         let heads = frontier.residual();
         let all_exhausted = frontier.all_exhausted();
         frontier.account_skips(metrics);
@@ -160,6 +164,7 @@ impl InvertedIndex {
         let mut heap = TopKHeap::new(query.k, floor);
         // Unsettled finalists need one random access each; sorting by heap
         // page batches candidates sharing a page into one read.
+        let verify = pool.trace_begin(Phase::Verification);
         for tid in crate::search::sorted_by_page(self, unsettled)? {
             let t = self.get_tuple(pool, tid)?.ok_or(StorageError::Corrupt(
                 "posting refers to an unindexed tuple",
@@ -170,6 +175,7 @@ impl InvertedIndex {
                 heap.offer(tid, pr);
             }
         }
+        pool.trace_end(verify);
         for (tid, pr) in settled {
             if pr > 0.0 {
                 heap.offer(tid, pr);
@@ -189,7 +195,10 @@ impl InvertedIndex {
         floor: f64,
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
+        let plan = pool.trace_begin(Phase::Plan);
         let mut frontier = Frontier::open(self, pool, &query.q, metrics)?;
+        pool.trace_end(plan);
+        let drain = pool.trace_begin(Phase::FrontierMaintenance);
         let mut heap = TopKHeap::new(query.k, floor);
         let mut verified: HashSet<u64> = HashSet::new();
         loop {
@@ -217,6 +226,7 @@ impl InvertedIndex {
             frontier.advance(pool, j, metrics)?;
         }
         frontier.account_skips(metrics);
+        pool.trace_end(drain);
         Ok(heap.into_sorted())
     }
 }

@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 use uncat_core::query::{sort_matches_asc, DsTopKQuery, DstQuery, Match};
 use uncat_core::topk::BottomKHeap;
 use uncat_core::{Divergence, Uda};
-use uncat_storage::{BufferPool, PageId, QueryMetrics, Result};
+use uncat_storage::{BufferPool, PageId, Phase, QueryMetrics, Result};
 
 use crate::boundary::Boundary;
 use crate::node::{read_node, Node};
@@ -45,6 +45,7 @@ impl PdrTree {
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
+        let span = pool.trace_begin(Phase::TreeTraversal);
         let mut stack = vec![self.root()];
         while let Some(pid) = stack.pop() {
             metrics.nodes_visited += 1;
@@ -70,6 +71,7 @@ impl PdrTree {
                 }
             }
         }
+        pool.trace_end(span);
         sort_matches_asc(&mut out);
         Ok(out)
     }
@@ -118,6 +120,7 @@ impl PdrTree {
         }
 
         let mut heap = BottomKHeap::new(query.k);
+        let span = pool.trace_begin(Phase::TreeTraversal);
         let mut frontier = BinaryHeap::new();
         frontier.push(Pending {
             bound: 0.0,
@@ -153,6 +156,7 @@ impl PdrTree {
                 }
             }
         }
+        pool.trace_end(span);
         Ok(heap.into_sorted())
     }
 }

@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 use uncat_core::equality::{eq_prob, meets_threshold, THRESHOLD_EPS};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
-use uncat_storage::{BufferPool, PageId, QueryMetrics, Result};
+use uncat_storage::{BufferPool, PageId, Phase, QueryMetrics, Result};
 
 use crate::node::{read_node, Node};
 use crate::tree::PdrTree;
@@ -35,6 +35,7 @@ impl PdrTree {
         metrics: &mut QueryMetrics,
     ) -> Result<Vec<Match>> {
         let mut out = Vec::new();
+        let span = pool.trace_begin(Phase::TreeTraversal);
         let mut stack = vec![self.root()];
         while let Some(pid) = stack.pop() {
             metrics.nodes_visited += 1;
@@ -62,6 +63,7 @@ impl PdrTree {
                 }
             }
         }
+        pool.trace_end(span);
         sort_matches_desc(&mut out);
         Ok(out)
     }
@@ -141,6 +143,7 @@ impl PdrTree {
         // `heap.threshold()` is `floor` until the heap fills, then the
         // k-th best score — exactly the cutoff every prune below wants.
         let mut heap = TopKHeap::new(query.k, floor);
+        let span = pool.trace_begin(Phase::TreeTraversal);
         let mut frontier = BinaryHeap::new();
         frontier.push(Pending {
             bound: f64::INFINITY,
@@ -178,6 +181,7 @@ impl PdrTree {
                 }
             }
         }
+        pool.trace_end(span);
         Ok(heap.into_sorted())
     }
 }

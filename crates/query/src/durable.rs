@@ -43,6 +43,7 @@ use uncat_inverted::InvertedIndex;
 use uncat_pdrtree::PdrTree;
 use uncat_storage::page::PageBuf;
 use uncat_storage::snapshot as snapfile;
+use uncat_storage::trace::{Clock, Phase, QueryTrace, Tracer};
 use uncat_storage::{
     BufferPool, FileDisk, FileLog, InMemoryDisk, MemLog, PageId, QueryMetrics, Result, SharedLog,
     SharedStore, SnapshotFileError, StorageError, TailStatus, Wal, WalConfig, WalStats, PAGE_SIZE,
@@ -743,9 +744,27 @@ impl<B: MutableBackend> DurableIndex<B> {
     /// append starts poisons the index: the log and the in-memory state
     /// can no longer be assumed to agree, and a reopen re-syncs them.
     fn commit_mutation(&mut self, rec: LogRecord, metrics: &mut QueryMetrics) -> Result<()> {
+        // An error return leaves the mutation span open; the tracer
+        // force-closes it when the trace is taken.
+        let span = self.pool.trace_begin(Phase::Mutation);
         let before = self.wal.stats();
+        let t0 = self.pool.tracer_mut().now_ns();
         let logged = self.wal.append(&rec.encode());
         let after = self.wal.stats();
+        if let Some(t0) = t0 {
+            let dur = self
+                .pool
+                .tracer_mut()
+                .now_ns()
+                .unwrap_or(t0)
+                .saturating_sub(t0);
+            // An append that closes a group-commit window performs the
+            // fsync inside the same call, so the whole duration is charged
+            // to both histograms (see docs/METRICS.md).
+            self.pool
+                .tracer_mut()
+                .record_wal(dur, after.fsyncs > before.fsyncs);
+        }
         metrics.wal_appends += after.records_appended - before.records_appended;
         metrics.wal_fsyncs += after.fsyncs - before.fsyncs;
         if let Err(e) = logged {
@@ -759,7 +778,9 @@ impl<B: MutableBackend> DurableIndex<B> {
             return Err(self.poison(e));
         }
         self.mutations_since_checkpoint += 1;
-        self.maybe_auto_checkpoint(metrics)
+        let out = self.maybe_auto_checkpoint(metrics);
+        self.pool.trace_end(span);
+        out
     }
 
     fn maybe_auto_checkpoint(&mut self, metrics: &mut QueryMetrics) -> Result<()> {
@@ -879,7 +900,10 @@ impl<B: MutableBackend> DurableIndex<B> {
         let blob = wrap_blob(new_epoch, &self.backend.snapshot_blob());
 
         // Phase 1: write the complete redo image to the side journal and
-        // sync it. Nothing durable is overwritten yet.
+        // sync it. Nothing durable is overwritten yet. (An error return
+        // leaves the current phase span open; the tracer force-closes it
+        // when the trace is taken.)
+        let sj = self.pool.trace_begin(Phase::CheckpointJournal);
         self.storage.journal.truncate(0)?;
         let mut journal = Wal::new(
             self.storage.journal.clone(),
@@ -894,19 +918,28 @@ impl<B: MutableBackend> DurableIndex<B> {
         journal.append(&j_snapshot(&blob))?;
         journal.append(&[J_COMMIT])?;
         journal.flush()?;
+        self.pool.trace_end(sj);
         self.crash_point(CheckpointCrash::AfterJournal)?;
 
         // Phase 2: install the dirty pages in place. A crash here is
         // repaired by redoing the journal.
+        let si = self.pool.trace_begin(Phase::CheckpointInstall);
         for (pid, buf) in &dirty {
             self.storage.store.write(*pid, buf)?;
         }
+        self.pool.trace_end(si);
         self.crash_point(CheckpointCrash::AfterInstall)?;
 
         // Phase 3: atomically publish the new metadata snapshot. This is
         // the commit point of the checkpoint.
+        let sc = self.pool.trace_begin(Phase::CheckpointCommit);
         self.storage.slot.commit(&blob)?;
+        self.pool.trace_end(sc);
         self.crash_point(CheckpointCrash::AfterSnapshot)?;
+
+        // Phases 4 and 5 share one span: both are epoch-retirement
+        // bookkeeping (new log, cleared journal, clean pool).
+        let sr = self.pool.trace_begin(Phase::CheckpointReset);
 
         // Phase 4: start the new epoch's log. An old log surviving a
         // crash here is recognized as stale by its begin-epoch record.
@@ -921,6 +954,7 @@ impl<B: MutableBackend> DurableIndex<B> {
         self.storage.journal.truncate(0)?;
         self.pool.mark_all_clean();
         self.mutations_since_checkpoint = 0;
+        self.pool.trace_end(sr);
         Ok(())
     }
 
@@ -928,7 +962,35 @@ impl<B: MutableBackend> DurableIndex<B> {
     /// Call before process exit when running with a wider window.
     pub fn flush_wal(&mut self) -> Result<()> {
         self.fail_if_poisoned()?;
-        self.wal.flush()
+        let before = self.wal.stats();
+        let t0 = self.pool.tracer_mut().now_ns();
+        let out = self.wal.flush();
+        if let Some(t0) = t0 {
+            let dur = self
+                .pool
+                .tracer_mut()
+                .now_ns()
+                .unwrap_or(t0)
+                .saturating_sub(t0);
+            if self.wal.stats().fsyncs > before.fsyncs {
+                self.pool.tracer_mut().record_wal_sync(dur);
+            }
+        }
+        out
+    }
+
+    /// Enable latency tracing on this handle's private pool: subsequent
+    /// mutations, checkpoints, and queries record spans and WAL/buffer
+    /// latency histograms against `clock` until [`DurableIndex::take_trace`]
+    /// collects them.
+    pub fn enable_tracing(&mut self, clock: Arc<dyn Clock>) {
+        self.pool.set_tracer(Tracer::enabled(clock));
+    }
+
+    /// Collect the trace accumulated since [`DurableIndex::enable_tracing`]
+    /// and disable tracing. `None` when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<QueryTrace> {
+        self.pool.take_trace()
     }
 
     /// PETQ against the live (buffered) state.

@@ -8,8 +8,11 @@
 //! mismatch or I/O error on one query degrades that query alone — the
 //! executor, the index, and every other query remain usable.
 
+use std::sync::Arc;
+
 use uncat_core::query::{DstQuery, EqQuery, Match, TopKQuery};
 use uncat_storage::buffer::DEFAULT_FRAMES;
+use uncat_storage::trace::{Clock, Phase, QueryTrace, Tracer};
 use uncat_storage::{BufferPool, IoStats, QueryMetrics, Result, SharedStore};
 
 use crate::index_trait::UncertainIndex;
@@ -24,6 +27,11 @@ pub struct QueryOutcome {
     /// Execution counters for this query (its `io` field equals the
     /// outcome's own `io` — the same pool snapshot is copied into both).
     pub metrics: QueryMetrics,
+    /// Latency trace, present when the executor runs with
+    /// [`Executor::with_tracing`]: the query's span tree (rooted at a
+    /// `query` span) plus I/O latency histograms. `None` when tracing is
+    /// off — the zero-overhead default.
+    pub trace: Option<QueryTrace>,
 }
 
 impl QueryOutcome {
@@ -59,6 +67,7 @@ pub struct Executor<I> {
     index: I,
     store: SharedStore,
     frames: usize,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl<I: UncertainIndex> Executor<I> {
@@ -68,6 +77,7 @@ impl<I: UncertainIndex> Executor<I> {
             index,
             store,
             frames: DEFAULT_FRAMES,
+            clock: None,
         }
     }
 
@@ -78,7 +88,18 @@ impl<I: UncertainIndex> Executor<I> {
             index,
             store,
             frames,
+            clock: None,
         }
+    }
+
+    /// Enable latency tracing: every subsequent query records a span tree
+    /// and I/O histograms against `clock` and returns them in
+    /// [`QueryOutcome::trace`]. Tests pass a
+    /// [`uncat_storage::FakeClock`]; the CLI passes a
+    /// [`uncat_storage::MonotonicClock`].
+    pub fn with_tracing(mut self, clock: Arc<dyn Clock>) -> Executor<I> {
+        self.clock = Some(clock);
+        self
     }
 
     /// The wrapped index.
@@ -96,8 +117,13 @@ impl<I: UncertainIndex> Executor<I> {
         f: impl FnOnce(&I, &mut BufferPool, &mut QueryMetrics) -> Result<Vec<Match>>,
     ) -> Result<QueryOutcome> {
         let mut pool = BufferPool::with_capacity(self.store.clone(), self.frames);
+        if let Some(clock) = &self.clock {
+            pool.set_tracer(Tracer::enabled(clock.clone()));
+        }
+        let root = pool.trace_begin(Phase::Query);
         let mut metrics = QueryMetrics::new();
         let matches = f(&self.index, &mut pool, &mut metrics)?;
+        pool.trace_end(root);
         // I/O accounting lives in the pool; the search code never touches
         // `metrics.io`. Copy the final pool snapshot in here so one struct
         // carries the whole cost profile.
@@ -106,6 +132,7 @@ impl<I: UncertainIndex> Executor<I> {
             matches,
             io: pool.stats(),
             metrics,
+            trace: pool.take_trace(),
         })
     }
 

@@ -28,7 +28,7 @@ pub use parallel::{parallel_join, JoinOutcome};
 use uncat_core::query::{DstQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;
 use uncat_core::{Divergence, Uda};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index_trait::UncertainIndex;
 use crate::scan::ScanBaseline;
@@ -143,8 +143,10 @@ pub fn index_top_k_pej_metered(
     let mut best: Vec<JoinPair> = Vec::new();
     let mut floor = 0.0f64;
     for (ltid, luda) in outer {
+        let probe = pool.trace_begin(Phase::JoinProbe);
         let probes =
             inner.top_k_floored_metered(pool, &TopKQuery::new(luda.clone(), k), floor, metrics)?;
+        pool.trace_end(probe);
         for m in probes {
             // The floored probe never returns sub-floor scores, but keep
             // the guard: it documents the invariant and protects against
@@ -199,11 +201,14 @@ pub fn index_dstj_metered(
 ) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     for (ltid, luda) in outer {
-        for m in inner.dstq_metered(
+        let probe = pool.trace_begin(Phase::JoinProbe);
+        let matches = inner.dstq_metered(
             pool,
             &DstQuery::new(luda.clone(), tau_d, divergence),
             metrics,
-        )? {
+        )?;
+        pool.trace_end(probe);
+        for m in matches {
             out.push(JoinPair {
                 left: *ltid,
                 right: m.tid,
@@ -305,7 +310,10 @@ pub fn index_top_k_per_outer_metered(
     let mut out = Vec::with_capacity(outer.len());
     for (ltid, luda) in outer {
         let mut h = TopKHeap::new(k, 0.0);
-        for m in inner.top_k_metered(pool, &TopKQuery::new(luda.clone(), k), metrics)? {
+        let probe = pool.trace_begin(Phase::JoinProbe);
+        let matches = inner.top_k_metered(pool, &TopKQuery::new(luda.clone(), k), metrics)?;
+        pool.trace_end(probe);
+        for m in matches {
             h.offer(m.tid, m.score);
         }
         out.push((*ltid, h.into_sorted()));

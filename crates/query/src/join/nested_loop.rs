@@ -3,7 +3,7 @@
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::EqQuery;
 use uncat_core::{Divergence, Uda};
-use uncat_storage::{BufferPool, QueryMetrics, Result};
+use uncat_storage::{BufferPool, Phase, QueryMetrics, Result};
 
 use crate::index_trait::UncertainIndex;
 use crate::scan::ScanBaseline;
@@ -32,7 +32,10 @@ pub fn index_nested_loop_petj_metered(
 ) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
     for (ltid, luda) in outer {
-        for m in inner.petq_metered(pool, &EqQuery::new(luda.clone(), tau), metrics)? {
+        let probe = pool.trace_begin(Phase::JoinProbe);
+        let matches = inner.petq_metered(pool, &EqQuery::new(luda.clone(), tau), metrics)?;
+        pool.trace_end(probe);
+        for m in matches {
             out.push(JoinPair {
                 left: *ltid,
                 right: m.tid,
@@ -67,6 +70,7 @@ pub fn block_nested_loop_petj_metered(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
+    let scan = pool.trace_begin(Phase::HeapScan);
     inner.scan(pool, |rtid, ruda| {
         metrics.heap_tuples_scanned += 1;
         for (ltid, luda) in outer {
@@ -80,6 +84,7 @@ pub fn block_nested_loop_petj_metered(
             }
         }
     })?;
+    pool.trace_end(scan);
     sort_pairs_desc(&mut out);
     Ok(out)
 }
@@ -112,6 +117,7 @@ pub fn block_top_k_pej_metered(
     // Compact whenever the buffer outgrows a small multiple of k, so the
     // scan stays O(k) in memory instead of materializing every pair.
     let compact_at = 4 * k.max(16);
+    let scan = pool.trace_begin(Phase::HeapScan);
     inner.scan(pool, |rtid, ruda| {
         metrics.heap_tuples_scanned += 1;
         for (ltid, luda) in outer {
@@ -129,6 +135,7 @@ pub fn block_top_k_pej_metered(
             best.truncate(k);
         }
     })?;
+    pool.trace_end(scan);
     sort_pairs_desc(&mut best);
     best.truncate(k);
     Ok(best)
@@ -164,6 +171,7 @@ pub fn block_dstj_metered(
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<JoinPair>> {
     let mut out = Vec::new();
+    let scan = pool.trace_begin(Phase::HeapScan);
     inner.scan(pool, |rtid, ruda| {
         metrics.heap_tuples_scanned += 1;
         for (ltid, luda) in outer {
@@ -177,6 +185,7 @@ pub fn block_dstj_metered(
             }
         }
     })?;
+    pool.trace_end(scan);
     sort_pairs_asc(&mut out);
     Ok(out)
 }

@@ -35,5 +35,5 @@ pub use durable::{
 };
 pub use executor::{aggregate_metrics, Executor, QueryOutcome};
 pub use index_trait::{InvertedBackend, UncertainIndex};
-pub use parallel::BatchPools;
+pub use parallel::{batch_trace, BatchPools};
 pub use scan::ScanBaseline;

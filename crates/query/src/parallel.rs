@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
+use uncat_storage::trace::{Clock, Phase, QueryTrace, Tracer};
 use uncat_storage::{BufferPool, QueryMetrics, Result, SharedBufferPool, SharedStore};
 
 use crate::executor::QueryOutcome;
@@ -75,6 +76,7 @@ fn run_batch<Q, I, F>(
     pools: &BatchPools,
     queries: &[Q],
     threads: usize,
+    clock: Option<&Arc<dyn Clock>>,
     f: F,
 ) -> Vec<Result<QueryOutcome>>
 where
@@ -98,13 +100,23 @@ where
                     break;
                 }
                 let mut pool = pools.pool(store);
+                if let Some(clock) = clock {
+                    // Workers share one clock but each query records into
+                    // its own tracer — per-query traces are exact, and
+                    // their histograms merge exactly (additivity, like
+                    // the counters).
+                    pool.set_tracer(Tracer::enabled(clock.clone()));
+                }
+                let root = pool.trace_begin(Phase::Query);
                 let mut metrics = QueryMetrics::new();
                 let outcome = f(index, &mut pool, &queries[i], &mut metrics).map(|matches| {
+                    pool.trace_end(root);
                     metrics.io = pool.stats();
                     QueryOutcome {
                         matches,
                         io: pool.stats(),
                         metrics,
+                        trace: pool.take_trace(),
                     }
                 });
                 **out_cells[i].lock().expect("cell lock") = Some(outcome);
@@ -130,6 +142,22 @@ pub fn batch_metrics(results: &[Result<QueryOutcome>]) -> QueryMetrics {
     )
 }
 
+/// Merge the traces of every successful outcome in a batch: histograms
+/// add field-wise and span trees are concatenated, so the result is the
+/// exact batch-level latency profile regardless of how queries were
+/// scheduled across workers (the timing analogue of [`batch_metrics`]).
+pub fn batch_trace(results: &[Result<QueryOutcome>]) -> QueryTrace {
+    let mut merged = QueryTrace::default();
+    for trace in results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter_map(|o| o.trace.as_ref())
+    {
+        merged.merge(trace);
+    }
+    merged
+}
+
 /// Evaluate a batch of PETQs in parallel with private per-query pools.
 pub fn petq_batch<I: UncertainIndex + Sync>(
     index: &I,
@@ -149,9 +177,31 @@ pub fn petq_batch_with<I: UncertainIndex + Sync>(
     queries: &[EqQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, pools, queries, threads, |i, p, q, m| {
+    run_batch(index, store, pools, queries, threads, None, |i, p, q, m| {
         i.petq_metered(p, q, m)
     })
+}
+
+/// [`petq_batch_with`] with latency tracing: every outcome carries a
+/// [`QueryTrace`] recorded against the shared `clock`; fold them with
+/// [`batch_trace`].
+pub fn petq_batch_traced<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    pools: &BatchPools,
+    queries: &[EqQuery],
+    threads: usize,
+    clock: &Arc<dyn Clock>,
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(
+        index,
+        store,
+        pools,
+        queries,
+        threads,
+        Some(clock),
+        |i, p, q, m| i.petq_metered(p, q, m),
+    )
 }
 
 /// Evaluate a batch of top-k queries in parallel with private per-query
@@ -174,9 +224,29 @@ pub fn top_k_batch_with<I: UncertainIndex + Sync>(
     queries: &[TopKQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, pools, queries, threads, |i, p, q, m| {
+    run_batch(index, store, pools, queries, threads, None, |i, p, q, m| {
         i.top_k_metered(p, q, m)
     })
+}
+
+/// [`top_k_batch_with`] with latency tracing (see [`petq_batch_traced`]).
+pub fn top_k_batch_traced<I: UncertainIndex + Sync>(
+    index: &I,
+    store: &SharedStore,
+    pools: &BatchPools,
+    queries: &[TopKQuery],
+    threads: usize,
+    clock: &Arc<dyn Clock>,
+) -> Vec<Result<QueryOutcome>> {
+    run_batch(
+        index,
+        store,
+        pools,
+        queries,
+        threads,
+        Some(clock),
+        |i, p, q, m| i.top_k_metered(p, q, m),
+    )
 }
 
 /// Evaluate a batch of DSTQs in parallel with private per-query pools.
@@ -198,7 +268,7 @@ pub fn dstq_batch_with<I: UncertainIndex + Sync>(
     queries: &[DstQuery],
     threads: usize,
 ) -> Vec<Result<QueryOutcome>> {
-    run_batch(index, store, pools, queries, threads, |i, p, q, m| {
+    run_batch(index, store, pools, queries, threads, None, |i, p, q, m| {
         i.dstq_metered(p, q, m)
     })
 }

@@ -26,6 +26,7 @@ use crate::error::{Result, StorageError};
 use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
 use crate::shared::PoolHandle;
 use crate::stats::IoStats;
+use crate::trace::{Phase, QueryTrace, SpanId, Tracer};
 
 /// Default pool capacity in frames — the paper's per-query allocation.
 pub const DEFAULT_FRAMES: usize = 100;
@@ -58,11 +59,23 @@ struct Frame {
 /// [`BufferPool::from_handle`].
 pub struct BufferPool {
     inner: Inner,
+    /// Latency recorder for the query driving this pool. Disabled by
+    /// default: one `None` check per access, nothing else (DESIGN.md §6g).
+    tracer: Tracer,
 }
 
 enum Inner {
     Private(Private),
     Shared(PoolHandle),
+}
+
+impl Inner {
+    fn stats(&self) -> IoStats {
+        match self {
+            Inner::Private(p) => p.stats,
+            Inner::Shared(h) => h.stats(),
+        }
+    }
 }
 
 /// The paper's private per-query pool: one owner, no locks.
@@ -104,6 +117,7 @@ impl BufferPool {
                 tick: 0,
                 stats: IoStats::default(),
             }),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -193,6 +207,7 @@ impl BufferPool {
     pub fn from_handle(handle: PoolHandle) -> BufferPool {
         BufferPool {
             inner: Inner::Shared(handle),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -219,18 +234,18 @@ impl BufferPool {
 
     /// Allocate a fresh page on the store and cache its (zeroed) image.
     pub fn allocate(&mut self) -> Result<PageId> {
-        match &mut self.inner {
+        self.timed(|inner| match inner {
             Inner::Private(p) => p.allocate(),
             Inner::Shared(h) => h.allocate(),
-        }
+        })
     }
 
     /// Read page `pid`, exposing its bytes to `f`.
     pub fn read<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
-        match &mut self.inner {
+        self.timed(|inner| match inner {
             Inner::Private(p) => p.read(pid, f),
             Inner::Shared(h) => h.read(pid, f),
-        }
+        })
     }
 
     /// Mutate page `pid` in place; the frame is marked dirty and written
@@ -240,20 +255,75 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        match &mut self.inner {
+        self.timed(|inner| match inner {
             Inner::Private(p) => p.write(pid, f),
             Inner::Shared(h) => h.write(pid, f),
-        }
+        })
     }
 
     /// Write every dirty frame back to the store. On error the failing
     /// frame (and any not yet visited) stays dirty. On a shared backing
     /// this flushes the whole shared pool.
     pub fn flush(&mut self) -> Result<()> {
-        match &mut self.inner {
+        self.timed(|inner| match inner {
             Inner::Private(p) => p.flush(),
             Inner::Shared(h) => h.pool().flush(),
+        })
+    }
+
+    /// Run a pool operation, attributing its duration to the I/O latency
+    /// histograms when tracing is enabled and the operation performed
+    /// physical I/O. The disabled path is a single branch: no clock read,
+    /// no stats snapshot, no allocation.
+    fn timed<R>(&mut self, op: impl FnOnce(&mut Inner) -> Result<R>) -> Result<R> {
+        if !self.tracer.is_enabled() {
+            return op(&mut self.inner);
         }
+        let before = self.inner.stats();
+        let t0 = self.tracer.now_ns().unwrap_or(0);
+        let out = op(&mut self.inner);
+        let dur = self.tracer.now_ns().unwrap_or(t0).saturating_sub(t0);
+        let after = self.inner.stats();
+        let read = after.physical_reads > before.physical_reads;
+        let write = after.physical_writes > before.physical_writes;
+        if read || write {
+            self.tracer.record_io(dur, read, write);
+        }
+        out
+    }
+
+    /// Install a tracer (enabled or disabled) on this pool. The search
+    /// paths all receive `&mut BufferPool`, so hosting the tracer here
+    /// lets them record spans without any signature changes.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Whether a tracer is currently recording on this pool.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// The pool's tracer (for direct histogram recording, e.g. WAL
+    /// timing at the durable-index call sites).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Open a span of `phase` on this pool's tracer.
+    /// [`SpanId::NONE`] when tracing is off.
+    pub fn trace_begin(&mut self, phase: Phase) -> SpanId {
+        self.tracer.begin(phase)
+    }
+
+    /// Close a span opened with [`trace_begin`](BufferPool::trace_begin).
+    pub fn trace_end(&mut self, id: SpanId) {
+        self.tracer.end(id)
+    }
+
+    /// Finish recording and return the trace, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> Option<QueryTrace> {
+        self.tracer.take()
     }
 
     /// Drop all cached frames (flushing dirty ones): a cold cache. On a

@@ -22,6 +22,9 @@
 //! * [`metrics`] — [`metrics::QueryMetrics`], the query-level execution
 //!   counters every search path in the workspace populates (documented
 //!   counter by counter in `docs/METRICS.md`).
+//! * [`trace`] — [`trace::Tracer`], the opt-in latency layer: per-query
+//!   span trees and mergeable log-bucketed latency histograms riding on
+//!   the same pool the counters do (DESIGN.md §6g).
 //! * [`wal`] — [`wal::Wal`], an append-only write-ahead log with
 //!   CRC32C-framed records, group commit, and a reader that truncates a
 //!   torn tail at the first bad record; the durability substrate for
@@ -43,6 +46,7 @@ pub mod page;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
+pub mod trace;
 pub mod wal;
 
 pub use buffer::{BufferPool, Replacement};
@@ -56,6 +60,10 @@ pub use page::{PageId, PAGE_SIZE};
 pub use shared::{PinGuard, PoolHandle, SharedBufferPool, DEFAULT_SHARDS};
 pub use snapshot::SnapshotFileError;
 pub use stats::IoStats;
+pub use trace::{
+    Clock, FakeClock, LatencyHistogram, MonotonicClock, Phase, QueryTrace, Span, SpanId,
+    TraceHistograms, Tracer,
+};
 pub use wal::{
     FileLog, LogDevice, LogScan, MemLog, SharedLog, TailStatus, Wal, WalConfig, WalStats,
 };

@@ -19,8 +19,14 @@
 //! `checkpoint` folds the log into a new durable base; `recover` replays
 //! it after a crash. Read commands recover automatically when a durable
 //! sidecar exists, so they always see the latest acknowledged mutation.
+//!
+//! `--trace` / `--trace-json` turn on the latency tracing layer
+//! (docs/METRICS.md): the query records a span tree over its execution
+//! phases plus buffer-pool and WAL latency histograms, rendered as an
+//! indented tree or written as a Chrome trace-event file.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,12 +36,72 @@ use uncat::datagen;
 use uncat::inverted::{InvertedIndex, PostingFormat, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
 use uncat::query::join::{block_join, index_join, parallel_join, JoinOutcome, JoinSpec};
-use uncat::query::parallel::{batch_metrics, petq_batch_with};
+use uncat::query::parallel::{batch_metrics, batch_trace, petq_batch_traced, petq_batch_with};
 use uncat::query::{
     BatchPools, DurableConfig, DurableIndex, DurableStorage, InvertedBackend, MutableBackend,
     RecoveryReport, ScanBaseline, UncertainIndex,
 };
-use uncat::storage::{BufferPool, FileDisk, InMemoryDisk, QueryMetrics, SharedStore, TailStatus};
+use uncat::storage::{
+    BufferPool, Clock, FileDisk, InMemoryDisk, LatencyHistogram, MonotonicClock, Phase,
+    QueryMetrics, QueryTrace, SharedStore, StorageError, TailStatus, Tracer,
+};
+
+/// Everything that can go wrong in the CLI, with enough context to act
+/// on: the failing path for file problems, the offending flag for usage
+/// problems. Storage-layer failures pass through with their own typed
+/// detail (`StorageError` already names the operation and page).
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command, missing flag, unparsable value.
+    Usage(String),
+    /// A storage-layer failure (I/O, corruption, a poisoned index).
+    Storage(StorageError),
+    /// An OS-level file operation failed.
+    Io {
+        /// The file being read or written.
+        path: String,
+        source: std::io::Error,
+    },
+    /// A file exists but its contents do not decode.
+    Format {
+        /// The file that failed to decode.
+        path: String,
+        detail: String,
+    },
+}
+
+impl CliError {
+    fn io(path: impl Into<String>, source: std::io::Error) -> CliError {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    fn format(path: impl Into<String>, detail: impl fmt::Display) -> CliError {
+        CliError::Format {
+            path: path.into(),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Storage(e) => write!(f, "{e}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Format { path, detail } => write!(f, "{path}: {detail}"),
+        }
+    }
+}
+
+impl From<StorageError> for CliError {
+    fn from(e: StorageError) -> CliError {
+        CliError::Storage(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,9 +114,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
-        return Err(USAGE.trim().to_owned());
+        return Err(CliError::Usage(USAGE.trim().to_owned()));
     };
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
@@ -70,7 +136,10 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", USAGE.trim());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", USAGE.trim())),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            USAGE.trim()
+        ))),
     }
 }
 
@@ -81,13 +150,14 @@ usage:
   uncat build  --index <inverted|pdr> [--bulk] [--format <raw|blocks>]
                --data <file.uds> --pages <file.pages> --meta <file.meta>
   uncat query  --index <inverted|pdr> --pages <...> --meta <...>
-               --cat <id> --tau <t> [--limit <n>] [--strategy <s>] [--explain]
+               --cat <id> --tau <t> [--limit <n>] [--strategy <s>]
+               [--explain] [--trace] [--trace-json <file>]
   uncat topk   --index <inverted|pdr> --pages <...> --meta <...>
-               --cat <id> --k <k> [--explain]
+               --cat <id> --k <k> [--explain] [--trace] [--trace-json <file>]
   uncat batch  --index <inverted|pdr> --pages <...> --meta <...>
                [--pool <private|shared>] [--shards <N>] [--frames <F>]
                [--threads <T>] [--n <Q>] [--tau <t>] [--zipf <s>]
-               [--seed <S>] [--explain]
+               [--seed <S>] [--explain] [--trace]
   uncat join   --data <file.uds> --kind <petj|pej-topk|dstj>
                [--plan <block|index|parallel>] [--index <inverted|pdr>]
                [--tau <t>] [--k <k>] [--radius <r>] [--divergence <l1|l2|kl>]
@@ -113,8 +183,14 @@ usage:
   entry per posting (the pre-block layout, snapshot format UIV1). See
   docs/FORMAT.md for the bytes.
 --explain: print the query's execution counters (see docs/METRICS.md)
+--trace: record and print the query's latency span tree (execution
+  phases with total/self times) and its buffer-pool/WAL latency
+  histograms. For batch, prints the histograms merged across all
+  workers. --trace-json <file> writes the span tree in Chrome
+  trace-event format (load it at chrome://tracing or in Perfetto).
 explain: run one PETQ under every inverted strategy and compare counters
-  (for --index pdr, prints the single PDR-tree profile)
+  plus wall-clock time (for --index pdr, prints the single PDR-tree
+  profile)
 batch: run a Zipf-skewed PETQ batch on T threads. --pool private gives
   each query its own F-frame pool (the paper's model); --pool shared runs
   the batch against one F×T-frame pool striped over --shards shards, so
@@ -137,37 +213,38 @@ put/delete: online mutation through a write-ahead log. The first
   (read commands also recover automatically).
 "#;
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(name) = a.strip_prefix("--") else {
-            return Err(format!("expected a --flag, found {a:?}"));
+            return Err(CliError::Usage(format!("expected a --flag, found {a:?}")));
         };
-        if name == "bulk" || name == "explain" {
+        if name == "bulk" || name == "explain" || name == "trace" {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
         let Some(v) = it.next() else {
-            return Err(format!("flag --{name} needs a value"));
+            return Err(CliError::Usage(format!("flag --{name} needs a value")));
         };
         flags.insert(name.to_owned(), v.clone());
     }
     Ok(flags)
 }
 
-fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, CliError> {
     flags
         .get(name)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing --{name}"))
+        .ok_or_else(|| CliError::Usage(format!("missing --{name}")))
 }
 
-fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("invalid {what}: {s:?}")))
 }
 
-fn gen(flags: &HashMap<String, String>) -> Result<(), String> {
+fn gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let dataset = need(flags, "dataset")?;
     let n: usize = parse(need(flags, "n")?, "--n")?;
     let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "--seed"))?;
@@ -188,9 +265,9 @@ fn gen(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("classifier top-1 accuracy vs generative truth: {accuracy:.3}");
             (domain, data)
         }
-        other => return Err(format!("unknown dataset {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown dataset {other:?}"))),
     };
-    datagen::io::save(out, &domain, &data).map_err(|e| e.to_string())?;
+    datagen::io::save(out, &domain, &data).map_err(|e| CliError::io(out, e))?;
     println!(
         "wrote {n} tuples over {} categories to {out}",
         domain.size()
@@ -198,37 +275,43 @@ fn gen(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn build(flags: &HashMap<String, String>) -> Result<(), String> {
+fn build(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let index = need(flags, "index")?;
     let data_path = need(flags, "data")?;
     let pages = need(flags, "pages")?;
     let meta = need(flags, "meta")?;
     let bulk = flags.contains_key("bulk");
 
-    let (domain, data) = datagen::io::load(data_path).map_err(|e| e.to_string())?;
-    let disk = FileDisk::create(pages).map_err(|e| e.to_string())?;
+    let (domain, data) = datagen::io::load(data_path).map_err(|e| CliError::io(data_path, e))?;
+    let disk = FileDisk::create(pages).map_err(|e| CliError::io(pages, e))?;
     let store: SharedStore = Arc::new(disk);
     let mut pool = BufferPool::with_capacity(store.clone(), 512);
     let t0 = std::time::Instant::now();
     match index {
         "inverted" => {
             if bulk {
-                return Err("--bulk applies to the pdr index only".into());
+                return Err(CliError::Usage(
+                    "--bulk applies to the pdr index only".into(),
+                ));
             }
             let format = match flags.get("format").map(String::as_str) {
                 None | Some("blocks") => PostingFormat::Blocks,
                 Some("raw") => PostingFormat::Raw,
-                Some(other) => return Err(format!("unknown --format {other:?} (raw|blocks)")),
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown --format {other:?} (raw|blocks)"
+                    )))
+                }
             };
             let idx = InvertedIndex::build_with_format(
                 domain,
                 &mut pool,
                 data.iter().map(|(t, u)| (*t, u)),
                 format,
-            )
-            .map_err(|e| e.to_string())?;
-            pool.flush().map_err(|e| e.to_string())?;
-            idx.save(meta.as_ref()).map_err(|e| e.to_string())?;
+            )?;
+            pool.flush()?;
+            idx.save(meta.as_ref())
+                .map_err(|e| CliError::format(meta, e))?;
         }
         "pdr" => {
             let tree = if bulk {
@@ -245,12 +328,12 @@ fn build(flags: &HashMap<String, String>) -> Result<(), String> {
                     &mut pool,
                     data.iter().map(|(t, u)| (*t, u)),
                 )
-            }
-            .map_err(|e| e.to_string())?;
-            pool.flush().map_err(|e| e.to_string())?;
-            tree.save(meta.as_ref()).map_err(|e| e.to_string())?;
+            }?;
+            pool.flush()?;
+            tree.save(meta.as_ref())
+                .map_err(|e| CliError::format(meta, e))?;
         }
-        other => return Err(format!("unknown index {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown index {other:?}"))),
     };
     drop(pool);
     println!(
@@ -289,36 +372,46 @@ enum AnyDurable {
 }
 
 impl AnyDurable {
-    fn update(&mut self, tid: u64, uda: &Uda, m: &mut QueryMetrics) -> Result<bool, String> {
-        match self {
+    fn update(&mut self, tid: u64, uda: &Uda, m: &mut QueryMetrics) -> Result<bool, CliError> {
+        Ok(match self {
             AnyDurable::Inverted(d) => d.update_metered(tid, uda, m),
             AnyDurable::Pdr(d) => d.update_metered(tid, uda, m),
-        }
-        .map_err(|e| e.to_string())
+        }?)
     }
 
-    fn delete(&mut self, tid: u64, m: &mut QueryMetrics) -> Result<bool, String> {
-        match self {
+    fn delete(&mut self, tid: u64, m: &mut QueryMetrics) -> Result<bool, CliError> {
+        Ok(match self {
             AnyDurable::Inverted(d) => d.delete_metered(tid, m),
             AnyDurable::Pdr(d) => d.delete_metered(tid, m),
-        }
-        .map_err(|e| e.to_string())
+        }?)
     }
 
-    fn checkpoint(&mut self) -> Result<(), String> {
-        match self {
+    fn checkpoint(&mut self) -> Result<(), CliError> {
+        Ok(match self {
             AnyDurable::Inverted(d) => d.checkpoint(),
             AnyDurable::Pdr(d) => d.checkpoint(),
-        }
-        .map_err(|e| e.to_string())
+        }?)
     }
 
-    fn flush_wal(&mut self) -> Result<(), String> {
-        match self {
+    fn flush_wal(&mut self) -> Result<(), CliError> {
+        Ok(match self {
             AnyDurable::Inverted(d) => d.flush_wal(),
             AnyDurable::Pdr(d) => d.flush_wal(),
+        }?)
+    }
+
+    fn enable_tracing(&mut self, clock: Arc<dyn Clock>) {
+        match self {
+            AnyDurable::Inverted(d) => d.enable_tracing(clock),
+            AnyDurable::Pdr(d) => d.enable_tracing(clock),
         }
-        .map_err(|e| e.to_string())
+    }
+
+    fn take_trace(&mut self) -> Option<QueryTrace> {
+        match self {
+            AnyDurable::Inverted(d) => d.take_trace(),
+            AnyDurable::Pdr(d) => d.take_trace(),
+        }
     }
 
     fn epoch(&self) -> u64 {
@@ -357,7 +450,7 @@ impl AnyDurable {
 /// reopened (`None` on adoption).
 fn open_durable(
     flags: &HashMap<String, String>,
-) -> Result<(AnyDurable, Option<RecoveryReport>), String> {
+) -> Result<(AnyDurable, Option<RecoveryReport>), CliError> {
     let index = need(flags, "index")?;
     let pages = need(flags, "pages")?;
     let meta = need(flags, "meta")?;
@@ -377,42 +470,37 @@ fn open_durable(
         &side.journal,
         &side.snap,
         false,
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     if adopt {
-        let blob = uncat::storage::snapshot::load(meta).map_err(|e| e.to_string())?;
+        let blob = uncat::storage::snapshot::load(meta).map_err(|e| CliError::format(meta, e))?;
         let idx = match index {
-            "inverted" => AnyDurable::Inverted(
-                DurableIndex::create(storage, config, |_pool| InvertedBackend::open_blob(&blob))
-                    .map_err(|e| e.to_string())?,
-            ),
-            "pdr" => AnyDurable::Pdr(
-                DurableIndex::create(storage, config, |_pool| PdrTree::open_blob(&blob))
-                    .map_err(|e| e.to_string())?,
-            ),
-            other => return Err(format!("unknown index {other:?}")),
+            "inverted" => AnyDurable::Inverted(DurableIndex::create(storage, config, |_pool| {
+                InvertedBackend::open_blob(&blob)
+            })?),
+            "pdr" => AnyDurable::Pdr(DurableIndex::create(storage, config, |_pool| {
+                PdrTree::open_blob(&blob)
+            })?),
+            other => return Err(CliError::Usage(format!("unknown index {other:?}"))),
         };
         Ok((idx, None))
     } else {
         match index {
             "inverted" => {
-                let (d, r) = DurableIndex::<InvertedBackend>::open(storage, config)
-                    .map_err(|e| e.to_string())?;
+                let (d, r) = DurableIndex::<InvertedBackend>::open(storage, config)?;
                 Ok((AnyDurable::Inverted(d), Some(r)))
             }
             "pdr" => {
-                let (d, r) =
-                    DurableIndex::<PdrTree>::open(storage, config).map_err(|e| e.to_string())?;
+                let (d, r) = DurableIndex::<PdrTree>::open(storage, config)?;
                 Ok((AnyDurable::Pdr(d), Some(r)))
             }
-            other => Err(format!("unknown index {other:?}")),
+            other => Err(CliError::Usage(format!("unknown index {other:?}"))),
         }
     }
 }
 
 fn reopen(
     flags: &HashMap<String, String>,
-) -> Result<(AnyIndex, SharedStore, Option<RecoveryReport>), String> {
+) -> Result<(AnyIndex, SharedStore, Option<RecoveryReport>), CliError> {
     let index = need(flags, "index")?;
     let pages = need(flags, "pages")?;
     let meta = need(flags, "meta")?;
@@ -430,39 +518,47 @@ fn reopen(
         }
         report = r;
     }
-    let store: SharedStore = Arc::new(FileDisk::open(pages).map_err(|e| e.to_string())?);
+    let store: SharedStore = Arc::new(FileDisk::open(pages).map_err(|e| CliError::io(pages, e))?);
     let idx = if side.snap.exists() {
-        let wrapped = uncat::storage::snapshot::load(&side.snap).map_err(|e| e.to_string())?;
-        let (_epoch, blob) = uncat::query::split_snapshot(&wrapped).map_err(|e| e.to_string())?;
+        let snap_path = side.snap.display().to_string();
+        let wrapped = uncat::storage::snapshot::load(&side.snap)
+            .map_err(|e| CliError::format(&snap_path, e))?;
+        let (_epoch, blob) = uncat::query::split_snapshot(&wrapped)?;
         match index {
-            "inverted" => AnyIndex::Inverted(InvertedIndex::open(blob).map_err(|e| e.to_string())?),
-            "pdr" => AnyIndex::Pdr(PdrTree::open(blob).map_err(|e| e.to_string())?),
-            other => return Err(format!("unknown index {other:?}")),
+            "inverted" => AnyIndex::Inverted(
+                InvertedIndex::open(blob).map_err(|e| CliError::format(&snap_path, e))?,
+            ),
+            "pdr" => {
+                AnyIndex::Pdr(PdrTree::open(blob).map_err(|e| CliError::format(&snap_path, e))?)
+            }
+            other => return Err(CliError::Usage(format!("unknown index {other:?}"))),
         }
     } else {
         match index {
-            "inverted" => {
-                AnyIndex::Inverted(InvertedIndex::load(meta.as_ref()).map_err(|e| e.to_string())?)
+            "inverted" => AnyIndex::Inverted(
+                InvertedIndex::load(meta.as_ref()).map_err(|e| CliError::format(meta, e))?,
+            ),
+            "pdr" => {
+                AnyIndex::Pdr(PdrTree::load(meta.as_ref()).map_err(|e| CliError::format(meta, e))?)
             }
-            "pdr" => AnyIndex::Pdr(PdrTree::load(meta.as_ref()).map_err(|e| e.to_string())?),
-            other => return Err(format!("unknown index {other:?}")),
+            other => return Err(CliError::Usage(format!("unknown index {other:?}"))),
         }
     };
     Ok((idx, store, report))
 }
 
 /// Parse `cat:prob[,cat:prob...]` into a distribution.
-fn parse_uda(s: &str) -> Result<Uda, String> {
+fn parse_uda(s: &str) -> Result<Uda, CliError> {
     let mut pairs = Vec::new();
     for part in s.split(',') {
-        let (c, p) = part
-            .split_once(':')
-            .ok_or_else(|| format!("bad uda component {part:?} (want cat:prob)"))?;
+        let (c, p) = part.split_once(':').ok_or_else(|| {
+            CliError::Usage(format!("bad uda component {part:?} (want cat:prob)"))
+        })?;
         let cat: u32 = parse(c.trim(), "--uda category")?;
         let prob: f32 = parse(p.trim(), "--uda probability")?;
         pairs.push((CatId(cat), prob));
     }
-    Uda::from_pairs(pairs).map_err(|e| format!("invalid uda: {e}"))
+    Uda::from_pairs(pairs).map_err(|e| CliError::Usage(format!("invalid uda: {e}")))
 }
 
 fn note_recovery(report: &Option<RecoveryReport>) {
@@ -497,11 +593,32 @@ fn note_recovery(report: &Option<RecoveryReport>) {
     }
 }
 
-fn put(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Whether either tracing flag was passed.
+fn trace_requested(flags: &HashMap<String, String>) -> bool {
+    flags.contains_key("trace") || flags.contains_key("trace-json")
+}
+
+/// Print and/or persist a collected trace according to the flags.
+fn emit_trace(flags: &HashMap<String, String>, trace: &QueryTrace) -> Result<(), CliError> {
+    if flags.contains_key("trace") {
+        println!("latency trace:");
+        print!("{}", trace.render_tree());
+    }
+    if let Some(path) = flags.get("trace-json") {
+        std::fs::write(path, trace.to_chrome_json()).map_err(|e| CliError::io(path, e))?;
+        println!("wrote chrome trace-event file to {path}");
+    }
+    Ok(())
+}
+
+fn put(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tid: u64 = parse(need(flags, "tid")?, "--tid")?;
     let uda = parse_uda(need(flags, "uda")?)?;
     let (mut idx, report) = open_durable(flags)?;
     note_recovery(&report);
+    if trace_requested(flags) {
+        idx.enable_tracing(Arc::new(MonotonicClock::new()));
+    }
     let mut metrics = QueryMetrics::new();
     let replaced = idx.update(tid, &uda, &mut metrics)?;
     idx.flush_wal()?;
@@ -517,13 +634,19 @@ fn put(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("execution counters:");
         print!("{metrics}");
     }
+    if let Some(trace) = idx.take_trace() {
+        emit_trace(flags, &trace)?;
+    }
     Ok(())
 }
 
-fn delete(flags: &HashMap<String, String>) -> Result<(), String> {
+fn delete(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let tid: u64 = parse(need(flags, "tid")?, "--tid")?;
     let (mut idx, report) = open_durable(flags)?;
     note_recovery(&report);
+    if trace_requested(flags) {
+        idx.enable_tracing(Arc::new(MonotonicClock::new()));
+    }
     let mut metrics = QueryMetrics::new();
     let existed = idx.delete(tid, &mut metrics)?;
     idx.flush_wal()?;
@@ -541,10 +664,13 @@ fn delete(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("execution counters:");
         print!("{metrics}");
     }
+    if let Some(trace) = idx.take_trace() {
+        emit_trace(flags, &trace)?;
+    }
     Ok(())
 }
 
-fn checkpoint(flags: &HashMap<String, String>) -> Result<(), String> {
+fn checkpoint(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (mut idx, report) = open_durable(flags)?;
     note_recovery(&report);
     let folded = idx.mutations_since_checkpoint();
@@ -556,7 +682,7 @@ fn checkpoint(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn recover(flags: &HashMap<String, String>) -> Result<(), String> {
+fn recover(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (mut idx, report) = open_durable(flags)?;
     match &report {
         None => println!("adopted plain-built index; nothing to recover"),
@@ -586,18 +712,18 @@ fn recover(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_strategy(s: &str) -> Result<Strategy, String> {
+fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
     match s {
         "brute" | "inv-index-search" => Ok(Strategy::Brute),
         "hpf" | "highest-prob-first" => Ok(Strategy::HighestProbFirst),
         "row" | "row-pruning" => Ok(Strategy::RowPruning),
         "col" | "column-pruning" => Ok(Strategy::ColumnPruning),
         "nra" => Ok(Strategy::Nra),
-        other => Err(format!("unknown strategy {other:?}")),
+        other => Err(CliError::Usage(format!("unknown strategy {other:?}"))),
     }
 }
 
-fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
+fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), CliError> {
     let (idx, store, recovered) = reopen(flags)?;
     note_recovery(&recovered);
     let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
@@ -606,6 +732,10 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
         .get("strategy")
         .map_or(Ok(Strategy::Nra), |s| parse_strategy(s))?;
     let mut pool = BufferPool::new(store);
+    if trace_requested(flags) {
+        pool.set_tracer(Tracer::enabled(Arc::new(MonotonicClock::new())));
+    }
+    let root = pool.trace_begin(Phase::Query);
     let mut metrics = QueryMetrics::new();
     let matches = if topk {
         let k: usize = parse(need(flags, "k")?, "--k")?;
@@ -614,8 +744,7 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
                 i.top_k_metered(&mut pool, &TopKQuery::new(q, k), &mut metrics)
             }
             AnyIndex::Pdr(t) => t.top_k_metered(&mut pool, &TopKQuery::new(q, k), &mut metrics),
-        }
-        .map_err(|e| e.to_string())?
+        }?
     } else {
         let tau: f64 = parse(need(flags, "tau")?, "--tau")?;
         match &idx {
@@ -623,9 +752,9 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
                 i.petq_metered(&mut pool, &EqQuery::new(q, tau), strategy, &mut metrics)
             }
             AnyIndex::Pdr(t) => t.petq_metered(&mut pool, &EqQuery::new(q, tau), &mut metrics),
-        }
-        .map_err(|e| e.to_string())?
+        }?
     };
+    pool.trace_end(root);
     let limit: usize = flags.get("limit").map_or(Ok(20), |s| parse(s, "--limit"))?;
     for m in matches.iter().take(limit) {
         println!("tuple {:8}  Pr = {:.4}", m.tid, m.score);
@@ -646,13 +775,38 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), String> {
         println!("execution counters:");
         print!("{metrics}");
     }
+    if let Some(trace) = pool.take_trace() {
+        emit_trace(flags, &trace)?;
+    }
     Ok(())
+}
+
+/// Print the merged latency histograms of a batch (one row per
+/// boundary), quantiles in microseconds.
+fn print_histograms(named: &[(&'static str, &LatencyHistogram)]) {
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50_us", "p95_us", "p99_us", "max_us"
+    );
+    for (name, h) in named {
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{name:<14} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            h.count(),
+            h.p50_ns() as f64 / 1e3,
+            h.p95_ns() as f64 / 1e3,
+            h.p99_ns() as f64 / 1e3,
+            h.max_ns() as f64 / 1e3,
+        );
+    }
 }
 
 /// Run a Zipf-skewed batch of certain-category PETQs on a worker pool,
 /// against either private per-query buffer pools (the paper's model) or
 /// one shared lock-striped pool for the whole batch.
-fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
+fn batch(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (idx, store, recovered) = reopen(flags)?;
     note_recovery(&recovered);
     let n: usize = flags.get("n").map_or(Ok(64), |s| parse(s, "--n"))?;
@@ -672,6 +826,7 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     let strategy = flags
         .get("strategy")
         .map_or(Ok(Strategy::Nra), |s| parse_strategy(s))?;
+    let tracing = flags.contains_key("trace");
 
     let domain_size = match &idx {
         AnyIndex::Inverted(i) => i.domain().size(),
@@ -687,16 +842,31 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
     let pools = match pool_kind {
         "private" => BatchPools::private(frames),
         "shared" => BatchPools::shared(&store, frames * threads.max(1), shards),
-        other => return Err(format!("unknown --pool {other:?} (private|shared)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --pool {other:?} (private|shared)"
+            )))
+        }
     };
 
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
     let t0 = std::time::Instant::now();
     let results = match idx {
         AnyIndex::Inverted(i) => {
             let backend = InvertedBackend::with_strategy(i, strategy);
-            petq_batch_with(&backend, &store, &pools, &queries, threads)
+            if tracing {
+                petq_batch_traced(&backend, &store, &pools, &queries, threads, &clock)
+            } else {
+                petq_batch_with(&backend, &store, &pools, &queries, threads)
+            }
         }
-        AnyIndex::Pdr(t) => petq_batch_with(&t, &store, &pools, &queries, threads),
+        AnyIndex::Pdr(t) => {
+            if tracing {
+                petq_batch_traced(&t, &store, &pools, &queries, threads, &clock)
+            } else {
+                petq_batch_with(&t, &store, &pools, &queries, threads)
+            }
+        }
     };
     let elapsed = t0.elapsed().as_secs_f64();
 
@@ -743,13 +913,22 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
+    if tracing {
+        let merged = batch_trace(&results);
+        println!(
+            "merged latency histograms across {} workers ({} spans recorded):",
+            threads,
+            merged.spans.len()
+        );
+        print_histograms(&merged.hist.named());
+    }
     if failed > 0 {
         for (i, r) in results.iter().enumerate() {
             if let Err(e) = r {
                 eprintln!("query {i} failed: {e}");
             }
         }
-        return Err(format!("{failed} queries failed"));
+        return Err(CliError::Usage(format!("{failed} queries failed")));
     }
     Ok(())
 }
@@ -759,9 +938,9 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), String> {
 /// The inner relation (and its index, for the index/parallel plans) is
 /// built in memory from `--data`, mirroring the bench setup, so the
 /// printed physical reads are cold-pool counts.
-fn join(flags: &HashMap<String, String>) -> Result<(), String> {
+fn join(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let data_path = need(flags, "data")?;
-    let (domain, data) = datagen::io::load(data_path).map_err(|e| e.to_string())?;
+    let (domain, data) = datagen::io::load(data_path).map_err(|e| CliError::io(data_path, e))?;
     let kind = need(flags, "kind")?;
     let plan = flags.get("plan").map_or("index", String::as_str);
     let index = flags.get("index").map_or("inverted", String::as_str);
@@ -795,10 +974,18 @@ fn join(flags: &HashMap<String, String>) -> Result<(), String> {
                 None | Some("l1") => Divergence::L1,
                 Some("l2") => Divergence::L2,
                 Some("kl") => Divergence::Kl,
-                Some(other) => return Err(format!("unknown --divergence {other:?} (l1|l2|kl)")),
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown --divergence {other:?} (l1|l2|kl)"
+                    )))
+                }
             },
         },
-        other => return Err(format!("unknown --kind {other:?} (petj|pej-topk|dstj)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --kind {other:?} (petj|pej-topk|dstj)"
+            )))
+        }
     };
 
     // The outer relation: Zipf-skewed certain-category probes, disjoint
@@ -818,57 +1005,51 @@ fn join(flags: &HashMap<String, String>) -> Result<(), String> {
         Option<std::sync::Arc<uncat::storage::SharedBufferPool>>,
     ) = match plan {
         "block" => {
-            let scan = ScanBaseline::build(&mut build_pool, data.iter().map(|(t, u)| (*t, u)))
-                .map_err(|e| e.to_string())?;
-            build_pool.flush().map_err(|e| e.to_string())?;
+            let scan = ScanBaseline::build(&mut build_pool, data.iter().map(|(t, u)| (*t, u)))?;
+            build_pool.flush()?;
             drop(build_pool);
             let mut pool = BufferPool::with_capacity(store.clone(), frames);
-            (
-                block_join(&outer, &scan, &mut pool, spec).map_err(|e| e.to_string())?,
-                None,
-            )
+            (block_join(&outer, &scan, &mut pool, spec)?, None)
         }
         "index" | "parallel" => {
             let backend: Box<dyn UncertainIndex + Sync> = match index {
-                "inverted" => Box::new(InvertedBackend::new(
-                    InvertedIndex::build(
-                        domain.clone(),
-                        &mut build_pool,
-                        data.iter().map(|(t, u)| (*t, u)),
-                    )
-                    .map_err(|e| e.to_string())?,
-                )),
-                "pdr" => Box::new(
-                    PdrTree::build(
-                        domain.clone(),
-                        PdrConfig::default(),
-                        &mut build_pool,
-                        data.iter().map(|(t, u)| (*t, u)),
-                    )
-                    .map_err(|e| e.to_string())?,
-                ),
-                other => return Err(format!("unknown index {other:?}")),
+                "inverted" => Box::new(InvertedBackend::new(InvertedIndex::build(
+                    domain.clone(),
+                    &mut build_pool,
+                    data.iter().map(|(t, u)| (*t, u)),
+                )?)),
+                "pdr" => Box::new(PdrTree::build(
+                    domain.clone(),
+                    PdrConfig::default(),
+                    &mut build_pool,
+                    data.iter().map(|(t, u)| (*t, u)),
+                )?),
+                other => return Err(CliError::Usage(format!("unknown index {other:?}"))),
             };
-            build_pool.flush().map_err(|e| e.to_string())?;
+            build_pool.flush()?;
             drop(build_pool);
             if plan == "index" {
                 let mut pool = BufferPool::with_capacity(store.clone(), frames);
-                (
-                    index_join(&outer, &backend, &mut pool, spec).map_err(|e| e.to_string())?,
-                    None,
-                )
+                (index_join(&outer, &backend, &mut pool, spec)?, None)
             } else {
                 let pools = match pool_kind {
                     "private" => BatchPools::private(frames),
                     "shared" => BatchPools::shared(&store, frames * threads.max(1), shards),
-                    other => return Err(format!("unknown --pool {other:?} (private|shared)")),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --pool {other:?} (private|shared)"
+                        )))
+                    }
                 };
-                let outcome = parallel_join(&outer, &backend, &store, &pools, spec, threads)
-                    .map_err(|e| e.to_string())?;
+                let outcome = parallel_join(&outer, &backend, &store, &pools, spec, threads)?;
                 (outcome, pools.shared_pool().cloned())
             }
         }
-        other => return Err(format!("unknown --plan {other:?} (block|index|parallel)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --plan {other:?} (block|index|parallel)"
+            )))
+        }
     };
     let elapsed = t0.elapsed().as_secs_f64();
 
@@ -912,9 +1093,10 @@ fn join(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Run one PETQ under every inverted strategy and print the counters side
-/// by side (one column per strategy). For the PDR-tree there is a single
-/// algorithm, so the output is one profile.
-fn explain(flags: &HashMap<String, String>) -> Result<(), String> {
+/// by side (one column per strategy), with a wall-clock timing row. For
+/// the PDR-tree there is a single algorithm, so the output is one
+/// profile.
+fn explain(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (idx, store, recovered) = reopen(flags)?;
     note_recovery(&recovered);
     let cat: u32 = parse(need(flags, "cat")?, "--cat")?;
@@ -922,32 +1104,37 @@ fn explain(flags: &HashMap<String, String>) -> Result<(), String> {
     let q = EqQuery::new(Uda::certain(CatId(cat)), tau);
     match &idx {
         AnyIndex::Inverted(i) => {
-            let mut cols: Vec<(&'static str, QueryMetrics, usize)> = Vec::new();
+            let mut cols: Vec<(&'static str, QueryMetrics, usize, u64)> = Vec::new();
             for strategy in Strategy::ALL {
                 // A cold pool per strategy keeps the I/O columns comparable.
                 let mut pool = BufferPool::new(store.clone());
                 let mut m = QueryMetrics::new();
-                let matches = i
-                    .petq_metered(&mut pool, &q, strategy, &mut m)
-                    .map_err(|e| e.to_string())?;
+                let t0 = std::time::Instant::now();
+                let matches = i.petq_metered(&mut pool, &q, strategy, &mut m)?;
+                let elapsed_us = t0.elapsed().as_micros() as u64;
                 m.io = pool.stats();
-                cols.push((strategy.name(), m, matches.len()));
+                cols.push((strategy.name(), m, matches.len(), elapsed_us));
             }
             print!("{:<22}", "counter");
-            for (name, _, _) in &cols {
+            for (name, _, _, _) in &cols {
                 print!(" {name:>18}");
             }
             println!();
             print!("{:<22}", "matches");
-            for (_, _, n) in &cols {
+            for (_, _, n, _) in &cols {
                 print!(" {n:>18}");
+            }
+            println!();
+            print!("{:<22}", "elapsed_us");
+            for (_, _, _, us) in &cols {
+                print!(" {us:>18}");
             }
             println!();
             let rows = cols[0].1.fields().len();
             for r in 0..rows {
                 let (label, _) = cols[0].1.fields()[r];
                 print!("{label:<22}");
-                for (_, m, _) in &cols {
+                for (_, m, _, _) in &cols {
                     print!(" {:>18}", m.fields()[r].1);
                 }
                 println!();
@@ -956,18 +1143,19 @@ fn explain(flags: &HashMap<String, String>) -> Result<(), String> {
         AnyIndex::Pdr(t) => {
             let mut pool = BufferPool::new(store.clone());
             let mut m = QueryMetrics::new();
-            let matches = t
-                .petq_metered(&mut pool, &q, &mut m)
-                .map_err(|e| e.to_string())?;
+            let t0 = std::time::Instant::now();
+            let matches = t.petq_metered(&mut pool, &q, &mut m)?;
+            let elapsed_us = t0.elapsed().as_micros() as u64;
             m.io = pool.stats();
             println!("pdr-tree PETQ: {} matches", matches.len());
+            println!("elapsed_us            {elapsed_us:>18}");
             print!("{m}");
         }
     }
     Ok(())
 }
 
-fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
+fn stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (idx, store, recovered) = reopen(flags)?;
     note_recovery(&recovered);
     let mut pool = BufferPool::with_capacity(store.clone(), 512);
@@ -993,7 +1181,7 @@ fn stats(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("  heap pages:     {}", s.heap_pages);
         }
         AnyIndex::Pdr(t) => {
-            let s = t.stats(&mut pool).map_err(|e| e.to_string())?;
+            let s = t.stats(&mut pool)?;
             println!("pdr-tree: {} tuples, depth {}", s.entries, s.depth);
             println!("  nodes:          {} ({} leaves)", s.nodes, s.leaves);
             println!("  avg fanout:     {:.1}", s.avg_fanout());

@@ -239,7 +239,15 @@ fn posting_format_flag_roundtrips_both_layouts() {
     let dir = TempDir::new("format");
     let data = dir.path("data.uds");
     let (ok, _) = uncat(&[
-        "gen", "--dataset", "crm1", "--n", "2000", "--seed", "5", "--out", &data,
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "2000",
+        "--seed",
+        "5",
+        "--out",
+        &data,
     ]);
     assert!(ok);
 
@@ -248,8 +256,8 @@ fn posting_format_flag_roundtrips_both_layouts() {
         let pages = dir.path(&format!("{format}.pages"));
         let meta = dir.path(&format!("{format}.meta"));
         let (ok, out) = uncat(&[
-            "build", "--index", "inverted", "--format", format, "--data", &data, "--pages",
-            &pages, "--meta", &meta,
+            "build", "--index", "inverted", "--format", format, "--data", &data, "--pages", &pages,
+            "--meta", &meta,
         ]);
         assert!(ok, "build --format {format} failed: {out}");
 
@@ -259,11 +267,17 @@ fn posting_format_flag_roundtrips_both_layouts() {
         assert!(ok, "stats failed: {out}");
         match format {
             "raw" => {
-                assert!(out.contains("raw (UIV1)"), "stats must name the format: {out}");
+                assert!(
+                    out.contains("raw (UIV1)"),
+                    "stats must name the format: {out}"
+                );
                 assert!(!out.contains("posting blocks"), "raw has no blocks: {out}");
             }
             _ => {
-                assert!(out.contains("blocks (UIV2)"), "stats must name the format: {out}");
+                assert!(
+                    out.contains("blocks (UIV2)"),
+                    "stats must name the format: {out}"
+                );
                 assert!(out.contains("posting blocks"), "missing block count: {out}");
                 assert!(out.contains("block pages"), "missing block pages: {out}");
             }
@@ -288,7 +302,10 @@ fn posting_format_flag_roundtrips_both_layouts() {
         "--meta", &meta,
     ]);
     assert!(!ok, "unknown format must be rejected");
-    assert!(out.contains("--format"), "error should name the flag: {out}");
+    assert!(
+        out.contains("--format"),
+        "error should name the flag: {out}"
+    );
 }
 
 /// `batch` runs a Zipf mix in both pool modes: identical match totals,
@@ -608,4 +625,168 @@ fn cli_rejects_bad_usage() {
     let (ok, out) = uncat(&["query", "--index", "pdr"]);
     assert!(!ok);
     assert!(out.contains("missing --pages"));
+}
+
+/// `--trace` renders the span tree (rooted at `query`) with the
+/// buffer-pool I/O footer, and `--trace-json` writes a parseable,
+/// non-empty Chrome trace-event array (`"ph":"X"` complete events).
+#[test]
+fn trace_flags_emit_span_tree_and_chrome_json() {
+    use uncat_bench::Json;
+
+    let dir = TempDir::new("trace");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "3000",
+        "--seed",
+        "7",
+        "--out",
+        &data,
+    ]);
+    assert!(ok);
+
+    for index in ["inverted", "pdr"] {
+        let pages = dir.path(&format!("{index}.pages"));
+        let meta = dir.path(&format!("{index}.meta"));
+        let (ok, out) = uncat(&[
+            "build", "--index", index, "--data", &data, "--pages", &pages, "--meta", &meta,
+        ]);
+        assert!(ok, "build {index} failed: {out}");
+
+        let json_path = dir.path(&format!("{index}-trace.json"));
+        let (ok, out) = uncat(&[
+            "query",
+            "--index",
+            index,
+            "--pages",
+            &pages,
+            "--meta",
+            &meta,
+            "--cat",
+            "0",
+            "--tau",
+            "0.5",
+            "--trace",
+            "--trace-json",
+            &json_path,
+        ]);
+        assert!(ok, "traced query ({index}) failed: {out}");
+        assert!(out.contains("latency trace:"), "no tree header: {out}");
+        assert!(out.contains("query"), "no root span line: {out}");
+        assert!(out.contains("traced total"), "no total footer: {out}");
+        assert!(out.contains("buffer-pool i/o"), "no i/o footer: {out}");
+
+        let text =
+            std::fs::read_to_string(&json_path).unwrap_or_else(|e| panic!("read {json_path}: {e}"));
+        let doc = Json::parse(&text).expect("chrome trace output must be valid JSON");
+        let events = doc.as_array().expect("chrome trace is a JSON array");
+        assert!(!events.is_empty(), "trace must contain events");
+        for ev in events {
+            assert_eq!(
+                ev.get("ph").and_then(Json::as_str),
+                Some("X"),
+                "complete events only"
+            );
+            assert!(
+                ev.get("name").is_some() && ev.get("ts").is_some() && ev.get("dur").is_some(),
+                "event missing required keys: {ev:?}"
+            );
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("query")),
+            "no query root event"
+        );
+    }
+}
+
+/// `batch --trace` prints the merged cross-worker latency histograms.
+#[test]
+fn batch_trace_prints_merged_histograms() {
+    let dir = TempDir::new("batchtrace");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "3000",
+        "--seed",
+        "9",
+        "--out",
+        &data,
+    ]);
+    assert!(ok);
+    let pages = dir.path("inv.pages");
+    let meta = dir.path("inv.meta");
+    let (ok, _) = uncat(&[
+        "build", "--index", "inverted", "--data", &data, "--pages", &pages, "--meta", &meta,
+    ]);
+    assert!(ok);
+
+    let (ok, out) = uncat(&[
+        "batch",
+        "--index",
+        "inverted",
+        "--pages",
+        &pages,
+        "--meta",
+        &meta,
+        "--n",
+        "16",
+        "--threads",
+        "3",
+        "--trace",
+    ]);
+    assert!(ok, "batch --trace failed: {out}");
+    assert!(out.contains("histogram"), "no histogram table: {out}");
+    assert!(out.contains("p95_us"), "no quantile columns: {out}");
+    assert!(
+        out.contains("buffer_read"),
+        "cold batch must record read latencies: {out}"
+    );
+}
+
+/// `explain` reports a wall-clock `elapsed_us` row alongside the
+/// counter rows, for every strategy column.
+#[test]
+fn explain_prints_elapsed_time_row() {
+    let dir = TempDir::new("explaintime");
+    let data = dir.path("data.uds");
+    let (ok, _) = uncat(&[
+        "gen",
+        "--dataset",
+        "crm1",
+        "--n",
+        "2000",
+        "--seed",
+        "15",
+        "--out",
+        &data,
+    ]);
+    assert!(ok);
+    let pages = dir.path("inv.pages");
+    let meta = dir.path("inv.meta");
+    let (ok, _) = uncat(&[
+        "build", "--index", "inverted", "--data", &data, "--pages", &pages, "--meta", &meta,
+    ]);
+    assert!(ok);
+
+    let (ok, out) = uncat(&[
+        "explain", "--index", "inverted", "--pages", &pages, "--meta", &meta, "--cat", "0",
+        "--tau", "0.5",
+    ]);
+    assert!(ok, "explain failed: {out}");
+    let timing = out
+        .lines()
+        .find(|l| l.starts_with("elapsed_us"))
+        .unwrap_or_else(|| panic!("no elapsed_us row: {out}"));
+    // One numeric cell per strategy column.
+    let cells = timing.split_whitespace().skip(1).count();
+    assert_eq!(cells, 5, "one timing cell per strategy: {timing}");
 }
