@@ -1,0 +1,98 @@
+//! Produce (or validate) the `BENCH_planner.json` planner-vs-oracle
+//! artifact.
+//!
+//! ```text
+//! cargo run --release -p uncat-bench --bin planner                # paper scale
+//! cargo run --release -p uncat-bench --bin planner -- --quick     # reduced scale
+//! cargo run --release -p uncat-bench --bin planner -- --out x.json
+//! cargo run --release -p uncat-bench --bin planner -- --validate x.json
+//! ```
+//!
+//! The artifact is validated against the schema (including the
+//! ratio regression bound) *before* it is written, so a bad run never
+//! replaces a good file. `--validate` re-reads an existing artifact and
+//! exits nonzero on any violation — that is what the CI bench-smoke job
+//! runs.
+
+use std::process::ExitCode;
+
+use uncat_bench::planner::{planner_sweep, report_to_json, validate_report};
+use uncat_bench::{BenchError, BenchResult, Json, Scale};
+
+fn run() -> BenchResult<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_after = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    if let Some(path) = arg_after("--validate") {
+        let text = std::fs::read_to_string(path).map_err(BenchError::io(path))?;
+        let doc = Json::parse(&text).map_err(BenchError::schema)?;
+        validate_report(&doc)?;
+        println!(
+            "{path}: valid (schema v{})",
+            doc.get("schema_version")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        );
+        return Ok(());
+    }
+
+    let out = arg_after("--out").unwrap_or("BENCH_planner.json");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::from_env()
+    };
+    eprintln!(
+        "# planner sweep: crm_n={} queries/point={} seed={}",
+        scale.crm_n, scale.queries, scale.seed
+    );
+    let report = planner_sweep(&scale)?;
+    let doc = report_to_json(&report);
+    validate_report(&doc)?; // never write an artifact the validator rejects
+    std::fs::write(out, doc.render_pretty()).map_err(BenchError::io(out))?;
+
+    println!(
+        "{:<12} {:<18} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "selectivity",
+        "oracle",
+        "auto_post",
+        "oracle_post",
+        "auto_rd",
+        "oracle_rd",
+        "post_x",
+        "reads_x",
+        "fb"
+    );
+    for p in &report.points {
+        println!(
+            "{:<12} {:<18} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>10.3} {:>10.3} {:>6}",
+            p.selectivity,
+            p.best,
+            p.auto_postings,
+            p.best_postings,
+            p.auto_reads,
+            p.best_reads,
+            p.postings_ratio(),
+            p.reads_ratio(),
+            p.fallbacks,
+        );
+    }
+    println!("wrote {out} ({} points)", report.points.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("planner: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

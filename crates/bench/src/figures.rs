@@ -834,12 +834,13 @@ pub fn by_name(name: &str, scale: &Scale) -> Option<BenchResult<FigureTable>> {
         "queryshape" => queryshape(scale),
         "sharedpool" => sharedpool(scale),
         "blockmax" => blockmax(scale),
+        "planner" => crate::planner::planner_figure(scale),
         _ => return None,
     })
 }
 
 /// All known figure/ablation names, in presentation order.
-pub const ALL_FIGURES: [&str; 17] = [
+pub const ALL_FIGURES: [&str; 18] = [
     "fig4",
     "fig5",
     "fig6",
@@ -857,4 +858,5 @@ pub const ALL_FIGURES: [&str; 17] = [
     "queryshape",
     "sharedpool",
     "blockmax",
+    "planner",
 ];

@@ -17,6 +17,7 @@ pub mod figures;
 pub mod json;
 pub mod latency;
 pub mod measure;
+pub mod planner;
 pub mod table;
 
 pub use error::{BenchError, BenchResult};
@@ -24,4 +25,5 @@ pub use figures::*;
 pub use json::Json;
 pub use latency::{latency_sweep, LatencyReport, LatencyRun};
 pub use measure::{avg_petq_io, avg_topk_io, build_inverted, build_pdr, Scale};
+pub use planner::{planner_sweep, PlannerPoint, PlannerReport};
 pub use table::{FigureTable, Series};

@@ -1,0 +1,340 @@
+//! Planner-vs-oracle sweep → the `BENCH_planner.json` artifact.
+//!
+//! For every selectivity point of the calibrated CRM1 workload, run the
+//! five fixed PETQ strategies and [`Strategy::Auto`] over identical
+//! data, each query on a fresh [`QUERY_FRAMES`]-frame pool. The *oracle*
+//! for a point is the fixed strategy with the lowest scalar cost
+//! (`postings_scanned + 1000 × physical_reads`, the estimator's own
+//! weighting — see `docs/METRICS.md`) measured on **actual** counters.
+//! The artifact records Auto's postings-scanned and physical-read
+//! averages next to the oracle's, plus their ratios — how much the
+//! planner leaves on the table by predicting instead of peeking.
+//!
+//! The artifact is schema-versioned ([`PLANNER_SCHEMA_VERSION`]) and
+//! re-validated by [`validate_report`], which also enforces the
+//! regression bound: no point may show Auto worse than
+//! [`MAX_RATIO`] × the oracle on either counter. CI regenerates the
+//! artifact at quick scale on every push and fails if the bound or the
+//! schema regresses.
+
+use uncat_datagen::crm;
+use uncat_datagen::workload::{make_workload, queries_from_data, SELECTIVITIES};
+use uncat_inverted::Strategy;
+
+use crate::error::{BenchError, BenchResult};
+use crate::json::Json;
+use crate::measure::{build_inverted, profile_petq, Scale, QUERY_FRAMES};
+use crate::table::{FigureTable, Series};
+
+/// Version of the `BENCH_planner.json` schema. Bump on any change to
+/// the field set or semantics.
+pub const PLANNER_SCHEMA_VERSION: u64 = 1;
+
+/// Regression bound enforced by [`validate_report`]: Auto may not do
+/// worse than this factor of the per-point oracle on postings scanned
+/// or physical reads. (The acceptance target is tighter — within 10% —
+/// but the hard bound leaves room for workload jitter at quick scale.)
+pub const MAX_RATIO: f64 = 1.5;
+
+/// One selectivity point of the sweep.
+#[derive(Debug)]
+pub struct PlannerPoint {
+    /// Workload selectivity (fraction of tuples a query matches).
+    pub selectivity: f64,
+    /// The oracle: cheapest fixed strategy on actual counters.
+    pub best: &'static str,
+    /// Auto's average postings scanned per query.
+    pub auto_postings: f64,
+    /// The oracle strategy's average postings scanned per query.
+    pub best_postings: f64,
+    /// Auto's average physical reads per query.
+    pub auto_reads: f64,
+    /// The oracle strategy's average physical reads per query.
+    pub best_reads: f64,
+    /// Mid-query fallbacks Auto took across the point's queries.
+    pub fallbacks: u64,
+}
+
+impl PlannerPoint {
+    /// Auto / oracle on postings scanned (1.0 = planner matched the
+    /// oracle; an identical-zero pair also reports 1.0).
+    pub fn postings_ratio(&self) -> f64 {
+        ratio(self.auto_postings, self.best_postings)
+    }
+
+    /// Auto / oracle on physical reads.
+    pub fn reads_ratio(&self) -> f64 {
+        ratio(self.auto_reads, self.best_reads)
+    }
+}
+
+fn ratio(auto: f64, best: f64) -> f64 {
+    if best <= 0.0 {
+        if auto <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        auto / best
+    }
+}
+
+/// The whole sweep, ready to serialize.
+#[derive(Debug)]
+pub struct PlannerReport {
+    /// Dataset identifier (always CRM1 today).
+    pub dataset: &'static str,
+    /// Tuples in the dataset.
+    pub tuples: usize,
+    /// One entry per selectivity point.
+    pub points: Vec<PlannerPoint>,
+}
+
+/// Run the planner-vs-oracle sweep at the given scale.
+pub fn planner_sweep(scale: &Scale) -> BenchResult<PlannerReport> {
+    let (domain, data) = crm::crm1(scale.crm_n, scale.seed);
+    let queries = queries_from_data(&data, scale.queries, scale.seed ^ 0xBEEF);
+    let workload = make_workload(&data, &queries, &SELECTIVITIES);
+
+    // One build serves every strategy: the planner's cached statistics
+    // are collected at build time, exactly what a fresh query sees.
+    let (mut backend, store) = build_inverted(&domain, &data, Strategy::Auto)?;
+
+    let mut points = Vec::new();
+    for (selectivity, qs) in &workload {
+        if qs.is_empty() {
+            continue;
+        }
+        let mut best: Option<(&'static str, f64, f64)> = None;
+        for strat in Strategy::ALL {
+            backend.strategy = strat;
+            let prof = profile_petq(&backend, &store, QUERY_FRAMES, qs)?;
+            let postings = prof.per_query(prof.metrics.postings_scanned);
+            let reads = prof.avg_reads;
+            let cost = postings + 1000.0 * reads;
+            let better = match &best {
+                None => true,
+                Some((_, bp, br)) => cost < bp + 1000.0 * br,
+            };
+            if better {
+                best = Some((strat.name(), postings, reads));
+            }
+        }
+        let (best_name, best_postings, best_reads) = best.expect("Strategy::ALL is non-empty");
+
+        backend.strategy = Strategy::Auto;
+        let prof = profile_petq(&backend, &store, QUERY_FRAMES, qs)?;
+        points.push(PlannerPoint {
+            selectivity: *selectivity,
+            best: best_name,
+            auto_postings: prof.per_query(prof.metrics.postings_scanned),
+            best_postings,
+            auto_reads: prof.avg_reads,
+            best_reads,
+            fallbacks: prof.metrics.plan_fallbacks,
+        });
+    }
+    if points.is_empty() {
+        return Err(BenchError::Empty {
+            what: "planner-sweep calibration",
+        });
+    }
+    Ok(PlannerReport {
+        dataset: "crm1",
+        tuples: data.len(),
+        points,
+    })
+}
+
+/// The sweep as a [`FigureTable`] for the `figures` bin: Auto's and the
+/// oracle's postings/reads per selectivity, plus the two ratio series.
+pub fn planner_figure(scale: &Scale) -> BenchResult<FigureTable> {
+    let report = planner_sweep(scale)?;
+    let col = |f: &dyn Fn(&PlannerPoint) -> f64| -> Vec<(f64, f64)> {
+        report
+            .points
+            .iter()
+            .map(|p| (p.selectivity, f(p)))
+            .collect()
+    };
+    let series = vec![
+        Series::new("auto-post", col(&|p| p.auto_postings)),
+        Series::new("oracle-post", col(&|p| p.best_postings)),
+        Series::new("auto-reads", col(&|p| p.auto_reads)),
+        Series::new("oracle-reads", col(&|p| p.best_reads)),
+        Series::new("post-ratio", col(&|p| p.postings_ratio())),
+        Series::new("reads-ratio", col(&|p| p.reads_ratio())),
+    ];
+    Ok(FigureTable::new(
+        "planner",
+        "Cost-based planner vs per-point oracle (CRM1)",
+        "selectivity",
+        series,
+    ))
+}
+
+/// Serialize a report to the schema-versioned JSON artifact shape.
+pub fn report_to_json(report: &PlannerReport) -> Json {
+    let points = report
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("selectivity".into(), Json::Num(p.selectivity)),
+                ("best".into(), Json::Str(p.best.into())),
+                ("auto_postings".into(), Json::Num(p.auto_postings)),
+                ("best_postings".into(), Json::Num(p.best_postings)),
+                ("auto_reads".into(), Json::Num(p.auto_reads)),
+                ("best_reads".into(), Json::Num(p.best_reads)),
+                ("postings_ratio".into(), Json::Num(p.postings_ratio())),
+                ("reads_ratio".into(), Json::Num(p.reads_ratio())),
+                ("fallbacks".into(), Json::Num(p.fallbacks as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "schema_version".into(),
+            Json::Num(PLANNER_SCHEMA_VERSION as f64),
+        ),
+        ("dataset".into(), Json::Str(report.dataset.into())),
+        ("tuples".into(), Json::Num(report.tuples as f64)),
+        ("max_ratio".into(), Json::Num(MAX_RATIO)),
+        ("points".into(), Json::Arr(points)),
+    ])
+}
+
+/// Validate a parsed `BENCH_planner.json` document: version match,
+/// required keys, internally consistent ratios, and the regression
+/// bound — no point worse than [`MAX_RATIO`] × the oracle on either
+/// counter.
+pub fn validate_report(doc: &Json) -> BenchResult<()> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| BenchError::schema("missing schema_version"))?;
+    if version != PLANNER_SCHEMA_VERSION as f64 {
+        return Err(BenchError::schema(format!(
+            "schema_version {version} != {PLANNER_SCHEMA_VERSION}"
+        )));
+    }
+    for key in ["dataset", "tuples", "max_ratio"] {
+        if doc.get(key).is_none() {
+            return Err(BenchError::schema(format!("missing top-level key {key:?}")));
+        }
+    }
+    let points = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or_else(|| BenchError::schema("missing points array"))?;
+    if points.is_empty() {
+        return Err(BenchError::schema("points array is empty"));
+    }
+    for (i, point) in points.iter().enumerate() {
+        if point.get("best").and_then(Json::as_str).is_none() {
+            return Err(BenchError::schema(format!("point {i}: missing \"best\"")));
+        }
+        let num = |key: &str| -> BenchResult<f64> {
+            point
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| BenchError::schema(format!("point {i}: missing number {key:?}")))
+        };
+        for key in [
+            "selectivity",
+            "auto_postings",
+            "best_postings",
+            "auto_reads",
+            "best_reads",
+            "fallbacks",
+        ] {
+            if num(key)? < 0.0 {
+                return Err(BenchError::schema(format!("point {i}: negative {key:?}")));
+            }
+        }
+        for key in ["postings_ratio", "reads_ratio"] {
+            let r = num(key)?;
+            if !r.is_finite() {
+                return Err(BenchError::schema(format!(
+                    "point {i}: {key} is not finite"
+                )));
+            }
+            if r > MAX_RATIO {
+                return Err(BenchError::schema(format!(
+                    "point {i}: {key} = {r:.3} exceeds the {MAX_RATIO}× regression bound"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_report() -> PlannerReport {
+        PlannerReport {
+            dataset: "crm1",
+            tuples: 100,
+            points: vec![
+                PlannerPoint {
+                    selectivity: 0.001,
+                    best: "nra",
+                    auto_postings: 100.0,
+                    best_postings: 100.0,
+                    auto_reads: 4.0,
+                    best_reads: 4.0,
+                    fallbacks: 0,
+                },
+                PlannerPoint {
+                    selectivity: 0.1,
+                    best: "column-pruning",
+                    auto_postings: 210.0,
+                    best_postings: 200.0,
+                    auto_reads: 9.0,
+                    best_reads: 8.0,
+                    fallbacks: 1,
+                },
+            ],
+        }
+    }
+
+    /// Structural only: the sweep's own artifact must validate and
+    /// survive a parse round trip (the real sweep is exercised by the
+    /// `planner` bin and CI's bench smoke, not tier-1).
+    #[test]
+    fn synthetic_report_roundtrips_and_validates() {
+        let doc = report_to_json(&synthetic_report());
+        validate_report(&doc).expect("own artifact validates");
+        let reparsed = Json::parse(&doc.render_pretty()).expect("parse artifact");
+        validate_report(&reparsed).expect("reparsed artifact validates");
+    }
+
+    #[test]
+    fn validator_rejects_ratio_regressions() {
+        let mut report = synthetic_report();
+        report.points[1].auto_postings = report.points[1].best_postings * (MAX_RATIO + 0.1);
+        let doc = report_to_json(&report);
+        let err = validate_report(&doc).expect_err("ratio beyond the bound");
+        assert!(err.to_string().contains("regression bound"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_version_and_missing_keys() {
+        let mut doc = report_to_json(&synthetic_report());
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Num(999.0);
+        }
+        assert!(validate_report(&doc).is_err());
+        assert!(validate_report(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn zero_baselines_report_unit_or_infinite_ratios() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(5.0, 0.0), f64::INFINITY);
+        assert_eq!(ratio(3.0, 2.0), 1.5);
+    }
+}

@@ -1,11 +1,13 @@
 //! The inverted index structure: directory, posting trees, tuple store.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 use uncat_core::{codec, CatId, Domain, Uda};
-use uncat_storage::{BufferPool, HeapFile, RecordId, Result, StorageError};
+use uncat_storage::{BufferPool, HeapFile, PageId, RecordId, Result, StorageError};
 
 use crate::block::BlockList;
+use crate::cost::CostStats;
 use crate::postings::{decode_posting, posting_key, PostingList, PostingTree};
 
 /// Physical layout of the posting lists (see `docs/FORMAT.md`).
@@ -121,6 +123,12 @@ pub struct InvertedIndex {
     /// one code path everywhere else.
     block_heap: HeapFile,
     rids: HashMap<u64, RecordId>,
+    /// Lazily collected cost statistics (see [`crate::cost`]). Computed
+    /// on first use, pre-populated when a snapshot carries a stats
+    /// section, and refreshed explicitly at checkpoints. Mutations do
+    /// *not* invalidate it: stale statistics skew cost predictions —
+    /// which the adaptive executor absorbs — never results.
+    cost: OnceLock<CostStats>,
 }
 
 impl InvertedIndex {
@@ -140,6 +148,7 @@ impl InvertedIndex {
             heap: HeapFile::new(),
             block_heap: HeapFile::new(),
             rids: HashMap::new(),
+            cost: OnceLock::new(),
         }
     }
 
@@ -420,9 +429,12 @@ impl InvertedIndex {
                 PostingList::Blocks(blocks) => {
                     let mut prev: Option<[u8; crate::postings::KEY_LEN]> = None;
                     for meta in blocks.blocks() {
-                        let bytes = self.block_heap.get(pool, meta.rid)?.ok_or(
-                            StorageError::Corrupt("block directory points at a deleted record"),
-                        )?;
+                        let bytes =
+                            self.block_heap
+                                .get(pool, meta.rid)?
+                                .ok_or(StorageError::Corrupt(
+                                    "block directory points at a deleted record",
+                                ))?;
                         let entries = crate::block::decode_block(&bytes)?;
                         assert_eq!(
                             entries.len(),
@@ -502,7 +514,39 @@ impl InvertedIndex {
             heap,
             block_heap,
             rids,
+            cost: OnceLock::new(),
         }
+    }
+
+    /// Pre-populate the cost-statistics cache (snapshot load). Returns
+    /// whether the value was installed (false if already computed).
+    pub(crate) fn preset_cost_stats(&self, stats: CostStats) -> bool {
+        self.cost.set(stats).is_ok()
+    }
+
+    /// Cost statistics for the planner, collected lazily from in-memory
+    /// metadata (zero I/O; see [`CostStats`]). The value is cached:
+    /// it reflects the index as of the last build, snapshot load, or
+    /// [`InvertedIndex::refresh_cost_stats`] call, *not* mutations since
+    /// — by design, statistics refresh at checkpoint boundaries.
+    pub fn cost_stats(&self) -> &CostStats {
+        self.cost.get_or_init(|| crate::cost::collect(self))
+    }
+
+    /// Recompute the cost statistics from the current directory. Called
+    /// by the durable checkpoint path so persisted snapshots always
+    /// carry fresh statistics.
+    pub fn refresh_cost_stats(&mut self) {
+        self.cost = OnceLock::new();
+        let _ = self.cost_stats();
+    }
+
+    /// Every page this index references (tuple store, then block heap)
+    /// — the sampling frame for buffer-pool residency probes.
+    pub fn page_ids(&self) -> Vec<PageId> {
+        let (heap, _) = self.heap.raw_parts();
+        let (blocks, _) = self.block_heap.raw_parts();
+        heap.iter().chain(blocks.iter()).copied().collect()
     }
 }
 

@@ -25,6 +25,12 @@
 //! * [`Strategy::Nra`] — rank-join with per-candidate upper/lower bounds
 //!   ("lack"), deferring random access to a small undecided remainder.
 //!
+//! [`Strategy::Auto`] sits above the five: a cost-based planner predicts
+//! each strategy's counters from cached [`CostStats`] (zero-I/O
+//! statistics over the block directories), executes the cheapest, and
+//! abandons frontier plans mid-query when live counters overrun the
+//! prediction — falling back, exactly, to column pruning.
+//!
 //! Every query method has a `*_metered` variant that tallies execution
 //! counters (lists/postings scanned, Lemma 1 stops, the candidate
 //! pipeline) into a [`uncat_storage::QueryMetrics`] — see
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod block;
+mod cost;
 mod dstq;
 mod index;
 mod persist;
@@ -43,6 +50,10 @@ mod topk;
 
 pub use block::{
     decode_block, dequantize, encode_block, quantize_up, BLOCK_SPLIT, BLOCK_TARGET, PROB_SCALE,
+};
+pub use cost::{
+    CatCostStats, CostPrediction, CostStats, COST_BUCKETS, ENTRIES_PER_PAGE, FALLBACK_BUDGET_FLOOR,
+    OVERRUN_FACTOR,
 };
 pub use index::{IndexStats, InvertedIndex, PostingFormat};
 pub use search::Strategy;

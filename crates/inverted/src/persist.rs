@@ -68,7 +68,25 @@ impl InvertedIndex {
     /// (bit-compatible with pre-block snapshots), `UIV2` for block
     /// format. Pair with a flushed store: call `pool.flush()` first so
     /// every page this metadata references is durable.
+    ///
+    /// `UIV2` blobs carry the planner's cost-statistics section after
+    /// the posting directory; readers treat it as optional, so
+    /// pre-stats `UIV2` snapshots keep loading (stats are then rebuilt
+    /// lazily — see `docs/FORMAT.md` §10).
     pub fn snapshot(&self) -> Vec<u8> {
+        self.snapshot_inner(true)
+    }
+
+    /// [`InvertedIndex::snapshot`] without the cost-statistics section —
+    /// the pre-stats `UIV2` byte layout. Exists so compatibility tests
+    /// can exercise the lazy-rebuild path against snapshots produced by
+    /// older builds; not for production use.
+    #[doc(hidden)]
+    pub fn snapshot_without_stats(&self) -> Vec<u8> {
+        self.snapshot_inner(false)
+    }
+
+    fn snapshot_inner(&self, with_stats: bool) -> Vec<u8> {
         let mut w = Writer::new(match self.format() {
             PostingFormat::Raw => MAGIC_V1,
             PostingFormat::Blocks => MAGIC_V2,
@@ -82,9 +100,14 @@ impl InvertedIndex {
         }
         w.u64(records);
 
+        // The live map is hashed; serialize in tid order so identical
+        // indexes produce identical bytes (save → load → save is the
+        // identity, which persistence tests pin).
         let rids = self.rid_map();
-        w.u64(rids.len() as u64);
-        for (&tid, rid) in rids {
+        let mut ordered: Vec<(&u64, &RecordId)> = rids.iter().collect();
+        ordered.sort_unstable_by_key(|(tid, _)| **tid);
+        w.u64(ordered.len() as u64);
+        for (&tid, rid) in ordered {
             w.u64(tid);
             w.pid(rid.page);
             w.u16(rid.slot);
@@ -122,6 +145,9 @@ impl InvertedIndex {
                     }
                 }
             }
+        }
+        if with_stats && self.format() == PostingFormat::Blocks {
+            crate::cost::write_cost_stats(&mut w, self.cost_stats());
         }
         w.finish()
     }
@@ -210,17 +236,31 @@ impl InvertedIndex {
                 PostingList::Blocks(BlockList::from_raw_parts(blocks, entries)),
             );
         }
-        if !r.is_done() {
-            return Err(SnapshotError("trailing bytes"));
-        }
-        Ok(InvertedIndex::from_parts(
+        // Optional cost-statistics section: snapshots written before the
+        // planner existed end here, and load with statistics rebuilt
+        // lazily on first use. When the section is present it must be
+        // the last thing in the blob.
+        let stats = if r.is_done() {
+            None
+        } else {
+            let stats = crate::cost::read_cost_stats(&mut r)?;
+            if !r.is_done() {
+                return Err(SnapshotError("trailing bytes"));
+            }
+            Some(stats)
+        };
+        let idx = InvertedIndex::from_parts(
             domain,
             PostingFormat::Blocks,
             postings,
             heap,
             block_heap,
             rids,
-        ))
+        );
+        if let Some(stats) = stats {
+            idx.preset_cost_stats(stats);
+        }
+        Ok(idx)
     }
 
     /// Commit the metadata snapshot to `path` atomically (temp file,
@@ -240,7 +280,9 @@ impl InvertedIndex {
 
 /// The tuple-store sections shared by both snapshot versions: heap page
 /// list + record count, then the rid map.
-fn read_store_parts(r: &mut Reader<'_>) -> Result<(HeapFile, HashMap<u64, RecordId>), SnapshotError> {
+fn read_store_parts(
+    r: &mut Reader<'_>,
+) -> Result<(HeapFile, HashMap<u64, RecordId>), SnapshotError> {
     let n_pages = r.u32()? as usize;
     // Untrusted count: clamp pre-allocation to what the blob can hold.
     let mut pages = Vec::with_capacity(n_pages.min(r.remaining() / 8 + 1));

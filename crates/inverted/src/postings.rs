@@ -205,7 +205,6 @@ pub enum CursorHead {
     },
 }
 
-
 /// A cursor over either list format, streaming heads for the frontier
 /// searches. Tree cursors always expose exact heads; block cursors
 /// expose bounds until a decode is forced.

@@ -1,10 +1,13 @@
 //! PETQ search strategies over the inverted index.
 
+mod auto;
 mod brute;
 mod col_prune;
 mod highest_prob;
 mod nra;
 mod row_prune;
+
+pub(crate) use nra::RA_FALLBACK as NRA_RA_FALLBACK;
 
 use uncat_core::equality::{eq_prob, meets_threshold};
 use uncat_core::query::{sort_matches_desc, EqQuery, Match};
@@ -26,10 +29,18 @@ pub enum Strategy {
     ColumnPruning,
     /// Rank-join with upper/lower bounds and deferred random access.
     Nra,
+    /// Cost-based planning: pick the cheapest fixed strategy from the
+    /// cached [`crate::CostStats`] and execute it under an adaptive
+    /// budget that falls back to column pruning when live counters
+    /// overrun the prediction (see [`crate::CostPrediction`]).
+    Auto,
 }
 
 impl Strategy {
-    /// All strategies, for the ablation sweep.
+    /// All *fixed* strategies, for the ablation sweep.
+    /// [`Strategy::Auto`] is deliberately excluded: it is a chooser over
+    /// these five, not a sixth algorithm, and including it would make
+    /// every ablation figure compare a strategy against itself.
     pub const ALL: [Strategy; 5] = [
         Strategy::Brute,
         Strategy::HighestProbFirst,
@@ -46,6 +57,7 @@ impl Strategy {
             Strategy::RowPruning => "row-pruning",
             Strategy::ColumnPruning => "column-pruning",
             Strategy::Nra => "nra",
+            Strategy::Auto => "auto",
         }
     }
 }
@@ -85,6 +97,7 @@ impl InvertedIndex {
             Strategy::RowPruning => row_prune::search(self, pool, query, metrics)?,
             Strategy::ColumnPruning => col_prune::search(self, pool, query, metrics)?,
             Strategy::Nra => nra::search(self, pool, query, metrics)?,
+            Strategy::Auto => auto::search(self, pool, query, metrics)?,
         };
         sort_matches_desc(&mut out);
         Ok(out)

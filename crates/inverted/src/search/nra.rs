@@ -17,7 +17,7 @@
 //! random access; candidates whose bounds have already converged are
 //! accepted with their exact accumulated score.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use uncat_core::equality::THRESHOLD_EPS;
 use uncat_core::query::{EqQuery, Match};
@@ -29,7 +29,18 @@ use super::{verify_candidates, Frontier};
 
 /// Random-access fallback size: with at most this many undecided
 /// candidates (and no new ones possible), stop draining and verify them.
-const RA_FALLBACK: usize = 32;
+pub(crate) const RA_FALLBACK: usize = 32;
+
+/// How a budgeted NRA run ended (see [`search_budgeted`]).
+pub(crate) enum NraOutcome {
+    /// The drain finished within budget; these are the exact matches.
+    Done(Vec<Match>),
+    /// The postings budget ran out mid-drain. Carries every tuple id
+    /// encountered so far — a partial candidate set the adaptive
+    /// executor folds into its fallback scan. No candidate-pipeline
+    /// counters were ticked for them.
+    OverBudget(HashSet<u64>),
+}
 
 /// How many pops between candidate sweeps.
 const SWEEP_EVERY: usize = 128;
@@ -51,6 +62,33 @@ pub(super) fn search(
     query: &EqQuery,
     metrics: &mut QueryMetrics,
 ) -> Result<Vec<Match>> {
+    match run(idx, pool, query, None, metrics)? {
+        NraOutcome::Done(out) => Ok(out),
+        NraOutcome::OverBudget(_) => unreachable!("no budget, no overrun"),
+    }
+}
+
+/// NRA under a postings-scanned budget: the adaptive executor's entry
+/// point. The drain aborts once it has scanned more than `budget`
+/// postings beyond the counter's value at entry.
+pub(crate) fn search_budgeted(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+    budget: u64,
+    metrics: &mut QueryMetrics,
+) -> Result<NraOutcome> {
+    run(idx, pool, query, Some(budget), metrics)
+}
+
+fn run(
+    idx: &InvertedIndex,
+    pool: &mut BufferPool,
+    query: &EqQuery,
+    budget: Option<u64>,
+    metrics: &mut QueryMetrics,
+) -> Result<NraOutcome> {
+    let scanned_at_entry = metrics.postings_scanned;
     let plan = pool.trace_begin(Phase::Plan);
     let mut frontier = Frontier::open(idx, pool, &query.q, metrics)?;
     pool.trace_end(plan);
@@ -59,7 +97,15 @@ pub(super) fn search(
         // highest-prob-first is the general fallback. Nothing was
         // decoded, so the whole frontier is charged as skipped.
         frontier.account_skips(metrics);
-        return super::highest_prob::search_public(idx, pool, query, metrics);
+        let (seen, over) =
+            super::highest_prob::collect_candidates(idx, pool, query, budget, metrics)?;
+        if over {
+            return Ok(NraOutcome::OverBudget(seen));
+        }
+        metrics.candidates_generated += seen.len() as u64;
+        return Ok(NraOutcome::Done(verify_candidates(
+            idx, pool, query, seen, metrics,
+        )?));
     }
 
     let tau = query.tau;
@@ -79,6 +125,13 @@ pub(super) fn search(
                 metrics.lemma1_stops += 1;
             }
             break;
+        }
+        if budget.is_some_and(|b| metrics.postings_scanned - scanned_at_entry > b) {
+            // The plan is losing: hand the partial candidate set back to
+            // the adaptive executor without spending any random access.
+            pool.trace_end(drain);
+            frontier.account_skips(metrics);
+            return Ok(NraOutcome::OverBudget(cand.keys().copied().collect()));
         }
         let Some((j, tid, c)) = frontier.best(pool, metrics)? else {
             break;
@@ -147,5 +200,5 @@ pub(super) fn search(
         }
     }
     accepted.extend(verify_candidates(idx, pool, query, needs_ra, metrics)?);
-    Ok(accepted)
+    Ok(NraOutcome::Done(accepted))
 }

@@ -38,4 +38,4 @@ mod tree;
 
 pub use boundary::Boundary;
 pub use config::{Compression, PdrConfig, SplitStrategy};
-pub use tree::{PdrTree, TreeStats};
+pub use tree::{PdrCostStats, PdrTree, TreeStats};

@@ -113,6 +113,32 @@ impl PdrTree {
         &self.domain
     }
 
+    /// Planner-facing statistics derived from the in-memory header alone
+    /// — no page is read, unlike [`PdrTree::stats`]. `entries` and
+    /// `depth` are exact; the node counts are estimates from pinned
+    /// occupancy assumptions (see [`PdrCostStats`]), good enough for the
+    /// order-of-magnitude backend choice the query planner makes.
+    pub fn cost_stats(&self) -> PdrCostStats {
+        // Typical occupancy under the paper-default configuration:
+        // a 4 KiB page holds a few dozen boundary-compressed entries,
+        // and internal fan-out settles near the balance cap.
+        const LEAF_ENTRY_EST: u64 = 32;
+        const FANOUT_EST: u64 = 8;
+        let leaves_est = self.len.div_ceil(LEAF_ENTRY_EST).max(1);
+        let mut nodes_est = leaves_est;
+        let mut level = leaves_est;
+        while level > 1 {
+            level = level.div_ceil(FANOUT_EST);
+            nodes_est += level;
+        }
+        PdrCostStats {
+            entries: self.len,
+            depth: self.depth,
+            leaves_est,
+            nodes_est,
+        }
+    }
+
     pub(crate) fn root(&self) -> PageId {
         self.root
     }
@@ -572,6 +598,24 @@ enum Removal {
         uda: Uda,
         boundary: Option<Boundary>,
     },
+}
+
+/// Zero-I/O statistics returned by [`PdrTree::cost_stats`], the
+/// PDR-tree's contribution to the query planner's cost model. The exact
+/// per-node picture ([`TreeStats`]) needs a full tree walk; planning
+/// must not do I/O, so this carries the header-exact figures plus node
+/// counts estimated under pinned occupancy assumptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdrCostStats {
+    /// Stored distributions (exact).
+    pub entries: u64,
+    /// Tree height in levels (exact; 1 = a single leaf).
+    pub depth: u32,
+    /// Estimated leaf count (entries over an assumed per-leaf fill).
+    pub leaves_est: u64,
+    /// Estimated total page count (leaves plus the internal levels a
+    /// fixed fan-out would need above them).
+    pub nodes_est: u64,
 }
 
 /// Structural statistics returned by [`PdrTree::stats`].

@@ -14,6 +14,10 @@
 //!   score floor across workers and propagates it into every probe).
 //! * [`parallel`] — batch execution across threads (each query gets its
 //!   own buffer pool, exactly like the paper's per-query setup).
+//! * [`planner`] — cost-based backend-and-strategy planning from
+//!   zero-I/O statistics (DESIGN.md §6h); pairs with the inverted
+//!   index's `Strategy::Auto` adaptive executor, which plans and
+//!   falls back *within* that backend.
 //! * [`durable`] — [`DurableIndex`], crash-safe online mutation for both
 //!   paper indexes: write-ahead logging with group commit, no-steal
 //!   buffering, redo-journaled checkpoints, and recovery that truncates
@@ -27,6 +31,7 @@ mod executor;
 mod index_trait;
 pub mod join;
 pub mod parallel;
+pub mod planner;
 mod scan;
 
 pub use durable::{
@@ -36,4 +41,5 @@ pub use durable::{
 pub use executor::{aggregate_metrics, Executor, QueryOutcome};
 pub use index_trait::{InvertedBackend, UncertainIndex};
 pub use parallel::{batch_trace, BatchPools};
+pub use planner::{IndexStats, Plan, PlannedBackend, Planner};
 pub use scan::ScanBaseline;

@@ -104,6 +104,11 @@ pub struct QueryMetrics {
     /// WAL records re-applied during the recovery that opened this
     /// durable index (0 after a clean shutdown or checkpoint).
     pub replayed_records: u64,
+    /// Times the adaptive executor abandoned a planned strategy
+    /// mid-query because live counters overran the cost prediction
+    /// beyond the overrun factor (`Strategy::Auto` only; fixed
+    /// strategies leave this zero).
+    pub plan_fallbacks: u64,
     /// Buffer-pool I/O charged to this query.
     pub io: IoStats,
 }
@@ -149,6 +154,7 @@ impl QueryMetrics {
         self.wal_appends += other.wal_appends;
         self.wal_fsyncs += other.wal_fsyncs;
         self.replayed_records += other.replayed_records;
+        self.plan_fallbacks += other.plan_fallbacks;
         self.io.hits += other.io.hits;
         self.io.physical_reads += other.io.physical_reads;
         self.io.physical_writes += other.io.physical_writes;
@@ -167,7 +173,7 @@ impl QueryMetrics {
     /// The `(name, value)` pairs of every counter, in display order —
     /// the single source of truth for the CLI explain output and for
     /// documentation checks.
-    pub fn fields(&self) -> [(&'static str, u64); 22] {
+    pub fn fields(&self) -> [(&'static str, u64); 23] {
         [
             ("lists_opened", self.lists_opened),
             ("lists_pruned", self.lists_pruned),
@@ -187,6 +193,7 @@ impl QueryMetrics {
             ("wal_appends", self.wal_appends),
             ("wal_fsyncs", self.wal_fsyncs),
             ("replayed_records", self.replayed_records),
+            ("plan_fallbacks", self.plan_fallbacks),
             ("io.hits", self.io.hits),
             ("io.physical_reads", self.io.physical_reads),
             ("io.physical_writes", self.io.physical_writes),

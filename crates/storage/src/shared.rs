@@ -184,6 +184,28 @@ impl SharedBufferPool {
             .contains_key(&pid)
     }
 
+    /// Fraction of `pages` currently cached, probing every `stride`-th
+    /// page (stride 0 and 1 both probe every page). The cost-based
+    /// planner samples this to discount predicted physical reads for
+    /// data that is already hot; it is a point-in-time estimate with no
+    /// I/O side effects. An empty page set reports 0.0.
+    pub fn residency_fraction(&self, pages: &[PageId], stride: usize) -> f64 {
+        let stride = stride.max(1);
+        let mut probed = 0u64;
+        let mut hot = 0u64;
+        for &pid in pages.iter().step_by(stride) {
+            probed += 1;
+            if self.is_resident(pid) {
+                hot += 1;
+            }
+        }
+        if probed == 0 {
+            0.0
+        } else {
+            hot as f64 / probed as f64
+        }
+    }
+
     /// Aggregate I/O counters: the field-wise sum of every shard's stats.
     /// Because every access is recorded in exactly one shard, this equals
     /// the sum of all per-handle stats (plus flush write-back traffic,

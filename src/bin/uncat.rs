@@ -33,7 +33,9 @@ use std::sync::Arc;
 
 use uncat::core::{CatId, Divergence, EqQuery, TopKQuery, Uda};
 use uncat::datagen;
-use uncat::inverted::{InvertedIndex, PostingFormat, Strategy};
+use uncat::inverted::{
+    CostPrediction, InvertedIndex, PostingFormat, Strategy, FALLBACK_BUDGET_FLOOR, OVERRUN_FACTOR,
+};
 use uncat::pdrtree::{PdrConfig, PdrTree};
 use uncat::query::join::{block_join, index_join, parallel_join, JoinOutcome, JoinSpec};
 use uncat::query::parallel::{batch_metrics, batch_trace, petq_batch_traced, petq_batch_with};
@@ -176,7 +178,9 @@ usage:
   uncat recover    --index <inverted|pdr> --pages <...> --meta <...>
 
 --strategy (inverted PETQ only): brute | highest-prob-first | row-pruning
-  | column-pruning | nra (default: nra)
+  | column-pruning | nra | auto (default: auto — a cost-based planner
+  picks the cheapest strategy from cached statistics and falls back
+  mid-query when live counters overrun the prediction)
 --format (inverted only): posting-list layout. blocks (default) packs
   each list into delta-compressed blocks with a block-max directory so
   searches skip whole blocks without decoding them; raw keeps one B-tree
@@ -719,6 +723,7 @@ fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
         "row" | "row-pruning" => Ok(Strategy::RowPruning),
         "col" | "column-pruning" => Ok(Strategy::ColumnPruning),
         "nra" => Ok(Strategy::Nra),
+        "auto" => Ok(Strategy::Auto),
         other => Err(CliError::Usage(format!("unknown strategy {other:?}"))),
     }
 }
@@ -730,7 +735,7 @@ fn query(flags: &HashMap<String, String>, topk: bool) -> Result<(), CliError> {
     let q = Uda::certain(CatId(cat));
     let strategy = flags
         .get("strategy")
-        .map_or(Ok(Strategy::Nra), |s| parse_strategy(s))?;
+        .map_or(Ok(Strategy::Auto), |s| parse_strategy(s))?;
     let mut pool = BufferPool::new(store);
     if trace_requested(flags) {
         pool.set_tracer(Tracer::enabled(Arc::new(MonotonicClock::new())));
@@ -825,7 +830,7 @@ fn batch(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let pool_kind = flags.get("pool").map_or("private", String::as_str);
     let strategy = flags
         .get("strategy")
-        .map_or(Ok(Strategy::Nra), |s| parse_strategy(s))?;
+        .map_or(Ok(Strategy::Auto), |s| parse_strategy(s))?;
     let tracing = flags.contains_key("trace");
 
     let domain_size = match &idx {
@@ -1093,9 +1098,11 @@ fn join(flags: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 /// Run one PETQ under every inverted strategy and print the counters side
-/// by side (one column per strategy), with a wall-clock timing row. For
-/// the PDR-tree there is a single algorithm, so the output is one
-/// profile.
+/// by side (one column per strategy), with a wall-clock timing row, the
+/// planner's predicted counters (`pred_*` rows), its pick, and a
+/// `misprediction:` line for every prediction off by more than the
+/// adaptive executor's tolerance. For the PDR-tree there is a single
+/// algorithm, so the output is one profile.
 fn explain(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let (idx, store, recovered) = reopen(flags)?;
     note_recovery(&recovered);
@@ -1104,6 +1111,10 @@ fn explain(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let q = EqQuery::new(Uda::certain(CatId(cat)), tau);
     match &idx {
         AnyIndex::Inverted(i) => {
+            // Predict before running: the planner sees exactly the
+            // statistics a real query would.
+            let predictions = i.predict_petq(&q);
+            let (pick, _) = i.plan_petq(&q);
             let mut cols: Vec<(&'static str, QueryMetrics, usize, u64)> = Vec::new();
             for strategy in Strategy::ALL {
                 // A cold pool per strategy keeps the I/O columns comparable.
@@ -1138,6 +1149,48 @@ fn explain(flags: &HashMap<String, String>) -> Result<(), CliError> {
                     print!(" {:>18}", m.fields()[r].1);
                 }
                 println!();
+            }
+            // Predicted counters, one row per predictor, aligned under
+            // the same strategy columns (predictions and runs both
+            // iterate Strategy::ALL).
+            type PredField = fn(&CostPrediction) -> u64;
+            let pred_rows: [(&str, PredField); 4] = [
+                ("pred_postings_scanned", |p| p.postings_scanned),
+                ("pred_blocks_decoded", |p| p.blocks_decoded),
+                ("pred_cand_verified", |p| p.candidates_verified),
+                ("pred_physical_reads", |p| p.physical_reads),
+            ];
+            for (label, get) in pred_rows {
+                print!("{label:<22}");
+                for (_, p) in &predictions {
+                    print!(" {:>18}", get(p));
+                }
+                println!();
+            }
+            println!("planner picks {}", pick.name());
+            // Flag predictions that miss by more than the adaptive
+            // executor's own tolerance, in either direction: an
+            // under-estimate is what triggers a mid-query fallback, an
+            // over-estimate steers the planner away from a cheap plan.
+            let slack = |v: u64| OVERRUN_FACTOR * v + FALLBACK_BUDGET_FLOOR;
+            for ((_, p), (name, m, _, _)) in predictions.iter().zip(&cols) {
+                let checks = [
+                    ("postings_scanned", p.postings_scanned, m.postings_scanned),
+                    ("physical_reads", p.physical_reads, m.io.physical_reads),
+                ];
+                for (counter, predicted, actual) in checks {
+                    if actual > slack(predicted) {
+                        println!(
+                            "misprediction: {name} {counter} under-estimated \
+                             (predicted {predicted}, actual {actual})"
+                        );
+                    } else if predicted > slack(actual) {
+                        println!(
+                            "misprediction: {name} {counter} over-estimated \
+                             (predicted {predicted}, actual {actual})"
+                        );
+                    }
+                }
             }
         }
         AnyIndex::Pdr(t) => {

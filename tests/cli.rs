@@ -790,3 +790,80 @@ fn explain_prints_elapsed_time_row() {
     let cells = timing.split_whitespace().skip(1).count();
     assert_eq!(cells, 5, "one timing cell per strategy: {timing}");
 }
+
+/// `explain` prints the planner's predicted counters next to the
+/// measured ones, names its pick, and flags predictions that miss by
+/// more than the adaptive executor's own overrun slack. The dataset is
+/// crafted so one flag fires deterministically: every posting carries
+/// p = 0.26, and at τ = 0.31 column pruning's histogram (bucket edges
+/// at 1/16 steps) predicts a full-list scan while the real scan prunes
+/// every block — a guaranteed over-estimate beyond the 3x + 512 slack.
+#[test]
+fn explain_prints_predictions_pick_and_misprediction_flags() {
+    use uncat::core::{CatId, Domain, Uda};
+
+    let dir = TempDir::new("predict");
+    let data = dir.path("data.uds");
+    let domain = Domain::anonymous(2);
+    let tuples: Vec<(u64, Uda)> = (0..600)
+        .map(|t| {
+            (
+                t,
+                Uda::from_pairs([(CatId(0), 0.26), (CatId(1), 0.74)]).expect("valid uda"),
+            )
+        })
+        .collect();
+    uncat::datagen::io::save(&data, &domain, &tuples).expect("write custom dataset");
+
+    let pages = dir.path("inv.pages");
+    let meta = dir.path("inv.meta");
+    let (ok, out) = uncat(&[
+        "build", "--index", "inverted", "--data", &data, "--pages", &pages, "--meta", &meta,
+    ]);
+    assert!(ok, "build failed: {out}");
+
+    let (ok, out) = uncat(&[
+        "explain", "--index", "inverted", "--pages", &pages, "--meta", &meta, "--cat", "0",
+        "--tau", "0.31",
+    ]);
+    assert!(ok, "explain failed: {out}");
+    // Predicted counters render as rows, one cell per strategy column.
+    for row in [
+        "pred_postings_scanned",
+        "pred_blocks_decoded",
+        "pred_cand_verified",
+        "pred_physical_reads",
+    ] {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with(row))
+            .unwrap_or_else(|| panic!("no {row} row: {out}"));
+        let cells = line.split_whitespace().skip(1).count();
+        assert_eq!(cells, 5, "one predicted cell per strategy: {line}");
+    }
+    assert!(out.contains("planner picks "), "no pick line: {out}");
+    assert!(
+        out.contains("misprediction: column-pruning postings_scanned over-estimated"),
+        "expected the engineered over-estimate flag: {out}"
+    );
+
+    // The planner is still usable as a strategy: `--strategy auto` (also
+    // the default) answers the query and reports like any fixed one.
+    let (ok, out) = uncat(&[
+        "query",
+        "--index",
+        "inverted",
+        "--pages",
+        &pages,
+        "--meta",
+        &meta,
+        "--cat",
+        "1",
+        "--tau",
+        "0.5",
+        "--strategy",
+        "auto",
+    ]);
+    assert!(ok, "query --strategy auto failed: {out}");
+    assert!(out.contains("600 matches"), "auto missed tuples: {out}");
+}

@@ -121,7 +121,10 @@ fn snapshot_file_protocol_golden_bytes() {
     let mut torn = raw.clone();
     *torn.last_mut().unwrap() ^= 1;
     fs::write(&path, &torn).expect("write torn");
-    assert!(snapshot::load(&path).is_err(), "corruption must be detected");
+    assert!(
+        snapshot::load(&path).is_err(),
+        "corruption must be detected"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -144,7 +147,10 @@ fn wal_frame_golden_bytes() {
         want.extend_from_slice(&crc32c(payload).to_le_bytes());
         want.extend_from_slice(payload);
     }
-    assert_eq!(raw, want, "WAL frame: magic ‖ len ‖ crc32c ‖ payload, all LE");
+    assert_eq!(
+        raw, want,
+        "WAL frame: magic ‖ len ‖ crc32c ‖ payload, all LE"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -167,7 +173,11 @@ fn log_record_golden_bytes() {
 
     let u = uda(&[(2, 0.25), (7, 0.75)]);
     let body = codec::encode_to_vec(&u);
-    let insert = LogRecord::Insert { tid: 3, uda: u.clone() }.encode();
+    let insert = LogRecord::Insert {
+        tid: 3,
+        uda: u.clone(),
+    }
+    .encode();
     assert_eq!(insert, [&[1u8][..], &3u64.to_le_bytes(), &body].concat());
     let update = LogRecord::Update { tid: 3, uda: u }.encode();
     assert_eq!(update, [&[2u8][..], &3u64.to_le_bytes(), &body].concat());
@@ -193,7 +203,10 @@ fn uda_codec_golden_bytes() {
     want.extend_from_slice(&0.25f32.to_le_bytes());
     want.extend_from_slice(&7u32.to_le_bytes()); // cat 7
     want.extend_from_slice(&0.75f32.to_le_bytes());
-    assert_eq!(got, want, "u16 count ‖ count × (u32 cat ‖ f32 prob), all LE");
+    assert_eq!(
+        got, want,
+        "u16 count ‖ count × (u32 cat ‖ f32 prob), all LE"
+    );
     assert_eq!(codec::encoded_len(&u), want.len());
     let (back, used) = codec::decode(&got).expect("decode");
     assert_eq!(used, got.len());
@@ -236,7 +249,10 @@ fn block_payload_golden_bytes() {
     ];
     assert_eq!(got, want);
     // decode returns stream order: descending p, ties ascending tid.
-    assert_eq!(decode_block(&got).expect("decode"), vec![(7, 0.75), (2, 0.25)]);
+    assert_eq!(
+        decode_block(&got).expect("decode"),
+        vec![(7, 0.75), (2, 0.25)]
+    );
 
     // Multi-byte varint: 300 = 0b10_0101100 → 0xAC 0x02 (LEB128).
     let got = encode_block(&[(300, 0.5)]);
@@ -253,7 +269,7 @@ fn block_max_quantization_golden_values() {
     assert_eq!(quantize_up(1.0), 65_535);
     assert_eq!(quantize_up(0.5), 32_768); // ceil(0.5 · 65535) = 32768
     assert_eq!(quantize_up(0.25), 16_384); // ceil(0.25 · 65535) = 16384
-    // The defining invariant: dequantized bound dominates the true prob.
+                                           // The defining invariant: dequantized bound dominates the true prob.
     for q in [(0.5f32, 32_768u16), (0.25, 16_384), (1.0, 65_535)] {
         assert!(dequantize(q.1) >= q.0 as f64);
     }
@@ -346,6 +362,23 @@ fn uiv2_snapshot_header_walk() {
         assert_eq!(w.u16(), quantize_up(p), "quantized-up block max");
         w.u64(); // payload record page
         w.u16(); // payload record slot
+    }
+    // Cost-statistics section (docs/FORMAT.md §10): global counts, then
+    // one entry per posting list with its length, block count, max
+    // probability, and two 16-bucket histograms.
+    assert_eq!(w.u64(), 1, "stats: tuple count");
+    assert_eq!(w.u64(), 1, "stats: heap page count");
+    assert_eq!(w.u64(), 1, "stats: block page count");
+    assert_eq!(w.u32(), 2, "stats: one entry per posting list");
+    for (want_cat, p) in [(1u32, 0.75f32), (3, 0.25)] {
+        assert_eq!(w.u32(), want_cat, "stats entries ordered by category");
+        assert_eq!(w.u64(), 1, "stats: list length");
+        assert_eq!(w.u32(), 1, "stats: block count");
+        assert_eq!(w.u16(), quantize_up(p), "stats: list max probability");
+        let block_hist: u32 = (0..16).map(|_| w.u32()).sum();
+        assert_eq!(block_hist, 1, "one block across the block histogram");
+        let entry_hist: u64 = (0..16).map(|_| w.u64()).sum();
+        assert_eq!(entry_hist, 1, "one posting across the entry histogram");
     }
     assert!(w.done(), "no trailing bytes");
 

@@ -380,3 +380,35 @@ fn scan_baseline_counts_every_tuple() {
     .unwrap();
     assert_eq!(m.heap_tuples_scanned, 500);
 }
+
+/// The cost estimator speaks the metrics vocabulary and nothing else:
+/// a prediction expressed as a `QueryMetrics` populates exactly the
+/// four counters it predicts, so predicted-vs-actual comparisons (the
+/// `explain` table, the adaptive executor's overrun check) are always
+/// field-for-field over this one struct — no hidden side channel.
+#[test]
+fn cost_predictions_map_onto_exactly_four_metrics_fields() {
+    let p = uncat::inverted::CostPrediction {
+        postings_scanned: 11,
+        blocks_decoded: 22,
+        candidates_verified: 33,
+        physical_reads: 44,
+    };
+    let m = p.as_metrics();
+    for (name, value) in m.fields() {
+        let want = match name {
+            "postings_scanned" => 11,
+            "blocks_decoded" => 22,
+            "candidates_verified" => 33,
+            "io.physical_reads" => 44,
+            _ => 0,
+        };
+        assert_eq!(value, want, "unexpected value in predicted field {name}");
+    }
+    // Round trip: the scalar cost is computable from the metrics form
+    // alone, so a measured `QueryMetrics` can be costed identically.
+    assert_eq!(
+        p.cost(),
+        m.postings_scanned + uncat::inverted::ENTRIES_PER_PAGE * m.io.physical_reads
+    );
+}

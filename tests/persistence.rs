@@ -118,6 +118,62 @@ fn both_indexes_survive_restart_on_one_file() {
         .expect("inverted invariants");
 }
 
+/// The cost-statistics section appended to UIV2 snapshots
+/// (`docs/FORMAT.md` §10) must survive a save/load cycle byte-exactly:
+/// loading presets the decoded statistics verbatim, so re-snapshotting
+/// a loaded index reproduces the identical byte string.
+#[test]
+fn cost_stats_section_round_trips_byte_exactly() {
+    let (domain, data) = crm::crm1(800, 21);
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store, 256);
+    let idx = InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("build inverted");
+    let blob = idx.snapshot();
+    assert!(
+        blob.len() > idx.snapshot_without_stats().len(),
+        "UIV2 snapshots carry a statistics section"
+    );
+
+    let reopened = InvertedIndex::open(&blob).expect("open with stats");
+    assert_eq!(
+        reopened.cost_stats(),
+        idx.cost_stats(),
+        "loaded statistics equal the collected ones"
+    );
+    assert_eq!(
+        reopened.snapshot(),
+        blob,
+        "save → load → save reproduces the identical bytes"
+    );
+}
+
+/// Compatibility rule (`docs/FORMAT.md` §11): a UIV2 snapshot written
+/// *without* the statistics section — any pre-stats snapshot — still
+/// loads, and the statistics are rebuilt lazily from the in-memory
+/// block directories on first use, landing on exactly what a stats-
+/// carrying snapshot would have stored.
+#[test]
+fn pre_stats_snapshots_load_and_rebuild_lazily() {
+    let (domain, data) = crm::crm1(800, 21);
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store, 256);
+    let idx = InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("build inverted");
+
+    let legacy = idx.snapshot_without_stats();
+    let reopened = InvertedIndex::open(&legacy).expect("pre-stats snapshot loads");
+    assert_eq!(reopened.len(), idx.len());
+    // First use triggers the lazy rebuild; it must agree with the
+    // statistics the stats-carrying snapshot serializes.
+    assert_eq!(reopened.cost_stats(), idx.cost_stats());
+    assert_eq!(
+        reopened.snapshot(),
+        idx.snapshot(),
+        "rebuilt statistics serialize identically to collected ones"
+    );
+}
+
 #[test]
 fn restarted_index_accepts_new_inserts() {
     let file = TempFile::new("insert");

@@ -1,0 +1,313 @@
+//! Planner-vs-oracle harness.
+//!
+//! Three properties pin the cost-based planner to the ground truth of
+//! actually running every plan:
+//!
+//! 1. **Exactness** — whatever plan `Strategy::Auto` (and the
+//!    cross-backend [`Planner`]) picks, the results are tid-exact
+//!    against the scan baseline. Planning is allowed to be wrong about
+//!    cost, never about answers.
+//! 2. **Competitiveness** — on statistics that are fresh (collected at
+//!    build time, no mutations since), the plan the planner executes
+//!    costs at most twice what the per-query best fixed strategy costs
+//!    under the scalar cost model, measured on real counters with a
+//!    cold buffer pool per run.
+//! 3. **Bounded regret** — when statistics are stale enough that the
+//!    picked plan overruns its prediction, the adaptive executor
+//!    abandons it; the total work (postings scanned, physical reads)
+//!    never exceeds running the losing plan to completion *plus* a
+//!    cold fallback run.
+
+use proptest::prelude::*;
+
+use uncat::core::query::{EqQuery, Match, TopKQuery};
+use uncat::core::{CatId, Domain, Uda, UdaBuilder};
+use uncat::datagen::crm;
+use uncat::prelude::*;
+use uncat::query::{Plan, PlannedBackend, Planner, ScanBaseline, UncertainIndex};
+use uncat_inverted::{
+    InvertedIndex, Strategy, ENTRIES_PER_PAGE, FALLBACK_BUDGET_FLOOR, OVERRUN_FACTOR,
+};
+use uncat_pdrtree::{PdrConfig, PdrTree};
+
+/// Cases per property: `default`, or `PROPTEST_CASES` when set (the
+/// vendored proptest does not read the variable itself).
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The scalar cost the planner optimizes, applied to *measured*
+/// counters: postings scanned plus physical reads at the sequential
+/// entries-per-page equivalence (docs/METRICS.md).
+fn scalar_cost(m: &QueryMetrics) -> u64 {
+    m.postings_scanned + ENTRIES_PER_PAGE * m.io.physical_reads
+}
+
+/// Same tuples, same order, scores within 1e-9 of the reference.
+fn assert_matches_agree(what: &str, reference: &[Match], got: &[Match]) {
+    assert_eq!(
+        got.iter().map(|m| m.tid).collect::<Vec<_>>(),
+        reference.iter().map(|m| m.tid).collect::<Vec<_>>(),
+        "{what}: planned run returned different tuples than scan"
+    );
+    for (r, g) in reference.iter().zip(got) {
+        assert!(
+            (r.score - g.score).abs() <= 1e-9,
+            "{what}: tuple {} scored {} vs scan's {}",
+            g.tid,
+            g.score,
+            r.score
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    // Property 1: exactness. Auto and the cross-backend planner's pick
+    // answer every query identically to the scan baseline on CRM
+    // corpora — the datasets the planner was tuned against are not
+    // allowed to be the datasets it is correct on by accident, so size,
+    // seed, threshold, and probe tuple are all generated.
+    #[test]
+    fn planned_queries_are_tid_exact_against_scan(
+        n in 200usize..1200,
+        seed in 0u64..1000,
+        tau in 0.05f64..0.6,
+        probe in 0usize..1 << 16,
+        k in 1usize..20,
+    ) {
+        check_planned_exactness(n, seed, tau, probe, k);
+    }
+}
+
+fn check_planned_exactness(n: usize, seed: u64, tau: f64, probe: usize, k: usize) {
+    let (domain, data) = crm::crm1(n, seed);
+    let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 512);
+    let scan =
+        ScanBaseline::build(&mut pool, data.iter().map(|(t, u)| (*t, u))).expect("in-memory build");
+    let idx = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    let pdr = PdrTree::build(
+        domain,
+        PdrConfig::default(),
+        &mut pool,
+        data.iter().map(|(t, u)| (*t, u)),
+    )
+    .expect("in-memory build");
+
+    let q = data[probe % data.len()].1.clone();
+    let eq = EqQuery::new(q.clone(), tau);
+    let reference = scan.petq(&mut pool, &eq).expect("in-memory query");
+
+    // The in-index planner: Auto against the scan baseline.
+    let auto = idx
+        .petq(&mut pool, &eq, Strategy::Auto)
+        .expect("in-memory query");
+    assert_matches_agree("petq/auto", &reference, &auto);
+
+    // The cross-backend planner: execute exactly the backend it picked.
+    let planner = Planner::for_both(&idx, &pdr);
+    let run = |plan: &Plan, pool: &mut BufferPool| match plan.backend {
+        PlannedBackend::Inverted(s) => idx.petq(pool, &eq, s).expect("in-memory query"),
+        PlannedBackend::PdrTree => UncertainIndex::petq(&pdr, pool, &eq).expect("in-memory query"),
+        PlannedBackend::Scan => scan.petq(pool, &eq).expect("in-memory query"),
+    };
+    let plan = planner.plan_petq(&eq);
+    assert_matches_agree(
+        &format!("petq/planned/{}", plan.backend.name()),
+        &reference,
+        &run(&plan, &mut pool),
+    );
+
+    // Top-k rides along: the planner may route it to either index; both
+    // must agree with scan.
+    let tk = TopKQuery::new(q, k);
+    let reference = scan.top_k(&mut pool, &tk).expect("in-memory query");
+    let got = match planner.plan_top_k(&tk).backend {
+        PlannedBackend::PdrTree => {
+            UncertainIndex::top_k(&pdr, &mut pool, &tk).expect("in-memory query")
+        }
+        _ => idx.top_k(&mut pool, &tk).expect("in-memory query"),
+    };
+    assert_matches_agree("top_k/planned", &reference, &got);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(8)))]
+
+    // Property 2: competitiveness. With fresh statistics, the cost Auto
+    // actually pays is within 2x of the per-query oracle (the cheapest
+    // fixed strategy *for this very query*, measured, cold pool each
+    // run). One page of additive slack absorbs the discreteness of
+    // page-granular reads on small corpora.
+    #[test]
+    fn auto_cost_is_within_twice_the_per_query_oracle(
+        n in 500usize..2000,
+        seed in 0u64..1000,
+        tau in 0.05f64..0.6,
+        probe in 0usize..1 << 16,
+    ) {
+        check_cost_vs_oracle(n, seed, tau, probe);
+    }
+}
+
+fn check_cost_vs_oracle(n: usize, seed: u64, tau: f64, probe: usize) {
+    let (domain, data) = crm::crm1(n, seed);
+    let store = InMemoryDisk::shared();
+    let mut build_pool = BufferPool::with_capacity(store.clone(), 512);
+    let idx = InvertedIndex::build(domain, &mut build_pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    build_pool.flush().expect("in-memory flush");
+    drop(build_pool); // every measured run below starts cold
+
+    let q = EqQuery::new(data[probe % data.len()].1.clone(), tau);
+    let mut oracle = u64::MAX;
+    let mut oracle_name = "";
+    for strategy in Strategy::ALL {
+        let mut pool = BufferPool::with_capacity(store.clone(), 512);
+        let mut m = QueryMetrics::new();
+        idx.petq_metered(&mut pool, &q, strategy, &mut m)
+            .expect("in-memory query");
+        if scalar_cost(&m) < oracle {
+            oracle = scalar_cost(&m);
+            oracle_name = strategy.name();
+        }
+    }
+
+    let mut pool = BufferPool::with_capacity(store, 512);
+    let mut m = QueryMetrics::new();
+    idx.petq_metered(&mut pool, &q, Strategy::Auto, &mut m)
+        .expect("in-memory query");
+    let auto = scalar_cost(&m);
+    assert!(
+        auto <= 2 * oracle + ENTRIES_PER_PAGE,
+        "auto cost {auto} exceeds twice the oracle ({oracle_name}: {oracle}) plus one page"
+    );
+}
+
+/// Property 3: bounded regret under stale statistics. Statistics are
+/// primed on a small corpus, then one posting list is grown far past
+/// the overrun budget without a checkpoint — the staleness-by-design
+/// case. Auto's pick must overrun, the fallback must fire, and the
+/// total work must stay under (losing plan run to completion) + (cold
+/// fallback run): abandoning a plan is never worse than stubbornly
+/// finishing it and then some.
+#[test]
+fn adaptive_fallback_work_is_bounded() {
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 1024);
+    let (domain, data) = crm::crm1(300, 5);
+    let mut idx = InvertedIndex::build(domain, &mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    // Prime the statistics: this is what build/checkpoint time does.
+    let stale_len = idx.cost_stats().cats.get(&CatId(0)).map_or(0, |c| c.len);
+
+    // Grow category 0 far past any budget the stale statistics allow.
+    let mut b = UdaBuilder::new();
+    b.push(CatId(0), 1.0).expect("valid probability");
+    let heavy = b.finish_normalized().expect("non-empty");
+    let grown = 20 * (OVERRUN_FACTOR * stale_len + FALLBACK_BUDGET_FLOOR);
+    for i in 0..grown {
+        idx.insert(&mut pool, 100_000 + i, &heavy)
+            .expect("in-memory insert");
+    }
+    pool.flush().expect("in-memory flush");
+    drop(pool);
+
+    let mut probe = UdaBuilder::new();
+    probe.push(CatId(0), 1.0).expect("valid probability");
+    let q = EqQuery::new(probe.finish_normalized().expect("non-empty"), 0.1);
+
+    // The (stale) pick, run to completion, and a cold fallback run.
+    let (pick, prediction) = idx.plan_petq(&q);
+    let budget = OVERRUN_FACTOR * prediction.postings_scanned + FALLBACK_BUDGET_FLOOR;
+    let mut lose = QueryMetrics::new();
+    let mut pool = BufferPool::with_capacity(store.clone(), 1024);
+    let reference = idx
+        .petq_metered(&mut pool, &q, pick, &mut lose)
+        .expect("in-memory query");
+    assert!(
+        lose.postings_scanned > budget,
+        "the scenario must actually overrun: {} postings vs budget {budget}",
+        lose.postings_scanned
+    );
+    let mut fallback = QueryMetrics::new();
+    let mut pool = BufferPool::with_capacity(store.clone(), 1024);
+    idx.petq_metered(&mut pool, &q, Strategy::ColumnPruning, &mut fallback)
+        .expect("in-memory query");
+
+    let mut auto = QueryMetrics::new();
+    let mut pool = BufferPool::with_capacity(store, 1024);
+    let got = idx
+        .petq_metered(&mut pool, &q, Strategy::Auto, &mut auto)
+        .expect("in-memory query");
+
+    assert!(
+        auto.plan_fallbacks >= 1,
+        "stale statistics past the overrun budget must trigger the fallback"
+    );
+    assert_matches_agree("petq/auto-after-fallback", &reference, &got);
+    assert!(
+        auto.postings_scanned <= lose.postings_scanned + fallback.postings_scanned,
+        "fallback did more postings work ({}) than losing-to-completion ({}) + cold fallback ({})",
+        auto.postings_scanned,
+        lose.postings_scanned,
+        fallback.postings_scanned
+    );
+    assert!(
+        auto.io.physical_reads <= lose.io.physical_reads + fallback.io.physical_reads,
+        "fallback did more physical reads ({}) than losing-to-completion ({}) + cold fallback ({})",
+        auto.io.physical_reads,
+        lose.io.physical_reads,
+        fallback.io.physical_reads
+    );
+}
+
+/// Sanity anchor for the estimator on a dataset where every prediction
+/// is exactly computable by hand: one list, uniform probabilities. The
+/// planner must not pick a plan whose *measured* cost exceeds the
+/// oracle at all here — there is nothing to be uncertain about.
+#[test]
+fn planner_is_exactly_optimal_on_a_single_uniform_list() {
+    let store = InMemoryDisk::shared();
+    let mut build_pool = BufferPool::with_capacity(store.clone(), 256);
+    let mut b = UdaBuilder::new();
+    b.push(CatId(2), 1.0).expect("valid probability");
+    let u: Uda = b.finish_normalized().expect("non-empty");
+    let tuples: Vec<(u64, Uda)> = (0..4000).map(|t| (t, u.clone())).collect();
+    let idx = InvertedIndex::build(
+        Domain::anonymous(8),
+        &mut build_pool,
+        tuples.iter().map(|(t, v)| (*t, v)),
+    )
+    .expect("in-memory build");
+    build_pool.flush().expect("in-memory flush");
+    drop(build_pool);
+
+    let q = EqQuery::new(u, 0.4);
+    let mut oracle = u64::MAX;
+    for strategy in Strategy::ALL {
+        let mut pool = BufferPool::with_capacity(store.clone(), 256);
+        let mut m = QueryMetrics::new();
+        idx.petq_metered(&mut pool, &q, strategy, &mut m)
+            .expect("in-memory query");
+        oracle = oracle.min(scalar_cost(&m));
+    }
+    let mut pool = BufferPool::with_capacity(store, 256);
+    let mut m = QueryMetrics::new();
+    idx.petq_metered(&mut pool, &q, Strategy::Auto, &mut m)
+        .expect("in-memory query");
+    assert_eq!(
+        m.plan_fallbacks, 0,
+        "fresh statistics must not trigger a fallback"
+    );
+    assert!(
+        scalar_cost(&m) <= oracle,
+        "auto paid {} where the oracle pays {oracle}",
+        scalar_cost(&m)
+    );
+}
