@@ -1,0 +1,105 @@
+//! Produce (or validate) the `BENCH_service.json` multi-tenant artifact.
+//!
+//! ```text
+//! cargo run --release -p uncat-bench --bin service                # paper scale
+//! cargo run --release -p uncat-bench --bin service -- --quick     # reduced scale
+//! cargo run --release -p uncat-bench --bin service -- --tenants 3
+//! cargo run --release -p uncat-bench --bin service -- --out x.json
+//! cargo run --release -p uncat-bench --bin service -- --validate x.json
+//! ```
+//!
+//! The artifact is validated against the schema *before* it is written,
+//! so a bad run never replaces a good file. `--validate` re-reads an
+//! existing artifact and exits nonzero on any violation — including the
+//! cross-shard floor failing to scan strictly fewer postings than
+//! floorless sharding. That is what the CI service-smoke job runs.
+
+use std::process::ExitCode;
+
+use uncat_bench::service::{report_to_json, service_sweep, validate_report, ServiceBenchConfig};
+use uncat_bench::{BenchError, BenchResult, Json, Scale};
+
+fn run() -> BenchResult<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_after = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    if let Some(path) = arg_after("--validate") {
+        let text = std::fs::read_to_string(path).map_err(BenchError::io(path))?;
+        let doc = Json::parse(&text).map_err(BenchError::schema)?;
+        validate_report(&doc)?;
+        println!(
+            "{path}: valid (schema v{})",
+            doc.get("schema_version")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        );
+        return Ok(());
+    }
+
+    let out = arg_after("--out").unwrap_or("BENCH_service.json");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::from_env()
+    };
+    let mut config = if quick {
+        ServiceBenchConfig::quick()
+    } else {
+        ServiceBenchConfig::full()
+    };
+    if let Some(t) = arg_after("--tenants").and_then(|s| s.parse().ok()) {
+        config.tenants = t;
+    }
+    if let Some(s) = arg_after("--shards").and_then(|s| s.parse().ok()) {
+        config.shards = s;
+    }
+    eprintln!(
+        "# service drive: crm_n={} tenants={} shards={} concurrency={} ops={}",
+        scale.crm_n, config.tenants, config.shards, config.concurrency, config.ops
+    );
+    let report = service_sweep(&scale, &config)?;
+    let doc = report_to_json(&report);
+    validate_report(&doc)?; // never write an artifact the validator rejects
+    std::fs::write(out, doc.render_pretty()).map_err(BenchError::io(out))?;
+
+    println!(
+        "{:<8} {:<8} {:>10} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "loop", "tenant", "completed", "rejected", "waits", "qps", "p50_us", "p95_us", "p99_us"
+    );
+    for run in &report.runs {
+        println!(
+            "{:<8} {:<8} {:>10} {:>9} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            run.loop_mode,
+            run.tenant,
+            run.completed,
+            run.rejected,
+            run.waits,
+            run.qps,
+            run.hist.p50_ns() as f64 / 1e3,
+            run.hist.p95_ns() as f64 / 1e3,
+            run.hist.p99_ns() as f64 / 1e3,
+        );
+    }
+    println!(
+        "floor: {} postings floored vs {} floorless",
+        report.floor.floored_postings, report.floor.floorless_postings
+    );
+    println!("wrote {out} ({} runs)", report.runs.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("service: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! Multi-tenant service workload driver → the `BENCH_service.json`
+//! artifact.
+//!
+//! Where `latency.rs` times one index under one thread, this module
+//! drives a whole [`QueryService`]: several tenants, each a sharded
+//! CRM1 dataset behind its own admission gate, hammered by a pool of
+//! workers whose tenant choice is Zipf-skewed (real multi-tenant load
+//! is never uniform). Two loop shapes run:
+//!
+//! * **closed** — every worker issues its next query the moment the
+//!   previous one returns; throughput is whatever the service sustains.
+//! * **open** — arrivals follow a fixed schedule regardless of
+//!   completions, so queueing (and admission waits/rejections) shows up
+//!   in the tail latencies instead of silently throttling offered load.
+//!
+//! Per tenant and loop the artifact reports completed/rejected counts,
+//! admission waits, throughput, and p50/p95/p99 from the same mergeable
+//! [`LatencyHistogram`] the tracer uses. A final sequential pass runs
+//! the skewed tenant's top-k queries with the cross-shard floor on and
+//! off; the floored run must scan **strictly fewer postings** — the
+//! validator enforces it, so the artifact doubles as a regression gate
+//! on the scatter-gather pruning.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use uncat_core::query::{EqQuery, TopKQuery};
+use uncat_datagen::workload::{make_workload, queries_from_data, CalibratedQuery, SELECTIVITIES};
+use uncat_datagen::{crm, zipf::zipf_ranks};
+use uncat_inverted::Strategy;
+use uncat_service::{QueryService, ServiceConfig, ServiceError, TenantConfig};
+use uncat_storage::trace::LatencyHistogram;
+use uncat_storage::InMemoryDisk;
+
+use crate::error::{BenchError, BenchResult};
+use crate::json::Json;
+use crate::measure::{Scale, QUERY_FRAMES};
+
+/// Version of the `BENCH_service.json` schema. Bump on any change to
+/// the field set or semantics.
+pub const SERVICE_SCHEMA_VERSION: u64 = 1;
+
+/// Zipf exponent for tenant choice: tenant 0 dominates, the tail
+/// trickles — the skew the cross-shard floor comparison runs under.
+const TENANT_SKEW: f64 = 1.1;
+
+/// How the driver shapes its load.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchConfig {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Shards per tenant's dataset.
+    pub shards: usize,
+    /// Closed-loop workers (also the open loop's worker pool).
+    pub concurrency: usize,
+    /// Queries issued per loop shape.
+    pub ops: usize,
+    /// Open-loop offered rate, queries/second.
+    pub open_rate_qps: f64,
+}
+
+impl ServiceBenchConfig {
+    /// CI-sized: everything in a couple of seconds.
+    pub fn quick() -> ServiceBenchConfig {
+        ServiceBenchConfig {
+            tenants: 2,
+            shards: 2,
+            concurrency: 4,
+            ops: 120,
+            open_rate_qps: 400.0,
+        }
+    }
+
+    /// Paper-scale datasets, a heavier mix.
+    pub fn full() -> ServiceBenchConfig {
+        ServiceBenchConfig {
+            tenants: 4,
+            shards: 4,
+            concurrency: 8,
+            ops: 2_000,
+            open_rate_qps: 1_000.0,
+        }
+    }
+}
+
+/// One (loop, tenant) cell of the drive.
+#[derive(Debug)]
+pub struct TenantRun {
+    /// `"closed"` or `"open"`.
+    pub loop_mode: &'static str,
+    /// Tenant name.
+    pub tenant: String,
+    /// Queries that completed.
+    pub completed: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Completed queries that waited in the admission queue first.
+    pub waits: u64,
+    /// Completed queries per second of loop wall time.
+    pub qps: f64,
+    /// End-to-end per-query latency (admission wait included).
+    pub hist: LatencyHistogram,
+}
+
+/// The floored-vs-floorless postings comparison on the skewed tenant.
+#[derive(Debug)]
+pub struct FloorComparison {
+    /// Postings scanned with the cross-shard floor shared.
+    pub floored_postings: u64,
+    /// Postings scanned with every shard probing cold.
+    pub floorless_postings: u64,
+}
+
+/// The whole drive, ready to serialize.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Load shape the drive ran.
+    pub config: ServiceBenchConfig,
+    /// Tuples per tenant dataset.
+    pub tuples: usize,
+    /// One entry per (loop, tenant).
+    pub runs: Vec<TenantRun>,
+    /// Cross-shard floor pruning evidence.
+    pub floor: FloorComparison,
+}
+
+/// Per-tenant accumulators one loop writes into.
+struct TenantAcc {
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    waits: AtomicU64,
+    hist: Mutex<LatencyHistogram>,
+}
+
+impl TenantAcc {
+    fn new() -> TenantAcc {
+        TenantAcc {
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            hist: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+}
+
+/// Build the service, drive both loop shapes, and measure the floor.
+pub fn service_sweep(scale: &Scale, config: &ServiceBenchConfig) -> BenchResult<ServiceReport> {
+    assert!(config.tenants >= 1 && config.shards >= 1 && config.concurrency >= 1);
+    let store = InMemoryDisk::shared();
+    let service = QueryService::new(
+        store,
+        ServiceConfig {
+            total_frames: (QUERY_FRAMES * config.concurrency * 4).max(1024),
+            pool_shards: 8,
+        },
+    );
+
+    // Each tenant gets its own CRM1 world and a quota of two concurrent
+    // queries plus a short queue — tight enough that the Zipf-hot
+    // tenant actually exercises waiting and rejection under load.
+    let mut tenant_queries: Vec<Vec<CalibratedQuery>> = Vec::new();
+    let mut tuples = 0;
+    for t in 0..config.tenants {
+        let (domain, data) = crm::crm1(scale.crm_n, scale.seed ^ (t as u64).wrapping_mul(7919));
+        tuples = data.len();
+        let queries = queries_from_data(&data, scale.queries.max(4), scale.seed ^ 0x5E4C);
+        let workload = make_workload(&data, &queries, &SELECTIVITIES);
+        let flat: Vec<CalibratedQuery> = workload.into_iter().flat_map(|(_, qs)| qs).collect();
+        if flat.is_empty() {
+            return Err(BenchError::Empty {
+                what: "service-sweep calibration",
+            });
+        }
+        service
+            .register_tenant_inverted(
+                TenantConfig::new(format!("t{t}"))
+                    .frame_quota(QUERY_FRAMES * 2)
+                    .queue_depth(2)
+                    .frames_per_query(QUERY_FRAMES),
+                &domain,
+                &data,
+                config.shards,
+                Strategy::Auto,
+            )
+            .map_err(service_err("register tenant"))?;
+        tenant_queries.push(flat);
+    }
+
+    let mut runs = Vec::new();
+    for loop_mode in ["closed", "open"] {
+        runs.extend(drive_loop(
+            &service,
+            config,
+            &tenant_queries,
+            loop_mode,
+            scale.seed,
+        )?);
+    }
+
+    let floor = measure_floor(&service, &tenant_queries[0])?;
+    Ok(ServiceReport {
+        config: config.clone(),
+        tuples,
+        runs,
+        floor,
+    })
+}
+
+/// Map a service failure into a bench error (rejections are data, not
+/// failures, and are handled by the drivers before this is reached).
+fn service_err(context: &'static str) -> impl FnOnce(ServiceError) -> BenchError {
+    move |e| match e {
+        ServiceError::Storage(source) => BenchError::Storage { context, source },
+        other => BenchError::Schema {
+            detail: format!("{context}: unexpected service error: {other}"),
+        },
+    }
+}
+
+/// Drive one loop shape and return its per-tenant runs.
+fn drive_loop(
+    service: &QueryService,
+    config: &ServiceBenchConfig,
+    tenant_queries: &[Vec<CalibratedQuery>],
+    loop_mode: &'static str,
+    seed: u64,
+) -> BenchResult<Vec<TenantRun>> {
+    let tenant_seq = zipf_ranks(
+        config.tenants,
+        TENANT_SKEW,
+        config.ops,
+        seed ^ u64::from(loop_mode == "open"),
+    );
+    let accs: Vec<TenantAcc> = (0..config.tenants).map(|_| TenantAcc::new()).collect();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<BenchError>> = Mutex::new(None);
+    let started = std::time::Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.concurrency {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tenant_seq.len() {
+                    break;
+                }
+                if loop_mode == "open" {
+                    // Fixed arrival schedule: query `i` is *offered* at
+                    // `i / rate`, whether or not earlier ones finished.
+                    let due = std::time::Duration::from_secs_f64(
+                        i as f64 / config.open_rate_qps.max(1.0),
+                    );
+                    if let Some(wait) = due.checked_sub(started.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                let t = tenant_seq[i];
+                let acc = &accs[t];
+                let cq = &tenant_queries[t][i % tenant_queries[t].len()];
+                let name = format!("t{t}");
+                // Alternate the two paper select forms.
+                let outcome = if i.is_multiple_of(2) {
+                    service.petq(&name, &EqQuery::new(cq.q.clone(), cq.tau))
+                } else {
+                    service.top_k(&name, &TopKQuery::new(cq.q.clone(), cq.k))
+                };
+                match outcome {
+                    Ok(out) => {
+                        acc.completed.fetch_add(1, Ordering::Relaxed);
+                        acc.waits
+                            .fetch_add(out.metrics.admission_waits, Ordering::Relaxed);
+                        acc.hist
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .record(out.wall_ns);
+                    }
+                    Err(ServiceError::Rejected { .. }) => {
+                        acc.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        let mut slot = failure
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if slot.is_none() {
+                            *slot = Some(match e {
+                                ServiceError::Storage(source) => BenchError::Storage {
+                                    context: "service drive query",
+                                    source,
+                                },
+                                other => BenchError::Schema {
+                                    detail: format!("service drive query: {other}"),
+                                },
+                            });
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(e);
+    }
+
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    Ok(accs
+        .into_iter()
+        .enumerate()
+        .map(|(t, acc)| {
+            let completed = acc.completed.into_inner();
+            TenantRun {
+                loop_mode,
+                tenant: format!("t{t}"),
+                completed,
+                rejected: acc.rejected.into_inner(),
+                waits: acc.waits.into_inner(),
+                qps: completed as f64 / elapsed,
+                hist: acc
+                    .hist
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            }
+        })
+        .collect())
+}
+
+/// Run the hot tenant's top-k workload sequentially, floor shared vs
+/// floor off, and report postings scanned by each.
+fn measure_floor(
+    service: &QueryService,
+    queries: &[CalibratedQuery],
+) -> BenchResult<FloorComparison> {
+    let mut counts = [0u64; 2];
+    for (slot, floored) in [(0usize, true), (1usize, false)] {
+        service.set_cross_shard_floor(floored);
+        for cq in queries {
+            let out = service
+                .top_k("t0", &TopKQuery::new(cq.q.clone(), cq.k))
+                .map_err(service_err("floor comparison top-k"))?;
+            counts[slot] += out.metrics.postings_scanned;
+        }
+    }
+    service.set_cross_shard_floor(true);
+    Ok(FloorComparison {
+        floored_postings: counts[0],
+        floorless_postings: counts[1],
+    })
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Serialize a report to the schema-versioned JSON artifact shape.
+pub fn report_to_json(report: &ServiceReport) -> Json {
+    let runs = report
+        .runs
+        .iter()
+        .map(|run| {
+            Json::Obj(vec![
+                ("loop".into(), Json::Str(run.loop_mode.into())),
+                ("tenant".into(), Json::Str(run.tenant.clone())),
+                ("completed".into(), Json::Num(run.completed as f64)),
+                ("rejected".into(), Json::Num(run.rejected as f64)),
+                ("waits".into(), Json::Num(run.waits as f64)),
+                ("qps".into(), Json::Num(run.qps)),
+                ("mean_us".into(), Json::Num(run.hist.mean_ns() / 1_000.0)),
+                ("p50_us".into(), Json::Num(us(run.hist.p50_ns()))),
+                ("p95_us".into(), Json::Num(us(run.hist.p95_ns()))),
+                ("p99_us".into(), Json::Num(us(run.hist.p99_ns()))),
+                ("max_us".into(), Json::Num(us(run.hist.max_ns()))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "schema_version".into(),
+            Json::Num(SERVICE_SCHEMA_VERSION as f64),
+        ),
+        ("dataset".into(), Json::Str("crm1".into())),
+        ("tuples".into(), Json::Num(report.tuples as f64)),
+        ("tenants".into(), Json::Num(report.config.tenants as f64)),
+        ("shards".into(), Json::Num(report.config.shards as f64)),
+        (
+            "concurrency".into(),
+            Json::Num(report.config.concurrency as f64),
+        ),
+        ("ops".into(), Json::Num(report.config.ops as f64)),
+        ("zipf_s".into(), Json::Num(TENANT_SKEW)),
+        ("runs".into(), Json::Arr(runs)),
+        (
+            "floor".into(),
+            Json::Obj(vec![
+                (
+                    "floored_postings".into(),
+                    Json::Num(report.floor.floored_postings as f64),
+                ),
+                (
+                    "floorless_postings".into(),
+                    Json::Num(report.floor.floorless_postings as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Validate a parsed `BENCH_service.json` document: version match,
+/// required keys, both loop shapes covered, every tenant completing
+/// work, quantile monotonicity, and the cross-shard floor scanning
+/// strictly fewer postings than floorless sharding.
+pub fn validate_report(doc: &Json) -> BenchResult<()> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| BenchError::schema("missing schema_version"))?;
+    if version != SERVICE_SCHEMA_VERSION as f64 {
+        return Err(BenchError::schema(format!(
+            "schema_version {version} != {SERVICE_SCHEMA_VERSION}"
+        )));
+    }
+    for key in [
+        "dataset",
+        "tuples",
+        "tenants",
+        "shards",
+        "concurrency",
+        "ops",
+        "zipf_s",
+    ] {
+        if doc.get(key).is_none() {
+            return Err(BenchError::schema(format!("missing top-level key {key:?}")));
+        }
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| BenchError::schema("missing runs array"))?;
+    if runs.is_empty() {
+        return Err(BenchError::schema("runs array is empty"));
+    }
+    let mut saw_closed = false;
+    let mut saw_open = false;
+    for (i, run) in runs.iter().enumerate() {
+        match run.get("loop").and_then(Json::as_str) {
+            Some("closed") => saw_closed = true,
+            Some("open") => saw_open = true,
+            other => return Err(BenchError::schema(format!("run {i}: bad loop {other:?}"))),
+        }
+        if run.get("tenant").and_then(Json::as_str).is_none() {
+            return Err(BenchError::schema(format!("run {i}: missing tenant")));
+        }
+        let num = |key: &str| -> BenchResult<f64> {
+            run.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| BenchError::schema(format!("run {i}: missing number {key:?}")))
+        };
+        if num("completed")? <= 0.0 {
+            return Err(BenchError::schema(format!(
+                "run {i}: every tenant must complete at least one query"
+            )));
+        }
+        num("rejected")?;
+        num("waits")?;
+        if num("qps")? <= 0.0 {
+            return Err(BenchError::schema(format!("run {i}: qps must be > 0")));
+        }
+        let (p50, p95, p99, max) = (
+            num("p50_us")?,
+            num("p95_us")?,
+            num("p99_us")?,
+            num("max_us")?,
+        );
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            return Err(BenchError::schema(format!(
+                "run {i}: quantiles not monotone (p50={p50} p95={p95} p99={p99} max={max})"
+            )));
+        }
+    }
+    if !saw_closed || !saw_open {
+        return Err(BenchError::schema(
+            "runs must cover both the closed and open loops",
+        ));
+    }
+    let floor = doc
+        .get("floor")
+        .ok_or_else(|| BenchError::schema("missing floor comparison"))?;
+    let floored = floor
+        .get("floored_postings")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| BenchError::schema("floor: missing floored_postings"))?;
+    let floorless = floor
+        .get("floorless_postings")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| BenchError::schema("floor: missing floorless_postings"))?;
+    if floored >= floorless || floored.is_nan() || floorless.is_nan() {
+        return Err(BenchError::schema(format!(
+            "cross-shard floor must scan strictly fewer postings \
+             (floored={floored} floorless={floorless})"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServiceReport {
+        let mut h = LatencyHistogram::new();
+        for ns in [1_000, 2_000, 4_000, 50_000] {
+            h.record(ns);
+        }
+        let run = |loop_mode, tenant: &str| TenantRun {
+            loop_mode,
+            tenant: tenant.to_string(),
+            completed: 4,
+            rejected: 1,
+            waits: 2,
+            qps: 123.4,
+            hist: h.clone(),
+        };
+        ServiceReport {
+            config: ServiceBenchConfig::quick(),
+            tuples: 100,
+            runs: vec![
+                run("closed", "t0"),
+                run("closed", "t1"),
+                run("open", "t0"),
+                run("open", "t1"),
+            ],
+            floor: FloorComparison {
+                floored_postings: 900,
+                floorless_postings: 1_400,
+            },
+        }
+    }
+
+    /// Structural only: a synthetic report must serialize to a document
+    /// its own validator accepts, and survive a parse round trip.
+    #[test]
+    fn synthetic_report_roundtrips_and_validates() {
+        let doc = report_to_json(&report());
+        validate_report(&doc).expect("own artifact validates");
+        let reparsed = Json::parse(&doc.render_pretty()).expect("parse artifact");
+        validate_report(&reparsed).expect("reparsed artifact validates");
+    }
+
+    #[test]
+    fn validator_rejects_floorless_wins_and_missing_loops() {
+        // Floor not strictly better → reject.
+        let mut flat = report();
+        flat.floor.floored_postings = flat.floor.floorless_postings;
+        assert!(matches!(
+            validate_report(&report_to_json(&flat)),
+            Err(BenchError::Schema { .. })
+        ));
+
+        // Only one loop shape → reject.
+        let mut one_loop = report();
+        one_loop.runs.retain(|r| r.loop_mode == "closed");
+        assert!(validate_report(&report_to_json(&one_loop)).is_err());
+
+        // Wrong version → reject.
+        let mut doc = report_to_json(&report());
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Num(999.0);
+        }
+        assert!(validate_report(&doc).is_err());
+    }
+
+    /// End-to-end at a tiny scale: the sweep's own artifact validates,
+    /// which pins the floored < floorless pruning inequality too.
+    #[test]
+    fn tiny_sweep_validates() {
+        let scale = Scale {
+            crm_n: 2_000,
+            synth_n: 500,
+            queries: 2,
+            seed: 42,
+        };
+        let config = ServiceBenchConfig {
+            tenants: 2,
+            shards: 2,
+            concurrency: 2,
+            ops: 24,
+            open_rate_qps: 2_000.0,
+        };
+        let report = service_sweep(&scale, &config).expect("sweep runs");
+        validate_report(&report_to_json(&report)).expect("artifact validates");
+    }
+}

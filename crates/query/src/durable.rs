@@ -213,9 +213,8 @@ impl LogRecord {
         let u64_at = |b: &[u8]| -> Result<u64> {
             Ok(u64::from_le_bytes(
                 b.get(..8)
-                    .ok_or(StorageError::Corrupt("log record too short"))?
-                    .try_into()
-                    .expect("length checked"),
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or(StorageError::Corrupt("log record too short"))?,
             ))
         };
         match tag {
@@ -295,18 +294,16 @@ fn parse_journal(records: &[Vec<u8>]) -> Option<JournalImage> {
     if header.len() != 1 + 8 + 8 + 4 || header[0] != J_HEADER {
         return None;
     }
-    let base_epoch = u64::from_le_bytes(header[1..9].try_into().expect("length checked"));
-    let new_epoch = u64::from_le_bytes(header[9..17].try_into().expect("length checked"));
-    let count = u32::from_le_bytes(header[17..21].try_into().expect("length checked")) as usize;
+    let base_epoch = u64::from_le_bytes(header[1..9].try_into().ok()?);
+    let new_epoch = u64::from_le_bytes(header[9..17].try_into().ok()?);
+    let count = u32::from_le_bytes(header[17..21].try_into().ok()?) as usize;
     let mut pages = Vec::with_capacity(count.min(records.len()));
     for _ in 0..count {
         let rec = it.next()?;
         if rec.len() != 1 + 8 + PAGE_SIZE || rec[0] != J_PAGE {
             return None;
         }
-        let pid = PageId(u64::from_le_bytes(
-            rec[1..9].try_into().expect("length checked"),
-        ));
+        let pid = PageId(u64::from_le_bytes(rec[1..9].try_into().ok()?));
         let mut buf = uncat_storage::page::zeroed_page();
         buf.copy_from_slice(&rec[9..]);
         pages.push((pid, buf));
@@ -350,7 +347,11 @@ fn unwrap_blob(blob: &[u8]) -> Result<(u64, &[u8])> {
     if blob.len() < 12 || &blob[..4] != WRAP_MAGIC {
         return Err(StorageError::Corrupt("snapshot wrapper: bad magic"));
     }
-    let epoch = u64::from_le_bytes(blob[4..12].try_into().expect("length checked"));
+    let epoch = u64::from_le_bytes(
+        blob[4..12]
+            .try_into()
+            .map_err(|_| StorageError::Corrupt("snapshot wrapper: bad epoch"))?,
+    );
     Ok((epoch, &blob[12..]))
 }
 
@@ -708,6 +709,13 @@ impl<B: MutableBackend> DurableIndex<B> {
                     replayed += 1;
                 }
                 idx.mutations_since_checkpoint = replayed;
+                if replayed > 0 {
+                    // The snapshot's statistics describe the pre-crash
+                    // checkpoint, not the state replay just rebuilt;
+                    // without a refresh, `Strategy::Auto` would plan
+                    // against stale counts until the next checkpoint.
+                    idx.backend.refresh_stats();
+                }
             }
         }
         idx.replayed_records = replayed;

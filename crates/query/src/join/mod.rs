@@ -23,7 +23,7 @@ pub use nested_loop::{
     block_top_k_pej, block_top_k_pej_metered, index_nested_loop_petj,
     index_nested_loop_petj_metered,
 };
-pub use parallel::{parallel_join, JoinOutcome};
+pub use parallel::{parallel_join, parallel_join_with_floor, JoinOutcome, SharedFloor};
 
 use uncat_core::query::{DstQuery, Match, TopKQuery};
 use uncat_core::topk::TopKHeap;

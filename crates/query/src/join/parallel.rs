@@ -26,15 +26,16 @@
 //! `PoolHandle` contract), so the summed [`QueryMetrics`] equals the
 //! join's true cost in either mode.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
 use uncat_core::Uda;
 use uncat_storage::{BufferPool, QueryMetrics, Result, SharedStore, StorageError};
 
 use crate::index_trait::UncertainIndex;
-use crate::parallel::BatchPools;
+use crate::parallel::{lock_recover, BatchPools};
 
 use super::{sort_pairs_asc, sort_pairs_desc, JoinPair, JoinSpec};
 
@@ -58,26 +59,56 @@ impl JoinOutcome {
     }
 }
 
-/// The shared PEJ-top-k floor. Scores are probabilities (non-negative),
-/// so `fetch_max` over the raw bits is `fetch_max` over the values.
-struct SharedFloor(AtomicU64);
+/// A monotonically rising PEJ-top-k score floor shared across concurrent
+/// probes. Scores are probabilities (non-negative), so `fetch_max` over
+/// the raw bits is `fetch_max` over the values.
+///
+/// One floor normally serves one join (see [`parallel_join`]), but any
+/// caller that splits a top-k computation across executions whose result
+/// sets it will merge — the sharded scatter-gather service shares one
+/// floor across every shard probe — can pass its own instance to
+/// [`parallel_join_with_floor`] or seed probes directly with
+/// [`SharedFloor::get`]. Exactness only requires that every published
+/// score is a lower bound on the final k-th best of the *merged* result.
+pub struct SharedFloor(AtomicU64);
 
 impl SharedFloor {
-    fn new() -> SharedFloor {
+    /// A floor of zero: prunes nothing until first raised.
+    pub fn new() -> SharedFloor {
         SharedFloor(AtomicU64::new(0.0f64.to_bits()))
     }
 
-    fn get(&self) -> f64 {
+    /// The current floor.
+    pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Acquire))
     }
 
     /// Raise the floor to `score` if it is higher than the current floor.
     /// Never lowers it, and ignores non-finite scores (a NaN from a
     /// corrupt page must not poison every other worker's pruning).
-    fn raise(&self, score: f64) {
+    pub fn raise(&self, score: f64) {
         if score > 0.0 && score.is_finite() {
             self.0.fetch_max(score.to_bits(), Ordering::AcqRel);
         }
+    }
+}
+
+impl Default for SharedFloor {
+    fn default() -> SharedFloor {
+        SharedFloor::new()
+    }
+}
+
+/// Record a worker failure, keeping the lowest-indexed one so the error
+/// a join reports is deterministic regardless of scheduling.
+fn record_error(error: &Mutex<Option<(usize, StorageError)>>, i: usize, e: StorageError) {
+    let mut slot = lock_recover(error);
+    let replace = match &*slot {
+        Some((j, _)) => i < *j,
+        None => true,
+    };
+    if replace {
+        *slot = Some((i, e));
     }
 }
 
@@ -105,6 +136,34 @@ pub fn parallel_join<I: UncertainIndex + Sync>(
     spec: JoinSpec,
     threads: usize,
 ) -> Result<JoinOutcome> {
+    parallel_join_with_floor(
+        outer,
+        inner,
+        store,
+        pools,
+        spec,
+        threads,
+        &SharedFloor::new(),
+    )
+}
+
+/// [`parallel_join`] against an external, possibly pre-raised
+/// [`SharedFloor`]. The sharded scatter-gather executor passes one floor
+/// to every shard's join so a floor proven on a warm shard prunes the
+/// probes of every other shard; the floor is read and raised only by
+/// PEJ-top-k probes (the threshold forms carry their own bound in the
+/// spec). Sharing a floor across joins is exact as long as the caller
+/// merges (and re-truncates) the joins' pair sets, because each published
+/// score then lower-bounds the merged k-th best.
+pub fn parallel_join_with_floor<I: UncertainIndex + Sync>(
+    outer: &[(u64, Uda)],
+    inner: &I,
+    store: &SharedStore,
+    pools: &BatchPools,
+    spec: JoinSpec,
+    threads: usize,
+    floor: &SharedFloor,
+) -> Result<JoinOutcome> {
     assert!(threads >= 1, "need at least one worker");
     if let JoinSpec::PejTopK { k: 0 } = spec {
         return Ok(JoinOutcome {
@@ -114,63 +173,70 @@ pub fn parallel_join<I: UncertainIndex + Sync>(
     }
 
     let next = AtomicUsize::new(0);
-    let floor = SharedFloor::new();
     let error: Mutex<Option<(usize, StorageError)>> = Mutex::new(None);
     let parts: Mutex<Vec<WorkerPart>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(outer.len().max(1)) {
             scope.spawn(|| {
-                let mut pool = pools.pool(store);
-                let mut metrics = QueryMetrics::new();
-                let mut local: Vec<JoinPair> = Vec::new();
-                loop {
-                    if error.lock().expect("error slot").is_some() {
-                        break; // another worker already failed the join
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= outer.len() {
-                        break;
-                    }
-                    let (ltid, luda) = &outer[i];
-                    if let Err(e) = probe_one(
-                        spec,
-                        inner,
-                        &mut pool,
-                        *ltid,
-                        luda,
-                        &floor,
-                        &mut local,
-                        &mut metrics,
-                    ) {
-                        let mut slot = error.lock().expect("error slot");
-                        let replace = match &*slot {
-                            Some((j, _)) => i < *j,
-                            None => true,
-                        };
-                        if replace {
-                            *slot = Some((i, e));
+                // A panic anywhere in the probe path (an index bug, a
+                // poisoned lock observed mid-update) fails this *join*
+                // with a typed error; it must never unwind through the
+                // scope and take the process down with it.
+                let worker = AssertUnwindSafe(|| {
+                    let mut pool = pools.pool(store);
+                    let mut metrics = QueryMetrics::new();
+                    let mut local: Vec<JoinPair> = Vec::new();
+                    loop {
+                        if lock_recover(&error).is_some() {
+                            break; // another worker already failed the join
                         }
-                        break;
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= outer.len() {
+                            break;
+                        }
+                        let (ltid, luda) = &outer[i];
+                        if let Err(e) = probe_one(
+                            spec,
+                            inner,
+                            &mut pool,
+                            *ltid,
+                            luda,
+                            floor,
+                            &mut local,
+                            &mut metrics,
+                        ) {
+                            record_error(&error, i, e);
+                            break;
+                        }
                     }
-                }
-                // Exact per-worker I/O: a private pool counts only this
-                // worker; a shared-pool handle meters per handle.
-                metrics.io = pool.stats();
-                parts.lock().expect("parts").push(WorkerPart {
-                    pairs: local,
-                    metrics,
+                    // Exact per-worker I/O: a private pool counts only this
+                    // worker; a shared-pool handle meters per handle.
+                    metrics.io = pool.stats();
+                    lock_recover(&parts).push(WorkerPart {
+                        pairs: local,
+                        metrics,
+                    });
                 });
+                if catch_unwind(worker).is_err() {
+                    // usize::MAX orders the panic after every real error:
+                    // a deterministic storage failure, when present, wins.
+                    record_error(&error, usize::MAX, StorageError::Poisoned);
+                }
             });
         }
     });
 
-    if let Some((_, e)) = error.into_inner().expect("error slot") {
+    if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(e);
     }
     let mut pairs = Vec::new();
     let mut metrics = QueryMetrics::new();
-    for part in parts.into_inner().expect("parts") {
+    // No recorded error, so no worker panicked while holding this lock;
+    // a poisoned lock here is unreachable, but degrade to a typed error
+    // rather than panicking if it ever happens.
+    let collected = parts.into_inner().map_err(|_| StorageError::Poisoned)?;
+    for part in collected {
         pairs.extend(part.pairs);
         metrics.merge(&part.metrics);
     }

@@ -10,11 +10,14 @@
 //! `Result`, so one bad page fails one slot of the batch while every other
 //! query still completes.
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use uncat_core::query::{DstQuery, EqQuery, TopKQuery};
 use uncat_storage::trace::{Clock, Phase, QueryTrace, Tracer};
-use uncat_storage::{BufferPool, QueryMetrics, Result, SharedBufferPool, SharedStore};
+use uncat_storage::{
+    BufferPool, QueryMetrics, Result, SharedBufferPool, SharedStore, StorageError,
+};
 
 use crate::executor::QueryOutcome;
 use crate::index_trait::UncertainIndex;
@@ -65,11 +68,36 @@ impl BatchPools {
     }
 }
 
+/// Lock a worker-shared mutex, recovering the data from a poisoned lock.
+/// Every guarded update in this crate's batch machinery is a single
+/// assignment or push that cannot be observed half-done, so the data is
+/// still well-formed; the panic that poisoned the lock surfaces as a
+/// typed [`StorageError::Poisoned`] on the affected queries instead of
+/// cascading panics across workers.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extra attempts a batch slot gets when the shared pool momentarily has
+/// every frame pinned by concurrent handles ([`StorageError::PoolExhausted`]).
+/// Contention like that is transient — handles unpin as their reads
+/// complete — so a bounded retry turns a scheduling accident into a
+/// slightly slower answer. Persistent exhaustion (a pool genuinely too
+/// small for one query's working set) still fails after the last attempt.
+const POOL_EXHAUSTED_RETRIES: usize = 2;
+
 /// Run `f` once per query on `threads` workers; results come back in
 /// input order, one `Result` per query. Each query runs against a pool
 /// from `pools` (private per query, or a handle onto the batch's shared
 /// pool) and populates a private [`QueryMetrics`] (never shared across
 /// threads), so per-query counters are exact regardless of scheduling.
+///
+/// A query that fails with [`StorageError::PoolExhausted`] is retried up
+/// to [`POOL_EXHAUSTED_RETRIES`] times, each attempt against a **fresh
+/// pool and fresh metrics**: the abandoned attempt's counters — including
+/// any `plan_fallbacks` its adaptive executor ticked before dying — never
+/// leak into the outcome, so [`batch_metrics`] stays per-attempt-exact
+/// (it describes exactly the executions whose results were returned).
 fn run_batch<Q, I, F>(
     index: &I,
     store: &SharedStore,
@@ -89,43 +117,64 @@ where
     let mut out: Vec<Option<Result<QueryOutcome>>> = Vec::with_capacity(queries.len());
     out.resize_with(queries.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_cells: Vec<std::sync::Mutex<&mut Option<Result<QueryOutcome>>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
+    let out_cells: Vec<Mutex<&mut Option<Result<QueryOutcome>>>> =
+        out.iter_mut().map(Mutex::new).collect();
+
+    let run_one = |q: &Q| -> Result<QueryOutcome> {
+        let mut attempt = 0;
+        loop {
+            let mut pool = pools.pool(store);
+            if let Some(clock) = clock {
+                // Workers share one clock but each query records into
+                // its own tracer — per-query traces are exact, and
+                // their histograms merge exactly (additivity, like
+                // the counters).
+                pool.set_tracer(Tracer::enabled(clock.clone()));
+            }
+            let root = pool.trace_begin(Phase::Query);
+            let mut metrics = QueryMetrics::new();
+            let outcome = f(index, &mut pool, q, &mut metrics).map(|matches| {
+                pool.trace_end(root);
+                metrics.io = pool.stats();
+                QueryOutcome {
+                    matches,
+                    io: pool.stats(),
+                    metrics,
+                    trace: pool.take_trace(),
+                }
+            });
+            match outcome {
+                Err(StorageError::PoolExhausted) if attempt < POOL_EXHAUSTED_RETRIES => {
+                    attempt += 1;
+                }
+                done => return done,
+            }
+        }
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(queries.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= queries.len() {
-                    break;
-                }
-                let mut pool = pools.pool(store);
-                if let Some(clock) = clock {
-                    // Workers share one clock but each query records into
-                    // its own tracer — per-query traces are exact, and
-                    // their histograms merge exactly (additivity, like
-                    // the counters).
-                    pool.set_tracer(Tracer::enabled(clock.clone()));
-                }
-                let root = pool.trace_begin(Phase::Query);
-                let mut metrics = QueryMetrics::new();
-                let outcome = f(index, &mut pool, &queries[i], &mut metrics).map(|matches| {
-                    pool.trace_end(root);
-                    metrics.io = pool.stats();
-                    QueryOutcome {
-                        matches,
-                        io: pool.stats(),
-                        metrics,
-                        trace: pool.take_trace(),
+            scope.spawn(|| {
+                // A panicking query must fail its own batch slot, not the
+                // process: catch the unwind, leave the cell for the
+                // post-scope sweep to fill with a typed error, and let
+                // the worker die quietly (its remaining slots are picked
+                // up by the other workers via the shared cursor).
+                let worker = AssertUnwindSafe(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
                     }
+                    let outcome = run_one(&queries[i]);
+                    **lock_recover(&out_cells[i]) = Some(outcome);
                 });
-                **out_cells[i].lock().expect("cell lock") = Some(outcome);
+                let _ = catch_unwind(worker);
             });
         }
     });
     drop(out_cells);
     out.into_iter()
-        .map(|o| o.expect("every query executed"))
+        .map(|o| o.unwrap_or(Err(StorageError::Poisoned)))
         .collect()
 }
 
@@ -431,6 +480,191 @@ mod tests {
         // Per-handle attribution sums to the pool's aggregate.
         let agg = pools.shared_pool().unwrap().stats();
         assert_eq!(agg.physical_reads, shared_reads);
+    }
+
+    #[test]
+    fn pool_exhausted_retry_is_per_attempt_exact() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..50u64)
+            .map(|i| (i, uda(&[((i % 3) as u32, 1.0)])))
+            .collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 64);
+        let idx = crate::InvertedBackend::new(
+            InvertedIndex::build(
+                Domain::anonymous(3),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap(),
+        );
+        pool.flush().unwrap();
+        drop(pool);
+
+        // Queries are slot indexes; each slot's first attempt ticks a
+        // counter and then dies with PoolExhausted, and every attempt
+        // ticks `plan_fallbacks`. Per-attempt exactness means the tick
+        // from the abandoned attempt never reaches the outcome.
+        let queries: Vec<usize> = (0..6).collect();
+        let attempts: Vec<AtomicUsize> = queries.iter().map(|_| AtomicUsize::new(0)).collect();
+        let pools = BatchPools::private(50);
+        let out = run_batch(&idx, &store, &pools, &queries, 3, None, |i, p, q, m| {
+            m.plan_fallbacks += 1;
+            if attempts[*q].fetch_add(1, Ordering::Relaxed) == 0 && *q != 0 {
+                return Err(StorageError::PoolExhausted);
+            }
+            i.petq_metered(p, &EqQuery::new(uda(&[(0, 1.0)]), 0.5), m)
+        });
+        for (q, o) in queries.iter().zip(&out) {
+            let o = o.as_ref().expect("retry must succeed");
+            assert_eq!(
+                o.metrics.plan_fallbacks, 1,
+                "slot {q}: the failed attempt's counters leaked into the outcome"
+            );
+            let expected = if *q == 0 { 1 } else { 2 };
+            assert_eq!(attempts[*q].load(Ordering::Relaxed), expected);
+        }
+        assert_eq!(
+            batch_metrics(&out).plan_fallbacks,
+            queries.len() as u64,
+            "batch sum counts exactly the returned executions"
+        );
+    }
+
+    #[test]
+    fn pool_exhausted_gives_up_after_bounded_retries() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..20u64).map(|i| (i, uda(&[(0, 1.0)]))).collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 64);
+        let idx = crate::InvertedBackend::new(
+            InvertedIndex::build(
+                Domain::anonymous(1),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap(),
+        );
+        pool.flush().unwrap();
+        drop(pool);
+
+        let attempts = AtomicUsize::new(0);
+        let queries = [0usize];
+        let pools = BatchPools::private(50);
+        let out = run_batch(&idx, &store, &pools, &queries, 1, None, |_, _, _, _| {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err(StorageError::PoolExhausted)
+        });
+        assert!(matches!(out[0], Err(StorageError::PoolExhausted)));
+        assert_eq!(
+            attempts.load(Ordering::Relaxed),
+            POOL_EXHAUSTED_RETRIES + 1,
+            "one initial attempt plus the bounded retries"
+        );
+    }
+
+    #[test]
+    fn panicking_query_fails_its_slot_only() {
+        let store = InMemoryDisk::shared();
+        let data: Vec<(u64, Uda)> = (0..50u64)
+            .map(|i| (i, uda(&[((i % 3) as u32, 1.0)])))
+            .collect();
+        let mut pool = BufferPool::with_capacity(store.clone(), 64);
+        let idx = crate::InvertedBackend::new(
+            InvertedIndex::build(
+                Domain::anonymous(3),
+                &mut pool,
+                data.iter().map(|(t, u)| (*t, u)),
+            )
+            .unwrap(),
+        );
+        pool.flush().unwrap();
+        drop(pool);
+
+        let queries: Vec<usize> = (0..8).collect();
+        let pools = BatchPools::private(50);
+        let out = run_batch(&idx, &store, &pools, &queries, 3, None, |i, p, q, m| {
+            assert_ne!(*q, 2, "injected query bug");
+            i.petq_metered(p, &EqQuery::new(uda(&[(0, 1.0)]), 0.5), m)
+        });
+        for (q, o) in queries.iter().zip(&out) {
+            if *q == 2 {
+                assert!(
+                    matches!(o, Err(StorageError::Poisoned)),
+                    "the panicking slot surfaces as a typed error"
+                );
+            } else {
+                assert!(o.is_ok(), "slot {q} must survive a neighbor's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_probe_fails_the_join_not_the_process() {
+        use crate::join::{parallel_join, JoinSpec};
+        use uncat_core::query::{DsTopKQuery, Match};
+
+        /// An index whose every probe panics — a stand-in for an index
+        /// bug surfacing mid-join.
+        struct Panicky;
+        impl UncertainIndex for Panicky {
+            fn petq_metered(
+                &self,
+                _: &mut BufferPool,
+                _: &EqQuery,
+                _: &mut QueryMetrics,
+            ) -> Result<Vec<Match>> {
+                panic!("injected probe bug");
+            }
+            fn top_k_metered(
+                &self,
+                _: &mut BufferPool,
+                _: &TopKQuery,
+                _: &mut QueryMetrics,
+            ) -> Result<Vec<Match>> {
+                panic!("injected probe bug");
+            }
+            fn dstq_metered(
+                &self,
+                _: &mut BufferPool,
+                _: &DstQuery,
+                _: &mut QueryMetrics,
+            ) -> Result<Vec<Match>> {
+                panic!("injected probe bug");
+            }
+            fn ds_top_k_metered(
+                &self,
+                _: &mut BufferPool,
+                _: &DsTopKQuery,
+                _: &mut QueryMetrics,
+            ) -> Result<Vec<Match>> {
+                panic!("injected probe bug");
+            }
+            fn tuple_count(&self) -> u64 {
+                1
+            }
+            fn backend_name(&self) -> &'static str {
+                "panicky"
+            }
+        }
+
+        let store = InMemoryDisk::shared();
+        let outer: Vec<(u64, Uda)> = (0..4u64).map(|i| (i, uda(&[(0, 1.0)]))).collect();
+        let pools = BatchPools::private(50);
+        let out = parallel_join(
+            &outer,
+            &Panicky,
+            &store,
+            &pools,
+            JoinSpec::Petj { tau: 0.5 },
+            2,
+        );
+        assert!(
+            matches!(out, Err(StorageError::Poisoned)),
+            "a probe panic must fail the join with a typed error"
+        );
     }
 
     #[test]

@@ -46,13 +46,13 @@ impl ScanBaseline {
             if decode_err.is_some() {
                 return;
             }
-            let Some(header) = bytes.get(..8) else {
+            let Some(header) = bytes.get(..8).and_then(|s| <[u8; 8]>::try_from(s).ok()) else {
                 decode_err = Some(StorageError::Corrupt(
                     "tuple record shorter than its tid header",
                 ));
                 return;
             };
-            let tid = u64::from_le_bytes(header.try_into().expect("8-byte slice"));
+            let tid = u64::from_le_bytes(header);
             match codec::decode(&bytes[8..]) {
                 Ok((uda, _)) => f(tid, &uda),
                 Err(_) => decode_err = Some(StorageError::Corrupt("stored UDA does not decode")),

@@ -1,0 +1,57 @@
+//! Typed service-level failures.
+
+use std::fmt;
+
+use uncat_storage::StorageError;
+
+/// What can go wrong between a request arriving at the service and a
+/// query outcome coming back.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request named a tenant the service has never registered.
+    UnknownTenant(String),
+    /// Admission control turned the request away: the tenant was at its
+    /// frame quota *and* its wait queue was full. The caller may retry;
+    /// the rejection is counted in the tenant's aggregate
+    /// `admission_rejects`.
+    Rejected {
+        /// The tenant whose quota rejected the request.
+        tenant: String,
+    },
+    /// The query was admitted but its execution failed in the storage or
+    /// index layer.
+    Storage(StorageError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(name) => write!(f, "unknown tenant: {name}"),
+            ServiceError::Rejected { tenant } => {
+                write!(
+                    f,
+                    "admission rejected: tenant {tenant} is at quota with a full queue"
+                )
+            }
+            ServiceError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ServiceError {
+    fn from(e: StorageError) -> ServiceError {
+        ServiceError::Storage(e)
+    }
+}
+
+/// Service-level result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;

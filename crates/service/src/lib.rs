@@ -1,0 +1,36 @@
+//! Multi-tenant sharded query service over the uncertain-data indexes.
+//!
+//! A [`QueryService`] is the long-lived deployment shape of this
+//! workspace: many named tenants, each a horizontally partitioned
+//! dataset (hash on tuple id, [`shard_of`]) indexed shard-by-shard with
+//! either paper index, all reading through **one** lock-striped
+//! [`uncat_storage::SharedBufferPool`]. What keeps tenants honest is
+//! admission control, not the pool: every query reserves its tenant's
+//! per-query frame charge at an [`Admission`] gate before touching a
+//! page, waits in a bounded queue when the tenant is at quota, and is
+//! rejected (typed, counted) when the queue is full too.
+//!
+//! Execution is scatter-gather and *exact*: threshold queries
+//! concatenate shard results (the shards partition the tuple ids),
+//! top-k forms share a rising score floor across shard probes
+//! ([`uncat_query::join::SharedFloor`]) and merge-then-truncate — a
+//! shard's proven k-th best lower-bounds the merged k-th best, so the
+//! floor prunes postings on later shards without changing the answer.
+//! Per-shard [`uncat_storage::QueryMetrics`] and latency traces merge
+//! additively, exactly like batch execution, so a sharded query's
+//! counters are directly comparable to the single-index plan's.
+//!
+//! See `docs/SERVICE.md` for the full design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod error;
+mod service;
+mod tenant;
+
+pub use admission::{Admission, AdmitGuard};
+pub use error::{Result, ServiceError};
+pub use service::{shard_of, QueryService, ServiceConfig, ServiceJoinOutcome, ServiceOutcome};
+pub use tenant::{TenantConfig, TenantStats};

@@ -1,0 +1,522 @@
+//! The query service: named tenants, sharded datasets, scatter-gather
+//! execution over one shared buffer pool.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+use uncat_core::query::{sort_matches_asc, sort_matches_desc, DstQuery, EqQuery, Match, TopKQuery};
+use uncat_core::{Domain, Uda};
+use uncat_inverted::{InvertedIndex, Strategy};
+use uncat_pdrtree::{PdrConfig, PdrTree};
+use uncat_query::join::{parallel_join_with_floor, JoinPair, JoinSpec, SharedFloor};
+use uncat_query::parallel::BatchPools;
+use uncat_query::{InvertedBackend, UncertainIndex};
+use uncat_storage::trace::{Clock, MonotonicClock, Phase, QueryTrace, Tracer};
+use uncat_storage::{
+    BufferPool, IoStats, QueryMetrics, SharedBufferPool, SharedStore, StorageError,
+};
+
+use crate::error::{Result, ServiceError};
+use crate::tenant::{Tenant, TenantConfig, TenantStats};
+
+/// Frames used to build a tenant's shards (a private pool per shard
+/// build, released immediately after the flush).
+const BUILD_FRAMES: usize = 128;
+
+/// Which shard owns tuple `tid` when a dataset is split `shards` ways.
+///
+/// SplitMix64 on the tid: tenants routinely use dense sequential tids,
+/// and a plain modulus would put every residue class on one shard. The
+/// function is part of the service's contract — clients that pre-split
+/// data (or tests that predict placement) must agree with the service.
+pub fn shard_of(tid: u64, shards: usize) -> usize {
+    assert!(shards >= 1, "a dataset has at least one shard");
+    let mut z = tid.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+/// Service-wide provisioning.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Frames in the one shared lock-striped pool every tenant reads
+    /// through.
+    pub total_frames: usize,
+    /// Lock stripes in the shared pool.
+    pub pool_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            total_frames: 1024,
+            pool_shards: 8,
+        }
+    }
+}
+
+/// One select query's result, as the service returns it.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// Matches in the query form's canonical order, exact across every
+    /// shard (tid-identical to the unsharded plan).
+    pub matches: Vec<Match>,
+    /// Per-shard counters merged (additively, as in batch execution),
+    /// plus this query's admission stamp.
+    pub metrics: QueryMetrics,
+    /// Merged per-shard latency trace, when tracing is enabled.
+    pub trace: Option<QueryTrace>,
+    /// End-to-end wall time, admission wait included.
+    pub wall_ns: u64,
+}
+
+/// One join's result, as the service returns it.
+#[derive(Debug)]
+pub struct ServiceJoinOutcome {
+    /// Joined pairs in the spec's canonical order.
+    pub pairs: Vec<JoinPair>,
+    /// Counters merged over every shard's join.
+    pub metrics: QueryMetrics,
+    /// End-to-end wall time, admission wait included.
+    pub wall_ns: u64,
+}
+
+/// What one shard probe produced, before the gather.
+type ShardPart = (Vec<Match>, QueryMetrics, Option<QueryTrace>);
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A long-lived, multi-tenant query service.
+///
+/// Every tenant's shards live in one [`SharedStore`] and read through
+/// one lock-striped [`SharedBufferPool`]; per-tenant frame quotas (an
+/// [`crate::Admission`] gate per tenant) decide *admission*, the pool
+/// decides *placement*. Datasets are horizontally partitioned by
+/// [`shard_of`]; selects and joins scatter across the shards and gather
+/// into the exact single-index answer: threshold forms concatenate
+/// (shards partition the tids), and top-k forms merge-then-truncate
+/// under a cross-shard [`SharedFloor`] — a shard's proven k-th best
+/// lower-bounds the merged k-th best, so seeding later probes with it
+/// prunes postings without changing the answer.
+pub struct QueryService {
+    store: SharedStore,
+    pool: Arc<SharedBufferPool>,
+    clock: Arc<dyn Clock>,
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Share one rising floor across a top-k query's shard probes.
+    /// On by default; the workload driver switches it off to measure
+    /// how much pruning the floor buys.
+    cross_shard_floor: AtomicBool,
+    /// Probe shards with this many threads per query (1 = sequential
+    /// scatter, the deterministic default — concurrency normally comes
+    /// from concurrent queries, not from inside one).
+    scatter_threads: AtomicUsize,
+    /// Attach a latency trace to every outcome.
+    tracing: AtomicBool,
+}
+
+impl QueryService {
+    /// A service over `store`, with one shared pool per `config`.
+    pub fn new(store: SharedStore, config: ServiceConfig) -> QueryService {
+        let pool = SharedBufferPool::new(store.clone(), config.total_frames, config.pool_shards);
+        QueryService {
+            store,
+            pool,
+            clock: Arc::new(MonotonicClock::new()),
+            tenants: RwLock::new(HashMap::new()),
+            cross_shard_floor: AtomicBool::new(true),
+            scatter_threads: AtomicUsize::new(1),
+            tracing: AtomicBool::new(false),
+        }
+    }
+
+    /// Replace the wall clock (tests inject a deterministic one).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> QueryService {
+        self.clock = clock;
+        self
+    }
+
+    /// The store tenants' shards are built against.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// The shared pool's aggregate I/O counters.
+    pub fn pool_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Toggle the cross-shard top-k floor (on by default).
+    pub fn set_cross_shard_floor(&self, on: bool) {
+        self.cross_shard_floor.store(on, Ordering::Relaxed);
+    }
+
+    /// Probe shards with `threads` workers per query (1 = sequential).
+    pub fn set_scatter_threads(&self, threads: usize) {
+        self.scatter_threads
+            .store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// Attach a [`QueryTrace`] to every outcome from now on.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Register a tenant from pre-built shards (any backend mix).
+    /// Replaces an existing tenant of the same name.
+    pub fn register_tenant(
+        &self,
+        config: TenantConfig,
+        shards: Vec<Box<dyn UncertainIndex + Send + Sync>>,
+    ) {
+        assert!(!shards.is_empty(), "a tenant needs at least one shard");
+        let name = config.name.clone();
+        let tenant = Arc::new(Tenant::new(config, shards));
+        self.tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name, tenant);
+    }
+
+    /// Register a tenant whose dataset is split [`shard_of`]-wise into
+    /// `shards` inverted indexes running `strategy`.
+    pub fn register_tenant_inverted(
+        &self,
+        config: TenantConfig,
+        domain: &Domain,
+        data: &[(u64, Uda)],
+        shards: usize,
+        strategy: Strategy,
+    ) -> Result<()> {
+        let boxed = self.build_shards(data, shards, |part, pool| {
+            let idx = InvertedIndex::build(domain.clone(), pool, part.iter().copied())?;
+            Ok(Box::new(InvertedBackend::with_strategy(idx, strategy)))
+        })?;
+        self.register_tenant(config, boxed);
+        Ok(())
+    }
+
+    /// Register a tenant whose dataset is split [`shard_of`]-wise into
+    /// `shards` PDR-trees.
+    pub fn register_tenant_pdr(
+        &self,
+        config: TenantConfig,
+        domain: &Domain,
+        data: &[(u64, Uda)],
+        shards: usize,
+    ) -> Result<()> {
+        let boxed = self.build_shards(data, shards, |part, pool| {
+            let tree = PdrTree::build(
+                domain.clone(),
+                PdrConfig::default(),
+                pool,
+                part.iter().copied(),
+            )?;
+            Ok(Box::new(tree))
+        })?;
+        self.register_tenant(config, boxed);
+        Ok(())
+    }
+
+    fn build_shards<F>(
+        &self,
+        data: &[(u64, Uda)],
+        shards: usize,
+        build: F,
+    ) -> Result<Vec<Box<dyn UncertainIndex + Send + Sync>>>
+    where
+        F: Fn(
+            &[(u64, &Uda)],
+            &mut BufferPool,
+        ) -> std::result::Result<Box<dyn UncertainIndex + Send + Sync>, StorageError>,
+    {
+        assert!(shards >= 1, "a tenant needs at least one shard");
+        let mut parts: Vec<Vec<(u64, &Uda)>> = vec![Vec::new(); shards];
+        for (tid, uda) in data {
+            parts[shard_of(*tid, shards)].push((*tid, uda));
+        }
+        let mut boxed = Vec::with_capacity(shards);
+        for part in &parts {
+            let mut pool = BufferPool::with_capacity(self.store.clone(), BUILD_FRAMES);
+            let shard = build(part, &mut pool)?;
+            pool.flush()?;
+            boxed.push(shard);
+        }
+        Ok(boxed)
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot a tenant's aggregate statistics.
+    pub fn tenant_stats(&self, name: &str) -> Result<TenantStats> {
+        let tenant = self.tenant(name)?;
+        let stats = lock_recover(&tenant.stats).clone();
+        Ok(stats)
+    }
+
+    /// A tenant's live admission gate: `(frames in use, queued
+    /// requests)`. Lets operators (and tests) observe backpressure
+    /// without perturbing it.
+    pub fn tenant_admission(&self, name: &str) -> Result<(usize, usize)> {
+        let tenant = self.tenant(name)?;
+        Ok((tenant.admission.in_use(), tenant.admission.waiting()))
+    }
+
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownTenant(name.to_string()))
+    }
+
+    /// PETQ for `tenant`: exact scatter-gather over its shards.
+    pub fn petq(&self, tenant: &str, query: &EqQuery) -> Result<ServiceOutcome> {
+        self.run_select(
+            tenant,
+            |shard, pool, metrics| shard.petq_metered(pool, query, metrics),
+            |all| sort_matches_desc(all),
+        )
+    }
+
+    /// PEQ-top-k for `tenant`: shard probes share a rising floor (when
+    /// enabled), then merge-and-truncate to the exact global top k.
+    pub fn top_k(&self, tenant: &str, query: &TopKQuery) -> Result<ServiceOutcome> {
+        let floor = SharedFloor::new();
+        let use_floor = self.cross_shard_floor.load(Ordering::Relaxed);
+        self.run_select(
+            tenant,
+            |shard, pool, metrics| {
+                let seed = if use_floor { floor.get() } else { 0.0 };
+                let matches = shard.top_k_floored_metered(pool, query, seed, metrics)?;
+                if use_floor && matches.len() >= query.k {
+                    // This shard's k-th best lower-bounds the merged
+                    // k-th best (its tuples are a subset of the union),
+                    // so later probes may prune below it.
+                    let kth = matches
+                        .iter()
+                        .map(|m| m.score)
+                        .fold(f64::INFINITY, f64::min);
+                    floor.raise(kth);
+                }
+                Ok(matches)
+            },
+            |all| {
+                sort_matches_desc(all);
+                all.truncate(query.k);
+            },
+        )
+    }
+
+    /// DSTQ for `tenant`: exact scatter-gather over its shards.
+    pub fn dstq(&self, tenant: &str, query: &DstQuery) -> Result<ServiceOutcome> {
+        self.run_select(
+            tenant,
+            |shard, pool, metrics| shard.dstq_metered(pool, query, metrics),
+            |all| sort_matches_asc(all),
+        )
+    }
+
+    /// Join `outer` against every shard of `tenant` (`threads` workers
+    /// per shard join, all sharing the service pool). The shard joins
+    /// share one [`SharedFloor`] for PEJ-top-k (when enabled), and the
+    /// gathered pairs are re-ranked and re-truncated, so the answer is
+    /// exactly the unsharded join's.
+    pub fn join(
+        &self,
+        tenant: &str,
+        outer: &[(u64, Uda)],
+        spec: JoinSpec,
+        threads: usize,
+    ) -> Result<ServiceJoinOutcome> {
+        let tenant = self.tenant(tenant)?;
+        let started = self.clock.now_ns();
+        let cost = tenant.config.frames_per_query * threads.max(1);
+        let guard = self.admit(&tenant, cost)?;
+        let use_floor = self.cross_shard_floor.load(Ordering::Relaxed);
+        let shared_floor = SharedFloor::new();
+        let pools = BatchPools::Shared(self.pool.clone());
+
+        let mut pairs = Vec::new();
+        let mut metrics = QueryMetrics::new();
+        metrics.admission_waits = u64::from(guard.waited());
+        for shard in &tenant.shards {
+            let fresh = SharedFloor::new();
+            let floor = if use_floor { &shared_floor } else { &fresh };
+            let out =
+                parallel_join_with_floor(outer, shard, &self.store, &pools, spec, threads, floor)?;
+            pairs.extend(out.pairs);
+            metrics.merge(&out.metrics);
+        }
+        drop(guard);
+        match spec {
+            JoinSpec::Petj { .. } => uncat_query::join::sort_pairs_desc(&mut pairs),
+            JoinSpec::PejTopK { k } => {
+                uncat_query::join::sort_pairs_desc(&mut pairs);
+                pairs.truncate(k);
+            }
+            JoinSpec::Dstj { .. } => uncat_query::join::sort_pairs_asc(&mut pairs),
+        }
+        let wall_ns = self.clock.now_ns().saturating_sub(started);
+        self.record(&tenant, &metrics, wall_ns);
+        Ok(ServiceJoinOutcome {
+            pairs,
+            metrics,
+            wall_ns,
+        })
+    }
+
+    /// Admit one request or count its rejection.
+    fn admit<'t>(
+        &self,
+        tenant: &'t Arc<Tenant>,
+        cost: usize,
+    ) -> Result<crate::admission::AdmitGuard<'t>> {
+        match tenant.admission.admit(cost) {
+            Some(guard) => Ok(guard),
+            None => {
+                let mut stats = lock_recover(&tenant.stats);
+                stats.rejected += 1;
+                stats.metrics.admission_rejects += 1;
+                Err(ServiceError::Rejected {
+                    tenant: tenant.config.name.clone(),
+                })
+            }
+        }
+    }
+
+    /// Fold a completed query into the tenant's aggregates.
+    fn record(&self, tenant: &Tenant, metrics: &QueryMetrics, wall_ns: u64) {
+        let mut stats = lock_recover(&tenant.stats);
+        stats.metrics.merge(metrics);
+        stats.latency.record(wall_ns);
+        stats.completed += 1;
+    }
+
+    /// The select scatter-gather skeleton: admit, probe every shard
+    /// (each against a fresh handle on the shared pool, metering into a
+    /// fresh [`QueryMetrics`]), merge counters and traces additively,
+    /// and put the gathered matches into canonical order.
+    fn run_select<F, G>(&self, name: &str, probe: F, gather: G) -> Result<ServiceOutcome>
+    where
+        F: Fn(
+                &dyn UncertainIndex,
+                &mut BufferPool,
+                &mut QueryMetrics,
+            ) -> std::result::Result<Vec<Match>, StorageError>
+            + Sync,
+        G: FnOnce(&mut Vec<Match>),
+    {
+        let tenant = self.tenant(name)?;
+        let started = self.clock.now_ns();
+        let guard = self.admit(&tenant, tenant.config.frames_per_query)?;
+        let waited = guard.waited();
+        let parts = self.scatter(&tenant, &probe)?;
+        drop(guard);
+
+        let mut matches = Vec::new();
+        let mut metrics = QueryMetrics::new();
+        metrics.admission_waits = u64::from(waited);
+        let mut trace: Option<QueryTrace> = None;
+        for (shard_matches, shard_metrics, shard_trace) in parts {
+            matches.extend(shard_matches);
+            metrics.merge(&shard_metrics);
+            if let Some(t) = shard_trace {
+                trace.get_or_insert_with(QueryTrace::default).merge(&t);
+            }
+        }
+        let mut gathered = matches;
+        gather(&mut gathered);
+        let wall_ns = self.clock.now_ns().saturating_sub(started);
+        self.record(&tenant, &metrics, wall_ns);
+        Ok(ServiceOutcome {
+            matches: gathered,
+            metrics,
+            trace,
+            wall_ns,
+        })
+    }
+
+    /// Probe every shard, sequentially or across workers, preserving
+    /// shard order in the returned parts (so the merge is deterministic
+    /// however the probes were scheduled).
+    fn scatter<F>(&self, tenant: &Tenant, probe: &F) -> Result<Vec<ShardPart>>
+    where
+        F: Fn(
+                &dyn UncertainIndex,
+                &mut BufferPool,
+                &mut QueryMetrics,
+            ) -> std::result::Result<Vec<Match>, StorageError>
+            + Sync,
+    {
+        let probe_one =
+            |shard: &dyn UncertainIndex| -> std::result::Result<ShardPart, StorageError> {
+                let mut pool = BufferPool::from_handle(self.pool.handle());
+                if self.tracing.load(Ordering::Relaxed) {
+                    pool.set_tracer(Tracer::enabled(self.clock.clone()));
+                }
+                let root = pool.trace_begin(Phase::Query);
+                let mut metrics = QueryMetrics::new();
+                let matches = probe(shard, &mut pool, &mut metrics)?;
+                pool.trace_end(root);
+                metrics.io = pool.stats();
+                Ok((matches, metrics, pool.take_trace()))
+            };
+
+        let threads = self.scatter_threads.load(Ordering::Relaxed).max(1);
+        if threads <= 1 || tenant.shards.len() <= 1 {
+            let mut parts = Vec::with_capacity(tenant.shards.len());
+            for shard in &tenant.shards {
+                parts.push(probe_one(shard.as_ref())?);
+            }
+            return Ok(parts);
+        }
+
+        // Parallel scatter: a shared cursor hands out shard indexes,
+        // results land in shard order, and a panicking probe degrades
+        // to a typed error exactly like the batch machinery.
+        let mut slots: Vec<Option<std::result::Result<ShardPart, StorageError>>> =
+            Vec::with_capacity(tenant.shards.len());
+        slots.resize_with(tenant.shards.len(), || None);
+        let cells: Vec<Mutex<&mut Option<std::result::Result<ShardPart, StorageError>>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(tenant.shards.len()) {
+                scope.spawn(|| {
+                    let worker = AssertUnwindSafe(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tenant.shards.len() {
+                            break;
+                        }
+                        **lock_recover(&cells[i]) = Some(probe_one(tenant.shards[i].as_ref()));
+                    });
+                    let _ = catch_unwind(worker);
+                });
+            }
+        });
+        drop(cells);
+        slots
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(StorageError::Poisoned)))
+            .collect::<std::result::Result<Vec<ShardPart>, StorageError>>()
+            .map_err(ServiceError::from)
+    }
+}

@@ -109,6 +109,16 @@ pub struct QueryMetrics {
     /// beyond the overrun factor (`Strategy::Auto` only; fixed
     /// strategies leave this zero).
     pub plan_fallbacks: u64,
+    /// Times this query (or a query in this batch) was held in the
+    /// admission queue because its tenant was at its frame quota, then
+    /// admitted once capacity freed up (multi-tenant service only;
+    /// standalone executions leave this zero).
+    pub admission_waits: u64,
+    /// Queries turned away outright by admission control — the tenant
+    /// was at quota *and* its wait queue was full. A rejected query has
+    /// no outcome of its own, so this counter only appears in tenant- or
+    /// service-level aggregates.
+    pub admission_rejects: u64,
     /// Buffer-pool I/O charged to this query.
     pub io: IoStats,
 }
@@ -155,6 +165,8 @@ impl QueryMetrics {
         self.wal_fsyncs += other.wal_fsyncs;
         self.replayed_records += other.replayed_records;
         self.plan_fallbacks += other.plan_fallbacks;
+        self.admission_waits += other.admission_waits;
+        self.admission_rejects += other.admission_rejects;
         self.io.hits += other.io.hits;
         self.io.physical_reads += other.io.physical_reads;
         self.io.physical_writes += other.io.physical_writes;
@@ -173,7 +185,7 @@ impl QueryMetrics {
     /// The `(name, value)` pairs of every counter, in display order —
     /// the single source of truth for the CLI explain output and for
     /// documentation checks.
-    pub fn fields(&self) -> [(&'static str, u64); 23] {
+    pub fn fields(&self) -> [(&'static str, u64); 25] {
         [
             ("lists_opened", self.lists_opened),
             ("lists_pruned", self.lists_pruned),
@@ -194,6 +206,8 @@ impl QueryMetrics {
             ("wal_fsyncs", self.wal_fsyncs),
             ("replayed_records", self.replayed_records),
             ("plan_fallbacks", self.plan_fallbacks),
+            ("admission_waits", self.admission_waits),
+            ("admission_rejects", self.admission_rejects),
             ("io.hits", self.io.hits),
             ("io.physical_reads", self.io.physical_reads),
             ("io.physical_writes", self.io.physical_writes),

@@ -134,6 +134,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "delete" => delete(&flags),
         "checkpoint" => checkpoint(&flags),
         "recover" => recover(&flags),
+        "serve" => serve(&flags),
+        "bench-service" => bench_service(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE.trim());
             Ok(())
@@ -176,6 +178,10 @@ usage:
                --tid <id> [--explain]
   uncat checkpoint --index <inverted|pdr> --pages <...> --meta <...>
   uncat recover    --index <inverted|pdr> --pages <...> --meta <...>
+  uncat serve  [--tenants <N>] [--shards <S>] [--n <tuples>] [--seed <S>]
+               [--quota <frames>] [--queue <depth>]
+  uncat bench-service [--quick] [--tenants <N>] [--shards <S>]
+               [--out <file.json>] [--validate <file.json>]
 
 --strategy (inverted PETQ only): brute | highest-prob-first | row-pruning
   | column-pruning | nra | auto (default: auto — a cost-based planner
@@ -207,6 +213,18 @@ join: join a Zipf-skewed outer relation of N certain-category probes
   a rising score floor so warm probes run as prunable threshold probes).
   --explain prints the join's execution counter table (and the per-shard
   hit-rate table under --pool shared).
+serve: host a multi-tenant sharded query service over generated CRM1
+  tenants (t0, t1, ...) and answer line commands on stdin:
+  petq <tenant> <cat> <tau> | topk <tenant> <cat> <k> | stats <tenant> |
+  tenants | quit. Each tenant's dataset is hash-partitioned over S
+  shards behind a per-tenant admission gate (--quota frames, --queue
+  waiters); top-k queries share a rising score floor across shard
+  probes. See docs/SERVICE.md.
+bench-service: drive the service with the closed- and open-loop
+  Zipf-skewed workload and write the schema-validated
+  BENCH_service.json artifact (per-tenant QPS and latency quantiles,
+  plus the floored-vs-floorless postings comparison). --validate
+  re-checks an existing artifact and exits nonzero on any violation.
 put/delete: online mutation through a write-ahead log. The first
   mutation adopts the built index, creating <meta>.durable (epoch
   snapshot), <meta>.wal, and <meta>.journal; the original --meta file is
@@ -224,7 +242,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(CliError::Usage(format!("expected a --flag, found {a:?}")));
         };
-        if name == "bulk" || name == "explain" || name == "trace" {
+        if name == "bulk" || name == "explain" || name == "trace" || name == "quick" {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -1243,5 +1261,224 @@ fn stats(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
     }
     println!("  store pages:    {}", store.num_pages());
+    Ok(())
+}
+
+/// Map a service failure into the CLI's error space.
+fn service_cli_err(e: uncat::service::ServiceError) -> CliError {
+    use uncat::service::ServiceError;
+    match e {
+        ServiceError::Storage(s) => CliError::Storage(s),
+        other => CliError::Usage(other.to_string()),
+    }
+}
+
+/// `uncat serve`: host generated tenants and answer stdin commands.
+fn serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use uncat::service::{QueryService, ServiceConfig, TenantConfig};
+
+    let tenants: usize = flags
+        .get("tenants")
+        .map_or(Ok(2), |s| parse(s, "--tenants"))?;
+    let shards: usize = flags
+        .get("shards")
+        .map_or(Ok(2), |s| parse(s, "--shards"))?;
+    let n: usize = flags.get("n").map_or(Ok(2_000), |s| parse(s, "--n"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "--seed"))?;
+    let quota: usize = flags
+        .get("quota")
+        .map_or(Ok(200), |s| parse(s, "--quota"))?;
+    let queue: usize = flags.get("queue").map_or(Ok(2), |s| parse(s, "--queue"))?;
+    if tenants == 0 || shards == 0 {
+        return Err(CliError::Usage(
+            "--tenants and --shards must be at least 1".into(),
+        ));
+    }
+
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    for t in 0..tenants {
+        let (domain, data) = datagen::crm::crm1(n, seed ^ (t as u64).wrapping_mul(7919));
+        service
+            .register_tenant_inverted(
+                TenantConfig::new(format!("t{t}"))
+                    .frame_quota(quota)
+                    .queue_depth(queue),
+                &domain,
+                &data,
+                shards,
+                Strategy::Auto,
+            )
+            .map_err(service_cli_err)?;
+    }
+    println!(
+        "serving {tenants} tenant(s), {n} tuples x {shards} shard(s) each \
+         (quota {quota} frames, queue {queue})"
+    );
+    println!(
+        "commands: petq <tenant> <cat> <tau> | topk <tenant> <cat> <k> | \
+         stats <tenant> | tenants | quit"
+    );
+
+    let certain = |cat: u32| -> Result<Uda, CliError> {
+        Uda::from_pairs([(CatId(cat), 1.0f32)])
+            .map_err(|e| CliError::Usage(format!("bad category {cat}: {e}")))
+    };
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead;
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| CliError::io("<stdin>", e))?
+            == 0
+        {
+            break; // EOF: the driving process closed our input
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        // One bad request must not take the service down: report and
+        // keep serving (storage failures still end the session).
+        let outcome: Result<(), CliError> = match parts.as_slice() {
+            [] => Ok(()),
+            ["quit"] | ["exit"] => break,
+            ["tenants"] => {
+                println!("{}", service.tenant_names().join(" "));
+                Ok(())
+            }
+            ["stats", tenant] => match service.tenant_stats(tenant) {
+                Ok(s) => {
+                    println!(
+                        "{tenant}: completed={} rejected={} waits={} \
+                         p50_us={:.1} p95_us={:.1} p99_us={:.1}",
+                        s.completed,
+                        s.rejected,
+                        s.metrics.admission_waits,
+                        s.latency.p50_ns() as f64 / 1e3,
+                        s.latency.p95_ns() as f64 / 1e3,
+                        s.latency.p99_ns() as f64 / 1e3,
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(service_cli_err(e)),
+            },
+            ["petq", tenant, cat, tau] => {
+                let q = EqQuery::new(certain(parse(cat, "<cat>")?)?, parse(tau, "<tau>")?);
+                match service.petq(tenant, &q) {
+                    Ok(out) => {
+                        println!(
+                            "petq {tenant}: {} matches, {} postings, {} reads, wall {:.1}us",
+                            out.matches.len(),
+                            out.metrics.postings_scanned,
+                            out.metrics.io.physical_reads,
+                            out.wall_ns as f64 / 1e3,
+                        );
+                        for m in out.matches.iter().take(5) {
+                            println!("  {}\t{:.6}", m.tid, m.score);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(service_cli_err(e)),
+                }
+            }
+            ["topk", tenant, cat, k] => {
+                let q = TopKQuery::new(certain(parse(cat, "<cat>")?)?, parse(k, "<k>")?);
+                match service.top_k(tenant, &q) {
+                    Ok(out) => {
+                        println!(
+                            "topk {tenant}: {} matches, {} postings, {} reads, wall {:.1}us",
+                            out.matches.len(),
+                            out.metrics.postings_scanned,
+                            out.metrics.io.physical_reads,
+                            out.wall_ns as f64 / 1e3,
+                        );
+                        for m in out.matches.iter().take(5) {
+                            println!("  {}\t{:.6}", m.tid, m.score);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(service_cli_err(e)),
+                }
+            }
+            other => {
+                println!("? unknown command: {}", other.join(" "));
+                Ok(())
+            }
+        };
+        if let Err(e) = outcome {
+            match e {
+                CliError::Storage(s) => return Err(CliError::Storage(s)),
+                recoverable => println!("error: {recoverable}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `uncat bench-service`: the service workload driver, as a subcommand.
+fn bench_service(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    use uncat_bench::service::{
+        report_to_json, service_sweep, validate_report, ServiceBenchConfig,
+    };
+    use uncat_bench::{Json, Scale};
+
+    let bench_err = |e: uncat_bench::BenchError| CliError::Format {
+        path: "bench-service".into(),
+        detail: e.to_string(),
+    };
+    if let Some(path) = flags.get("validate") {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path.clone(), e))?;
+        let doc = Json::parse(&text).map_err(|e| CliError::format(path.clone(), e))?;
+        validate_report(&doc).map_err(bench_err)?;
+        println!("{path}: valid");
+        return Ok(());
+    }
+
+    let quick = flags.contains_key("quick");
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::from_env()
+    };
+    let mut config = if quick {
+        ServiceBenchConfig::quick()
+    } else {
+        ServiceBenchConfig::full()
+    };
+    if let Some(t) = flags.get("tenants") {
+        config.tenants = parse(t, "--tenants")?;
+    }
+    if let Some(s) = flags.get("shards") {
+        config.shards = parse(s, "--shards")?;
+    }
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_service.json");
+
+    let report = service_sweep(&scale, &config).map_err(bench_err)?;
+    let doc = report_to_json(&report);
+    validate_report(&doc).map_err(bench_err)?; // never write an invalid artifact
+    std::fs::write(out, doc.render_pretty()).map_err(|e| CliError::io(out, e))?;
+    for run in &report.runs {
+        println!(
+            "{:<8} {:<8} completed={:<6} rejected={:<4} waits={:<4} qps={:<9.1} \
+             p50_us={:<9.1} p95_us={:<9.1} p99_us={:.1}",
+            run.loop_mode,
+            run.tenant,
+            run.completed,
+            run.rejected,
+            run.waits,
+            run.qps,
+            run.hist.p50_ns() as f64 / 1e3,
+            run.hist.p95_ns() as f64 / 1e3,
+            run.hist.p99_ns() as f64 / 1e3,
+        );
+    }
+    println!(
+        "floor: {} postings floored vs {} floorless",
+        report.floor.floored_postings, report.floor.floorless_postings
+    );
+    println!("wrote {out}");
     Ok(())
 }

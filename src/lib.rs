@@ -16,6 +16,9 @@
 //! * [`datagen`] — the evaluation's dataset generators and workloads.
 //! * [`query`] — a unified executor, full-scan baseline, and the join
 //!   operators (PETJ and friends).
+//! * [`service`] — the multi-tenant sharded query service: named
+//!   indexes over one shared pool, per-tenant admission control, exact
+//!   scatter-gather execution (`docs/SERVICE.md`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,6 +27,7 @@ pub use uncat_datagen as datagen;
 pub use uncat_inverted as inverted;
 pub use uncat_pdrtree as pdrtree;
 pub use uncat_query as query;
+pub use uncat_service as service;
 pub use uncat_storage as storage;
 
 /// Commonly used items, for `use uncat::prelude::*`.

@@ -867,3 +867,78 @@ fn explain_prints_predictions_pick_and_misprediction_flags() {
     assert!(ok, "query --strategy auto failed: {out}");
     assert!(out.contains("600 matches"), "auto missed tuples: {out}");
 }
+
+/// `uncat serve`: a scripted multi-tenant session over piped stdin —
+/// queries answered per tenant, stats aggregated, and recoverable
+/// errors (unknown tenant, unknown command) reported without ending
+/// the session.
+#[test]
+fn serve_answers_a_scripted_session() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_uncat"))
+        .args([
+            "serve",
+            "--tenants",
+            "2",
+            "--shards",
+            "2",
+            "--n",
+            "500",
+            "--seed",
+            "7",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn uncat serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(
+            b"tenants\n\
+              petq t0 0 0.3\n\
+              topk t1 0 5\n\
+              stats t0\n\
+              petq nobody 0 0.3\n\
+              frobnicate\n\
+              quit\n",
+        )
+        .expect("write the session script");
+    let out = child.wait_with_output().expect("serve exits");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.status.success(), "serve failed: {text}");
+    assert!(text.contains("serving 2 tenant(s)"), "no banner: {text}");
+    assert!(text.contains("t0 t1"), "tenants listing missing: {text}");
+    assert!(text.contains("petq t0:"), "petq answer missing: {text}");
+    assert!(text.contains("topk t1:"), "topk answer missing: {text}");
+    assert!(
+        text.contains("t0: completed=1 rejected=0"),
+        "stats must count the one completed t0 query: {text}"
+    );
+    assert!(
+        text.contains("error: unknown tenant: nobody"),
+        "unknown tenant must be recoverable: {text}"
+    );
+    assert!(
+        text.contains("? unknown command: frobnicate"),
+        "unknown command must be recoverable: {text}"
+    );
+}
+
+/// `uncat bench-service --validate` accepts the committed artifact —
+/// the same check the CI service-smoke job performs.
+#[test]
+fn bench_service_validates_the_committed_artifact() {
+    let artifact = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_service.json");
+    let (ok, out) = uncat(&["bench-service", "--validate", artifact]);
+    assert!(ok, "validation failed: {out}");
+    assert!(out.contains("valid"), "unexpected output: {out}");
+}

@@ -273,6 +273,116 @@ proptest! {
     }
 }
 
+// --- Sharded service scatter-gather differential ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    // The multi-tenant service's sharding is pure routing: for 1–4
+    // shards and 1–3 tenants (alternating inverted and PDR-tree
+    // backends), PETQ, top-k, DSTQ, and the PEJ-top-k join must gather
+    // into exactly the unsharded (scan-baseline) answer, and a PETQ's
+    // merged counters must equal the sum of probing each shard's index
+    // directly — the partition, the merge, and nothing else.
+    #[test]
+    fn sharded_service_agrees_with_single_shard_plan(
+        tuples in dataset_strategy(CATS, 60),
+        outer in outer_strategy(CATS, 8),
+        q in uda_strategy(CATS),
+        tau in 0.01f64..0.9,
+        k in 1usize..12,
+        shards in 1usize..=4,
+        tenants in 1usize..=3,
+        threads in 1usize..3,
+    ) {
+        check_sharded_service(&tuples, &outer, &q, (tau, k), (shards, tenants, threads));
+    }
+}
+
+fn check_sharded_service(
+    tuples: &[(u64, Uda)],
+    outer: &[(u64, Uda)],
+    q: &Uda,
+    (tau, k): (f64, usize),
+    (shards, tenants, threads): (usize, usize, usize),
+) {
+    use uncat::service::{shard_of, QueryService, ServiceConfig, TenantConfig};
+
+    let domain = Domain::anonymous(CATS);
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    for t in 0..tenants {
+        let config = TenantConfig::new(format!("t{t}"));
+        if t % 2 == 0 {
+            service
+                .register_tenant_inverted(config, &domain, tuples, shards, SearchStrategy::Auto)
+                .expect("in-memory build");
+        } else {
+            service
+                .register_tenant_pdr(config, &domain, tuples, shards)
+                .expect("in-memory build");
+        }
+    }
+    service.set_scatter_threads(threads);
+
+    // Unsharded reference answers from the scan baseline.
+    let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+    let scan = ScanBaseline::build(&mut pool, tuples.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    let petq = EqQuery::new(q.clone(), tau);
+    let topk = TopKQuery::new(q.clone(), k);
+    let dstq = DstQuery::new(q.clone(), 1.0, Divergence::L1);
+    let want_petq = scan.petq(&mut pool, &petq).expect("in-memory query");
+    let want_topk = scan.top_k(&mut pool, &topk).expect("in-memory query");
+    let want_dstq = scan.dstq(&mut pool, &dstq).expect("in-memory query");
+    let spec = JoinSpec::PejTopK { k };
+    let want_join = block_join_metered(outer, &scan, &mut pool, spec, &mut QueryMetrics::new())
+        .expect("in-memory join");
+
+    for t in 0..tenants {
+        let name = format!("t{t}");
+        let got = service.petq(&name, &petq).expect("in-memory query");
+        assert_matches_agree("service/petq", &name, &want_petq, &got.matches);
+        let got_topk = service.top_k(&name, &topk).expect("in-memory query");
+        assert_matches_agree("service/top_k", &name, &want_topk, &got_topk.matches);
+        let got_dstq = service.dstq(&name, &dstq).expect("in-memory query");
+        assert_matches_agree("service/dstq", &name, &want_dstq, &got_dstq.matches);
+        let got_join = service
+            .join(&name, outer, spec, threads)
+            .expect("in-memory join");
+        assert_pairs_agree("service/join", &name, &want_join, &got_join.pairs);
+
+        // Merged PETQ counters are exactly the sum of probing the same
+        // partition's shard indexes directly (inverted tenants only;
+        // the I/O block rides the service's shared pool and is compared
+        // by the service tests instead).
+        if t % 2 == 0 {
+            let mut manual = QueryMetrics::new();
+            let mut mpool = BufferPool::with_capacity(InMemoryDisk::shared(), 100);
+            for s in 0..shards {
+                let part: Vec<(u64, &Uda)> = tuples
+                    .iter()
+                    .filter(|(tid, _)| shard_of(*tid, shards) == s)
+                    .map(|(tid, u)| (*tid, u))
+                    .collect();
+                let idx = InvertedIndex::build(domain.clone(), &mut mpool, part.iter().copied())
+                    .expect("in-memory build");
+                let shard = InvertedBackend::with_strategy(idx, SearchStrategy::Auto);
+                let mut m = QueryMetrics::new();
+                shard
+                    .petq_metered(&mut mpool, &petq, &mut m)
+                    .expect("in-memory query");
+                manual.merge(&m);
+            }
+            let mut got_counters = got.metrics;
+            got_counters.io = IoStats::default();
+            assert_eq!(
+                got_counters, manual,
+                "{name}: the service merge must equal the per-shard sum"
+            );
+        }
+    }
+}
+
 // --- Interleaved mutation / query differential ---
 
 proptest! {

@@ -9,7 +9,8 @@ use uncat::inverted::{InvertedIndex, Strategy};
 use uncat::pdrtree::{PdrConfig, PdrTree};
 use uncat::query::parallel::{batch_metrics, petq_batch, petq_batch_with};
 use uncat::query::{
-    aggregate_metrics, BatchPools, Executor, InvertedBackend, ScanBaseline, UncertainIndex,
+    aggregate_metrics, BatchPools, Executor, InvertedBackend, MutableBackend, ScanBaseline,
+    UncertainIndex,
 };
 use uncat::storage::{
     BufferPool, Fault, FaultStore, InMemoryDisk, IoStats, QueryMetrics, SharedStore,
@@ -201,6 +202,75 @@ fn parallel_batch_metrics_equal_sequential_sum() {
     assert_eq!(
         par_total, seq_total,
         "parallel sum must equal sequential sum"
+    );
+}
+
+/// `plan_fallbacks` is per-attempt exact across batch execution: prime
+/// the planner's statistics on a tiny corpus, grow one posting list far
+/// past the overrun budget without refreshing them (the
+/// staleness-by-design case), and the adaptive fallback fires on every
+/// query of the hot category. The batch counter must equal both the sum
+/// of the per-outcome counters and a sequential rerun — a retried or
+/// shared-pool query must tick once per *completed attempt*, never
+/// twice (the double-count this PR fixes).
+#[test]
+fn auto_fallbacks_sum_exactly_across_shared_pool_batches() {
+    let domain = Domain::anonymous(13);
+    let store = InMemoryDisk::shared();
+    let mut pool = BufferPool::with_capacity(store.clone(), 512);
+    let initial: Vec<(u64, Uda)> = (0..40)
+        .map(|i| (i, uda(&[((i % 13) as u32, 1.0)])))
+        .collect();
+    let idx = InvertedIndex::build(domain, &mut pool, initial.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    let mut backend = InvertedBackend::with_strategy(idx, Strategy::Auto);
+    // Prime the statistics cache — what build/checkpoint time does.
+    let _ = backend.index.cost_stats();
+    let heavy = uda(&[(4, 1.0)]);
+    for i in 0..4000u64 {
+        backend
+            .apply_insert(&mut pool, 1_000 + i, &heavy)
+            .expect("in-memory insert");
+    }
+    pool.flush().expect("in-memory flush");
+    drop(pool);
+
+    // Alternate the grown category (guaranteed overrun) with cold ones.
+    let queries: Vec<EqQuery> = (0..10)
+        .map(|i| {
+            let cat = if i % 2 == 0 { 4 } else { (i % 13) as u32 };
+            EqQuery::new(uda(&[(cat, 1.0)]), 0.1)
+        })
+        .collect();
+    let pools = BatchPools::shared(&store, 256, 8);
+    let results = petq_batch_with(&backend, &store, &pools, &queries, 4);
+    let total = batch_metrics(&results);
+    assert!(
+        total.plan_fallbacks >= 5,
+        "every hot-category query must overrun its stale budget, got {}",
+        total.plan_fallbacks
+    );
+    let manual = QueryMetrics::sum(results.iter().map(|r| &r.as_ref().unwrap().metrics));
+    assert_eq!(total, manual, "batch_metrics must sum exactly");
+
+    let mut seq = QueryMetrics::new();
+    for q in &queries {
+        let mut pool = BufferPool::with_capacity(store.clone(), 100);
+        let mut m = QueryMetrics::new();
+        backend.petq_metered(&mut pool, q, &mut m).expect("query");
+        m.io = pool.stats();
+        seq.merge(&m);
+    }
+    assert_eq!(
+        total.plan_fallbacks, seq.plan_fallbacks,
+        "fallback ticks are per-attempt exact under the shared pool"
+    );
+    let (mut batch, mut sequential) = (total, seq);
+    batch.io = IoStats::default();
+    sequential.io = IoStats::default();
+    assert_eq!(
+        batch, sequential,
+        "batch execution must not change any counter"
     );
 }
 

@@ -25,7 +25,9 @@ use uncat::query::{
     ScanBaseline, UncertainIndex,
 };
 use uncat::storage::wal::{MemLog, SharedLog};
-use uncat::storage::{Fault, FaultLog, FaultStore, LogFault, StorageError, TailStatus};
+use uncat::storage::{
+    Fault, FaultLog, FaultStore, LogFault, QueryMetrics, StorageError, TailStatus,
+};
 use uncat_inverted::InvertedIndex;
 use uncat_pdrtree::{PdrConfig, PdrTree};
 
@@ -825,4 +827,92 @@ fn repeated_crash_reopen_cycles_preserve_acknowledged_state() {
 
     let (mut idx, _) = DurableIndex::<InvertedBackend>::open(storage, cfg()).expect("never fails");
     assert_index_matches_model("final", &mut idx, &model);
+}
+
+/// Recovery refreshes the planner's statistics: a WAL tail that grew
+/// one posting list far past the snapshot's counts is replayed on open,
+/// and the very first `Strategy::Auto` query must plan against the
+/// replayed state — no adaptive fallback, and prediction and
+/// measurement within each other's overrun slack. (Before this fix the
+/// recovered index planned on the snapshot's stale statistics until the
+/// next checkpoint, so this exact query tripped the fallback.)
+#[test]
+fn recovery_refreshes_planner_statistics() {
+    use uncat_inverted::{Strategy, FALLBACK_BUDGET_FLOOR, OVERRUN_FACTOR};
+
+    let config = DurableConfig {
+        group_commit: 1,
+        pool_frames: 512,
+        checkpoint_every: 0,
+        ..DurableConfig::default()
+    };
+    let mut rng = Rng(11);
+    let initial: Vec<(u64, Uda)> = (0..40).map(|i| (i, rand_uda(&mut rng))).collect();
+    let storage = DurableStorage::in_memory();
+    let mut idx = DurableIndex::create(storage.clone(), config, |pool| {
+        Ok(InvertedBackend::new(InvertedIndex::build(
+            Domain::anonymous(CATS),
+            pool,
+            initial.iter().map(|(t, u)| (*t, u)),
+        )?))
+    })
+    .expect("create durable inverted index");
+
+    // Grow category 0 to twice the budget the snapshot statistics would
+    // grant, without a checkpoint: the growth lives only in the WAL.
+    let mut b = UdaBuilder::new();
+    b.push(CatId(0), 1.0).expect("valid probability");
+    let heavy = b.finish_normalized().expect("non-empty");
+    let q = EqQuery::new(heavy.clone(), 0.1);
+    let (_, stale) = idx.backend().index.plan_petq(&q);
+    let stale_budget = OVERRUN_FACTOR * stale.postings_scanned + FALLBACK_BUDGET_FLOOR;
+    let grown = 2 * stale_budget;
+    for i in 0..grown {
+        idx.insert(100_000 + i, &heavy).expect("in-memory insert");
+    }
+    drop(idx); // clean close — but the inserts were never checkpointed
+
+    let (mut idx, report) = DurableIndex::<InvertedBackend>::open(storage, config).expect("reopen");
+    assert_eq!(
+        report.replayed_records, grown,
+        "the growth schedule must be replayed, not folded into a checkpoint"
+    );
+
+    let (pick, prediction) = {
+        let (backend, _) = idx.parts_mut();
+        backend.strategy = Strategy::Auto;
+        backend.index.plan_petq(&q)
+    };
+    let mut m = QueryMetrics::new();
+    let got = idx.petq_metered(&q, &mut m).expect("in-memory query");
+    assert!(
+        got.len() as u64 >= grown,
+        "every replayed tuple matches the probe"
+    );
+    assert!(
+        m.postings_scanned > stale_budget,
+        "the scenario must be real: {} postings scanned would have tripped \
+         the stale budget of {stale_budget}",
+        m.postings_scanned
+    );
+    assert_eq!(
+        m.plan_fallbacks, 0,
+        "recovered statistics must describe the replayed state \
+         (picked {pick:?}, predicted {} postings, scanned {})",
+        prediction.postings_scanned, m.postings_scanned
+    );
+    // The refreshed prediction and the measurement bound each other
+    // within the planner's own overrun slack, in both directions.
+    assert!(
+        m.postings_scanned <= OVERRUN_FACTOR * prediction.postings_scanned + FALLBACK_BUDGET_FLOOR,
+        "actual {} exceeds the refreshed prediction {} plus slack",
+        m.postings_scanned,
+        prediction.postings_scanned
+    );
+    assert!(
+        prediction.postings_scanned <= OVERRUN_FACTOR * m.postings_scanned + FALLBACK_BUDGET_FLOOR,
+        "refreshed prediction {} wildly exceeds the actual {}",
+        prediction.postings_scanned,
+        m.postings_scanned
+    );
 }

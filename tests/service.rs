@@ -1,0 +1,383 @@
+//! Integration tests for the multi-tenant sharded query service
+//! (`uncat::service`, DESIGN.md §6i): exact scatter-gather against the
+//! unsharded plan, cross-shard floor pruning, admission control, and
+//! per-tenant statistics.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use uncat::core::query::DsTopKQuery;
+use uncat::core::query::{DstQuery, EqQuery, Match, TopKQuery};
+use uncat::core::{CatId, Divergence, Domain, Uda};
+use uncat::inverted::{InvertedIndex, Strategy};
+use uncat::query::join::{index_join, JoinSpec};
+use uncat::query::{InvertedBackend, UncertainIndex};
+use uncat::service::{QueryService, ServiceConfig, ServiceError, TenantConfig};
+use uncat::storage::{BufferPool, InMemoryDisk, IoStats, QueryMetrics, StorageError};
+
+fn uda(pairs: &[(u32, f32)]) -> Uda {
+    Uda::from_pairs(pairs.iter().map(|&(c, p)| (CatId(c), p))).unwrap()
+}
+
+/// The metrics-test dataset: every posting list mixes probabilities
+/// above and below typical thresholds, so pruning and floors both have
+/// something to skip.
+fn seeded_dataset(n: u64) -> (Domain, Vec<(u64, Uda)>) {
+    let domain = Domain::anonymous(13);
+    let data = (0..n)
+        .map(|i| {
+            let c = (i % 13) as u32;
+            let p = if i % 3 == 0 { 0.8 } else { 0.2 };
+            (i, uda(&[(c, p), ((c + 5) % 13, 1.0 - p)]))
+        })
+        .collect();
+    (domain, data)
+}
+
+/// An unsharded reference backend over its own store — the oracle every
+/// service plan is diffed against.
+fn reference_backend(domain: &Domain, data: &[(u64, Uda)]) -> (InvertedBackend, BufferPool) {
+    let mut pool = BufferPool::with_capacity(InMemoryDisk::shared(), 256);
+    let idx = InvertedIndex::build(domain.clone(), &mut pool, data.iter().map(|(t, u)| (*t, u)))
+        .expect("in-memory build");
+    (InvertedBackend::new(idx), pool)
+}
+
+fn assert_matches_agree(what: &str, reference: &[Match], got: &[Match]) {
+    assert_eq!(
+        got.iter().map(|m| m.tid).collect::<Vec<_>>(),
+        reference.iter().map(|m| m.tid).collect::<Vec<_>>(),
+        "{what}: sharded plan returned different tuples than the unsharded plan"
+    );
+    for (r, g) in reference.iter().zip(got) {
+        assert!(
+            (r.score - g.score).abs() <= 1e-9,
+            "{what}: tuple {} scored {} vs unsharded {}",
+            g.tid,
+            g.score,
+            r.score
+        );
+    }
+}
+
+#[test]
+fn unknown_tenant_is_a_typed_error() {
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    let err = service
+        .petq("nobody", &EqQuery::new(uda(&[(0, 1.0)]), 0.5))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::UnknownTenant(_)), "{err}");
+    let err = service.tenant_stats("nobody").unwrap_err();
+    assert!(matches!(err, ServiceError::UnknownTenant(_)), "{err}");
+}
+
+/// Every select form and the join scatter across shards and gather into
+/// exactly the unsharded answer, whatever the shard count.
+#[test]
+fn sharded_scatter_gather_matches_the_unsharded_plan() {
+    let (domain, data) = seeded_dataset(3000);
+    let (reference, mut ref_pool) = reference_backend(&domain, &data);
+
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    for shards in [1usize, 4] {
+        service
+            .register_tenant_inverted(
+                TenantConfig::new(format!("s{shards}")),
+                &domain,
+                &data,
+                shards,
+                Strategy::ColumnPruning,
+            )
+            .expect("in-memory build");
+    }
+
+    let petq = EqQuery::new(uda(&[(4, 1.0)]), 0.5);
+    let topk = TopKQuery::new(uda(&[(2, 1.0)]), 10);
+    let dstq = DstQuery::new(uda(&[(2, 0.9), (7, 0.1)]), 0.4, Divergence::L1);
+    let want_petq = reference.petq(&mut ref_pool, &petq).expect("query");
+    let want_topk = reference.top_k(&mut ref_pool, &topk).expect("query");
+    let want_dstq = reference.dstq(&mut ref_pool, &dstq).expect("query");
+    assert!(!want_petq.is_empty() && want_topk.len() == 10 && !want_dstq.is_empty());
+
+    for name in ["s1", "s4"] {
+        let got = service.petq(name, &petq).expect("query");
+        assert_matches_agree(&format!("{name}/petq"), &want_petq, &got.matches);
+        let got = service.top_k(name, &topk).expect("query");
+        assert_matches_agree(&format!("{name}/top_k"), &want_topk, &got.matches);
+        let got = service.dstq(name, &dstq).expect("query");
+        assert_matches_agree(&format!("{name}/dstq"), &want_dstq, &got.matches);
+    }
+
+    // Joins: gathered pairs equal the unsharded index join, pair for pair.
+    let outer: Vec<(u64, Uda)> = (0..20)
+        .map(|i| (1_000_000 + i, uda(&[((i % 13) as u32, 1.0)])))
+        .collect();
+    for spec in [JoinSpec::Petj { tau: 0.4 }, JoinSpec::PejTopK { k: 8 }] {
+        let want = index_join(&outer, &reference, &mut ref_pool, spec).expect("join");
+        for name in ["s1", "s4"] {
+            let got = service.join(name, &outer, spec, 2).expect("join");
+            assert_eq!(
+                got.pairs
+                    .iter()
+                    .map(|p| (p.left, p.right))
+                    .collect::<Vec<_>>(),
+                want.pairs
+                    .iter()
+                    .map(|p| (p.left, p.right))
+                    .collect::<Vec<_>>(),
+                "{name}/{}: sharded join differs from the unsharded join",
+                spec.name()
+            );
+        }
+    }
+
+    // Per-tenant aggregates saw every completed request.
+    let stats = service.tenant_stats("s4").expect("registered tenant");
+    assert_eq!(stats.completed, 5, "3 selects + 2 joins");
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.latency.count(), 5);
+}
+
+/// A parallel scatter is invisible in results and execution counters:
+/// only the I/O block (warm frames) may differ from a sequential probe.
+#[test]
+fn parallel_scatter_matches_sequential_scatter() {
+    let (domain, data) = seeded_dataset(3000);
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    service
+        .register_tenant_inverted(
+            TenantConfig::new("t"),
+            &domain,
+            &data,
+            4,
+            Strategy::ColumnPruning,
+        )
+        .expect("in-memory build");
+
+    let petq = EqQuery::new(uda(&[(4, 1.0)]), 0.3);
+    let seq = service.petq("t", &petq).expect("query");
+    service.set_scatter_threads(4);
+    let par = service.petq("t", &petq).expect("query");
+    service.set_scatter_threads(1);
+
+    assert_matches_agree("parallel-scatter", &seq.matches, &par.matches);
+    let (mut a, mut b) = (seq.metrics, par.metrics);
+    assert_eq!(
+        a.io.logical_reads, b.io.logical_reads,
+        "the access pattern is scatter-schedule independent"
+    );
+    a.io = IoStats::default();
+    b.io = IoStats::default();
+    assert_eq!(a, b, "execution counters must not depend on the scatter");
+}
+
+/// The cross-shard floor: sharing each shard's proven k-th best with
+/// later probes scans strictly fewer postings, without changing the
+/// answer (the sequential scatter makes the saving deterministic).
+#[test]
+fn cross_shard_floor_prunes_postings_without_changing_answers() {
+    let (domain, data) = seeded_dataset(3000);
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    service
+        .register_tenant_inverted(TenantConfig::new("t"), &domain, &data, 4, Strategy::Auto)
+        .expect("in-memory build");
+
+    let query = TopKQuery::new(uda(&[(4, 1.0)]), 5);
+    let floored = service.top_k("t", &query).expect("query");
+    service.set_cross_shard_floor(false);
+    let floorless = service.top_k("t", &query).expect("query");
+    service.set_cross_shard_floor(true);
+
+    assert_matches_agree("floor", &floorless.matches, &floored.matches);
+    assert!(
+        floored.metrics.postings_scanned < floorless.metrics.postings_scanned,
+        "the shared floor must prune strictly ({} floored vs {} floorless)",
+        floored.metrics.postings_scanned,
+        floorless.metrics.postings_scanned,
+    );
+}
+
+/// Tracing attaches a merged per-shard trace to every outcome.
+#[test]
+fn tracing_merges_per_shard_traces() {
+    let (domain, data) = seeded_dataset(500);
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    service
+        .register_tenant_inverted(
+            TenantConfig::new("t"),
+            &domain,
+            &data,
+            3,
+            Strategy::ColumnPruning,
+        )
+        .expect("in-memory build");
+
+    let out = service
+        .petq("t", &EqQuery::new(uda(&[(1, 1.0)]), 0.3))
+        .expect("query");
+    assert!(out.trace.is_none(), "tracing is off by default");
+
+    service.set_tracing(true);
+    let out = service
+        .petq("t", &EqQuery::new(uda(&[(1, 1.0)]), 0.3))
+        .expect("query");
+    let trace = out.trace.expect("tracing attaches a trace");
+    // One root query span per shard probe survives the merge.
+    assert!(
+        trace.spans.len() >= 3,
+        "expected at least one span per shard, got {}",
+        trace.spans.len()
+    );
+}
+
+// --- Admission control ---
+
+/// A gate the test controls: probes block inside the index until the
+/// test releases them, so admission states are observable at leisure.
+struct Gate {
+    state: Mutex<(usize, usize)>, // (probes entered, releases granted)
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Called by the index: announce entry, then hold until released.
+    fn enter(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        self.cv.notify_all();
+        while st.1 == 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.1 -= 1;
+    }
+
+    /// Let one held probe finish.
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.1 += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until `n` probes have entered the index.
+    fn await_entered(&self, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.0 < n {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// A one-tuple index whose PETQ blocks on the gate — the knob that
+/// keeps a tenant's quota pinned for as long as a test needs.
+struct BlockingIndex {
+    gate: Arc<Gate>,
+}
+
+impl UncertainIndex for BlockingIndex {
+    fn petq_metered(
+        &self,
+        _pool: &mut BufferPool,
+        _query: &EqQuery,
+        metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>, StorageError> {
+        self.gate.enter();
+        metrics.postings_scanned += 1;
+        Ok(vec![Match::new(7, 0.9)])
+    }
+
+    fn top_k_metered(
+        &self,
+        _pool: &mut BufferPool,
+        _query: &TopKQuery,
+        _metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>, StorageError> {
+        Ok(Vec::new())
+    }
+
+    fn dstq_metered(
+        &self,
+        _pool: &mut BufferPool,
+        _query: &DstQuery,
+        _metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>, StorageError> {
+        Ok(Vec::new())
+    }
+
+    fn ds_top_k_metered(
+        &self,
+        _pool: &mut BufferPool,
+        _query: &DsTopKQuery,
+        _metrics: &mut QueryMetrics,
+    ) -> Result<Vec<Match>, StorageError> {
+        Ok(Vec::new())
+    }
+
+    fn tuple_count(&self) -> u64 {
+        1
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "blocking"
+    }
+}
+
+/// The admission contract, end to end: with the quota pinned by a
+/// running query, the next request queues (and stamps its wait into its
+/// metrics), the one after that is rejected and counted — and nothing
+/// deadlocks once the quota frees up.
+#[test]
+fn admission_queues_within_depth_and_rejects_beyond_it() {
+    let gate = Gate::new();
+    let service = QueryService::new(InMemoryDisk::shared(), ServiceConfig::default());
+    service.register_tenant(
+        TenantConfig::new("tight")
+            .frame_quota(100)
+            .queue_depth(1)
+            .frames_per_query(100),
+        vec![Box::new(BlockingIndex { gate: gate.clone() })],
+    );
+    let q = EqQuery::new(uda(&[(0, 1.0)]), 0.5);
+
+    let (a_out, b_out) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| service.petq("tight", &q).expect("query A"));
+        gate.await_entered(1); // A runs, holding the tenant's whole quota
+
+        let b = scope.spawn(|| service.petq("tight", &q).expect("query B"));
+        // B does not fit and parks in the (depth-1) admission queue.
+        while service.tenant_admission("tight").unwrap().1 == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(service.tenant_admission("tight").unwrap(), (100, 1));
+
+        // C finds the quota spent and the queue full: rejected outright.
+        let err = service.petq("tight", &q).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected { .. }), "{err}");
+
+        gate.release(); // A finishes; B is admitted off the queue
+        gate.await_entered(2);
+        gate.release(); // B finishes
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    assert_eq!(a_out.metrics.admission_waits, 0, "A was admitted at once");
+    assert_eq!(b_out.metrics.admission_waits, 1, "B waited for capacity");
+    assert_eq!(a_out.matches, b_out.matches);
+
+    let stats = service.tenant_stats("tight").expect("registered tenant");
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.metrics.admission_rejects, 1);
+    assert_eq!(stats.metrics.admission_waits, 1);
+    assert_eq!(stats.latency.count(), 2);
+    assert_eq!(
+        service.tenant_admission("tight").unwrap(),
+        (0, 0),
+        "the gate drains completely"
+    );
+}
